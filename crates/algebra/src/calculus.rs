@@ -1,0 +1,546 @@
+//! The monoid comprehension calculus.
+//!
+//! Every incoming query is first translated into a comprehension of the form
+//!
+//! ```text
+//! for { q1, q2, ... } yield ⊕ e
+//! ```
+//!
+//! where each qualifier `qi` is either a *generator* `v <- source` (a dataset
+//! or a nested collection reachable from an already-bound variable) or a
+//! *predicate*, `⊕` is an output [`Monoid`] and `e` the head expression
+//! (§3, Example 3.1 of the paper). Comprehensions are then normalized and
+//! rewritten into the nested relational algebra by [`crate::translate`].
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::{AlgebraError, Result};
+use crate::expr::{Env, Expr, Path};
+use crate::monoid::{Accumulator, Monoid};
+use crate::value::Value;
+
+/// The source of a generator.
+#[derive(Debug, Clone, PartialEq)]
+pub enum GeneratorSource {
+    /// A named input dataset (`s1 <- Sailor`).
+    Dataset(String),
+    /// A nested collection reachable from a bound variable
+    /// (`c <- s1.children`).
+    Path(Path),
+}
+
+impl fmt::Display for GeneratorSource {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            GeneratorSource::Dataset(name) => write!(f, "{name}"),
+            GeneratorSource::Path(path) => write!(f, "{path}"),
+        }
+    }
+}
+
+/// A qualifier of a comprehension.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Qualifier {
+    /// `var <- source`
+    Generator {
+        /// Variable bound by the generator.
+        var: String,
+        /// Collection the variable ranges over.
+        source: GeneratorSource,
+    },
+    /// A boolean filter over already-bound variables.
+    Predicate(Expr),
+}
+
+impl fmt::Display for Qualifier {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Qualifier::Generator { var, source } => write!(f, "{var} <- {source}"),
+            Qualifier::Predicate(e) => write!(f, "{e}"),
+        }
+    }
+}
+
+/// A monoid comprehension.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Comprehension {
+    /// Output monoid (`bag`, `sum`, `count`, ...).
+    pub monoid: Monoid,
+    /// Head expression evaluated once per qualifying binding.
+    pub head: Expr,
+    /// Qualifiers in source order.
+    pub qualifiers: Vec<Qualifier>,
+}
+
+impl Comprehension {
+    /// Creates a comprehension.
+    pub fn new(monoid: Monoid, head: Expr, qualifiers: Vec<Qualifier>) -> Self {
+        Comprehension {
+            monoid,
+            head,
+            qualifiers,
+        }
+    }
+
+    /// All generator variables in binding order.
+    pub fn generator_vars(&self) -> Vec<&str> {
+        self.qualifiers
+            .iter()
+            .filter_map(|q| match q {
+                Qualifier::Generator { var, .. } => Some(var.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// All dataset names referenced by generators.
+    pub fn datasets(&self) -> Vec<&str> {
+        self.qualifiers
+            .iter()
+            .filter_map(|q| match q {
+                Qualifier::Generator {
+                    source: GeneratorSource::Dataset(name),
+                    ..
+                } => Some(name.as_str()),
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Checks that every predicate and every path generator only references
+    /// variables bound by earlier generators, and that the head only uses
+    /// bound variables. Returns the set of bound variables on success.
+    pub fn check_bindings(&self) -> Result<BTreeSet<String>> {
+        let mut bound: BTreeSet<String> = BTreeSet::new();
+        for q in &self.qualifiers {
+            match q {
+                Qualifier::Generator { var, source } => {
+                    if let GeneratorSource::Path(path) = source {
+                        if !bound.contains(&path.base) {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "generator {var} unnests {path} but {} is not bound yet",
+                                path.base
+                            )));
+                        }
+                    }
+                    bound.insert(var.clone());
+                }
+                Qualifier::Predicate(expr) => {
+                    for v in expr.referenced_variables() {
+                        if !bound.contains(&v) {
+                            return Err(AlgebraError::InvalidPlan(format!(
+                                "predicate {expr} references unbound variable {v}"
+                            )));
+                        }
+                    }
+                }
+            }
+        }
+        for v in self.head.referenced_variables() {
+            if !bound.contains(&v) {
+                return Err(AlgebraError::InvalidPlan(format!(
+                    "head expression references unbound variable {v}"
+                )));
+            }
+        }
+        Ok(bound)
+    }
+
+    /// Normalizes the comprehension:
+    ///
+    /// 1. predicates are split into conjuncts (`p AND q` becomes two
+    ///    qualifiers), and
+    /// 2. each conjunct is moved directly after the last generator binding a
+    ///    variable it references (the calculus-level analogue of selection
+    ///    pushdown, §4 "parses and normalizes it, performing operations such
+    ///    as selection pushdown").
+    ///
+    /// Normalization never changes the meaning of the comprehension; the
+    /// property tests in this module and the cross-engine tests rely on that.
+    pub fn normalize(&self) -> Comprehension {
+        let mut generators = Vec::new();
+        let mut predicates = Vec::new();
+        for q in &self.qualifiers {
+            match q {
+                Qualifier::Generator { .. } => generators.push(q.clone()),
+                Qualifier::Predicate(e) => {
+                    for conjunct in e.split_conjunction() {
+                        predicates.push(conjunct);
+                    }
+                }
+            }
+        }
+
+        // For each predicate find the index of the last generator that binds
+        // one of its variables.
+        let gen_vars: Vec<String> = generators
+            .iter()
+            .map(|q| match q {
+                Qualifier::Generator { var, .. } => var.clone(),
+                _ => unreachable!(),
+            })
+            .collect();
+
+        let mut per_generator: Vec<Vec<Expr>> = vec![Vec::new(); generators.len()];
+        let mut free_predicates = Vec::new();
+        for pred in predicates {
+            let vars = pred.referenced_variables();
+            let position = gen_vars
+                .iter()
+                .enumerate()
+                .filter(|(_, v)| vars.contains(*v))
+                .map(|(i, _)| i)
+                .max();
+            match position {
+                Some(idx) => per_generator[idx].push(pred),
+                None => free_predicates.push(pred),
+            }
+        }
+
+        let mut qualifiers = Vec::new();
+        // Variable-free predicates (constants) go first: they can prune the
+        // whole evaluation.
+        for pred in free_predicates {
+            qualifiers.push(Qualifier::Predicate(pred));
+        }
+        for (idx, generator) in generators.into_iter().enumerate() {
+            qualifiers.push(generator);
+            for pred in per_generator[idx].drain(..) {
+                qualifiers.push(Qualifier::Predicate(pred));
+            }
+        }
+
+        Comprehension {
+            monoid: self.monoid,
+            head: self.head.clone(),
+            qualifiers,
+        }
+    }
+
+    /// Reference evaluator: evaluates the comprehension directly against
+    /// in-memory collections. This is the semantic baseline every other
+    /// engine (interpreted plans, generated pipelines, baselines) is tested
+    /// against.
+    pub fn evaluate(&self, catalog: &dyn Fn(&str) -> Option<Vec<Value>>) -> Result<Value> {
+        self.check_bindings()?;
+        let mut acc = Accumulator::zero(self.monoid);
+        self.eval_qualifiers(0, &Env::new(), catalog, &mut acc)?;
+        Ok(acc.finish(self.monoid))
+    }
+
+    fn eval_qualifiers(
+        &self,
+        idx: usize,
+        env: &Env,
+        catalog: &dyn Fn(&str) -> Option<Vec<Value>>,
+        acc: &mut Accumulator,
+    ) -> Result<()> {
+        if idx == self.qualifiers.len() {
+            let v = self.head.eval(env)?;
+            return acc.merge(self.monoid, v);
+        }
+        match &self.qualifiers[idx] {
+            Qualifier::Predicate(pred) => {
+                if pred.eval(env)?.as_bool()? {
+                    self.eval_qualifiers(idx + 1, env, catalog, acc)?;
+                }
+                Ok(())
+            }
+            Qualifier::Generator { var, source } => {
+                let collection: Vec<Value> = match source {
+                    GeneratorSource::Dataset(name) => catalog(name).ok_or_else(|| {
+                        AlgebraError::UnknownField(format!("dataset {name} not registered"))
+                    })?,
+                    GeneratorSource::Path(path) => {
+                        let v = env.navigate(path)?;
+                        match v {
+                            Value::List(items) => items,
+                            Value::Null => Vec::new(),
+                            other => {
+                                return Err(AlgebraError::TypeMismatch {
+                                    op: format!("unnest {path}"),
+                                    detail: format!("{other:?} is not a collection"),
+                                })
+                            }
+                        }
+                    }
+                };
+                for item in collection {
+                    let inner = env.with(var.clone(), item);
+                    self.eval_qualifiers(idx + 1, &inner, catalog, acc)?;
+                }
+                Ok(())
+            }
+        }
+    }
+}
+
+impl fmt::Display for Comprehension {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "for {{ ")?;
+        for (i, q) in self.qualifiers.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{q}")?;
+        }
+        write!(f, " }} yield {} {}", self.monoid, self.head)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::BinaryOp;
+
+    /// The sailors/ships dataset of Example 3.1.
+    fn sailors() -> Vec<Value> {
+        vec![
+            Value::record(vec![
+                ("id", Value::Int(1)),
+                (
+                    "children",
+                    Value::List(vec![
+                        Value::record(vec![("name", Value::str("ann")), ("age", Value::Int(20))]),
+                        Value::record(vec![("name", Value::str("bob")), ("age", Value::Int(10))]),
+                    ]),
+                ),
+            ]),
+            Value::record(vec![
+                ("id", Value::Int(2)),
+                (
+                    "children",
+                    Value::List(vec![Value::record(vec![
+                        ("name", Value::str("eve")),
+                        ("age", Value::Int(30)),
+                    ])]),
+                ),
+            ]),
+        ]
+    }
+
+    fn ships() -> Vec<Value> {
+        vec![
+            Value::record(vec![
+                ("name", Value::str("Calypso")),
+                ("personnel", Value::List(vec![Value::Int(1)])),
+            ]),
+            Value::record(vec![
+                ("name", Value::str("Nautilus")),
+                ("personnel", Value::List(vec![Value::Int(2)])),
+            ]),
+        ]
+    }
+
+    fn catalog(name: &str) -> Option<Vec<Value>> {
+        match name {
+            "Sailor" => Some(sailors()),
+            "Ship" => Some(ships()),
+            _ => None,
+        }
+    }
+
+    /// Example 3.1: for each sailor return id, ship name and names of adult
+    /// children.
+    fn example_3_1() -> Comprehension {
+        Comprehension::new(
+            Monoid::Bag,
+            Expr::RecordCtor(vec![
+                ("id".into(), Expr::path("s1.id")),
+                ("ship".into(), Expr::path("s2.name")),
+                ("child".into(), Expr::path("c.name")),
+            ]),
+            vec![
+                Qualifier::Generator {
+                    var: "s1".into(),
+                    source: GeneratorSource::Dataset("Sailor".into()),
+                },
+                Qualifier::Generator {
+                    var: "c".into(),
+                    source: GeneratorSource::Path(Path::parse("s1.children")),
+                },
+                Qualifier::Generator {
+                    var: "s2".into(),
+                    source: GeneratorSource::Dataset("Ship".into()),
+                },
+                Qualifier::Generator {
+                    var: "p".into(),
+                    source: GeneratorSource::Path(Path::parse("s2.personnel")),
+                },
+                Qualifier::Predicate(Expr::path("s1.id").eq(Expr::path("p"))),
+                Qualifier::Predicate(Expr::path("c.age").gt(Expr::int(18))),
+            ],
+        )
+    }
+
+    #[test]
+    fn example_3_1_evaluates() {
+        let comp = example_3_1();
+        let result = comp.evaluate(&catalog).unwrap();
+        let rows = result.as_list().unwrap();
+        assert_eq!(rows.len(), 2);
+        let names: Vec<&str> = rows
+            .iter()
+            .map(|r| r.as_record().unwrap().get("child").unwrap().as_str().unwrap())
+            .collect();
+        assert!(names.contains(&"ann"));
+        assert!(names.contains(&"eve"));
+    }
+
+    #[test]
+    fn normalization_preserves_semantics() {
+        let comp = example_3_1();
+        let normalized = comp.normalize();
+        assert_eq!(
+            comp.evaluate(&catalog).unwrap(),
+            normalized.evaluate(&catalog).unwrap()
+        );
+    }
+
+    #[test]
+    fn normalization_splits_and_places_conjuncts() {
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![
+                Qualifier::Generator {
+                    var: "a".into(),
+                    source: GeneratorSource::Dataset("A".into()),
+                },
+                Qualifier::Generator {
+                    var: "b".into(),
+                    source: GeneratorSource::Dataset("B".into()),
+                },
+                Qualifier::Predicate(
+                    Expr::path("a.x")
+                        .gt(Expr::int(0))
+                        .and(Expr::path("b.y").lt(Expr::int(5))),
+                ),
+            ],
+        );
+        let norm = comp.normalize();
+        // The a.x predicate must now appear immediately after generator a.
+        match &norm.qualifiers[1] {
+            Qualifier::Predicate(e) => {
+                assert!(e.referenced_variables().contains("a"));
+                assert!(!e.referenced_variables().contains("b"));
+            }
+            other => panic!("expected predicate after generator a, got {other:?}"),
+        }
+        assert_eq!(norm.qualifiers.len(), 4);
+    }
+
+    #[test]
+    fn count_monoid_over_filter() {
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![
+                Qualifier::Generator {
+                    var: "s".into(),
+                    source: GeneratorSource::Dataset("Sailor".into()),
+                },
+                Qualifier::Predicate(Expr::path("s.id").gt(Expr::int(1))),
+            ],
+        );
+        assert_eq!(comp.evaluate(&catalog).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn sum_monoid_over_nested_collection() {
+        // Sum of ages of all children of all sailors.
+        let comp = Comprehension::new(
+            Monoid::Sum,
+            Expr::path("c.age"),
+            vec![
+                Qualifier::Generator {
+                    var: "s".into(),
+                    source: GeneratorSource::Dataset("Sailor".into()),
+                },
+                Qualifier::Generator {
+                    var: "c".into(),
+                    source: GeneratorSource::Path(Path::parse("s.children")),
+                },
+            ],
+        );
+        assert_eq!(comp.evaluate(&catalog).unwrap(), Value::Int(60));
+    }
+
+    #[test]
+    fn unbound_variable_is_rejected() {
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![Qualifier::Predicate(Expr::path("ghost.x").gt(Expr::int(0)))],
+        );
+        assert!(comp.check_bindings().is_err());
+        assert!(comp.evaluate(&catalog).is_err());
+    }
+
+    #[test]
+    fn path_generator_requires_bound_base() {
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![Qualifier::Generator {
+                var: "c".into(),
+                source: GeneratorSource::Path(Path::parse("nobody.children")),
+            }],
+        );
+        assert!(comp.check_bindings().is_err());
+    }
+
+    #[test]
+    fn missing_dataset_is_error() {
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![Qualifier::Generator {
+                var: "x".into(),
+                source: GeneratorSource::Dataset("Nope".into()),
+            }],
+        );
+        assert!(comp.evaluate(&catalog).is_err());
+    }
+
+    #[test]
+    fn display_round_trip_shape() {
+        let comp = example_3_1();
+        let s = comp.to_string();
+        assert!(s.starts_with("for {"));
+        assert!(s.contains("yield bag"));
+        assert!(s.contains("s1 <- Sailor"));
+    }
+
+    #[test]
+    fn arithmetic_in_predicate() {
+        // Sum where l.a + l.b < 10
+        let data = vec![
+            Value::record(vec![("a", Value::Int(3)), ("b", Value::Int(4))]),
+            Value::record(vec![("a", Value::Int(8)), ("b", Value::Int(5))]),
+        ];
+        let cat = move |name: &str| {
+            if name == "T" {
+                Some(data.clone())
+            } else {
+                None
+            }
+        };
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![
+                Qualifier::Generator {
+                    var: "l".into(),
+                    source: GeneratorSource::Dataset("T".into()),
+                },
+                Qualifier::Predicate(
+                    Expr::binary(BinaryOp::Add, Expr::path("l.a"), Expr::path("l.b"))
+                        .lt(Expr::int(10)),
+                ),
+            ],
+        );
+        assert_eq!(comp.evaluate(&cat).unwrap(), Value::Int(1));
+    }
+}

@@ -1,0 +1,233 @@
+//! The comprehension query syntax.
+//!
+//! §3: "For more powerful manipulations of flat data [...] and for queries
+//! over datasets containing hierarchies and nested collections (e.g., JSON
+//! arrays), Proteus currently exposes a query comprehension syntax". This
+//! module parses that syntax:
+//!
+//! ```text
+//! for { s1 <- Sailor, c <- s1.children, s2 <- Ship,
+//!       p <- s2.personnel, s1.id = p.id, c.age > 18 }
+//! yield bag (s1.id, s2.name, c.name)
+//! ```
+//!
+//! The yield clause accepts any monoid: `yield bag (...)`, `yield sum e`,
+//! `yield count`, `yield max e`, ... Record outputs can either name their
+//! fields (`yield bag (id: s1.id, ship: s2.name)`) or omit names, in which
+//! case the leaf of each path is used.
+
+use crate::calculus::{Comprehension, GeneratorSource, Qualifier};
+use crate::error::{AlgebraError, Result};
+use crate::expr::{Expr, Path};
+use crate::lexer::{tokenize, Cursor, Token};
+use crate::monoid::Monoid;
+use crate::sql::parse_expr;
+
+/// Parses a comprehension query string.
+pub fn parse_comprehension(input: &str) -> Result<Comprehension> {
+    let mut cur = Cursor::new(tokenize(input)?);
+    cur.expect_keyword("for")?;
+    cur.expect_symbol("{")?;
+
+    let mut qualifiers = Vec::new();
+    loop {
+        qualifiers.push(parse_qualifier(&mut cur)?);
+        if cur.eat_symbol(",") {
+            continue;
+        }
+        break;
+    }
+    cur.expect_symbol("}")?;
+    cur.expect_keyword("yield")?;
+
+    let monoid_name = cur.expect_ident()?;
+    let monoid = Monoid::parse(&monoid_name)?;
+
+    let head = if cur.is_done() {
+        // `yield count` with no head expression.
+        Expr::int(1)
+    } else if cur.eat_symbol("(") {
+        parse_head_tuple(&mut cur)?
+    } else {
+        parse_expr(&mut cur)?
+    };
+
+    if !cur.is_done() {
+        return Err(AlgebraError::Parse(format!(
+            "unexpected trailing tokens starting at {:?}",
+            cur.peek()
+        )));
+    }
+
+    Ok(Comprehension::new(monoid, head, qualifiers))
+}
+
+/// Parses one qualifier: either `var <- source` or a predicate expression.
+fn parse_qualifier(cur: &mut Cursor) -> Result<Qualifier> {
+    // Lookahead: IDENT '<-' means a generator.
+    let is_generator = matches!(cur.peek(), Some(Token::Ident(_)))
+        && cur.peek_ahead(1).map(|t| t.is_symbol("<-")).unwrap_or(false);
+    if is_generator {
+        let var = cur.expect_ident()?;
+        cur.expect_symbol("<-")?;
+        // Source: either a dataset name or a dotted path.
+        let first = cur.expect_ident()?;
+        if cur.peek().map(|t| t.is_symbol(".")).unwrap_or(false) {
+            let mut segments = Vec::new();
+            while cur.eat_symbol(".") {
+                segments.push(cur.expect_ident()?);
+            }
+            Ok(Qualifier::Generator {
+                var,
+                source: GeneratorSource::Path(Path {
+                    base: first,
+                    segments,
+                }),
+            })
+        } else {
+            Ok(Qualifier::Generator {
+                var,
+                source: GeneratorSource::Dataset(first),
+            })
+        }
+    } else {
+        Ok(Qualifier::Predicate(parse_expr(cur)?))
+    }
+}
+
+/// Parses the parenthesized head tuple: `(e1, e2, ...)` or
+/// `(name1: e1, name2: e2, ...)`. Returns a record constructor.
+fn parse_head_tuple(cur: &mut Cursor) -> Result<Expr> {
+    let mut fields: Vec<(String, Expr)> = Vec::new();
+    loop {
+        // Optional `name:` prefix — an identifier followed by ':'. The lexer
+        // has no ':' token, so names are detected as IDENT then ':' is not
+        // produced; instead we accept `name = expr`? Keep it simple: a field
+        // is named when the expression is a bare path, in which case its leaf
+        // becomes the field name; otherwise a positional name is assigned.
+        let expr = parse_expr(cur)?;
+        let name = match &expr {
+            Expr::Path(p) => {
+                let base_name = p.dotted().replace('.', "_");
+                // Disambiguate duplicates (e.g. two fields ending in `name`).
+                if fields.iter().any(|(n, _)| *n == base_name) {
+                    format!("{base_name}_{}", fields.len())
+                } else {
+                    base_name
+                }
+            }
+            _ => format!("_{}", fields.len() + 1),
+        };
+        fields.push((name, expr));
+        if cur.eat_symbol(",") {
+            continue;
+        }
+        break;
+    }
+    cur.expect_symbol(")")?;
+    if fields.len() == 1 {
+        // A single-element tuple is just the expression itself.
+        Ok(fields.remove(0).1)
+    } else {
+        Ok(Expr::RecordCtor(fields))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::value::Value;
+
+    #[test]
+    fn parses_example_3_1() {
+        let comp = parse_comprehension(
+            "for { s1 <- Sailor, c <- s1.children, s2 <- Ship, \
+             p <- s2.personnel, s1.id = p.id, c.age > 18 } \
+             yield bag (s1.id, s2.name, c.name)",
+        )
+        .unwrap();
+        assert_eq!(comp.monoid, Monoid::Bag);
+        assert_eq!(comp.generator_vars(), vec!["s1", "c", "s2", "p"]);
+        assert_eq!(comp.datasets(), vec!["Sailor", "Ship"]);
+        assert!(comp.check_bindings().is_ok());
+    }
+
+    #[test]
+    fn parses_scalar_monoids() {
+        let comp = parse_comprehension(
+            "for { l <- lineitem, l.l_orderkey < 100 } yield sum l.l_quantity",
+        )
+        .unwrap();
+        assert_eq!(comp.monoid, Monoid::Sum);
+        assert_eq!(comp.head, Expr::path("l.l_quantity"));
+    }
+
+    #[test]
+    fn parses_bare_count() {
+        let comp = parse_comprehension("for { l <- lineitem } yield count").unwrap();
+        assert_eq!(comp.monoid, Monoid::Count);
+        assert_eq!(comp.head, Expr::int(1));
+    }
+
+    #[test]
+    fn end_to_end_evaluation() {
+        let comp = parse_comprehension(
+            "for { s <- Sailor, c <- s.children, c.age > 18 } yield count",
+        )
+        .unwrap();
+        let catalog = |name: &str| {
+            if name == "Sailor" {
+                Some(vec![Value::record(vec![
+                    ("id", Value::Int(1)),
+                    (
+                        "children",
+                        Value::List(vec![
+                            Value::record(vec![("age", Value::Int(20))]),
+                            Value::record(vec![("age", Value::Int(5))]),
+                        ]),
+                    ),
+                ])])
+            } else {
+                None
+            }
+        };
+        assert_eq!(comp.evaluate(&catalog).unwrap(), Value::Int(1));
+    }
+
+    #[test]
+    fn single_element_tuple_is_plain_expr() {
+        let comp =
+            parse_comprehension("for { l <- lineitem } yield bag (l.l_orderkey)").unwrap();
+        assert_eq!(comp.head, Expr::path("l.l_orderkey"));
+    }
+
+    #[test]
+    fn duplicate_leaf_names_are_disambiguated() {
+        let comp = parse_comprehension(
+            "for { a <- A, b <- B } yield bag (a.name, b.name)",
+        )
+        .unwrap();
+        match comp.head {
+            Expr::RecordCtor(fields) => {
+                assert_eq!(fields.len(), 2);
+                assert_ne!(fields[0].0, fields[1].0);
+            }
+            other => panic!("expected record ctor, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn missing_yield_is_error() {
+        assert!(parse_comprehension("for { l <- lineitem }").is_err());
+    }
+
+    #[test]
+    fn unknown_monoid_is_error() {
+        assert!(parse_comprehension("for { l <- lineitem } yield median l.x").is_err());
+    }
+
+    #[test]
+    fn trailing_tokens_are_error() {
+        assert!(parse_comprehension("for { l <- lineitem } yield sum l.x 42 extra").is_err());
+    }
+}

@@ -1,0 +1,73 @@
+//! Error type shared by the algebra layer.
+
+use std::fmt;
+
+/// Errors produced while parsing, translating, rewriting or evaluating
+/// expressions and plans.
+#[derive(Debug, Clone, PartialEq)]
+pub enum AlgebraError {
+    /// A query string could not be parsed.
+    Parse(String),
+    /// An expression referenced a field or variable that is not bound.
+    UnknownField(String),
+    /// Two values of incompatible types met in an operation.
+    TypeMismatch {
+        /// Human-readable description of the operation.
+        op: String,
+        /// Description of the offending operands.
+        detail: String,
+    },
+    /// A plan or expression is structurally invalid.
+    InvalidPlan(String),
+    /// Arithmetic failure (division by zero, overflow).
+    Arithmetic(String),
+    /// Generic unsupported-feature error.
+    Unsupported(String),
+}
+
+impl fmt::Display for AlgebraError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            AlgebraError::Parse(msg) => write!(f, "parse error: {msg}"),
+            AlgebraError::UnknownField(name) => write!(f, "unknown field or variable: {name}"),
+            AlgebraError::TypeMismatch { op, detail } => {
+                write!(f, "type mismatch in {op}: {detail}")
+            }
+            AlgebraError::InvalidPlan(msg) => write!(f, "invalid plan: {msg}"),
+            AlgebraError::Arithmetic(msg) => write!(f, "arithmetic error: {msg}"),
+            AlgebraError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for AlgebraError {}
+
+/// Convenience result alias for this crate.
+pub type Result<T> = std::result::Result<T, AlgebraError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_parse_error() {
+        let err = AlgebraError::Parse("unexpected token".into());
+        assert_eq!(err.to_string(), "parse error: unexpected token");
+    }
+
+    #[test]
+    fn display_type_mismatch() {
+        let err = AlgebraError::TypeMismatch {
+            op: "+".into(),
+            detail: "int vs string".into(),
+        };
+        assert!(err.to_string().contains("type mismatch"));
+        assert!(err.to_string().contains("int vs string"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn assert_err<E: std::error::Error>(_e: &E) {}
+        assert_err(&AlgebraError::Unsupported("x".into()));
+    }
+}

@@ -1,0 +1,813 @@
+//! The expression language shared by the calculus, the algebra and the
+//! execution engines.
+//!
+//! Expressions reference values bound by generators/operators through
+//! [`Path`]s (`variable.field.subfield`), combine them with arithmetic,
+//! comparison and boolean operators, construct new records ("new record
+//! constructions" are one of the cacheable expression classes of §6), and
+//! include conditionals.
+
+use std::collections::BTreeSet;
+use std::fmt;
+
+use crate::error::{AlgebraError, Result};
+use crate::value::{Record, Value};
+
+/// A navigation path: a base variable plus zero or more field segments.
+///
+/// `s1.children` is `Path { base: "s1", segments: ["children"] }`.
+#[derive(Debug, Clone, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct Path {
+    /// The bound variable (generator variable, scan alias, unnest alias).
+    pub base: String,
+    /// Field segments navigated inside the bound value.
+    pub segments: Vec<String>,
+}
+
+impl Path {
+    /// A path that is just a variable reference.
+    pub fn var(base: impl Into<String>) -> Path {
+        Path {
+            base: base.into(),
+            segments: Vec::new(),
+        }
+    }
+
+    /// Builds a path from a base variable and field segments.
+    pub fn new(base: impl Into<String>, segments: Vec<&str>) -> Path {
+        Path {
+            base: base.into(),
+            segments: segments.into_iter().map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Parses a dotted string `base.f1.f2` into a path.
+    pub fn parse(dotted: &str) -> Path {
+        let mut parts = dotted.split('.');
+        let base = parts.next().unwrap_or_default().to_string();
+        Path {
+            base,
+            segments: parts.map(|s| s.to_string()).collect(),
+        }
+    }
+
+    /// Appends one more field segment.
+    pub fn child(&self, segment: impl Into<String>) -> Path {
+        let mut p = self.clone();
+        p.segments.push(segment.into());
+        p
+    }
+
+    /// The final field name (or the base variable if there are no segments).
+    pub fn leaf(&self) -> &str {
+        self.segments
+            .last()
+            .map(|s| s.as_str())
+            .unwrap_or(self.base.as_str())
+    }
+
+    /// Dotted rendering of the full path.
+    pub fn dotted(&self) -> String {
+        if self.segments.is_empty() {
+            self.base.clone()
+        } else {
+            format!("{}.{}", self.base, self.segments.join("."))
+        }
+    }
+}
+
+impl fmt::Display for Path {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", self.dotted())
+    }
+}
+
+/// Binary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum BinaryOp {
+    /// Addition.
+    Add,
+    /// Subtraction.
+    Sub,
+    /// Multiplication.
+    Mul,
+    /// Division.
+    Div,
+    /// Modulo.
+    Mod,
+    /// Equality (value semantics, numeric-widening).
+    Eq,
+    /// Inequality.
+    Neq,
+    /// Less-than.
+    Lt,
+    /// Less-than-or-equal.
+    Le,
+    /// Greater-than.
+    Gt,
+    /// Greater-than-or-equal.
+    Ge,
+    /// Logical and.
+    And,
+    /// Logical or.
+    Or,
+}
+
+impl BinaryOp {
+    /// True for comparison operators producing booleans.
+    pub fn is_comparison(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+        )
+    }
+
+    /// True for `And`/`Or`.
+    pub fn is_logical(&self) -> bool {
+        matches!(self, BinaryOp::And | BinaryOp::Or)
+    }
+
+    /// True for arithmetic operators.
+    pub fn is_arithmetic(&self) -> bool {
+        matches!(
+            self,
+            BinaryOp::Add | BinaryOp::Sub | BinaryOp::Mul | BinaryOp::Div | BinaryOp::Mod
+        )
+    }
+}
+
+impl fmt::Display for BinaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            BinaryOp::Add => "+",
+            BinaryOp::Sub => "-",
+            BinaryOp::Mul => "*",
+            BinaryOp::Div => "/",
+            BinaryOp::Mod => "%",
+            BinaryOp::Eq => "=",
+            BinaryOp::Neq => "<>",
+            BinaryOp::Lt => "<",
+            BinaryOp::Le => "<=",
+            BinaryOp::Gt => ">",
+            BinaryOp::Ge => ">=",
+            BinaryOp::And => "AND",
+            BinaryOp::Or => "OR",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Unary operators.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum UnaryOp {
+    /// Logical negation.
+    Not,
+    /// Arithmetic negation.
+    Neg,
+    /// IS NULL test.
+    IsNull,
+}
+
+impl fmt::Display for UnaryOp {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            UnaryOp::Not => write!(f, "NOT"),
+            UnaryOp::Neg => write!(f, "-"),
+            UnaryOp::IsNull => write!(f, "IS NULL"),
+        }
+    }
+}
+
+/// An expression of the nested relational algebra.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Expr {
+    /// A constant.
+    Literal(Value),
+    /// A navigation path rooted at a bound variable.
+    Path(Path),
+    /// A binary operation.
+    Binary {
+        /// Operator.
+        op: BinaryOp,
+        /// Left operand.
+        left: Box<Expr>,
+        /// Right operand.
+        right: Box<Expr>,
+    },
+    /// A unary operation.
+    Unary {
+        /// Operator.
+        op: UnaryOp,
+        /// Operand.
+        expr: Box<Expr>,
+    },
+    /// Record construction `< name1: e1, name2: e2 >`.
+    RecordCtor(Vec<(String, Expr)>),
+    /// Conditional expression.
+    If {
+        /// Condition.
+        cond: Box<Expr>,
+        /// Value when the condition holds.
+        then: Box<Expr>,
+        /// Value otherwise.
+        otherwise: Box<Expr>,
+    },
+    /// Substring containment test `haystack LIKE '%needle%'` — string
+    /// predicates appear in the Symantec workload (Q12/Q13/Q18/Q21).
+    Contains {
+        /// Expression producing the haystack string.
+        expr: Box<Expr>,
+        /// Constant needle.
+        needle: String,
+    },
+}
+
+impl Expr {
+    /// Integer literal shorthand.
+    pub fn int(v: i64) -> Expr {
+        Expr::Literal(Value::Int(v))
+    }
+
+    /// Float literal shorthand.
+    pub fn float(v: f64) -> Expr {
+        Expr::Literal(Value::Float(v))
+    }
+
+    /// String literal shorthand.
+    pub fn string(v: impl Into<String>) -> Expr {
+        Expr::Literal(Value::Str(v.into()))
+    }
+
+    /// Boolean literal shorthand.
+    pub fn boolean(v: bool) -> Expr {
+        Expr::Literal(Value::Bool(v))
+    }
+
+    /// Path shorthand from a dotted string.
+    pub fn path(dotted: &str) -> Expr {
+        Expr::Path(Path::parse(dotted))
+    }
+
+    /// Builds a binary expression.
+    pub fn binary(op: BinaryOp, left: Expr, right: Expr) -> Expr {
+        Expr::Binary {
+            op,
+            left: Box::new(left),
+            right: Box::new(right),
+        }
+    }
+
+    /// `self AND other` (no simplification).
+    pub fn and(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::And, self, other)
+    }
+
+    /// `self OR other`.
+    pub fn or(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Or, self, other)
+    }
+
+    /// `self < other`.
+    pub fn lt(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Lt, self, other)
+    }
+
+    /// `self = other`.
+    pub fn eq(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Eq, self, other)
+    }
+
+    /// `self > other`.
+    pub fn gt(self, other: Expr) -> Expr {
+        Expr::binary(BinaryOp::Gt, self, other)
+    }
+
+    /// Conjunction of a list of predicates (true if the list is empty).
+    pub fn conjunction(mut preds: Vec<Expr>) -> Expr {
+        match preds.len() {
+            0 => Expr::boolean(true),
+            1 => preds.remove(0),
+            _ => {
+                let first = preds.remove(0);
+                preds.into_iter().fold(first, |acc, p| acc.and(p))
+            }
+        }
+    }
+
+    /// Splits a conjunction into its conjuncts (the inverse of
+    /// [`Expr::conjunction`]); used by selection pushdown and by the join
+    /// operator to separate equi-join keys from residual filters.
+    pub fn split_conjunction(&self) -> Vec<Expr> {
+        match self {
+            Expr::Binary {
+                op: BinaryOp::And,
+                left,
+                right,
+            } => {
+                let mut out = left.split_conjunction();
+                out.extend(right.split_conjunction());
+                out
+            }
+            other => vec![other.clone()],
+        }
+    }
+
+    /// All paths referenced by the expression, in a stable order.
+    pub fn referenced_paths(&self) -> Vec<Path> {
+        let mut set = BTreeSet::new();
+        self.collect_paths(&mut set);
+        set.into_iter().collect()
+    }
+
+    fn collect_paths(&self, out: &mut BTreeSet<Path>) {
+        match self {
+            Expr::Literal(_) => {}
+            Expr::Path(p) => {
+                out.insert(p.clone());
+            }
+            Expr::Binary { left, right, .. } => {
+                left.collect_paths(out);
+                right.collect_paths(out);
+            }
+            Expr::Unary { expr, .. } => expr.collect_paths(out),
+            Expr::RecordCtor(fields) => {
+                for (_, e) in fields {
+                    e.collect_paths(out);
+                }
+            }
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                cond.collect_paths(out);
+                then.collect_paths(out);
+                otherwise.collect_paths(out);
+            }
+            Expr::Contains { expr, .. } => expr.collect_paths(out),
+        }
+    }
+
+    /// The set of base variables (generator/scan aliases) the expression
+    /// depends on. Drives join-side routing during translation and pushdown.
+    pub fn referenced_variables(&self) -> BTreeSet<String> {
+        self.referenced_paths()
+            .into_iter()
+            .map(|p| p.base)
+            .collect()
+    }
+
+    /// Rewrites every path whose base is `from` to use base `to`.
+    pub fn rename_base(&self, from: &str, to: &str) -> Expr {
+        self.transform_paths(&|p: &Path| {
+            if p.base == from {
+                let mut q = p.clone();
+                q.base = to.to_string();
+                q
+            } else {
+                p.clone()
+            }
+        })
+    }
+
+    /// Structural path rewrite helper.
+    pub fn transform_paths(&self, f: &impl Fn(&Path) -> Path) -> Expr {
+        match self {
+            Expr::Literal(v) => Expr::Literal(v.clone()),
+            Expr::Path(p) => Expr::Path(f(p)),
+            Expr::Binary { op, left, right } => Expr::Binary {
+                op: *op,
+                left: Box::new(left.transform_paths(f)),
+                right: Box::new(right.transform_paths(f)),
+            },
+            Expr::Unary { op, expr } => Expr::Unary {
+                op: *op,
+                expr: Box::new(expr.transform_paths(f)),
+            },
+            Expr::RecordCtor(fields) => Expr::RecordCtor(
+                fields
+                    .iter()
+                    .map(|(n, e)| (n.clone(), e.transform_paths(f)))
+                    .collect(),
+            ),
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => Expr::If {
+                cond: Box::new(cond.transform_paths(f)),
+                then: Box::new(then.transform_paths(f)),
+                otherwise: Box::new(otherwise.transform_paths(f)),
+            },
+            Expr::Contains { expr, needle } => Expr::Contains {
+                expr: Box::new(expr.transform_paths(f)),
+                needle: needle.clone(),
+            },
+        }
+    }
+
+    /// Evaluates the expression against an environment of bound variables.
+    pub fn eval(&self, env: &Env) -> Result<Value> {
+        match self {
+            Expr::Literal(v) => Ok(v.clone()),
+            Expr::Path(p) => env.navigate(p),
+            Expr::Binary { op, left, right } => {
+                // Short-circuit logical operators.
+                if *op == BinaryOp::And {
+                    if !left.eval(env)?.as_bool()? {
+                        return Ok(Value::Bool(false));
+                    }
+                    return Ok(Value::Bool(right.eval(env)?.as_bool()?));
+                }
+                if *op == BinaryOp::Or {
+                    if left.eval(env)?.as_bool()? {
+                        return Ok(Value::Bool(true));
+                    }
+                    return Ok(Value::Bool(right.eval(env)?.as_bool()?));
+                }
+                let l = left.eval(env)?;
+                let r = right.eval(env)?;
+                eval_binary(*op, &l, &r)
+            }
+            Expr::Unary { op, expr } => {
+                let v = expr.eval(env)?;
+                match op {
+                    UnaryOp::Not => Ok(Value::Bool(!v.as_bool()?)),
+                    UnaryOp::Neg => match v {
+                        Value::Int(i) => Ok(Value::Int(-i)),
+                        Value::Float(f) => Ok(Value::Float(-f)),
+                        other => Err(AlgebraError::TypeMismatch {
+                            op: "negation".into(),
+                            detail: format!("{other:?}"),
+                        }),
+                    },
+                    UnaryOp::IsNull => Ok(Value::Bool(v.is_null())),
+                }
+            }
+            Expr::RecordCtor(fields) => {
+                let mut rec = Record::empty();
+                for (name, e) in fields {
+                    rec.set(name.clone(), e.eval(env)?);
+                }
+                Ok(Value::Record(rec))
+            }
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => {
+                if cond.eval(env)?.as_bool()? {
+                    then.eval(env)
+                } else {
+                    otherwise.eval(env)
+                }
+            }
+            Expr::Contains { expr, needle } => {
+                let v = expr.eval(env)?;
+                match v {
+                    Value::Str(s) => Ok(Value::Bool(s.contains(needle.as_str()))),
+                    Value::Null => Ok(Value::Bool(false)),
+                    other => Err(AlgebraError::TypeMismatch {
+                        op: "contains".into(),
+                        detail: format!("{other:?} is not a string"),
+                    }),
+                }
+            }
+        }
+    }
+}
+
+/// Evaluates a non-logical binary operator over two values.
+pub fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
+    use BinaryOp::*;
+    if op.is_comparison() {
+        // Null comparisons are false except for Neq against non-null,
+        // mirroring SQL three-valued logic collapsed to two values.
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Bool(matches!(op, Neq) && (l.is_null() ^ r.is_null())));
+        }
+        let ord = l.total_cmp(r);
+        let b = match op {
+            Eq => ord == std::cmp::Ordering::Equal,
+            Neq => ord != std::cmp::Ordering::Equal,
+            Lt => ord == std::cmp::Ordering::Less,
+            Le => ord != std::cmp::Ordering::Greater,
+            Gt => ord == std::cmp::Ordering::Greater,
+            Ge => ord != std::cmp::Ordering::Less,
+            _ => unreachable!(),
+        };
+        return Ok(Value::Bool(b));
+    }
+    if op.is_arithmetic() {
+        if l.is_null() || r.is_null() {
+            return Ok(Value::Null);
+        }
+        // Integer arithmetic stays integral; anything involving a float
+        // widens to float, as in the paper's numeric workloads.
+        match (l, r) {
+            (Value::Int(a), Value::Int(b)) => {
+                let v = match op {
+                    Add => a.wrapping_add(*b),
+                    Sub => a.wrapping_sub(*b),
+                    Mul => a.wrapping_mul(*b),
+                    Div => {
+                        if *b == 0 {
+                            return Err(AlgebraError::Arithmetic("integer division by zero".into()));
+                        }
+                        a / b
+                    }
+                    Mod => {
+                        if *b == 0 {
+                            return Err(AlgebraError::Arithmetic("integer modulo by zero".into()));
+                        }
+                        a % b
+                    }
+                    _ => unreachable!(),
+                };
+                Ok(Value::Int(v))
+            }
+            _ => {
+                let a = l.as_float()?;
+                let b = r.as_float()?;
+                let v = match op {
+                    Add => a + b,
+                    Sub => a - b,
+                    Mul => a * b,
+                    Div => a / b,
+                    Mod => a % b,
+                    _ => unreachable!(),
+                };
+                Ok(Value::Float(v))
+            }
+        }
+    } else {
+        Err(AlgebraError::Unsupported(format!(
+            "operator {op} must be evaluated with short-circuit logic"
+        )))
+    }
+}
+
+/// An evaluation environment: variable bindings introduced by scans,
+/// unnests and join sides.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct Env {
+    bindings: Vec<(String, Value)>,
+}
+
+impl Env {
+    /// Empty environment.
+    pub fn new() -> Env {
+        Env {
+            bindings: Vec::new(),
+        }
+    }
+
+    /// Environment with a single binding.
+    pub fn single(name: impl Into<String>, value: Value) -> Env {
+        let mut env = Env::new();
+        env.bind(name, value);
+        env
+    }
+
+    /// Binds (or rebinds) a variable.
+    pub fn bind(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        if let Some(slot) = self.bindings.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.bindings.push((name, value));
+        }
+    }
+
+    /// Returns a new environment extended with one more binding.
+    pub fn with(&self, name: impl Into<String>, value: Value) -> Env {
+        let mut env = self.clone();
+        env.bind(name, value);
+        env
+    }
+
+    /// Looks a variable up.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.bindings.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Merges another environment into this one (other wins on clash).
+    pub fn merge(&mut self, other: &Env) {
+        for (n, v) in &other.bindings {
+            self.bind(n.clone(), v.clone());
+        }
+    }
+
+    /// Bound variable names.
+    pub fn names(&self) -> Vec<&str> {
+        self.bindings.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Navigates a path: looks up the base variable then walks its segments.
+    pub fn navigate(&self, path: &Path) -> Result<Value> {
+        let base = self
+            .get(&path.base)
+            .ok_or_else(|| AlgebraError::UnknownField(path.base.clone()))?;
+        Ok(base.navigate(&path.segments))
+    }
+}
+
+impl fmt::Display for Expr {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Expr::Literal(v) => write!(f, "{v}"),
+            Expr::Path(p) => write!(f, "{p}"),
+            Expr::Binary { op, left, right } => write!(f, "({left} {op} {right})"),
+            Expr::Unary { op, expr } => match op {
+                UnaryOp::IsNull => write!(f, "({expr} IS NULL)"),
+                _ => write!(f, "({op} {expr})"),
+            },
+            Expr::RecordCtor(fields) => {
+                write!(f, "<")?;
+                for (i, (n, e)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {e}")?;
+                }
+                write!(f, ">")
+            }
+            Expr::If {
+                cond,
+                then,
+                otherwise,
+            } => write!(f, "if {cond} then {then} else {otherwise}"),
+            Expr::Contains { expr, needle } => write!(f, "contains({expr}, \"{needle}\")"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn env_with_lineitem() -> Env {
+        Env::single(
+            "l",
+            Value::record(vec![
+                ("l_orderkey", Value::Int(42)),
+                ("l_quantity", Value::Float(17.0)),
+                ("l_comment", Value::str("quick brown fox")),
+            ]),
+        )
+    }
+
+    #[test]
+    fn path_parse_and_dotted() {
+        let p = Path::parse("s1.children.age");
+        assert_eq!(p.base, "s1");
+        assert_eq!(p.segments, vec!["children", "age"]);
+        assert_eq!(p.dotted(), "s1.children.age");
+        assert_eq!(p.leaf(), "age");
+        assert_eq!(Path::parse("x").leaf(), "x");
+    }
+
+    #[test]
+    fn eval_arithmetic_and_comparison() {
+        let env = env_with_lineitem();
+        let e = Expr::path("l.l_orderkey").lt(Expr::int(100));
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(true));
+
+        let e = Expr::binary(
+            BinaryOp::Mul,
+            Expr::path("l.l_quantity"),
+            Expr::float(2.0),
+        );
+        assert_eq!(e.eval(&env).unwrap(), Value::Float(34.0));
+    }
+
+    #[test]
+    fn eval_mixed_int_float_widens() {
+        let env = Env::new();
+        let e = Expr::binary(BinaryOp::Add, Expr::int(1), Expr::float(2.5));
+        assert_eq!(e.eval(&env).unwrap(), Value::Float(3.5));
+    }
+
+    #[test]
+    fn division_by_zero_is_error() {
+        let env = Env::new();
+        let e = Expr::binary(BinaryOp::Div, Expr::int(1), Expr::int(0));
+        assert!(matches!(e.eval(&env), Err(AlgebraError::Arithmetic(_))));
+    }
+
+    #[test]
+    fn logical_short_circuit() {
+        let env = Env::new();
+        // Right side would error if evaluated.
+        let e = Expr::boolean(false).and(Expr::binary(
+            BinaryOp::Div,
+            Expr::int(1),
+            Expr::int(0),
+        ));
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(false));
+        let e = Expr::boolean(true).or(Expr::binary(BinaryOp::Div, Expr::int(1), Expr::int(0)));
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn record_ctor_builds_records() {
+        let env = env_with_lineitem();
+        let e = Expr::RecordCtor(vec![
+            ("key".into(), Expr::path("l.l_orderkey")),
+            ("double_qty".into(), Expr::binary(
+                BinaryOp::Mul,
+                Expr::path("l.l_quantity"),
+                Expr::int(2),
+            )),
+        ]);
+        let v = e.eval(&env).unwrap();
+        let rec = v.as_record().unwrap();
+        assert_eq!(rec.get("key"), Some(&Value::Int(42)));
+        assert_eq!(rec.get("double_qty"), Some(&Value::Float(34.0)));
+    }
+
+    #[test]
+    fn contains_predicate() {
+        let env = env_with_lineitem();
+        let e = Expr::Contains {
+            expr: Box::new(Expr::path("l.l_comment")),
+            needle: "brown".into(),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(true));
+        let e = Expr::Contains {
+            expr: Box::new(Expr::path("l.l_comment")),
+            needle: "purple".into(),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn null_comparisons_are_false() {
+        let env = Env::single("x", Value::record(vec![("a", Value::Null)]));
+        let e = Expr::path("x.a").lt(Expr::int(5));
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(false));
+        let e = Expr::Unary {
+            op: UnaryOp::IsNull,
+            expr: Box::new(Expr::path("x.a")),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::Bool(true));
+    }
+
+    #[test]
+    fn referenced_paths_and_variables() {
+        let e = Expr::path("o.o_orderkey")
+            .eq(Expr::path("l.l_orderkey"))
+            .and(Expr::path("l.l_quantity").gt(Expr::int(5)));
+        let paths = e.referenced_paths();
+        assert_eq!(paths.len(), 3);
+        let vars = e.referenced_variables();
+        assert!(vars.contains("o") && vars.contains("l"));
+    }
+
+    #[test]
+    fn split_conjunction_roundtrip() {
+        let parts = vec![
+            Expr::path("l.a").lt(Expr::int(1)),
+            Expr::path("l.b").gt(Expr::int(2)),
+            Expr::path("l.c").eq(Expr::int(3)),
+        ];
+        let conj = Expr::conjunction(parts.clone());
+        assert_eq!(conj.split_conjunction(), parts);
+    }
+
+    #[test]
+    fn rename_base_rewrites_paths() {
+        let e = Expr::path("old.a").lt(Expr::path("keep.b"));
+        let renamed = e.rename_base("old", "new");
+        let vars = renamed.referenced_variables();
+        assert!(vars.contains("new"));
+        assert!(vars.contains("keep"));
+        assert!(!vars.contains("old"));
+    }
+
+    #[test]
+    fn unknown_variable_is_error() {
+        let env = Env::new();
+        assert!(matches!(
+            Expr::path("ghost.x").eval(&env),
+            Err(AlgebraError::UnknownField(_))
+        ));
+    }
+
+    #[test]
+    fn if_expression() {
+        let env = Env::new();
+        let e = Expr::If {
+            cond: Box::new(Expr::int(1).lt(Expr::int(2))),
+            then: Box::new(Expr::string("yes")),
+            otherwise: Box::new(Expr::string("no")),
+        };
+        assert_eq!(e.eval(&env).unwrap(), Value::str("yes"));
+    }
+
+    #[test]
+    fn display_renders_sql_like_text() {
+        let e = Expr::path("l.l_orderkey").lt(Expr::int(10));
+        assert_eq!(e.to_string(), "(l.l_orderkey < 10)");
+    }
+}

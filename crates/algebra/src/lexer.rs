@@ -1,0 +1,264 @@
+//! A small tokenizer shared by the SQL and comprehension front-ends.
+
+use crate::error::{AlgebraError, Result};
+
+/// A lexical token.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Token {
+    /// Identifier or keyword (case preserved; keyword matching is
+    /// case-insensitive at the parser level).
+    Ident(String),
+    /// Integer literal.
+    Int(i64),
+    /// Float literal.
+    Float(f64),
+    /// Single-quoted string literal (quotes stripped, `''` unescaped).
+    Str(String),
+    /// Punctuation / operator token.
+    Symbol(String),
+}
+
+impl Token {
+    /// True if the token is the given keyword (case-insensitive).
+    pub fn is_keyword(&self, kw: &str) -> bool {
+        matches!(self, Token::Ident(s) if s.eq_ignore_ascii_case(kw))
+    }
+
+    /// True if the token is the given symbol.
+    pub fn is_symbol(&self, sym: &str) -> bool {
+        matches!(self, Token::Symbol(s) if s == sym)
+    }
+}
+
+/// Tokenizes a query string.
+pub fn tokenize(input: &str) -> Result<Vec<Token>> {
+    let mut tokens = Vec::new();
+    let chars: Vec<char> = input.chars().collect();
+    let mut i = 0;
+    while i < chars.len() {
+        let c = chars[i];
+        if c.is_whitespace() {
+            i += 1;
+            continue;
+        }
+        if c.is_ascii_alphabetic() || c == '_' {
+            let start = i;
+            while i < chars.len() && (chars[i].is_ascii_alphanumeric() || chars[i] == '_') {
+                i += 1;
+            }
+            tokens.push(Token::Ident(chars[start..i].iter().collect()));
+            continue;
+        }
+        if c.is_ascii_digit() {
+            let start = i;
+            let mut is_float = false;
+            while i < chars.len()
+                && (chars[i].is_ascii_digit()
+                    || (chars[i] == '.' && i + 1 < chars.len() && chars[i + 1].is_ascii_digit()))
+            {
+                if chars[i] == '.' {
+                    is_float = true;
+                }
+                i += 1;
+            }
+            let text: String = chars[start..i].iter().collect();
+            if is_float {
+                let v = text
+                    .parse::<f64>()
+                    .map_err(|e| AlgebraError::Parse(format!("bad float literal {text}: {e}")))?;
+                tokens.push(Token::Float(v));
+            } else {
+                let v = text
+                    .parse::<i64>()
+                    .map_err(|e| AlgebraError::Parse(format!("bad int literal {text}: {e}")))?;
+                tokens.push(Token::Int(v));
+            }
+            continue;
+        }
+        if c == '\'' {
+            i += 1;
+            let mut s = String::new();
+            loop {
+                if i >= chars.len() {
+                    return Err(AlgebraError::Parse("unterminated string literal".into()));
+                }
+                if chars[i] == '\'' {
+                    if i + 1 < chars.len() && chars[i + 1] == '\'' {
+                        s.push('\'');
+                        i += 2;
+                        continue;
+                    }
+                    i += 1;
+                    break;
+                }
+                s.push(chars[i]);
+                i += 1;
+            }
+            tokens.push(Token::Str(s));
+            continue;
+        }
+        // Multi-character operators.
+        let two: String = chars[i..chars.len().min(i + 2)].iter().collect();
+        if ["<=", ">=", "<>", "!=", "<-"].contains(&two.as_str()) {
+            tokens.push(Token::Symbol(two));
+            i += 2;
+            continue;
+        }
+        if "+-*/%<>=(),.{}[]".contains(c) {
+            tokens.push(Token::Symbol(c.to_string()));
+            i += 1;
+            continue;
+        }
+        return Err(AlgebraError::Parse(format!(
+            "unexpected character '{c}' at offset {i}"
+        )));
+    }
+    Ok(tokens)
+}
+
+/// A cursor over a token stream with the helpers recursive-descent parsers
+/// need.
+#[derive(Debug)]
+pub struct Cursor {
+    tokens: Vec<Token>,
+    pos: usize,
+}
+
+impl Cursor {
+    /// Creates a cursor over tokens.
+    pub fn new(tokens: Vec<Token>) -> Self {
+        Cursor { tokens, pos: 0 }
+    }
+
+    /// Current token, if any.
+    pub fn peek(&self) -> Option<&Token> {
+        self.tokens.get(self.pos)
+    }
+
+    /// Token at `offset` positions ahead of the current one.
+    pub fn peek_ahead(&self, offset: usize) -> Option<&Token> {
+        self.tokens.get(self.pos + offset)
+    }
+
+    /// Advances and returns the current token.
+    pub fn next(&mut self) -> Option<Token> {
+        let t = self.tokens.get(self.pos).cloned();
+        if t.is_some() {
+            self.pos += 1;
+        }
+        t
+    }
+
+    /// True when all tokens were consumed.
+    pub fn is_done(&self) -> bool {
+        self.pos >= self.tokens.len()
+    }
+
+    /// Consumes the next token if it is the given keyword.
+    pub fn eat_keyword(&mut self, kw: &str) -> bool {
+        if self.peek().map(|t| t.is_keyword(kw)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the next token if it is the given symbol.
+    pub fn eat_symbol(&mut self, sym: &str) -> bool {
+        if self.peek().map(|t| t.is_symbol(sym)).unwrap_or(false) {
+            self.pos += 1;
+            true
+        } else {
+            false
+        }
+    }
+
+    /// Consumes the given symbol or errors.
+    pub fn expect_symbol(&mut self, sym: &str) -> Result<()> {
+        if self.eat_symbol(sym) {
+            Ok(())
+        } else {
+            Err(AlgebraError::Parse(format!(
+                "expected '{sym}' but found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Consumes the given keyword or errors.
+    pub fn expect_keyword(&mut self, kw: &str) -> Result<()> {
+        if self.eat_keyword(kw) {
+            Ok(())
+        } else {
+            Err(AlgebraError::Parse(format!(
+                "expected keyword '{kw}' but found {:?}",
+                self.peek()
+            )))
+        }
+    }
+
+    /// Consumes an identifier or errors.
+    pub fn expect_ident(&mut self) -> Result<String> {
+        match self.next() {
+            Some(Token::Ident(s)) => Ok(s),
+            other => Err(AlgebraError::Parse(format!(
+                "expected identifier but found {other:?}"
+            ))),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn tokenize_sql_fragment() {
+        let tokens = tokenize("SELECT COUNT(*) FROM lineitem WHERE l_orderkey < 10").unwrap();
+        assert!(tokens[0].is_keyword("select"));
+        assert!(tokens.iter().any(|t| t.is_symbol("<")));
+        assert!(tokens.iter().any(|t| matches!(t, Token::Int(10))));
+    }
+
+    #[test]
+    fn tokenize_floats_strings_and_arrows() {
+        let tokens = tokenize("x <- 1.5 'it''s'").unwrap();
+        assert_eq!(tokens[1], Token::Symbol("<-".into()));
+        assert_eq!(tokens[2], Token::Float(1.5));
+        assert_eq!(tokens[3], Token::Str("it's".into()));
+    }
+
+    #[test]
+    fn tokenize_comparison_operators() {
+        let tokens = tokenize("a <= b >= c <> d != e").unwrap();
+        let syms: Vec<String> = tokens
+            .iter()
+            .filter_map(|t| match t {
+                Token::Symbol(s) => Some(s.clone()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(syms, vec!["<=", ">=", "<>", "!="]);
+    }
+
+    #[test]
+    fn unterminated_string_is_error() {
+        assert!(tokenize("'oops").is_err());
+    }
+
+    #[test]
+    fn unexpected_character_is_error() {
+        assert!(tokenize("a ~ b").is_err());
+    }
+
+    #[test]
+    fn cursor_navigation() {
+        let mut cur = Cursor::new(tokenize("SELECT a FROM t").unwrap());
+        assert!(cur.eat_keyword("select"));
+        assert_eq!(cur.expect_ident().unwrap(), "a");
+        assert!(cur.eat_keyword("from"));
+        assert_eq!(cur.expect_ident().unwrap(), "t");
+        assert!(cur.is_done());
+    }
+}

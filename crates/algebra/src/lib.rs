@@ -1,0 +1,49 @@
+//! # proteus-algebra
+//!
+//! The data model and query representation layer of the Proteus reproduction.
+//!
+//! The paper builds Proteus around the *monoid comprehension calculus*
+//! (Fegaras & Maier) and a *nested relational algebra* whose operators treat
+//! collections and nested records as first-class values. This crate provides:
+//!
+//! * [`types`] — the type system (primitives, records, collections).
+//! * [`value`] — runtime values and their comparison/arithmetic semantics.
+//! * [`schema`] — dataset schemas, field descriptors and attribute paths.
+//! * [`expr`] — the expression language shared by the calculus, the algebra
+//!   and the execution engines (path navigation, arithmetic, comparisons,
+//!   record construction, conditionals).
+//! * [`monoid`] — primitive and collection monoids used by `reduce`/`nest`.
+//! * [`calculus`] — monoid comprehensions and their normalization rules.
+//! * [`plan`] — the nested relational algebra (Table 1 of the paper): select,
+//!   join, outer join, unnest, outer unnest, reduce, nest.
+//! * [`translate`] — comprehension → algebra translation.
+//! * [`rewrite`] — rule-based logical rewrites (selection/projection pushdown,
+//!   predicate splitting, unnesting).
+//! * [`sql`] — a SQL front-end for flat (relational) queries, desugared into
+//!   comprehensions exactly as described in §3 of the paper.
+//! * [`comprehension`] — the `for { ... } yield ...` comprehension syntax the
+//!   paper exposes for queries over nested data.
+
+pub mod calculus;
+pub mod comprehension;
+pub mod error;
+pub mod expr;
+pub mod interp;
+pub mod lexer;
+pub mod monoid;
+pub mod plan;
+pub mod pretty;
+pub mod rewrite;
+pub mod schema;
+pub mod sql;
+pub mod translate;
+pub mod types;
+pub mod value;
+
+pub use error::{AlgebraError, Result};
+pub use expr::{BinaryOp, Expr, Path, UnaryOp};
+pub use monoid::Monoid;
+pub use plan::{JoinKind, LogicalPlan, ReduceSpec};
+pub use schema::{Field, Schema};
+pub use types::{CollectionKind, DataType};
+pub use value::{Record, Value};

@@ -1,0 +1,327 @@
+//! Monoids: the aggregation/collection primitives of the calculus.
+//!
+//! The monoid comprehension calculus expresses both "scalar" aggregation
+//! (sum, count, max, ...) and collection construction (bag, set, list) as
+//! folds over a monoid: an identity element `zero` plus an associative
+//! `merge`. The algebra's `reduce` (∆) and `nest` (Γ) operators are
+//! parameterized by the output monoid `⊕` (Table 1 of the paper).
+
+use std::fmt;
+
+use crate::error::{AlgebraError, Result};
+use crate::value::Value;
+
+/// A primitive or collection monoid.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Monoid {
+    /// Sum of numeric values.
+    Sum,
+    /// Count of inputs (ignores the actual value).
+    Count,
+    /// Maximum.
+    Max,
+    /// Minimum.
+    Min,
+    /// Arithmetic mean (implemented as sum + count pair internally).
+    Avg,
+    /// Logical conjunction.
+    And,
+    /// Logical disjunction.
+    Or,
+    /// Bag (multiset) collection.
+    Bag,
+    /// Set collection (deduplicating).
+    Set,
+    /// List collection (order-preserving).
+    List,
+}
+
+impl Monoid {
+    /// True for monoids producing a collection rather than a scalar.
+    pub fn is_collection(&self) -> bool {
+        matches!(self, Monoid::Bag | Monoid::Set | Monoid::List)
+    }
+
+    /// True for monoids that need only a running scalar (fixed-size state).
+    pub fn is_scalar(&self) -> bool {
+        !self.is_collection()
+    }
+
+    /// Parses an SQL-ish aggregate/collection name.
+    pub fn parse(name: &str) -> Result<Monoid> {
+        match name.to_ascii_lowercase().as_str() {
+            "sum" => Ok(Monoid::Sum),
+            "count" => Ok(Monoid::Count),
+            "max" => Ok(Monoid::Max),
+            "min" => Ok(Monoid::Min),
+            "avg" => Ok(Monoid::Avg),
+            "and" => Ok(Monoid::And),
+            "or" => Ok(Monoid::Or),
+            "bag" => Ok(Monoid::Bag),
+            "set" => Ok(Monoid::Set),
+            "list" => Ok(Monoid::List),
+            other => Err(AlgebraError::Parse(format!("unknown monoid: {other}"))),
+        }
+    }
+}
+
+impl fmt::Display for Monoid {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Monoid::Sum => "sum",
+            Monoid::Count => "count",
+            Monoid::Max => "max",
+            Monoid::Min => "min",
+            Monoid::Avg => "avg",
+            Monoid::And => "and",
+            Monoid::Or => "or",
+            Monoid::Bag => "bag",
+            Monoid::Set => "set",
+            Monoid::List => "list",
+        };
+        write!(f, "{s}")
+    }
+}
+
+/// Mutable accumulator state for a monoid fold.
+///
+/// The generated Proteus pipelines keep specialized native accumulators
+/// (plain `i64`/`f64` registers); this enum is the general fallback used by
+/// the interpreted engines, nested collections and the output layer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Accumulator {
+    /// Running integer sum / count.
+    Int(i64),
+    /// Running float sum.
+    Float(f64),
+    /// Running max/min; `None` until the first value arrives.
+    Extreme(Option<Value>),
+    /// Sum + count pair for averages.
+    AvgState {
+        /// Sum of values seen so far.
+        sum: f64,
+        /// Number of values seen so far.
+        count: u64,
+    },
+    /// Running boolean.
+    Bool(bool),
+    /// Materialized collection.
+    Collection(Vec<Value>),
+}
+
+impl Accumulator {
+    /// Creates the identity accumulator of a monoid.
+    pub fn zero(monoid: Monoid) -> Accumulator {
+        match monoid {
+            Monoid::Sum => Accumulator::Float(0.0),
+            Monoid::Count => Accumulator::Int(0),
+            Monoid::Max | Monoid::Min => Accumulator::Extreme(None),
+            Monoid::Avg => Accumulator::AvgState { sum: 0.0, count: 0 },
+            Monoid::And => Accumulator::Bool(true),
+            Monoid::Or => Accumulator::Bool(false),
+            Monoid::Bag | Monoid::Set | Monoid::List => Accumulator::Collection(Vec::new()),
+        }
+    }
+
+    /// Folds one more value into the accumulator.
+    pub fn merge(&mut self, monoid: Monoid, value: Value) -> Result<()> {
+        match (monoid, self) {
+            (Monoid::Sum, Accumulator::Float(total)) => {
+                if !value.is_null() {
+                    *total += value.as_float()?;
+                }
+                Ok(())
+            }
+            (Monoid::Count, Accumulator::Int(count)) => {
+                *count += 1;
+                Ok(())
+            }
+            (Monoid::Max, Accumulator::Extreme(state)) => {
+                if value.is_null() {
+                    return Ok(());
+                }
+                let replace = match state {
+                    None => true,
+                    Some(current) => value.total_cmp(current) == std::cmp::Ordering::Greater,
+                };
+                if replace {
+                    *state = Some(value);
+                }
+                Ok(())
+            }
+            (Monoid::Min, Accumulator::Extreme(state)) => {
+                if value.is_null() {
+                    return Ok(());
+                }
+                let replace = match state {
+                    None => true,
+                    Some(current) => value.total_cmp(current) == std::cmp::Ordering::Less,
+                };
+                if replace {
+                    *state = Some(value);
+                }
+                Ok(())
+            }
+            (Monoid::Avg, Accumulator::AvgState { sum, count }) => {
+                if !value.is_null() {
+                    *sum += value.as_float()?;
+                    *count += 1;
+                }
+                Ok(())
+            }
+            (Monoid::And, Accumulator::Bool(b)) => {
+                *b = *b && value.as_bool()?;
+                Ok(())
+            }
+            (Monoid::Or, Accumulator::Bool(b)) => {
+                *b = *b || value.as_bool()?;
+                Ok(())
+            }
+            (Monoid::Set, Accumulator::Collection(items)) => {
+                if !items.iter().any(|existing| existing.value_eq(&value)) {
+                    items.push(value);
+                }
+                Ok(())
+            }
+            (Monoid::Bag | Monoid::List, Accumulator::Collection(items)) => {
+                items.push(value);
+                Ok(())
+            }
+            (m, acc) => Err(AlgebraError::InvalidPlan(format!(
+                "accumulator {acc:?} cannot merge under monoid {m}"
+            ))),
+        }
+    }
+
+    /// Finalizes the accumulator into an output value.
+    pub fn finish(self, monoid: Monoid) -> Value {
+        match (monoid, self) {
+            (Monoid::Sum, Accumulator::Float(total)) => {
+                // Integral sums are reported as integers when exact.
+                if total.fract() == 0.0 && total.abs() < (i64::MAX as f64) {
+                    Value::Int(total as i64)
+                } else {
+                    Value::Float(total)
+                }
+            }
+            (Monoid::Count, Accumulator::Int(count)) => Value::Int(count),
+            (Monoid::Max | Monoid::Min, Accumulator::Extreme(state)) => {
+                state.unwrap_or(Value::Null)
+            }
+            (Monoid::Avg, Accumulator::AvgState { sum, count }) => {
+                if count == 0 {
+                    Value::Null
+                } else {
+                    Value::Float(sum / count as f64)
+                }
+            }
+            (Monoid::And | Monoid::Or, Accumulator::Bool(b)) => Value::Bool(b),
+            (_, Accumulator::Collection(items)) => Value::List(items),
+            (_, other) => {
+                // Mismatched pairs cannot arise through the public API; be
+                // defensive and surface the raw state.
+                match other {
+                    Accumulator::Int(i) => Value::Int(i),
+                    Accumulator::Float(f) => Value::Float(f),
+                    Accumulator::Bool(b) => Value::Bool(b),
+                    Accumulator::Extreme(s) => s.unwrap_or(Value::Null),
+                    Accumulator::AvgState { sum, .. } => Value::Float(sum),
+                    Accumulator::Collection(items) => Value::List(items),
+                }
+            }
+        }
+    }
+}
+
+/// Folds an iterator of values under a monoid; convenience for tests and the
+/// interpreted engines.
+pub fn fold_monoid<I: IntoIterator<Item = Value>>(monoid: Monoid, values: I) -> Result<Value> {
+    let mut acc = Accumulator::zero(monoid);
+    for v in values {
+        acc.merge(monoid, v)?;
+    }
+    Ok(acc.finish(monoid))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sum_over_ints_stays_integral() {
+        let v = fold_monoid(Monoid::Sum, vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
+        assert_eq!(v, Value::Int(6));
+    }
+
+    #[test]
+    fn sum_over_floats() {
+        let v = fold_monoid(Monoid::Sum, vec![Value::Float(1.5), Value::Float(2.25)]).unwrap();
+        assert_eq!(v, Value::Float(3.75));
+    }
+
+    #[test]
+    fn count_ignores_value_types() {
+        let v = fold_monoid(
+            Monoid::Count,
+            vec![Value::Int(1), Value::str("x"), Value::Null],
+        )
+        .unwrap();
+        assert_eq!(v, Value::Int(3));
+    }
+
+    #[test]
+    fn max_min_ignore_nulls() {
+        let vals = vec![Value::Int(5), Value::Null, Value::Int(9), Value::Int(2)];
+        assert_eq!(fold_monoid(Monoid::Max, vals.clone()).unwrap(), Value::Int(9));
+        assert_eq!(fold_monoid(Monoid::Min, vals).unwrap(), Value::Int(2));
+    }
+
+    #[test]
+    fn empty_max_is_null() {
+        assert_eq!(fold_monoid(Monoid::Max, vec![]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn avg_computes_mean() {
+        let v = fold_monoid(Monoid::Avg, vec![Value::Int(2), Value::Int(4)]).unwrap();
+        assert_eq!(v, Value::Float(3.0));
+        assert_eq!(fold_monoid(Monoid::Avg, vec![]).unwrap(), Value::Null);
+    }
+
+    #[test]
+    fn and_or_monoids() {
+        assert_eq!(
+            fold_monoid(Monoid::And, vec![Value::Bool(true), Value::Bool(false)]).unwrap(),
+            Value::Bool(false)
+        );
+        assert_eq!(
+            fold_monoid(Monoid::Or, vec![Value::Bool(false), Value::Bool(true)]).unwrap(),
+            Value::Bool(true)
+        );
+        assert_eq!(fold_monoid(Monoid::And, vec![]).unwrap(), Value::Bool(true));
+        assert_eq!(fold_monoid(Monoid::Or, vec![]).unwrap(), Value::Bool(false));
+    }
+
+    #[test]
+    fn set_deduplicates_bag_does_not() {
+        let input = vec![Value::Int(1), Value::Int(1), Value::Int(2)];
+        let set = fold_monoid(Monoid::Set, input.clone()).unwrap();
+        assert_eq!(set, Value::List(vec![Value::Int(1), Value::Int(2)]));
+        let bag = fold_monoid(Monoid::Bag, input).unwrap();
+        assert_eq!(bag.as_list().unwrap().len(), 3);
+    }
+
+    #[test]
+    fn parse_names() {
+        assert_eq!(Monoid::parse("COUNT").unwrap(), Monoid::Count);
+        assert_eq!(Monoid::parse("bag").unwrap(), Monoid::Bag);
+        assert!(Monoid::parse("median").is_err());
+    }
+
+    #[test]
+    fn collection_classification() {
+        assert!(Monoid::Bag.is_collection());
+        assert!(!Monoid::Sum.is_collection());
+        assert!(Monoid::Sum.is_scalar());
+    }
+}

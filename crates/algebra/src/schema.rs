@@ -1,0 +1,206 @@
+//! Dataset schemas.
+//!
+//! A [`Schema`] describes one dataset (a CSV file, a JSON file, a binary
+//! table or a cache): its name, its fields and their types. Input plug-ins
+//! use the schema to generate specialized access code ("Proteus also uses the
+//! dataset schema to avoid unnecessary control logic such as datatype
+//! checks", §5.2), and the optimizer uses it for pushdown decisions.
+
+use std::fmt;
+
+use crate::types::DataType;
+
+/// One named, typed attribute of a dataset.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Field {
+    /// Attribute name (e.g. `l_orderkey`).
+    pub name: String,
+    /// Attribute type.
+    pub data_type: DataType,
+    /// Whether the attribute may be absent/null (JSON optional fields).
+    pub nullable: bool,
+}
+
+impl Field {
+    /// Creates a non-nullable field.
+    pub fn new(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: false,
+        }
+    }
+
+    /// Creates a nullable field.
+    pub fn nullable(name: impl Into<String>, data_type: DataType) -> Self {
+        Field {
+            name: name.into(),
+            data_type,
+            nullable: true,
+        }
+    }
+}
+
+/// The schema of a dataset: an ordered list of fields.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Schema {
+    fields: Vec<Field>,
+}
+
+impl Schema {
+    /// Creates a schema from fields.
+    pub fn new(fields: Vec<Field>) -> Self {
+        Schema { fields }
+    }
+
+    /// Empty schema (used by schema-less JSON before inference).
+    pub fn empty() -> Self {
+        Schema { fields: Vec::new() }
+    }
+
+    /// Convenience constructor from `(name, type)` pairs.
+    pub fn from_pairs(pairs: Vec<(&str, DataType)>) -> Self {
+        Schema {
+            fields: pairs
+                .into_iter()
+                .map(|(n, t)| Field::new(n, t))
+                .collect(),
+        }
+    }
+
+    /// All fields in declaration order.
+    pub fn fields(&self) -> &[Field] {
+        &self.fields
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if there are no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Index of a field by name.
+    pub fn index_of(&self, name: &str) -> Option<usize> {
+        self.fields.iter().position(|f| f.name == name)
+    }
+
+    /// Field descriptor by name.
+    pub fn field(&self, name: &str) -> Option<&Field> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Field descriptor by index.
+    pub fn field_at(&self, idx: usize) -> Option<&Field> {
+        self.fields.get(idx)
+    }
+
+    /// Field names in order.
+    pub fn names(&self) -> Vec<&str> {
+        self.fields.iter().map(|f| f.name.as_str()).collect()
+    }
+
+    /// Adds a field, replacing any previous field of the same name.
+    pub fn add_field(&mut self, field: Field) {
+        if let Some(idx) = self.index_of(&field.name) {
+            self.fields[idx] = field;
+        } else {
+            self.fields.push(field);
+        }
+    }
+
+    /// Projects the schema onto the named fields (preserving their order in
+    /// `names`), ignoring unknown names.
+    pub fn project(&self, names: &[&str]) -> Schema {
+        Schema {
+            fields: names
+                .iter()
+                .filter_map(|n| self.field(n).cloned())
+                .collect(),
+        }
+    }
+
+    /// The record [`DataType`] corresponding to one entry of this schema.
+    pub fn record_type(&self) -> DataType {
+        DataType::Record(
+            self.fields
+                .iter()
+                .map(|f| (f.name.clone(), f.data_type.clone()))
+                .collect(),
+        )
+    }
+}
+
+impl fmt::Display for Schema {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "(")?;
+        for (i, field) in self.fields.iter().enumerate() {
+            if i > 0 {
+                write!(f, ", ")?;
+            }
+            write!(f, "{}: {}", field.name, field.data_type)?;
+            if field.nullable {
+                write!(f, "?")?;
+            }
+        }
+        write!(f, ")")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn lineitem_schema() -> Schema {
+        Schema::from_pairs(vec![
+            ("l_orderkey", DataType::Int),
+            ("l_linenumber", DataType::Int),
+            ("l_quantity", DataType::Float),
+            ("l_extendedprice", DataType::Float),
+        ])
+    }
+
+    #[test]
+    fn index_and_lookup() {
+        let s = lineitem_schema();
+        assert_eq!(s.index_of("l_quantity"), Some(2));
+        assert_eq!(s.field("l_orderkey").unwrap().data_type, DataType::Int);
+        assert!(s.field("missing").is_none());
+        assert_eq!(s.len(), 4);
+    }
+
+    #[test]
+    fn project_preserves_requested_order() {
+        let s = lineitem_schema();
+        let p = s.project(&["l_quantity", "l_orderkey"]);
+        assert_eq!(p.names(), vec!["l_quantity", "l_orderkey"]);
+    }
+
+    #[test]
+    fn add_field_replaces_same_name() {
+        let mut s = lineitem_schema();
+        s.add_field(Field::nullable("l_orderkey", DataType::Float));
+        assert_eq!(s.len(), 4);
+        assert_eq!(s.field("l_orderkey").unwrap().data_type, DataType::Float);
+        assert!(s.field("l_orderkey").unwrap().nullable);
+    }
+
+    #[test]
+    fn record_type_mirrors_fields() {
+        let s = Schema::from_pairs(vec![("a", DataType::Int)]);
+        assert_eq!(
+            s.record_type(),
+            DataType::Record(vec![("a".into(), DataType::Int)])
+        );
+    }
+
+    #[test]
+    fn display_is_readable() {
+        let mut s = Schema::from_pairs(vec![("a", DataType::Int)]);
+        s.add_field(Field::nullable("b", DataType::String));
+        assert_eq!(s.to_string(), "(a: int, b: string?)");
+    }
+}

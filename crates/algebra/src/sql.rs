@@ -1,0 +1,687 @@
+//! SQL front-end for relational queries over flat data.
+//!
+//! §3: "For relational queries over flat data (e.g., binary and CSV files),
+//! Proteus supports SQL statements, which it desugarizes to comprehensions."
+//! The supported subset covers the paper's query templates: aggregate
+//! projections, multi-predicate selections, joins with `ON` conditions and
+//! `GROUP BY` aggregation.
+
+use crate::error::{AlgebraError, Result};
+use crate::expr::{BinaryOp, Expr, Path, UnaryOp};
+use crate::lexer::{tokenize, Cursor, Token};
+use crate::monoid::Monoid;
+use crate::plan::{JoinKind, LogicalPlan, ReduceSpec};
+use crate::schema::Schema;
+use crate::translate::SchemaProvider;
+
+/// One item of the SELECT list.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SelectItem {
+    /// An aggregate `AGG(expr) [AS alias]`.
+    Aggregate {
+        /// Aggregation monoid.
+        monoid: Monoid,
+        /// Aggregated expression (`1` for `COUNT(*)`).
+        expr: Expr,
+        /// Output column name.
+        alias: String,
+    },
+    /// A plain expression `expr [AS alias]` (a group-by key or a projection).
+    Plain {
+        /// The expression.
+        expr: Expr,
+        /// Output column name.
+        alias: String,
+    },
+}
+
+/// One table reference in the FROM clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct FromItem {
+    /// Registered dataset name.
+    pub table: String,
+    /// Alias (defaults to the table name).
+    pub alias: String,
+}
+
+/// A JOIN clause.
+#[derive(Debug, Clone, PartialEq)]
+pub struct JoinClause {
+    /// Joined table.
+    pub item: FromItem,
+    /// ON condition.
+    pub on: Expr,
+}
+
+/// A parsed SQL query.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SqlQuery {
+    /// SELECT list.
+    pub select: Vec<SelectItem>,
+    /// First FROM table.
+    pub from: FromItem,
+    /// JOIN clauses in order.
+    pub joins: Vec<JoinClause>,
+    /// WHERE predicate.
+    pub where_clause: Option<Expr>,
+    /// GROUP BY expressions.
+    pub group_by: Vec<Expr>,
+}
+
+impl SqlQuery {
+    /// All table aliases bound by the query.
+    pub fn aliases(&self) -> Vec<&str> {
+        let mut out = vec![self.from.alias.as_str()];
+        out.extend(self.joins.iter().map(|j| j.item.alias.as_str()));
+        out
+    }
+
+    /// All `(table, alias)` pairs.
+    pub fn tables(&self) -> Vec<(&str, &str)> {
+        let mut out = vec![(self.from.table.as_str(), self.from.alias.as_str())];
+        out.extend(
+            self.joins
+                .iter()
+                .map(|j| (j.item.table.as_str(), j.item.alias.as_str())),
+        );
+        out
+    }
+}
+
+/// Parses a SQL string.
+pub fn parse_sql(input: &str) -> Result<SqlQuery> {
+    let mut cur = Cursor::new(tokenize(input)?);
+    cur.expect_keyword("select")?;
+
+    let mut select = Vec::new();
+    loop {
+        select.push(parse_select_item(&mut cur, select.len())?);
+        if !cur.eat_symbol(",") {
+            break;
+        }
+    }
+
+    cur.expect_keyword("from")?;
+    let from = parse_from_item(&mut cur)?;
+
+    let mut joins = Vec::new();
+    while cur.eat_keyword("join") {
+        let item = parse_from_item(&mut cur)?;
+        cur.expect_keyword("on")?;
+        let on = parse_expr(&mut cur)?;
+        joins.push(JoinClause { item, on });
+    }
+
+    let where_clause = if cur.eat_keyword("where") {
+        Some(parse_expr(&mut cur)?)
+    } else {
+        None
+    };
+
+    let mut group_by = Vec::new();
+    if cur.eat_keyword("group") {
+        cur.expect_keyword("by")?;
+        loop {
+            group_by.push(parse_expr(&mut cur)?);
+            if !cur.eat_symbol(",") {
+                break;
+            }
+        }
+    }
+
+    if !cur.is_done() {
+        return Err(AlgebraError::Parse(format!(
+            "unexpected trailing tokens starting at {:?}",
+            cur.peek()
+        )));
+    }
+
+    Ok(SqlQuery {
+        select,
+        from,
+        joins,
+        where_clause,
+        group_by,
+    })
+}
+
+fn parse_from_item(cur: &mut Cursor) -> Result<FromItem> {
+    let table = cur.expect_ident()?;
+    // Optional alias: either `AS alias` or a bare identifier that is not a
+    // clause keyword.
+    let peeked = match cur.peek() {
+        Some(Token::Ident(s)) => Some(s.clone()),
+        _ => None,
+    };
+    let alias = match peeked {
+        Some(s) if s.eq_ignore_ascii_case("as") => {
+            cur.next();
+            cur.expect_ident()?
+        }
+        Some(s)
+            if !["join", "on", "where", "group", "order"]
+                .iter()
+                .any(|kw| s.eq_ignore_ascii_case(kw)) =>
+        {
+            cur.next();
+            s
+        }
+        _ => table.clone(),
+    };
+    Ok(FromItem { table, alias })
+}
+
+fn parse_select_item(cur: &mut Cursor, index: usize) -> Result<SelectItem> {
+    // Aggregate: AGG ( expr | * )
+    if let (Some(Token::Ident(name)), Some(tok)) = (cur.peek(), cur.peek_ahead(1)) {
+        let lname = name.to_ascii_lowercase();
+        if tok.is_symbol("(")
+            && ["count", "sum", "max", "min", "avg"].contains(&lname.as_str())
+        {
+            let monoid = Monoid::parse(&lname)?;
+            cur.next(); // aggregate name
+            cur.next(); // '('
+            let expr = if cur.eat_symbol("*") {
+                Expr::int(1)
+            } else {
+                parse_expr(cur)?
+            };
+            cur.expect_symbol(")")?;
+            let alias = parse_optional_alias(cur).unwrap_or_else(|| format!("{lname}_{index}"));
+            return Ok(SelectItem::Aggregate {
+                monoid,
+                expr,
+                alias,
+            });
+        }
+    }
+    let expr = parse_expr(cur)?;
+    let alias = parse_optional_alias(cur).unwrap_or_else(|| match &expr {
+        Expr::Path(p) => p.leaf().to_string(),
+        _ => format!("col_{index}"),
+    });
+    Ok(SelectItem::Plain { expr, alias })
+}
+
+fn parse_optional_alias(cur: &mut Cursor) -> Option<String> {
+    if cur.eat_keyword("as") {
+        cur.expect_ident().ok()
+    } else {
+        None
+    }
+}
+
+/// Parses an expression (entry point shared with the comprehension parser).
+pub fn parse_expr(cur: &mut Cursor) -> Result<Expr> {
+    parse_or(cur)
+}
+
+fn parse_or(cur: &mut Cursor) -> Result<Expr> {
+    let mut left = parse_and(cur)?;
+    while cur.eat_keyword("or") {
+        let right = parse_and(cur)?;
+        left = left.or(right);
+    }
+    Ok(left)
+}
+
+fn parse_and(cur: &mut Cursor) -> Result<Expr> {
+    let mut left = parse_not(cur)?;
+    while cur.eat_keyword("and") {
+        let right = parse_not(cur)?;
+        left = left.and(right);
+    }
+    Ok(left)
+}
+
+fn parse_not(cur: &mut Cursor) -> Result<Expr> {
+    if cur.eat_keyword("not") {
+        let inner = parse_not(cur)?;
+        return Ok(Expr::Unary {
+            op: UnaryOp::Not,
+            expr: Box::new(inner),
+        });
+    }
+    parse_comparison(cur)
+}
+
+fn parse_comparison(cur: &mut Cursor) -> Result<Expr> {
+    let left = parse_additive(cur)?;
+    // LIKE '%needle%'
+    if cur.eat_keyword("like") {
+        match cur.next() {
+            Some(Token::Str(pattern)) => {
+                let needle = pattern.trim_matches('%').to_string();
+                return Ok(Expr::Contains {
+                    expr: Box::new(left),
+                    needle,
+                });
+            }
+            other => {
+                return Err(AlgebraError::Parse(format!(
+                    "LIKE expects a string literal, found {other:?}"
+                )))
+            }
+        }
+    }
+    if cur.eat_keyword("is") {
+        let negated = cur.eat_keyword("not");
+        cur.expect_keyword("null")?;
+        let test = Expr::Unary {
+            op: UnaryOp::IsNull,
+            expr: Box::new(left),
+        };
+        return Ok(if negated {
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(test),
+            }
+        } else {
+            test
+        });
+    }
+    let op = match cur.peek() {
+        Some(t) if t.is_symbol("=") => Some(BinaryOp::Eq),
+        Some(t) if t.is_symbol("<>") || t.is_symbol("!=") => Some(BinaryOp::Neq),
+        Some(t) if t.is_symbol("<=") => Some(BinaryOp::Le),
+        Some(t) if t.is_symbol(">=") => Some(BinaryOp::Ge),
+        Some(t) if t.is_symbol("<") => Some(BinaryOp::Lt),
+        Some(t) if t.is_symbol(">") => Some(BinaryOp::Gt),
+        _ => None,
+    };
+    if let Some(op) = op {
+        cur.next();
+        let right = parse_additive(cur)?;
+        return Ok(Expr::binary(op, left, right));
+    }
+    Ok(left)
+}
+
+fn parse_additive(cur: &mut Cursor) -> Result<Expr> {
+    let mut left = parse_multiplicative(cur)?;
+    loop {
+        let op = match cur.peek() {
+            Some(t) if t.is_symbol("+") => BinaryOp::Add,
+            Some(t) if t.is_symbol("-") => BinaryOp::Sub,
+            _ => break,
+        };
+        cur.next();
+        let right = parse_multiplicative(cur)?;
+        left = Expr::binary(op, left, right);
+    }
+    Ok(left)
+}
+
+fn parse_multiplicative(cur: &mut Cursor) -> Result<Expr> {
+    let mut left = parse_unary(cur)?;
+    loop {
+        let op = match cur.peek() {
+            Some(t) if t.is_symbol("*") => BinaryOp::Mul,
+            Some(t) if t.is_symbol("/") => BinaryOp::Div,
+            Some(t) if t.is_symbol("%") => BinaryOp::Mod,
+            _ => break,
+        };
+        cur.next();
+        let right = parse_unary(cur)?;
+        left = Expr::binary(op, left, right);
+    }
+    Ok(left)
+}
+
+fn parse_unary(cur: &mut Cursor) -> Result<Expr> {
+    if cur.eat_symbol("-") {
+        let inner = parse_unary(cur)?;
+        return Ok(Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: Box::new(inner),
+        });
+    }
+    parse_primary(cur)
+}
+
+fn parse_primary(cur: &mut Cursor) -> Result<Expr> {
+    match cur.next() {
+        Some(Token::Int(v)) => Ok(Expr::int(v)),
+        Some(Token::Float(v)) => Ok(Expr::float(v)),
+        Some(Token::Str(s)) => Ok(Expr::string(s)),
+        Some(Token::Symbol(ref s)) if s == "(" => {
+            let inner = parse_expr(cur)?;
+            cur.expect_symbol(")")?;
+            Ok(inner)
+        }
+        Some(Token::Ident(first)) => {
+            if first.eq_ignore_ascii_case("true") {
+                return Ok(Expr::boolean(true));
+            }
+            if first.eq_ignore_ascii_case("false") {
+                return Ok(Expr::boolean(false));
+            }
+            let mut segments = vec![first];
+            while cur.peek().map(|t| t.is_symbol(".")).unwrap_or(false) {
+                cur.next();
+                segments.push(cur.expect_ident()?);
+            }
+            let base = segments.remove(0);
+            Ok(Expr::Path(Path {
+                base,
+                segments,
+            }))
+        }
+        other => Err(AlgebraError::Parse(format!(
+            "unexpected token in expression: {other:?}"
+        ))),
+    }
+}
+
+/// Resolves unqualified column references and converts the query into a
+/// logical plan.
+///
+/// Columns written without a table prefix are located by searching the FROM
+/// tables' schemas; qualified references (`alias.column`) are kept as-is.
+pub fn sql_to_plan(query: &SqlQuery, schemas: &dyn SchemaProvider) -> Result<LogicalPlan> {
+    let tables = query.tables();
+    let table_schemas: Vec<(String, String, Schema)> = tables
+        .iter()
+        .map(|(table, alias)| {
+            (
+                table.to_string(),
+                alias.to_string(),
+                schemas.schema_of(table).unwrap_or_else(Schema::empty),
+            )
+        })
+        .collect();
+
+    let resolve = |expr: &Expr| -> Result<Expr> {
+        let failure: std::cell::RefCell<Option<AlgebraError>> = std::cell::RefCell::new(None);
+        let resolved = expr.transform_paths(&|p: &Path| {
+            // Already qualified by a known alias?
+            if table_schemas.iter().any(|(_, alias, _)| *alias == p.base) {
+                return p.clone();
+            }
+            // Otherwise the base is actually a column name; find its table.
+            let column = &p.base;
+            let owners: Vec<&(String, String, Schema)> = table_schemas
+                .iter()
+                .filter(|(_, _, schema)| schema.index_of(column).is_some())
+                .collect();
+            let owner_alias = match owners.len() {
+                1 => owners[0].1.clone(),
+                0 if table_schemas.len() == 1 => table_schemas[0].1.clone(),
+                0 => {
+                    // Unknown column: fall back to TPC-H style prefix routing
+                    // (`l_*` → lineitem alias, `o_*` → orders alias) before
+                    // giving up.
+                    let prefix_owner = table_schemas.iter().find(|(table, _, _)| {
+                        column
+                            .split('_')
+                            .next()
+                            .map(|prefix| table.starts_with(prefix))
+                            .unwrap_or(false)
+                    });
+                    match prefix_owner {
+                        Some((_, alias, _)) => alias.clone(),
+                        None => {
+                            *failure.borrow_mut() = Some(AlgebraError::UnknownField(
+                                format!("cannot resolve column {column}"),
+                            ));
+                            return p.clone();
+                        }
+                    }
+                }
+                _ => {
+                    *failure.borrow_mut() = Some(AlgebraError::UnknownField(format!(
+                        "ambiguous column {column}"
+                    )));
+                    return p.clone();
+                }
+            };
+            let mut segments = vec![p.base.clone()];
+            segments.extend(p.segments.clone());
+            Path {
+                base: owner_alias,
+                segments,
+            }
+        });
+        match failure.into_inner() {
+            Some(err) => Err(err),
+            None => Ok(resolved),
+        }
+    };
+
+    // Build the scan/join tree.
+    let mut plan = LogicalPlan::scan(
+        query.from.table.clone(),
+        query.from.alias.clone(),
+        table_schemas[0].2.clone(),
+    );
+    for (i, join) in query.joins.iter().enumerate() {
+        let right = LogicalPlan::scan(
+            join.item.table.clone(),
+            join.item.alias.clone(),
+            table_schemas[i + 1].2.clone(),
+        );
+        plan = plan.join(right, resolve(&join.on)?, JoinKind::Inner);
+    }
+
+    if let Some(pred) = &query.where_clause {
+        plan = plan.select(resolve(pred)?);
+    }
+
+    let group_by: Vec<Expr> = query
+        .group_by
+        .iter()
+        .map(|g| resolve(g))
+        .collect::<Result<_>>()?;
+
+    let mut aggregates = Vec::new();
+    let mut plain = Vec::new();
+    for item in &query.select {
+        match item {
+            SelectItem::Aggregate {
+                monoid,
+                expr,
+                alias,
+            } => aggregates.push(ReduceSpec::new(*monoid, resolve(expr)?, alias.clone())),
+            SelectItem::Plain { expr, alias } => plain.push((resolve(expr)?, alias.clone())),
+        }
+    }
+
+    if !group_by.is_empty() {
+        let group_aliases: Vec<String> = group_by
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                // Prefer the SELECT alias of a matching plain item.
+                plain
+                    .iter()
+                    .find(|(e, _)| e == g)
+                    .map(|(_, a)| a.clone())
+                    .unwrap_or_else(|| match g {
+                        Expr::Path(p) => p.leaf().to_string(),
+                        _ => format!("key{i}"),
+                    })
+            })
+            .collect();
+        Ok(plan.nest(group_by, group_aliases, aggregates))
+    } else if !aggregates.is_empty() {
+        Ok(plan.reduce(aggregates))
+    } else {
+        // Pure projection: bag of constructed records.
+        let record = Expr::RecordCtor(
+            plain
+                .into_iter()
+                .map(|(expr, alias)| (alias, expr))
+                .collect(),
+        );
+        Ok(plan.reduce(vec![ReduceSpec::new(Monoid::Bag, record, "result")]))
+    }
+}
+
+/// Parses and plans a SQL query in one call.
+pub fn plan_sql(input: &str, schemas: &dyn SchemaProvider) -> Result<LogicalPlan> {
+    let query = parse_sql(input)?;
+    sql_to_plan(&query, schemas)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::types::DataType;
+
+    fn tpch_schemas(name: &str) -> Option<Schema> {
+        match name {
+            "lineitem" => Some(Schema::from_pairs(vec![
+                ("l_orderkey", DataType::Int),
+                ("l_linenumber", DataType::Int),
+                ("l_quantity", DataType::Float),
+                ("l_extendedprice", DataType::Float),
+                ("l_discount", DataType::Float),
+                ("l_tax", DataType::Float),
+            ])),
+            "orders" => Some(Schema::from_pairs(vec![
+                ("o_orderkey", DataType::Int),
+                ("o_custkey", DataType::Int),
+                ("o_totalprice", DataType::Float),
+            ])),
+            _ => None,
+        }
+    }
+
+    #[test]
+    fn parse_projection_template() {
+        let q = parse_sql(
+            "SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 100",
+        )
+        .unwrap();
+        assert_eq!(q.select.len(), 2);
+        assert_eq!(q.from.table, "lineitem");
+        assert!(q.where_clause.is_some());
+        assert!(q.group_by.is_empty());
+    }
+
+    #[test]
+    fn plan_projection_template_shape() {
+        let plan = plan_sql(
+            "SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 100",
+            &tpch_schemas,
+        )
+        .unwrap();
+        let mut names = Vec::new();
+        plan.visit(&mut |n| names.push(n.name()));
+        assert_eq!(names, vec!["Reduce", "Select", "Scan"]);
+    }
+
+    #[test]
+    fn unqualified_columns_resolve_via_schema() {
+        let plan = plan_sql(
+            "SELECT COUNT(*) FROM orders o JOIN lineitem l ON o_orderkey = l_orderkey \
+             WHERE l_orderkey < 500",
+            &tpch_schemas,
+        )
+        .unwrap();
+        let mut join_pred = None;
+        plan.visit(&mut |n| {
+            if let LogicalPlan::Join { predicate, .. } = n {
+                join_pred = Some(predicate.clone());
+            }
+        });
+        let pred = join_pred.expect("join expected");
+        let vars = pred.referenced_variables();
+        assert!(vars.contains("o"));
+        assert!(vars.contains("l"));
+    }
+
+    #[test]
+    fn group_by_produces_nest() {
+        let plan = plan_sql(
+            "SELECT l_linenumber, COUNT(*), SUM(l_quantity) FROM lineitem \
+             WHERE l_orderkey < 100 GROUP BY l_linenumber",
+            &tpch_schemas,
+        )
+        .unwrap();
+        assert_eq!(plan.name(), "Nest");
+    }
+
+    #[test]
+    fn multi_predicate_where() {
+        let q = parse_sql(
+            "SELECT COUNT(*) FROM lineitem WHERE l_quantity < 30 AND l_discount < 0.05 AND l_tax < 0.02",
+        )
+        .unwrap();
+        let pred = q.where_clause.unwrap();
+        assert_eq!(pred.split_conjunction().len(), 3);
+    }
+
+    #[test]
+    fn arithmetic_in_select_and_where() {
+        let q = parse_sql(
+            "SELECT SUM(l_extendedprice * (1 - l_discount)) AS revenue FROM lineitem WHERE l_quantity + 1 < 10",
+        )
+        .unwrap();
+        match &q.select[0] {
+            SelectItem::Aggregate { monoid, alias, .. } => {
+                assert_eq!(*monoid, Monoid::Sum);
+                assert_eq!(alias, "revenue");
+            }
+            other => panic!("expected aggregate, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn like_becomes_contains() {
+        let q = parse_sql("SELECT COUNT(*) FROM lineitem WHERE l_comment LIKE '%fox%'").unwrap();
+        let pred = q.where_clause.unwrap();
+        assert!(matches!(pred, Expr::Contains { ref needle, .. } if needle == "fox"));
+    }
+
+    #[test]
+    fn aliases_default_to_table_names() {
+        let q = parse_sql("SELECT COUNT(*) FROM lineitem").unwrap();
+        assert_eq!(q.from.alias, "lineitem");
+        let q = parse_sql("SELECT COUNT(*) FROM lineitem l").unwrap();
+        assert_eq!(q.from.alias, "l");
+        let q = parse_sql("SELECT COUNT(*) FROM lineitem AS li").unwrap();
+        assert_eq!(q.from.alias, "li");
+    }
+
+    #[test]
+    fn trailing_garbage_is_rejected(){
+        assert!(parse_sql("SELECT COUNT(*) FROM t WHERE a < 1 banana").is_err());
+    }
+
+    #[test]
+    fn ambiguous_column_is_error() {
+        // Both tables have a column named o_orderkey in this synthetic case.
+        let schemas = |name: &str| {
+            if name == "a" || name == "b" {
+                Some(Schema::from_pairs(vec![("k", DataType::Int)]))
+            } else {
+                None
+            }
+        };
+        let result = plan_sql("SELECT COUNT(*) FROM a JOIN b ON k = k", &schemas);
+        assert!(result.is_err());
+    }
+
+    #[test]
+    fn pure_projection_becomes_bag_reduce() {
+        let plan = plan_sql(
+            "SELECT l_orderkey, l_quantity FROM lineitem WHERE l_orderkey < 10",
+            &tpch_schemas,
+        )
+        .unwrap();
+        match &plan {
+            LogicalPlan::Reduce { outputs, .. } => {
+                assert_eq!(outputs.len(), 1);
+                assert_eq!(outputs[0].monoid, Monoid::Bag);
+            }
+            other => panic!("expected reduce, got {}", other.name()),
+        }
+    }
+
+    #[test]
+    fn is_null_and_not_parse() {
+        let q = parse_sql("SELECT COUNT(*) FROM lineitem WHERE NOT l_quantity IS NULL").unwrap();
+        assert!(q.where_clause.is_some());
+    }
+}

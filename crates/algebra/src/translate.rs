@@ -1,0 +1,268 @@
+//! Translation of monoid comprehensions into the nested relational algebra.
+//!
+//! The translation follows the structure of §3/§4: generators over datasets
+//! become scans (joined to the plan built so far), generators over nested
+//! paths become unnest operators, predicates become selections — unless they
+//! connect two dataset generators, in which case they become the join
+//! predicate — and the output monoid/head expression becomes a reduce.
+
+use std::collections::BTreeSet;
+
+use crate::calculus::{Comprehension, GeneratorSource, Qualifier};
+use crate::error::{AlgebraError, Result};
+use crate::expr::Expr;
+use crate::plan::{JoinKind, LogicalPlan, ReduceSpec};
+use crate::schema::Schema;
+
+/// Resolves dataset schemas during translation.
+pub trait SchemaProvider {
+    /// Returns the schema of a registered dataset, if known.
+    fn schema_of(&self, dataset: &str) -> Option<Schema>;
+}
+
+/// A schema provider that knows nothing; every scan gets an empty schema.
+/// Useful in tests and for schema-less JSON inputs.
+pub struct NoSchemas;
+
+impl SchemaProvider for NoSchemas {
+    fn schema_of(&self, _dataset: &str) -> Option<Schema> {
+        None
+    }
+}
+
+impl<F> SchemaProvider for F
+where
+    F: Fn(&str) -> Option<Schema>,
+{
+    fn schema_of(&self, dataset: &str) -> Option<Schema> {
+        self(dataset)
+    }
+}
+
+/// Translates a comprehension into a logical plan.
+///
+/// The comprehension is normalized first, so predicates sit right after the
+/// last generator that binds their variables; a predicate that references
+/// variables from both the plan built so far and the generator being added is
+/// used as the join condition.
+pub fn comprehension_to_plan(
+    comp: &Comprehension,
+    schemas: &dyn SchemaProvider,
+) -> Result<LogicalPlan> {
+    comp.check_bindings()?;
+    let comp = comp.normalize();
+
+    let mut plan: Option<LogicalPlan> = None;
+    let mut bound: BTreeSet<String> = BTreeSet::new();
+    // Predicates seen before their variables were fully bound would be a
+    // normalization bug; predicates seen before any generator are constants.
+    let mut pending_constant_predicates: Vec<Expr> = Vec::new();
+
+    let mut qualifiers = comp.qualifiers.iter().peekable();
+    while let Some(q) = qualifiers.next() {
+        match q {
+            Qualifier::Generator { var, source } => match source {
+                GeneratorSource::Dataset(name) => {
+                    let schema = schemas.schema_of(name).unwrap_or_else(Schema::empty);
+                    let scan = LogicalPlan::scan(name.clone(), var.clone(), schema);
+                    plan = Some(match plan {
+                        None => scan,
+                        Some(existing) => {
+                            // Collect immediately-following predicates that
+                            // reference both sides: those are join predicates.
+                            let mut join_preds = Vec::new();
+                            while let Some(Qualifier::Predicate(p)) = qualifiers.peek() {
+                                let vars = p.referenced_variables();
+                                let uses_new = vars.contains(var);
+                                let uses_old = vars.iter().any(|v| bound.contains(v));
+                                if uses_new && uses_old {
+                                    join_preds.push(p.clone());
+                                    qualifiers.next();
+                                } else {
+                                    break;
+                                }
+                            }
+                            let predicate = if join_preds.is_empty() {
+                                Expr::boolean(true)
+                            } else {
+                                Expr::conjunction(join_preds)
+                            };
+                            existing.join(scan, predicate, JoinKind::Inner)
+                        }
+                    });
+                    bound.insert(var.clone());
+                }
+                GeneratorSource::Path(path) => {
+                    let current = plan.ok_or_else(|| {
+                        AlgebraError::InvalidPlan(format!(
+                            "unnest of {path} before any dataset generator"
+                        ))
+                    })?;
+                    plan = Some(current.unnest(path.clone(), var.clone()));
+                    bound.insert(var.clone());
+                }
+            },
+            Qualifier::Predicate(pred) => {
+                let vars = pred.referenced_variables();
+                if vars.is_empty() && plan.is_none() {
+                    pending_constant_predicates.push(pred.clone());
+                    continue;
+                }
+                let current = plan.ok_or_else(|| {
+                    AlgebraError::InvalidPlan(format!(
+                        "predicate {pred} appears before any generator"
+                    ))
+                })?;
+                plan = Some(current.select(pred.clone()));
+            }
+        }
+    }
+
+    let mut plan = plan.ok_or_else(|| {
+        AlgebraError::InvalidPlan("comprehension has no generators".to_string())
+    })?;
+
+    // Constant predicates gate the whole query; apply them on top of the
+    // first scan (they are cheap and evaluated once per tuple anyway).
+    for pred in pending_constant_predicates {
+        plan = plan.select(pred);
+    }
+
+    // The head/monoid becomes a reduce. Collection monoids produce a bag of
+    // head values; scalar monoids produce a single aggregate.
+    let reduce = ReduceSpec::new(comp.monoid, comp.head.clone(), "result");
+    Ok(plan.reduce(vec![reduce]))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::expr::Path;
+    use crate::monoid::Monoid;
+
+    fn example_3_1() -> Comprehension {
+        Comprehension::new(
+            Monoid::Bag,
+            Expr::RecordCtor(vec![
+                ("id".into(), Expr::path("s1.id")),
+                ("ship".into(), Expr::path("s2.name")),
+                ("child".into(), Expr::path("c.name")),
+            ]),
+            vec![
+                Qualifier::Generator {
+                    var: "s1".into(),
+                    source: GeneratorSource::Dataset("Sailor".into()),
+                },
+                Qualifier::Generator {
+                    var: "c".into(),
+                    source: GeneratorSource::Path(Path::parse("s1.children")),
+                },
+                Qualifier::Generator {
+                    var: "s2".into(),
+                    source: GeneratorSource::Dataset("Ship".into()),
+                },
+                Qualifier::Generator {
+                    var: "p".into(),
+                    source: GeneratorSource::Path(Path::parse("s2.personnel")),
+                },
+                Qualifier::Predicate(Expr::path("s1.id").eq(Expr::path("p"))),
+                Qualifier::Predicate(Expr::path("c.age").gt(Expr::int(18))),
+            ],
+        )
+    }
+
+    #[test]
+    fn example_3_1_produces_unnest_operators() {
+        let plan = comprehension_to_plan(&example_3_1(), &NoSchemas).unwrap();
+        let mut names = Vec::new();
+        plan.visit(&mut |n| names.push(n.name()));
+        // Figure 1: the plan contains two unnest operators, a join and a
+        // reduce over two scans.
+        assert_eq!(names.iter().filter(|n| **n == "Unnest").count(), 2);
+        assert_eq!(names.iter().filter(|n| **n == "Join").count(), 1);
+        assert_eq!(names.iter().filter(|n| **n == "Scan").count(), 2);
+        assert_eq!(names[0], "Reduce");
+    }
+
+    #[test]
+    fn single_dataset_count_becomes_scan_select_reduce() {
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![
+                Qualifier::Generator {
+                    var: "l".into(),
+                    source: GeneratorSource::Dataset("lineitem".into()),
+                },
+                Qualifier::Predicate(Expr::path("l.l_orderkey").lt(Expr::int(100))),
+            ],
+        );
+        let plan = comprehension_to_plan(&comp, &NoSchemas).unwrap();
+        let mut names = Vec::new();
+        plan.visit(&mut |n| names.push(n.name()));
+        assert_eq!(names, vec!["Reduce", "Select", "Scan"]);
+    }
+
+    #[test]
+    fn cross_dataset_predicate_becomes_join_condition() {
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![
+                Qualifier::Generator {
+                    var: "o".into(),
+                    source: GeneratorSource::Dataset("orders".into()),
+                },
+                Qualifier::Generator {
+                    var: "l".into(),
+                    source: GeneratorSource::Dataset("lineitem".into()),
+                },
+                Qualifier::Predicate(Expr::path("o.o_orderkey").eq(Expr::path("l.l_orderkey"))),
+            ],
+        );
+        let plan = comprehension_to_plan(&comp, &NoSchemas).unwrap();
+        let mut saw_join_with_predicate = false;
+        plan.visit(&mut |n| {
+            if let LogicalPlan::Join { predicate, .. } = n {
+                saw_join_with_predicate = *predicate != Expr::boolean(true);
+            }
+        });
+        assert!(saw_join_with_predicate, "equi-predicate should move into the join");
+    }
+
+    #[test]
+    fn schema_provider_fills_scan_schema() {
+        let provider = |name: &str| {
+            if name == "lineitem" {
+                Some(Schema::from_pairs(vec![(
+                    "l_orderkey",
+                    crate::types::DataType::Int,
+                )]))
+            } else {
+                None
+            }
+        };
+        let comp = Comprehension::new(
+            Monoid::Count,
+            Expr::int(1),
+            vec![Qualifier::Generator {
+                var: "l".into(),
+                source: GeneratorSource::Dataset("lineitem".into()),
+            }],
+        );
+        let plan = comprehension_to_plan(&comp, &provider).unwrap();
+        let mut has_schema = false;
+        plan.visit(&mut |n| {
+            if let LogicalPlan::Scan { schema, .. } = n {
+                has_schema = !schema.is_empty();
+            }
+        });
+        assert!(has_schema);
+    }
+
+    #[test]
+    fn no_generators_is_error() {
+        let comp = Comprehension::new(Monoid::Count, Expr::int(1), vec![]);
+        assert!(comprehension_to_plan(&comp, &NoSchemas).is_err());
+    }
+}

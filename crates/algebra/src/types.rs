@@ -1,0 +1,201 @@
+//! The type system of the Proteus data model.
+//!
+//! The paper's algebra supports "various data collections (e.g., bags, sets,
+//! lists, arrays) and arbitrary nestings of them" (§3). We model primitive
+//! types, record types with named fields, and collection types parameterized
+//! by a [`CollectionKind`].
+
+use std::fmt;
+
+/// The kind of a collection monoid type: bag, set or list.
+///
+/// Bags are the default collection produced by queries (the paper's
+/// `yield bag (...)`). Sets deduplicate, lists preserve order.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum CollectionKind {
+    /// Unordered collection with duplicates (the default query output).
+    Bag,
+    /// Unordered collection without duplicates.
+    Set,
+    /// Ordered collection with duplicates (JSON arrays map here).
+    List,
+}
+
+impl fmt::Display for CollectionKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            CollectionKind::Bag => write!(f, "bag"),
+            CollectionKind::Set => write!(f, "set"),
+            CollectionKind::List => write!(f, "list"),
+        }
+    }
+}
+
+/// A data type in the Proteus data model.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub enum DataType {
+    /// Boolean.
+    Bool,
+    /// 64-bit signed integer.
+    Int,
+    /// 64-bit IEEE-754 float.
+    Float,
+    /// UTF-8 string.
+    String,
+    /// Date stored as days since epoch (TPC-H dates).
+    Date,
+    /// A record with named, typed fields.
+    Record(Vec<(String, DataType)>),
+    /// A collection of elements of a single type.
+    Collection(CollectionKind, Box<DataType>),
+    /// Unknown/any type: used for schema-less JSON fields before inference.
+    Any,
+}
+
+impl DataType {
+    /// Returns `true` for primitive (non-nested) types.
+    pub fn is_primitive(&self) -> bool {
+        matches!(
+            self,
+            DataType::Bool | DataType::Int | DataType::Float | DataType::String | DataType::Date
+        )
+    }
+
+    /// Returns `true` if the type is numeric (int or float).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, DataType::Int | DataType::Float)
+    }
+
+    /// Returns `true` if the type contains a nested collection anywhere.
+    pub fn contains_collection(&self) -> bool {
+        match self {
+            DataType::Collection(_, _) => true,
+            DataType::Record(fields) => fields.iter().any(|(_, t)| t.contains_collection()),
+            _ => false,
+        }
+    }
+
+    /// Builds a bag-of-records type, the most common dataset type.
+    pub fn bag_of(fields: Vec<(String, DataType)>) -> DataType {
+        DataType::Collection(CollectionKind::Bag, Box::new(DataType::Record(fields)))
+    }
+
+    /// Looks up the type of a field when `self` is a record type.
+    pub fn field_type(&self, name: &str) -> Option<&DataType> {
+        match self {
+            DataType::Record(fields) => fields.iter().find(|(n, _)| n == name).map(|(_, t)| t),
+            _ => None,
+        }
+    }
+
+    /// The element type when `self` is a collection.
+    pub fn element_type(&self) -> Option<&DataType> {
+        match self {
+            DataType::Collection(_, elem) => Some(elem),
+            _ => None,
+        }
+    }
+
+    /// The common numeric supertype of two numeric types (int + float = float).
+    pub fn numeric_join(&self, other: &DataType) -> Option<DataType> {
+        match (self, other) {
+            (DataType::Int, DataType::Int) => Some(DataType::Int),
+            (DataType::Int, DataType::Float)
+            | (DataType::Float, DataType::Int)
+            | (DataType::Float, DataType::Float) => Some(DataType::Float),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for DataType {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DataType::Bool => write!(f, "bool"),
+            DataType::Int => write!(f, "int"),
+            DataType::Float => write!(f, "float"),
+            DataType::String => write!(f, "string"),
+            DataType::Date => write!(f, "date"),
+            DataType::Record(fields) => {
+                write!(f, "record(")?;
+                for (i, (name, ty)) in fields.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{name}: {ty}")?;
+                }
+                write!(f, ")")
+            }
+            DataType::Collection(kind, elem) => write!(f, "{kind}<{elem}>"),
+            DataType::Any => write!(f, "any"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_are_primitive() {
+        assert!(DataType::Int.is_primitive());
+        assert!(DataType::Float.is_primitive());
+        assert!(DataType::String.is_primitive());
+        assert!(!DataType::Record(vec![]).is_primitive());
+        assert!(!DataType::Collection(CollectionKind::Bag, Box::new(DataType::Int)).is_primitive());
+    }
+
+    #[test]
+    fn numeric_join_promotes_to_float() {
+        assert_eq!(
+            DataType::Int.numeric_join(&DataType::Float),
+            Some(DataType::Float)
+        );
+        assert_eq!(
+            DataType::Int.numeric_join(&DataType::Int),
+            Some(DataType::Int)
+        );
+        assert_eq!(DataType::Int.numeric_join(&DataType::String), None);
+    }
+
+    #[test]
+    fn field_type_lookup() {
+        let rec = DataType::Record(vec![
+            ("id".into(), DataType::Int),
+            ("name".into(), DataType::String),
+        ]);
+        assert_eq!(rec.field_type("id"), Some(&DataType::Int));
+        assert_eq!(rec.field_type("name"), Some(&DataType::String));
+        assert_eq!(rec.field_type("missing"), None);
+    }
+
+    #[test]
+    fn contains_collection_detects_nested_arrays() {
+        let nested = DataType::Record(vec![(
+            "children".into(),
+            DataType::Collection(
+                CollectionKind::List,
+                Box::new(DataType::Record(vec![
+                    ("name".into(), DataType::String),
+                    ("age".into(), DataType::Int),
+                ])),
+            ),
+        )]);
+        assert!(nested.contains_collection());
+        let flat = DataType::Record(vec![("id".into(), DataType::Int)]);
+        assert!(!flat.contains_collection());
+    }
+
+    #[test]
+    fn display_renders_nested_types() {
+        let t = DataType::bag_of(vec![("id".into(), DataType::Int)]);
+        assert_eq!(t.to_string(), "bag<record(id: int)>");
+    }
+
+    #[test]
+    fn element_type_of_collection() {
+        let t = DataType::Collection(CollectionKind::List, Box::new(DataType::Float));
+        assert_eq!(t.element_type(), Some(&DataType::Float));
+        assert_eq!(DataType::Int.element_type(), None);
+    }
+}

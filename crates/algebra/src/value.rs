@@ -1,0 +1,508 @@
+//! Runtime values of the Proteus data model.
+//!
+//! A [`Value`] can be a primitive, a record (ordered named fields) or a
+//! collection. Values are what the interpreted baseline engines shuffle
+//! around per tuple; the generated Proteus pipelines avoid them on the hot
+//! path by working over typed accessors, but fall back to `Value` for
+//! complex nested results, query output and tests.
+
+use std::cmp::Ordering;
+use std::collections::hash_map::DefaultHasher;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+
+use crate::error::{AlgebraError, Result};
+use crate::types::{CollectionKind, DataType};
+
+/// A record: ordered list of `(field name, value)` pairs.
+///
+/// Field order is preserved because JSON objects may legitimately differ in
+/// field order between entries (§5.2 of the paper stresses that Proteus makes
+/// no field-order assumption).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Record {
+    fields: Vec<(String, Value)>,
+}
+
+impl Record {
+    /// Creates a record from `(name, value)` pairs.
+    pub fn new(fields: Vec<(String, Value)>) -> Self {
+        Record { fields }
+    }
+
+    /// An empty record.
+    pub fn empty() -> Self {
+        Record { fields: Vec::new() }
+    }
+
+    /// Number of fields.
+    pub fn len(&self) -> usize {
+        self.fields.len()
+    }
+
+    /// True if the record has no fields.
+    pub fn is_empty(&self) -> bool {
+        self.fields.is_empty()
+    }
+
+    /// Looks a field up by name.
+    pub fn get(&self, name: &str) -> Option<&Value> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+    }
+
+    /// Field at positional index.
+    pub fn get_index(&self, idx: usize) -> Option<(&str, &Value)> {
+        self.fields.get(idx).map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Adds or replaces a field.
+    pub fn set(&mut self, name: impl Into<String>, value: Value) {
+        let name = name.into();
+        if let Some(slot) = self.fields.iter_mut().find(|(n, _)| *n == name) {
+            slot.1 = value;
+        } else {
+            self.fields.push((name, value));
+        }
+    }
+
+    /// Iterates over `(name, value)` pairs in declaration order.
+    pub fn iter(&self) -> impl Iterator<Item = (&str, &Value)> {
+        self.fields.iter().map(|(n, v)| (n.as_str(), v))
+    }
+
+    /// Consumes the record and returns its fields.
+    pub fn into_fields(self) -> Vec<(String, Value)> {
+        self.fields
+    }
+
+    /// Field names in order.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.fields.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Merges another record into this one (right-hand fields win on clash).
+    pub fn merge(&mut self, other: Record) {
+        for (n, v) in other.fields {
+            self.set(n, v);
+        }
+    }
+}
+
+impl FromIterator<(String, Value)> for Record {
+    fn from_iter<T: IntoIterator<Item = (String, Value)>>(iter: T) -> Self {
+        Record {
+            fields: iter.into_iter().collect(),
+        }
+    }
+}
+
+/// A runtime value.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Value {
+    /// Absent value (SQL NULL / JSON null / missing optional JSON field).
+    Null,
+    /// Boolean.
+    Bool(bool),
+    /// 64-bit signed integer.
+    Int(i64),
+    /// 64-bit float.
+    Float(f64),
+    /// UTF-8 string.
+    Str(String),
+    /// Date as days since 1970-01-01.
+    Date(i64),
+    /// Record with named fields.
+    Record(Record),
+    /// Collection (bag/set/list distinction is carried by the type layer;
+    /// at runtime all collections are materialized as vectors).
+    List(Vec<Value>),
+}
+
+impl Value {
+    /// Shorthand string constructor.
+    pub fn str(s: impl Into<String>) -> Value {
+        Value::Str(s.into())
+    }
+
+    /// Shorthand record constructor.
+    pub fn record(fields: Vec<(&str, Value)>) -> Value {
+        Value::Record(Record::new(
+            fields.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+        ))
+    }
+
+    /// Returns the [`DataType`] most closely describing this value.
+    pub fn data_type(&self) -> DataType {
+        match self {
+            Value::Null => DataType::Any,
+            Value::Bool(_) => DataType::Bool,
+            Value::Int(_) => DataType::Int,
+            Value::Float(_) => DataType::Float,
+            Value::Str(_) => DataType::String,
+            Value::Date(_) => DataType::Date,
+            Value::Record(rec) => DataType::Record(
+                rec.iter()
+                    .map(|(n, v)| (n.to_string(), v.data_type()))
+                    .collect(),
+            ),
+            Value::List(items) => {
+                let elem = items
+                    .first()
+                    .map(|v| v.data_type())
+                    .unwrap_or(DataType::Any);
+                DataType::Collection(CollectionKind::List, Box::new(elem))
+            }
+        }
+    }
+
+    /// True if this is `Value::Null`.
+    pub fn is_null(&self) -> bool {
+        matches!(self, Value::Null)
+    }
+
+    /// Interprets the value as a boolean (for predicates). Null is false.
+    pub fn as_bool(&self) -> Result<bool> {
+        match self {
+            Value::Bool(b) => Ok(*b),
+            Value::Null => Ok(false),
+            other => Err(AlgebraError::TypeMismatch {
+                op: "boolean coercion".into(),
+                detail: format!("{other:?} is not a boolean"),
+            }),
+        }
+    }
+
+    /// Integer view of the value, if it is an integer or date.
+    pub fn as_int(&self) -> Result<i64> {
+        match self {
+            Value::Int(i) => Ok(*i),
+            Value::Date(d) => Ok(*d),
+            other => Err(AlgebraError::TypeMismatch {
+                op: "integer coercion".into(),
+                detail: format!("{other:?} is not an integer"),
+            }),
+        }
+    }
+
+    /// Float view of the value (ints widen).
+    pub fn as_float(&self) -> Result<f64> {
+        match self {
+            Value::Float(f) => Ok(*f),
+            Value::Int(i) => Ok(*i as f64),
+            Value::Date(d) => Ok(*d as f64),
+            other => Err(AlgebraError::TypeMismatch {
+                op: "float coercion".into(),
+                detail: format!("{other:?} is not numeric"),
+            }),
+        }
+    }
+
+    /// String view of the value.
+    pub fn as_str(&self) -> Result<&str> {
+        match self {
+            Value::Str(s) => Ok(s),
+            other => Err(AlgebraError::TypeMismatch {
+                op: "string coercion".into(),
+                detail: format!("{other:?} is not a string"),
+            }),
+        }
+    }
+
+    /// Record view of the value.
+    pub fn as_record(&self) -> Result<&Record> {
+        match self {
+            Value::Record(r) => Ok(r),
+            other => Err(AlgebraError::TypeMismatch {
+                op: "record access".into(),
+                detail: format!("{other:?} is not a record"),
+            }),
+        }
+    }
+
+    /// Collection view of the value.
+    pub fn as_list(&self) -> Result<&[Value]> {
+        match self {
+            Value::List(items) => Ok(items),
+            other => Err(AlgebraError::TypeMismatch {
+                op: "collection access".into(),
+                detail: format!("{other:?} is not a collection"),
+            }),
+        }
+    }
+
+    /// True if the value is numeric (int, float or date).
+    pub fn is_numeric(&self) -> bool {
+        matches!(self, Value::Int(_) | Value::Float(_) | Value::Date(_))
+    }
+
+    /// Total ordering used for comparisons, sorting, MIN/MAX and grouping.
+    ///
+    /// Nulls sort first; numeric values compare by their float view so that
+    /// `Int(3) == Float(3.0)`; values of different non-numeric classes
+    /// compare by a fixed class rank (so ordering is total and stable, which
+    /// the radix/group operators rely on).
+    pub fn total_cmp(&self, other: &Value) -> Ordering {
+        fn class_rank(v: &Value) -> u8 {
+            match v {
+                Value::Null => 0,
+                Value::Bool(_) => 1,
+                Value::Int(_) | Value::Float(_) | Value::Date(_) => 2,
+                Value::Str(_) => 3,
+                Value::List(_) => 4,
+                Value::Record(_) => 5,
+            }
+        }
+        match (self, other) {
+            (Value::Null, Value::Null) => Ordering::Equal,
+            (a, b) if a.is_numeric() && b.is_numeric() => {
+                let fa = a.as_float().unwrap_or(f64::NAN);
+                let fb = b.as_float().unwrap_or(f64::NAN);
+                fa.total_cmp(&fb)
+            }
+            (Value::Bool(a), Value::Bool(b)) => a.cmp(b),
+            (Value::Str(a), Value::Str(b)) => a.cmp(b),
+            (Value::List(a), Value::List(b)) => {
+                for (x, y) in a.iter().zip(b.iter()) {
+                    let ord = x.total_cmp(y);
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (Value::Record(a), Value::Record(b)) => {
+                for ((an, av), (bn, bv)) in a.iter().zip(b.iter()) {
+                    let ord = an.cmp(bn).then_with(|| av.total_cmp(bv));
+                    if ord != Ordering::Equal {
+                        return ord;
+                    }
+                }
+                a.len().cmp(&b.len())
+            }
+            (a, b) => class_rank(a).cmp(&class_rank(b)),
+        }
+    }
+
+    /// Equality following the same semantics as [`Value::total_cmp`].
+    pub fn value_eq(&self, other: &Value) -> bool {
+        self.total_cmp(other) == Ordering::Equal
+    }
+
+    /// A stable 64-bit hash consistent with [`Value::value_eq`].
+    ///
+    /// Numeric values hash through their float bit pattern so that
+    /// `Int(3)` and `Float(3.0)` collide, matching equality.
+    pub fn stable_hash(&self) -> u64 {
+        let mut hasher = DefaultHasher::new();
+        self.hash_into(&mut hasher);
+        hasher.finish()
+    }
+
+    fn hash_into(&self, hasher: &mut DefaultHasher) {
+        match self {
+            Value::Null => 0u8.hash(hasher),
+            Value::Bool(b) => {
+                1u8.hash(hasher);
+                b.hash(hasher);
+            }
+            v if v.is_numeric() => {
+                2u8.hash(hasher);
+                let f = v.as_float().unwrap_or(f64::NAN);
+                f.to_bits().hash(hasher);
+            }
+            Value::Str(s) => {
+                3u8.hash(hasher);
+                s.hash(hasher);
+            }
+            Value::List(items) => {
+                4u8.hash(hasher);
+                items.len().hash(hasher);
+                for item in items {
+                    item.hash_into(hasher);
+                }
+            }
+            Value::Record(rec) => {
+                5u8.hash(hasher);
+                rec.len().hash(hasher);
+                for (n, v) in rec.iter() {
+                    n.hash(hasher);
+                    v.hash_into(hasher);
+                }
+            }
+            _ => unreachable!("numeric arm handled above"),
+        }
+    }
+
+    /// Navigates a dotted path inside nested records.
+    ///
+    /// Returns `Value::Null` when an intermediate field is missing — the
+    /// outer-unnest/outer-join semantics of the algebra require missing paths
+    /// to degrade to null rather than error.
+    pub fn navigate(&self, path: &[String]) -> Value {
+        let mut current = self;
+        for segment in path {
+            match current {
+                Value::Record(rec) => match rec.get(segment) {
+                    Some(v) => current = v,
+                    None => return Value::Null,
+                },
+                _ => return Value::Null,
+            }
+        }
+        current.clone()
+    }
+}
+
+impl fmt::Display for Value {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Value::Null => write!(f, "null"),
+            Value::Bool(b) => write!(f, "{b}"),
+            Value::Int(i) => write!(f, "{i}"),
+            Value::Float(x) => write!(f, "{x}"),
+            Value::Str(s) => write!(f, "\"{s}\""),
+            Value::Date(d) => write!(f, "date({d})"),
+            Value::Record(rec) => {
+                write!(f, "{{")?;
+                for (i, (n, v)) in rec.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{n}: {v}")?;
+                }
+                write!(f, "}}")
+            }
+            Value::List(items) => {
+                write!(f, "[")?;
+                for (i, v) in items.iter().enumerate() {
+                    if i > 0 {
+                        write!(f, ", ")?;
+                    }
+                    write!(f, "{v}")?;
+                }
+                write!(f, "]")
+            }
+        }
+    }
+}
+
+impl From<i64> for Value {
+    fn from(v: i64) -> Self {
+        Value::Int(v)
+    }
+}
+
+impl From<f64> for Value {
+    fn from(v: f64) -> Self {
+        Value::Float(v)
+    }
+}
+
+impl From<bool> for Value {
+    fn from(v: bool) -> Self {
+        Value::Bool(v)
+    }
+}
+
+impl From<&str> for Value {
+    fn from(v: &str) -> Self {
+        Value::Str(v.to_string())
+    }
+}
+
+impl From<String> for Value {
+    fn from(v: String) -> Self {
+        Value::Str(v)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn record_get_set() {
+        let mut rec = Record::empty();
+        rec.set("id", Value::Int(1));
+        rec.set("name", Value::str("alice"));
+        assert_eq!(rec.get("id"), Some(&Value::Int(1)));
+        rec.set("id", Value::Int(2));
+        assert_eq!(rec.get("id"), Some(&Value::Int(2)));
+        assert_eq!(rec.len(), 2);
+        assert_eq!(rec.field_names(), vec!["id", "name"]);
+    }
+
+    #[test]
+    fn numeric_equality_crosses_int_float() {
+        assert!(Value::Int(3).value_eq(&Value::Float(3.0)));
+        assert!(!Value::Int(3).value_eq(&Value::Float(3.5)));
+        assert_eq!(
+            Value::Int(3).stable_hash(),
+            Value::Float(3.0).stable_hash()
+        );
+    }
+
+    #[test]
+    fn total_cmp_orders_numbers_and_strings() {
+        assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
+        assert_eq!(
+            Value::str("a").total_cmp(&Value::str("b")),
+            Ordering::Less
+        );
+        assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
+    }
+
+    #[test]
+    fn navigate_nested_records() {
+        let v = Value::record(vec![(
+            "c",
+            Value::record(vec![("d", Value::record(vec![("d1", Value::Int(42))]))]),
+        )]);
+        let path = vec!["c".to_string(), "d".to_string(), "d1".to_string()];
+        assert_eq!(v.navigate(&path), Value::Int(42));
+        let missing = vec!["c".to_string(), "x".to_string()];
+        assert_eq!(v.navigate(&missing), Value::Null);
+    }
+
+    #[test]
+    fn coercions() {
+        assert_eq!(Value::Int(5).as_float().unwrap(), 5.0);
+        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
+        assert_eq!(Value::Null.as_bool().unwrap(), false);
+        assert!(Value::str("x").as_int().is_err());
+    }
+
+    #[test]
+    fn data_type_inference() {
+        assert_eq!(Value::Int(1).data_type(), DataType::Int);
+        let rec = Value::record(vec![("a", Value::Float(1.0))]);
+        assert_eq!(
+            rec.data_type(),
+            DataType::Record(vec![("a".into(), DataType::Float)])
+        );
+    }
+
+    #[test]
+    fn list_ordering_is_lexicographic() {
+        let a = Value::List(vec![Value::Int(1), Value::Int(2)]);
+        let b = Value::List(vec![Value::Int(1), Value::Int(3)]);
+        assert_eq!(a.total_cmp(&b), Ordering::Less);
+        let shorter = Value::List(vec![Value::Int(1)]);
+        assert_eq!(shorter.total_cmp(&a), Ordering::Less);
+    }
+
+    #[test]
+    fn display_round_trips_reasonably() {
+        let v = Value::record(vec![("a", Value::Int(1)), ("b", Value::List(vec![]))]);
+        assert_eq!(v.to_string(), "{a: 1, b: []}");
+    }
+
+    #[test]
+    fn record_merge_overwrites() {
+        let mut a = Record::new(vec![("x".into(), Value::Int(1))]);
+        let b = Record::new(vec![("x".into(), Value::Int(2)), ("y".into(), Value::Int(3))]);
+        a.merge(b);
+        assert_eq!(a.get("x"), Some(&Value::Int(2)));
+        assert_eq!(a.get("y"), Some(&Value::Int(3)));
+    }
+}

@@ -1,0 +1,38 @@
+//! # proteus-baselines
+//!
+//! Re-implementations of the *architectural classes* Proteus is compared
+//! against in §7 of the paper. The paper benchmarks specific products
+//! (PostgreSQL, DBMS X, MonetDB, DBMS C, MongoDB); this crate reproduces the
+//! mechanisms the paper credits for each system's behaviour so the relative
+//! shapes of the figures can be regenerated:
+//!
+//! * [`row_store`] — a Volcano-style interpreted row store that loads every
+//!   input into its own binary row representation, with a `jsonb`-like binary
+//!   JSON encoding ("PostgreSQL-like") and a character-encoded JSON variant
+//!   that re-parses objects on every access ("DBMS X-like").
+//! * [`column_store`] — an operator-at-a-time column store that fully
+//!   materializes every intermediate result ("MonetDB-like"), plus a
+//!   read-optimized variant that sorts on a load key, keeps zone maps for
+//!   data skipping and dictionary-encodes strings ("DBMS C-like").
+//! * [`document_store`] — a BSON-style document store with native unnesting
+//!   but no first-class joins ("MongoDB-like").
+//! * [`polystore`] — a mediator that routes relational data to the column
+//!   store and JSON to the document store and joins across them in a
+//!   middleware layer (the "DBMS C & MongoDB + middleware" configuration of
+//!   §7.2).
+//!
+//! All engines consume the same [`proteus_algebra::LogicalPlan`]s and the
+//! same input files as Proteus, and are tested for result-equivalence against
+//! the reference interpreter.
+
+pub mod column_store;
+pub mod common;
+pub mod document_store;
+pub mod polystore;
+pub mod row_store;
+
+pub use column_store::{ColumnStoreEngine, SortedColumnStoreEngine};
+pub use common::{BaselineEngine, LoadedTable};
+pub use document_store::DocumentStoreEngine;
+pub use polystore::PolystoreMediator;
+pub use row_store::{JsonEncoding, RowStoreEngine};

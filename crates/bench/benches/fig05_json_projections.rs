@@ -1,0 +1,16 @@
+//! Figure 5: projection-intensive queries over JSON data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 5: JSON projections",
+        &[
+            QueryTemplate::Projection { aggregates: 1 },
+            QueryTemplate::Projection { aggregates: 2 },
+            QueryTemplate::Projection { aggregates: 4 },
+        ],
+        &EngineKind::json_lineup(),
+        true,
+        &[10, 20, 50, 100],
+    );
+}

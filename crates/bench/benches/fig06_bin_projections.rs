@@ -1,0 +1,16 @@
+//! Figure 6: projection-intensive queries over binary relational data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 6: binary projections",
+        &[
+            QueryTemplate::Projection { aggregates: 1 },
+            QueryTemplate::Projection { aggregates: 2 },
+            QueryTemplate::Projection { aggregates: 4 },
+        ],
+        &EngineKind::binary_lineup(),
+        false,
+        &[10, 20, 50, 100],
+    );
+}

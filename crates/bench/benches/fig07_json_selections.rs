@@ -1,0 +1,16 @@
+//! Figure 7: selection queries over JSON data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 7: JSON selections",
+        &[
+            QueryTemplate::Selection { predicates: 1 },
+            QueryTemplate::Selection { predicates: 3 },
+            QueryTemplate::Selection { predicates: 4 },
+        ],
+        &EngineKind::json_lineup(),
+        true,
+        &[10, 20, 50, 100],
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 8: selection queries over binary relational data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 8: binary selections",
+        &[
+            QueryTemplate::Selection { predicates: 1 },
+            QueryTemplate::Selection { predicates: 3 },
+            QueryTemplate::Selection { predicates: 4 },
+        ],
+        &EngineKind::binary_lineup(),
+        false,
+        &[10, 20, 50, 100],
+    );
+}

@@ -1,0 +1,17 @@
+//! Figure 9: join and unnest queries over JSON data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 9: JSON joins & unnest",
+        &[
+            QueryTemplate::Join { aggregates: 1 },
+            QueryTemplate::Join { aggregates: 2 },
+            QueryTemplate::Join { aggregates: 3 },
+            QueryTemplate::Unnest,
+        ],
+        &EngineKind::json_lineup(),
+        true,
+        &[10, 20, 50, 100],
+    );
+}

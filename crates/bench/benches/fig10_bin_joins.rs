@@ -1,0 +1,16 @@
+//! Figure 10: join queries over binary relational data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 10: binary joins",
+        &[
+            QueryTemplate::Join { aggregates: 1 },
+            QueryTemplate::Join { aggregates: 2 },
+            QueryTemplate::Join { aggregates: 3 },
+        ],
+        &EngineKind::binary_lineup(),
+        false,
+        &[10, 20, 50, 100],
+    );
+}

@@ -1,0 +1,16 @@
+//! Figure 11: aggregate (group-by) queries over JSON data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 11: JSON group-bys",
+        &[
+            QueryTemplate::GroupBy { aggregates: 1 },
+            QueryTemplate::GroupBy { aggregates: 3 },
+            QueryTemplate::GroupBy { aggregates: 4 },
+        ],
+        &EngineKind::json_lineup(),
+        true,
+        &[10, 20, 50, 100],
+    );
+}

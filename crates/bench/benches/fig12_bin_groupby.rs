@@ -1,0 +1,16 @@
+//! Figure 12: aggregate (group-by) queries over binary relational data.
+use proteus_bench::harness::{run_figure, EngineKind, QueryTemplate};
+
+fn main() {
+    run_figure(
+        "Figure 12: binary group-bys",
+        &[
+            QueryTemplate::GroupBy { aggregates: 1 },
+            QueryTemplate::GroupBy { aggregates: 3 },
+            QueryTemplate::GroupBy { aggregates: 4 },
+        ],
+        &EngineKind::binary_lineup(),
+        false,
+        &[10, 20, 50, 100],
+    );
+}

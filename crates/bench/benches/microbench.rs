@@ -1,0 +1,105 @@
+//! Criterion micro-benchmarks isolating the mechanisms behind the figures:
+//! generated-pipeline scan vs. interpreted Volcano scan, JSON structural-index
+//! access vs. full re-parse, and the radix hash join build/probe.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use proteus_algebra::{Expr, Monoid, ReduceSpec, Schema};
+use proteus_bench::harness::{BenchSetup, EngineKind, QueryTemplate};
+use proteus_core::exec::radix::RadixHashTable;
+use proteus_plugins::InputPlugin;
+
+fn bench_engines(c: &mut Criterion) {
+    let setup = BenchSetup::tpch(0.1);
+    let plan = QueryTemplate::Projection { aggregates: 1 }.plan(setup.threshold(50));
+
+    let proteus = setup.proteus_binary();
+    c.bench_function("generated_pipeline_scan_count", |b| {
+        b.iter(|| proteus.execute_plan(plan.clone()).unwrap().rows)
+    });
+
+    let volcano = setup.baseline(EngineKind::RowStoreBinaryJson, false);
+    c.bench_function("volcano_interpreted_scan_count", |b| {
+        b.iter(|| volcano.execute(&plan).unwrap())
+    });
+
+    let columnar = setup.baseline(EngineKind::ColumnStore, false);
+    c.bench_function("columnar_materializing_scan_count", |b| {
+        b.iter(|| columnar.execute(&plan).unwrap())
+    });
+}
+
+fn bench_json_access(c: &mut Criterion) {
+    let setup = BenchSetup::tpch(0.1);
+    let raw = std::fs::read(setup.dir.join("lineitem.json")).unwrap();
+    let plugin =
+        proteus_plugins::json::JsonPlugin::from_bytes("lineitem", bytes_from(raw.clone())).unwrap();
+    c.bench_function("json_field_via_structural_index", |b| {
+        b.iter(|| {
+            let mut total = 0i64;
+            for oid in 0..plugin.len() {
+                total += plugin
+                    .read_value(oid, "l_orderkey")
+                    .unwrap()
+                    .as_int()
+                    .unwrap_or(0);
+            }
+            total
+        })
+    });
+    c.bench_function("json_field_via_full_reparse", |b| {
+        b.iter(|| {
+            let rows = proteus_baselines::common::parse_json_dataset(&raw).unwrap();
+            rows.iter()
+                .map(|r| {
+                    r.as_record()
+                        .unwrap()
+                        .get("l_orderkey")
+                        .and_then(|v| v.as_int().ok())
+                        .unwrap_or(0)
+                })
+                .sum::<i64>()
+        })
+    });
+}
+
+fn bench_radix_join(c: &mut Criterion) {
+    use proteus_algebra::Value;
+    let build: Vec<(Value, Vec<Value>)> = (0..5_000)
+        .map(|i| (Value::Int(i % 500), vec![Value::Int(i)]))
+        .collect();
+    c.bench_function("radix_hash_join_build_probe", |b| {
+        b.iter(|| {
+            let table = RadixHashTable::build(build.clone());
+            let mut matches = 0usize;
+            for i in 0..5_000i64 {
+                matches += table.probe(&Value::Int(i % 500), |_| {});
+            }
+            matches
+        })
+    });
+}
+
+fn bench_query_compilation(c: &mut Criterion) {
+    let setup = BenchSetup::tpch(0.05);
+    let engine = setup.proteus_binary();
+    c.bench_function("engine_generation_compile_time", |b| {
+        b.iter(|| {
+            engine
+                .explain_sql("SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 10")
+                .unwrap()
+                .len()
+        })
+    });
+    let _ = (Schema::empty(), ReduceSpec::new(Monoid::Count, Expr::int(1), "c"));
+}
+
+fn bytes_from(data: Vec<u8>) -> bytes::Bytes {
+    bytes::Bytes::from(data)
+}
+
+criterion_group! {
+    name = benches;
+    config = Criterion::default().sample_size(10).measurement_time(std::time::Duration::from_secs(2)).warm_up_time(std::time::Duration::from_millis(300));
+    targets = bench_engines, bench_json_access, bench_radix_join, bench_query_compilation
+}
+criterion_main!(benches);

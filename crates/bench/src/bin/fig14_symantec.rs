@@ -1,0 +1,304 @@
+//! Figure 14 + Table 3: the Symantec-like spam-analysis workload.
+//!
+//! Three approaches run the same 50-query workload over the same three silos
+//! (binary history table, CSV classification output, JSON spam objects):
+//!
+//! 1. an RDBMS extended with JSON support (the PostgreSQL-like row store),
+//! 2. a polystore: sorted column store + document store + middleware,
+//! 3. Proteus with adaptive caching enabled.
+//!
+//! The binary prints the per-query times of Figure 14 (grouped by the dataset
+//! combination each query touches) and the per-phase totals of Table 3.
+
+use std::time::{Duration, Instant};
+
+use proteus_algebra::{Expr, JoinKind, LogicalPlan, Monoid, Path, ReduceSpec, Schema, Value};
+use proteus_baselines::{BaselineEngine, PolystoreMediator, RowStoreEngine};
+use proteus_core::{EngineConfig, QueryEngine};
+use proteus_datagen::symantec::{QueryGroup, SymantecGenerator, SymantecScale};
+use proteus_datagen::writers;
+
+fn scan(name: &str, alias: &str) -> LogicalPlan {
+    LogicalPlan::scan(name, alias, Schema::empty())
+}
+
+fn count(plan: LogicalPlan) -> LogicalPlan {
+    plan.reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")])
+}
+
+/// Builds workload query `q` (1-based). Queries cycle through selections,
+/// joins, unnests and group-bys within each dataset group, with selectivities
+/// between ~1 % and 25 % and projectivity 1–9 fields, as described in §7.2.
+fn workload_query(q: usize, spam_count: i64) -> LogicalPlan {
+    let sel = 1 + (q as i64 * 7) % 25; // ~1%..25%
+    let spam_threshold = spam_count * sel / 100;
+    let history = scan("history", "h");
+    let classifications = scan("classifications", "c");
+    let spam = scan("spam", "s");
+    match QueryGroup::of_query(q) {
+        QueryGroup::Bin => {
+            let filtered = history.select(Expr::path("h.occurrences").lt(Expr::int(5 + sel * 20)));
+            if q % 2 == 0 {
+                filtered.nest(
+                    vec![Expr::path("h.dominant_bot")],
+                    vec!["bot".into()],
+                    vec![
+                        ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                        ReduceSpec::new(Monoid::Sum, Expr::path("h.total_score"), "score"),
+                    ],
+                )
+            } else {
+                filtered.reduce(vec![
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                    ReduceSpec::new(Monoid::Max, Expr::path("h.total_score"), "max_score"),
+                ])
+            }
+        }
+        QueryGroup::Csv => {
+            let filtered =
+                classifications.select(Expr::path("c.score").lt(Expr::float(sel as f64 * 4.0)));
+            if q == 12 || q == 13 {
+                // String-heavy queries of the paper (predicates on labels).
+                count(filtered.select(Expr::Contains {
+                    expr: Box::new(Expr::path("c.label")),
+                    needle: "phishing".into(),
+                }))
+            } else if q % 2 == 0 {
+                filtered.nest(
+                    vec![Expr::path("c.malware_class")],
+                    vec!["class".into()],
+                    vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")],
+                )
+            } else {
+                count(filtered)
+            }
+        }
+        QueryGroup::Json => {
+            let filtered = spam.select(Expr::path("s.mail_id").lt(Expr::int(spam_threshold)));
+            if q % 3 == 0 {
+                // Unnest of the per-classifier label arrays.
+                count(
+                    filtered
+                        .unnest(Path::parse("s.classes"), "cl")
+                        .select(Expr::path("cl.confidence").gt(Expr::float(0.5))),
+                )
+            } else if q == 18 || q == 21 {
+                count(filtered.select(Expr::Contains {
+                    expr: Box::new(Expr::path("s.subject")),
+                    needle: "offer".into(),
+                }))
+            } else {
+                filtered.reduce(vec![
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                    ReduceSpec::new(Monoid::Max, Expr::path("s.size_bytes"), "max_size"),
+                ])
+            }
+        }
+        QueryGroup::BinCsv => count(
+            history
+                .join(
+                    classifications,
+                    Expr::path("h.mail_id").eq(Expr::path("c.mail_id")),
+                    JoinKind::Inner,
+                )
+                .select(
+                    Expr::path("c.score")
+                        .lt(Expr::float(sel as f64 * 2.0))
+                        .and(Expr::path("h.occurrences").lt(Expr::int(200))),
+                ),
+        ),
+        QueryGroup::BinJson => count(
+            history
+                .join(
+                    spam,
+                    Expr::path("h.mail_id").eq(Expr::path("s.mail_id")),
+                    JoinKind::Inner,
+                )
+                .select(Expr::path("s.mail_id").lt(Expr::int(spam_threshold))),
+        ),
+        QueryGroup::CsvJson => count(
+            classifications
+                .join(
+                    spam,
+                    Expr::path("c.mail_id").eq(Expr::path("s.mail_id")),
+                    JoinKind::Inner,
+                )
+                .select(Expr::path("c.score").lt(Expr::float(sel as f64 * 2.0))),
+        ),
+        QueryGroup::BinCsvJson => count(
+            history
+                .join(
+                    classifications,
+                    Expr::path("h.mail_id").eq(Expr::path("c.mail_id")),
+                    JoinKind::Inner,
+                )
+                .join(
+                    spam,
+                    Expr::path("c.mail_id").eq(Expr::path("s.mail_id")),
+                    JoinKind::Inner,
+                )
+                .select(Expr::path("c.score").lt(Expr::float(sel as f64 * 2.0))),
+        ),
+    }
+}
+
+fn checksum(rows: &[Value]) -> f64 {
+    proteus_bench::harness::checksum(rows)
+}
+
+fn agree(a: f64, b: f64) -> bool {
+    proteus_bench::harness::checksums_agree(a, b)
+}
+
+fn main() {
+    let scale = SymantecScale::scaled(1.0);
+    let mut generator = SymantecGenerator::new(scale);
+    let spam = generator.spam_objects();
+    let classifications = generator.classifications();
+    let history = generator.history();
+    let spam_count = spam.len() as i64;
+
+    let dir = std::env::temp_dir().join("proteus_symantec_bench");
+    std::fs::create_dir_all(&dir).unwrap();
+    writers::write_json(dir.join("spam.json"), &spam, true).unwrap();
+    writers::write_csv(
+        dir.join("classifications.csv"),
+        &classifications,
+        &SymantecGenerator::classification_schema(),
+        '|',
+    )
+    .unwrap();
+    writers::write_column_table(dir.join("history_cols"), &history, &SymantecGenerator::history_schema())
+        .unwrap();
+    let spam_json = std::fs::read(dir.join("spam.json")).unwrap();
+
+    // --- Approach I: RDBMS with JSON support (loads CSV + JSON up front). ---
+    let mut rdbms = RowStoreEngine::postgres_like();
+    rdbms.load("history", history.clone());
+    let rdbms_load_csv = {
+        let start = Instant::now();
+        rdbms.load("classifications", classifications.clone());
+        start.elapsed()
+    };
+    let rdbms_load_json = rdbms.load_json("spam", &spam_json).unwrap().load_time;
+
+    // --- Approach II: polystore (column store + document store + middleware). ---
+    let mut polystore = PolystoreMediator::new();
+    polystore.load_relational("history", history.clone(), Some("mail_id"));
+    let poly_load_csv = {
+        let start = Instant::now();
+        polystore.load_relational("classifications", classifications.clone(), Some("mail_id"));
+        start.elapsed()
+    };
+    let poly_load_json = polystore.load_json("spam", &spam_json).unwrap().load_time;
+
+    // --- Approach III: Proteus (queries the raw files in place, caching on). ---
+    let proteus = QueryEngine::new(EngineConfig::default());
+    proteus.register_columns("history", dir.join("history_cols")).unwrap();
+    proteus
+        .register_csv(
+            "classifications",
+            dir.join("classifications.csv"),
+            SymantecGenerator::classification_schema(),
+            proteus_plugins::csv::CsvOptions::default(),
+        )
+        .unwrap();
+    proteus.register_json("spam", dir.join("spam.json")).unwrap();
+
+    println!("=== Figure 14: Symantec-like spam workload ({} spam objects, {} CSV rows, {} binary rows) ===",
+        spam.len(), classifications.len(), history.len());
+    println!(
+        "{:<6}{:<14}{:>16}{:>16}{:>16}",
+        "query", "datasets", "RDBMS+JSON ms", "Polystore ms", "Proteus ms"
+    );
+
+    let mut totals = [Duration::ZERO; 3];
+    let mut q39 = [Duration::ZERO; 3];
+    for q in 1..=50usize {
+        let plan = workload_query(q, spam_count);
+
+        let start = Instant::now();
+        let rdbms_rows = rdbms.execute(&plan).expect("rdbms query failed");
+        let t_rdbms = start.elapsed();
+
+        let start = Instant::now();
+        let poly_rows = polystore.execute(&plan).expect("polystore query failed");
+        let t_poly = start.elapsed();
+
+        let start = Instant::now();
+        let proteus_rows = proteus.execute_plan(plan).expect("proteus query failed").rows;
+        let t_proteus = start.elapsed();
+
+        assert!(agree(checksum(&rdbms_rows), checksum(&proteus_rows)), "Q{q} mismatch (rdbms)");
+        assert!(agree(checksum(&poly_rows), checksum(&proteus_rows)), "Q{q} mismatch (polystore)");
+
+        totals[0] += t_rdbms;
+        totals[1] += t_poly;
+        totals[2] += t_proteus;
+        if q == 39 {
+            q39 = [t_rdbms, t_poly, t_proteus];
+        }
+        println!(
+            "Q{:<5}{:<14}{:>13.2} ms{:>13.2} ms{:>13.2} ms",
+            q,
+            QueryGroup::of_query(q).label(),
+            t_rdbms.as_secs_f64() * 1e3,
+            t_poly.as_secs_f64() * 1e3,
+            t_proteus.as_secs_f64() * 1e3
+        );
+    }
+
+    let ms = |d: Duration| d.as_secs_f64() * 1e3;
+    println!("\n=== Table 3: execution time per workload phase (ms) ===");
+    println!(
+        "{:<28}{:>12}{:>12}{:>12}{:>12}{:>12}{:>12}",
+        "system", "Load CSV", "Load JSON", "Middleware", "Q39", "Rest", "Total"
+    );
+    let middleware = polystore.middleware_time();
+    let rows = [
+        (
+            "RDBMS + JSON (row store)",
+            rdbms_load_csv,
+            rdbms_load_json,
+            Duration::ZERO,
+            q39[0],
+            totals[0] - q39[0],
+            rdbms_load_csv + rdbms_load_json + totals[0],
+        ),
+        (
+            "Polystore + middleware",
+            poly_load_csv,
+            poly_load_json,
+            middleware,
+            q39[1],
+            totals[1] - q39[1],
+            poly_load_csv + poly_load_json + totals[1],
+        ),
+        (
+            "Proteus",
+            Duration::ZERO,
+            Duration::ZERO,
+            Duration::ZERO,
+            q39[2],
+            totals[2] - q39[2],
+            totals[2],
+        ),
+    ];
+    for (name, load_csv, load_json, mid, q39t, rest, total) in rows {
+        println!(
+            "{:<28}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>12.1}{:>12.1}",
+            name,
+            ms(load_csv),
+            ms(load_json),
+            ms(mid),
+            ms(q39t),
+            ms(rest),
+            ms(total)
+        );
+    }
+    println!(
+        "\nProteus cache state at end of workload: {:?}",
+        proteus.cache_stats()
+    );
+    println!("Proteus aggregate metrics: {}", proteus.workload_metrics());
+}

@@ -1,0 +1,14 @@
+//! # proteus-bench
+//!
+//! The benchmark harness that regenerates every figure and table of §7 of the
+//! paper. Each `fig*` bench target prints the same rows/series the paper
+//! reports (systems × query template × selectivity) over scaled-down
+//! generated datasets; `EXPERIMENTS.md` records the paper-vs-measured shapes.
+//!
+//! Scale is controlled with `PROTEUS_SF` (default `0.05` for bench targets so
+//! `cargo bench` finishes quickly); raise it to sharpen the separation
+//! between systems.
+
+pub mod harness;
+
+pub use harness::{BenchSetup, EngineKind, QueryTemplate};

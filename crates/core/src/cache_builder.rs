@@ -1,0 +1,251 @@
+//! Cache construction as a side-effect of execution (§6).
+//!
+//! The caching policy follows the paper:
+//!
+//! * caches are built primarily for *non-binary, verbose* sources (CSV and
+//!   JSON) — binary data is already cheap to re-access;
+//! * primitive (numeric) values read during a scan are cached eagerly,
+//!   including fields used as filtering predicates;
+//! * variable-length string fields are *not* cached ("Proteus avoids caching
+//!   variable-length string fields from CSV and JSON files, which may be
+//!   verbose and pollute the caches");
+//! * the eviction bias (JSON ≻ CSV ≻ Binary) lives in
+//!   [`proteus_storage::CacheStore`].
+
+use proteus_algebra::{DataType, Value};
+use proteus_storage::cache::make_entry;
+use proteus_storage::{CacheStore, ColumnData, SourceFormat};
+
+/// Decides whether a field read from a dataset of the given format should be
+/// cached under the paper's policy.
+pub fn should_cache_field(format: SourceFormat, data_type: &DataType) -> bool {
+    let verbose_source = matches!(format, SourceFormat::Csv | SourceFormat::Json);
+    verbose_source && data_type.is_numeric()
+}
+
+/// Signature under which scan-side-effect caches are registered. Field-level
+/// reuse looks caches up by dataset + column name, so the signature only has
+/// to be stable per dataset.
+pub fn scan_cache_signature(dataset: &str) -> String {
+    format!("scanfields::{dataset}")
+}
+
+/// An in-flight cache being populated while a scan runs.
+#[derive(Debug)]
+pub struct CacheBuilder {
+    dataset: String,
+    format: SourceFormat,
+    columns: Vec<(String, ColumnData)>,
+    oids: Vec<u64>,
+    enabled: bool,
+}
+
+impl CacheBuilder {
+    /// Creates a builder for the given fields (already filtered by
+    /// [`should_cache_field`]). Passing no fields produces a disabled builder.
+    pub fn new(
+        dataset: impl Into<String>,
+        format: SourceFormat,
+        fields: Vec<(String, DataType)>,
+    ) -> CacheBuilder {
+        let enabled = !fields.is_empty();
+        CacheBuilder {
+            dataset: dataset.into(),
+            format,
+            columns: fields
+                .into_iter()
+                .map(|(name, dt)| (name, ColumnData::empty_of(&dt)))
+                .collect(),
+            oids: Vec::new(),
+            enabled,
+        }
+    }
+
+    /// A builder that caches nothing.
+    pub fn disabled() -> CacheBuilder {
+        CacheBuilder {
+            dataset: String::new(),
+            format: SourceFormat::Binary,
+            columns: Vec::new(),
+            oids: Vec::new(),
+            enabled: false,
+        }
+    }
+
+    /// True if the builder is collecting values.
+    pub fn is_enabled(&self) -> bool {
+        self.enabled
+    }
+
+    /// Field names being cached, in column order.
+    pub fn field_names(&self) -> Vec<&str> {
+        self.columns.iter().map(|(n, _)| n.as_str()).collect()
+    }
+
+    /// Records the values of one scanned object. `values` must follow the
+    /// order of the builder's fields. Returns the number of values cached.
+    pub fn observe(&mut self, oid: u64, values: &[Value]) -> u64 {
+        if !self.enabled {
+            return 0;
+        }
+        self.oids.push(oid);
+        let mut cached = 0;
+        for ((_, column), value) in self.columns.iter_mut().zip(values) {
+            // Nulls are stored as the column's zero value; the cache keeps
+            // OID alignment either way.
+            let to_store = if value.is_null() {
+                match column {
+                    ColumnData::Int(_) => Value::Int(0),
+                    ColumnData::Float(_) => Value::Float(0.0),
+                    ColumnData::Bool(_) => Value::Bool(false),
+                    ColumnData::Str(_) => Value::Str(String::new()),
+                }
+            } else {
+                value.clone()
+            };
+            if column.push_value(&to_store).is_ok() {
+                cached += 1;
+            }
+        }
+        cached
+    }
+
+    /// Number of objects observed so far.
+    pub fn row_count(&self) -> usize {
+        self.oids.len()
+    }
+
+    /// Finalizes the builder into the cache store. Returns the cache name if
+    /// an entry was inserted.
+    pub fn finish(self, store: &CacheStore) -> Option<String> {
+        if !self.enabled || self.oids.is_empty() {
+            return None;
+        }
+        let name = format!(
+            "{}::{}",
+            self.dataset,
+            self.columns
+                .iter()
+                .map(|(n, _)| n.as_str())
+                .collect::<Vec<_>>()
+                .join("+")
+        );
+        let entry = make_entry(
+            name.clone(),
+            scan_cache_signature(&self.dataset),
+            self.dataset.clone(),
+            self.format,
+            self.columns,
+            self.oids,
+        );
+        match store.insert(entry) {
+            Ok(()) => Some(name),
+            Err(_) => None,
+        }
+    }
+}
+
+/// Looks up a cached column for `dataset.field` that covers the full dataset
+/// (identity OIDs), as required for transparently substituting a scan
+/// accessor.
+pub fn find_full_column_cache(
+    store: &CacheStore,
+    dataset: &str,
+    field: &str,
+    dataset_len: u64,
+) -> Option<(String, ColumnData)> {
+    for entry in store.caches_for_dataset(dataset) {
+        if entry.row_count() as u64 != dataset_len {
+            continue;
+        }
+        // Identity OIDs: row i of the cache is object i of the dataset.
+        let identity = entry
+            .oids
+            .iter()
+            .enumerate()
+            .all(|(idx, oid)| *oid == idx as u64);
+        if !identity {
+            continue;
+        }
+        if let Some(column) = entry.column(field) {
+            return Some((entry.name.clone(), column.clone()));
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_storage::MemoryManager;
+
+    #[test]
+    fn policy_caches_numerics_from_verbose_sources_only() {
+        assert!(should_cache_field(SourceFormat::Json, &DataType::Int));
+        assert!(should_cache_field(SourceFormat::Csv, &DataType::Float));
+        assert!(!should_cache_field(SourceFormat::Json, &DataType::String));
+        assert!(!should_cache_field(SourceFormat::Binary, &DataType::Int));
+    }
+
+    #[test]
+    fn builder_collects_and_inserts() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        let mut builder = CacheBuilder::new(
+            "lineitem",
+            SourceFormat::Json,
+            vec![("l_orderkey".to_string(), DataType::Int)],
+        );
+        assert!(builder.is_enabled());
+        for oid in 0..10u64 {
+            builder.observe(oid, &[Value::Int(oid as i64 * 2)]);
+        }
+        assert_eq!(builder.row_count(), 10);
+        let name = builder.finish(&store).unwrap();
+        assert!(store.get(&name).is_some());
+        let (cache_name, column) =
+            find_full_column_cache(&store, "lineitem", "l_orderkey", 10).unwrap();
+        assert_eq!(cache_name, name);
+        assert_eq!(column.value_at(3), Some(Value::Int(6)));
+    }
+
+    #[test]
+    fn disabled_builder_does_nothing() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        let mut builder = CacheBuilder::disabled();
+        assert!(!builder.is_enabled());
+        assert_eq!(builder.observe(0, &[Value::Int(1)]), 0);
+        assert!(builder.finish(&store).is_none());
+    }
+
+    #[test]
+    fn partial_coverage_cache_is_not_used_for_full_scans() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        let mut builder = CacheBuilder::new(
+            "lineitem",
+            SourceFormat::Json,
+            vec![("l_orderkey".to_string(), DataType::Int)],
+        );
+        for oid in 0..5u64 {
+            builder.observe(oid * 2, &[Value::Int(oid as i64)]); // non-identity OIDs
+        }
+        builder.finish(&store).unwrap();
+        assert!(find_full_column_cache(&store, "lineitem", "l_orderkey", 10).is_none());
+        assert!(find_full_column_cache(&store, "lineitem", "l_orderkey", 5).is_none());
+    }
+
+    #[test]
+    fn nulls_are_stored_as_zero_values() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        let mut builder = CacheBuilder::new(
+            "t",
+            SourceFormat::Csv,
+            vec![("x".to_string(), DataType::Float)],
+        );
+        builder.observe(0, &[Value::Null]);
+        builder.observe(1, &[Value::Float(2.5)]);
+        let name = builder.finish(&store).unwrap();
+        let entry = store.get(&name).unwrap();
+        assert_eq!(entry.column("x").unwrap().value_at(0), Some(Value::Float(0.0)));
+        assert_eq!(entry.column("x").unwrap().value_at(1), Some(Value::Float(2.5)));
+    }
+}

@@ -1,0 +1,1195 @@
+//! On-demand engine generation (§5.1, "An Engine per Query").
+//!
+//! The compiler traverses the physical plan once, post-order. Every visited
+//! operator contributes a specialized stage, and every scan asks the relevant
+//! input plug-in to `generate()` accessors specialized to the dataset
+//! instance and the query's field-of-interest list. The stages are stitched
+//! ("blended") into a single fused pipeline per query: scans drive a tight
+//! loop, selections become inlined predicate closures, unnests expand in
+//! place, joins materialize their build side into a radix hash table and keep
+//! streaming the probe side, and reduce/nest sit at the root as sinks.
+//!
+//! The paper lowers the plan to LLVM IR and JIT-compiles it; here the plan is
+//! lowered to monomorphized Rust closures fused at query time (see DESIGN.md
+//! for the substitution argument). A human-readable pseudo-IR equivalent to
+//! Figure 3 is emitted alongside for inspection and tests.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proteus_algebra::monoid::Accumulator;
+use proteus_algebra::{
+    BinaryOp, Expr, JoinKind, LogicalPlan, Monoid, Record, ReduceSpec, Value,
+};
+use proteus_optimizer::cache_match::cache_name_from_dataset;
+use proteus_plugins::{FieldAccessor, PluginRegistry};
+use proteus_storage::{CacheStore, ColumnData};
+
+use crate::cache_builder::{
+    find_full_column_cache, should_cache_field, CacheBuilder,
+};
+use crate::error::{EngineError, Result};
+use crate::exec::expr::{compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate};
+use crate::exec::metrics::ExecutionMetrics;
+use crate::exec::radix::{RadixGroupTable, RadixHashTable};
+use crate::exec::Binding;
+
+/// The query compiler: turns optimized plans into specialized pipelines.
+#[derive(Clone)]
+pub struct Compiler {
+    registry: PluginRegistry,
+    caches: Option<CacheStore>,
+}
+
+impl Compiler {
+    /// Creates a compiler over a plug-in registry, optionally with adaptive
+    /// caching enabled.
+    pub fn new(registry: PluginRegistry, caches: Option<CacheStore>) -> Compiler {
+        Compiler { registry, caches }
+    }
+
+    /// Compiles a plan into an executable query.
+    pub fn compile(&self, plan: &LogicalPlan) -> Result<CompiledQuery> {
+        let started = Instant::now();
+        let mut ir = IrEmitter::new();
+        let mut access_paths = Vec::new();
+
+        let (sink, producer, layout) = match plan {
+            LogicalPlan::Reduce {
+                input,
+                outputs,
+                predicate,
+            } => {
+                let (producer, layout) = self.compile_producer(input, &mut ir, &mut access_paths)?;
+                let sink = self.compile_reduce(outputs, predicate.as_ref(), &layout, &mut ir)?;
+                (sink, producer, layout)
+            }
+            LogicalPlan::Nest {
+                input,
+                group_by,
+                group_aliases,
+                outputs,
+                predicate,
+            } => {
+                let (producer, layout) = self.compile_producer(input, &mut ir, &mut access_paths)?;
+                let sink = self.compile_nest(
+                    group_by,
+                    group_aliases,
+                    outputs,
+                    predicate.as_ref(),
+                    &layout,
+                    &mut ir,
+                )?;
+                (sink, producer, layout)
+            }
+            other => {
+                let (producer, layout) = self.compile_producer(other, &mut ir, &mut access_paths)?;
+                ir.line(0, "collect bindings into output records");
+                (Sink::Collect, producer, layout)
+            }
+        };
+
+        Ok(CompiledQuery {
+            sink,
+            producer,
+            layout,
+            ir: ir.finish(),
+            compile_time: started.elapsed(),
+            access_paths,
+        })
+    }
+
+    fn compile_reduce(
+        &self,
+        outputs: &[ReduceSpec],
+        predicate: Option<&Expr>,
+        layout: &BindingLayout,
+        ir: &mut IrEmitter,
+    ) -> Result<Sink> {
+        let mut specs = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            ir.line(
+                1,
+                &format!("acc_{} := merge_{}({})", output.alias, output.monoid, output.expr),
+            );
+            specs.push((
+                output.monoid,
+                compile_expr(&output.expr, layout)?,
+                output.alias.clone(),
+            ));
+        }
+        let predicate = match predicate {
+            Some(p) => {
+                ir.line(1, &format!("if (eval({p})) merge accumulators"));
+                Some(compile_predicate(p, layout)?)
+            }
+            None => None,
+        };
+        ir.line(0, "return accumulators");
+        Ok(Sink::Reduce { specs, predicate })
+    }
+
+    #[allow(clippy::too_many_arguments)]
+    fn compile_nest(
+        &self,
+        group_by: &[Expr],
+        group_aliases: &[String],
+        outputs: &[ReduceSpec],
+        predicate: Option<&Expr>,
+        layout: &BindingLayout,
+        ir: &mut IrEmitter,
+    ) -> Result<Sink> {
+        let keys: Vec<CompiledExpr> = group_by
+            .iter()
+            .map(|g| compile_expr(g, layout))
+            .collect::<Result<_>>()?;
+        let key_aliases: Vec<String> = group_by
+            .iter()
+            .enumerate()
+            .map(|(i, g)| {
+                group_aliases.get(i).cloned().unwrap_or_else(|| match g {
+                    Expr::Path(p) => p.leaf().to_string(),
+                    _ => format!("key{i}"),
+                })
+            })
+            .collect();
+        let mut specs = Vec::with_capacity(outputs.len());
+        for output in outputs {
+            specs.push((
+                output.monoid,
+                compile_expr(&output.expr, layout)?,
+                output.alias.clone(),
+            ));
+        }
+        ir.line(
+            1,
+            &format!(
+                "group := radix_group(key = [{}])",
+                group_by
+                    .iter()
+                    .map(|g| g.to_string())
+                    .collect::<Vec<_>>()
+                    .join(", ")
+            ),
+        );
+        for output in outputs {
+            ir.line(
+                1,
+                &format!("group.acc_{} := merge_{}({})", output.alias, output.monoid, output.expr),
+            );
+        }
+        let predicate = match predicate {
+            Some(p) => Some(compile_predicate(p, layout)?),
+            None => None,
+        };
+        ir.line(0, "return one record per group");
+        Ok(Sink::Nest {
+            keys,
+            key_aliases,
+            specs,
+            predicate,
+        })
+    }
+
+    fn compile_producer(
+        &self,
+        plan: &LogicalPlan,
+        ir: &mut IrEmitter,
+        access_paths: &mut Vec<String>,
+    ) -> Result<(Producer, BindingLayout)> {
+        match plan {
+            LogicalPlan::Scan {
+                dataset,
+                alias,
+                schema,
+                projected_fields,
+            } => self.compile_scan(dataset, alias, schema, projected_fields, ir, access_paths),
+            LogicalPlan::Select { input, predicate } => {
+                let (producer, layout) = self.compile_producer(input, ir, access_paths)?;
+                ir.line(1, &format!("if (eval({predicate})) {{"));
+                let compiled = compile_predicate(predicate, &layout)?;
+                Ok((
+                    Producer::Filter {
+                        input: Box::new(producer),
+                        predicate: compiled,
+                    },
+                    layout,
+                ))
+            }
+            LogicalPlan::Unnest {
+                input,
+                path,
+                alias,
+                predicate,
+                outer,
+            } => {
+                let (producer, mut layout) = self.compile_producer(input, ir, access_paths)?;
+                let collection = compile_expr(&Expr::Path(path.clone()), &layout)?;
+                let slot = layout.slot_for(alias);
+                ir.line(
+                    1,
+                    &format!(
+                        "for {alias} in unnest({path}) {{   // unnestInit/HasNext/GetNext{}",
+                        if *outer { ", outer" } else { "" }
+                    ),
+                );
+                let predicate = match predicate {
+                    Some(p) => {
+                        ir.line(2, &format!("if (eval({p})) {{"));
+                        Some(compile_predicate(p, &layout)?)
+                    }
+                    None => None,
+                };
+                Ok((
+                    Producer::Unnest {
+                        input: Box::new(producer),
+                        collection,
+                        slot,
+                        predicate,
+                        outer: *outer,
+                    },
+                    layout,
+                ))
+            }
+            LogicalPlan::Join {
+                left,
+                right,
+                predicate,
+                kind,
+            } => self.compile_join(left, right, predicate, *kind, ir, access_paths),
+            LogicalPlan::CacheScan {
+                input,
+                expressions,
+                cache_name,
+            } => {
+                // Explicit caching operators pass data through; the caching
+                // side-effect itself is handled by the scan-level builders.
+                ir.line(
+                    1,
+                    &format!(
+                        "cache[{cache_name}] <- materialize([{}])",
+                        expressions
+                            .iter()
+                            .map(|e| e.to_string())
+                            .collect::<Vec<_>>()
+                            .join(", ")
+                    ),
+                );
+                self.compile_producer(input, ir, access_paths)
+            }
+            LogicalPlan::Reduce { .. } | LogicalPlan::Nest { .. } => Err(EngineError::Unsupported(
+                "aggregation below the plan root is not supported by the generated engine"
+                    .to_string(),
+            )),
+        }
+    }
+
+    fn compile_scan(
+        &self,
+        dataset: &str,
+        alias: &str,
+        schema: &proteus_algebra::Schema,
+        projected_fields: &[String],
+        ir: &mut IrEmitter,
+        access_paths: &mut Vec<String>,
+    ) -> Result<(Producer, BindingLayout)> {
+        // Resolve the plug-in: either a real dataset or a synthetic cache
+        // dataset spliced in by the optimizer's cache matching.
+        let plugin: Arc<dyn proteus_plugins::InputPlugin> = match cache_name_from_dataset(dataset) {
+            Some(cache_name) => {
+                let store = self.caches.as_ref().ok_or_else(|| {
+                    EngineError::Unsupported("plan references a cache but caching is disabled".into())
+                })?;
+                let entry = store
+                    .get(cache_name)
+                    .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
+                Arc::new(proteus_plugins::cache::CachePlugin::new(entry))
+            }
+            None => self
+                .registry
+                .get(dataset)
+                .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?,
+        };
+
+        // Field-of-interest list: what projection pushdown computed, falling
+        // back to the full schema when the plan (or the query) needs it all.
+        let fields: Vec<String> = if projected_fields.is_empty() {
+            let names = if schema.is_empty() {
+                plugin.schema().names()
+            } else {
+                schema.names()
+            };
+            names.into_iter().map(|s| s.to_string()).collect()
+        } else {
+            projected_fields.to_vec()
+        };
+
+        let mut layout = BindingLayout::new();
+        let mut accessors: Vec<(usize, FieldAccessor)> = Vec::new();
+        let mut served_from_cache: Vec<String> = Vec::new();
+        let mut fields_from_plugin: Vec<String> = Vec::new();
+        let mut slot_of_field: Vec<(String, usize)> = Vec::new();
+
+        for field in &fields {
+            let slot = layout.slot_for(&format!("{alias}.{field}"));
+            slot_of_field.push((field.clone(), slot));
+            // Partial cache reuse ("replacing a part of an operator"): a
+            // previous query may have cached this column in binary form.
+            if let Some(store) = &self.caches {
+                if let Some((cache_name, column)) =
+                    find_full_column_cache(store, dataset, field, plugin.len())
+                {
+                    accessors.push((slot, accessor_over_column(column)));
+                    served_from_cache.push(format!("{field} (cache {cache_name})"));
+                    continue;
+                }
+            }
+            fields_from_plugin.push(field.clone());
+        }
+
+        if !fields_from_plugin.is_empty() {
+            let scan = plugin.generate(&fields_from_plugin)?;
+            access_paths.push(format!("{dataset}: {}", scan.access_path));
+            for (field, accessor) in scan.fields {
+                let slot = slot_of_field
+                    .iter()
+                    .find(|(f, _)| *f == field)
+                    .map(|(_, s)| *s)
+                    .expect("generated accessor for an unrequested field");
+                accessors.push((slot, accessor));
+            }
+        } else {
+            access_paths.push(format!("{dataset}: fully served from caches"));
+        }
+
+        // Cache-building side-effect: numeric fields read from verbose
+        // sources that are not already cached.
+        let cache_builder = match &self.caches {
+            Some(_store) if cache_name_from_dataset(dataset).is_none() => {
+                let format = plugin.format();
+                let to_cache: Vec<(String, proteus_algebra::DataType)> = fields_from_plugin
+                    .iter()
+                    .filter_map(|field| {
+                        let dt = plugin
+                            .schema()
+                            .field(field)
+                            .map(|f| f.data_type.clone())
+                            .unwrap_or(proteus_algebra::DataType::Any);
+                        if should_cache_field(format, &dt) {
+                            Some((field.clone(), dt))
+                        } else {
+                            None
+                        }
+                    })
+                    .collect();
+                if to_cache.is_empty() {
+                    CacheBuilder::disabled()
+                } else {
+                    ir.line(
+                        1,
+                        &format!(
+                            "cache[{}] += [{}]   // output plug-in, eager numeric caching",
+                            dataset,
+                            to_cache
+                                .iter()
+                                .map(|(n, _)| n.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    );
+                    CacheBuilder::new(dataset, format, to_cache)
+                }
+            }
+            _ => CacheBuilder::disabled(),
+        };
+        let cache_field_slots: Vec<usize> = cache_builder
+            .field_names()
+            .iter()
+            .map(|name| {
+                slot_of_field
+                    .iter()
+                    .find(|(f, _)| f == name)
+                    .map(|(_, s)| *s)
+                    .expect("cached field must have a slot")
+            })
+            .collect();
+
+        ir.line(0, &format!("while (!eof({dataset})) {{   // scan {dataset} as {alias}"));
+        for (field, _) in &slot_of_field {
+            let origin = if served_from_cache.iter().any(|s| s.starts_with(field.as_str())) {
+                "cache"
+            } else {
+                "input plug-in"
+            };
+            ir.line(1, &format!("{alias}.{field} := readValue({origin})"));
+        }
+
+        Ok((
+            Producer::Scan {
+                dataset: dataset.to_string(),
+                row_count: plugin.len(),
+                accessors,
+                width: layout.len(),
+                cache_builder,
+                cache_field_slots,
+                cache_store: self.caches.clone(),
+            },
+            layout,
+        ))
+    }
+
+    fn compile_join(
+        &self,
+        left: &LogicalPlan,
+        right: &LogicalPlan,
+        predicate: &Expr,
+        kind: JoinKind,
+        ir: &mut IrEmitter,
+        access_paths: &mut Vec<String>,
+    ) -> Result<(Producer, BindingLayout)> {
+        let (build, build_layout) = self.compile_producer(left, ir, access_paths)?;
+        ir.line(0, "materialize + radix-cluster build side");
+        let (probe, probe_layout) = self.compile_producer(right, ir, access_paths)?;
+
+        let mut combined = build_layout.clone();
+        let probe_offset = combined.extend_with(&probe_layout);
+        let _ = probe_offset;
+
+        // Split the predicate into equi-key pairs and residual conjuncts.
+        let mut build_keys: Vec<CompiledExpr> = Vec::new();
+        let mut probe_keys: Vec<CompiledExpr> = Vec::new();
+        let mut residual_conjuncts: Vec<Expr> = Vec::new();
+        for conjunct in predicate.split_conjunction() {
+            if conjunct == Expr::boolean(true) {
+                continue;
+            }
+            if let Expr::Binary {
+                op: BinaryOp::Eq,
+                left: l,
+                right: r,
+            } = &conjunct
+            {
+                if let (Expr::Path(lp), Expr::Path(rp)) = (l.as_ref(), r.as_ref()) {
+                    let l_on_build = build_layout.resolve(lp).is_some();
+                    let r_on_build = build_layout.resolve(rp).is_some();
+                    let l_on_probe = probe_layout.resolve(lp).is_some();
+                    let r_on_probe = probe_layout.resolve(rp).is_some();
+                    if l_on_build && r_on_probe && !r_on_build {
+                        build_keys.push(compile_expr(&Expr::Path(lp.clone()), &build_layout)?);
+                        probe_keys.push(compile_expr(&Expr::Path(rp.clone()), &probe_layout)?);
+                        continue;
+                    }
+                    if r_on_build && l_on_probe && !l_on_build {
+                        build_keys.push(compile_expr(&Expr::Path(rp.clone()), &build_layout)?);
+                        probe_keys.push(compile_expr(&Expr::Path(lp.clone()), &probe_layout)?);
+                        continue;
+                    }
+                }
+            }
+            residual_conjuncts.push(conjunct);
+        }
+        let residual = if residual_conjuncts.is_empty() {
+            None
+        } else {
+            Some(compile_predicate(
+                &Expr::conjunction(residual_conjuncts),
+                &combined,
+            )?)
+        };
+
+        ir.line(0, "probe radix hash table for each probe-side tuple {");
+
+        Ok((
+            Producer::Join {
+                build: Box::new(build),
+                probe: Box::new(probe),
+                build_keys,
+                probe_keys,
+                residual,
+                build_width: build_layout.len(),
+                kind,
+            },
+            combined,
+        ))
+    }
+}
+
+/// Builds a specialized accessor over an in-memory cached column.
+fn accessor_over_column(column: ColumnData) -> FieldAccessor {
+    let column = Arc::new(column);
+    match column.as_ref() {
+        ColumnData::Int(_) => {
+            let col = column.clone();
+            FieldAccessor::Int(Arc::new(move |oid| match col.as_ref() {
+                ColumnData::Int(v) => v[oid as usize],
+                _ => unreachable!(),
+            }))
+        }
+        ColumnData::Float(_) => {
+            let col = column.clone();
+            FieldAccessor::Float(Arc::new(move |oid| match col.as_ref() {
+                ColumnData::Float(v) => v[oid as usize],
+                _ => unreachable!(),
+            }))
+        }
+        ColumnData::Bool(_) => {
+            let col = column.clone();
+            FieldAccessor::Bool(Arc::new(move |oid| match col.as_ref() {
+                ColumnData::Bool(v) => v[oid as usize],
+                _ => unreachable!(),
+            }))
+        }
+        ColumnData::Str(_) => {
+            let col = column.clone();
+            FieldAccessor::Str(Arc::new(move |oid| match col.as_ref() {
+                ColumnData::Str(v) => v[oid as usize].clone(),
+                _ => unreachable!(),
+            }))
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The generated pipeline at runtime.
+// ---------------------------------------------------------------------------
+
+/// A binding producer: the part of the pipeline below the sink.
+enum Producer {
+    /// Scan of a dataset through specialized accessors.
+    Scan {
+        /// Dataset name (kept for diagnostics in debug output).
+        #[allow(dead_code)]
+        dataset: String,
+        row_count: u64,
+        accessors: Vec<(usize, FieldAccessor)>,
+        width: usize,
+        cache_builder: CacheBuilder,
+        cache_field_slots: Vec<usize>,
+        cache_store: Option<CacheStore>,
+    },
+    /// Inlined selection.
+    Filter {
+        input: Box<Producer>,
+        predicate: CompiledPredicate,
+    },
+    /// Unnest of a nested collection into a new slot.
+    Unnest {
+        input: Box<Producer>,
+        collection: CompiledExpr,
+        slot: usize,
+        predicate: Option<CompiledPredicate>,
+        outer: bool,
+    },
+    /// Radix hash join: build side materialized, probe side streamed.
+    Join {
+        build: Box<Producer>,
+        probe: Box<Producer>,
+        build_keys: Vec<CompiledExpr>,
+        probe_keys: Vec<CompiledExpr>,
+        residual: Option<CompiledPredicate>,
+        build_width: usize,
+        kind: JoinKind,
+    },
+}
+
+impl Producer {
+    /// Streams every binding produced by this subtree into `consumer`.
+    fn for_each(
+        &mut self,
+        metrics: &mut ExecutionMetrics,
+        consumer: &mut dyn FnMut(&mut Binding),
+    ) -> Result<()> {
+        match self {
+            Producer::Scan {
+                row_count,
+                accessors,
+                width,
+                cache_builder,
+                cache_field_slots,
+                cache_store,
+                ..
+            } => {
+                let mut binding = vec![Value::Null; *width];
+                for oid in 0..*row_count {
+                    for (slot, accessor) in accessors.iter() {
+                        binding[*slot] = accessor.value(oid);
+                    }
+                    metrics.tuples_scanned += 1;
+                    if cache_builder.is_enabled() {
+                        let values: Vec<Value> = cache_field_slots
+                            .iter()
+                            .map(|slot| binding[*slot].clone())
+                            .collect();
+                        metrics.cached_values += cache_builder.observe(oid, &values);
+                    }
+                    consumer(&mut binding);
+                }
+                // Finalize the side-effect cache once the scan completes.
+                if cache_builder.is_enabled() {
+                    if let Some(store) = cache_store {
+                        let builder = std::mem::replace(cache_builder, CacheBuilder::disabled());
+                        builder.finish(store);
+                    }
+                }
+                Ok(())
+            }
+            Producer::Filter { input, predicate } => {
+                let predicate = predicate.clone();
+                let mut evaluations = 0u64;
+                let result = input.for_each(metrics, &mut |binding| {
+                    evaluations += 1;
+                    if predicate(binding) {
+                        consumer(binding);
+                    }
+                });
+                metrics.predicate_evals += evaluations;
+                result
+            }
+            Producer::Unnest {
+                input,
+                collection,
+                slot,
+                predicate,
+                outer,
+            } => {
+                let collection = collection.clone();
+                let predicate = predicate.clone();
+                let slot = *slot;
+                let outer = *outer;
+                input.for_each(metrics, &mut |binding| {
+                    let items = match collection(binding) {
+                        Value::List(items) => items,
+                        Value::Null => Vec::new(),
+                        other => vec![other],
+                    };
+                    let mut produced = false;
+                    // Grow the binding to include the unnest slot if the
+                    // upstream producer created a narrower vector.
+                    if binding.len() <= slot {
+                        binding.resize(slot + 1, Value::Null);
+                    }
+                    for item in items {
+                        binding[slot] = item;
+                        if let Some(pred) = &predicate {
+                            if !pred(binding) {
+                                continue;
+                            }
+                        }
+                        produced = true;
+                        consumer(binding);
+                    }
+                    if !produced && outer {
+                        binding[slot] = Value::Null;
+                        consumer(binding);
+                    }
+                })
+            }
+            Producer::Join {
+                build,
+                probe,
+                build_keys,
+                probe_keys,
+                residual,
+                build_width,
+                kind,
+            } => {
+                // Materialize + cluster the build side.
+                let mut build_entries: Vec<(Value, Binding)> = Vec::new();
+                let build_keys = build_keys.clone();
+                build.for_each(metrics, &mut |binding| {
+                    let key = join_key(&build_keys, binding);
+                    build_entries.push((key, binding.clone()));
+                })?;
+                metrics.intermediate_tuples += build_entries.len() as u64;
+                let table = RadixHashTable::build(build_entries);
+                metrics.intermediate_bytes += table.materialized_bytes();
+
+                let probe_keys = probe_keys.clone();
+                let residual = residual.clone();
+                let build_width = *build_width;
+                let kind = *kind;
+                let mut probes = 0u64;
+                probe.for_each(metrics, &mut |probe_binding| {
+                    let key = join_key(&probe_keys, probe_binding);
+                    probes += 1;
+                    let mut matched = false;
+                    table.probe(&key, |build_binding| {
+                        let mut combined = build_binding.clone();
+                        combined.extend(probe_binding.iter().cloned());
+                        if let Some(pred) = &residual {
+                            if !pred(&combined) {
+                                return;
+                            }
+                        }
+                        matched = true;
+                        consumer(&mut combined);
+                    });
+                    if !matched && kind == JoinKind::LeftOuter {
+                        // Left-outer with the build on the left: emit nulls
+                        // for the build side when nothing matched? The
+                        // preserved side is the *left* input, which is the
+                        // build side here, so unmatched build rows are
+                        // handled below instead. Probe-side misses only
+                        // matter for right-outer joins, which the algebra
+                        // does not expose.
+                    }
+                })?;
+                metrics.hash_probes += probes;
+
+                // Left-outer: emit unmatched build rows padded with nulls.
+                // (Tracked by re-probing; acceptable for the scaled-down
+                // datasets and only used by explicitly outer plans.)
+                if kind == JoinKind::LeftOuter {
+                    let mut matched_any = vec![false; 0];
+                    let _ = &mut matched_any;
+                    // For simplicity the generated engine handles left-outer
+                    // joins by delegating to the reference semantics: build
+                    // rows that found no probe partner are detected by
+                    // re-streaming the probe side per build row. Outer joins
+                    // do not appear in the paper's benchmark templates; this
+                    // path exists for algebra completeness.
+                    let mut probe_rows: Vec<Binding> = Vec::new();
+                    probe.for_each(metrics, &mut |b| probe_rows.push(b.clone()))?;
+                    let mut build_rows: Vec<Binding> = Vec::new();
+                    build.for_each(metrics, &mut |b| build_rows.push(b.clone()))?;
+                    for build_binding in build_rows {
+                        let key = join_key(&build_keys, &build_binding);
+                        let mut matched = false;
+                        for probe_binding in &probe_rows {
+                            if join_key(&probe_keys, probe_binding).value_eq(&key) {
+                                matched = true;
+                                break;
+                            }
+                        }
+                        if !matched {
+                            let mut combined = build_binding.clone();
+                            let probe_width = probe_rows.first().map(|b| b.len()).unwrap_or(0);
+                            combined.extend(std::iter::repeat(Value::Null).take(probe_width));
+                            let _ = build_width;
+                            consumer(&mut combined);
+                        }
+                    }
+                }
+                Ok(())
+            }
+        }
+    }
+
+}
+
+fn join_key(keys: &[CompiledExpr], binding: &Binding) -> Value {
+    match keys.len() {
+        0 => Value::Int(0),
+        1 => keys[0](binding),
+        _ => Value::List(keys.iter().map(|k| k(binding)).collect()),
+    }
+}
+
+/// The sink at the root of the generated pipeline.
+enum Sink {
+    /// ∆ reduce: fold everything into one record.
+    Reduce {
+        specs: Vec<(Monoid, CompiledExpr, String)>,
+        predicate: Option<CompiledPredicate>,
+    },
+    /// Γ nest: radix grouping.
+    Nest {
+        keys: Vec<CompiledExpr>,
+        key_aliases: Vec<String>,
+        specs: Vec<(Monoid, CompiledExpr, String)>,
+        predicate: Option<CompiledPredicate>,
+    },
+    /// No aggregation: emit one record per binding.
+    Collect,
+}
+
+/// The result of executing a compiled query.
+#[derive(Debug, Clone)]
+pub struct QueryOutput {
+    /// Output rows (records).
+    pub rows: Vec<Value>,
+    /// Metrics collected during execution.
+    pub metrics: ExecutionMetrics,
+}
+
+/// A query compiled into a specialized pipeline.
+pub struct CompiledQuery {
+    sink: Sink,
+    producer: Producer,
+    layout: BindingLayout,
+    /// Pseudo-IR of the generated engine (Figure 3 analogue).
+    pub ir: String,
+    /// Time spent generating the engine.
+    pub compile_time: Duration,
+    /// The access path each plug-in chose (one entry per scanned dataset).
+    pub access_paths: Vec<String>,
+}
+
+impl CompiledQuery {
+    /// Executes the generated pipeline.
+    pub fn execute(mut self) -> Result<QueryOutput> {
+        let started = Instant::now();
+        let mut metrics = ExecutionMetrics::new();
+        let rows = match &mut self.sink {
+            Sink::Reduce { specs, predicate } => {
+                let mut accumulators: Vec<Accumulator> =
+                    specs.iter().map(|(m, _, _)| Accumulator::zero(*m)).collect();
+                let specs_ref: Vec<(Monoid, CompiledExpr)> = specs
+                    .iter()
+                    .map(|(m, e, _)| (*m, e.clone()))
+                    .collect();
+                let predicate = predicate.clone();
+                self.producer.for_each(&mut metrics, &mut |binding| {
+                    if let Some(pred) = &predicate {
+                        if !pred(binding) {
+                            return;
+                        }
+                    }
+                    for ((monoid, expr), acc) in specs_ref.iter().zip(accumulators.iter_mut()) {
+                        let _ = acc.merge(*monoid, expr(binding));
+                    }
+                })?;
+                let mut record = Record::empty();
+                for ((monoid, _, alias), acc) in specs.iter().zip(accumulators.into_iter()) {
+                    record.set(alias.clone(), acc.finish(*monoid));
+                }
+                vec![Value::Record(record)]
+            }
+            Sink::Nest {
+                keys,
+                key_aliases,
+                specs,
+                predicate,
+            } => {
+                let mut table = RadixGroupTable::new(specs.iter().map(|(m, _, _)| *m).collect());
+                let keys = keys.clone();
+                let value_exprs: Vec<CompiledExpr> =
+                    specs.iter().map(|(_, e, _)| e.clone()).collect();
+                let predicate = predicate.clone();
+                let mut probes = 0u64;
+                self.producer.for_each(&mut metrics, &mut |binding| {
+                    if let Some(pred) = &predicate {
+                        if !pred(binding) {
+                            return;
+                        }
+                    }
+                    let key: Vec<Value> = keys.iter().map(|k| k(binding)).collect();
+                    let values: Vec<Value> = value_exprs.iter().map(|e| e(binding)).collect();
+                    probes += 1;
+                    table.merge(key, values);
+                })?;
+                metrics.hash_probes += probes;
+                metrics.intermediate_tuples += table.group_count() as u64;
+                table
+                    .finish()
+                    .into_iter()
+                    .map(|(key, outputs)| {
+                        let mut record = Record::empty();
+                        for (alias, value) in key_aliases.iter().zip(key.into_iter()) {
+                            record.set(alias.clone(), value);
+                        }
+                        for ((_, _, alias), value) in specs.iter().zip(outputs.into_iter()) {
+                            record.set(alias.clone(), value);
+                        }
+                        Value::Record(record)
+                    })
+                    .collect()
+            }
+            Sink::Collect => {
+                let slots: Vec<String> = self.layout.slots().to_vec();
+                let mut rows = Vec::new();
+                self.producer.for_each(&mut metrics, &mut |binding| {
+                    let mut record = Record::empty();
+                    for (slot, value) in slots.iter().zip(binding.iter()) {
+                        record.set(slot.clone(), value.clone());
+                    }
+                    rows.push(Value::Record(record));
+                })?;
+                rows
+            }
+        };
+        metrics.tuples_output = rows.len() as u64;
+        metrics.compile_time = self.compile_time;
+        metrics.exec_time = started.elapsed();
+        Ok(QueryOutput { rows, metrics })
+    }
+}
+
+/// Emits the human-readable pseudo-IR of the generated engine.
+struct IrEmitter {
+    lines: Vec<String>,
+}
+
+impl IrEmitter {
+    fn new() -> IrEmitter {
+        IrEmitter { lines: Vec::new() }
+    }
+
+    fn line(&mut self, indent: usize, text: &str) {
+        self.lines.push(format!("{}{}", "  ".repeat(indent), text));
+    }
+
+    fn finish(self) -> String {
+        self.lines.join("\n")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use bytes::Bytes;
+    use proteus_algebra::{Path, Schema};
+    use proteus_plugins::binary::ColumnPlugin;
+    use proteus_plugins::json::JsonPlugin;
+    use proteus_storage::MemoryManager;
+
+    fn registry() -> PluginRegistry {
+        let registry = PluginRegistry::new();
+        registry.register(Arc::new(
+            ColumnPlugin::from_pairs(
+                "lineitem",
+                vec![
+                    ("l_orderkey".to_string(), ColumnData::Int((0..1000).map(|i| i % 200).collect())),
+                    ("l_linenumber".to_string(), ColumnData::Int((0..1000).map(|i| i % 7).collect())),
+                    (
+                        "l_quantity".to_string(),
+                        ColumnData::Float((0..1000).map(|i| (i % 50) as f64).collect()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        ));
+        registry.register(Arc::new(
+            ColumnPlugin::from_pairs(
+                "orders",
+                vec![
+                    ("o_orderkey".to_string(), ColumnData::Int((0..200).collect())),
+                    (
+                        "o_totalprice".to_string(),
+                        ColumnData::Float((0..200).map(|i| i as f64 * 10.0).collect()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        ));
+        let mut json = String::new();
+        for i in 0..50 {
+            json.push_str(&format!(
+                "{{\"id\": {i}, \"tags\": [{}]}}\n",
+                (0..(i % 4)).map(|t| format!("{{\"v\": {t}}}")).collect::<Vec<_>>().join(",")
+            ));
+        }
+        registry.register(Arc::new(
+            JsonPlugin::from_bytes("events", Bytes::from(json)).unwrap(),
+        ));
+        registry
+    }
+
+    fn scan(name: &str, alias: &str) -> LogicalPlan {
+        LogicalPlan::scan(name, alias, Schema::empty())
+    }
+
+    fn count(plan: LogicalPlan) -> LogicalPlan {
+        plan.reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")])
+    }
+
+    fn run(plan: &LogicalPlan) -> QueryOutput {
+        let compiler = Compiler::new(registry(), None);
+        compiler.compile(plan).unwrap().execute().unwrap()
+    }
+
+    fn scalar(output: &QueryOutput, field: &str) -> Value {
+        output.rows[0].as_record().unwrap().get(field).unwrap().clone()
+    }
+
+    #[test]
+    fn filtered_count_matches_expectation() {
+        let plan = count(scan("lineitem", "l").select(Expr::path("l.l_orderkey").lt(Expr::int(100))));
+        let out = run(&proteus_algebra::rewrite::rewrite(plan));
+        assert_eq!(scalar(&out, "cnt"), Value::Int(500));
+        assert_eq!(out.metrics.tuples_scanned, 1000);
+        assert_eq!(out.metrics.predicate_evals, 1000);
+    }
+
+    #[test]
+    fn multiple_aggregates_in_one_pass() {
+        let plan = scan("lineitem", "l")
+            .select(Expr::path("l.l_orderkey").lt(Expr::int(100)))
+            .reduce(vec![
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ReduceSpec::new(Monoid::Max, Expr::path("l.l_quantity"), "maxq"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "sumq"),
+            ]);
+        let out = run(&proteus_algebra::rewrite::rewrite(plan));
+        assert_eq!(scalar(&out, "cnt"), Value::Int(500));
+        assert_eq!(scalar(&out, "maxq"), Value::Float(49.0));
+    }
+
+    #[test]
+    fn join_count_matches_reference_interpreter() {
+        let plan = count(
+            scan("orders", "o")
+                .join(
+                    scan("lineitem", "l"),
+                    Expr::path("o.o_orderkey").eq(Expr::path("l.l_orderkey")),
+                    JoinKind::Inner,
+                )
+                .select(Expr::path("o.o_totalprice").lt(Expr::int(500))),
+        );
+        let rewritten = proteus_algebra::rewrite::rewrite(plan.clone());
+        let out = run(&rewritten);
+        // Reference answer through the algebra interpreter.
+        let mut catalog = proteus_algebra::interp::MemoryCatalog::new();
+        catalog.register(
+            "orders",
+            (0..200)
+                .map(|i| {
+                    Value::record(vec![
+                        ("o_orderkey", Value::Int(i)),
+                        ("o_totalprice", Value::Float(i as f64 * 10.0)),
+                    ])
+                })
+                .collect(),
+        );
+        catalog.register(
+            "lineitem",
+            (0..1000)
+                .map(|i| {
+                    Value::record(vec![
+                        ("l_orderkey", Value::Int(i % 200)),
+                        ("l_linenumber", Value::Int(i % 7)),
+                        ("l_quantity", Value::Float((i % 50) as f64)),
+                    ])
+                })
+                .collect(),
+        );
+        let expected = proteus_algebra::interp::execute(&plan, &catalog).unwrap();
+        assert_eq!(
+            scalar(&out, "cnt"),
+            expected[0].as_record().unwrap().get("cnt").unwrap().clone()
+        );
+        assert!(out.metrics.hash_probes > 0);
+        assert!(out.metrics.intermediate_tuples > 0);
+    }
+
+    #[test]
+    fn group_by_produces_one_row_per_group() {
+        let plan = scan("lineitem", "l").nest(
+            vec![Expr::path("l.l_linenumber")],
+            vec!["line".into()],
+            vec![
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+            ],
+        );
+        let out = run(&proteus_algebra::rewrite::rewrite(plan));
+        assert_eq!(out.rows.len(), 7);
+        let total: i64 = out
+            .rows
+            .iter()
+            .map(|r| r.as_record().unwrap().get("cnt").unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total, 1000);
+    }
+
+    #[test]
+    fn unnest_over_json_counts_nested_elements() {
+        let plan = count(scan("events", "e").unnest(Path::parse("e.tags"), "t"));
+        let out = run(&proteus_algebra::rewrite::rewrite(plan));
+        // Each event i has i % 4 tags: sum over 50 events.
+        let expected: i64 = (0..50).map(|i| i % 4).sum();
+        assert_eq!(scalar(&out, "cnt"), Value::Int(expected));
+    }
+
+    #[test]
+    fn unnest_with_predicate_on_element() {
+        let plan = count(
+            scan("events", "e")
+                .unnest(Path::parse("e.tags"), "t")
+                .select(Expr::path("t.v").gt(Expr::int(0))),
+        );
+        let out = run(&proteus_algebra::rewrite::rewrite(plan));
+        let expected: i64 = (0..50)
+            .map(|i| (0..(i % 4)).filter(|t| *t > 0).count() as i64)
+            .sum();
+        assert_eq!(scalar(&out, "cnt"), Value::Int(expected));
+    }
+
+    #[test]
+    fn ir_contains_scan_loop_and_predicate() {
+        let compiler = Compiler::new(registry(), None);
+        let plan = proteus_algebra::rewrite::rewrite(count(
+            scan("lineitem", "l").select(Expr::path("l.l_orderkey").lt(Expr::int(10))),
+        ));
+        let compiled = compiler.compile(&plan).unwrap();
+        assert!(compiled.ir.contains("while (!eof(lineitem))"));
+        assert!(compiled.ir.contains("if (eval((l.l_orderkey < 10)))"));
+        assert!(compiled.ir.contains("acc_cnt"));
+        assert!(compiled.compile_time < Duration::from_millis(50));
+        assert!(!compiled.access_paths.is_empty());
+    }
+
+    #[test]
+    fn unknown_dataset_fails_at_compile_time() {
+        let compiler = Compiler::new(registry(), None);
+        let plan = count(scan("ghost", "g"));
+        assert!(matches!(
+            compiler.compile(&plan),
+            Err(EngineError::UnknownDataset(_))
+        ));
+    }
+
+    #[test]
+    fn caching_side_effect_populates_store_and_is_reused() {
+        let store = CacheStore::new(MemoryManager::with_budget(64 << 20));
+        let registry = registry();
+        // Register a CSV dataset so the caching policy applies (binary data
+        // is not cached).
+        let csv: String = (0..100)
+            .map(|i| format!("{i}|{}\n", i as f64 + 0.25))
+            .collect();
+        registry.register(Arc::new(
+            proteus_plugins::csv::CsvPlugin::from_bytes(
+                "measurements",
+                Bytes::from(csv),
+                Schema::from_pairs(vec![
+                    ("id", proteus_algebra::DataType::Int),
+                    ("reading", proteus_algebra::DataType::Float),
+                ]),
+                proteus_plugins::csv::CsvOptions::default(),
+            )
+            .unwrap(),
+        ));
+        let compiler = Compiler::new(registry, Some(store.clone()));
+        let plan = proteus_algebra::rewrite::rewrite(count(
+            scan("measurements", "m").select(Expr::path("m.reading").gt(Expr::float(50.0))),
+        ));
+        let first = compiler.compile(&plan).unwrap().execute().unwrap();
+        assert!(first.metrics.cached_values > 0);
+        assert_eq!(store.stats().entries, 1);
+
+        // Second compilation serves the field from the cache.
+        let second = compiler.compile(&plan).unwrap();
+        assert!(second
+            .access_paths
+            .iter()
+            .any(|p| p.contains("cache") || p.contains("fully served")));
+        let out = second.execute().unwrap();
+        assert_eq!(
+            out.rows[0].as_record().unwrap().get("cnt"),
+            first.rows[0].as_record().unwrap().get("cnt")
+        );
+    }
+
+    #[test]
+    fn collect_sink_emits_binding_records() {
+        let plan = scan("orders", "o").select(Expr::path("o.o_orderkey").lt(Expr::int(3)));
+        let out = run(&proteus_algebra::rewrite::rewrite(plan));
+        assert_eq!(out.rows.len(), 3);
+        assert!(out.rows[0]
+            .as_record()
+            .unwrap()
+            .get("o.o_orderkey")
+            .is_some());
+    }
+}

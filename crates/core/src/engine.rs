@@ -1,0 +1,471 @@
+//! The [`QueryEngine`] facade: the public entry point of the Proteus
+//! reproduction.
+//!
+//! A `QueryEngine` owns the memory manager, the plug-in registry, the
+//! adaptive cache store and the optimizer, and exposes:
+//!
+//! * dataset registration for CSV, JSON, binary row/column data (with format
+//!   auto-detection),
+//! * SQL queries over flat data and comprehension queries over nested data,
+//! * the generated pseudo-IR, per-query metrics and cache statistics the
+//!   benchmarks and the examples report.
+
+use std::path::Path;
+use std::sync::Arc;
+
+use proteus_algebra::comprehension::parse_comprehension;
+use proteus_algebra::sql::{parse_sql, sql_to_plan};
+use proteus_algebra::translate::comprehension_to_plan;
+use proteus_algebra::{LogicalPlan, Schema, Value};
+use proteus_optimizer::{CacheRewrite, Catalog, Optimizer};
+use proteus_plugins::csv::CsvOptions;
+use proteus_plugins::{InputPlugin, PluginRegistry};
+use proteus_storage::cache::CacheStats;
+use proteus_storage::{CacheStore, MemoryManager};
+
+use crate::codegen::Compiler;
+use crate::error::Result;
+use crate::exec::metrics::ExecutionMetrics;
+
+/// Engine configuration.
+#[derive(Debug, Clone)]
+pub struct EngineConfig {
+    /// Enable the adaptive caching of §6 (cache building + cache matching).
+    pub caching_enabled: bool,
+    /// Cache arena budget in bytes.
+    pub cache_budget: usize,
+}
+
+impl Default for EngineConfig {
+    fn default() -> Self {
+        EngineConfig {
+            caching_enabled: true,
+            cache_budget: MemoryManager::DEFAULT_ARENA_BUDGET,
+        }
+    }
+}
+
+impl EngineConfig {
+    /// Configuration with adaptive caching switched off (the setting used by
+    /// most of §7.1: "Unless otherwise specified, the adaptive caching of
+    /// Proteus is deactivated").
+    pub fn without_caching() -> EngineConfig {
+        EngineConfig {
+            caching_enabled: false,
+            ..Default::default()
+        }
+    }
+}
+
+/// The result of one query.
+#[derive(Debug, Clone)]
+pub struct QueryResult {
+    /// Output rows (records).
+    pub rows: Vec<Value>,
+    /// Compile + execution metrics.
+    pub metrics: ExecutionMetrics,
+    /// Pseudo-IR of the generated engine.
+    pub ir: String,
+    /// The optimized plan that was compiled.
+    pub plan: LogicalPlan,
+    /// Cache rewrites applied by the optimizer (empty when none matched).
+    pub cache_rewrites: Vec<CacheRewrite>,
+    /// The access path every scanned dataset used.
+    pub access_paths: Vec<String>,
+}
+
+impl QueryResult {
+    /// Convenience: the single scalar of a one-row/one-aggregate result.
+    pub fn scalar(&self, field: &str) -> Option<Value> {
+        self.rows
+            .first()
+            .and_then(|r| r.as_record().ok())
+            .and_then(|r| r.get(field).cloned())
+    }
+
+    /// Convenience: flattens the `result` bag of a pure-projection query into
+    /// individual rows.
+    pub fn flattened_rows(&self) -> Vec<Value> {
+        if self.rows.len() == 1 {
+            if let Ok(record) = self.rows[0].as_record() {
+                if record.len() == 1 {
+                    if let Some((_, Value::List(items))) = record.get_index(0) {
+                        return items.clone();
+                    }
+                }
+            }
+        }
+        self.rows.clone()
+    }
+}
+
+/// The Proteus query engine.
+pub struct QueryEngine {
+    config: EngineConfig,
+    memory: MemoryManager,
+    registry: PluginRegistry,
+    caches: CacheStore,
+    workload_metrics: parking_lot::Mutex<ExecutionMetrics>,
+}
+
+impl QueryEngine {
+    /// Creates an engine with the given configuration.
+    pub fn new(config: EngineConfig) -> QueryEngine {
+        let memory = MemoryManager::with_budget(config.cache_budget);
+        QueryEngine {
+            registry: PluginRegistry::new(),
+            caches: CacheStore::new(memory.clone()),
+            memory,
+            config,
+            workload_metrics: parking_lot::Mutex::new(ExecutionMetrics::new()),
+        }
+    }
+
+    /// Creates an engine with default configuration (caching enabled).
+    pub fn with_defaults() -> QueryEngine {
+        Self::new(EngineConfig::default())
+    }
+
+    /// The memory manager (exposed so callers can pre-map files or inspect
+    /// arena usage).
+    pub fn memory(&self) -> &MemoryManager {
+        &self.memory
+    }
+
+    /// The plug-in registry.
+    pub fn registry(&self) -> &PluginRegistry {
+        &self.registry
+    }
+
+    /// The cache store.
+    pub fn caches(&self) -> &CacheStore {
+        &self.caches
+    }
+
+    // -- dataset registration -------------------------------------------------
+
+    /// Registers an already-constructed plug-in.
+    pub fn register_plugin(&self, plugin: Arc<dyn InputPlugin>) {
+        self.registry.register(plugin);
+    }
+
+    /// Registers a CSV file with an explicit schema.
+    pub fn register_csv(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        schema: Schema,
+        options: CsvOptions,
+    ) -> Result<()> {
+        self.registry
+            .register_csv(dataset, path, schema, options, &self.memory)?;
+        Ok(())
+    }
+
+    /// Registers a JSON file (schema is inferred; the structural index is
+    /// built during this first access).
+    pub fn register_json(&self, dataset: impl Into<String>, path: impl AsRef<Path>) -> Result<()> {
+        self.registry.register_json(dataset, path, &self.memory)?;
+        Ok(())
+    }
+
+    /// Registers a binary column-table directory.
+    pub fn register_columns(&self, dataset: impl Into<String>, dir: impl AsRef<Path>) -> Result<()> {
+        self.registry.register_columns(dataset, dir)?;
+        Ok(())
+    }
+
+    /// Registers a binary row file.
+    pub fn register_rows(&self, dataset: impl Into<String>, path: impl AsRef<Path>) -> Result<()> {
+        self.registry.register_rows(dataset, path, &self.memory)?;
+        Ok(())
+    }
+
+    /// Registers a dataset with format auto-detection.
+    pub fn register_auto(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        schema: Option<Schema>,
+    ) -> Result<()> {
+        self.registry
+            .register_auto(dataset, path, schema, &self.memory)?;
+        Ok(())
+    }
+
+    /// Signals that a dataset's contents changed: affected caches are dropped
+    /// and will be rebuilt lazily (§4, "Implementation Scope").
+    pub fn notify_update(&self, dataset: &str) -> usize {
+        self.caches.invalidate_dataset(dataset)
+    }
+
+    // -- query execution ------------------------------------------------------
+
+    /// Runs a SQL query.
+    pub fn sql(&self, query: &str) -> Result<QueryResult> {
+        let parsed = parse_sql(query)?;
+        let registry = self.registry.clone();
+        let plan = sql_to_plan(&parsed, &move |name: &str| registry.schema_of(name))?;
+        self.execute_plan(plan)
+    }
+
+    /// Runs a monoid-comprehension query.
+    pub fn comprehension(&self, query: &str) -> Result<QueryResult> {
+        let comp = parse_comprehension(query)?;
+        let registry = self.registry.clone();
+        let plan = comprehension_to_plan(&comp, &move |name: &str| registry.schema_of(name))?;
+        self.execute_plan(plan)
+    }
+
+    /// Optimizes, compiles and executes a logical plan.
+    pub fn execute_plan(&self, plan: LogicalPlan) -> Result<QueryResult> {
+        let catalog = Catalog::from_registry(&self.registry);
+        let optimizer = Optimizer::new(catalog);
+        let caches = self.config.caching_enabled.then(|| &self.caches);
+        let optimized = optimizer.optimize(plan, caches);
+
+        let compiler = Compiler::new(
+            self.registry.clone(),
+            self.config.caching_enabled.then(|| self.caches.clone()),
+        );
+        let compiled = compiler.compile(&optimized.plan)?;
+        let ir = compiled.ir.clone();
+        let access_paths = compiled.access_paths.clone();
+        let output = compiled.execute()?;
+
+        self.workload_metrics.lock().merge(&output.metrics);
+
+        Ok(QueryResult {
+            rows: output.rows,
+            metrics: output.metrics,
+            ir,
+            plan: optimized.plan,
+            cache_rewrites: optimized.cache_rewrites,
+            access_paths,
+        })
+    }
+
+    /// Returns the optimized plan and generated pseudo-IR for a SQL query
+    /// without executing it (EXPLAIN).
+    pub fn explain_sql(&self, query: &str) -> Result<String> {
+        let parsed = parse_sql(query)?;
+        let registry = self.registry.clone();
+        let plan = sql_to_plan(&parsed, &move |name: &str| registry.schema_of(name))?;
+        let catalog = Catalog::from_registry(&self.registry);
+        let optimizer = Optimizer::new(catalog);
+        let caches = self.config.caching_enabled.then(|| &self.caches);
+        let optimized = optimizer.optimize(plan, caches);
+        let compiler = Compiler::new(
+            self.registry.clone(),
+            self.config.caching_enabled.then(|| self.caches.clone()),
+        );
+        let compiled = compiler.compile(&optimized.plan)?;
+        Ok(format!(
+            "== Optimized plan (estimated cost {:.1}, cardinality {:.1}) ==\n{}\n== Generated engine (pseudo-IR) ==\n{}",
+            optimized.estimate.cost,
+            optimized.estimate.cardinality,
+            proteus_algebra::pretty::explain(&optimized.plan),
+            compiled.ir
+        ))
+    }
+
+    // -- observability --------------------------------------------------------
+
+    /// Cache statistics (entries, bytes, hits, misses, evictions).
+    pub fn cache_stats(&self) -> CacheStats {
+        self.caches.stats()
+    }
+
+    /// Drops every cache.
+    pub fn clear_caches(&self) {
+        self.caches.clear();
+    }
+
+    /// Aggregate metrics across every query run so far (workload totals, as
+    /// in Table 3).
+    pub fn workload_metrics(&self) -> ExecutionMetrics {
+        self.workload_metrics.lock().clone()
+    }
+
+    /// Resets the aggregate workload metrics.
+    pub fn reset_workload_metrics(&self) {
+        *self.workload_metrics.lock() = ExecutionMetrics::new();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_plugins::binary::ColumnPlugin;
+    use proteus_storage::ColumnData;
+    use std::fs;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("proteus_engine_tests").join(name);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    fn engine_with_tpch_columns() -> QueryEngine {
+        let engine = QueryEngine::new(EngineConfig::without_caching());
+        engine.register_plugin(Arc::new(
+            ColumnPlugin::from_pairs(
+                "lineitem",
+                vec![
+                    (
+                        "l_orderkey".to_string(),
+                        ColumnData::Int((0..600).map(|i| i % 150).collect()),
+                    ),
+                    (
+                        "l_linenumber".to_string(),
+                        ColumnData::Int((0..600).map(|i| i % 7).collect()),
+                    ),
+                    (
+                        "l_quantity".to_string(),
+                        ColumnData::Float((0..600).map(|i| (i % 50) as f64).collect()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        ));
+        engine.register_plugin(Arc::new(
+            ColumnPlugin::from_pairs(
+                "orders",
+                vec![
+                    ("o_orderkey".to_string(), ColumnData::Int((0..150).collect())),
+                    (
+                        "o_totalprice".to_string(),
+                        ColumnData::Float((0..150).map(|i| i as f64 * 10.0).collect()),
+                    ),
+                ],
+            )
+            .unwrap(),
+        ));
+        engine
+    }
+
+    #[test]
+    fn sql_count_and_max() {
+        let engine = engine_with_tpch_columns();
+        let result = engine
+            .sql("SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 75")
+            .unwrap();
+        assert_eq!(result.scalar("count_0"), Some(Value::Int(300)));
+        assert_eq!(result.scalar("max_1"), Some(Value::Float(49.0)));
+        assert!(result.ir.contains("while (!eof(lineitem))"));
+    }
+
+    #[test]
+    fn sql_join_group_by() {
+        let engine = engine_with_tpch_columns();
+        let result = engine
+            .sql(
+                "SELECT l_linenumber, COUNT(*) FROM orders o JOIN lineitem l \
+                 ON o_orderkey = l_orderkey WHERE o_totalprice < 500 GROUP BY l_linenumber",
+            )
+            .unwrap();
+        assert!(!result.rows.is_empty());
+        let total: i64 = result
+            .rows
+            .iter()
+            .map(|r| r.as_record().unwrap().get("count_1").unwrap().as_int().unwrap())
+            .sum();
+        // 50 orders qualify (price < 500 → o_orderkey < 50); each matches 4
+        // lineitems (600 rows mod 150).
+        assert_eq!(total, 200);
+    }
+
+    #[test]
+    fn comprehension_over_json_with_unnest() {
+        let dir = temp_dir("json_comp");
+        let path = dir.join("sailors.json");
+        fs::write(
+            &path,
+            r#"{"id": 1, "children": [{"name": "ann", "age": 20}, {"name": "bob", "age": 10}]}
+{"id": 2, "children": [{"name": "eve", "age": 30}]}
+"#,
+        )
+        .unwrap();
+        let engine = QueryEngine::with_defaults();
+        engine.register_json("Sailor", &path).unwrap();
+        let result = engine
+            .comprehension(
+                "for { s <- Sailor, c <- s.children, c.age > 18 } yield bag (s.id, c.name)",
+            )
+            .unwrap();
+        let rows = result.flattened_rows();
+        assert_eq!(rows.len(), 2);
+    }
+
+    #[test]
+    fn caching_speeds_second_query_and_reports_stats() {
+        let dir = temp_dir("caching");
+        let path = dir.join("lineitem.json");
+        let mut json = String::new();
+        for i in 0..500 {
+            json.push_str(&format!(
+                "{{\"l_orderkey\": {}, \"l_quantity\": {}.5, \"l_comment\": \"c{}\"}}\n",
+                i % 100,
+                i % 50,
+                i
+            ));
+        }
+        fs::write(&path, json).unwrap();
+
+        let engine = QueryEngine::with_defaults();
+        engine.register_json("lineitem", &path).unwrap();
+        let q = "SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 50";
+        let first = engine.sql(q).unwrap();
+        assert!(first.metrics.cached_values > 0);
+        assert!(engine.cache_stats().entries >= 1);
+        let second = engine.sql(q).unwrap();
+        assert_eq!(first.scalar("count_0"), second.scalar("count_0"));
+        assert!(second
+            .access_paths
+            .iter()
+            .any(|p| p.contains("cache") || p.contains("fully served")));
+        assert!(engine.workload_metrics().tuples_scanned >= 1000);
+        engine.clear_caches();
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn notify_update_invalidates_caches() {
+        let dir = temp_dir("update");
+        let path = dir.join("data.json");
+        fs::write(&path, "{\"x\": 1}\n{\"x\": 2}\n").unwrap();
+        let engine = QueryEngine::with_defaults();
+        engine.register_json("data", &path).unwrap();
+        engine.sql("SELECT COUNT(*) FROM data WHERE x < 5").unwrap();
+        assert!(engine.cache_stats().entries > 0);
+        assert!(engine.notify_update("data") > 0);
+        assert_eq!(engine.cache_stats().entries, 0);
+    }
+
+    #[test]
+    fn explain_returns_plan_and_ir() {
+        let engine = engine_with_tpch_columns();
+        let text = engine
+            .explain_sql("SELECT COUNT(*) FROM lineitem WHERE l_orderkey < 10")
+            .unwrap();
+        assert!(text.contains("Optimized plan"));
+        assert!(text.contains("Scan lineitem"));
+        assert!(text.contains("pseudo-IR"));
+    }
+
+    #[test]
+    fn unknown_dataset_is_reported() {
+        let engine = QueryEngine::with_defaults();
+        assert!(engine.sql("SELECT COUNT(*) FROM nothing").is_err());
+    }
+
+    #[test]
+    fn pure_projection_flattens() {
+        let engine = engine_with_tpch_columns();
+        let result = engine
+            .sql("SELECT l_orderkey, l_quantity FROM lineitem WHERE l_orderkey < 2")
+            .unwrap();
+        let rows = result.flattened_rows();
+        assert_eq!(rows.len(), 8);
+    }
+}

@@ -1,0 +1,70 @@
+//! Error type for the engine layer.
+
+use std::fmt;
+
+use proteus_algebra::AlgebraError;
+use proteus_plugins::PluginError;
+use proteus_storage::StorageError;
+
+/// Errors produced while compiling or executing queries.
+#[derive(Debug)]
+pub enum EngineError {
+    /// Error from the algebra layer (parsing, expression evaluation).
+    Algebra(AlgebraError),
+    /// Error from an input plug-in.
+    Plugin(PluginError),
+    /// Error from the storage layer.
+    Storage(StorageError),
+    /// The plan references a dataset that is not registered.
+    UnknownDataset(String),
+    /// The plan cannot be compiled (unsupported shape).
+    Unsupported(String),
+}
+
+impl fmt::Display for EngineError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            EngineError::Algebra(e) => write!(f, "{e}"),
+            EngineError::Plugin(e) => write!(f, "{e}"),
+            EngineError::Storage(e) => write!(f, "{e}"),
+            EngineError::UnknownDataset(name) => write!(f, "dataset {name} is not registered"),
+            EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for EngineError {}
+
+impl From<AlgebraError> for EngineError {
+    fn from(e: AlgebraError) -> Self {
+        EngineError::Algebra(e)
+    }
+}
+
+impl From<PluginError> for EngineError {
+    fn from(e: PluginError) -> Self {
+        EngineError::Plugin(e)
+    }
+}
+
+impl From<StorageError> for EngineError {
+    fn from(e: StorageError) -> Self {
+        EngineError::Storage(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, EngineError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: EngineError = AlgebraError::Parse("bad".into()).into();
+        assert!(e.to_string().contains("bad"));
+        let e = EngineError::UnknownDataset("orders".into());
+        assert!(e.to_string().contains("orders"));
+    }
+}

@@ -1,0 +1,19 @@
+//! Runtime building blocks of the generated query pipelines.
+//!
+//! The generated engine works over *positional bindings*: a binding is a flat
+//! vector of values whose slots are assigned at compile time (one slot per
+//! scanned field / unnest variable), so the per-tuple path performs direct
+//! index accesses — never name lookups or schema checks. These bindings are
+//! the reproduction of the paper's "virtual memory buffers" that the LLVM
+//! compiler promotes to registers.
+
+pub mod expr;
+pub mod metrics;
+pub mod radix;
+
+pub use expr::{compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate};
+
+use proteus_algebra::Value;
+
+/// A runtime binding: one value per layout slot.
+pub type Binding = Vec<Value>;

@@ -1,0 +1,233 @@
+//! Radix-partitioned hash join and grouping.
+//!
+//! §5.1: "Proteus uses hash-based algorithms for the join and grouping
+//! operators, namely variations of the radix hash join algorithm. While parts
+//! of the join implementation are indeed generated at runtime, other parts,
+//! like clustering the materialized entries based on their hash values, are
+//! wrapped in a C++ function." The same split exists here: key extraction is
+//! a compiled closure per query; the partition/cluster/probe machinery below
+//! is ordinary pre-existing library code invoked by the generated pipeline.
+
+use proteus_algebra::monoid::Accumulator;
+use proteus_algebra::{Monoid, Value};
+
+use crate::exec::Binding;
+
+/// Number of radix partitions (64 = 6 radix bits), chosen so each partition's
+/// working set stays cache-resident for the scaled-down datasets.
+pub const RADIX_PARTITIONS: usize = 64;
+
+fn partition_of(hash: u64) -> usize {
+    (hash as usize) & (RADIX_PARTITIONS - 1)
+}
+
+/// A materialized, radix-partitioned hash table over the build side of a join.
+pub struct RadixHashTable {
+    /// Per partition: the clustered `(key hash, key, binding)` entries.
+    partitions: Vec<Vec<(u64, Value, Binding)>>,
+    /// Number of entries inserted.
+    len: usize,
+}
+
+impl RadixHashTable {
+    /// Builds the table by partitioning (clustering) the materialized build
+    /// side on the key hash.
+    pub fn build(entries: Vec<(Value, Binding)>) -> RadixHashTable {
+        let mut partitions: Vec<Vec<(u64, Value, Binding)>> =
+            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+        let len = entries.len();
+        for (key, binding) in entries {
+            let hash = key.stable_hash();
+            partitions[partition_of(hash)].push((hash, key, binding));
+        }
+        // Cluster each partition by hash so probes touch contiguous runs.
+        for partition in &mut partitions {
+            partition.sort_by_key(|(hash, _, _)| *hash);
+        }
+        RadixHashTable { partitions, len }
+    }
+
+    /// Number of build-side entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no entries were materialized.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Probes with a key, invoking `on_match` for every build binding whose
+    /// key equals the probe key. Returns the number of matches.
+    pub fn probe(&self, key: &Value, mut on_match: impl FnMut(&Binding)) -> usize {
+        let hash = key.stable_hash();
+        let partition = &self.partitions[partition_of(hash)];
+        // Binary search to the first entry with this hash, then walk the run.
+        let mut idx = partition.partition_point(|(h, _, _)| *h < hash);
+        let mut matches = 0;
+        while idx < partition.len() && partition[idx].0 == hash {
+            if partition[idx].1.value_eq(key) {
+                on_match(&partition[idx].2);
+                matches += 1;
+            }
+            idx += 1;
+        }
+        matches
+    }
+
+    /// Approximate bytes materialized by the build side (for metrics).
+    pub fn materialized_bytes(&self) -> u64 {
+        self.partitions
+            .iter()
+            .map(|p| p.iter().map(|(_, _, b)| 16 + b.len() as u64 * 16).sum::<u64>())
+            .sum()
+    }
+}
+
+/// A radix-partitioned grouping (aggregation) table: the runtime of the
+/// `nest` operator.
+pub struct RadixGroupTable {
+    partitions: Vec<Vec<(u64, Vec<Value>, Vec<Accumulator>)>>,
+    monoids: Vec<Monoid>,
+    groups: usize,
+}
+
+impl RadixGroupTable {
+    /// Creates a table whose per-group accumulators follow `monoids`.
+    pub fn new(monoids: Vec<Monoid>) -> RadixGroupTable {
+        RadixGroupTable {
+            partitions: (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect(),
+            monoids,
+            groups: 0,
+        }
+    }
+
+    /// Folds one input: finds (or creates) the group of `key` and merges the
+    /// per-monoid values.
+    pub fn merge(&mut self, key: Vec<Value>, values: Vec<Value>) {
+        let hash = Value::List(key.clone()).stable_hash();
+        let partition = &mut self.partitions[partition_of(hash)];
+        let found = partition.iter_mut().find(|(h, k, _)| {
+            *h == hash && k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.value_eq(b))
+        });
+        match found {
+            Some((_, _, accumulators)) => {
+                for ((acc, monoid), value) in
+                    accumulators.iter_mut().zip(&self.monoids).zip(values)
+                {
+                    let _ = acc.merge(*monoid, value);
+                }
+            }
+            None => {
+                let mut accumulators: Vec<Accumulator> =
+                    self.monoids.iter().map(|m| Accumulator::zero(*m)).collect();
+                for ((acc, monoid), value) in
+                    accumulators.iter_mut().zip(&self.monoids).zip(values)
+                {
+                    let _ = acc.merge(*monoid, value);
+                }
+                partition.push((hash, key, accumulators));
+                self.groups += 1;
+            }
+        }
+    }
+
+    /// Number of groups formed.
+    pub fn group_count(&self) -> usize {
+        self.groups
+    }
+
+    /// Finalizes the table into `(key, outputs)` rows.
+    pub fn finish(self) -> Vec<(Vec<Value>, Vec<Value>)> {
+        let monoids = self.monoids;
+        let mut rows = Vec::with_capacity(self.groups);
+        for partition in self.partitions {
+            for (_, key, accumulators) in partition {
+                let outputs: Vec<Value> = accumulators
+                    .into_iter()
+                    .zip(&monoids)
+                    .map(|(acc, monoid)| acc.finish(*monoid))
+                    .collect();
+                rows.push((key, outputs));
+            }
+        }
+        rows
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_table_finds_all_matches() {
+        let build: Vec<(Value, Binding)> = (0..1000)
+            .map(|i| (Value::Int(i % 100), vec![Value::Int(i)]))
+            .collect();
+        let table = RadixHashTable::build(build);
+        assert_eq!(table.len(), 1000);
+        let mut matches = Vec::new();
+        let count = table.probe(&Value::Int(7), |b| matches.push(b[0].clone()));
+        assert_eq!(count, 10);
+        assert!(matches.iter().all(|v| v.as_int().unwrap() % 100 == 7));
+        assert_eq!(table.probe(&Value::Int(500), |_| {}), 0);
+    }
+
+    #[test]
+    fn join_table_handles_int_float_key_equivalence() {
+        let table = RadixHashTable::build(vec![(Value::Int(3), vec![Value::Int(1)])]);
+        assert_eq!(table.probe(&Value::Float(3.0), |_| {}), 1);
+    }
+
+    #[test]
+    fn join_table_string_keys() {
+        let table = RadixHashTable::build(vec![
+            (Value::str("a"), vec![Value::Int(1)]),
+            (Value::str("b"), vec![Value::Int(2)]),
+            (Value::str("a"), vec![Value::Int(3)]),
+        ]);
+        assert_eq!(table.probe(&Value::str("a"), |_| {}), 2);
+        assert!(table.materialized_bytes() > 0);
+        assert!(!table.is_empty());
+    }
+
+    #[test]
+    fn group_table_aggregates_per_key() {
+        let mut table = RadixGroupTable::new(vec![Monoid::Count, Monoid::Sum]);
+        for i in 0..100i64 {
+            table.merge(
+                vec![Value::Int(i % 4)],
+                vec![Value::Int(1), Value::Int(i)],
+            );
+        }
+        assert_eq!(table.group_count(), 4);
+        let rows = table.finish();
+        assert_eq!(rows.len(), 4);
+        let total_count: i64 = rows
+            .iter()
+            .map(|(_, outs)| outs[0].as_int().unwrap())
+            .sum();
+        assert_eq!(total_count, 100);
+        let total_sum: i64 = rows
+            .iter()
+            .map(|(_, outs)| outs[1].as_int().unwrap())
+            .sum();
+        assert_eq!(total_sum, (0..100).sum::<i64>());
+    }
+
+    #[test]
+    fn group_table_multi_column_keys() {
+        let mut table = RadixGroupTable::new(vec![Monoid::Count]);
+        table.merge(vec![Value::Int(1), Value::str("x")], vec![Value::Int(1)]);
+        table.merge(vec![Value::Int(1), Value::str("y")], vec![Value::Int(1)]);
+        table.merge(vec![Value::Int(1), Value::str("x")], vec![Value::Int(1)]);
+        assert_eq!(table.group_count(), 2);
+    }
+
+    #[test]
+    fn empty_group_table_finishes_empty() {
+        let table = RadixGroupTable::new(vec![Monoid::Max]);
+        assert_eq!(table.group_count(), 0);
+        assert!(table.finish().is_empty());
+    }
+}

@@ -1,0 +1,32 @@
+//! # proteus-core
+//!
+//! The paper's primary contribution: an analytical query engine that
+//! specializes its entire architecture — operators, expression evaluation,
+//! data access and caching structures — to each query at query time.
+//!
+//! * [`codegen`] — the "engine per query" generator (§5.1). The physical plan
+//!   is traversed once, post-order; every operator and every input plug-in
+//!   contributes a *specialized* piece of the final pipeline, and the result
+//!   is a single fused execution function per query (plus a human-readable
+//!   pseudo-IR mirroring Figure 3). This is the reproduction's stand-in for
+//!   the paper's LLVM IR generation — see DESIGN.md for the substitution
+//!   rationale.
+//! * [`exec`] — the runtime pieces the generated pipelines are stitched
+//!   from: compiled expressions over positional bindings, the radix hash
+//!   join and radix grouping operators, and execution metrics.
+//! * [`cache_builder`] — the output-plug-in side of §6: caches built as a
+//!   side-effect of execution, with the paper's policies (eagerly cache
+//!   primitives read from CSV/JSON, skip verbose strings).
+//! * [`engine`] — the [`engine::QueryEngine`] facade: register heterogeneous
+//!   datasets, run SQL or comprehension queries, observe metrics and caches.
+
+pub mod cache_builder;
+pub mod codegen;
+pub mod engine;
+pub mod error;
+pub mod exec;
+
+pub use codegen::{CompiledQuery, Compiler};
+pub use engine::{EngineConfig, QueryEngine, QueryResult};
+pub use error::{EngineError, Result};
+pub use exec::metrics::ExecutionMetrics;

@@ -1,0 +1,22 @@
+//! # proteus-datagen
+//!
+//! Deterministic dataset generators for the reproduction's experiments:
+//!
+//! * [`tpch`] — the TPC-H subset the paper uses in §7.1 (`lineitem` and
+//!   `orders`), at a configurable scale factor, with shuffled row order
+//!   ("We shuffle each file's contents to avoid potential optimizations that
+//!   exploit interesting orders").
+//! * [`symantec`] — a synthetic stand-in for the Symantec spam-trap silo of
+//!   §7.2: JSON spam objects with arbitrary field order, a CSV file of data
+//!   mining (classification) output and a binary history table, plus the
+//!   50-query workload structure.
+//! * [`writers`] — CSV / JSON / denormalized-JSON / binary row / binary
+//!   column writers so each engine consumes the same data in its native
+//!   format.
+
+pub mod symantec;
+pub mod tpch;
+pub mod writers;
+
+pub use tpch::{TpchGenerator, TpchScale};
+pub use writers::{value_to_json, write_csv, write_json, write_column_table, write_row_table};

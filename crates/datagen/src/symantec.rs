@@ -1,0 +1,317 @@
+//! Synthetic stand-in for the Symantec spam-analysis workload (§7.2).
+//!
+//! The real input is proprietary; this generator reproduces its *shape*:
+//!
+//! * a JSON silo of spam-email objects (mail body language, origin IP and
+//!   country, responsible bot, subject, nested per-classifier label arrays)
+//!   with arbitrary field order across objects;
+//! * a CSV file produced by the data-mining workflow (mail id, assigned
+//!   classes, scores);
+//! * a binary history table accumulated in the RDBMS (mail id, first-seen
+//!   date, occurrence count, aggregate score);
+//! * the 50-query workload of Figure 14, grouped by the dataset combination
+//!   each query touches (BIN, CSV, JSON, BIN+CSV, BIN+JSON, CSV+JSON,
+//!   BIN+CSV+JSON).
+
+use proteus_algebra::{DataType, Schema, Value};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+/// Which datasets a workload query touches (the groups of Figure 14).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum QueryGroup {
+    /// Binary history table only (Q1–Q8).
+    Bin,
+    /// CSV classification output only (Q9–Q15).
+    Csv,
+    /// JSON spam objects only (Q16–Q25).
+    Json,
+    /// Binary ⋈ CSV (Q26–Q30).
+    BinCsv,
+    /// Binary ⋈ JSON (Q31–Q35).
+    BinJson,
+    /// CSV ⋈ JSON (Q36–Q40).
+    CsvJson,
+    /// All three datasets (Q41–Q50).
+    BinCsvJson,
+}
+
+impl QueryGroup {
+    /// The group of workload query `q` (1-based, 1..=50), following the
+    /// paper's partitioning of Figure 14.
+    pub fn of_query(q: usize) -> QueryGroup {
+        match q {
+            1..=8 => QueryGroup::Bin,
+            9..=15 => QueryGroup::Csv,
+            16..=25 => QueryGroup::Json,
+            26..=30 => QueryGroup::BinCsv,
+            31..=35 => QueryGroup::BinJson,
+            36..=40 => QueryGroup::CsvJson,
+            _ => QueryGroup::BinCsvJson,
+        }
+    }
+
+    /// Short label used in the Figure 14 output.
+    pub fn label(&self) -> &'static str {
+        match self {
+            QueryGroup::Bin => "BIN",
+            QueryGroup::Csv => "CSV",
+            QueryGroup::Json => "JSON",
+            QueryGroup::BinCsv => "BIN+CSV",
+            QueryGroup::BinJson => "BIN+JSON",
+            QueryGroup::CsvJson => "CSV+JSON",
+            QueryGroup::BinCsvJson => "BIN+CSV+JSON",
+        }
+    }
+}
+
+/// Sizes of the three silos.
+#[derive(Debug, Clone, Copy)]
+pub struct SymantecScale {
+    /// Number of JSON spam objects.
+    pub spam_objects: usize,
+    /// Number of CSV classification rows.
+    pub classification_rows: usize,
+    /// Number of binary history rows.
+    pub history_rows: usize,
+}
+
+impl SymantecScale {
+    /// A small default suitable for tests and CI benchmark runs. The paper's
+    /// silo holds 28 M / 400 M / 500 M entries; the ratios (≈ 1 : 14 : 18)
+    /// are preserved.
+    pub fn small() -> SymantecScale {
+        SymantecScale {
+            spam_objects: 1_000,
+            classification_rows: 14_000,
+            history_rows: 18_000,
+        }
+    }
+
+    /// Scales the small configuration by a factor (and by `PROTEUS_SF`).
+    pub fn scaled(factor: f64) -> SymantecScale {
+        let env = std::env::var("PROTEUS_SF")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(1.0);
+        let f = (factor * env).max(0.01);
+        let small = Self::small();
+        SymantecScale {
+            spam_objects: ((small.spam_objects as f64) * f) as usize,
+            classification_rows: ((small.classification_rows as f64) * f) as usize,
+            history_rows: ((small.history_rows as f64) * f) as usize,
+        }
+    }
+}
+
+const LANGUAGES: &[&str] = &["en", "ru", "zh", "es", "de", "pt", "fr"];
+const COUNTRIES: &[&str] = &["us", "ru", "cn", "br", "in", "de", "ng", "vn"];
+const BOTS: &[&str] = &["rustock", "grum", "cutwail", "kelihos", "waledac", "unknown"];
+const CLASSIFIERS: &[&str] = &["campaign", "phishing", "malware", "pharma"];
+
+/// The Symantec-like silo generator.
+pub struct SymantecGenerator {
+    rng: StdRng,
+    scale: SymantecScale,
+}
+
+impl SymantecGenerator {
+    /// Creates a deterministic generator.
+    pub fn new(scale: SymantecScale) -> SymantecGenerator {
+        SymantecGenerator {
+            rng: StdRng::seed_from_u64(0x5ca1_ab1e),
+            scale,
+        }
+    }
+
+    /// Schema of the CSV classification output.
+    pub fn classification_schema() -> Schema {
+        Schema::from_pairs(vec![
+            ("mail_id", DataType::Int),
+            ("campaign_class", DataType::Int),
+            ("phishing_class", DataType::Int),
+            ("malware_class", DataType::Int),
+            ("score", DataType::Float),
+            ("label", DataType::String),
+        ])
+    }
+
+    /// Schema of the binary history table.
+    pub fn history_schema() -> Schema {
+        Schema::from_pairs(vec![
+            ("mail_id", DataType::Int),
+            ("first_seen", DataType::Int),
+            ("occurrences", DataType::Int),
+            ("total_score", DataType::Float),
+            ("dominant_bot", DataType::String),
+        ])
+    }
+
+    /// Generates the JSON spam objects.
+    pub fn spam_objects(&mut self) -> Vec<Value> {
+        (0..self.scale.spam_objects as i64)
+            .map(|id| {
+                let mut classes: Vec<Value> = Vec::new();
+                for classifier in CLASSIFIERS {
+                    if self.rng.gen_bool(0.6) {
+                        classes.push(Value::record(vec![
+                            ("classifier", Value::Str(classifier.to_string())),
+                            ("label", Value::Int(self.rng.gen_range(0..20))),
+                            ("confidence", Value::Float(self.rng.gen_range(0.0..1.0))),
+                        ]));
+                    }
+                }
+                Value::record(vec![
+                    ("mail_id", Value::Int(id)),
+                    (
+                        "lang",
+                        Value::Str(LANGUAGES[self.rng.gen_range(0..LANGUAGES.len())].to_string()),
+                    ),
+                    (
+                        "origin",
+                        Value::record(vec![
+                            (
+                                "ip",
+                                Value::Str(format!(
+                                    "{}.{}.{}.{}",
+                                    self.rng.gen_range(1..255),
+                                    self.rng.gen_range(0..255),
+                                    self.rng.gen_range(0..255),
+                                    self.rng.gen_range(1..255)
+                                )),
+                            ),
+                            (
+                                "country",
+                                Value::Str(
+                                    COUNTRIES[self.rng.gen_range(0..COUNTRIES.len())].to_string(),
+                                ),
+                            ),
+                        ]),
+                    ),
+                    (
+                        "bot",
+                        Value::Str(BOTS[self.rng.gen_range(0..BOTS.len())].to_string()),
+                    ),
+                    ("size_bytes", Value::Int(self.rng.gen_range(200..20_000))),
+                    (
+                        "subject",
+                        Value::Str(format!("special offer number {}", self.rng.gen_range(0..1_000))),
+                    ),
+                    ("classes", Value::List(classes)),
+                ])
+            })
+            .collect()
+    }
+
+    /// Generates the CSV classification rows.
+    pub fn classifications(&mut self) -> Vec<Value> {
+        (0..self.scale.classification_rows as i64)
+            .map(|row| {
+                let mail_id = row % self.scale.spam_objects.max(1) as i64;
+                Value::record(vec![
+                    ("mail_id", Value::Int(mail_id)),
+                    ("campaign_class", Value::Int(self.rng.gen_range(0..50))),
+                    ("phishing_class", Value::Int(self.rng.gen_range(0..10))),
+                    ("malware_class", Value::Int(self.rng.gen_range(0..5))),
+                    ("score", Value::Float(self.rng.gen_range(0.0..100.0))),
+                    (
+                        "label",
+                        Value::Str(format!(
+                            "{}-{}",
+                            CLASSIFIERS[self.rng.gen_range(0..CLASSIFIERS.len())],
+                            self.rng.gen_range(0..100)
+                        )),
+                    ),
+                ])
+            })
+            .collect()
+    }
+
+    /// Generates the binary history rows.
+    pub fn history(&mut self) -> Vec<Value> {
+        (0..self.scale.history_rows as i64)
+            .map(|row| {
+                let mail_id = row % (self.scale.spam_objects.max(1) as i64 * 2);
+                Value::record(vec![
+                    ("mail_id", Value::Int(mail_id)),
+                    ("first_seen", Value::Int(self.rng.gen_range(10_000..12_000))),
+                    ("occurrences", Value::Int(self.rng.gen_range(1..500))),
+                    ("total_score", Value::Float(self.rng.gen_range(0.0..10_000.0))),
+                    (
+                        "dominant_bot",
+                        Value::Str(BOTS[self.rng.gen_range(0..BOTS.len())].to_string()),
+                    ),
+                ])
+            })
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn silo_sizes_follow_scale() {
+        let scale = SymantecScale {
+            spam_objects: 50,
+            classification_rows: 700,
+            history_rows: 900,
+        };
+        let mut generator = SymantecGenerator::new(scale);
+        assert_eq!(generator.spam_objects().len(), 50);
+        assert_eq!(generator.classifications().len(), 700);
+        assert_eq!(generator.history().len(), 900);
+    }
+
+    #[test]
+    fn spam_objects_have_nested_origin_and_class_arrays() {
+        let mut generator = SymantecGenerator::new(SymantecScale {
+            spam_objects: 20,
+            classification_rows: 0,
+            history_rows: 0,
+        });
+        let spam = generator.spam_objects();
+        for obj in &spam {
+            let rec = obj.as_record().unwrap();
+            assert!(matches!(rec.get("origin"), Some(Value::Record(_))));
+            assert!(matches!(rec.get("classes"), Some(Value::List(_))));
+            let country = obj.navigate(&["origin".to_string(), "country".to_string()]);
+            assert!(matches!(country, Value::Str(_)));
+        }
+    }
+
+    #[test]
+    fn classifications_reference_spam_mail_ids() {
+        let scale = SymantecScale {
+            spam_objects: 10,
+            classification_rows: 40,
+            history_rows: 0,
+        };
+        let mut generator = SymantecGenerator::new(scale);
+        let rows = generator.classifications();
+        assert!(rows.iter().all(|r| {
+            let id = r.as_record().unwrap().get("mail_id").unwrap().as_int().unwrap();
+            (0..10).contains(&id)
+        }));
+    }
+
+    #[test]
+    fn query_groups_partition_the_50_queries() {
+        assert_eq!(QueryGroup::of_query(1), QueryGroup::Bin);
+        assert_eq!(QueryGroup::of_query(9), QueryGroup::Csv);
+        assert_eq!(QueryGroup::of_query(16), QueryGroup::Json);
+        assert_eq!(QueryGroup::of_query(26), QueryGroup::BinCsv);
+        assert_eq!(QueryGroup::of_query(31), QueryGroup::BinJson);
+        assert_eq!(QueryGroup::of_query(39), QueryGroup::CsvJson);
+        assert_eq!(QueryGroup::of_query(50), QueryGroup::BinCsvJson);
+        assert_eq!(QueryGroup::Bin.label(), "BIN");
+    }
+
+    #[test]
+    fn scaled_sizes_preserve_ratios() {
+        let scale = SymantecScale::scaled(0.1);
+        assert!(scale.classification_rows > scale.spam_objects);
+        assert!(scale.history_rows > scale.classification_rows);
+    }
+}

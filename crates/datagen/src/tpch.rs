@@ -1,0 +1,235 @@
+//! TPC-H subset generator (`lineitem` + `orders`).
+//!
+//! The paper uses SF10 (60 M lineitems) for the JSON experiments and SF100
+//! for the binary ones. The reproduction scales the same schema down: a
+//! [`TpchScale`] of `1.0` produces 6 000 lineitems / 1 500 orders, so the
+//! benchmarks default to laptop-friendly sizes while `PROTEUS_SF` can raise
+//! them. Keys, value ranges and the lineitem-per-order fan-out follow the
+//! TPC-H spec shape (1–7 lineitems per order, quantities 1–50, ...).
+
+use proteus_algebra::{DataType, Schema, Value};
+use rand::rngs::StdRng;
+use rand::seq::SliceRandom;
+use rand::{Rng, SeedableRng};
+
+/// Scale factor: 1.0 ≙ 6 000 lineitems / 1 500 orders.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TpchScale(pub f64);
+
+impl TpchScale {
+    /// Number of orders at this scale.
+    pub fn order_count(&self) -> usize {
+        ((self.0 * 1_500.0).round() as usize).max(1)
+    }
+
+    /// Reads the scale from the `PROTEUS_SF` environment variable, falling
+    /// back to the given default.
+    pub fn from_env(default: f64) -> TpchScale {
+        let sf = std::env::var("PROTEUS_SF")
+            .ok()
+            .and_then(|s| s.parse::<f64>().ok())
+            .unwrap_or(default);
+        TpchScale(sf)
+    }
+}
+
+/// The TPC-H subset generator.
+pub struct TpchGenerator {
+    rng: StdRng,
+    scale: TpchScale,
+}
+
+impl TpchGenerator {
+    /// Creates a generator with a fixed seed (fully deterministic output).
+    pub fn new(scale: TpchScale) -> TpchGenerator {
+        TpchGenerator {
+            rng: StdRng::seed_from_u64(0x5eed_1234),
+            scale,
+        }
+    }
+
+    /// Schema of the generated `lineitem` table.
+    pub fn lineitem_schema() -> Schema {
+        Schema::from_pairs(vec![
+            ("l_orderkey", DataType::Int),
+            ("l_linenumber", DataType::Int),
+            ("l_quantity", DataType::Float),
+            ("l_extendedprice", DataType::Float),
+            ("l_discount", DataType::Float),
+            ("l_tax", DataType::Float),
+            ("l_shipdate", DataType::Int),
+            ("l_comment", DataType::String),
+        ])
+    }
+
+    /// Schema of the generated `orders` table.
+    pub fn orders_schema() -> Schema {
+        Schema::from_pairs(vec![
+            ("o_orderkey", DataType::Int),
+            ("o_custkey", DataType::Int),
+            ("o_totalprice", DataType::Float),
+            ("o_orderdate", DataType::Int),
+            ("o_comment", DataType::String),
+        ])
+    }
+
+    /// Generates `orders` and `lineitem` rows (already shuffled).
+    /// Lineitems reference existing order keys with a 1–7 fan-out.
+    pub fn generate(&mut self) -> (Vec<Value>, Vec<Value>) {
+        let order_count = self.scale.order_count();
+        let mut orders = Vec::with_capacity(order_count);
+        let mut lineitems = Vec::new();
+        for orderkey in 0..order_count as i64 {
+            let custkey = self.rng.gen_range(0..(order_count as i64 / 10).max(1));
+            let orderdate = self.rng.gen_range(8_000..12_000);
+            let line_count = self.rng.gen_range(1..=7);
+            let mut total = 0.0;
+            for linenumber in 1..=line_count {
+                let quantity = self.rng.gen_range(1..=50) as f64;
+                let price = quantity * self.rng.gen_range(900.0..1100.0);
+                let discount = (self.rng.gen_range(0..=10) as f64) / 100.0;
+                let tax = (self.rng.gen_range(0..=8) as f64) / 100.0;
+                total += price * (1.0 - discount);
+                lineitems.push(Value::record(vec![
+                    ("l_orderkey", Value::Int(orderkey)),
+                    ("l_linenumber", Value::Int(linenumber)),
+                    ("l_quantity", Value::Float(quantity)),
+                    ("l_extendedprice", Value::Float((price * 100.0).round() / 100.0)),
+                    ("l_discount", Value::Float(discount)),
+                    ("l_tax", Value::Float(tax)),
+                    ("l_shipdate", Value::Int(orderdate + self.rng.gen_range(1..120))),
+                    (
+                        "l_comment",
+                        Value::Str(format!("lineitem {orderkey}-{linenumber} carefully packed")),
+                    ),
+                ]));
+            }
+            orders.push(Value::record(vec![
+                ("o_orderkey", Value::Int(orderkey)),
+                ("o_custkey", Value::Int(custkey)),
+                ("o_totalprice", Value::Float((total * 100.0).round() / 100.0)),
+                ("o_orderdate", Value::Int(orderdate)),
+                ("o_comment", Value::Str(format!("order {orderkey} pending review"))),
+            ]));
+        }
+        orders.shuffle(&mut self.rng);
+        lineitems.shuffle(&mut self.rng);
+        (orders, lineitems)
+    }
+
+    /// Builds the denormalized form used by the Figure 9 "Unnest" template:
+    /// each order object embeds the array of its lineitems.
+    pub fn denormalize(orders: &[Value], lineitems: &[Value]) -> Vec<Value> {
+        let mut per_order: std::collections::HashMap<i64, Vec<Value>> = std::collections::HashMap::new();
+        for li in lineitems {
+            if let Ok(rec) = li.as_record() {
+                if let Some(Value::Int(key)) = rec.get("l_orderkey") {
+                    per_order.entry(*key).or_default().push(li.clone());
+                }
+            }
+        }
+        orders
+            .iter()
+            .map(|order| {
+                let rec = order.as_record().unwrap();
+                let key = rec.get("o_orderkey").and_then(|v| v.as_int().ok()).unwrap_or(0);
+                let mut fields: Vec<(&str, Value)> = rec
+                    .iter()
+                    .map(|(n, v)| (n, v.clone()))
+                    .collect::<Vec<_>>();
+                fields.push((
+                    "lineitems",
+                    Value::List(per_order.remove(&key).unwrap_or_default()),
+                ));
+                Value::record(fields)
+            })
+            .collect()
+    }
+
+    /// The selectivity knob of §7.1: the literal `X` such that
+    /// `l_orderkey < X` qualifies roughly `fraction` of the lineitems.
+    pub fn orderkey_threshold(&self, fraction: f64) -> i64 {
+        (self.scale.order_count() as f64 * fraction).round() as i64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn generation_is_deterministic_and_scaled() {
+        let (o1, l1) = TpchGenerator::new(TpchScale(0.1)).generate();
+        let (o2, l2) = TpchGenerator::new(TpchScale(0.1)).generate();
+        assert_eq!(o1, o2);
+        assert_eq!(l1, l2);
+        assert_eq!(o1.len(), 150);
+        assert!(l1.len() >= 150 && l1.len() <= 150 * 7);
+    }
+
+    #[test]
+    fn lineitems_reference_existing_orders() {
+        let (orders, lineitems) = TpchGenerator::new(TpchScale(0.05)).generate();
+        let keys: std::collections::HashSet<i64> = orders
+            .iter()
+            .map(|o| o.as_record().unwrap().get("o_orderkey").unwrap().as_int().unwrap())
+            .collect();
+        assert!(lineitems.iter().all(|l| {
+            keys.contains(
+                &l.as_record().unwrap().get("l_orderkey").unwrap().as_int().unwrap(),
+            )
+        }));
+    }
+
+    #[test]
+    fn quantities_follow_tpch_ranges() {
+        let (_, lineitems) = TpchGenerator::new(TpchScale(0.05)).generate();
+        for li in &lineitems {
+            let rec = li.as_record().unwrap();
+            let qty = rec.get("l_quantity").unwrap().as_float().unwrap();
+            assert!((1.0..=50.0).contains(&qty));
+            let discount = rec.get("l_discount").unwrap().as_float().unwrap();
+            assert!((0.0..=0.1).contains(&discount));
+        }
+    }
+
+    #[test]
+    fn denormalized_orders_embed_their_lineitems() {
+        let (orders, lineitems) = TpchGenerator::new(TpchScale(0.02)).generate();
+        let denorm = TpchGenerator::denormalize(&orders, &lineitems);
+        assert_eq!(denorm.len(), orders.len());
+        let embedded: usize = denorm
+            .iter()
+            .map(|o| {
+                o.as_record()
+                    .unwrap()
+                    .get("lineitems")
+                    .unwrap()
+                    .as_list()
+                    .unwrap()
+                    .len()
+            })
+            .sum();
+        assert_eq!(embedded, lineitems.len());
+    }
+
+    #[test]
+    fn threshold_tracks_selectivity() {
+        let generator = TpchGenerator::new(TpchScale(1.0));
+        assert_eq!(generator.orderkey_threshold(0.5), 750);
+        assert_eq!(generator.orderkey_threshold(1.0), 1500);
+    }
+
+    #[test]
+    fn schemas_match_generated_fields() {
+        let (orders, lineitems) = TpchGenerator::new(TpchScale(0.01)).generate();
+        let o_names = TpchGenerator::orders_schema();
+        let l_names = TpchGenerator::lineitem_schema();
+        for field in o_names.names() {
+            assert!(orders[0].as_record().unwrap().get(field).is_some(), "{field}");
+        }
+        for field in l_names.names() {
+            assert!(lineitems[0].as_record().unwrap().get(field).is_some(), "{field}");
+        }
+    }
+}

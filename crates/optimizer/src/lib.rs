@@ -1,0 +1,23 @@
+//! # proteus-optimizer
+//!
+//! The query optimizer of the Proteus reproduction (§4, "Query
+//! Optimization"). It follows the paper's three-step approach:
+//!
+//! 1. the front-ends normalize queries (selection pushdown, unnesting) —
+//!    implemented in `proteus-algebra`;
+//! 2. the algebraic plan goes through rule-based rewrites (also in
+//!    `proteus-algebra::rewrite`);
+//! 3. this crate adds the *cost-based* transformations: access-path
+//!    selection and join re-ordering driven by statistics and cost formulas
+//!    that the relevant input plug-ins provide, plus the cache-matching pass
+//!    of §6 that splices materialized caches into new plans.
+
+pub mod cache_match;
+pub mod catalog;
+pub mod cost;
+pub mod optimizer;
+
+pub use cache_match::{match_caches, CacheRewrite};
+pub use catalog::Catalog;
+pub use cost::{CostEstimate, CostModel};
+pub use optimizer::{OptimizedPlan, Optimizer};

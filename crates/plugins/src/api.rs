@@ -1,0 +1,286 @@
+//! The input plug-in API (Table 2 of the paper).
+//!
+//! Plug-ins serve two kinds of consumers:
+//!
+//! 1. The *generated query pipelines* of `proteus-core`. When a scan operator
+//!    "triggers" a plug-in, the plug-in inspects the query's field-of-interest
+//!    list and the dataset instance and returns [`ScanAccessors`]: one
+//!    specialized, monomorphic accessor per requested field (the reproduction
+//!    of the paper's generated data-access code). The per-tuple hot path then
+//!    contains exactly one indirect call per field and no type dispatch.
+//! 2. The *interpreted baseline engines* and the expression generators, which
+//!    use the generic `read_value`/`read_path` entry points.
+//!
+//! Every data object a plug-in exposes is identified by an [`Oid`] — a row
+//! counter for flat data, an object index for JSON — which later calls use to
+//! re-access values lazily.
+
+use std::sync::Arc;
+
+use proteus_algebra::{Schema, Value};
+use proteus_storage::SourceFormat;
+
+use crate::error::Result;
+use crate::stats::{CostProfile, DatasetStats};
+
+/// Identifier of one data object ("tuple") within a dataset.
+pub type Oid = u64;
+
+/// A specialized accessor for one field of a dataset: given an OID it
+/// produces the field's value with no schema lookups or type dispatch on the
+/// hot path. The closure captured inside is built once per query by the
+/// plug-in (`generate()`), mirroring the code the paper's plug-ins emit.
+#[derive(Clone)]
+pub enum FieldAccessor {
+    /// Accessor for an integer (or date) field.
+    Int(Arc<dyn Fn(Oid) -> i64 + Send + Sync>),
+    /// Accessor for a float field.
+    Float(Arc<dyn Fn(Oid) -> f64 + Send + Sync>),
+    /// Accessor for a boolean field.
+    Bool(Arc<dyn Fn(Oid) -> bool + Send + Sync>),
+    /// Accessor for a string field.
+    Str(Arc<dyn Fn(Oid) -> String + Send + Sync>),
+    /// Fallback accessor producing a boxed value (nested fields, nulls).
+    Generic(Arc<dyn Fn(Oid) -> Value + Send + Sync>),
+}
+
+impl FieldAccessor {
+    /// Reads the field as a [`Value`] regardless of specialization.
+    pub fn value(&self, oid: Oid) -> Value {
+        match self {
+            FieldAccessor::Int(f) => Value::Int(f(oid)),
+            FieldAccessor::Float(f) => Value::Float(f(oid)),
+            FieldAccessor::Bool(f) => Value::Bool(f(oid)),
+            FieldAccessor::Str(f) => Value::Str(f(oid)),
+            FieldAccessor::Generic(f) => f(oid),
+        }
+    }
+
+    /// Reads the field as an `f64`, the common numeric fast path for
+    /// predicates and aggregates.
+    pub fn as_f64(&self, oid: Oid) -> f64 {
+        match self {
+            FieldAccessor::Int(f) => f(oid) as f64,
+            FieldAccessor::Float(f) => f(oid),
+            FieldAccessor::Bool(f) => f64::from(u8::from(f(oid))),
+            FieldAccessor::Str(_) | FieldAccessor::Generic(_) => match self.value(oid) {
+                Value::Int(i) => i as f64,
+                Value::Float(x) => x,
+                Value::Date(d) => d as f64,
+                _ => f64::NAN,
+            },
+        }
+    }
+
+    /// Reads the field as an `i64`.
+    pub fn as_i64(&self, oid: Oid) -> i64 {
+        match self {
+            FieldAccessor::Int(f) => f(oid),
+            FieldAccessor::Float(f) => f(oid) as i64,
+            FieldAccessor::Bool(f) => i64::from(f(oid)),
+            _ => match self.value(oid) {
+                Value::Int(i) => i,
+                Value::Float(x) => x as i64,
+                Value::Date(d) => d,
+                _ => 0,
+            },
+        }
+    }
+
+    /// True when the accessor is numeric-specialized (no boxing per call).
+    pub fn is_specialized_numeric(&self) -> bool {
+        matches!(self, FieldAccessor::Int(_) | FieldAccessor::Float(_))
+    }
+}
+
+impl std::fmt::Debug for FieldAccessor {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let kind = match self {
+            FieldAccessor::Int(_) => "Int",
+            FieldAccessor::Float(_) => "Float",
+            FieldAccessor::Bool(_) => "Bool",
+            FieldAccessor::Str(_) => "Str",
+            FieldAccessor::Generic(_) => "Generic",
+        };
+        write!(f, "FieldAccessor::{kind}")
+    }
+}
+
+/// What a plug-in hands to the scan operator of the generated engine: the
+/// number of objects to scan and one specialized accessor per requested
+/// field (the "virtual memory buffers" get filled from these).
+#[derive(Debug, Clone)]
+pub struct ScanAccessors {
+    /// Number of objects (tuples) the scan will produce.
+    pub row_count: u64,
+    /// `(field name, accessor)` pairs in the order they were requested.
+    pub fields: Vec<(String, FieldAccessor)>,
+    /// Human-readable description of the access path the plug-in chose
+    /// (shows up in the emitted pseudo-IR, e.g. `"csv(structural-index N=8)"`).
+    pub access_path: String,
+}
+
+impl ScanAccessors {
+    /// Looks up the accessor generated for a field.
+    pub fn field(&self, name: &str) -> Option<&FieldAccessor> {
+        self.fields.iter().find(|(n, _)| n == name).map(|(_, a)| a)
+    }
+}
+
+/// Cursor over a nested collection, produced by `unnest_init`.
+///
+/// The paper splits this into `unnestInit()` / `unnestHasNext()` /
+/// `unnestGetNext()`; the cursor carries the same state machine.
+#[derive(Debug)]
+pub struct UnnestCursor {
+    items: Vec<Value>,
+    position: usize,
+}
+
+impl UnnestCursor {
+    /// Creates a cursor over already-extracted collection elements.
+    pub fn new(items: Vec<Value>) -> Self {
+        UnnestCursor { items, position: 0 }
+    }
+
+    /// `unnestHasNext()`.
+    pub fn has_next(&self) -> bool {
+        self.position < self.items.len()
+    }
+
+    /// `unnestGetNext()`.
+    pub fn get_next(&mut self) -> Option<Value> {
+        let item = self.items.get(self.position).cloned();
+        if item.is_some() {
+            self.position += 1;
+        }
+        item
+    }
+
+    /// Number of elements remaining.
+    pub fn remaining(&self) -> usize {
+        self.items.len() - self.position
+    }
+}
+
+impl Iterator for UnnestCursor {
+    type Item = Value;
+
+    fn next(&mut self) -> Option<Value> {
+        self.get_next()
+    }
+}
+
+/// The input plug-in interface (Table 2).
+pub trait InputPlugin: Send + Sync {
+    /// The dataset this plug-in serves.
+    fn dataset(&self) -> &str;
+
+    /// The data format the plug-in encapsulates.
+    fn format(&self) -> SourceFormat;
+
+    /// The dataset schema (possibly inferred).
+    fn schema(&self) -> &Schema;
+
+    /// Number of data objects in the dataset.
+    fn len(&self) -> u64;
+
+    /// True if the dataset has no objects.
+    fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// `generate()`: builds the specialized scan accessors for the requested
+    /// fields, choosing the most appropriate access path for this dataset
+    /// instance (structural index, deterministic layout, raw columns, ...).
+    fn generate(&self, fields: &[String]) -> Result<ScanAccessors>;
+
+    /// `readValue()`: generic single-value access by OID and field name.
+    fn read_value(&self, oid: Oid, field: &str) -> Result<Value>;
+
+    /// `readPath()`: navigates a (possibly nested) path within the object
+    /// identified by `oid`.
+    fn read_path(&self, oid: Oid, path: &[String]) -> Result<Value>;
+
+    /// `unnestInit()` + `unnestHasNext()`/`unnestGetNext()`: returns a cursor
+    /// over the nested collection at `path` within the object.
+    fn unnest_init(&self, oid: Oid, path: &[String]) -> Result<UnnestCursor>;
+
+    /// `hashValue()`: a stable hash of a field value, used by the radix
+    /// join/grouping operators.
+    fn hash_value(&self, oid: Oid, field: &str) -> Result<u64> {
+        Ok(self.read_value(oid, field)?.stable_hash())
+    }
+
+    /// `flushValue()`: renders a field value into the query output buffer.
+    fn flush_value(&self, oid: Oid, field: &str, out: &mut String) -> Result<()> {
+        let v = self.read_value(oid, field)?;
+        out.push_str(&v.to_string());
+        Ok(())
+    }
+
+    /// Dataset statistics for the optimizer (collected on first/cold access).
+    fn statistics(&self) -> DatasetStats;
+
+    /// The plug-in's cost profile: per-tuple and per-field access cost
+    /// factors the optimizer plugs into its cost formulas.
+    fn cost_profile(&self) -> CostProfile;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accessor_value_conversions() {
+        let acc = FieldAccessor::Int(Arc::new(|oid| oid as i64 * 2));
+        assert_eq!(acc.value(3), Value::Int(6));
+        assert_eq!(acc.as_f64(3), 6.0);
+        assert_eq!(acc.as_i64(3), 6);
+        assert!(acc.is_specialized_numeric());
+
+        let acc = FieldAccessor::Str(Arc::new(|oid| format!("s{oid}")));
+        assert_eq!(acc.value(1), Value::Str("s1".into()));
+        assert!(!acc.is_specialized_numeric());
+        assert!(acc.as_f64(1).is_nan());
+    }
+
+    #[test]
+    fn generic_accessor_numeric_views() {
+        let acc = FieldAccessor::Generic(Arc::new(|oid| Value::Float(oid as f64 + 0.5)));
+        assert_eq!(acc.as_f64(2), 2.5);
+        assert_eq!(acc.as_i64(2), 2);
+    }
+
+    #[test]
+    fn scan_accessors_field_lookup() {
+        let scan = ScanAccessors {
+            row_count: 10,
+            fields: vec![(
+                "x".to_string(),
+                FieldAccessor::Int(Arc::new(|oid| oid as i64)),
+            )],
+            access_path: "test".into(),
+        };
+        assert!(scan.field("x").is_some());
+        assert!(scan.field("y").is_none());
+    }
+
+    #[test]
+    fn unnest_cursor_state_machine() {
+        let mut cursor = UnnestCursor::new(vec![Value::Int(1), Value::Int(2)]);
+        assert!(cursor.has_next());
+        assert_eq!(cursor.remaining(), 2);
+        assert_eq!(cursor.get_next(), Some(Value::Int(1)));
+        assert_eq!(cursor.get_next(), Some(Value::Int(2)));
+        assert!(!cursor.has_next());
+        assert_eq!(cursor.get_next(), None);
+    }
+
+    #[test]
+    fn unnest_cursor_is_an_iterator() {
+        let cursor = UnnestCursor::new(vec![Value::Int(1), Value::Int(2), Value::Int(3)]);
+        let collected: Vec<Value> = cursor.collect();
+        assert_eq!(collected.len(), 3);
+    }
+}

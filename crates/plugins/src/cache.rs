@@ -1,0 +1,226 @@
+//! The cache input plug-in.
+//!
+//! §6: "Proteus exposes the data cache as an additional input. As with the
+//! rest of the datasets, Proteus accesses the cached data using a dedicated
+//! input plug-in." A cache entry holds binary columns of already-evaluated
+//! expressions plus the OIDs of the source objects they came from, so a query
+//! rewritten to use the cache reads packed binary values instead of
+//! re-navigating a verbose file.
+
+use std::sync::Arc;
+
+use proteus_algebra::{Field, Schema, Value};
+use proteus_storage::{CacheEntry, ColumnData, SourceFormat};
+
+use crate::api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
+use crate::error::{PluginError, Result};
+use crate::stats::{CostProfile, DatasetStats};
+
+struct CacheInner {
+    entry: CacheEntry,
+    schema: Schema,
+}
+
+/// Plug-in exposing one cache entry as a dataset.
+#[derive(Clone)]
+pub struct CachePlugin {
+    inner: Arc<CacheInner>,
+}
+
+impl CachePlugin {
+    /// Wraps a cache entry.
+    pub fn new(entry: CacheEntry) -> CachePlugin {
+        let schema = Schema::new(
+            entry
+                .columns
+                .iter()
+                .map(|(name, col)| Field::new(name.clone(), col.data_type()))
+                .collect(),
+        );
+        CachePlugin {
+            inner: Arc::new(CacheInner { entry, schema }),
+        }
+    }
+
+    /// The OID (in the *source* dataset) of cached row `idx`, letting partial
+    /// matches go back to the original file for the fields that were not
+    /// cached.
+    pub fn source_oid(&self, idx: u64) -> Option<u64> {
+        self.inner.entry.oids.get(idx as usize).copied()
+    }
+
+    /// Name of the wrapped cache.
+    pub fn cache_name(&self) -> &str {
+        &self.inner.entry.name
+    }
+
+    fn column(&self, field: &str) -> Result<&ColumnData> {
+        self.inner
+            .entry
+            .column(field)
+            .ok_or_else(|| PluginError::UnknownField {
+                dataset: self.inner.entry.name.clone(),
+                field: field.to_string(),
+            })
+    }
+}
+
+impl InputPlugin for CachePlugin {
+    fn dataset(&self) -> &str {
+        &self.inner.entry.source_dataset
+    }
+
+    fn format(&self) -> SourceFormat {
+        // The cache itself is binary regardless of the source format.
+        SourceFormat::Binary
+    }
+
+    fn schema(&self) -> &Schema {
+        &self.inner.schema
+    }
+
+    fn len(&self) -> u64 {
+        self.inner.entry.row_count() as u64
+    }
+
+    fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
+        let mut accessors = Vec::with_capacity(fields.len());
+        for field in fields {
+            let column = self.column(field)?.clone();
+            let column = Arc::new(column);
+            let accessor = match column.as_ref() {
+                ColumnData::Int(_) => {
+                    let col = column.clone();
+                    FieldAccessor::Int(Arc::new(move |oid| match col.as_ref() {
+                        ColumnData::Int(v) => v[oid as usize],
+                        _ => unreachable!(),
+                    }))
+                }
+                ColumnData::Float(_) => {
+                    let col = column.clone();
+                    FieldAccessor::Float(Arc::new(move |oid| match col.as_ref() {
+                        ColumnData::Float(v) => v[oid as usize],
+                        _ => unreachable!(),
+                    }))
+                }
+                ColumnData::Bool(_) => {
+                    let col = column.clone();
+                    FieldAccessor::Bool(Arc::new(move |oid| match col.as_ref() {
+                        ColumnData::Bool(v) => v[oid as usize],
+                        _ => unreachable!(),
+                    }))
+                }
+                ColumnData::Str(_) => {
+                    let col = column.clone();
+                    FieldAccessor::Str(Arc::new(move |oid| match col.as_ref() {
+                        ColumnData::Str(v) => v[oid as usize].clone(),
+                        _ => unreachable!(),
+                    }))
+                }
+            };
+            accessors.push((field.clone(), accessor));
+        }
+        Ok(ScanAccessors {
+            row_count: self.len(),
+            fields: accessors,
+            access_path: format!("cache({})", self.inner.entry.name),
+        })
+    }
+
+    fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
+        self.column(field)?
+            .value_at(oid as usize)
+            .ok_or(PluginError::OidOutOfRange {
+                dataset: self.inner.entry.name.clone(),
+                oid,
+            })
+    }
+
+    fn read_path(&self, oid: Oid, path: &[String]) -> Result<Value> {
+        match path {
+            [field] => self.read_value(oid, field),
+            _ => Err(PluginError::Unsupported(
+                "caches hold flattened expression results".into(),
+            )),
+        }
+    }
+
+    fn unnest_init(&self, _oid: Oid, _path: &[String]) -> Result<UnnestCursor> {
+        Err(PluginError::Unsupported(
+            "caches hold flattened expression results".into(),
+        ))
+    }
+
+    fn statistics(&self) -> DatasetStats {
+        DatasetStats::with_cardinality(self.len())
+    }
+
+    fn cost_profile(&self) -> CostProfile {
+        CostProfile::cache()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_storage::cache::make_entry;
+
+    fn entry() -> CacheEntry {
+        make_entry(
+            "lineitem_orderkey_cache",
+            "Scan(lineitem as l)",
+            "lineitem",
+            SourceFormat::Json,
+            vec![
+                ("l_orderkey".to_string(), ColumnData::Int(vec![5, 6, 9])),
+                (
+                    "l_quantity".to_string(),
+                    ColumnData::Float(vec![1.0, 2.0, 3.0]),
+                ),
+            ],
+            vec![10, 11, 14],
+        )
+    }
+
+    #[test]
+    fn cache_plugin_exposes_columns_as_fields() {
+        let p = CachePlugin::new(entry());
+        assert_eq!(p.len(), 3);
+        assert_eq!(p.schema().names(), vec!["l_orderkey", "l_quantity"]);
+        assert_eq!(p.read_value(1, "l_orderkey").unwrap(), Value::Int(6));
+        assert_eq!(p.read_value(2, "l_quantity").unwrap(), Value::Float(3.0));
+        assert!(p.read_value(0, "ghost").is_err());
+        assert!(p.read_value(9, "l_orderkey").is_err());
+    }
+
+    #[test]
+    fn source_oids_are_preserved() {
+        let p = CachePlugin::new(entry());
+        assert_eq!(p.source_oid(0), Some(10));
+        assert_eq!(p.source_oid(2), Some(14));
+        assert_eq!(p.source_oid(5), None);
+        assert_eq!(p.dataset(), "lineitem");
+        assert_eq!(p.cache_name(), "lineitem_orderkey_cache");
+    }
+
+    #[test]
+    fn accessors_read_cached_binary_values() {
+        let p = CachePlugin::new(entry());
+        let scan = p.generate(&["l_orderkey".to_string()]).unwrap();
+        assert_eq!(scan.field("l_orderkey").unwrap().as_i64(2), 9);
+        assert!(scan.access_path.contains("cache("));
+    }
+
+    #[test]
+    fn cache_cost_profile_is_cheapest() {
+        let p = CachePlugin::new(entry());
+        assert!(p.cost_profile().per_field_access < CostProfile::binary().per_field_access);
+    }
+
+    #[test]
+    fn nested_access_is_rejected() {
+        let p = CachePlugin::new(entry());
+        assert!(p.unnest_init(0, &["x".to_string()]).is_err());
+        assert!(p.read_path(0, &["a".to_string(), "b".to_string()]).is_err());
+    }
+}

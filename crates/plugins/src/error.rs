@@ -1,0 +1,102 @@
+//! Error type for the plug-in layer.
+
+use std::fmt;
+
+use proteus_algebra::AlgebraError;
+use proteus_storage::StorageError;
+
+/// Errors produced by input plug-ins.
+#[derive(Debug)]
+pub enum PluginError {
+    /// Error bubbled up from the storage layer.
+    Storage(StorageError),
+    /// Error bubbled up from expression evaluation.
+    Algebra(AlgebraError),
+    /// Malformed input data (CSV/JSON syntax, bad numbers, ...).
+    Malformed {
+        /// Dataset being read.
+        dataset: String,
+        /// What went wrong.
+        detail: String,
+    },
+    /// A requested field does not exist in the dataset.
+    UnknownField {
+        /// Dataset being read.
+        dataset: String,
+        /// Field that was requested.
+        field: String,
+    },
+    /// An OID outside the dataset was requested.
+    OidOutOfRange {
+        /// Dataset being read.
+        dataset: String,
+        /// Offending OID.
+        oid: u64,
+    },
+    /// Generic unsupported operation for this plug-in/format.
+    Unsupported(String),
+}
+
+impl fmt::Display for PluginError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PluginError::Storage(e) => write!(f, "storage error: {e}"),
+            PluginError::Algebra(e) => write!(f, "algebra error: {e}"),
+            PluginError::Malformed { dataset, detail } => {
+                write!(f, "malformed data in {dataset}: {detail}")
+            }
+            PluginError::UnknownField { dataset, field } => {
+                write!(f, "dataset {dataset} has no field {field}")
+            }
+            PluginError::OidOutOfRange { dataset, oid } => {
+                write!(f, "oid {oid} out of range for {dataset}")
+            }
+            PluginError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for PluginError {}
+
+impl From<StorageError> for PluginError {
+    fn from(e: StorageError) -> Self {
+        PluginError::Storage(e)
+    }
+}
+
+impl From<AlgebraError> for PluginError {
+    fn from(e: AlgebraError) -> Self {
+        PluginError::Algebra(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, PluginError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_variants() {
+        let e = PluginError::UnknownField {
+            dataset: "lineitem".into(),
+            field: "ghost".into(),
+        };
+        assert!(e.to_string().contains("lineitem"));
+        assert!(e.to_string().contains("ghost"));
+        let e = PluginError::OidOutOfRange {
+            dataset: "orders".into(),
+            oid: 42,
+        };
+        assert!(e.to_string().contains("42"));
+    }
+
+    #[test]
+    fn conversions_from_substrate_errors() {
+        let e: PluginError = StorageError::NotFound("x".into()).into();
+        assert!(matches!(e, PluginError::Storage(_)));
+        let e: PluginError = AlgebraError::Parse("y".into()).into();
+        assert!(matches!(e, PluginError::Algebra(_)));
+    }
+}

@@ -1,0 +1,40 @@
+//! # proteus-plugins
+//!
+//! The custom data access layer of the Proteus reproduction (§5.2).
+//!
+//! Every supported data format is wrapped by an *input plug-in* that exposes
+//! the uniform API of Table 2 (`generate`, `readValue`, `readPath`,
+//! `unnestInit`/`unnestHasNext`/`unnestGetNext`, `hashValue`, `flushValue`)
+//! and, crucially, *specializes* its access primitives per query and per
+//! dataset instance:
+//!
+//! * [`csv`] — CSV files with a structural index storing the byte positions
+//!   of every Nth field of each row, plus a fixed-width fast path when all
+//!   rows have the same layout.
+//! * [`json`] — JSON files with the two-level structural index of Figure 4
+//!   (Level 1: token positions, Level 0: field-name → position map) and the
+//!   deterministic variant for machine-generated data with stable field
+//!   order.
+//! * [`binary`] — relational binary data, both column-oriented
+//!   ([`binary::ColumnPlugin`]) and row-oriented ([`binary::RowPlugin`]).
+//! * [`cache`] — the plug-in that exposes materialized caches as an
+//!   additional input dataset (§6).
+//! * [`api`] — the plug-in trait plus the specialized accessors plug-ins
+//!   hand to the generated query pipelines.
+//! * [`stats`] — per-dataset statistics and the per-plug-in cost profiles the
+//!   optimizer consumes.
+//! * [`registry`] — maps dataset names to plug-ins and auto-detects formats.
+
+pub mod api;
+pub mod binary;
+pub mod cache;
+pub mod csv;
+pub mod error;
+pub mod json;
+pub mod registry;
+pub mod stats;
+
+pub use api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
+pub use error::{PluginError, Result};
+pub use registry::PluginRegistry;
+pub use stats::{ColumnStats, CostProfile, DatasetStats};

@@ -1,0 +1,241 @@
+//! The plug-in registry: maps dataset names to input plug-ins.
+//!
+//! The registry is what the rest of the engine sees: operators and the
+//! optimizer ask it for the plug-in of a dataset; registration either takes
+//! an explicit plug-in or auto-detects the format from a file extension
+//! (`.csv`/`.tbl`, `.json`/`.ndjson`, `.prow`, or a column-table directory).
+
+use std::collections::HashMap;
+use std::path::Path;
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+use proteus_algebra::Schema;
+use proteus_storage::MemoryManager;
+
+use crate::api::InputPlugin;
+use crate::binary::{ColumnPlugin, RowPlugin};
+use crate::csv::{CsvOptions, CsvPlugin};
+use crate::error::{PluginError, Result};
+use crate::json::JsonPlugin;
+
+/// A shared, thread-safe registry of dataset plug-ins.
+#[derive(Clone, Default)]
+pub struct PluginRegistry {
+    plugins: Arc<RwLock<HashMap<String, Arc<dyn InputPlugin>>>>,
+}
+
+impl PluginRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> PluginRegistry {
+        PluginRegistry::default()
+    }
+
+    /// Registers an explicit plug-in for a dataset name.
+    pub fn register(&self, plugin: Arc<dyn InputPlugin>) {
+        self.plugins
+            .write()
+            .insert(plugin.dataset().to_string(), plugin);
+    }
+
+    /// Registers a CSV file.
+    pub fn register_csv(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        schema: Schema,
+        options: CsvOptions,
+        memory: &MemoryManager,
+    ) -> Result<()> {
+        let plugin = CsvPlugin::open(dataset, path, schema, options, memory)?;
+        self.register(Arc::new(plugin));
+        Ok(())
+    }
+
+    /// Registers a JSON file.
+    pub fn register_json(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        memory: &MemoryManager,
+    ) -> Result<()> {
+        let plugin = JsonPlugin::open(dataset, path, memory)?;
+        self.register(Arc::new(plugin));
+        Ok(())
+    }
+
+    /// Registers a binary column-table directory.
+    pub fn register_columns(
+        &self,
+        dataset: impl Into<String>,
+        dir: impl AsRef<Path>,
+    ) -> Result<()> {
+        let plugin = ColumnPlugin::open(dataset, dir)?;
+        self.register(Arc::new(plugin));
+        Ok(())
+    }
+
+    /// Registers a binary row file.
+    pub fn register_rows(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        memory: &MemoryManager,
+    ) -> Result<()> {
+        let plugin = RowPlugin::open(dataset, path, memory)?;
+        self.register(Arc::new(plugin));
+        Ok(())
+    }
+
+    /// Registers a dataset by auto-detecting its format from the path:
+    /// directories are treated as column tables, `.prow` as binary rows,
+    /// `.json`/`.ndjson` as JSON, `.csv`/`.tbl` as pipe-delimited CSV (the
+    /// TPC-H convention); anything else is an error.
+    pub fn register_auto(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        schema: Option<Schema>,
+        memory: &MemoryManager,
+    ) -> Result<()> {
+        let dataset = dataset.into();
+        let path = path.as_ref();
+        if path.is_dir() {
+            return self.register_columns(dataset, path);
+        }
+        match path.extension().and_then(|e| e.to_str()).unwrap_or("") {
+            "prow" => self.register_rows(dataset, path, memory),
+            "json" | "ndjson" => self.register_json(dataset, path, memory),
+            "csv" | "tbl" => {
+                let schema = schema.ok_or_else(|| {
+                    PluginError::Unsupported(format!(
+                        "CSV dataset {dataset} requires an explicit schema"
+                    ))
+                })?;
+                self.register_csv(dataset, path, schema, CsvOptions::default(), memory)
+            }
+            other => Err(PluginError::Unsupported(format!(
+                "cannot auto-detect format for extension '{other}'"
+            ))),
+        }
+    }
+
+    /// Looks a plug-in up by dataset name.
+    pub fn get(&self, dataset: &str) -> Option<Arc<dyn InputPlugin>> {
+        self.plugins.read().get(dataset).cloned()
+    }
+
+    /// Looks a plug-in up or errors.
+    pub fn require(&self, dataset: &str) -> Result<Arc<dyn InputPlugin>> {
+        self.get(dataset).ok_or_else(|| PluginError::UnknownField {
+            dataset: dataset.to_string(),
+            field: "<dataset not registered>".to_string(),
+        })
+    }
+
+    /// Registered dataset names.
+    pub fn datasets(&self) -> Vec<String> {
+        self.plugins.read().keys().cloned().collect()
+    }
+
+    /// Schema of a registered dataset (what the SQL front-end uses to resolve
+    /// unqualified columns).
+    pub fn schema_of(&self, dataset: &str) -> Option<Schema> {
+        self.get(dataset).map(|p| p.schema().clone())
+    }
+
+    /// Removes a dataset registration.
+    pub fn unregister(&self, dataset: &str) -> bool {
+        self.plugins.write().remove(dataset).is_some()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_algebra::DataType;
+    use std::fs;
+
+    fn temp_dir(name: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join("proteus_registry_tests").join(name);
+        fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn auto_detects_json_and_csv() {
+        let dir = temp_dir("auto");
+        let json_path = dir.join("events.json");
+        fs::write(&json_path, "{\"x\": 1}\n{\"x\": 2}\n").unwrap();
+        let csv_path = dir.join("table.csv");
+        fs::write(&csv_path, "1|a\n2|b\n").unwrap();
+
+        let memory = MemoryManager::new();
+        let registry = PluginRegistry::new();
+        registry
+            .register_auto("events", &json_path, None, &memory)
+            .unwrap();
+        registry
+            .register_auto(
+                "table",
+                &csv_path,
+                Some(Schema::from_pairs(vec![
+                    ("id", DataType::Int),
+                    ("name", DataType::String),
+                ])),
+                &memory,
+            )
+            .unwrap();
+
+        assert_eq!(registry.get("events").unwrap().len(), 2);
+        assert_eq!(registry.get("table").unwrap().len(), 2);
+        assert!(registry.schema_of("table").unwrap().index_of("name").is_some());
+        let mut names = registry.datasets();
+        names.sort();
+        assert_eq!(names, vec!["events", "table"]);
+    }
+
+    #[test]
+    fn csv_without_schema_is_rejected() {
+        let dir = temp_dir("noschema");
+        let csv_path = dir.join("x.csv");
+        fs::write(&csv_path, "1|2\n").unwrap();
+        let registry = PluginRegistry::new();
+        assert!(registry
+            .register_auto("x", &csv_path, None, &MemoryManager::new())
+            .is_err());
+    }
+
+    #[test]
+    fn unknown_extension_is_rejected() {
+        let dir = temp_dir("unknown");
+        let path = dir.join("data.xyz");
+        fs::write(&path, "?").unwrap();
+        let registry = PluginRegistry::new();
+        assert!(registry
+            .register_auto("x", &path, None, &MemoryManager::new())
+            .is_err());
+    }
+
+    #[test]
+    fn require_and_unregister() {
+        let registry = PluginRegistry::new();
+        assert!(registry.require("ghost").is_err());
+        assert!(!registry.unregister("ghost"));
+    }
+
+    #[test]
+    fn column_table_directory_is_detected() {
+        let dir = temp_dir("cols").join("lineitem");
+        proteus_storage::ColumnTable::write(
+            &dir,
+            &[("l_orderkey".to_string(), proteus_storage::ColumnData::Int(vec![1, 2, 3]))],
+        )
+        .unwrap();
+        let registry = PluginRegistry::new();
+        registry
+            .register_auto("lineitem", &dir, None, &MemoryManager::new())
+            .unwrap();
+        assert_eq!(registry.get("lineitem").unwrap().len(), 3);
+    }
+}

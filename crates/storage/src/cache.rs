@@ -1,0 +1,421 @@
+//! The adaptive cache store (§6, "Adapting Storage to Workload").
+//!
+//! Proteus populates binary caches as a side-effect of query execution.
+//! Every cache holds the materialized result of an algebraic expression
+//! (field projections, arithmetic expressions, record constructions) over one
+//! source dataset, stored as packed binary columns. Caches are keyed by the
+//! signature of the plan subtree that produced them so the cache-matching
+//! pass can splice them into later plans, and evicted under a
+//! *data-format-biased* LRU: entries derived from expensive-to-access formats
+//! (JSON, then CSV) are favored over entries derived from binary data.
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Arc;
+
+use parking_lot::RwLock;
+
+use crate::column::ColumnData;
+use crate::error::{Result, StorageError};
+use crate::memory::MemoryManager;
+
+/// The format of the dataset a cache was derived from. Ordering encodes the
+/// eviction bias: `Json > Csv > Binary` in terms of re-access cost, so binary
+/// caches are evicted first.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub enum SourceFormat {
+    /// Derived from relational binary data (cheap to rebuild).
+    Binary,
+    /// Derived from a CSV file.
+    Csv,
+    /// Derived from a JSON file (most expensive to rebuild).
+    Json,
+}
+
+impl SourceFormat {
+    /// Relative re-access cost weight used by the eviction policy.
+    pub fn cost_weight(&self) -> u64 {
+        match self {
+            SourceFormat::Binary => 1,
+            SourceFormat::Csv => 4,
+            SourceFormat::Json => 16,
+        }
+    }
+}
+
+/// Degree of eagerness used when the cache was built (§6): a cache may hold
+/// fully converted binary values, just the byte positions of the values in
+/// the original file, or only the OIDs of qualifying entries.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CacheEagerness {
+    /// Fully converted binary values.
+    Values,
+    /// Byte positions of the values in the source file.
+    Positions,
+    /// Only the OIDs of qualifying objects.
+    OidsOnly,
+}
+
+/// One cached expression result.
+#[derive(Debug, Clone)]
+pub struct CacheEntry {
+    /// Unique cache name.
+    pub name: String,
+    /// Signature of the plan subtree whose output this cache holds; used as
+    /// the search key during cache matching.
+    pub plan_signature: String,
+    /// Human-readable rendering of the cached expressions.
+    pub expressions: Vec<String>,
+    /// Dataset the cache was derived from.
+    pub source_dataset: String,
+    /// Format of that dataset (drives the eviction bias).
+    pub source_format: SourceFormat,
+    /// How eagerly values were materialized.
+    pub eagerness: CacheEagerness,
+    /// The cached columns, one per expression, aligned by OID order.
+    pub columns: Vec<(String, ColumnData)>,
+    /// OIDs of the source entries each row corresponds to.
+    pub oids: Vec<u64>,
+    /// Total footprint in bytes (accounted against the arena budget).
+    pub byte_size: usize,
+    /// Logical timestamp of the last use.
+    last_used: u64,
+}
+
+impl CacheEntry {
+    /// Number of cached rows.
+    pub fn row_count(&self) -> usize {
+        self.oids.len()
+    }
+
+    /// Looks up a cached column by its expression alias.
+    pub fn column(&self, name: &str) -> Option<&ColumnData> {
+        self.columns.iter().find(|(n, _)| n == name).map(|(_, c)| c)
+    }
+}
+
+/// Aggregate statistics of the cache store.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct CacheStats {
+    /// Number of live cache entries.
+    pub entries: usize,
+    /// Total bytes pinned.
+    pub bytes: usize,
+    /// Successful cache-matching lookups.
+    pub hits: u64,
+    /// Failed lookups.
+    pub misses: u64,
+    /// Entries evicted so far.
+    pub evictions: u64,
+}
+
+struct StoreInner {
+    entries: HashMap<String, CacheEntry>,
+    hits: u64,
+    misses: u64,
+    evictions: u64,
+}
+
+/// The caching manager: stores, matches and evicts caches.
+#[derive(Clone)]
+pub struct CacheStore {
+    memory: MemoryManager,
+    inner: Arc<RwLock<StoreInner>>,
+    clock: Arc<AtomicU64>,
+}
+
+impl CacheStore {
+    /// Creates a cache store accounting against the given memory manager.
+    pub fn new(memory: MemoryManager) -> Self {
+        CacheStore {
+            memory,
+            inner: Arc::new(RwLock::new(StoreInner {
+                entries: HashMap::new(),
+                hits: 0,
+                misses: 0,
+                evictions: 0,
+            })),
+            clock: Arc::new(AtomicU64::new(1)),
+        }
+    }
+
+    fn tick(&self) -> u64 {
+        self.clock.fetch_add(1, Ordering::Relaxed)
+    }
+
+    /// Inserts a cache entry, evicting lower-priority entries if the arena
+    /// budget requires it. Returns an error only if the entry cannot fit even
+    /// after evicting everything else.
+    pub fn insert(&self, mut entry: CacheEntry) -> Result<()> {
+        entry.byte_size = entry
+            .columns
+            .iter()
+            .map(|(_, c)| c.byte_size())
+            .sum::<usize>()
+            + entry.oids.len() * 8;
+        entry.last_used = self.tick();
+
+        // Make room: evict until the reservation succeeds.
+        loop {
+            match self.memory.reserve_arena(entry.byte_size) {
+                Ok(()) => break,
+                Err(_) => {
+                    if !self.evict_one() {
+                        return Err(StorageError::OutOfMemory(format!(
+                            "cache {} ({} B) cannot fit in the arena",
+                            entry.name, entry.byte_size
+                        )));
+                    }
+                }
+            }
+        }
+
+        let mut inner = self.inner.write();
+        if let Some(old) = inner.entries.insert(entry.name.clone(), entry) {
+            self.memory.release_arena(old.byte_size);
+        }
+        Ok(())
+    }
+
+    /// Evicts the lowest-priority entry (format-biased LRU). Returns false if
+    /// the store is empty.
+    fn evict_one(&self) -> bool {
+        let mut inner = self.inner.write();
+        // Priority = last_used * format cost weight; the smallest priority is
+        // evicted first, so cheap-to-rebuild (binary) and cold entries go
+        // first while hot JSON-derived caches survive longest.
+        let victim = inner
+            .entries
+            .values()
+            .min_by_key(|e| e.last_used.saturating_mul(e.source_format.cost_weight()))
+            .map(|e| e.name.clone());
+        match victim {
+            Some(name) => {
+                if let Some(entry) = inner.entries.remove(&name) {
+                    self.memory.release_arena(entry.byte_size);
+                    inner.evictions += 1;
+                }
+                true
+            }
+            None => false,
+        }
+    }
+
+    /// Looks a cache up by the signature of the plan subtree it replaces.
+    /// A hit refreshes the entry's LRU timestamp.
+    pub fn lookup_by_signature(&self, signature: &str) -> Option<CacheEntry> {
+        let tick = self.tick();
+        let mut inner = self.inner.write();
+        let found = inner
+            .entries
+            .values_mut()
+            .find(|e| e.plan_signature == signature);
+        match found {
+            Some(entry) => {
+                entry.last_used = tick;
+                let cloned = entry.clone();
+                inner.hits += 1;
+                Some(cloned)
+            }
+            None => {
+                inner.misses += 1;
+                None
+            }
+        }
+    }
+
+    /// Looks a cache up by name without touching hit/miss statistics.
+    pub fn get(&self, name: &str) -> Option<CacheEntry> {
+        self.inner.read().entries.get(name).cloned()
+    }
+
+    /// All caches derived from a given dataset.
+    pub fn caches_for_dataset(&self, dataset: &str) -> Vec<CacheEntry> {
+        self.inner
+            .read()
+            .entries
+            .values()
+            .filter(|e| e.source_dataset == dataset)
+            .cloned()
+            .collect()
+    }
+
+    /// Drops every cache derived from `dataset` (the paper's reaction to data
+    /// updates: "Proteus currently drops and rebuilds any affected parts of
+    /// existing auxiliary structures").
+    pub fn invalidate_dataset(&self, dataset: &str) -> usize {
+        let mut inner = self.inner.write();
+        let names: Vec<String> = inner
+            .entries
+            .values()
+            .filter(|e| e.source_dataset == dataset)
+            .map(|e| e.name.clone())
+            .collect();
+        for name in &names {
+            if let Some(entry) = inner.entries.remove(name) {
+                self.memory.release_arena(entry.byte_size);
+            }
+        }
+        names.len()
+    }
+
+    /// Removes every cache entry.
+    pub fn clear(&self) {
+        let mut inner = self.inner.write();
+        for (_, entry) in inner.entries.drain() {
+            self.memory.release_arena(entry.byte_size);
+        }
+    }
+
+    /// Current statistics.
+    pub fn stats(&self) -> CacheStats {
+        let inner = self.inner.read();
+        CacheStats {
+            entries: inner.entries.len(),
+            bytes: inner.entries.values().map(|e| e.byte_size).sum(),
+            hits: inner.hits,
+            misses: inner.misses,
+            evictions: inner.evictions,
+        }
+    }
+
+    /// Names of all live caches (diagnostics / tests).
+    pub fn names(&self) -> Vec<String> {
+        self.inner.read().entries.keys().cloned().collect()
+    }
+}
+
+/// Convenience constructor for cache entries.
+pub fn make_entry(
+    name: impl Into<String>,
+    plan_signature: impl Into<String>,
+    source_dataset: impl Into<String>,
+    source_format: SourceFormat,
+    columns: Vec<(String, ColumnData)>,
+    oids: Vec<u64>,
+) -> CacheEntry {
+    CacheEntry {
+        name: name.into(),
+        plan_signature: plan_signature.into(),
+        expressions: columns.iter().map(|(n, _)| n.clone()).collect(),
+        source_dataset: source_dataset.into(),
+        source_format,
+        eagerness: CacheEagerness::Values,
+        columns,
+        oids,
+        byte_size: 0,
+        last_used: 0,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn int_entry(name: &str, format: SourceFormat, rows: usize) -> CacheEntry {
+        make_entry(
+            name,
+            format!("sig-{name}"),
+            "lineitem",
+            format,
+            vec![("x".to_string(), ColumnData::Int((0..rows as i64).collect()))],
+            (0..rows as u64).collect(),
+        )
+    }
+
+    #[test]
+    fn insert_and_lookup_by_signature() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        store.insert(int_entry("c1", SourceFormat::Json, 100)).unwrap();
+        let hit = store.lookup_by_signature("sig-c1").unwrap();
+        assert_eq!(hit.row_count(), 100);
+        assert!(store.lookup_by_signature("sig-unknown").is_none());
+        let stats = store.stats();
+        assert_eq!(stats.hits, 1);
+        assert_eq!(stats.misses, 1);
+        assert_eq!(stats.entries, 1);
+    }
+
+    #[test]
+    fn byte_size_is_accounted() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        store.insert(int_entry("c1", SourceFormat::Csv, 10)).unwrap();
+        let stats = store.stats();
+        // 10 ints (80 B) + 10 oids (80 B).
+        assert_eq!(stats.bytes, 160);
+    }
+
+    #[test]
+    fn eviction_prefers_binary_over_json() {
+        // Budget fits roughly two entries of 160 B each.
+        let store = CacheStore::new(MemoryManager::with_budget(400));
+        store.insert(int_entry("json_cache", SourceFormat::Json, 10)).unwrap();
+        store.insert(int_entry("bin_cache", SourceFormat::Binary, 10)).unwrap();
+        // Touch the binary cache so it is the most recently used.
+        assert!(store.lookup_by_signature("sig-bin_cache").is_some());
+        // Inserting a third entry forces an eviction; despite being LRU-cold,
+        // the JSON cache must survive because its format weight dominates.
+        store.insert(int_entry("csv_cache", SourceFormat::Csv, 10)).unwrap();
+        let names = store.names();
+        assert!(names.contains(&"json_cache".to_string()));
+        assert!(!names.contains(&"bin_cache".to_string()));
+        assert_eq!(store.stats().evictions, 1);
+    }
+
+    #[test]
+    fn oversized_entry_is_rejected() {
+        let store = CacheStore::new(MemoryManager::with_budget(100));
+        let result = store.insert(int_entry("huge", SourceFormat::Json, 1000));
+        assert!(matches!(result, Err(StorageError::OutOfMemory(_))));
+    }
+
+    #[test]
+    fn reinsert_replaces_and_releases_memory() {
+        let mm = MemoryManager::with_budget(10_000);
+        let store = CacheStore::new(mm.clone());
+        store.insert(int_entry("c", SourceFormat::Csv, 100)).unwrap();
+        let before = mm.stats().arena_bytes;
+        store.insert(int_entry("c", SourceFormat::Csv, 100)).unwrap();
+        assert_eq!(mm.stats().arena_bytes, before);
+        assert_eq!(store.stats().entries, 1);
+    }
+
+    #[test]
+    fn invalidate_dataset_drops_only_its_caches() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        store.insert(int_entry("a", SourceFormat::Json, 10)).unwrap();
+        let mut other = int_entry("b", SourceFormat::Csv, 10);
+        other.source_dataset = "orders".into();
+        store.insert(other).unwrap();
+        assert_eq!(store.invalidate_dataset("lineitem"), 1);
+        assert_eq!(store.stats().entries, 1);
+        assert!(store.get("b").is_some());
+    }
+
+    #[test]
+    fn clear_releases_arena() {
+        let mm = MemoryManager::with_budget(1 << 20);
+        let store = CacheStore::new(mm.clone());
+        store.insert(int_entry("a", SourceFormat::Json, 10)).unwrap();
+        store.clear();
+        assert_eq!(mm.stats().arena_bytes, 0);
+        assert_eq!(store.stats().entries, 0);
+    }
+
+    #[test]
+    fn caches_for_dataset_filters() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        store.insert(int_entry("a", SourceFormat::Json, 10)).unwrap();
+        store.insert(int_entry("b", SourceFormat::Json, 10)).unwrap();
+        assert_eq!(store.caches_for_dataset("lineitem").len(), 2);
+        assert_eq!(store.caches_for_dataset("orders").len(), 0);
+    }
+
+    #[test]
+    fn entry_column_lookup() {
+        let entry = int_entry("a", SourceFormat::Json, 5);
+        assert!(entry.column("x").is_some());
+        assert!(entry.column("y").is_none());
+        assert_eq!(entry.row_count(), 5);
+    }
+}

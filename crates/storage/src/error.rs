@@ -1,0 +1,71 @@
+//! Error type for the storage layer.
+
+use std::fmt;
+use std::io;
+
+/// Errors produced by the storage layer.
+#[derive(Debug)]
+pub enum StorageError {
+    /// Underlying I/O failure.
+    Io(io::Error),
+    /// A binary file did not have the expected layout.
+    Corrupt(String),
+    /// A requested table/column/cache does not exist.
+    NotFound(String),
+    /// A type mismatch between what was stored and what was requested.
+    TypeMismatch(String),
+    /// The cache arena budget would be exceeded and nothing can be evicted.
+    OutOfMemory(String),
+}
+
+impl fmt::Display for StorageError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            StorageError::Io(e) => write!(f, "io error: {e}"),
+            StorageError::Corrupt(msg) => write!(f, "corrupt binary data: {msg}"),
+            StorageError::NotFound(what) => write!(f, "not found: {what}"),
+            StorageError::TypeMismatch(msg) => write!(f, "type mismatch: {msg}"),
+            StorageError::OutOfMemory(msg) => write!(f, "cache arena exhausted: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for StorageError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            StorageError::Io(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<io::Error> for StorageError {
+    fn from(e: io::Error) -> Self {
+        StorageError::Io(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, StorageError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn io_error_converts() {
+        let err: StorageError = io::Error::new(io::ErrorKind::NotFound, "gone").into();
+        assert!(matches!(err, StorageError::Io(_)));
+        assert!(err.to_string().contains("gone"));
+    }
+
+    #[test]
+    fn display_variants() {
+        assert!(StorageError::NotFound("cache x".into())
+            .to_string()
+            .contains("cache x"));
+        assert!(StorageError::Corrupt("bad magic".into())
+            .to_string()
+            .contains("bad magic"));
+    }
+}

@@ -1,0 +1,26 @@
+//! # proteus-storage
+//!
+//! The storage substrate of the Proteus reproduction:
+//!
+//! * [`memory`] — the Memory Manager of §4: input files are mapped into
+//!   memory and treated as memory-resident; cache structures are pinned in a
+//!   budgeted arena.
+//! * [`column`] — typed in-memory column vectors plus the on-disk binary
+//!   column format ("Proteus operates over binary column files similar to the
+//!   ones of MonetDB", §7.1).
+//! * [`row`] — the on-disk binary row format (row-oriented relational binary
+//!   data, one of the plug-in formats of §5.2).
+//! * [`cache`] — the adaptive cache store of §6: caches of query-defined
+//!   shape, keyed by plan signature, evicted with a data-format-biased LRU.
+
+pub mod cache;
+pub mod column;
+pub mod error;
+pub mod memory;
+pub mod row;
+
+pub use cache::{CacheEntry, CacheStore, SourceFormat};
+pub use column::{ColumnData, ColumnTable};
+pub use error::{Result, StorageError};
+pub use memory::MemoryManager;
+pub use row::{RowTable, RowTableReader};

@@ -1,0 +1,221 @@
+//! The Memory Manager (§4).
+//!
+//! "Whenever a system component requests a memory block to read/write, the
+//! Memory Manager handles the request. The Manager distinguishes between
+//! input files and caching structures: It memory-maps input files, treating
+//! all input data as if it is memory-resident, and delegates paging to the OS
+//! virtual memory manager. As for caching structures, Proteus pins them in a
+//! memory arena."
+//!
+//! In this reproduction, "memory mapping" an input file loads it once into a
+//! shared, immutable byte buffer ([`bytes::Bytes`]) that every plug-in
+//! accesses zero-copy; cache structures are allocated through a budgeted
+//! arena whose usage the [`crate::cache::CacheStore`] reports against its
+//! eviction policy.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::{Path, PathBuf};
+use std::sync::Arc;
+
+use bytes::Bytes;
+use parking_lot::RwLock;
+
+use crate::error::{Result, StorageError};
+
+/// Statistics about what the memory manager currently holds.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MemoryStats {
+    /// Number of distinct input files mapped.
+    pub mapped_files: usize,
+    /// Total bytes of mapped input data.
+    pub mapped_bytes: usize,
+    /// Bytes currently pinned in the cache arena.
+    pub arena_bytes: usize,
+    /// Configured cache arena budget in bytes.
+    pub arena_budget: usize,
+}
+
+#[derive(Default)]
+struct Inner {
+    mapped: HashMap<PathBuf, Bytes>,
+    arena_bytes: usize,
+}
+
+/// The memory manager: maps input files and accounts for cache arena usage.
+///
+/// The manager is cheap to clone (it is an `Arc` internally) so every plug-in
+/// and the cache store can share it.
+#[derive(Clone)]
+pub struct MemoryManager {
+    inner: Arc<RwLock<Inner>>,
+    arena_budget: usize,
+}
+
+impl MemoryManager {
+    /// Default cache arena budget: 256 MiB, scaled-down stand-in for the
+    /// paper's memory-resident cache arena.
+    pub const DEFAULT_ARENA_BUDGET: usize = 256 * 1024 * 1024;
+
+    /// Creates a manager with the default arena budget.
+    pub fn new() -> Self {
+        Self::with_budget(Self::DEFAULT_ARENA_BUDGET)
+    }
+
+    /// Creates a manager with an explicit cache arena budget in bytes.
+    pub fn with_budget(arena_budget: usize) -> Self {
+        MemoryManager {
+            inner: Arc::new(RwLock::new(Inner::default())),
+            arena_budget,
+        }
+    }
+
+    /// Maps an input file, returning its contents as a shared byte buffer.
+    /// Repeated calls for the same path return the already-mapped buffer.
+    pub fn map_file(&self, path: impl AsRef<Path>) -> Result<Bytes> {
+        let path = path.as_ref().to_path_buf();
+        {
+            let inner = self.inner.read();
+            if let Some(bytes) = inner.mapped.get(&path) {
+                return Ok(bytes.clone());
+            }
+        }
+        let data = fs::read(&path)?;
+        let bytes = Bytes::from(data);
+        let mut inner = self.inner.write();
+        let entry = inner.mapped.entry(path).or_insert_with(|| bytes.clone());
+        Ok(entry.clone())
+    }
+
+    /// Registers an in-memory buffer under a virtual path (used by tests and
+    /// by generators that build datasets in memory).
+    pub fn register_buffer(&self, path: impl AsRef<Path>, data: Vec<u8>) -> Bytes {
+        let bytes = Bytes::from(data);
+        self.inner
+            .write()
+            .mapped
+            .insert(path.as_ref().to_path_buf(), bytes.clone());
+        bytes
+    }
+
+    /// Drops a mapping (e.g. after a file was rewritten by an append).
+    pub fn unmap_file(&self, path: impl AsRef<Path>) {
+        self.inner.write().mapped.remove(path.as_ref());
+    }
+
+    /// True if the path is currently mapped.
+    pub fn is_mapped(&self, path: impl AsRef<Path>) -> bool {
+        self.inner.read().mapped.contains_key(path.as_ref())
+    }
+
+    /// Reserves cache arena space. Fails when the budget would be exceeded;
+    /// the cache store reacts by evicting entries and retrying.
+    pub fn reserve_arena(&self, bytes: usize) -> Result<()> {
+        let mut inner = self.inner.write();
+        if inner.arena_bytes + bytes > self.arena_budget {
+            return Err(StorageError::OutOfMemory(format!(
+                "requested {bytes} B, used {} B of {} B budget",
+                inner.arena_bytes, self.arena_budget
+            )));
+        }
+        inner.arena_bytes += bytes;
+        Ok(())
+    }
+
+    /// Releases previously reserved arena space.
+    pub fn release_arena(&self, bytes: usize) {
+        let mut inner = self.inner.write();
+        inner.arena_bytes = inner.arena_bytes.saturating_sub(bytes);
+    }
+
+    /// The configured arena budget in bytes.
+    pub fn arena_budget(&self) -> usize {
+        self.arena_budget
+    }
+
+    /// Current usage statistics.
+    pub fn stats(&self) -> MemoryStats {
+        let inner = self.inner.read();
+        MemoryStats {
+            mapped_files: inner.mapped.len(),
+            mapped_bytes: inner.mapped.values().map(|b| b.len()).sum(),
+            arena_bytes: inner.arena_bytes,
+            arena_budget: self.arena_budget,
+        }
+    }
+}
+
+impl Default for MemoryManager {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mapping_a_file_caches_the_buffer() {
+        let dir = std::env::temp_dir().join("proteus_mm_test");
+        fs::create_dir_all(&dir).unwrap();
+        let path = dir.join("data.csv");
+        fs::write(&path, b"1,2,3\n4,5,6\n").unwrap();
+
+        let mm = MemoryManager::new();
+        let a = mm.map_file(&path).unwrap();
+        let b = mm.map_file(&path).unwrap();
+        assert_eq!(a, b);
+        assert!(mm.is_mapped(&path));
+        assert_eq!(mm.stats().mapped_files, 1);
+        assert_eq!(mm.stats().mapped_bytes, 12);
+
+        mm.unmap_file(&path);
+        assert!(!mm.is_mapped(&path));
+        fs::remove_file(&path).ok();
+    }
+
+    #[test]
+    fn missing_file_is_io_error() {
+        let mm = MemoryManager::new();
+        assert!(matches!(
+            mm.map_file("/nonexistent/proteus/file.bin"),
+            Err(StorageError::Io(_))
+        ));
+    }
+
+    #[test]
+    fn register_buffer_acts_like_a_mapped_file() {
+        let mm = MemoryManager::new();
+        mm.register_buffer("virtual://lineitem.json", b"{}".to_vec());
+        assert!(mm.is_mapped("virtual://lineitem.json"));
+        let bytes = mm.map_file_if_registered("virtual://lineitem.json");
+        assert_eq!(bytes.unwrap().len(), 2);
+    }
+
+    #[test]
+    fn arena_budget_is_enforced() {
+        let mm = MemoryManager::with_budget(100);
+        mm.reserve_arena(60).unwrap();
+        mm.reserve_arena(30).unwrap();
+        assert!(mm.reserve_arena(20).is_err());
+        mm.release_arena(50);
+        mm.reserve_arena(20).unwrap();
+        assert_eq!(mm.stats().arena_bytes, 60);
+    }
+
+    #[test]
+    fn release_never_underflows() {
+        let mm = MemoryManager::with_budget(10);
+        mm.release_arena(100);
+        assert_eq!(mm.stats().arena_bytes, 0);
+    }
+}
+
+impl MemoryManager {
+    /// Returns an already registered/mapped buffer without touching the file
+    /// system (test/diagnostic helper).
+    pub fn map_file_if_registered(&self, path: impl AsRef<Path>) -> Option<Bytes> {
+        self.inner.read().mapped.get(path.as_ref()).cloned()
+    }
+}

@@ -1,0 +1,418 @@
+//! The on-disk binary row format (row-oriented relational binary data).
+//!
+//! §5.2: "For binary relational data, an input plug-in generates code reading
+//! the memory positions of the required data fields." The row format makes
+//! that possible: every row occupies a fixed number of bytes, so the position
+//! of field `f` of row `r` is `header + r * row_width + field_offset(f)` —
+//! exactly the kind of address arithmetic the paper's generated code emits.
+//!
+//! Layout:
+//!
+//! ```text
+//! magic "PROW" | field count u16 | per field: type code u8, name len u16, name bytes
+//! row count u64 | row width u32
+//! fixed region: row_count × row_width bytes
+//!   Int/Float/Date → 8 bytes, Bool → 1 byte, Str → 8-byte offset + 8-byte length into the heap
+//! heap: variable-length string bytes
+//! ```
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use bytes::Bytes;
+use proteus_algebra::{DataType, Field, Schema, Value};
+
+use crate::error::{Result, StorageError};
+
+const MAGIC: &[u8; 4] = b"PROW";
+
+fn type_code(dt: &DataType) -> u8 {
+    match dt {
+        DataType::Int | DataType::Date => 0,
+        DataType::Float => 1,
+        DataType::Bool => 2,
+        _ => 3,
+    }
+}
+
+fn code_type(code: u8) -> DataType {
+    match code {
+        0 => DataType::Int,
+        1 => DataType::Float,
+        2 => DataType::Bool,
+        _ => DataType::String,
+    }
+}
+
+fn field_width(code: u8) -> usize {
+    match code {
+        2 => 1,
+        3 => 16,
+        _ => 8,
+    }
+}
+
+/// Writer/metadata for a binary row table.
+#[derive(Debug, Clone)]
+pub struct RowTable {
+    /// Path of the row file.
+    pub path: PathBuf,
+    /// Table schema.
+    pub schema: Schema,
+    /// Number of rows written.
+    pub row_count: usize,
+}
+
+impl RowTable {
+    /// Writes rows (records whose fields follow `schema` order) to a binary
+    /// row file.
+    pub fn write(
+        path: impl AsRef<Path>,
+        schema: &Schema,
+        rows: &[Value],
+    ) -> Result<RowTable> {
+        let path = path.as_ref().to_path_buf();
+        if let Some(parent) = path.parent() {
+            fs::create_dir_all(parent)?;
+        }
+        let codes: Vec<u8> = schema.fields().iter().map(|f| type_code(&f.data_type)).collect();
+        let row_width: usize = codes.iter().map(|c| field_width(*c)).sum();
+
+        let mut header = Vec::new();
+        header.extend_from_slice(MAGIC);
+        header.extend_from_slice(&(schema.len() as u16).to_le_bytes());
+        for (field, code) in schema.fields().iter().zip(&codes) {
+            header.push(*code);
+            header.extend_from_slice(&(field.name.len() as u16).to_le_bytes());
+            header.extend_from_slice(field.name.as_bytes());
+        }
+        header.extend_from_slice(&(rows.len() as u64).to_le_bytes());
+        header.extend_from_slice(&(row_width as u32).to_le_bytes());
+
+        let mut fixed = Vec::with_capacity(rows.len() * row_width);
+        let mut heap: Vec<u8> = Vec::new();
+        for row in rows {
+            let rec = row.as_record().map_err(|e| {
+                StorageError::TypeMismatch(format!("row is not a record: {e}"))
+            })?;
+            for (field, code) in schema.fields().iter().zip(&codes) {
+                let value = rec.get(&field.name).cloned().unwrap_or(Value::Null);
+                match code {
+                    0 => {
+                        let x = match value {
+                            Value::Int(i) => i,
+                            Value::Date(d) => d,
+                            Value::Null => 0,
+                            other => {
+                                return Err(StorageError::TypeMismatch(format!(
+                                    "field {} expected int, got {other:?}",
+                                    field.name
+                                )))
+                            }
+                        };
+                        fixed.extend_from_slice(&x.to_le_bytes());
+                    }
+                    1 => {
+                        let x = match value {
+                            Value::Float(f) => f,
+                            Value::Int(i) => i as f64,
+                            Value::Null => 0.0,
+                            other => {
+                                return Err(StorageError::TypeMismatch(format!(
+                                    "field {} expected float, got {other:?}",
+                                    field.name
+                                )))
+                            }
+                        };
+                        fixed.extend_from_slice(&x.to_le_bytes());
+                    }
+                    2 => {
+                        let x = matches!(value, Value::Bool(true));
+                        fixed.push(u8::from(x));
+                    }
+                    _ => {
+                        let s = match value {
+                            Value::Str(s) => s,
+                            Value::Null => String::new(),
+                            other => format!("{other}"),
+                        };
+                        fixed.extend_from_slice(&(heap.len() as u64).to_le_bytes());
+                        fixed.extend_from_slice(&(s.len() as u64).to_le_bytes());
+                        heap.extend_from_slice(s.as_bytes());
+                    }
+                }
+            }
+        }
+
+        let mut out = header;
+        out.extend_from_slice(&fixed);
+        out.extend_from_slice(&heap);
+        fs::write(&path, out)?;
+        Ok(RowTable {
+            path,
+            schema: schema.clone(),
+            row_count: rows.len(),
+        })
+    }
+}
+
+/// Zero-copy reader over a binary row file buffer.
+#[derive(Debug, Clone)]
+pub struct RowTableReader {
+    data: Bytes,
+    schema: Schema,
+    codes: Vec<u8>,
+    offsets: Vec<usize>,
+    row_width: usize,
+    row_count: usize,
+    fixed_start: usize,
+    heap_start: usize,
+}
+
+impl RowTableReader {
+    /// Parses the header of a row file held in memory.
+    pub fn open(data: Bytes) -> Result<RowTableReader> {
+        if data.len() < 6 || &data[0..4] != MAGIC {
+            return Err(StorageError::Corrupt("bad row-table magic".into()));
+        }
+        let field_count = u16::from_le_bytes([data[4], data[5]]) as usize;
+        let mut pos = 6;
+        let mut fields = Vec::with_capacity(field_count);
+        let mut codes = Vec::with_capacity(field_count);
+        for _ in 0..field_count {
+            if pos + 3 > data.len() {
+                return Err(StorageError::Corrupt("truncated field header".into()));
+            }
+            let code = data[pos];
+            let name_len = u16::from_le_bytes([data[pos + 1], data[pos + 2]]) as usize;
+            pos += 3;
+            if pos + name_len > data.len() {
+                return Err(StorageError::Corrupt("truncated field name".into()));
+            }
+            let name = std::str::from_utf8(&data[pos..pos + name_len])
+                .map_err(|_| StorageError::Corrupt("invalid field name".into()))?
+                .to_string();
+            pos += name_len;
+            fields.push(Field::new(name, code_type(code)));
+            codes.push(code);
+        }
+        if pos + 12 > data.len() {
+            return Err(StorageError::Corrupt("truncated row header".into()));
+        }
+        let row_count =
+            u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap()) as usize;
+        let row_width =
+            u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        pos += 12;
+
+        let mut offsets = Vec::with_capacity(field_count);
+        let mut acc = 0;
+        for code in &codes {
+            offsets.push(acc);
+            acc += field_width(*code);
+        }
+        if acc != row_width {
+            return Err(StorageError::Corrupt(format!(
+                "row width mismatch: header says {row_width}, schema implies {acc}"
+            )));
+        }
+        let fixed_start = pos;
+        let heap_start = fixed_start + row_count * row_width;
+        if heap_start > data.len() {
+            return Err(StorageError::Corrupt("truncated fixed region".into()));
+        }
+        Ok(RowTableReader {
+            data,
+            schema: Schema::new(fields),
+            codes,
+            offsets,
+            row_width,
+            row_count,
+            fixed_start,
+            heap_start,
+        })
+    }
+
+    /// Opens a row file from disk through a freshly read buffer.
+    pub fn open_path(path: impl AsRef<Path>) -> Result<RowTableReader> {
+        let data = fs::read(path)?;
+        Self::open(Bytes::from(data))
+    }
+
+    /// Table schema.
+    pub fn schema(&self) -> &Schema {
+        &self.schema
+    }
+
+    /// Number of rows.
+    pub fn row_count(&self) -> usize {
+        self.row_count
+    }
+
+    /// Byte position of field `field_idx` of row `row_idx` in the buffer —
+    /// the "memory position" arithmetic of the binary plug-in.
+    pub fn field_position(&self, row_idx: usize, field_idx: usize) -> usize {
+        self.fixed_start + row_idx * self.row_width + self.offsets[field_idx]
+    }
+
+    /// Reads an integer field directly.
+    pub fn read_int(&self, row_idx: usize, field_idx: usize) -> i64 {
+        let pos = self.field_position(row_idx, field_idx);
+        i64::from_le_bytes(self.data[pos..pos + 8].try_into().unwrap())
+    }
+
+    /// Reads a float field directly.
+    pub fn read_float(&self, row_idx: usize, field_idx: usize) -> f64 {
+        let pos = self.field_position(row_idx, field_idx);
+        f64::from_le_bytes(self.data[pos..pos + 8].try_into().unwrap())
+    }
+
+    /// Reads a boolean field directly.
+    pub fn read_bool(&self, row_idx: usize, field_idx: usize) -> bool {
+        let pos = self.field_position(row_idx, field_idx);
+        self.data[pos] != 0
+    }
+
+    /// Reads a string field (resolving its heap pointer).
+    pub fn read_str(&self, row_idx: usize, field_idx: usize) -> Result<&str> {
+        let pos = self.field_position(row_idx, field_idx);
+        let offset = u64::from_le_bytes(self.data[pos..pos + 8].try_into().unwrap()) as usize;
+        let len = u64::from_le_bytes(self.data[pos + 8..pos + 16].try_into().unwrap()) as usize;
+        let start = self.heap_start + offset;
+        if start + len > self.data.len() {
+            return Err(StorageError::Corrupt("string heap pointer out of range".into()));
+        }
+        std::str::from_utf8(&self.data[start..start + len])
+            .map_err(|_| StorageError::Corrupt("invalid utf-8 in string heap".into()))
+    }
+
+    /// Reads one field as a [`Value`] (generic/slow path).
+    pub fn read_value(&self, row_idx: usize, field_idx: usize) -> Result<Value> {
+        if row_idx >= self.row_count || field_idx >= self.codes.len() {
+            return Err(StorageError::NotFound(format!(
+                "row {row_idx} / field {field_idx} out of range"
+            )));
+        }
+        Ok(match self.codes[field_idx] {
+            0 => Value::Int(self.read_int(row_idx, field_idx)),
+            1 => Value::Float(self.read_float(row_idx, field_idx)),
+            2 => Value::Bool(self.read_bool(row_idx, field_idx)),
+            _ => Value::Str(self.read_str(row_idx, field_idx)?.to_string()),
+        })
+    }
+
+    /// Reconstructs a full row as a record value.
+    pub fn read_row(&self, row_idx: usize) -> Result<Value> {
+        let mut rec = proteus_algebra::Record::empty();
+        for (idx, field) in self.schema.fields().iter().enumerate() {
+            rec.set(field.name.clone(), self.read_value(row_idx, idx)?);
+        }
+        Ok(Value::Record(rec))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_schema() -> Schema {
+        Schema::from_pairs(vec![
+            ("id", DataType::Int),
+            ("price", DataType::Float),
+            ("active", DataType::Bool),
+            ("name", DataType::String),
+        ])
+    }
+
+    fn sample_rows() -> Vec<Value> {
+        (0..5)
+            .map(|i| {
+                Value::record(vec![
+                    ("id", Value::Int(i)),
+                    ("price", Value::Float(i as f64 * 1.5)),
+                    ("active", Value::Bool(i % 2 == 0)),
+                    ("name", Value::Str(format!("row-{i}"))),
+                ])
+            })
+            .collect()
+    }
+
+    fn temp_path(name: &str) -> PathBuf {
+        let dir = std::env::temp_dir().join("proteus_row_tests");
+        fs::create_dir_all(&dir).unwrap();
+        dir.join(name)
+    }
+
+    #[test]
+    fn write_and_read_round_trip() {
+        let path = temp_path("roundtrip.prow");
+        let schema = sample_schema();
+        let rows = sample_rows();
+        let table = RowTable::write(&path, &schema, &rows).unwrap();
+        assert_eq!(table.row_count, 5);
+
+        let reader = RowTableReader::open_path(&path).unwrap();
+        assert_eq!(reader.row_count(), 5);
+        assert_eq!(reader.schema().names(), vec!["id", "price", "active", "name"]);
+        for (i, expected) in rows.iter().enumerate() {
+            assert_eq!(&reader.read_row(i).unwrap(), expected);
+        }
+    }
+
+    #[test]
+    fn direct_typed_accessors() {
+        let path = temp_path("typed.prow");
+        RowTable::write(&path, &sample_schema(), &sample_rows()).unwrap();
+        let reader = RowTableReader::open_path(&path).unwrap();
+        assert_eq!(reader.read_int(3, 0), 3);
+        assert_eq!(reader.read_float(2, 1), 3.0);
+        assert!(reader.read_bool(4, 2));
+        assert_eq!(reader.read_str(1, 3).unwrap(), "row-1");
+    }
+
+    #[test]
+    fn field_positions_are_fixed_stride() {
+        let path = temp_path("stride.prow");
+        RowTable::write(&path, &sample_schema(), &sample_rows()).unwrap();
+        let reader = RowTableReader::open_path(&path).unwrap();
+        let stride = reader.field_position(1, 0) - reader.field_position(0, 0);
+        assert_eq!(stride, 8 + 8 + 1 + 16);
+    }
+
+    #[test]
+    fn out_of_range_access_is_error() {
+        let path = temp_path("range.prow");
+        RowTable::write(&path, &sample_schema(), &sample_rows()).unwrap();
+        let reader = RowTableReader::open_path(&path).unwrap();
+        assert!(reader.read_value(99, 0).is_err());
+        assert!(reader.read_value(0, 99).is_err());
+    }
+
+    #[test]
+    fn corrupt_file_is_rejected() {
+        assert!(RowTableReader::open(Bytes::from_static(b"garbage")).is_err());
+        let path = temp_path("trunc.prow");
+        RowTable::write(&path, &sample_schema(), &sample_rows()).unwrap();
+        let mut data = fs::read(&path).unwrap();
+        data.truncate(data.len() / 2);
+        assert!(RowTableReader::open(Bytes::from(data)).is_err());
+    }
+
+    #[test]
+    fn missing_fields_become_defaults() {
+        let path = temp_path("missing.prow");
+        let schema = Schema::from_pairs(vec![("a", DataType::Int), ("b", DataType::String)]);
+        let rows = vec![Value::record(vec![("a", Value::Int(7))])];
+        RowTable::write(&path, &schema, &rows).unwrap();
+        let reader = RowTableReader::open_path(&path).unwrap();
+        assert_eq!(reader.read_int(0, 0), 7);
+        assert_eq!(reader.read_str(0, 1).unwrap(), "");
+    }
+
+    #[test]
+    fn non_record_row_is_rejected() {
+        let path = temp_path("nonrecord.prow");
+        let schema = Schema::from_pairs(vec![("a", DataType::Int)]);
+        assert!(RowTable::write(&path, &schema, &[Value::Int(1)]).is_err());
+    }
+}

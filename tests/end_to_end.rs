@@ -1,0 +1,204 @@
+//! End-to-end integration tests: the full pipeline (front-end → optimizer →
+//! generated engine → plug-ins) over real files in every supported format,
+//! checked against the reference interpreter and the baseline engines.
+
+use proteus::baselines::{BaselineEngine, ColumnStoreEngine, DocumentStoreEngine, RowStoreEngine};
+use proteus::datagen::tpch::{TpchGenerator, TpchScale};
+use proteus::datagen::writers;
+use proteus::prelude::*;
+
+struct Fixture {
+    dir: std::path::PathBuf,
+    orders: Vec<Value>,
+    lineitems: Vec<Value>,
+}
+
+fn fixture() -> Fixture {
+    let dir = std::env::temp_dir().join("proteus_integration_tpch");
+    std::fs::create_dir_all(&dir).unwrap();
+    let mut generator = TpchGenerator::new(TpchScale(0.05));
+    let (orders, lineitems) = generator.generate();
+    writers::write_json(dir.join("lineitem.json"), &lineitems, true).unwrap();
+    writers::write_json(dir.join("orders.json"), &orders, true).unwrap();
+    writers::write_csv(
+        dir.join("lineitem.csv"),
+        &lineitems,
+        &TpchGenerator::lineitem_schema(),
+        '|',
+    )
+    .unwrap();
+    writers::write_column_table(dir.join("lineitem_cols"), &lineitems, &TpchGenerator::lineitem_schema())
+        .unwrap();
+    writers::write_column_table(dir.join("orders_cols"), &orders, &TpchGenerator::orders_schema())
+        .unwrap();
+    writers::write_row_table(dir.join("orders.prow"), &orders, &TpchGenerator::orders_schema())
+        .unwrap();
+    Fixture {
+        dir,
+        orders,
+        lineitems,
+    }
+}
+
+fn reference(fixture: &Fixture, plan: &LogicalPlan) -> Vec<Value> {
+    let mut catalog = proteus::algebra::interp::MemoryCatalog::new();
+    catalog.register("lineitem", fixture.lineitems.clone());
+    catalog.register("orders", fixture.orders.clone());
+    proteus::algebra::interp::execute(plan, &catalog).unwrap()
+}
+
+fn count_plan(threshold: i64) -> LogicalPlan {
+    LogicalPlan::scan("lineitem", "l", Schema::empty())
+        .select(Expr::path("l.l_orderkey").lt(Expr::int(threshold)))
+        .reduce(vec![
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ReduceSpec::new(Monoid::Max, Expr::path("l.l_quantity"), "maxq"),
+        ])
+}
+
+#[test]
+fn same_query_same_answer_across_all_formats() {
+    let fx = fixture();
+    let expected = reference(&fx, &count_plan(30));
+
+    // JSON.
+    let engine = QueryEngine::new(EngineConfig::without_caching());
+    engine.register_json("lineitem", fx.dir.join("lineitem.json")).unwrap();
+    assert_eq!(engine.execute_plan(count_plan(30)).unwrap().rows, expected);
+
+    // CSV.
+    let engine = QueryEngine::new(EngineConfig::without_caching());
+    engine
+        .register_csv(
+            "lineitem",
+            fx.dir.join("lineitem.csv"),
+            TpchGenerator::lineitem_schema(),
+            CsvOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(engine.execute_plan(count_plan(30)).unwrap().rows, expected);
+
+    // Binary columns.
+    let engine = QueryEngine::new(EngineConfig::without_caching());
+    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+    assert_eq!(engine.execute_plan(count_plan(30)).unwrap().rows, expected);
+}
+
+#[test]
+fn cross_format_join_matches_reference() {
+    let fx = fixture();
+    let plan = LogicalPlan::scan("orders", "o", Schema::empty())
+        .join(
+            LogicalPlan::scan("lineitem", "l", Schema::empty()),
+            Expr::path("o.o_orderkey").eq(Expr::path("l.l_orderkey")),
+            JoinKind::Inner,
+        )
+        .select(Expr::path("l.l_orderkey").lt(Expr::int(40)))
+        .reduce(vec![
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ReduceSpec::new(Monoid::Max, Expr::path("o.o_totalprice"), "max_total"),
+        ]);
+    let expected = reference(&fx, &plan);
+
+    // JSON orders ⋈ binary lineitems (heterogeneous inputs in one query).
+    let engine = QueryEngine::new(EngineConfig::without_caching());
+    engine.register_json("orders", fx.dir.join("orders.json")).unwrap();
+    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+    assert_eq!(engine.execute_plan(plan.clone()).unwrap().rows, expected);
+
+    // Binary rows orders ⋈ CSV lineitems.
+    let engine = QueryEngine::new(EngineConfig::without_caching());
+    engine.register_rows("orders", fx.dir.join("orders.prow")).unwrap();
+    engine
+        .register_csv(
+            "lineitem",
+            fx.dir.join("lineitem.csv"),
+            TpchGenerator::lineitem_schema(),
+            CsvOptions::default(),
+        )
+        .unwrap();
+    assert_eq!(engine.execute_plan(plan).unwrap().rows, expected);
+}
+
+#[test]
+fn proteus_agrees_with_every_baseline_engine() {
+    let fx = fixture();
+    let plan = LogicalPlan::scan("lineitem", "l", Schema::empty())
+        .select(
+            Expr::path("l.l_orderkey")
+                .lt(Expr::int(50))
+                .and(Expr::path("l.l_quantity").lt(Expr::int(40))),
+        )
+        .nest(
+            vec![Expr::path("l.l_linenumber")],
+            vec!["line".into()],
+            vec![
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("l.l_extendedprice"), "revenue"),
+            ],
+        );
+
+    let engine = QueryEngine::new(EngineConfig::without_caching());
+    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+    let proteus_rows = engine.execute_plan(plan.clone()).unwrap().rows;
+
+    let checksum = |rows: &[Value]| -> (usize, i64) {
+        let total: i64 = rows
+            .iter()
+            .map(|r| r.as_record().unwrap().get("cnt").unwrap().as_int().unwrap())
+            .sum();
+        (rows.len(), total)
+    };
+
+    let mut row_store = RowStoreEngine::postgres_like();
+    row_store.load("lineitem", fx.lineitems.clone());
+    assert_eq!(checksum(&row_store.execute(&plan).unwrap()), checksum(&proteus_rows));
+
+    let mut column_store = ColumnStoreEngine::monetdb_like();
+    column_store.load("lineitem", fx.lineitems.clone());
+    assert_eq!(checksum(&column_store.execute(&plan).unwrap()), checksum(&proteus_rows));
+
+    let mut sorted = ColumnStoreEngine::dbms_c_like();
+    sorted.load_with_sort_key("lineitem", fx.lineitems.clone(), Some("l_orderkey"));
+    assert_eq!(checksum(&sorted.execute(&plan).unwrap()), checksum(&proteus_rows));
+
+    let mut documents = DocumentStoreEngine::new();
+    documents.load("lineitem", fx.lineitems.clone());
+    assert_eq!(checksum(&documents.execute(&plan).unwrap()), checksum(&proteus_rows));
+}
+
+#[test]
+fn caching_preserves_results_and_serves_second_query_from_cache() {
+    let fx = fixture();
+    let engine = QueryEngine::with_defaults();
+    engine.register_json("lineitem", fx.dir.join("lineitem.json")).unwrap();
+
+    let q = "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_orderkey < 40";
+    let first = engine.sql(q).unwrap();
+    assert!(first.metrics.cached_values > 0);
+    let second = engine.sql(q).unwrap();
+    assert_eq!(first.rows, second.rows);
+    assert!(engine.cache_stats().entries >= 1);
+    assert!(second
+        .access_paths
+        .iter()
+        .any(|p| p.contains("cache") || p.contains("fully served")));
+}
+
+#[test]
+fn sql_and_comprehension_front_ends_agree() {
+    let fx = fixture();
+    let engine = QueryEngine::new(EngineConfig::without_caching());
+    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+
+    let sql = engine
+        .sql("SELECT COUNT(*) FROM lineitem WHERE l_orderkey < 25")
+        .unwrap();
+    let comp = engine
+        .comprehension("for { l <- lineitem, l.l_orderkey < 25 } yield count")
+        .unwrap();
+    assert_eq!(
+        sql.rows[0].as_record().unwrap().get_index(0).unwrap().1,
+        comp.rows[0].as_record().unwrap().get_index(0).unwrap().1
+    );
+}

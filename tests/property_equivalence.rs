@@ -1,0 +1,134 @@
+//! Property-based tests: for randomly generated data and query parameters,
+//! the generated Proteus pipelines, the reference interpreter and the
+//! baseline engines must all return the same answers, and the JSON/CSV
+//! structural-index access paths must agree with a full re-parse.
+
+use proptest::prelude::*;
+
+use proteus::baselines::{BaselineEngine, RowStoreEngine};
+use proteus::datagen::writers;
+use proteus::prelude::*;
+
+fn rows_strategy() -> impl Strategy<Value = Vec<(i64, f64, String)>> {
+    prop::collection::vec(
+        (
+            0i64..50,
+            prop::num::f64::POSITIVE.prop_map(|f| (f % 1000.0 * 100.0).round() / 100.0),
+            "[a-z]{0,8}",
+        ),
+        1..60,
+    )
+}
+
+fn to_records(rows: &[(i64, f64, String)]) -> Vec<Value> {
+    rows.iter()
+        .map(|(k, q, c)| {
+            Value::record(vec![
+                ("k", Value::Int(*k)),
+                ("q", Value::Float(*q)),
+                ("c", Value::Str(c.clone())),
+            ])
+        })
+        .collect()
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(vec![
+        ("k", DataType::Int),
+        ("q", DataType::Float),
+        ("c", DataType::String),
+    ])
+}
+
+fn aggregate_plan(threshold: i64) -> LogicalPlan {
+    LogicalPlan::scan("t", "t", Schema::empty())
+        .select(Expr::path("t.k").lt(Expr::int(threshold)))
+        .reduce(vec![
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+            ReduceSpec::new(Monoid::Max, Expr::path("t.k"), "maxk"),
+        ])
+}
+
+fn reference(rows: &[Value], plan: &LogicalPlan) -> Vec<Value> {
+    let mut catalog = proteus::algebra::interp::MemoryCatalog::new();
+    catalog.register("t", rows.to_vec());
+    proteus::algebra::interp::execute(plan, &catalog).unwrap()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn generated_engine_equals_interpreter_over_json(rows in rows_strategy(), threshold in 0i64..60) {
+        let records = to_records(&rows);
+        let plan = aggregate_plan(threshold);
+        let expected = reference(&records, &plan);
+
+        let dir = std::env::temp_dir().join(format!("proteus_prop_json_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t_{}_{}.json", rows.len(), threshold));
+        writers::write_json(&path, &records, true).unwrap();
+
+        let engine = QueryEngine::new(EngineConfig::without_caching());
+        engine.register_json("t", &path).unwrap();
+        let got = engine.execute_plan(plan).unwrap().rows;
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn generated_engine_equals_interpreter_over_csv(rows in rows_strategy(), threshold in 0i64..60) {
+        let records = to_records(&rows);
+        let plan = aggregate_plan(threshold);
+        let expected = reference(&records, &plan);
+
+        let dir = std::env::temp_dir().join(format!("proteus_prop_csv_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t_{}_{}.csv", rows.len(), threshold));
+        writers::write_csv(&path, &records, &schema(), '|').unwrap();
+
+        let engine = QueryEngine::new(EngineConfig::without_caching());
+        engine.register_csv("t", &path, schema(), CsvOptions::default()).unwrap();
+        let got = engine.execute_plan(plan).unwrap().rows;
+        prop_assert_eq!(got, expected);
+    }
+
+    #[test]
+    fn caching_never_changes_results(rows in rows_strategy(), threshold in 0i64..60) {
+        let records = to_records(&rows);
+        let plan = aggregate_plan(threshold);
+
+        let dir = std::env::temp_dir().join(format!("proteus_prop_cache_{}", std::process::id()));
+        std::fs::create_dir_all(&dir).unwrap();
+        let path = dir.join(format!("t_{}_{}.json", rows.len(), threshold));
+        writers::write_json(&path, &records, false).unwrap();
+
+        let engine = QueryEngine::with_defaults();
+        engine.register_json("t", &path).unwrap();
+        let first = engine.execute_plan(plan.clone()).unwrap().rows;
+        let second = engine.execute_plan(plan).unwrap().rows;
+        prop_assert_eq!(&first, &reference(&records, &aggregate_plan(threshold)));
+        prop_assert_eq!(first, second);
+    }
+
+    #[test]
+    fn baseline_row_store_agrees_with_generated_engine(rows in rows_strategy(), threshold in 0i64..60) {
+        let records = to_records(&rows);
+        let plan = aggregate_plan(threshold);
+        let expected = reference(&records, &plan);
+
+        let mut baseline = RowStoreEngine::postgres_like();
+        baseline.load("t", records);
+        prop_assert_eq!(baseline.execute(&plan).unwrap(), expected);
+    }
+
+    #[test]
+    fn json_round_trip_preserves_values(rows in rows_strategy()) {
+        let records = to_records(&rows);
+        for record in &records {
+            let text = writers::value_to_json(record);
+            let parsed = proteus::plugins::json::parse_json_value(text.as_bytes()).unwrap();
+            prop_assert!(parsed.value_eq(record), "{} != {}", parsed, record);
+        }
+    }
+}
