@@ -382,7 +382,14 @@ mod tests {
         assert_eq!(rows.len(), 2);
         let names: Vec<&str> = rows
             .iter()
-            .map(|r| r.as_record().unwrap().get("child").unwrap().as_str().unwrap())
+            .map(|r| {
+                r.as_record()
+                    .unwrap()
+                    .get("child")
+                    .unwrap()
+                    .as_str()
+                    .unwrap()
+            })
             .collect();
         assert!(names.contains(&"ann"));
         assert!(names.contains(&"eve"));

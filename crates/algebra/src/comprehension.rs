@@ -66,7 +66,10 @@ pub fn parse_comprehension(input: &str) -> Result<Comprehension> {
 fn parse_qualifier(cur: &mut Cursor) -> Result<Qualifier> {
     // Lookahead: IDENT '<-' means a generator.
     let is_generator = matches!(cur.peek(), Some(Token::Ident(_)))
-        && cur.peek_ahead(1).map(|t| t.is_symbol("<-")).unwrap_or(false);
+        && cur
+            .peek_ahead(1)
+            .map(|t| t.is_symbol("<-"))
+            .unwrap_or(false);
     if is_generator {
         let var = cur.expect_ident()?;
         cur.expect_symbol("<-")?;
@@ -154,10 +157,9 @@ mod tests {
 
     #[test]
     fn parses_scalar_monoids() {
-        let comp = parse_comprehension(
-            "for { l <- lineitem, l.l_orderkey < 100 } yield sum l.l_quantity",
-        )
-        .unwrap();
+        let comp =
+            parse_comprehension("for { l <- lineitem, l.l_orderkey < 100 } yield sum l.l_quantity")
+                .unwrap();
         assert_eq!(comp.monoid, Monoid::Sum);
         assert_eq!(comp.head, Expr::path("l.l_quantity"));
     }
@@ -171,10 +173,9 @@ mod tests {
 
     #[test]
     fn end_to_end_evaluation() {
-        let comp = parse_comprehension(
-            "for { s <- Sailor, c <- s.children, c.age > 18 } yield count",
-        )
-        .unwrap();
+        let comp =
+            parse_comprehension("for { s <- Sailor, c <- s.children, c.age > 18 } yield count")
+                .unwrap();
         let catalog = |name: &str| {
             if name == "Sailor" {
                 Some(vec![Value::record(vec![
@@ -196,17 +197,14 @@ mod tests {
 
     #[test]
     fn single_element_tuple_is_plain_expr() {
-        let comp =
-            parse_comprehension("for { l <- lineitem } yield bag (l.l_orderkey)").unwrap();
+        let comp = parse_comprehension("for { l <- lineitem } yield bag (l.l_orderkey)").unwrap();
         assert_eq!(comp.head, Expr::path("l.l_orderkey"));
     }
 
     #[test]
     fn duplicate_leaf_names_are_disambiguated() {
-        let comp = parse_comprehension(
-            "for { a <- A, b <- B } yield bag (a.name, b.name)",
-        )
-        .unwrap();
+        let comp =
+            parse_comprehension("for { a <- A, b <- B } yield bag (a.name, b.name)").unwrap();
         match comp.head {
             Expr::RecordCtor(fields) => {
                 assert_eq!(fields.len(), 2);

@@ -118,7 +118,12 @@ impl BinaryOp {
     pub fn is_comparison(&self) -> bool {
         matches!(
             self,
-            BinaryOp::Eq | BinaryOp::Neq | BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+            BinaryOp::Eq
+                | BinaryOp::Neq
+                | BinaryOp::Lt
+                | BinaryOp::Le
+                | BinaryOp::Gt
+                | BinaryOp::Ge
         )
     }
 
@@ -484,7 +489,9 @@ pub fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
         // Null comparisons are false except for Neq against non-null,
         // mirroring SQL three-valued logic collapsed to two values.
         if l.is_null() || r.is_null() {
-            return Ok(Value::Bool(matches!(op, Neq) && (l.is_null() ^ r.is_null())));
+            return Ok(Value::Bool(
+                matches!(op, Neq) && (l.is_null() ^ r.is_null()),
+            ));
         }
         let ord = l.total_cmp(r);
         let b = match op {
@@ -512,7 +519,9 @@ pub fn eval_binary(op: BinaryOp, l: &Value, r: &Value) -> Result<Value> {
                     Mul => a.wrapping_mul(*b),
                     Div => {
                         if *b == 0 {
-                            return Err(AlgebraError::Arithmetic("integer division by zero".into()));
+                            return Err(AlgebraError::Arithmetic(
+                                "integer division by zero".into(),
+                            ));
                         }
                         a / b
                     }
@@ -588,7 +597,10 @@ impl Env {
 
     /// Looks a variable up.
     pub fn get(&self, name: &str) -> Option<&Value> {
-        self.bindings.iter().find(|(n, _)| n == name).map(|(_, v)| v)
+        self.bindings
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, v)| v)
     }
 
     /// Merges another environment into this one (other wins on clash).
@@ -673,11 +685,7 @@ mod tests {
         let e = Expr::path("l.l_orderkey").lt(Expr::int(100));
         assert_eq!(e.eval(&env).unwrap(), Value::Bool(true));
 
-        let e = Expr::binary(
-            BinaryOp::Mul,
-            Expr::path("l.l_quantity"),
-            Expr::float(2.0),
-        );
+        let e = Expr::binary(BinaryOp::Mul, Expr::path("l.l_quantity"), Expr::float(2.0));
         assert_eq!(e.eval(&env).unwrap(), Value::Float(34.0));
     }
 
@@ -699,11 +707,7 @@ mod tests {
     fn logical_short_circuit() {
         let env = Env::new();
         // Right side would error if evaluated.
-        let e = Expr::boolean(false).and(Expr::binary(
-            BinaryOp::Div,
-            Expr::int(1),
-            Expr::int(0),
-        ));
+        let e = Expr::boolean(false).and(Expr::binary(BinaryOp::Div, Expr::int(1), Expr::int(0)));
         assert_eq!(e.eval(&env).unwrap(), Value::Bool(false));
         let e = Expr::boolean(true).or(Expr::binary(BinaryOp::Div, Expr::int(1), Expr::int(0)));
         assert_eq!(e.eval(&env).unwrap(), Value::Bool(true));
@@ -714,11 +718,10 @@ mod tests {
         let env = env_with_lineitem();
         let e = Expr::RecordCtor(vec![
             ("key".into(), Expr::path("l.l_orderkey")),
-            ("double_qty".into(), Expr::binary(
-                BinaryOp::Mul,
-                Expr::path("l.l_quantity"),
-                Expr::int(2),
-            )),
+            (
+                "double_qty".into(),
+                Expr::binary(BinaryOp::Mul, Expr::path("l.l_quantity"), Expr::int(2)),
+            ),
         ]);
         let v = e.eval(&env).unwrap();
         let rec = v.as_record().unwrap();

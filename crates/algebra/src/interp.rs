@@ -56,8 +56,10 @@ pub fn execute(plan: &LogicalPlan, catalog: &MemoryCatalog) -> Result<Vec<Value>
             predicate,
         } => {
             let envs = eval_bindings(input, catalog)?;
-            let mut accs: Vec<Accumulator> =
-                outputs.iter().map(|o| Accumulator::zero(o.monoid)).collect();
+            let mut accs: Vec<Accumulator> = outputs
+                .iter()
+                .map(|o| Accumulator::zero(o.monoid))
+                .collect();
             for env in &envs {
                 if let Some(pred) = predicate {
                     if !pred.eval(env)?.as_bool()? {
@@ -69,7 +71,7 @@ pub fn execute(plan: &LogicalPlan, catalog: &MemoryCatalog) -> Result<Vec<Value>
                 }
             }
             let mut rec = Record::empty();
-            for (spec, acc) in outputs.iter().zip(accs.into_iter()) {
+            for (spec, acc) in outputs.iter().zip(accs) {
                 rec.set(spec.alias.clone(), acc.finish(spec.monoid));
             }
             Ok(vec![Value::Record(rec)])
@@ -109,7 +111,10 @@ pub fn execute(plan: &LogicalPlan, catalog: &MemoryCatalog) -> Result<Vec<Value>
                     None => {
                         groups.push((
                             key.clone(),
-                            outputs.iter().map(|o| Accumulator::zero(o.monoid)).collect(),
+                            outputs
+                                .iter()
+                                .map(|o| Accumulator::zero(o.monoid))
+                                .collect(),
                         ));
                         let idx = groups.len() - 1;
                         slot.push(idx);
@@ -130,7 +135,7 @@ pub fn execute(plan: &LogicalPlan, catalog: &MemoryCatalog) -> Result<Vec<Value>
                         .unwrap_or_else(|| format!("key{i}"));
                     rec.set(name, k);
                 }
-                for (spec, acc) in outputs.iter().zip(accs.into_iter()) {
+                for (spec, acc) in outputs.iter().zip(accs) {
                     rec.set(spec.alias.clone(), acc.finish(spec.monoid));
                 }
                 rows.push(Value::Record(rec));
@@ -146,7 +151,10 @@ pub fn execute(plan: &LogicalPlan, catalog: &MemoryCatalog) -> Result<Vec<Value>
                 .map(|env| {
                     let mut rec = Record::empty();
                     for name in env.names() {
-                        rec.set(name.to_string(), env.get(name).cloned().unwrap_or(Value::Null));
+                        rec.set(
+                            name.to_string(),
+                            env.get(name).cloned().unwrap_or(Value::Null),
+                        );
                     }
                     Value::Record(rec)
                 })
@@ -368,7 +376,10 @@ mod tests {
             .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
         let out = execute(&plan, &catalog()).unwrap();
         // all 10 lineitems survive (5 matched, 5 padded with nulls).
-        assert_eq!(out[0].as_record().unwrap().get("cnt"), Some(&Value::Int(10)));
+        assert_eq!(
+            out[0].as_record().unwrap().get("cnt"),
+            Some(&Value::Int(10))
+        );
     }
 
     #[test]
@@ -431,7 +442,8 @@ mod tests {
 
     #[test]
     fn missing_dataset_errors() {
-        let plan = scan("ghost", "g").reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
+        let plan =
+            scan("ghost", "g").reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
         assert!(execute(&plan, &catalog()).is_err());
     }
 

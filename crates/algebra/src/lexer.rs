@@ -141,6 +141,7 @@ impl Cursor {
     }
 
     /// Advances and returns the current token.
+    #[allow(clippy::should_implement_trait)]
     pub fn next(&mut self) -> Option<Token> {
         let t = self.tokens.get(self.pos).cloned();
         if t.is_some() {

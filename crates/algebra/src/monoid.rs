@@ -193,6 +193,77 @@ impl Accumulator {
         }
     }
 
+    /// Merges another accumulator of the same monoid into this one (the
+    /// associative ⊕ on partial states). Used to combine per-thread partial
+    /// aggregates after a morsel-parallel pipeline drains.
+    pub fn combine(&mut self, monoid: Monoid, other: Accumulator) -> Result<()> {
+        match (monoid, self, other) {
+            (Monoid::Sum, Accumulator::Float(a), Accumulator::Float(b)) => {
+                *a += b;
+                Ok(())
+            }
+            (Monoid::Count, Accumulator::Int(a), Accumulator::Int(b)) => {
+                *a += b;
+                Ok(())
+            }
+            (Monoid::Max | Monoid::Min, Accumulator::Extreme(a), Accumulator::Extreme(b)) => {
+                if let Some(value) = b {
+                    let replace = match a {
+                        None => true,
+                        Some(current) => {
+                            let ord = value.total_cmp(current);
+                            if monoid == Monoid::Max {
+                                ord == std::cmp::Ordering::Greater
+                            } else {
+                                ord == std::cmp::Ordering::Less
+                            }
+                        }
+                    };
+                    if replace {
+                        *a = Some(value);
+                    }
+                }
+                Ok(())
+            }
+            (
+                Monoid::Avg,
+                Accumulator::AvgState { sum, count },
+                Accumulator::AvgState { sum: s2, count: c2 },
+            ) => {
+                *sum += s2;
+                *count += c2;
+                Ok(())
+            }
+            (Monoid::And, Accumulator::Bool(a), Accumulator::Bool(b)) => {
+                *a = *a && b;
+                Ok(())
+            }
+            (Monoid::Or, Accumulator::Bool(a), Accumulator::Bool(b)) => {
+                *a = *a || b;
+                Ok(())
+            }
+            (Monoid::Set, Accumulator::Collection(items), Accumulator::Collection(other)) => {
+                for value in other {
+                    if !items.iter().any(|existing| existing.value_eq(&value)) {
+                        items.push(value);
+                    }
+                }
+                Ok(())
+            }
+            (
+                Monoid::Bag | Monoid::List,
+                Accumulator::Collection(items),
+                Accumulator::Collection(other),
+            ) => {
+                items.extend(other);
+                Ok(())
+            }
+            (m, acc, other) => Err(AlgebraError::InvalidPlan(format!(
+                "accumulator {acc:?} cannot combine with {other:?} under monoid {m}"
+            ))),
+        }
+    }
+
     /// Finalizes the accumulator into an output value.
     pub fn finish(self, monoid: Monoid) -> Value {
         match (monoid, self) {
@@ -249,7 +320,11 @@ mod tests {
 
     #[test]
     fn sum_over_ints_stays_integral() {
-        let v = fold_monoid(Monoid::Sum, vec![Value::Int(1), Value::Int(2), Value::Int(3)]).unwrap();
+        let v = fold_monoid(
+            Monoid::Sum,
+            vec![Value::Int(1), Value::Int(2), Value::Int(3)],
+        )
+        .unwrap();
         assert_eq!(v, Value::Int(6));
     }
 
@@ -272,7 +347,10 @@ mod tests {
     #[test]
     fn max_min_ignore_nulls() {
         let vals = vec![Value::Int(5), Value::Null, Value::Int(9), Value::Int(2)];
-        assert_eq!(fold_monoid(Monoid::Max, vals.clone()).unwrap(), Value::Int(9));
+        assert_eq!(
+            fold_monoid(Monoid::Max, vals.clone()).unwrap(),
+            Value::Int(9)
+        );
         assert_eq!(fold_monoid(Monoid::Min, vals).unwrap(), Value::Int(2));
     }
 
@@ -316,6 +394,57 @@ mod tests {
         assert_eq!(Monoid::parse("COUNT").unwrap(), Monoid::Count);
         assert_eq!(Monoid::parse("bag").unwrap(), Monoid::Bag);
         assert!(Monoid::parse("median").is_err());
+    }
+
+    #[test]
+    fn combine_matches_sequential_merge() {
+        for monoid in [
+            Monoid::Sum,
+            Monoid::Count,
+            Monoid::Max,
+            Monoid::Min,
+            Monoid::Avg,
+            Monoid::Bag,
+            Monoid::Set,
+            Monoid::List,
+        ] {
+            let values: Vec<Value> = (0..10).map(Value::Int).collect();
+            let sequential = fold_monoid(monoid, values.clone()).unwrap();
+
+            let mut left = Accumulator::zero(monoid);
+            let mut right = Accumulator::zero(monoid);
+            for v in &values[..4] {
+                left.merge(monoid, v.clone()).unwrap();
+            }
+            for v in &values[4..] {
+                right.merge(monoid, v.clone()).unwrap();
+            }
+            left.combine(monoid, right).unwrap();
+            assert_eq!(left.finish(monoid), sequential, "monoid {monoid}");
+        }
+    }
+
+    #[test]
+    fn combine_bool_monoids() {
+        for (monoid, inputs, expected) in [
+            (Monoid::And, vec![true, false], false),
+            (Monoid::Or, vec![false, true], true),
+        ] {
+            let mut left = Accumulator::zero(monoid);
+            let mut right = Accumulator::zero(monoid);
+            left.merge(monoid, Value::Bool(inputs[0])).unwrap();
+            right.merge(monoid, Value::Bool(inputs[1])).unwrap();
+            left.combine(monoid, right).unwrap();
+            assert_eq!(left.finish(monoid), Value::Bool(expected));
+        }
+    }
+
+    #[test]
+    fn combine_rejects_mismatched_states() {
+        let mut a = Accumulator::zero(Monoid::Sum);
+        assert!(a
+            .combine(Monoid::Sum, Accumulator::zero(Monoid::Count))
+            .is_err());
     }
 
     #[test]

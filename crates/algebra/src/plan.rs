@@ -196,7 +196,12 @@ impl LogicalPlan {
     }
 
     /// Groups the plan.
-    pub fn nest(self, group_by: Vec<Expr>, group_aliases: Vec<String>, outputs: Vec<ReduceSpec>) -> Self {
+    pub fn nest(
+        self,
+        group_by: Vec<Expr>,
+        group_aliases: Vec<String>,
+        outputs: Vec<ReduceSpec>,
+    ) -> Self {
         LogicalPlan::Nest {
             input: Box::new(self),
             group_by,
@@ -541,7 +546,11 @@ mod tests {
         let plan = lineitem_scan().nest(
             vec![Expr::path("l.l_orderkey")],
             vec!["k".into()],
-            vec![ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "s")],
+            vec![ReduceSpec::new(
+                Monoid::Sum,
+                Expr::path("l.l_quantity"),
+                "s",
+            )],
         );
         assert_eq!(plan.node_expressions().len(), 2);
     }

@@ -29,7 +29,9 @@ fn write_node(plan: &LogicalPlan, depth: usize, out: &mut String) {
         LogicalPlan::Select { predicate, .. } => {
             out.push_str(&format!("Select {predicate}"));
         }
-        LogicalPlan::Join { predicate, kind, .. } => {
+        LogicalPlan::Join {
+            predicate, kind, ..
+        } => {
             out.push_str(&format!("{kind} on {predicate}"));
         }
         LogicalPlan::Unnest {
@@ -45,7 +47,9 @@ fn write_node(plan: &LogicalPlan, depth: usize, out: &mut String) {
                 out.push_str(&format!(" where {p}"));
             }
         }
-        LogicalPlan::Reduce { outputs, predicate, .. } => {
+        LogicalPlan::Reduce {
+            outputs, predicate, ..
+        } => {
             let specs: Vec<String> = outputs.iter().map(|o| o.to_string()).collect();
             out.push_str(&format!("Reduce [{}]", specs.join(", ")));
             if let Some(p) = predicate {
@@ -60,7 +64,11 @@ fn write_node(plan: &LogicalPlan, depth: usize, out: &mut String) {
         } => {
             let keys: Vec<String> = group_by.iter().map(|g| g.to_string()).collect();
             let specs: Vec<String> = outputs.iter().map(|o| o.to_string()).collect();
-            out.push_str(&format!("Nest by [{}] compute [{}]", keys.join(", "), specs.join(", ")));
+            out.push_str(&format!(
+                "Nest by [{}] compute [{}]",
+                keys.join(", "),
+                specs.join(", ")
+            ));
             if let Some(p) = predicate {
                 out.push_str(&format!(" where {p}"));
             }

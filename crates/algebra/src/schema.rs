@@ -61,10 +61,7 @@ impl Schema {
     /// Convenience constructor from `(name, type)` pairs.
     pub fn from_pairs(pairs: Vec<(&str, DataType)>) -> Self {
         Schema {
-            fields: pairs
-                .into_iter()
-                .map(|(n, t)| Field::new(n, t))
-                .collect(),
+            fields: pairs.into_iter().map(|(n, t)| Field::new(n, t)).collect(),
         }
     }
 

@@ -175,9 +175,7 @@ fn parse_select_item(cur: &mut Cursor, index: usize) -> Result<SelectItem> {
     // Aggregate: AGG ( expr | * )
     if let (Some(Token::Ident(name)), Some(tok)) = (cur.peek(), cur.peek_ahead(1)) {
         let lname = name.to_ascii_lowercase();
-        if tok.is_symbol("(")
-            && ["count", "sum", "max", "min", "avg"].contains(&lname.as_str())
-        {
+        if tok.is_symbol("(") && ["count", "sum", "max", "min", "avg"].contains(&lname.as_str()) {
             let monoid = Monoid::parse(&lname)?;
             cur.next(); // aggregate name
             cur.next(); // '('
@@ -362,10 +360,7 @@ fn parse_primary(cur: &mut Cursor) -> Result<Expr> {
                 segments.push(cur.expect_ident()?);
             }
             let base = segments.remove(0);
-            Ok(Expr::Path(Path {
-                base,
-                segments,
-            }))
+            Ok(Expr::Path(Path { base, segments }))
         }
         other => Err(AlgebraError::Parse(format!(
             "unexpected token in expression: {other:?}"
@@ -421,9 +416,9 @@ pub fn sql_to_plan(query: &SqlQuery, schemas: &dyn SchemaProvider) -> Result<Log
                     match prefix_owner {
                         Some((_, alias, _)) => alias.clone(),
                         None => {
-                            *failure.borrow_mut() = Some(AlgebraError::UnknownField(
-                                format!("cannot resolve column {column}"),
-                            ));
+                            *failure.borrow_mut() = Some(AlgebraError::UnknownField(format!(
+                                "cannot resolve column {column}"
+                            )));
                             return p.clone();
                         }
                     }
@@ -467,11 +462,7 @@ pub fn sql_to_plan(query: &SqlQuery, schemas: &dyn SchemaProvider) -> Result<Log
         plan = plan.select(resolve(pred)?);
     }
 
-    let group_by: Vec<Expr> = query
-        .group_by
-        .iter()
-        .map(|g| resolve(g))
-        .collect::<Result<_>>()?;
+    let group_by: Vec<Expr> = query.group_by.iter().map(&resolve).collect::<Result<_>>()?;
 
     let mut aggregates = Vec::new();
     let mut plain = Vec::new();
@@ -549,10 +540,8 @@ mod tests {
 
     #[test]
     fn parse_projection_template() {
-        let q = parse_sql(
-            "SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 100",
-        )
-        .unwrap();
+        let q = parse_sql("SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 100")
+            .unwrap();
         assert_eq!(q.select.len(), 2);
         assert_eq!(q.from.table, "lineitem");
         assert!(q.where_clause.is_some());
@@ -645,7 +634,7 @@ mod tests {
     }
 
     #[test]
-    fn trailing_garbage_is_rejected(){
+    fn trailing_garbage_is_rejected() {
         assert!(parse_sql("SELECT COUNT(*) FROM t WHERE a < 1 banana").is_err());
     }
 

@@ -118,9 +118,8 @@ pub fn comprehension_to_plan(
         }
     }
 
-    let mut plan = plan.ok_or_else(|| {
-        AlgebraError::InvalidPlan("comprehension has no generators".to_string())
-    })?;
+    let mut plan = plan
+        .ok_or_else(|| AlgebraError::InvalidPlan("comprehension has no generators".to_string()))?;
 
     // Constant predicates gate the whole query; apply them on top of the
     // first scan (they are cheap and evaluated once per tuple anyway).
@@ -227,7 +226,10 @@ mod tests {
                 saw_join_with_predicate = *predicate != Expr::boolean(true);
             }
         });
-        assert!(saw_join_with_predicate, "equi-predicate should move into the join");
+        assert!(
+            saw_join_with_predicate,
+            "equi-predicate should move into the join"
+        );
     }
 
     #[test]

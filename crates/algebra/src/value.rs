@@ -127,7 +127,10 @@ impl Value {
     /// Shorthand record constructor.
     pub fn record(fields: Vec<(&str, Value)>) -> Value {
         Value::Record(Record::new(
-            fields.into_iter().map(|(n, v)| (n.to_string(), v)).collect(),
+            fields
+                .into_iter()
+                .map(|(n, v)| (n.to_string(), v))
+                .collect(),
         ))
     }
 
@@ -436,19 +439,13 @@ mod tests {
     fn numeric_equality_crosses_int_float() {
         assert!(Value::Int(3).value_eq(&Value::Float(3.0)));
         assert!(!Value::Int(3).value_eq(&Value::Float(3.5)));
-        assert_eq!(
-            Value::Int(3).stable_hash(),
-            Value::Float(3.0).stable_hash()
-        );
+        assert_eq!(Value::Int(3).stable_hash(), Value::Float(3.0).stable_hash());
     }
 
     #[test]
     fn total_cmp_orders_numbers_and_strings() {
         assert_eq!(Value::Int(1).total_cmp(&Value::Int(2)), Ordering::Less);
-        assert_eq!(
-            Value::str("a").total_cmp(&Value::str("b")),
-            Ordering::Less
-        );
+        assert_eq!(Value::str("a").total_cmp(&Value::str("b")), Ordering::Less);
         assert_eq!(Value::Null.total_cmp(&Value::Int(0)), Ordering::Less);
     }
 
@@ -467,8 +464,8 @@ mod tests {
     #[test]
     fn coercions() {
         assert_eq!(Value::Int(5).as_float().unwrap(), 5.0);
-        assert_eq!(Value::Bool(true).as_bool().unwrap(), true);
-        assert_eq!(Value::Null.as_bool().unwrap(), false);
+        assert!(Value::Bool(true).as_bool().unwrap());
+        assert!(!Value::Null.as_bool().unwrap());
         assert!(Value::str("x").as_int().is_err());
     }
 
@@ -500,7 +497,10 @@ mod tests {
     #[test]
     fn record_merge_overwrites() {
         let mut a = Record::new(vec![("x".into(), Value::Int(1))]);
-        let b = Record::new(vec![("x".into(), Value::Int(2)), ("y".into(), Value::Int(3))]);
+        let b = Record::new(vec![
+            ("x".into(), Value::Int(2)),
+            ("y".into(), Value::Int(3)),
+        ]);
         a.merge(b);
         assert_eq!(a.get("x"), Some(&Value::Int(2)));
         assert_eq!(a.get("y"), Some(&Value::Int(3)));

@@ -18,9 +18,7 @@ use std::time::Instant;
 
 use proteus_algebra::expr::Env;
 use proteus_algebra::monoid::Accumulator;
-use proteus_algebra::{
-    AlgebraError, BinaryOp, Expr, LogicalPlan, Record, ReduceSpec, Value,
-};
+use proteus_algebra::{AlgebraError, BinaryOp, Expr, LogicalPlan, Record, ReduceSpec, Value};
 use proteus_storage::ColumnData;
 
 use crate::common::{BaselineEngine, LoadReport};
@@ -108,21 +106,27 @@ impl ColumnStoreEngine {
         // Optionally sort rows on the load key.
         let mut rows = rows;
         let sort_key = if self.sorted {
-            let key = sort_key
-                .map(|s| s.to_string())
-                .or_else(|| {
-                    rows.first().and_then(|r| {
-                        r.as_record().ok().and_then(|rec| {
-                            rec.iter()
-                                .find(|(_, v)| v.is_numeric())
-                                .map(|(n, _)| n.to_string())
-                        })
+            let key = sort_key.map(|s| s.to_string()).or_else(|| {
+                rows.first().and_then(|r| {
+                    r.as_record().ok().and_then(|rec| {
+                        rec.iter()
+                            .find(|(_, v)| v.is_numeric())
+                            .map(|(n, _)| n.to_string())
                     })
-                });
+                })
+            });
             if let Some(key) = &key {
                 rows.sort_by(|a, b| {
-                    let av = a.as_record().ok().and_then(|r| r.get(key).cloned()).unwrap_or(Value::Null);
-                    let bv = b.as_record().ok().and_then(|r| r.get(key).cloned()).unwrap_or(Value::Null);
+                    let av = a
+                        .as_record()
+                        .ok()
+                        .and_then(|r| r.get(key).cloned())
+                        .unwrap_or(Value::Null);
+                    let bv = b
+                        .as_record()
+                        .ok()
+                        .and_then(|r| r.get(key).cloned())
+                        .unwrap_or(Value::Null);
                     av.total_cmp(&bv)
                 });
             }
@@ -212,7 +216,10 @@ impl ColumnStoreEngine {
                     // qualifying range instead of scanning (DBMS C).
                     if self.sorted
                         && table.sort_key.as_deref() == Some(field.as_str())
-                        && matches!(op, BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge)
+                        && matches!(
+                            op,
+                            BinaryOp::Lt | BinaryOp::Le | BinaryOp::Gt | BinaryOp::Ge
+                        )
                         && indices.len() == table.row_count
                     {
                         next = skip_scan_range(column, op, &literal);
@@ -310,7 +317,7 @@ impl ColumnStoreEngine {
         values_per_output: Vec<Vec<Value>>,
     ) -> Result<Value, AlgebraError> {
         let mut record = Record::empty();
-        for (spec, values) in outputs.iter().zip(values_per_output.into_iter()) {
+        for (spec, values) in outputs.iter().zip(values_per_output) {
             let mut acc = Accumulator::zero(spec.monoid);
             for value in values {
                 acc.merge(spec.monoid, value)?;
@@ -414,7 +421,6 @@ fn skip_scan_range(column: &ColumnData, op: BinaryOp, literal: &Value) -> Vec<us
     }
 }
 
-
 /// True when the subtree is a chain of selections over a single scan — the
 /// shape the columnar kernels handle natively.
 fn is_scan_select_chain(plan: &LogicalPlan) -> bool {
@@ -494,7 +500,10 @@ impl BaselineEngine for ColumnStoreEngine {
                         None => {
                             groups.push((
                                 key.clone(),
-                                outputs.iter().map(|o| Accumulator::zero(o.monoid)).collect(),
+                                outputs
+                                    .iter()
+                                    .map(|o| Accumulator::zero(o.monoid))
+                                    .collect(),
                             ));
                             &mut groups.last_mut().unwrap().1
                         }
@@ -516,7 +525,7 @@ impl BaselineEngine for ColumnStoreEngine {
                                 .unwrap_or_else(|| format!("key{i}"));
                             record.set(name, k);
                         }
-                        for (spec, acc) in outputs.iter().zip(accumulators.into_iter()) {
+                        for (spec, acc) in outputs.iter().zip(accumulators) {
                             record.set(spec.alias.clone(), acc.finish(spec.monoid));
                         }
                         Value::Record(record)
@@ -677,7 +686,8 @@ mod tests {
     #[test]
     fn unknown_dataset_is_error() {
         let engine = ColumnStoreEngine::monetdb_like();
-        let plan = scan("ghost", "g").reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
+        let plan =
+            scan("ghost", "g").reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
         assert!(engine.execute(&plan).is_err());
     }
 }

@@ -78,7 +78,8 @@ pub fn parse_json_dataset(data: &[u8]) -> Result<Vec<Value>, AlgebraError> {
     let mut rows = Vec::with_capacity(index.object_count());
     for object in &index.objects {
         let slice = &data[object.start as usize..object.end as usize];
-        let value = parse_json_value(slice).map_err(|e| AlgebraError::Parse(format!("json: {e}")))?;
+        let value =
+            parse_json_value(slice).map_err(|e| AlgebraError::Parse(format!("json: {e}")))?;
         rows.push(value);
     }
     Ok(rows)
@@ -147,7 +148,10 @@ pub fn volcano_bindings(
                     let mut table: HashMap<u64, Vec<Env>> = HashMap::new();
                     for env in &left_envs {
                         let key = lkey.eval(env)?;
-                        table.entry(key.stable_hash()).or_default().push(env.clone());
+                        table
+                            .entry(key.stable_hash())
+                            .or_default()
+                            .push(env.clone());
                     }
                     for renv in &right_envs {
                         let key = rkey.eval(renv)?;
@@ -284,8 +288,10 @@ pub fn finalize_aggregation(
         LogicalPlan::Reduce {
             outputs, predicate, ..
         } => {
-            let mut accumulators: Vec<Accumulator> =
-                outputs.iter().map(|o| Accumulator::zero(o.monoid)).collect();
+            let mut accumulators: Vec<Accumulator> = outputs
+                .iter()
+                .map(|o| Accumulator::zero(o.monoid))
+                .collect();
             for env in &bindings {
                 if let Some(pred) = predicate {
                     if !pred.eval(env)?.as_bool()? {
@@ -297,7 +303,7 @@ pub fn finalize_aggregation(
                 }
             }
             let mut record = proteus_algebra::Record::empty();
-            for (spec, acc) in outputs.iter().zip(accumulators.into_iter()) {
+            for (spec, acc) in outputs.iter().zip(accumulators) {
                 record.set(spec.alias.clone(), acc.finish(spec.monoid));
             }
             Ok(vec![Value::Record(record)])
@@ -328,7 +334,10 @@ pub fn finalize_aggregation(
                     None => {
                         groups.push((
                             key.clone(),
-                            outputs.iter().map(|o| Accumulator::zero(o.monoid)).collect(),
+                            outputs
+                                .iter()
+                                .map(|o| Accumulator::zero(o.monoid))
+                                .collect(),
                         ));
                         &mut groups.last_mut().unwrap().1
                     }
@@ -347,7 +356,7 @@ pub fn finalize_aggregation(
                         .unwrap_or_else(|| format!("key{i}"));
                     record.set(name, k);
                 }
-                for (spec, acc) in outputs.iter().zip(accumulators.into_iter()) {
+                for (spec, acc) in outputs.iter().zip(accumulators) {
                     record.set(spec.alias.clone(), acc.finish(spec.monoid));
                 }
                 rows.push(Value::Record(record));
@@ -359,7 +368,10 @@ pub fn finalize_aggregation(
             .map(|env| {
                 let mut record = proteus_algebra::Record::empty();
                 for name in env.names() {
-                    record.set(name.to_string(), env.get(name).cloned().unwrap_or(Value::Null));
+                    record.set(
+                        name.to_string(),
+                        env.get(name).cloned().unwrap_or(Value::Null),
+                    );
                 }
                 Value::Record(record)
             })

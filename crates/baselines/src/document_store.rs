@@ -137,11 +137,15 @@ mod tests {
         let mut engine = DocumentStoreEngine::new();
         engine.load(
             "a",
-            (0..20).map(|i| Value::record(vec![("k", Value::Int(i))])).collect(),
+            (0..20)
+                .map(|i| Value::record(vec![("k", Value::Int(i))]))
+                .collect(),
         );
         engine.load(
             "b",
-            (0..20).map(|i| Value::record(vec![("k", Value::Int(i % 5))])).collect(),
+            (0..20)
+                .map(|i| Value::record(vec![("k", Value::Int(i % 5))]))
+                .collect(),
         );
         let plan = scan("a", "a")
             .join(
@@ -151,13 +155,17 @@ mod tests {
             )
             .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
         let out = engine.execute(&plan).unwrap();
-        assert_eq!(out[0].as_record().unwrap().get("cnt"), Some(&Value::Int(20)));
+        assert_eq!(
+            out[0].as_record().unwrap().get("cnt"),
+            Some(&Value::Int(20))
+        );
     }
 
     #[test]
     fn missing_collection_is_error() {
         let engine = DocumentStoreEngine::new();
-        let plan = scan("ghost", "g").reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
+        let plan =
+            scan("ghost", "g").reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
         assert!(engine.execute(&plan).is_err());
     }
 }

@@ -208,13 +208,19 @@ mod tests {
             .select(Expr::path("c.score").gt(Expr::int(5)))
             .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
         let out = m.execute(&relational).unwrap();
-        assert_eq!(out[0].as_record().unwrap().get("cnt"), Some(&Value::Int(40)));
+        assert_eq!(
+            out[0].as_record().unwrap().get("cnt"),
+            Some(&Value::Int(40))
+        );
 
         let documents = scan("spam", "s")
             .select(Expr::path("s.mail_id").lt(Expr::int(10)))
             .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
         let out = m.execute(&documents).unwrap();
-        assert_eq!(out[0].as_record().unwrap().get("cnt"), Some(&Value::Int(10)));
+        assert_eq!(
+            out[0].as_record().unwrap().get("cnt"),
+            Some(&Value::Int(10))
+        );
         // No cross-engine exchange happened.
         assert_eq!(m.middleware_time(), Duration::ZERO);
     }
@@ -230,7 +236,10 @@ mod tests {
             )
             .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
         let out = m.execute(&plan).unwrap();
-        assert_eq!(out[0].as_record().unwrap().get("cnt"), Some(&Value::Int(50)));
+        assert_eq!(
+            out[0].as_record().unwrap().get("cnt"),
+            Some(&Value::Int(50))
+        );
     }
 
     #[test]

@@ -198,10 +198,7 @@ mod tests {
         assert_eq!(report.rows, 2);
         let plan = count(scan("events", "e").select(Expr::path("e.x").lt(Expr::int(3))));
         let out = engine.execute(&plan).unwrap();
-        assert_eq!(
-            out[0].as_record().unwrap().get("cnt"),
-            Some(&Value::Int(1))
-        );
+        assert_eq!(out[0].as_record().unwrap().get("cnt"), Some(&Value::Int(1)));
     }
 
     #[test]

@@ -15,8 +15,14 @@ fn main() {
         "template", "selectivity", "baseline ms", "cached ms", "speedup"
     );
     for (name, template) in [
-        ("projection (4 agg)", QueryTemplate::Projection { aggregates: 4 }),
-        ("selection (4 pred)", QueryTemplate::Selection { predicates: 4 }),
+        (
+            "projection (4 agg)",
+            QueryTemplate::Projection { aggregates: 4 },
+        ),
+        (
+            "selection (4 pred)",
+            QueryTemplate::Selection { predicates: 4 },
+        ),
     ] {
         for pct in [10u32, 20, 50, 100] {
             let plan = template.plan(setup.threshold(pct));

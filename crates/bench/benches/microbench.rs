@@ -90,7 +90,10 @@ fn bench_query_compilation(c: &mut Criterion) {
                 .len()
         })
     });
-    let _ = (Schema::empty(), ReduceSpec::new(Monoid::Count, Expr::int(1), "c"));
+    let _ = (
+        Schema::empty(),
+        ReduceSpec::new(Monoid::Count, Expr::int(1), "c"),
+    );
 }
 
 fn bytes_from(data: Vec<u8>) -> bytes::Bytes {

@@ -38,7 +38,7 @@ fn workload_query(q: usize, spam_count: i64) -> LogicalPlan {
     match QueryGroup::of_query(q) {
         QueryGroup::Bin => {
             let filtered = history.select(Expr::path("h.occurrences").lt(Expr::int(5 + sel * 20)));
-            if q % 2 == 0 {
+            if q.is_multiple_of(2) {
                 filtered.nest(
                     vec![Expr::path("h.dominant_bot")],
                     vec!["bot".into()],
@@ -63,7 +63,7 @@ fn workload_query(q: usize, spam_count: i64) -> LogicalPlan {
                     expr: Box::new(Expr::path("c.label")),
                     needle: "phishing".into(),
                 }))
-            } else if q % 2 == 0 {
+            } else if q.is_multiple_of(2) {
                 filtered.nest(
                     vec![Expr::path("c.malware_class")],
                     vec!["class".into()],
@@ -75,7 +75,7 @@ fn workload_query(q: usize, spam_count: i64) -> LogicalPlan {
         }
         QueryGroup::Json => {
             let filtered = spam.select(Expr::path("s.mail_id").lt(Expr::int(spam_threshold)));
-            if q % 3 == 0 {
+            if q.is_multiple_of(3) {
                 // Unnest of the per-classifier label arrays.
                 count(
                     filtered
@@ -168,8 +168,12 @@ fn main() {
         '|',
     )
     .unwrap();
-    writers::write_column_table(dir.join("history_cols"), &history, &SymantecGenerator::history_schema())
-        .unwrap();
+    writers::write_column_table(
+        dir.join("history_cols"),
+        &history,
+        &SymantecGenerator::history_schema(),
+    )
+    .unwrap();
     let spam_json = std::fs::read(dir.join("spam.json")).unwrap();
 
     // --- Approach I: RDBMS with JSON support (loads CSV + JSON up front). ---
@@ -194,7 +198,9 @@ fn main() {
 
     // --- Approach III: Proteus (queries the raw files in place, caching on). ---
     let proteus = QueryEngine::new(EngineConfig::default());
-    proteus.register_columns("history", dir.join("history_cols")).unwrap();
+    proteus
+        .register_columns("history", dir.join("history_cols"))
+        .unwrap();
     proteus
         .register_csv(
             "classifications",
@@ -203,7 +209,9 @@ fn main() {
             proteus_plugins::csv::CsvOptions::default(),
         )
         .unwrap();
-    proteus.register_json("spam", dir.join("spam.json")).unwrap();
+    proteus
+        .register_json("spam", dir.join("spam.json"))
+        .unwrap();
 
     println!("=== Figure 14: Symantec-like spam workload ({} spam objects, {} CSV rows, {} binary rows) ===",
         spam.len(), classifications.len(), history.len());
@@ -226,11 +234,20 @@ fn main() {
         let t_poly = start.elapsed();
 
         let start = Instant::now();
-        let proteus_rows = proteus.execute_plan(plan).expect("proteus query failed").rows;
+        let proteus_rows = proteus
+            .execute_plan(plan)
+            .expect("proteus query failed")
+            .rows;
         let t_proteus = start.elapsed();
 
-        assert!(agree(checksum(&rdbms_rows), checksum(&proteus_rows)), "Q{q} mismatch (rdbms)");
-        assert!(agree(checksum(&poly_rows), checksum(&proteus_rows)), "Q{q} mismatch (polystore)");
+        assert!(
+            agree(checksum(&rdbms_rows), checksum(&proteus_rows)),
+            "Q{q} mismatch (rdbms)"
+        );
+        assert!(
+            agree(checksum(&poly_rows), checksum(&proteus_rows)),
+            "Q{q} mismatch (polystore)"
+        );
 
         totals[0] += t_rdbms;
         totals[1] += t_poly;

@@ -15,9 +15,11 @@ fn main() {
     // --- Structural index sizes. ---
     let json_raw = std::fs::read(setup.dir.join("lineitem.json")).unwrap();
     let start = Instant::now();
-    let json_plugin =
-        proteus_plugins::json::JsonPlugin::from_bytes("lineitem", bytes::Bytes::from(json_raw.clone()))
-            .unwrap();
+    let json_plugin = proteus_plugins::json::JsonPlugin::from_bytes(
+        "lineitem",
+        bytes::Bytes::from(json_raw.clone()),
+    )
+    .unwrap();
     let json_index_time = start.elapsed();
     let json_index = json_plugin.structural_index();
 
@@ -73,7 +75,9 @@ fn main() {
         QueryTemplate::Join { aggregates: 3 },
         QueryTemplate::GroupBy { aggregates: 4 },
     ] {
-        let result = engine.execute_plan(template.plan(setup.threshold(20))).unwrap();
+        let result = engine
+            .execute_plan(template.plan(setup.threshold(20)))
+            .unwrap();
         worst = worst.max(result.metrics.compile_time);
     }
     println!(
@@ -83,7 +87,11 @@ fn main() {
 
     // --- Join micro-analysis proxies (paper: dTLB/LLC misses, branches). ---
     let plan = QueryTemplate::Join { aggregates: 1 }.plan(setup.threshold(20));
-    let proteus_metrics = setup.proteus_binary().execute_plan(plan.clone()).unwrap().metrics;
+    let proteus_metrics = setup
+        .proteus_binary()
+        .execute_plan(plan.clone())
+        .unwrap()
+        .metrics;
     println!("\n=== Join micro-analysis proxies (20% selectivity, binary data) ===");
     println!(
         "Proteus:     intermediates={} predicate_evals={} hash_probes={}",

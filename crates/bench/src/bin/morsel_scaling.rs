@@ -1,0 +1,147 @@
+//! Morsel-parallel scaling microbenchmark: fig07-style selections and
+//! fig11-style group-bys over binary columns, swept across worker counts.
+//!
+//! Prints rows/sec per thread count and emits `BENCH_morsel_scaling.json`.
+//! Also reports the per-tuple allocation counter: the steady-state scan path
+//! must show `binding_allocs = 0`.
+//!
+//! Knobs: `PROTEUS_SCALING_ROWS` (default 2_000_000),
+//! `PROTEUS_SCALING_THREADS` (comma list, default "1,2,4,8").
+
+use std::time::Instant;
+
+use proteus_algebra::LogicalPlan;
+use proteus_bench::harness::{emit_bench_json, BenchRow, QueryTemplate};
+use proteus_core::{EngineConfig, QueryEngine};
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_storage::ColumnData;
+
+fn synthetic_lineitem(rows: usize) -> ColumnPlugin {
+    let n = rows as i64;
+    ColumnPlugin::from_pairs(
+        "lineitem",
+        vec![
+            (
+                "l_orderkey".to_string(),
+                ColumnData::Int((0..n).map(|i| i % (n / 4).max(1)).collect()),
+            ),
+            (
+                "l_linenumber".to_string(),
+                ColumnData::Int((0..n).map(|i| i % 7).collect()),
+            ),
+            (
+                "l_quantity".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 50) as f64).collect()),
+            ),
+            (
+                "l_extendedprice".to_string(),
+                ColumnData::Float((0..n).map(|i| ((i % 997) as f64) * 1.37).collect()),
+            ),
+            (
+                "l_discount".to_string(),
+                ColumnData::Float((0..n).map(|i| ((i % 11) as f64) / 100.0).collect()),
+            ),
+            (
+                "l_tax".to_string(),
+                ColumnData::Float((0..n).map(|i| ((i % 9) as f64) / 100.0).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic columns")
+}
+
+fn engine_with(plugin: &ColumnPlugin, parallelism: usize) -> QueryEngine {
+    let engine = QueryEngine::new(EngineConfig::without_caching().with_parallelism(parallelism));
+    engine.register_plugin(std::sync::Arc::new(plugin.clone()));
+    engine
+}
+
+fn best_of(engine: &QueryEngine, plan: &LogicalPlan, reps: usize) -> (f64, u64, u64) {
+    let mut best = f64::INFINITY;
+    let mut allocs = 0;
+    let mut morsels = 0;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = engine.execute_plan(plan.clone()).expect("query failed");
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        allocs = result.metrics.binding_allocs;
+        morsels = result.metrics.morsels;
+    }
+    (best, allocs, morsels)
+}
+
+fn main() {
+    let rows: usize = std::env::var("PROTEUS_SCALING_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let threads: Vec<usize> = std::env::var("PROTEUS_SCALING_THREADS")
+        .unwrap_or_else(|_| "1,2,4,8".to_string())
+        .split(',')
+        .filter_map(|t| t.trim().parse().ok())
+        .collect();
+
+    println!("generating {rows} synthetic lineitem rows (binary columns)...");
+    let plugin = synthetic_lineitem(rows);
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    println!("host CPUs: {cpus}\n");
+
+    let workloads = [
+        (
+            "fig07-selection-3pred",
+            QueryTemplate::Selection { predicates: 3 },
+        ),
+        (
+            "fig11-groupby-2agg",
+            QueryTemplate::GroupBy { aggregates: 2 },
+        ),
+    ];
+
+    let mut report: Vec<BenchRow> = Vec::new();
+    for (label, template) in workloads {
+        let plan = template.plan((rows as i64 / 8).max(1));
+        println!("--- {label} ---");
+        let mut serial_rate = 0.0f64;
+        for &t in &threads {
+            let engine = engine_with(&plugin, t);
+            let (secs, allocs, morsels) = best_of(&engine, &plan, 3);
+            let rate = rows as f64 / secs;
+            if t == 1 {
+                serial_rate = rate;
+            }
+            let speedup = if serial_rate > 0.0 {
+                rate / serial_rate
+            } else {
+                1.0
+            };
+            println!(
+                "threads={t:<2} {:>12.0} rows/s  speedup={speedup:>5.2}x  morsels={morsels}  per-tuple allocs={allocs}",
+                rate
+            );
+            assert_eq!(
+                allocs, 0,
+                "steady-state scan path must not allocate per tuple"
+            );
+            report.push(BenchRow {
+                engine: format!("proteus-{t}t"),
+                template: label.to_string(),
+                selectivity_pct: 100,
+                millis: secs * 1e3,
+                rows_per_sec: rate,
+            });
+        }
+        println!();
+    }
+    emit_bench_json("morsel scaling", rows, &report);
+    if cpus < 4 {
+        println!(
+            "note: only {cpus} CPU(s) visible — thread counts above {cpus} cannot show wall-clock \
+             speedup on this host; re-run on a multi-core machine for the scaling curve."
+        );
+    }
+}

@@ -5,9 +5,7 @@ use std::path::PathBuf;
 use std::time::{Duration, Instant};
 
 use proteus_algebra::{Expr, JoinKind, LogicalPlan, Monoid, Path, ReduceSpec, Schema, Value};
-use proteus_baselines::{
-    BaselineEngine, ColumnStoreEngine, DocumentStoreEngine, RowStoreEngine,
-};
+use proteus_baselines::{BaselineEngine, ColumnStoreEngine, DocumentStoreEngine, RowStoreEngine};
 use proteus_core::{EngineConfig, QueryEngine};
 use proteus_datagen::tpch::{TpchGenerator, TpchScale};
 use proteus_datagen::writers;
@@ -155,16 +153,18 @@ impl QueryTemplate {
                 .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]),
             QueryTemplate::GroupBy { aggregates } => {
                 let outputs = projection_aggregates(*aggregates);
-                lineitem
-                    .select(key_filter)
-                    .nest(vec![Expr::path("l.l_linenumber")], vec!["line".into()], outputs)
+                lineitem.select(key_filter).nest(
+                    vec![Expr::path("l.l_linenumber")],
+                    vec!["line".into()],
+                    outputs,
+                )
             }
         }
     }
 }
 
 fn projection_aggregates(count: usize) -> Vec<ReduceSpec> {
-    let all = vec![
+    let all = [
         ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
         ReduceSpec::new(Monoid::Max, Expr::path("l.l_quantity"), "max_qty"),
         ReduceSpec::new(Monoid::Sum, Expr::path("l.l_extendedprice"), "sum_price"),
@@ -237,6 +237,16 @@ impl BenchSetup {
     /// The `l_orderkey < X` literal for a selectivity percentage.
     pub fn threshold(&self, selectivity_pct: u32) -> i64 {
         ((self.order_count as f64) * (selectivity_pct as f64 / 100.0)).ceil() as i64
+    }
+
+    /// Input rows a template actually scans (the denominator for the
+    /// `rows_per_sec` column of the emitted `BENCH_*.json` reports).
+    pub fn input_rows(&self, template: &QueryTemplate) -> usize {
+        match template {
+            QueryTemplate::Unnest => self.denormalized.len(),
+            QueryTemplate::Join { .. } => self.orders.len() + self.lineitems.len(),
+            _ => self.lineitems.len(),
+        }
     }
 
     /// A Proteus engine over the JSON representation.
@@ -335,7 +345,9 @@ pub fn time_engine(
                 setup.proteus_binary()
             };
             let start = Instant::now();
-            let result = engine.execute_plan(plan.clone()).expect("proteus query failed");
+            let result = engine
+                .execute_plan(plan.clone())
+                .expect("proteus query failed");
             (start.elapsed(), checksum(&result.rows))
         }
         other => {
@@ -373,8 +385,83 @@ pub fn checksums_agree(a: f64, b: f64) -> bool {
     (a - b).abs() <= 1e-6 * scale
 }
 
+/// One measured data point of a figure, serialized into the `BENCH_*.json`
+/// reports so the performance trajectory is machine-trackable across PRs.
+#[derive(Debug, Clone)]
+pub struct BenchRow {
+    /// Engine label.
+    pub engine: String,
+    /// Query template label.
+    pub template: String,
+    /// Selectivity knob (percent of the key domain).
+    pub selectivity_pct: u32,
+    /// Wall-clock milliseconds.
+    pub millis: f64,
+    /// Input tuples per second (lineitem rows / elapsed).
+    pub rows_per_sec: f64,
+}
+
+/// Writes a figure's data points as `BENCH_<slug>.json` in
+/// `PROTEUS_BENCH_DIR` (default: the workspace root, so every bench target
+/// and bin writes to one stable location regardless of its CWD). Plain
+/// hand-rolled JSON — the environment is offline, and the schema is four
+/// scalars per row.
+pub fn emit_bench_json(title: &str, dataset_rows: usize, rows: &[BenchRow]) {
+    fn json_escape(s: &str) -> String {
+        s.chars()
+            .flat_map(|c| match c {
+                '"' => "\\\"".chars().collect::<Vec<_>>(),
+                '\\' => "\\\\".chars().collect(),
+                c if (c as u32) < 0x20 => format!("\\u{:04x}", c as u32).chars().collect(),
+                c => vec![c],
+            })
+            .collect()
+    }
+
+    let slug: String = title
+        .to_ascii_lowercase()
+        .chars()
+        .map(|c| if c.is_ascii_alphanumeric() { c } else { '_' })
+        .collect::<String>()
+        .split('_')
+        .filter(|s| !s.is_empty())
+        .collect::<Vec<_>>()
+        .join("_");
+    // crates/bench/ -> workspace root is two levels up.
+    let dir = std::env::var("PROTEUS_BENCH_DIR").unwrap_or_else(|_| {
+        std::path::Path::new(env!("CARGO_MANIFEST_DIR"))
+            .ancestors()
+            .nth(2)
+            .map(|p| p.to_string_lossy().into_owned())
+            .unwrap_or_else(|| ".".to_string())
+    });
+    let path = std::path::Path::new(&dir).join(format!("BENCH_{slug}.json"));
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(title)));
+    out.push_str(&format!("  \"dataset_rows\": {dataset_rows},\n"));
+    out.push_str("  \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"engine\": \"{}\", \"template\": \"{}\", \"selectivity_pct\": {}, \"millis\": {:.4}, \"rows_per_sec\": {:.1}}}{}\n",
+            json_escape(&row.engine),
+            json_escape(&row.template),
+            row.selectivity_pct,
+            row.millis,
+            row.rows_per_sec,
+            if i + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    if let Err(error) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {error}", path.display());
+    } else {
+        println!("wrote {}", path.display());
+    }
+}
+
 /// Runs one full figure: every engine × template × selectivity, printing the
-/// same series the paper plots and asserting cross-engine agreement.
+/// same series the paper plots, asserting cross-engine agreement, and
+/// emitting a machine-readable `BENCH_<figure>.json` report.
 pub fn run_figure(
     title: &str,
     templates: &[QueryTemplate],
@@ -383,7 +470,11 @@ pub fn run_figure(
     selectivities: &[u32],
 ) {
     let setup = BenchSetup::tpch(default_scale());
-    println!("\n=== {title} (orders={}, lineitems={}) ===", setup.orders.len(), setup.lineitems.len());
+    println!(
+        "\n=== {title} (orders={}, lineitems={}) ===",
+        setup.orders.len(),
+        setup.lineitems.len()
+    );
     let mut header = format!("{:<20}", "engine");
     for template in templates {
         for pct in selectivities {
@@ -391,6 +482,7 @@ pub fn run_figure(
         }
     }
     println!("{header}");
+    let mut report: Vec<BenchRow> = Vec::new();
     for kind in engines {
         let mut line = format!("{:<20}", kind.label());
         for template in templates {
@@ -417,10 +509,19 @@ pub fn run_figure(
                     reference
                 );
                 line.push_str(&format!("{:>15.2} ms", elapsed.as_secs_f64() * 1e3));
+                report.push(BenchRow {
+                    engine: kind.label().to_string(),
+                    template: template.label(),
+                    selectivity_pct: *pct,
+                    millis: elapsed.as_secs_f64() * 1e3,
+                    rows_per_sec: setup.input_rows(template) as f64
+                        / elapsed.as_secs_f64().max(1e-9),
+                });
             }
         }
         println!("{line}");
     }
+    emit_bench_json(title, setup.lineitems.len(), &report);
 }
 
 /// Default scale for bench targets (kept small so `cargo bench` is quick);

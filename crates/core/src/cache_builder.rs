@@ -245,7 +245,13 @@ mod tests {
         builder.observe(1, &[Value::Float(2.5)]);
         let name = builder.finish(&store).unwrap();
         let entry = store.get(&name).unwrap();
-        assert_eq!(entry.column("x").unwrap().value_at(0), Some(Value::Float(0.0)));
-        assert_eq!(entry.column("x").unwrap().value_at(1), Some(Value::Float(2.5)));
+        assert_eq!(
+            entry.column("x").unwrap().value_at(0),
+            Some(Value::Float(0.0))
+        );
+        assert_eq!(
+            entry.column("x").unwrap().value_at(1),
+            Some(Value::Float(2.5))
+        );
     }
 }

@@ -1,0 +1,277 @@
+//! Reusable binding batches: the unit of morsel-at-a-time execution.
+//!
+//! A [`BindingBatch`] is a row-major buffer of `rows × width` values plus a
+//! *selection vector*. Operators fill a batch once per morsel and then only
+//! shrink the selection (filters) or produce into a second reusable batch
+//! (unnest, join probe) — the steady-state scan path performs **zero
+//! per-tuple heap allocations**: the backing storage is recycled across
+//! morsels and only grows on first use (or on unnest/join fan-out beyond any
+//! previously seen batch size).
+
+use proteus_algebra::Value;
+
+/// Number of tuples per morsel. Chosen so a morsel of a few projected
+/// columns stays comfortably inside L2 while amortizing per-morsel overhead
+/// (accessor dispatch, selection resets, work-queue claims).
+pub const MORSEL_SIZE: usize = 1024;
+
+/// A reusable, selectively-consumed batch of bindings.
+#[derive(Debug, Default)]
+pub struct BindingBatch {
+    width: usize,
+    rows: usize,
+    data: Vec<Value>,
+    sel: Vec<u32>,
+    /// Number of times the backing buffers had to (re)allocate.
+    allocs: u64,
+}
+
+impl BindingBatch {
+    /// An empty batch; storage is allocated lazily on first fill.
+    pub fn new() -> BindingBatch {
+        BindingBatch::default()
+    }
+
+    /// Binding width (slots per row).
+    pub fn width(&self) -> usize {
+        self.width
+    }
+
+    /// Number of rows currently materialized (before selection).
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// The active row indexes.
+    pub fn sel(&self) -> &[u32] {
+        &self.sel
+    }
+
+    /// Number of active rows.
+    pub fn active(&self) -> usize {
+        self.sel.len()
+    }
+
+    /// True when no rows survive the selection.
+    pub fn is_empty(&self) -> bool {
+        self.sel.is_empty()
+    }
+
+    /// Allocation events observed so far (used by
+    /// [`ExecutionMetrics::binding_allocs`](crate::exec::metrics::ExecutionMetrics)).
+    pub fn alloc_events(&self) -> u64 {
+        self.allocs
+    }
+
+    /// Row `i` as a value slice (a borrowed binding).
+    #[inline]
+    pub fn row(&self, i: u32) -> &[Value] {
+        let start = i as usize * self.width;
+        &self.data[start..start + self.width]
+    }
+
+    /// Resets the batch to `rows × width` null values with an identity
+    /// selection, recycling the existing storage.
+    pub fn reset(&mut self, width: usize, rows: usize) {
+        self.width = width;
+        self.rows = rows;
+        let needed = rows * width;
+        let had_capacity = self.data.capacity();
+        self.data.clear();
+        self.data.resize(needed, Value::Null);
+        if self.data.capacity() > had_capacity {
+            self.allocs += 1;
+        }
+        self.reset_sel(rows);
+    }
+
+    /// Resets to an empty batch of the given width (rows appended via
+    /// [`BindingBatch::push_row`]).
+    pub fn reset_empty(&mut self, width: usize) {
+        self.width = width;
+        self.rows = 0;
+        self.data.clear();
+        self.sel.clear();
+    }
+
+    /// Rebuilds the identity selection `0..rows`.
+    fn reset_sel(&mut self, rows: usize) {
+        let had_capacity = self.sel.capacity();
+        self.sel.clear();
+        self.sel.extend(0..rows as u32);
+        if self.sel.capacity() > had_capacity {
+            self.allocs += 1;
+        }
+    }
+
+    /// Writes `value` at `(row, slot)`.
+    #[inline]
+    pub fn put(&mut self, row: usize, slot: usize, value: Value) {
+        self.data[row * self.width + slot] = value;
+    }
+
+    /// Direct mutable access to the backing storage (row-major, stride =
+    /// width). Used by the plug-ins' batch fillers.
+    pub fn data_mut(&mut self) -> &mut [Value] {
+        &mut self.data
+    }
+
+    /// Appends one row built from a prefix slice plus trailing nulls up to
+    /// the batch width, returning the new row's index.
+    pub fn push_row(&mut self, prefix: &[Value]) -> u32 {
+        debug_assert!(prefix.len() <= self.width);
+        let had_capacity = self.data.capacity();
+        self.data.extend(prefix.iter().cloned());
+        for _ in prefix.len()..self.width {
+            self.data.push(Value::Null);
+        }
+        if self.data.capacity() > had_capacity {
+            self.allocs += 1;
+        }
+        let idx = self.rows as u32;
+        self.rows += 1;
+        self.sel.push(idx);
+        idx
+    }
+
+    /// Appends one row as `left ++ right`, padded with nulls to the width
+    /// (the join-probe output shape).
+    pub fn push_concat(&mut self, left: &[Value], right_at: usize, right: &[Value]) -> u32 {
+        debug_assert!(left.len() <= right_at && right_at + right.len() <= self.width);
+        let had_capacity = self.data.capacity();
+        self.data.extend(left.iter().cloned());
+        for _ in left.len()..right_at {
+            self.data.push(Value::Null);
+        }
+        self.data.extend(right.iter().cloned());
+        for _ in right_at + right.len()..self.width {
+            self.data.push(Value::Null);
+        }
+        if self.data.capacity() > had_capacity {
+            self.allocs += 1;
+        }
+        let idx = self.rows as u32;
+        self.rows += 1;
+        self.sel.push(idx);
+        idx
+    }
+
+    /// Overwrites one slot of the most recently pushed row.
+    pub fn set_last(&mut self, slot: usize, value: Value) {
+        debug_assert!(self.rows > 0);
+        let row = self.rows - 1;
+        self.put(row, slot, value);
+    }
+
+    /// The most recently pushed row.
+    pub fn last_row(&self) -> &[Value] {
+        debug_assert!(self.rows > 0);
+        self.row(self.rows as u32 - 1)
+    }
+
+    /// Removes the most recently pushed row (append-mode batches only:
+    /// assumes the selection still mirrors the push order).
+    pub fn pop_row(&mut self) {
+        debug_assert!(self.rows > 0);
+        self.rows -= 1;
+        self.data.truncate(self.rows * self.width);
+        self.sel.pop();
+    }
+
+    /// Returns the allocation events observed since the last call, resetting
+    /// the counter (drained into `ExecutionMetrics::binding_allocs` once per
+    /// morsel).
+    pub fn take_alloc_events(&mut self) -> u64 {
+        std::mem::take(&mut self.allocs)
+    }
+
+    /// Filters the selection in place: keeps row `i` when `keep(row_i)`.
+    pub fn retain<F: FnMut(&[Value]) -> bool>(&mut self, mut keep: F) {
+        let width = self.width;
+        let data = &self.data;
+        self.sel.retain(|&i| {
+            let start = i as usize * width;
+            keep(&data[start..start + width])
+        });
+    }
+
+    /// Iterates the selected rows.
+    pub fn for_each_selected<F: FnMut(&[Value])>(&self, mut f: F) {
+        for &i in &self.sel {
+            f(self.row(i));
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reset_recycles_storage_without_reallocating() {
+        let mut batch = BindingBatch::new();
+        batch.reset(3, MORSEL_SIZE);
+        assert_eq!(batch.rows(), MORSEL_SIZE);
+        assert_eq!(batch.active(), MORSEL_SIZE);
+        let allocs_after_first = batch.alloc_events();
+        assert!(allocs_after_first >= 1);
+        for _ in 0..100 {
+            batch.reset(3, MORSEL_SIZE);
+        }
+        assert_eq!(batch.alloc_events(), allocs_after_first);
+    }
+
+    #[test]
+    fn put_and_row_round_trip() {
+        let mut batch = BindingBatch::new();
+        batch.reset(2, 4);
+        batch.put(1, 0, Value::Int(7));
+        batch.put(1, 1, Value::str("x"));
+        assert_eq!(batch.row(1), &[Value::Int(7), Value::str("x")]);
+        assert_eq!(batch.row(0), &[Value::Null, Value::Null]);
+    }
+
+    #[test]
+    fn retain_shrinks_selection_only() {
+        let mut batch = BindingBatch::new();
+        batch.reset(1, 10);
+        for i in 0..10 {
+            batch.put(i, 0, Value::Int(i as i64));
+        }
+        batch.retain(|row| matches!(row[0], Value::Int(i) if i % 2 == 0));
+        assert_eq!(batch.active(), 5);
+        assert_eq!(batch.rows(), 10);
+        let mut seen = Vec::new();
+        batch.for_each_selected(|row| seen.push(row[0].clone()));
+        assert_eq!(
+            seen,
+            vec![
+                Value::Int(0),
+                Value::Int(2),
+                Value::Int(4),
+                Value::Int(6),
+                Value::Int(8)
+            ]
+        );
+    }
+
+    #[test]
+    fn push_row_pads_to_width() {
+        let mut batch = BindingBatch::new();
+        batch.reset_empty(3);
+        batch.push_row(&[Value::Int(1), Value::Int(2)]);
+        batch.set_last(2, Value::Int(9));
+        assert_eq!(batch.row(0), &[Value::Int(1), Value::Int(2), Value::Int(9)]);
+    }
+
+    #[test]
+    fn push_concat_places_both_sides() {
+        let mut batch = BindingBatch::new();
+        batch.reset_empty(4);
+        batch.push_concat(&[Value::Int(1)], 2, &[Value::Int(3), Value::Int(4)]);
+        assert_eq!(
+            batch.row(0),
+            &[Value::Int(1), Value::Null, Value::Int(3), Value::Int(4)]
+        );
+    }
+}

@@ -90,7 +90,8 @@ impl BindingLayout {
             segments.pop();
         }
         // Bare variable slot.
-        self.index_of(&path.base).map(|idx| (idx, path.segments.clone()))
+        self.index_of(&path.base)
+            .map(|idx| (idx, path.segments.clone()))
     }
 
     /// Merges another layout's slots after this one, returning the offset at
@@ -106,10 +107,14 @@ impl BindingLayout {
 }
 
 /// A compiled expression: evaluates over a binding without any name lookups.
-pub type CompiledExpr = Arc<dyn Fn(&Binding) -> Value + Send + Sync>;
+///
+/// Takes a plain value slice so the same closure runs over an owned
+/// [`Binding`] and over a row of a reusable
+/// [`BindingBatch`](crate::exec::batch::BindingBatch) without copying.
+pub type CompiledExpr = Arc<dyn Fn(&[Value]) -> Value + Send + Sync>;
 
 /// A compiled predicate: evaluates to a plain boolean (nulls are false).
-pub type CompiledPredicate = Arc<dyn Fn(&Binding) -> bool + Send + Sync>;
+pub type CompiledPredicate = Arc<dyn Fn(&[Value]) -> bool + Send + Sync>;
 
 /// Compiles an expression against a layout.
 ///
@@ -129,9 +134,9 @@ pub fn compile_expr(expr: &Expr, layout: &BindingLayout) -> Result<CompiledExpr>
                 ))
             })?;
             if residual.is_empty() {
-                Arc::new(move |binding: &Binding| binding[slot].clone())
+                Arc::new(move |binding: &[Value]| binding[slot].clone())
             } else {
-                Arc::new(move |binding: &Binding| binding[slot].navigate(&residual))
+                Arc::new(move |binding: &[Value]| binding[slot].navigate(&residual))
             }
         }
         Expr::Binary { op, left, right } => {
@@ -139,20 +144,20 @@ pub fn compile_expr(expr: &Expr, layout: &BindingLayout) -> Result<CompiledExpr>
             let lhs = compile_expr(left, layout)?;
             let rhs = compile_expr(right, layout)?;
             match op {
-                BinaryOp::And => Arc::new(move |b: &Binding| {
+                BinaryOp::And => Arc::new(move |b: &[Value]| {
                     let l = matches!(lhs(b), Value::Bool(true));
                     if !l {
                         return Value::Bool(false);
                     }
                     Value::Bool(matches!(rhs(b), Value::Bool(true)))
                 }),
-                BinaryOp::Or => Arc::new(move |b: &Binding| {
+                BinaryOp::Or => Arc::new(move |b: &[Value]| {
                     if matches!(lhs(b), Value::Bool(true)) {
                         return Value::Bool(true);
                     }
                     Value::Bool(matches!(rhs(b), Value::Bool(true)))
                 }),
-                _ => Arc::new(move |b: &Binding| {
+                _ => Arc::new(move |b: &[Value]| {
                     eval_binary(op, &lhs(b), &rhs(b)).unwrap_or(Value::Null)
                 }),
             }
@@ -160,7 +165,7 @@ pub fn compile_expr(expr: &Expr, layout: &BindingLayout) -> Result<CompiledExpr>
         Expr::Unary { op, expr } => {
             let op = *op;
             let inner = compile_expr(expr, layout)?;
-            Arc::new(move |b: &Binding| {
+            Arc::new(move |b: &[Value]| {
                 let v = inner(b);
                 match op {
                     UnaryOp::Not => Value::Bool(!matches!(v, Value::Bool(true))),
@@ -178,7 +183,7 @@ pub fn compile_expr(expr: &Expr, layout: &BindingLayout) -> Result<CompiledExpr>
                 .iter()
                 .map(|(name, e)| Ok((name.clone(), compile_expr(e, layout)?)))
                 .collect::<Result<_>>()?;
-            Arc::new(move |b: &Binding| {
+            Arc::new(move |b: &[Value]| {
                 let mut rec = Record::empty();
                 for (name, f) in &compiled {
                     rec.set(name.clone(), f(b));
@@ -194,7 +199,7 @@ pub fn compile_expr(expr: &Expr, layout: &BindingLayout) -> Result<CompiledExpr>
             let c = compile_expr(cond, layout)?;
             let t = compile_expr(then, layout)?;
             let o = compile_expr(otherwise, layout)?;
-            Arc::new(move |b: &Binding| {
+            Arc::new(move |b: &[Value]| {
                 if matches!(c(b), Value::Bool(true)) {
                     t(b)
                 } else {
@@ -205,7 +210,7 @@ pub fn compile_expr(expr: &Expr, layout: &BindingLayout) -> Result<CompiledExpr>
         Expr::Contains { expr, needle } => {
             let inner = compile_expr(expr, layout)?;
             let needle = needle.clone();
-            Arc::new(move |b: &Binding| match inner(b) {
+            Arc::new(move |b: &[Value]| match inner(b) {
                 Value::Str(s) => Value::Bool(s.contains(needle.as_str())),
                 _ => Value::Bool(false),
             })
@@ -216,7 +221,7 @@ pub fn compile_expr(expr: &Expr, layout: &BindingLayout) -> Result<CompiledExpr>
 /// Compiles a predicate: like [`compile_expr`] but collapses to a boolean.
 pub fn compile_predicate(expr: &Expr, layout: &BindingLayout) -> Result<CompiledPredicate> {
     let compiled = compile_expr(expr, layout)?;
-    Ok(Arc::new(move |b: &Binding| {
+    Ok(Arc::new(move |b: &[Value]| {
         matches!(compiled(b), Value::Bool(true))
     }))
 }
@@ -232,9 +237,10 @@ pub fn interpret_expr(expr: &Expr, layout: &BindingLayout, binding: &Binding) ->
         if path.segments.is_empty() {
             env.bind(path.base.clone(), value.clone());
         } else {
-            let existing = env.get(&path.base).cloned().unwrap_or_else(|| {
-                Value::Record(Record::empty())
-            });
+            let existing = env
+                .get(&path.base)
+                .cloned()
+                .unwrap_or_else(|| Value::Record(Record::empty()));
             let mut record = match existing {
                 Value::Record(r) => r,
                 _ => Record::empty(),
@@ -252,7 +258,10 @@ fn set_nested(record: &mut Record, segments: &[String], value: Value) {
         record.set(segments[0].clone(), value);
         return;
     }
-    let child = record.get(&segments[0]).cloned().unwrap_or(Value::Record(Record::empty()));
+    let child = record
+        .get(&segments[0])
+        .cloned()
+        .unwrap_or(Value::Record(Record::empty()));
     let mut child_rec = match child {
         Value::Record(r) => r,
         _ => Record::empty(),
@@ -289,11 +298,8 @@ mod tests {
     #[test]
     fn compiled_comparison_and_arithmetic() {
         let (layout, binding) = layout_and_binding();
-        let pred = compile_predicate(
-            &Expr::path("l.l_orderkey").lt(Expr::int(100)),
-            &layout,
-        )
-        .unwrap();
+        let pred =
+            compile_predicate(&Expr::path("l.l_orderkey").lt(Expr::int(100)), &layout).unwrap();
         assert!(pred(&binding));
         let expr = compile_expr(
             &Expr::binary(BinaryOp::Mul, Expr::path("l.l_quantity"), Expr::int(2)),

@@ -30,6 +30,19 @@ pub struct ExecutionMetrics {
     pub hash_probes: u64,
     /// Values appended to caches as a side-effect of execution.
     pub cached_values: u64,
+    /// Morsels dispatched to pipeline workers.
+    pub morsels: u64,
+    /// Per-tuple `Binding` heap materializations (join build sides,
+    /// collected output rows). **Zero on the steady-state scan path** —
+    /// scans, filters and reduce/nest sinks work entirely inside recycled
+    /// batch buffers.
+    pub binding_allocs: u64,
+    /// Batch-buffer growth events: the reusable morsel buffers allocating or
+    /// growing. O(pipeline depth × workers), not O(tuples) — stable after
+    /// the first few morsels.
+    pub batch_grows: u64,
+    /// Worker threads the pipeline executed on (1 = serial path).
+    pub threads_used: u64,
     /// Time spent generating the specialized engine (the paper reports ≤ ~50 ms).
     pub compile_time: Duration,
     /// Time spent executing the generated engine.
@@ -52,6 +65,10 @@ impl ExecutionMetrics {
         self.predicate_evals += other.predicate_evals;
         self.hash_probes += other.hash_probes;
         self.cached_values += other.cached_values;
+        self.morsels += other.morsels;
+        self.binding_allocs += other.binding_allocs;
+        self.batch_grows += other.batch_grows;
+        self.threads_used = self.threads_used.max(other.threads_used);
         self.compile_time += other.compile_time;
         self.exec_time += other.exec_time;
     }
@@ -66,7 +83,7 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} probes={} cached={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
@@ -74,6 +91,10 @@ impl fmt::Display for ExecutionMetrics {
             self.predicate_evals,
             self.hash_probes,
             self.cached_values,
+            self.morsels,
+            self.binding_allocs,
+            self.batch_grows,
+            self.threads_used,
             self.compile_time,
             self.exec_time
         )

@@ -1,16 +1,53 @@
 //! Runtime building blocks of the generated query pipelines.
 //!
+//! # Bindings and layouts
+//!
 //! The generated engine works over *positional bindings*: a binding is a flat
-//! vector of values whose slots are assigned at compile time (one slot per
+//! sequence of values whose slots are assigned at compile time (one slot per
 //! scanned field / unnest variable), so the per-tuple path performs direct
 //! index accesses — never name lookups or schema checks. These bindings are
 //! the reproduction of the paper's "virtual memory buffers" that the LLVM
 //! compiler promotes to registers.
+//!
+//! # Morsel/batch execution model
+//!
+//! Since the batched-execution rework, the pipelines are **batch-at-a-time
+//! and morsel-parallel** rather than tuple-at-a-time:
+//!
+//! * A scan partitions its OID range into morsels of
+//!   [`batch::MORSEL_SIZE`] tuples. Each morsel is rendered by the input
+//!   plug-ins' *batch fillers* into a reusable [`batch::BindingBatch`] — a
+//!   row-major `rows × width` buffer plus a selection vector. One indirect
+//!   call per (field, morsel) replaces one per (field, tuple), and the
+//!   buffers are recycled across morsels, so the steady-state scan path
+//!   performs **zero per-tuple heap allocations**
+//!   (`ExecutionMetrics::binding_allocs` stays 0; buffer growth is tracked
+//!   separately in `batch_grows` and is O(pipeline depth), not O(tuples)).
+//! * Selections only shrink the selection vector in place; unnests and join
+//!   probes expand into a second recycled batch (ping-pong buffering, two
+//!   batches per worker).
+//! * Join build sides are materialized once into a shared radix hash table
+//!   ([`radix::RadixHashTable`]); probe morsels then stream against it from
+//!   every worker. Left-outer joins track per-entry match flags and emit the
+//!   null-padded tail after the probe drains.
+//! * Morsels are claimed from an atomic counter by a pool of scoped threads
+//!   ([`pipeline`]); every worker folds into a *private* sink partial
+//!   (reduce accumulators, a radix group table, or a row buffer) and the
+//!   partials are merged under the monoid's associative ⊕ when the pool
+//!   drains. `parallelism = 1` runs the identical batch code inline — serial
+//!   and parallel execution differ only in floating-point summation order.
+//!
+//! Collected (non-aggregated) outputs are tagged with their morsel index and
+//! re-sorted on merge, so row order matches the serial scan order no matter
+//! which worker claimed which morsel.
 
+pub mod batch;
 pub mod expr;
 pub mod metrics;
+pub mod pipeline;
 pub mod radix;
 
+pub use batch::{BindingBatch, MORSEL_SIZE};
 pub use expr::{compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate};
 
 use proteus_algebra::Value;

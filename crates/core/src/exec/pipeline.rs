@@ -1,0 +1,742 @@
+//! Morsel-driven execution of the generated pipelines.
+//!
+//! The compiler (codegen) lowers a plan to a [`Producer`] tree. Before
+//! execution the tree is *prepared*: every join build side is materialized
+//! into a shared [`RadixHashTable`] (itself via a morsel-parallel run of the
+//! build spine), leaving a linear **spine** — scan → stage* — that streams
+//! batches. Execution then dispatches morsels of [`MORSEL_SIZE`] tuples from
+//! an atomic work counter to a pool of workers (`std::thread::scope`); each
+//! worker owns two recycled [`BindingBatch`]es and a private sink partial
+//! (accumulators / radix group table / row buffer), and the partials are
+//! merged under the monoid's associative ⊕ when the pool drains. With
+//! `parallelism = 1` the same batch code runs inline on the calling thread —
+//! the serial path and the parallel path are the same code, so their results
+//! only differ by floating-point summation order.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+
+use proteus_algebra::monoid::Accumulator;
+use proteus_algebra::{JoinKind, Monoid, Value};
+use proteus_plugins::BatchFill;
+use proteus_storage::CacheStore;
+
+use crate::cache_builder::CacheBuilder;
+use crate::error::Result;
+use crate::exec::batch::{BindingBatch, MORSEL_SIZE};
+use crate::exec::expr::{CompiledExpr, CompiledPredicate};
+use crate::exec::metrics::ExecutionMetrics;
+use crate::exec::radix::{RadixGroupTable, RadixHashTable};
+use crate::exec::Binding;
+
+// ---------------------------------------------------------------------------
+// The compiled producer tree (built by codegen).
+// ---------------------------------------------------------------------------
+
+/// A binding producer: the part of the pipeline below the sink.
+pub(crate) enum Producer {
+    /// Scan of a dataset through specialized morsel fillers.
+    Scan {
+        /// Dataset name (kept for diagnostics in debug output).
+        #[allow(dead_code)]
+        dataset: String,
+        row_count: u64,
+        /// `(slot, morsel filler)` per projected field.
+        fills: Vec<(usize, BatchFill)>,
+        width: usize,
+        cache_builder: CacheBuilder,
+        cache_field_slots: Vec<usize>,
+        cache_store: Option<CacheStore>,
+    },
+    /// Inlined selection.
+    Filter {
+        input: Box<Producer>,
+        predicate: CompiledPredicate,
+    },
+    /// Unnest of a nested collection into a new slot.
+    Unnest {
+        input: Box<Producer>,
+        collection: CompiledExpr,
+        slot: usize,
+        predicate: Option<CompiledPredicate>,
+        outer: bool,
+    },
+    /// Radix hash join: build side materialized, probe side streamed.
+    Join {
+        build: Box<Producer>,
+        probe: Box<Producer>,
+        build_keys: Vec<CompiledExpr>,
+        probe_keys: Vec<CompiledExpr>,
+        residual: Option<CompiledPredicate>,
+        build_width: usize,
+        kind: JoinKind,
+    },
+}
+
+// ---------------------------------------------------------------------------
+// Prepared (executable) form: a scan driving a linear stage chain.
+// ---------------------------------------------------------------------------
+
+/// Cache-building side effect attached to a scan. Requires in-order OIDs, so
+/// its presence forces the spine onto the serial path.
+struct CacheSideEffect {
+    builder: Mutex<Option<CacheBuilder>>,
+    slots: Vec<usize>,
+    store: CacheStore,
+}
+
+struct PreparedScan {
+    row_count: u64,
+    width: usize,
+    fills: Vec<(usize, BatchFill)>,
+    cache: Option<CacheSideEffect>,
+}
+
+enum Stage {
+    /// Shrinks the selection in place.
+    Filter(CompiledPredicate),
+    /// Expands each row once per collection element into the output batch.
+    Unnest {
+        collection: CompiledExpr,
+        slot: usize,
+        predicate: Option<CompiledPredicate>,
+        outer: bool,
+        width: usize,
+    },
+    /// Streams probe rows against the shared build table.
+    Probe {
+        table: Arc<RadixHashTable>,
+        probe_keys: Vec<CompiledExpr>,
+        residual: Option<CompiledPredicate>,
+        build_width: usize,
+        width: usize,
+        /// Present for left-outer joins: per-build-entry matched flags.
+        matched: Option<Arc<Vec<AtomicBool>>>,
+    },
+}
+
+struct PreparedPipeline {
+    scan: PreparedScan,
+    stages: Vec<Stage>,
+}
+
+/// Flattens a producer tree into a prepared spine, executing every join
+/// build side (recursively, morsel-parallel) into a shared radix table.
+fn prepare(
+    producer: Producer,
+    threads: usize,
+    metrics: &mut ExecutionMetrics,
+) -> Result<PreparedPipeline> {
+    match producer {
+        Producer::Scan {
+            dataset: _,
+            row_count,
+            fills,
+            width,
+            cache_builder,
+            cache_field_slots,
+            cache_store,
+        } => {
+            let cache = match (cache_builder.is_enabled(), cache_store) {
+                (true, Some(store)) => Some(CacheSideEffect {
+                    builder: Mutex::new(Some(cache_builder)),
+                    slots: cache_field_slots,
+                    store,
+                }),
+                _ => None,
+            };
+            Ok(PreparedPipeline {
+                scan: PreparedScan {
+                    row_count,
+                    width,
+                    fills,
+                    cache,
+                },
+                stages: Vec::new(),
+            })
+        }
+        Producer::Filter { input, predicate } => {
+            let mut prepared = prepare(*input, threads, metrics)?;
+            prepared.stages.push(Stage::Filter(predicate));
+            Ok(prepared)
+        }
+        Producer::Unnest {
+            input,
+            collection,
+            slot,
+            predicate,
+            outer,
+        } => {
+            let mut prepared = prepare(*input, threads, metrics)?;
+            let width = current_width(&prepared).max(slot + 1);
+            prepared.stages.push(Stage::Unnest {
+                collection,
+                slot,
+                predicate,
+                outer,
+                width,
+            });
+            Ok(prepared)
+        }
+        Producer::Join {
+            build,
+            probe,
+            build_keys,
+            probe_keys,
+            residual,
+            build_width,
+            kind,
+        } => {
+            // Materialize + cluster the build side with its own morsel run.
+            let entries = run_entries(*build, &build_keys, threads, metrics)?;
+            metrics.intermediate_tuples += entries.len() as u64;
+            let table = Arc::new(RadixHashTable::build(entries));
+            metrics.intermediate_bytes += table.materialized_bytes();
+
+            let mut prepared = prepare(*probe, threads, metrics)?;
+            let probe_width = current_width(&prepared);
+            let matched = (kind == JoinKind::LeftOuter).then(|| {
+                Arc::new(
+                    (0..table.len())
+                        .map(|_| AtomicBool::new(false))
+                        .collect::<Vec<_>>(),
+                )
+            });
+            prepared.stages.push(Stage::Probe {
+                table,
+                probe_keys,
+                residual,
+                build_width,
+                width: build_width + probe_width,
+                matched,
+            });
+            Ok(prepared)
+        }
+    }
+}
+
+fn current_width(prepared: &PreparedPipeline) -> usize {
+    prepared
+        .stages
+        .iter()
+        .rev()
+        .find_map(|stage| match stage {
+            Stage::Unnest { width, .. } | Stage::Probe { width, .. } => Some(*width),
+            Stage::Filter(_) => None,
+        })
+        .unwrap_or(prepared.scan.width)
+}
+
+// ---------------------------------------------------------------------------
+// Sinks.
+// ---------------------------------------------------------------------------
+
+/// What the pipeline folds its batches into.
+enum SinkSpec {
+    Reduce {
+        specs: Vec<(Monoid, CompiledExpr)>,
+        predicate: Option<CompiledPredicate>,
+    },
+    Nest {
+        keys: Vec<CompiledExpr>,
+        monoids: Vec<Monoid>,
+        value_exprs: Vec<CompiledExpr>,
+        predicate: Option<CompiledPredicate>,
+    },
+    Collect,
+    /// Join-build materialization: `(key, binding)` pairs.
+    Entries {
+        keys: Vec<CompiledExpr>,
+    },
+}
+
+/// A worker-private sink partial.
+enum SinkState {
+    Reduce(Vec<Accumulator>),
+    Nest(RadixGroupTable),
+    /// Rows tagged with their morsel index so the merged output preserves
+    /// scan order regardless of which worker claimed which morsel.
+    Collect(Vec<(u64, Binding)>),
+    Entries(Vec<(u64, (Value, Binding))>),
+}
+
+/// The merged result of a pipeline run.
+enum SinkResult {
+    Accumulators(Vec<Accumulator>),
+    Groups(RadixGroupTable),
+    Rows(Vec<Binding>),
+    Entries(Vec<(Value, Binding)>),
+}
+
+impl SinkSpec {
+    fn new_state(&self) -> SinkState {
+        match self {
+            SinkSpec::Reduce { specs, .. } => {
+                SinkState::Reduce(specs.iter().map(|(m, _)| Accumulator::zero(*m)).collect())
+            }
+            SinkSpec::Nest { monoids, .. } => {
+                SinkState::Nest(RadixGroupTable::new(monoids.clone()))
+            }
+            SinkSpec::Collect => SinkState::Collect(Vec::new()),
+            SinkSpec::Entries { .. } => SinkState::Entries(Vec::new()),
+        }
+    }
+
+    /// Folds one batch into a worker-local partial.
+    fn consume(
+        &self,
+        state: &mut SinkState,
+        batch: &BindingBatch,
+        morsel: u64,
+        metrics: &mut ExecutionMetrics,
+    ) {
+        match (self, state) {
+            (SinkSpec::Reduce { specs, predicate }, SinkState::Reduce(accumulators)) => {
+                batch.for_each_selected(|row| {
+                    if let Some(pred) = predicate {
+                        if !pred(row) {
+                            return;
+                        }
+                    }
+                    for ((monoid, expr), acc) in specs.iter().zip(accumulators.iter_mut()) {
+                        let _ = acc.merge(*monoid, expr(row));
+                    }
+                });
+            }
+            (
+                SinkSpec::Nest {
+                    keys,
+                    value_exprs,
+                    predicate,
+                    ..
+                },
+                SinkState::Nest(table),
+            ) => {
+                let mut probes = 0u64;
+                batch.for_each_selected(|row| {
+                    if let Some(pred) = predicate {
+                        if !pred(row) {
+                            return;
+                        }
+                    }
+                    let key: Vec<Value> = keys.iter().map(|k| k(row)).collect();
+                    let values: Vec<Value> = value_exprs.iter().map(|e| e(row)).collect();
+                    probes += 1;
+                    table.merge(key, values);
+                });
+                metrics.hash_probes += probes;
+            }
+            (SinkSpec::Collect, SinkState::Collect(rows)) => {
+                batch.for_each_selected(|row| {
+                    rows.push((morsel, row.to_vec()));
+                    metrics.binding_allocs += 1;
+                });
+            }
+            (SinkSpec::Entries { keys }, SinkState::Entries(entries)) => {
+                batch.for_each_selected(|row| {
+                    entries.push((morsel, (join_key(keys, row), row.to_vec())));
+                    metrics.binding_allocs += 1;
+                });
+            }
+            _ => unreachable!("sink state does not match sink spec"),
+        }
+    }
+
+    /// Merges worker partials (in worker order) into the final result.
+    fn merge(&self, partials: Vec<SinkState>) -> SinkResult {
+        match self {
+            SinkSpec::Reduce { specs, .. } => {
+                let mut merged: Vec<Accumulator> =
+                    specs.iter().map(|(m, _)| Accumulator::zero(*m)).collect();
+                for partial in partials {
+                    if let SinkState::Reduce(accumulators) = partial {
+                        for (((monoid, _), acc), partial_acc) in
+                            specs.iter().zip(merged.iter_mut()).zip(accumulators)
+                        {
+                            let _ = acc.combine(*monoid, partial_acc);
+                        }
+                    }
+                }
+                SinkResult::Accumulators(merged)
+            }
+            SinkSpec::Nest { monoids, .. } => {
+                let mut merged = RadixGroupTable::new(monoids.clone());
+                for partial in partials {
+                    if let SinkState::Nest(table) = partial {
+                        merged.absorb(table);
+                    }
+                }
+                SinkResult::Groups(merged)
+            }
+            SinkSpec::Collect => {
+                let mut tagged: Vec<(u64, Binding)> = Vec::new();
+                for partial in partials {
+                    if let SinkState::Collect(rows) = partial {
+                        tagged.extend(rows);
+                    }
+                }
+                tagged.sort_by_key(|(morsel, _)| *morsel);
+                SinkResult::Rows(tagged.into_iter().map(|(_, row)| row).collect())
+            }
+            SinkSpec::Entries { .. } => {
+                let mut tagged: Vec<(u64, (Value, Binding))> = Vec::new();
+                for partial in partials {
+                    if let SinkState::Entries(entries) = partial {
+                        tagged.extend(entries);
+                    }
+                }
+                tagged.sort_by_key(|(morsel, _)| *morsel);
+                SinkResult::Entries(tagged.into_iter().map(|(_, entry)| entry).collect())
+            }
+        }
+    }
+}
+
+pub(crate) fn join_key(keys: &[CompiledExpr], binding: &[Value]) -> Value {
+    match keys.len() {
+        0 => Value::Int(0),
+        1 => keys[0](binding),
+        _ => Value::List(keys.iter().map(|k| k(binding)).collect()),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The morsel executor.
+// ---------------------------------------------------------------------------
+
+/// Fills one morsel's worth of scan output into `batch`.
+fn fill_morsel(
+    scan: &PreparedScan,
+    start: u64,
+    count: usize,
+    batch: &mut BindingBatch,
+    metrics: &mut ExecutionMetrics,
+) {
+    batch.reset(scan.width, count);
+    let width = scan.width;
+    let data = batch.data_mut();
+    for (slot, fill) in &scan.fills {
+        fill(start, count, data, *slot, width);
+    }
+    metrics.tuples_scanned += count as u64;
+
+    if let Some(cache) = &scan.cache {
+        let mut guard = cache.builder.lock().unwrap_or_else(|e| e.into_inner());
+        if let Some(builder) = guard.as_mut() {
+            let mut values: Vec<Value> = Vec::with_capacity(cache.slots.len());
+            for i in 0..count {
+                values.clear();
+                let row = batch.row(i as u32);
+                values.extend(cache.slots.iter().map(|slot| row[*slot].clone()));
+                metrics.cached_values += builder.observe(start + i as u64, &values);
+            }
+        }
+    }
+}
+
+/// Applies `stages` to `cur` (ping-ponging with `spare`), then folds the
+/// surviving rows into the sink partial.
+#[allow(clippy::too_many_arguments)]
+fn process_stages(
+    stages: &[Stage],
+    cur: &mut BindingBatch,
+    spare: &mut BindingBatch,
+    sink: &SinkSpec,
+    state: &mut SinkState,
+    morsel: u64,
+    metrics: &mut ExecutionMetrics,
+) {
+    for stage in stages {
+        if cur.is_empty() {
+            break;
+        }
+        match stage {
+            Stage::Filter(predicate) => {
+                let mut evaluations = 0u64;
+                cur.retain(|row| {
+                    evaluations += 1;
+                    predicate(row)
+                });
+                metrics.predicate_evals += evaluations;
+            }
+            Stage::Unnest {
+                collection,
+                slot,
+                predicate,
+                outer,
+                width,
+            } => {
+                spare.reset_empty(*width);
+                cur.for_each_selected(|row| {
+                    let items = match collection(row) {
+                        Value::List(items) => items,
+                        Value::Null => Vec::new(),
+                        other => vec![other],
+                    };
+                    let mut produced = false;
+                    for item in items {
+                        spare.push_row(row);
+                        spare.set_last(*slot, item);
+                        if let Some(pred) = predicate {
+                            if !pred(spare.last_row()) {
+                                spare.pop_row();
+                                continue;
+                            }
+                        }
+                        produced = true;
+                    }
+                    if !produced && *outer {
+                        spare.push_row(row);
+                        spare.set_last(*slot, Value::Null);
+                    }
+                });
+                std::mem::swap(cur, spare);
+            }
+            Stage::Probe {
+                table,
+                probe_keys,
+                residual,
+                build_width,
+                width,
+                matched,
+            } => {
+                spare.reset_empty(*width);
+                let mut probes = 0u64;
+                cur.for_each_selected(|row| {
+                    let key = join_key(probe_keys, row);
+                    probes += 1;
+                    table.probe_indexed(&key, |entry_id, build_binding| {
+                        spare.push_concat(build_binding, *build_width, row);
+                        if let Some(pred) = residual {
+                            if !pred(spare.last_row()) {
+                                spare.pop_row();
+                                return;
+                            }
+                        }
+                        if let Some(flags) = matched {
+                            flags[entry_id as usize].store(true, Ordering::Relaxed);
+                        }
+                    });
+                });
+                metrics.hash_probes += probes;
+                std::mem::swap(cur, spare);
+            }
+        }
+    }
+    sink.consume(state, cur, morsel, metrics);
+    metrics.batch_grows += cur.take_alloc_events() + spare.take_alloc_events();
+}
+
+/// One worker: claims morsels until the queue drains.
+fn worker_loop(
+    pipeline: &PreparedPipeline,
+    sink: &SinkSpec,
+    next_morsel: &AtomicU64,
+    morsel_count: u64,
+) -> (SinkState, ExecutionMetrics) {
+    let mut metrics = ExecutionMetrics::new();
+    let mut state = sink.new_state();
+    let mut cur = BindingBatch::new();
+    let mut spare = BindingBatch::new();
+    loop {
+        let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
+        if morsel >= morsel_count {
+            break;
+        }
+        let start = morsel * MORSEL_SIZE as u64;
+        let count = ((pipeline.scan.row_count - start) as usize).min(MORSEL_SIZE);
+        fill_morsel(&pipeline.scan, start, count, &mut cur, &mut metrics);
+        metrics.morsels += 1;
+        process_stages(
+            &pipeline.stages,
+            &mut cur,
+            &mut spare,
+            sink,
+            &mut state,
+            morsel,
+            &mut metrics,
+        );
+    }
+    (state, metrics)
+}
+
+/// Runs a prepared pipeline into a sink with up to `threads` workers.
+fn execute_pipeline(
+    pipeline: &PreparedPipeline,
+    sink: &SinkSpec,
+    threads: usize,
+    metrics: &mut ExecutionMetrics,
+) -> Result<SinkResult> {
+    let morsel_count = pipeline.scan.row_count.div_ceil(MORSEL_SIZE as u64);
+    // A cache-building side effect needs in-order OIDs: stay serial.
+    let threads = if pipeline.scan.cache.is_some() {
+        1
+    } else {
+        threads.max(1).min(morsel_count.max(1) as usize)
+    };
+    metrics.threads_used = metrics.threads_used.max(threads as u64);
+
+    let next_morsel = AtomicU64::new(0);
+    let mut partials: Vec<SinkState> = Vec::with_capacity(threads);
+    if threads == 1 {
+        let (state, worker_metrics) = worker_loop(pipeline, sink, &next_morsel, morsel_count);
+        metrics.merge_worker(&worker_metrics);
+        partials.push(state);
+    } else {
+        let results = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|_| scope.spawn(|| worker_loop(pipeline, sink, &next_morsel, morsel_count)))
+                .collect();
+            handles
+                .into_iter()
+                .map(|handle| handle.join().expect("pipeline worker panicked"))
+                .collect::<Vec<_>>()
+        });
+        for (state, worker_metrics) in results {
+            metrics.merge_worker(&worker_metrics);
+            partials.push(state);
+        }
+    }
+
+    // Left-outer tails: emit unmatched build rows padded with nulls and run
+    // them through the remaining stages into one extra partial.
+    for (idx, stage) in pipeline.stages.iter().enumerate() {
+        if let Stage::Probe {
+            table,
+            width,
+            matched: Some(flags),
+            ..
+        } = stage
+        {
+            let mut tail = BindingBatch::new();
+            tail.reset_empty(*width);
+            table.for_each_entry(|entry_id, _, binding| {
+                if !flags[entry_id as usize].load(Ordering::Relaxed) {
+                    tail.push_row(binding);
+                }
+            });
+            if !tail.is_empty() {
+                let mut spare = BindingBatch::new();
+                let mut state = sink.new_state();
+                // Tag tail rows past every real morsel so they sort last.
+                process_stages(
+                    &pipeline.stages[idx + 1..],
+                    &mut tail,
+                    &mut spare,
+                    sink,
+                    &mut state,
+                    morsel_count,
+                    metrics,
+                );
+                partials.push(state);
+            }
+        }
+    }
+
+    // Finalize the cache side effect once the scan has fully drained.
+    if let Some(cache) = &pipeline.scan.cache {
+        let builder = cache
+            .builder
+            .lock()
+            .unwrap_or_else(|e| e.into_inner())
+            .take();
+        if let Some(builder) = builder {
+            builder.finish(&cache.store);
+        }
+    }
+
+    Ok(sink.merge(partials))
+}
+
+impl ExecutionMetrics {
+    /// Merges a worker's counters without touching the timing fields (the
+    /// workers ran concurrently; wall time is measured by the caller).
+    fn merge_worker(&mut self, other: &ExecutionMetrics) {
+        self.tuples_scanned += other.tuples_scanned;
+        self.intermediate_tuples += other.intermediate_tuples;
+        self.intermediate_bytes += other.intermediate_bytes;
+        self.predicate_evals += other.predicate_evals;
+        self.hash_probes += other.hash_probes;
+        self.cached_values += other.cached_values;
+        self.morsels += other.morsels;
+        self.binding_allocs += other.binding_allocs;
+        self.batch_grows += other.batch_grows;
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Public (crate) entry points, one per sink shape.
+// ---------------------------------------------------------------------------
+
+/// Runs `producer` into per-query reduce accumulators.
+pub(crate) fn run_reduce(
+    producer: Producer,
+    specs: Vec<(Monoid, CompiledExpr)>,
+    predicate: Option<CompiledPredicate>,
+    threads: usize,
+    metrics: &mut ExecutionMetrics,
+) -> Result<Vec<Accumulator>> {
+    let pipeline = prepare(producer, threads, metrics)?;
+    match execute_pipeline(
+        &pipeline,
+        &SinkSpec::Reduce { specs, predicate },
+        threads,
+        metrics,
+    )? {
+        SinkResult::Accumulators(accumulators) => Ok(accumulators),
+        _ => unreachable!(),
+    }
+}
+
+/// Runs `producer` into a radix group table.
+pub(crate) fn run_nest(
+    producer: Producer,
+    keys: Vec<CompiledExpr>,
+    monoids: Vec<Monoid>,
+    value_exprs: Vec<CompiledExpr>,
+    predicate: Option<CompiledPredicate>,
+    threads: usize,
+    metrics: &mut ExecutionMetrics,
+) -> Result<RadixGroupTable> {
+    let pipeline = prepare(producer, threads, metrics)?;
+    let spec = SinkSpec::Nest {
+        keys,
+        monoids,
+        value_exprs,
+        predicate,
+    };
+    match execute_pipeline(&pipeline, &spec, threads, metrics)? {
+        SinkResult::Groups(table) => Ok(table),
+        _ => unreachable!(),
+    }
+}
+
+/// Runs `producer` collecting every surviving binding (scan order).
+pub(crate) fn run_collect(
+    producer: Producer,
+    threads: usize,
+    metrics: &mut ExecutionMetrics,
+) -> Result<Vec<Binding>> {
+    let pipeline = prepare(producer, threads, metrics)?;
+    match execute_pipeline(&pipeline, &SinkSpec::Collect, threads, metrics)? {
+        SinkResult::Rows(rows) => Ok(rows),
+        _ => unreachable!(),
+    }
+}
+
+/// Runs `producer` materializing `(join key, binding)` entries (build sides).
+fn run_entries(
+    producer: Producer,
+    keys: &[CompiledExpr],
+    threads: usize,
+    metrics: &mut ExecutionMetrics,
+) -> Result<Vec<(Value, Binding)>> {
+    let pipeline = prepare(producer, threads, metrics)?;
+    let spec = SinkSpec::Entries {
+        keys: keys.to_vec(),
+    };
+    match execute_pipeline(&pipeline, &spec, threads, metrics)? {
+        SinkResult::Entries(entries) => Ok(entries),
+        _ => unreachable!(),
+    }
+}

@@ -21,10 +21,28 @@ fn partition_of(hash: u64) -> usize {
     (hash as usize) & (RADIX_PARTITIONS - 1)
 }
 
+/// Hashes a multi-column key from its components *in place* — no
+/// `Value::List` is materialized per entry. Consistent with
+/// `Value::value_eq` componentwise equality: components hash through
+/// [`Value::stable_hash`] and are combined with an order-sensitive mixer.
+pub fn hash_key_components(values: &[Value]) -> u64 {
+    // FNV-1a over the component hashes, seeded with the arity.
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (values.len() as u64);
+    for value in values {
+        h ^= value.stable_hash();
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        // Finalization round so low bits (the radix) mix well.
+        h ^= h >> 29;
+    }
+    h
+}
+
 /// A materialized, radix-partitioned hash table over the build side of a join.
 pub struct RadixHashTable {
-    /// Per partition: the clustered `(key hash, key, binding)` entries.
-    partitions: Vec<Vec<(u64, Value, Binding)>>,
+    /// Per partition: the clustered `(key hash, key, binding, entry id)`
+    /// entries. The entry id is the position in the original build input,
+    /// used by left-outer joins to track matches.
+    partitions: Vec<Vec<(u64, Value, Binding, u32)>>,
     /// Number of entries inserted.
     len: usize,
 }
@@ -33,16 +51,16 @@ impl RadixHashTable {
     /// Builds the table by partitioning (clustering) the materialized build
     /// side on the key hash.
     pub fn build(entries: Vec<(Value, Binding)>) -> RadixHashTable {
-        let mut partitions: Vec<Vec<(u64, Value, Binding)>> =
+        let mut partitions: Vec<Vec<(u64, Value, Binding, u32)>> =
             (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
         let len = entries.len();
-        for (key, binding) in entries {
+        for (id, (key, binding)) in entries.into_iter().enumerate() {
             let hash = key.stable_hash();
-            partitions[partition_of(hash)].push((hash, key, binding));
+            partitions[partition_of(hash)].push((hash, key, binding, id as u32));
         }
         // Cluster each partition by hash so probes touch contiguous runs.
         for partition in &mut partitions {
-            partition.sort_by_key(|(hash, _, _)| *hash);
+            partition.sort_by_key(|(hash, _, _, _)| *hash);
         }
         RadixHashTable { partitions, len }
     }
@@ -60,14 +78,20 @@ impl RadixHashTable {
     /// Probes with a key, invoking `on_match` for every build binding whose
     /// key equals the probe key. Returns the number of matches.
     pub fn probe(&self, key: &Value, mut on_match: impl FnMut(&Binding)) -> usize {
+        self.probe_indexed(key, |_, binding| on_match(binding))
+    }
+
+    /// Like [`RadixHashTable::probe`] but also hands the matched entry's
+    /// build-input position to the callback (left-outer match tracking).
+    pub fn probe_indexed(&self, key: &Value, mut on_match: impl FnMut(u32, &Binding)) -> usize {
         let hash = key.stable_hash();
         let partition = &self.partitions[partition_of(hash)];
         // Binary search to the first entry with this hash, then walk the run.
-        let mut idx = partition.partition_point(|(h, _, _)| *h < hash);
+        let mut idx = partition.partition_point(|(h, _, _, _)| *h < hash);
         let mut matches = 0;
         while idx < partition.len() && partition[idx].0 == hash {
             if partition[idx].1.value_eq(key) {
-                on_match(&partition[idx].2);
+                on_match(partition[idx].3, &partition[idx].2);
                 matches += 1;
             }
             idx += 1;
@@ -75,19 +99,37 @@ impl RadixHashTable {
         matches
     }
 
+    /// Visits every entry as `(entry id, key, binding)` (left-outer sweep).
+    pub fn for_each_entry(&self, mut f: impl FnMut(u32, &Value, &Binding)) {
+        for partition in &self.partitions {
+            for (_, key, binding, id) in partition {
+                f(*id, key, binding);
+            }
+        }
+    }
+
     /// Approximate bytes materialized by the build side (for metrics).
     pub fn materialized_bytes(&self) -> u64 {
         self.partitions
             .iter()
-            .map(|p| p.iter().map(|(_, _, b)| 16 + b.len() as u64 * 16).sum::<u64>())
+            .map(|p| {
+                p.iter()
+                    .map(|(_, _, b, _)| 16 + b.len() as u64 * 16)
+                    .sum::<u64>()
+            })
             .sum()
     }
 }
 
+/// One group: `(key hash, key components, per-monoid accumulators)`.
+type GroupEntry = (u64, Vec<Value>, Vec<Accumulator>);
+
 /// A radix-partitioned grouping (aggregation) table: the runtime of the
-/// `nest` operator.
+/// `nest` operator. In a morsel-parallel pipeline every worker folds into a
+/// private table and the partials are [`absorb`](RadixGroupTable::absorb)ed
+/// pairwise at the end.
 pub struct RadixGroupTable {
-    partitions: Vec<Vec<(u64, Vec<Value>, Vec<Accumulator>)>>,
+    partitions: Vec<Vec<GroupEntry>>,
     monoids: Vec<Monoid>,
     groups: usize,
 }
@@ -105,15 +147,15 @@ impl RadixGroupTable {
     /// Folds one input: finds (or creates) the group of `key` and merges the
     /// per-monoid values.
     pub fn merge(&mut self, key: Vec<Value>, values: Vec<Value>) {
-        let hash = Value::List(key.clone()).stable_hash();
+        // Hash the key components in place — no cloned Value::List per entry.
+        let hash = hash_key_components(&key);
         let partition = &mut self.partitions[partition_of(hash)];
         let found = partition.iter_mut().find(|(h, k, _)| {
             *h == hash && k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.value_eq(b))
         });
         match found {
             Some((_, _, accumulators)) => {
-                for ((acc, monoid), value) in
-                    accumulators.iter_mut().zip(&self.monoids).zip(values)
+                for ((acc, monoid), value) in accumulators.iter_mut().zip(&self.monoids).zip(values)
                 {
                     let _ = acc.merge(*monoid, value);
                 }
@@ -121,8 +163,7 @@ impl RadixGroupTable {
             None => {
                 let mut accumulators: Vec<Accumulator> =
                     self.monoids.iter().map(|m| Accumulator::zero(*m)).collect();
-                for ((acc, monoid), value) in
-                    accumulators.iter_mut().zip(&self.monoids).zip(values)
+                for ((acc, monoid), value) in accumulators.iter_mut().zip(&self.monoids).zip(values)
                 {
                     let _ = acc.merge(*monoid, value);
                 }
@@ -132,16 +173,48 @@ impl RadixGroupTable {
         }
     }
 
+    /// Absorbs another table's partial groups (same monoids): accumulator
+    /// states are combined under the monoid's associative ⊕.
+    pub fn absorb(&mut self, other: RadixGroupTable) {
+        debug_assert_eq!(self.monoids, other.monoids);
+        for (pid, partition) in other.partitions.into_iter().enumerate() {
+            for (hash, key, accumulators) in partition {
+                let target = &mut self.partitions[pid];
+                let found = target.iter_mut().find(|(h, k, _)| {
+                    *h == hash
+                        && k.len() == key.len()
+                        && k.iter().zip(&key).all(|(a, b)| a.value_eq(b))
+                });
+                match found {
+                    Some((_, _, existing)) => {
+                        for ((acc, monoid), partial) in
+                            existing.iter_mut().zip(&self.monoids).zip(accumulators)
+                        {
+                            let _ = acc.combine(*monoid, partial);
+                        }
+                    }
+                    None => {
+                        target.push((hash, key, accumulators));
+                        self.groups += 1;
+                    }
+                }
+            }
+        }
+    }
+
     /// Number of groups formed.
     pub fn group_count(&self) -> usize {
         self.groups
     }
 
-    /// Finalizes the table into `(key, outputs)` rows.
+    /// Finalizes the table into `(key, outputs)` rows. Rows come out in
+    /// (partition, key hash) order so serial and parallel executions of the
+    /// same query produce the same row order.
     pub fn finish(self) -> Vec<(Vec<Value>, Vec<Value>)> {
         let monoids = self.monoids;
         let mut rows = Vec::with_capacity(self.groups);
-        for partition in self.partitions {
+        for mut partition in self.partitions {
+            partition.sort_by_key(|(hash, _, _)| *hash);
             for (_, key, accumulators) in partition {
                 let outputs: Vec<Value> = accumulators
                     .into_iter()
@@ -192,26 +265,34 @@ mod tests {
     }
 
     #[test]
+    fn probe_indexed_reports_entry_ids() {
+        let table = RadixHashTable::build(vec![
+            (Value::Int(1), vec![Value::Int(10)]),
+            (Value::Int(2), vec![Value::Int(20)]),
+            (Value::Int(1), vec![Value::Int(30)]),
+        ]);
+        let mut ids = Vec::new();
+        table.probe_indexed(&Value::Int(1), |id, _| ids.push(id));
+        ids.sort_unstable();
+        assert_eq!(ids, vec![0, 2]);
+        let mut all = Vec::new();
+        table.for_each_entry(|id, _, _| all.push(id));
+        all.sort_unstable();
+        assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
     fn group_table_aggregates_per_key() {
         let mut table = RadixGroupTable::new(vec![Monoid::Count, Monoid::Sum]);
         for i in 0..100i64 {
-            table.merge(
-                vec![Value::Int(i % 4)],
-                vec![Value::Int(1), Value::Int(i)],
-            );
+            table.merge(vec![Value::Int(i % 4)], vec![Value::Int(1), Value::Int(i)]);
         }
         assert_eq!(table.group_count(), 4);
         let rows = table.finish();
         assert_eq!(rows.len(), 4);
-        let total_count: i64 = rows
-            .iter()
-            .map(|(_, outs)| outs[0].as_int().unwrap())
-            .sum();
+        let total_count: i64 = rows.iter().map(|(_, outs)| outs[0].as_int().unwrap()).sum();
         assert_eq!(total_count, 100);
-        let total_sum: i64 = rows
-            .iter()
-            .map(|(_, outs)| outs[1].as_int().unwrap())
-            .sum();
+        let total_sum: i64 = rows.iter().map(|(_, outs)| outs[1].as_int().unwrap()).sum();
         assert_eq!(total_sum, (0..100).sum::<i64>());
     }
 
@@ -222,6 +303,40 @@ mod tests {
         table.merge(vec![Value::Int(1), Value::str("y")], vec![Value::Int(1)]);
         table.merge(vec![Value::Int(1), Value::str("x")], vec![Value::Int(1)]);
         assert_eq!(table.group_count(), 2);
+    }
+
+    #[test]
+    fn key_component_hash_is_consistent_with_componentwise_equality() {
+        // Int/Float numeric equivalence must collide, like Value::stable_hash.
+        assert_eq!(
+            hash_key_components(&[Value::Int(3), Value::str("a")]),
+            hash_key_components(&[Value::Float(3.0), Value::str("a")]),
+        );
+        // Order matters.
+        assert_ne!(
+            hash_key_components(&[Value::Int(1), Value::Int(2)]),
+            hash_key_components(&[Value::Int(2), Value::Int(1)]),
+        );
+    }
+
+    #[test]
+    fn absorb_equals_single_table_fold() {
+        let mut whole = RadixGroupTable::new(vec![Monoid::Count, Monoid::Sum]);
+        let mut left = RadixGroupTable::new(vec![Monoid::Count, Monoid::Sum]);
+        let mut right = RadixGroupTable::new(vec![Monoid::Count, Monoid::Sum]);
+        for i in 0..200i64 {
+            let key = vec![Value::Int(i % 7)];
+            let values = vec![Value::Int(1), Value::Int(i)];
+            whole.merge(key.clone(), values.clone());
+            if i % 2 == 0 {
+                left.merge(key, values);
+            } else {
+                right.merge(key, values);
+            }
+        }
+        left.absorb(right);
+        assert_eq!(left.group_count(), whole.group_count());
+        assert_eq!(left.finish(), whole.finish());
     }
 
     #[test]

@@ -19,4 +19,4 @@ pub mod tpch;
 pub mod writers;
 
 pub use tpch::{TpchGenerator, TpchScale};
-pub use writers::{value_to_json, write_csv, write_json, write_column_table, write_row_table};
+pub use writers::{value_to_json, write_column_table, write_csv, write_json, write_row_table};

@@ -106,7 +106,9 @@ impl SymantecScale {
 
 const LANGUAGES: &[&str] = &["en", "ru", "zh", "es", "de", "pt", "fr"];
 const COUNTRIES: &[&str] = &["us", "ru", "cn", "br", "in", "de", "ng", "vn"];
-const BOTS: &[&str] = &["rustock", "grum", "cutwail", "kelihos", "waledac", "unknown"];
+const BOTS: &[&str] = &[
+    "rustock", "grum", "cutwail", "kelihos", "waledac", "unknown",
+];
 const CLASSIFIERS: &[&str] = &["campaign", "phishing", "malware", "pharma"];
 
 /// The Symantec-like silo generator.
@@ -195,7 +197,10 @@ impl SymantecGenerator {
                     ("size_bytes", Value::Int(self.rng.gen_range(200..20_000))),
                     (
                         "subject",
-                        Value::Str(format!("special offer number {}", self.rng.gen_range(0..1_000))),
+                        Value::Str(format!(
+                            "special offer number {}",
+                            self.rng.gen_range(0..1_000)
+                        )),
                     ),
                     ("classes", Value::List(classes)),
                 ])
@@ -236,7 +241,10 @@ impl SymantecGenerator {
                     ("mail_id", Value::Int(mail_id)),
                     ("first_seen", Value::Int(self.rng.gen_range(10_000..12_000))),
                     ("occurrences", Value::Int(self.rng.gen_range(1..500))),
-                    ("total_score", Value::Float(self.rng.gen_range(0.0..10_000.0))),
+                    (
+                        "total_score",
+                        Value::Float(self.rng.gen_range(0.0..10_000.0)),
+                    ),
                     (
                         "dominant_bot",
                         Value::Str(BOTS[self.rng.gen_range(0..BOTS.len())].to_string()),
@@ -291,7 +299,13 @@ mod tests {
         let mut generator = SymantecGenerator::new(scale);
         let rows = generator.classifications();
         assert!(rows.iter().all(|r| {
-            let id = r.as_record().unwrap().get("mail_id").unwrap().as_int().unwrap();
+            let id = r
+                .as_record()
+                .unwrap()
+                .get("mail_id")
+                .unwrap()
+                .as_int()
+                .unwrap();
             (0..10).contains(&id)
         }));
     }

@@ -94,10 +94,16 @@ impl TpchGenerator {
                     ("l_orderkey", Value::Int(orderkey)),
                     ("l_linenumber", Value::Int(linenumber)),
                     ("l_quantity", Value::Float(quantity)),
-                    ("l_extendedprice", Value::Float((price * 100.0).round() / 100.0)),
+                    (
+                        "l_extendedprice",
+                        Value::Float((price * 100.0).round() / 100.0),
+                    ),
                     ("l_discount", Value::Float(discount)),
                     ("l_tax", Value::Float(tax)),
-                    ("l_shipdate", Value::Int(orderdate + self.rng.gen_range(1..120))),
+                    (
+                        "l_shipdate",
+                        Value::Int(orderdate + self.rng.gen_range(1..120)),
+                    ),
                     (
                         "l_comment",
                         Value::Str(format!("lineitem {orderkey}-{linenumber} carefully packed")),
@@ -107,9 +113,15 @@ impl TpchGenerator {
             orders.push(Value::record(vec![
                 ("o_orderkey", Value::Int(orderkey)),
                 ("o_custkey", Value::Int(custkey)),
-                ("o_totalprice", Value::Float((total * 100.0).round() / 100.0)),
+                (
+                    "o_totalprice",
+                    Value::Float((total * 100.0).round() / 100.0),
+                ),
                 ("o_orderdate", Value::Int(orderdate)),
-                ("o_comment", Value::Str(format!("order {orderkey} pending review"))),
+                (
+                    "o_comment",
+                    Value::Str(format!("order {orderkey} pending review")),
+                ),
             ]));
         }
         orders.shuffle(&mut self.rng);
@@ -120,7 +132,8 @@ impl TpchGenerator {
     /// Builds the denormalized form used by the Figure 9 "Unnest" template:
     /// each order object embeds the array of its lineitems.
     pub fn denormalize(orders: &[Value], lineitems: &[Value]) -> Vec<Value> {
-        let mut per_order: std::collections::HashMap<i64, Vec<Value>> = std::collections::HashMap::new();
+        let mut per_order: std::collections::HashMap<i64, Vec<Value>> =
+            std::collections::HashMap::new();
         for li in lineitems {
             if let Ok(rec) = li.as_record() {
                 if let Some(Value::Int(key)) = rec.get("l_orderkey") {
@@ -132,11 +145,12 @@ impl TpchGenerator {
             .iter()
             .map(|order| {
                 let rec = order.as_record().unwrap();
-                let key = rec.get("o_orderkey").and_then(|v| v.as_int().ok()).unwrap_or(0);
-                let mut fields: Vec<(&str, Value)> = rec
-                    .iter()
-                    .map(|(n, v)| (n, v.clone()))
-                    .collect::<Vec<_>>();
+                let key = rec
+                    .get("o_orderkey")
+                    .and_then(|v| v.as_int().ok())
+                    .unwrap_or(0);
+                let mut fields: Vec<(&str, Value)> =
+                    rec.iter().map(|(n, v)| (n, v.clone())).collect::<Vec<_>>();
                 fields.push((
                     "lineitems",
                     Value::List(per_order.remove(&key).unwrap_or_default()),
@@ -172,11 +186,23 @@ mod tests {
         let (orders, lineitems) = TpchGenerator::new(TpchScale(0.05)).generate();
         let keys: std::collections::HashSet<i64> = orders
             .iter()
-            .map(|o| o.as_record().unwrap().get("o_orderkey").unwrap().as_int().unwrap())
+            .map(|o| {
+                o.as_record()
+                    .unwrap()
+                    .get("o_orderkey")
+                    .unwrap()
+                    .as_int()
+                    .unwrap()
+            })
             .collect();
         assert!(lineitems.iter().all(|l| {
             keys.contains(
-                &l.as_record().unwrap().get("l_orderkey").unwrap().as_int().unwrap(),
+                &l.as_record()
+                    .unwrap()
+                    .get("l_orderkey")
+                    .unwrap()
+                    .as_int()
+                    .unwrap(),
             )
         }));
     }
@@ -226,10 +252,16 @@ mod tests {
         let o_names = TpchGenerator::orders_schema();
         let l_names = TpchGenerator::lineitem_schema();
         for field in o_names.names() {
-            assert!(orders[0].as_record().unwrap().get(field).is_some(), "{field}");
+            assert!(
+                orders[0].as_record().unwrap().get(field).is_some(),
+                "{field}"
+            );
         }
         for field in l_names.names() {
-            assert!(lineitems[0].as_record().unwrap().get(field).is_some(), "{field}");
+            assert!(
+                lineitems[0].as_record().unwrap().get(field).is_some(),
+                "{field}"
+            );
         }
     }
 }

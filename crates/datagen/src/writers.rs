@@ -41,7 +41,11 @@ pub fn value_to_json(value: &Value) -> String {
 /// set, each object's field order is rotated differently (the Symantec JSON
 /// input has "arbitrary field order" and §7.1 stresses that no field-order
 /// assumption is made).
-pub fn write_json(path: impl AsRef<Path>, rows: &[Value], shuffle_fields: bool) -> std::io::Result<()> {
+pub fn write_json(
+    path: impl AsRef<Path>,
+    rows: &[Value],
+    shuffle_fields: bool,
+) -> std::io::Result<()> {
     let mut out = String::new();
     for (idx, row) in rows.iter().enumerate() {
         let rendered = if shuffle_fields {
@@ -169,7 +173,10 @@ mod tests {
         let row = Value::record(vec![
             ("id", Value::Int(3)),
             ("name", Value::Str("a \"quoted\" name".into())),
-            ("scores", Value::List(vec![Value::Float(1.5), Value::Int(2)])),
+            (
+                "scores",
+                Value::List(vec![Value::Float(1.5), Value::Int(2)]),
+            ),
             ("nested", Value::record(vec![("x", Value::Bool(true))])),
             ("missing", Value::Null),
         ]);
@@ -180,7 +187,12 @@ mod tests {
             Some(&Value::Str("a \"quoted\" name".into()))
         );
         assert_eq!(
-            parsed.as_record().unwrap().get("nested").unwrap().navigate(&["x".to_string()]),
+            parsed
+                .as_record()
+                .unwrap()
+                .get("nested")
+                .unwrap()
+                .navigate(&["x".to_string()]),
             Value::Bool(true)
         );
     }

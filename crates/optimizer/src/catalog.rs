@@ -119,7 +119,11 @@ mod tests {
             1000,
         );
         assert_eq!(catalog.cardinality("lineitem"), Some(1000));
-        assert!(catalog.schema_of("lineitem").unwrap().index_of("l_orderkey").is_some());
+        assert!(catalog
+            .schema_of("lineitem")
+            .unwrap()
+            .index_of("l_orderkey")
+            .is_some());
         assert!(catalog.get("ghost").is_none());
         assert_eq!(catalog.datasets(), vec!["lineitem"]);
     }
@@ -138,9 +142,11 @@ mod tests {
         use bytes::Bytes;
         use proteus_plugins::json::JsonPlugin;
         let registry = PluginRegistry::new();
-        let plugin =
-            JsonPlugin::from_bytes("events", Bytes::from("{\"x\": 1}\n{\"x\": 5}\n".to_string()))
-                .unwrap();
+        let plugin = JsonPlugin::from_bytes(
+            "events",
+            Bytes::from("{\"x\": 1}\n{\"x\": 5}\n".to_string()),
+        )
+        .unwrap();
         registry.register(std::sync::Arc::new(plugin));
         let catalog = Catalog::from_registry(&registry);
         let meta = catalog.get("events").unwrap();

@@ -127,11 +127,10 @@ impl CostModel {
                 // Equi-joins: |L ⋈ R| ≈ |L|·|R| / max(distinct); approximated
                 // by the larger side (foreign-key join assumption). Other
                 // predicates: default selectivity over the cross product.
-                let is_equi = predicate
-                    .split_conjunction()
-                    .iter()
-                    .any(|c| matches!(c, Expr::Binary { op: BinaryOp::Eq, left, right }
-                        if matches!(**left, Expr::Path(_)) && matches!(**right, Expr::Path(_))));
+                let is_equi = predicate.split_conjunction().iter().any(|c| {
+                    matches!(c, Expr::Binary { op: BinaryOp::Eq, left, right }
+                        if matches!(**left, Expr::Path(_)) && matches!(**right, Expr::Path(_)))
+                });
                 let cardinality = if is_equi {
                     l.cardinality.max(r.cardinality)
                 } else {
@@ -156,7 +155,9 @@ impl CostModel {
                     cost: child.cost + child.cardinality,
                 }
             }
-            LogicalPlan::Nest { input, group_by, .. } => {
+            LogicalPlan::Nest {
+                input, group_by, ..
+            } => {
                 let child = self.estimate(input);
                 let groups = (child.cardinality * 0.1).max(1.0) * group_by.len().max(1) as f64;
                 CostEstimate {
@@ -240,9 +241,8 @@ mod tests {
     fn select_reduces_estimated_cardinality() {
         let model = CostModel::new(catalog());
         let base = model.estimate(&scan("lineitem", "l"));
-        let filtered = model.estimate(
-            &scan("lineitem", "l").select(Expr::path("l.l_orderkey").lt(Expr::int(100))),
-        );
+        let filtered = model
+            .estimate(&scan("lineitem", "l").select(Expr::path("l.l_orderkey").lt(Expr::int(100))));
         assert_eq!(base.cardinality, 10_000.0);
         assert!(filtered.cardinality < base.cardinality);
         assert!(filtered.cost > base.cost);
@@ -263,8 +263,8 @@ mod tests {
     #[test]
     fn reduce_outputs_single_row() {
         let model = CostModel::new(catalog());
-        let plan = scan("lineitem", "l")
-            .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
+        let plan =
+            scan("lineitem", "l").reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "c")]);
         assert_eq!(model.estimate(&plan).cardinality, 1.0);
     }
 

@@ -91,6 +91,72 @@ impl FieldAccessor {
     pub fn is_specialized_numeric(&self) -> bool {
         matches!(self, FieldAccessor::Int(_) | FieldAccessor::Float(_))
     }
+
+    /// Builds a [`BatchFill`] from this accessor: the enum dispatch happens
+    /// once here, and the returned closure runs a monomorphic loop per
+    /// morsel (one indirect call per *morsel* per field on the scan path,
+    /// instead of one per tuple).
+    pub fn batch_fill(&self) -> BatchFill {
+        match self {
+            FieldAccessor::Int(f) => {
+                let f = f.clone();
+                Arc::new(move |start, count, out: &mut [Value], base, stride| {
+                    for i in 0..count {
+                        out[base + i * stride] = Value::Int(f(start + i as Oid));
+                    }
+                })
+            }
+            FieldAccessor::Float(f) => {
+                let f = f.clone();
+                Arc::new(move |start, count, out: &mut [Value], base, stride| {
+                    for i in 0..count {
+                        out[base + i * stride] = Value::Float(f(start + i as Oid));
+                    }
+                })
+            }
+            FieldAccessor::Bool(f) => {
+                let f = f.clone();
+                Arc::new(move |start, count, out: &mut [Value], base, stride| {
+                    for i in 0..count {
+                        out[base + i * stride] = Value::Bool(f(start + i as Oid));
+                    }
+                })
+            }
+            FieldAccessor::Str(f) => {
+                let f = f.clone();
+                Arc::new(move |start, count, out: &mut [Value], base, stride| {
+                    for i in 0..count {
+                        out[base + i * stride] = Value::Str(f(start + i as Oid));
+                    }
+                })
+            }
+            FieldAccessor::Generic(f) => {
+                let f = f.clone();
+                Arc::new(move |start, count, out: &mut [Value], base, stride| {
+                    for i in 0..count {
+                        out[base + i * stride] = f(start + i as Oid);
+                    }
+                })
+            }
+        }
+    }
+}
+
+/// A morsel filler for one field: writes the values of objects
+/// `start..start + count` into a row-major batch buffer, value `i` landing at
+/// `out[base + i * stride]`. Plug-ins may provide specialized fillers (e.g.
+/// direct column copies); [`FieldAccessor::batch_fill`] is the generic
+/// fallback.
+pub type BatchFill = Arc<dyn Fn(Oid, usize, &mut [Value], usize, usize) + Send + Sync>;
+
+/// Builds the columnar fast-path filler: a direct strided copy out of a
+/// shared raw column, one virtual call per (field, morsel). Used by the
+/// binary column plug-in, the cache plug-in and the engine's cache-served
+/// scan accessors.
+pub fn column_batch_fill(column: Arc<proteus_storage::ColumnData>) -> BatchFill {
+    Arc::new(move |start, count, out: &mut [Value], base, stride| {
+        column.fill_values(start as usize, count, out, base, stride)
+    })
 }
 
 impl std::fmt::Debug for FieldAccessor {
@@ -109,21 +175,61 @@ impl std::fmt::Debug for FieldAccessor {
 /// What a plug-in hands to the scan operator of the generated engine: the
 /// number of objects to scan and one specialized accessor per requested
 /// field (the "virtual memory buffers" get filled from these).
-#[derive(Debug, Clone)]
+#[derive(Clone)]
 pub struct ScanAccessors {
     /// Number of objects (tuples) the scan will produce.
     pub row_count: u64,
     /// `(field name, accessor)` pairs in the order they were requested.
     pub fields: Vec<(String, FieldAccessor)>,
+    /// `(field name, morsel filler)` pairs: the batched scan path. Same
+    /// order as `fields`; plug-ins with a native columnar layout install
+    /// direct-copy fillers, everyone else wraps the accessor.
+    pub batch_fields: Vec<(String, BatchFill)>,
     /// Human-readable description of the access path the plug-in chose
     /// (shows up in the emitted pseudo-IR, e.g. `"csv(structural-index N=8)"`).
     pub access_path: String,
 }
 
 impl ScanAccessors {
+    /// Builds accessors with the generic per-accessor batch fillers.
+    pub fn from_accessors(
+        row_count: u64,
+        fields: Vec<(String, FieldAccessor)>,
+        access_path: impl Into<String>,
+    ) -> ScanAccessors {
+        let batch_fields = fields
+            .iter()
+            .map(|(name, accessor)| (name.clone(), accessor.batch_fill()))
+            .collect();
+        ScanAccessors {
+            row_count,
+            fields,
+            batch_fields,
+            access_path: access_path.into(),
+        }
+    }
+
     /// Looks up the accessor generated for a field.
     pub fn field(&self, name: &str) -> Option<&FieldAccessor> {
         self.fields.iter().find(|(n, _)| n == name).map(|(_, a)| a)
+    }
+
+    /// Looks up the morsel filler generated for a field.
+    pub fn batch_field(&self, name: &str) -> Option<&BatchFill> {
+        self.batch_fields
+            .iter()
+            .find(|(n, _)| n == name)
+            .map(|(_, f)| f)
+    }
+}
+
+impl std::fmt::Debug for ScanAccessors {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ScanAccessors")
+            .field("row_count", &self.row_count)
+            .field("fields", &self.fields)
+            .field("access_path", &self.access_path)
+            .finish()
     }
 }
 
@@ -254,16 +360,31 @@ mod tests {
 
     #[test]
     fn scan_accessors_field_lookup() {
-        let scan = ScanAccessors {
-            row_count: 10,
-            fields: vec![(
+        let scan = ScanAccessors::from_accessors(
+            10,
+            vec![(
                 "x".to_string(),
                 FieldAccessor::Int(Arc::new(|oid| oid as i64)),
             )],
-            access_path: "test".into(),
-        };
+            "test",
+        );
         assert!(scan.field("x").is_some());
         assert!(scan.field("y").is_none());
+        assert!(scan.batch_field("x").is_some());
+        assert!(scan.batch_field("y").is_none());
+    }
+
+    #[test]
+    fn batch_fill_matches_per_tuple_accessor() {
+        let accessor = FieldAccessor::Int(Arc::new(|oid| oid as i64 * 3));
+        let fill = accessor.batch_fill();
+        // Strided destination: width-2 rows, slot 1.
+        let mut out = vec![Value::Null; 8];
+        fill(5, 4, &mut out, 1, 2);
+        for i in 0..4u64 {
+            assert_eq!(out[1 + i as usize * 2], accessor.value(5 + i));
+            assert_eq!(out[i as usize * 2], Value::Null);
+        }
     }
 
     #[test]

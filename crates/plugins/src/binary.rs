@@ -38,11 +38,17 @@ impl ColumnPlugin {
     /// Opens a column-table directory, loading every column eagerly (the
     /// files are binary and compact; the paper's experiments run over warm
     /// OS caches).
-    pub fn open(dataset: impl Into<String>, dir: impl AsRef<std::path::Path>) -> Result<ColumnPlugin> {
+    pub fn open(
+        dataset: impl Into<String>,
+        dir: impl AsRef<std::path::Path>,
+    ) -> Result<ColumnPlugin> {
         let table = ColumnTable::open(dir)?;
         let mut columns = HashMap::new();
         for field in table.schema.fields() {
-            columns.insert(field.name.clone(), Arc::new(table.read_column(&field.name)?));
+            columns.insert(
+                field.name.clone(),
+                Arc::new(table.read_column(&field.name)?),
+            );
         }
         Self::from_columns(dataset, table.schema.clone(), columns)
     }
@@ -87,10 +93,7 @@ impl ColumnPlugin {
                 .map(|(n, c)| proteus_algebra::Field::new(n.clone(), c.data_type()))
                 .collect(),
         );
-        let columns = pairs
-            .into_iter()
-            .map(|(n, c)| (n, Arc::new(c)))
-            .collect();
+        let columns = pairs.into_iter().map(|(n, c)| (n, Arc::new(c))).collect();
         Self::from_columns(dataset, schema, columns)
     }
 
@@ -114,8 +117,16 @@ fn column_stats(
         if let Some(col) = columns.get(&field.name) {
             let column_stat = match col.as_ref() {
                 ColumnData::Int(v) => ColumnStats {
-                    min: v.iter().min().map(|x| Value::Int(*x)).unwrap_or(Value::Null),
-                    max: v.iter().max().map(|x| Value::Int(*x)).unwrap_or(Value::Null),
+                    min: v
+                        .iter()
+                        .min()
+                        .map(|x| Value::Int(*x))
+                        .unwrap_or(Value::Null),
+                    max: v
+                        .iter()
+                        .max()
+                        .map(|x| Value::Int(*x))
+                        .unwrap_or(Value::Null),
                     distinct: distinct_estimate(v.len()),
                     nulls: 0,
                 },
@@ -157,6 +168,7 @@ impl InputPlugin for ColumnPlugin {
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
         let mut accessors = Vec::with_capacity(fields.len());
+        let mut batch_fields = Vec::with_capacity(fields.len());
         for field in fields {
             let column = self.inner.columns.get(field).cloned().ok_or_else(|| {
                 PluginError::UnknownField {
@@ -164,6 +176,9 @@ impl InputPlugin for ColumnPlugin {
                     field: field.clone(),
                 }
             })?;
+            // Morsel path: a direct strided copy out of the raw column, one
+            // virtual call per (field, morsel).
+            batch_fields.push((field.clone(), crate::api::column_batch_fill(column.clone())));
             let accessor = match column.as_ref() {
                 ColumnData::Int(_) => {
                     let col = column.clone();
@@ -199,19 +214,26 @@ impl InputPlugin for ColumnPlugin {
         Ok(ScanAccessors {
             row_count: self.len(),
             fields: accessors,
+            batch_fields,
             access_path: "binary-columns(direct positional reads)".into(),
         })
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
-        let column = self.inner.columns.get(field).ok_or_else(|| PluginError::UnknownField {
-            dataset: self.inner.dataset.clone(),
-            field: field.to_string(),
-        })?;
-        column.value_at(oid as usize).ok_or(PluginError::OidOutOfRange {
-            dataset: self.inner.dataset.clone(),
-            oid,
-        })
+        let column = self
+            .inner
+            .columns
+            .get(field)
+            .ok_or_else(|| PluginError::UnknownField {
+                dataset: self.inner.dataset.clone(),
+                field: field.to_string(),
+            })?;
+        column
+            .value_at(oid as usize)
+            .ok_or(PluginError::OidOutOfRange {
+                dataset: self.inner.dataset.clone(),
+                oid,
+            })
     }
 
     fn read_path(&self, oid: Oid, path: &[String]) -> Result<Value> {
@@ -359,11 +381,11 @@ impl InputPlugin for RowPlugin {
             };
             accessors.push((field.clone(), accessor));
         }
-        Ok(ScanAccessors {
-            row_count: self.len(),
-            fields: accessors,
-            access_path: "binary-rows(fixed-stride positions)".into(),
-        })
+        Ok(ScanAccessors::from_accessors(
+            self.len(),
+            accessors,
+            "binary-rows(fixed-stride positions)",
+        ))
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
@@ -407,7 +429,10 @@ mod tests {
         ColumnPlugin::from_pairs(
             "lineitem",
             vec![
-                ("l_orderkey".to_string(), ColumnData::Int((0..100).collect())),
+                (
+                    "l_orderkey".to_string(),
+                    ColumnData::Int((0..100).collect()),
+                ),
                 (
                     "l_quantity".to_string(),
                     ColumnData::Float((0..100).map(|i| i as f64 * 0.5).collect()),
@@ -428,7 +453,10 @@ mod tests {
         assert_eq!(p.format(), SourceFormat::Binary);
         assert_eq!(p.read_value(7, "l_orderkey").unwrap(), Value::Int(7));
         assert_eq!(p.read_value(4, "l_quantity").unwrap(), Value::Float(2.0));
-        assert_eq!(p.read_value(3, "l_comment").unwrap(), Value::Str("c3".into()));
+        assert_eq!(
+            p.read_value(3, "l_comment").unwrap(),
+            Value::Str("c3".into())
+        );
         assert!(p.read_value(1000, "l_orderkey").is_err());
         assert!(p.read_value(0, "ghost").is_err());
     }

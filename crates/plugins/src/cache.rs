@@ -85,9 +85,12 @@ impl InputPlugin for CachePlugin {
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
         let mut accessors = Vec::with_capacity(fields.len());
+        let mut batch_fields = Vec::with_capacity(fields.len());
         for field in fields {
             let column = self.column(field)?.clone();
             let column = Arc::new(column);
+            // Morsel path: cached columns copy straight into the batch.
+            batch_fields.push((field.clone(), crate::api::column_batch_fill(column.clone())));
             let accessor = match column.as_ref() {
                 ColumnData::Int(_) => {
                     let col = column.clone();
@@ -123,6 +126,7 @@ impl InputPlugin for CachePlugin {
         Ok(ScanAccessors {
             row_count: self.len(),
             fields: accessors,
+            batch_fields,
             access_path: format!("cache({})", self.inner.entry.name),
         })
     }

@@ -80,7 +80,10 @@ impl CsvStructuralIndex {
         let mut row_index = 0usize;
         while pos < data.len() {
             let line_end = memchr(data, b'\n', pos).unwrap_or(data.len());
-            let is_header = options.has_header && row_index == 0 && row_offsets.is_empty() && first_data_row_is_header(options);
+            let is_header = options.has_header
+                && row_index == 0
+                && row_offsets.is_empty()
+                && first_data_row_is_header(options);
             row_index += 1;
             if !is_header && line_end > pos {
                 let row_start = pos;
@@ -109,13 +112,12 @@ impl CsvStructuralIndex {
                     anchors_per_row = anchors.len();
                     fixed_layout = Some(offsets_this_row.clone());
                     first_data_row = false;
-                } else if layout_is_fixed {
-                    if fixed_layout.as_deref() != Some(&offsets_this_row[..])
-                        || row_lengths.first() != row_lengths.last()
-                    {
-                        layout_is_fixed = false;
-                        fixed_layout = None;
-                    }
+                } else if layout_is_fixed
+                    && (fixed_layout.as_deref() != Some(&offsets_this_row[..])
+                        || row_lengths.first() != row_lengths.last())
+                {
+                    layout_is_fixed = false;
+                    fixed_layout = None;
                 }
                 anchor_offsets.extend(anchors.iter().take(anchors_per_row));
                 // Pad if this row had fewer fields than the first one.
@@ -153,11 +155,10 @@ impl CsvStructuralIndex {
     pub fn size_bytes(&self) -> usize {
         if self.is_fixed_layout() {
             // Deterministic mode drops the per-row anchors.
-            self.row_offsets.len() * 8 + self.fixed_layout.as_ref().map(|v| v.len() * 4).unwrap_or(0)
-        } else {
             self.row_offsets.len() * 8
-                + self.row_lengths.len() * 4
-                + self.anchor_offsets.len() * 4
+                + self.fixed_layout.as_ref().map(|v| v.len() * 4).unwrap_or(0)
+        } else {
+            self.row_offsets.len() * 8 + self.row_lengths.len() * 4 + self.anchor_offsets.len() * 4
         }
     }
 
@@ -200,11 +201,17 @@ fn first_data_row_is_header(options: &CsvOptions) -> bool {
 }
 
 fn memchr(haystack: &[u8], needle: u8, from: usize) -> Option<usize> {
-    haystack[from..].iter().position(|b| *b == needle).map(|p| p + from)
+    haystack[from..]
+        .iter()
+        .position(|b| *b == needle)
+        .map(|p| p + from)
 }
 
 fn memchr_bounded(haystack: &[u8], needle: u8, from: usize, to: usize) -> Option<usize> {
-    haystack[from..to].iter().position(|b| *b == needle).map(|p| p + from)
+    haystack[from..to]
+        .iter()
+        .position(|b| *b == needle)
+        .map(|p| p + from)
 }
 
 struct CsvInner {
@@ -264,17 +271,25 @@ impl CsvPlugin {
     }
 
     fn field_index(&self, field: &str) -> Result<usize> {
-        self.inner.schema.index_of(field).ok_or_else(|| PluginError::UnknownField {
-            dataset: self.inner.dataset.clone(),
-            field: field.to_string(),
-        })
+        self.inner
+            .schema
+            .index_of(field)
+            .ok_or_else(|| PluginError::UnknownField {
+                dataset: self.inner.dataset.clone(),
+                field: field.to_string(),
+            })
     }
 
     fn raw_field(&self, oid: Oid, field_idx: usize) -> Result<&[u8]> {
         let inner = &self.inner;
         let (start, end) = inner
             .index
-            .locate_field(&inner.data, inner.options.delimiter, oid as usize, field_idx)
+            .locate_field(
+                &inner.data,
+                inner.options.delimiter,
+                oid as usize,
+                field_idx,
+            )
             .ok_or(PluginError::OidOutOfRange {
                 dataset: inner.dataset.clone(),
                 oid,
@@ -293,10 +308,9 @@ fn parse_typed(bytes: &[u8], data_type: &DataType) -> Value {
         return Value::Null;
     }
     match data_type {
-        DataType::Int | DataType::Date => text
-            .parse::<i64>()
-            .map(Value::Int)
-            .unwrap_or(Value::Null),
+        DataType::Int | DataType::Date => {
+            text.parse::<i64>().map(Value::Int).unwrap_or(Value::Null)
+        }
         DataType::Float => text.parse::<f64>().map(Value::Float).unwrap_or(Value::Null),
         DataType::Bool => match text {
             "true" | "1" | "t" => Value::Bool(true),
@@ -313,8 +327,11 @@ fn collect_stats(
     options: &CsvOptions,
     index: &CsvStructuralIndex,
 ) -> DatasetStats {
-    let mut collectors: Vec<StatsCollector> =
-        schema.fields().iter().map(|_| StatsCollector::new()).collect();
+    let mut collectors: Vec<StatsCollector> = schema
+        .fields()
+        .iter()
+        .map(|_| StatsCollector::new())
+        .collect();
     // Numeric columns only: string min/max are rarely useful and the paper
     // avoids caching/propagating verbose string values.
     for row in 0..index.row_count() {
@@ -401,11 +418,13 @@ impl InputPlugin for CsvPlugin {
         } else {
             format!("csv(structural-index N={})", self.inner.options.index_every)
         };
-        Ok(ScanAccessors {
-            row_count: self.len(),
-            fields: accessors,
+        // The morsel path wraps the typed closures: parsing still happens
+        // per value, but accessor dispatch drops to one call per morsel.
+        Ok(ScanAccessors::from_accessors(
+            self.len(),
+            accessors,
             access_path,
-        })
+        ))
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
@@ -458,7 +477,13 @@ mod tests {
     fn sample_csv() -> String {
         let mut s = String::new();
         for i in 0..50 {
-            s.push_str(&format!("{}|{}|{}|comment {}\n", i, i % 7, i as f64 * 1.5, i));
+            s.push_str(&format!(
+                "{}|{}|{}|comment {}\n",
+                i,
+                i % 7,
+                i as f64 * 1.5,
+                i
+            ));
         }
         s
     }
@@ -519,7 +544,10 @@ mod tests {
         let key = scan.field("l_orderkey").unwrap();
         let qty = scan.field("l_quantity").unwrap();
         for oid in 0..50u64 {
-            assert_eq!(Value::Int(key.as_i64(oid)), p.read_value(oid, "l_orderkey").unwrap());
+            assert_eq!(
+                Value::Int(key.as_i64(oid)),
+                p.read_value(oid, "l_orderkey").unwrap()
+            );
             assert_eq!(
                 Value::Float(qty.as_f64(oid)),
                 p.read_value(oid, "l_quantity").unwrap()
@@ -563,12 +591,24 @@ mod tests {
         let p = CsvPlugin::from_bytes(
             "u",
             Bytes::from(uniform),
-            Schema::from_pairs(vec![("a", DataType::Int), ("b", DataType::Int), ("c", DataType::Int)]),
-            CsvOptions { delimiter: b'|', has_header: false, index_every: 2 },
+            Schema::from_pairs(vec![
+                ("a", DataType::Int),
+                ("b", DataType::Int),
+                ("c", DataType::Int),
+            ]),
+            CsvOptions {
+                delimiter: b'|',
+                has_header: false,
+                index_every: 2,
+            },
         )
         .unwrap();
         assert!(p.structural_index().is_fixed_layout());
-        assert!(p.generate(&["a".into()]).unwrap().access_path.contains("deterministic"));
+        assert!(p
+            .generate(&["a".into()])
+            .unwrap()
+            .access_path
+            .contains("deterministic"));
 
         // Variable-length rows → structural index path.
         let p = plugin();
@@ -591,7 +631,11 @@ mod tests {
                 ("b", DataType::Int),
                 ("c", DataType::String),
             ]),
-            CsvOptions { delimiter: b'|', has_header: false, index_every: 1 },
+            CsvOptions {
+                delimiter: b'|',
+                has_header: false,
+                index_every: 1,
+            },
         )
         .unwrap();
         assert_eq!(p.read_value(0, "b").unwrap(), Value::Null);
@@ -602,9 +646,7 @@ mod tests {
     fn unnest_is_unsupported_for_flat_csv() {
         let p = plugin();
         assert!(p.unnest_init(0, &["l_comment".to_string()]).is_err());
-        assert!(p
-            .read_path(0, &["a".to_string(), "b".to_string()])
-            .is_err());
+        assert!(p.read_path(0, &["a".to_string(), "b".to_string()]).is_err());
     }
 
     #[test]

@@ -120,13 +120,11 @@ impl JsonStructuralIndex {
         let object = self.objects.get(oid)?;
         let slot = match &self.shared_layout {
             Some(shared) => *shared.get(path)?,
-            None => {
-                object
-                    .level0
-                    .iter()
-                    .find(|(p, _)| p == path)
-                    .map(|(_, slot)| *slot)?
-            }
+            None => object
+                .level0
+                .iter()
+                .find(|(p, _)| p == path)
+                .map(|(_, slot)| *slot)?,
         };
         object.entries.get(slot as usize).copied()
     }
@@ -520,9 +518,7 @@ pub fn build_index(data: &[u8]) -> Result<JsonStructuralIndex> {
         pos += 1;
     }
     loop {
-        while pos < data.len()
-            && (data[pos].is_ascii_whitespace() || data[pos] == b',' )
-        {
+        while pos < data.len() && (data[pos].is_ascii_whitespace() || data[pos] == b',') {
             pos += 1;
         }
         if pos >= data.len() || data[pos] == b']' {
@@ -645,9 +641,7 @@ impl JsonPlugin {
                 let mut parser = JsonParser::new(&inner.data, entry.start as usize);
                 Ok(Value::Str(parser.parse_string()?))
             }
-            TokenType::Object | TokenType::Array => {
-                parse_json_value(slice)
-            }
+            TokenType::Object | TokenType::Array => parse_json_value(slice),
         }
     }
 
@@ -691,9 +685,10 @@ fn infer_schema(data: &[u8], index: &JsonStructuralIndex) -> Schema {
                 }
                 TokenType::String => DataType::String,
                 TokenType::Bool => DataType::Bool,
-                TokenType::Array => {
-                    DataType::Collection(proteus_algebra::CollectionKind::List, Box::new(DataType::Any))
-                }
+                TokenType::Array => DataType::Collection(
+                    proteus_algebra::CollectionKind::List,
+                    Box::new(DataType::Any),
+                ),
                 TokenType::Object => DataType::Record(vec![]),
                 TokenType::Null => DataType::Any,
             };
@@ -812,11 +807,13 @@ impl InputPlugin for JsonPlugin {
         } else {
             "json(structural-index level-0 + level-1)".to_string()
         };
-        Ok(ScanAccessors {
-            row_count: self.len(),
-            fields: accessors,
+        // Morsel path: one structural-index walk per value but one accessor
+        // dispatch per (field, morsel).
+        Ok(ScanAccessors::from_accessors(
+            self.len(),
+            accessors,
             access_path,
-        })
+        ))
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
@@ -838,7 +835,7 @@ impl InputPlugin for JsonPlugin {
                     match self.lookup_path(oid, first)? {
                         Some(entry) => {
                             let value = self.entry_value(entry)?;
-                            Ok(value.navigate(&path[1..].to_vec()))
+                            Ok(value.navigate(&path[1..]))
                         }
                         None => Ok(Value::Null),
                     }
@@ -906,7 +903,8 @@ mod tests {
 
     #[test]
     fn index_registers_nested_records_but_not_array_contents() {
-        let plugin = JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
+        let plugin =
+            JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
         let index = plugin.structural_index();
         assert_eq!(index.object_count(), 1);
         // Nested record path is directly addressable.
@@ -918,7 +916,8 @@ mod tests {
 
     #[test]
     fn read_value_and_path() {
-        let plugin = JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
+        let plugin =
+            JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
         assert_eq!(plugin.read_value(0, "a").unwrap(), Value::Int(1));
         assert_eq!(plugin.read_value(0, "b").unwrap(), Value::Str("two".into()));
         assert_eq!(
@@ -933,15 +932,22 @@ mod tests {
 
     #[test]
     fn unnest_iterates_array_elements() {
-        let plugin = JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
+        let plugin =
+            JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
         let cursor = plugin.unnest_init(0, &["e".to_string()]).unwrap();
         let items: Vec<Value> = cursor.collect();
         assert_eq!(items, vec![Value::Int(10), Value::Int(20), Value::Int(30)]);
         let cursor = plugin.unnest_init(0, &["f".to_string()]).unwrap();
         assert_eq!(cursor.count(), 2);
         // Unnesting a non-array or missing field yields an empty cursor.
-        assert_eq!(plugin.unnest_init(0, &["a".to_string()]).unwrap().count(), 0);
-        assert_eq!(plugin.unnest_init(0, &["zzz".to_string()]).unwrap().count(), 0);
+        assert_eq!(
+            plugin.unnest_init(0, &["a".to_string()]).unwrap().count(),
+            0
+        );
+        assert_eq!(
+            plugin.unnest_init(0, &["zzz".to_string()]).unwrap().count(),
+            0
+        );
     }
 
     #[test]
@@ -949,7 +955,10 @@ mod tests {
         let plugin = JsonPlugin::from_bytes("orders", Bytes::from(ndjson_sample())).unwrap();
         assert_eq!(plugin.len(), 20);
         for oid in 0..20u64 {
-            assert_eq!(plugin.read_value(oid, "orderkey").unwrap(), Value::Int(oid as i64));
+            assert_eq!(
+                plugin.read_value(oid, "orderkey").unwrap(),
+                Value::Int(oid as i64)
+            );
         }
     }
 
@@ -963,7 +972,11 @@ mod tests {
             .access_path
             .contains("deterministic"));
         // Level 0 dropped: per-object maps are empty.
-        assert!(plugin.structural_index().objects.iter().all(|o| o.level0.is_empty()));
+        assert!(plugin
+            .structural_index()
+            .objects
+            .iter()
+            .all(|o| o.level0.is_empty()));
     }
 
     #[test]
@@ -990,18 +1003,28 @@ mod tests {
     fn generated_accessors_match_read_value() {
         let plugin = JsonPlugin::from_bytes("orders", Bytes::from(ndjson_sample())).unwrap();
         let scan = plugin
-            .generate(&["orderkey".to_string(), "price".to_string(), "comment".to_string()])
+            .generate(&[
+                "orderkey".to_string(),
+                "price".to_string(),
+                "comment".to_string(),
+            ])
             .unwrap();
         let key = scan.field("orderkey").unwrap();
         let price = scan.field("price").unwrap();
         let comment = scan.field("comment").unwrap();
         for oid in 0..plugin.len() {
-            assert_eq!(Value::Int(key.as_i64(oid)), plugin.read_value(oid, "orderkey").unwrap());
+            assert_eq!(
+                Value::Int(key.as_i64(oid)),
+                plugin.read_value(oid, "orderkey").unwrap()
+            );
             assert_eq!(
                 Value::Float(price.as_f64(oid)),
                 plugin.read_value(oid, "price").unwrap()
             );
-            assert_eq!(comment.value(oid), plugin.read_value(oid, "comment").unwrap());
+            assert_eq!(
+                comment.value(oid),
+                plugin.read_value(oid, "comment").unwrap()
+            );
         }
     }
 
@@ -1034,9 +1057,13 @@ mod tests {
         let mut shuffled_text = String::new();
         for i in 0..20 {
             if i % 2 == 0 {
-                shuffled_text.push_str(&format!("{{\"orderkey\": {i}, \"price\": 1.0, \"comment\": \"c\", \"items\": []}}\n"));
+                shuffled_text.push_str(&format!(
+                    "{{\"orderkey\": {i}, \"price\": 1.0, \"comment\": \"c\", \"items\": []}}\n"
+                ));
             } else {
-                shuffled_text.push_str(&format!("{{\"price\": 1.0, \"orderkey\": {i}, \"comment\": \"c\", \"items\": []}}\n"));
+                shuffled_text.push_str(&format!(
+                    "{{\"price\": 1.0, \"orderkey\": {i}, \"comment\": \"c\", \"items\": []}}\n"
+                ));
             }
         }
         let shuffled = JsonPlugin::from_bytes("s", Bytes::from(shuffled_text)).unwrap();
@@ -1045,9 +1072,7 @@ mod tests {
         assert!(uniform.structural_index().size_bytes() > 0);
         // Same number of objects/fields: the deterministic index must be
         // more compact because it stores path strings once.
-        assert!(
-            uniform.structural_index().size_bytes() < shuffled.structural_index().size_bytes()
-        );
+        assert!(uniform.structural_index().size_bytes() < shuffled.structural_index().size_bytes());
     }
 
     #[test]
@@ -1059,7 +1084,8 @@ mod tests {
 
     #[test]
     fn oid_out_of_range_is_error() {
-        let plugin = JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
+        let plugin =
+            JsonPlugin::from_bytes("fig4", Bytes::from(figure_4_object().to_string())).unwrap();
         assert!(matches!(
             plugin.read_value(5, "a"),
             Err(PluginError::OidOutOfRange { .. })

@@ -34,7 +34,9 @@ pub mod json;
 pub mod registry;
 pub mod stats;
 
-pub use api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
+pub use api::{
+    column_batch_fill, BatchFill, FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor,
+};
 pub use error::{PluginError, Result};
 pub use registry::PluginRegistry;
 pub use stats::{ColumnStats, CostProfile, DatasetStats};

@@ -157,7 +157,9 @@ mod tests {
     use std::fs;
 
     fn temp_dir(name: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join("proteus_registry_tests").join(name);
+        let dir = std::env::temp_dir()
+            .join("proteus_registry_tests")
+            .join(name);
         fs::create_dir_all(&dir).unwrap();
         dir
     }
@@ -189,7 +191,11 @@ mod tests {
 
         assert_eq!(registry.get("events").unwrap().len(), 2);
         assert_eq!(registry.get("table").unwrap().len(), 2);
-        assert!(registry.schema_of("table").unwrap().index_of("name").is_some());
+        assert!(registry
+            .schema_of("table")
+            .unwrap()
+            .index_of("name")
+            .is_some());
         let mut names = registry.datasets();
         names.sort();
         assert_eq!(names, vec!["events", "table"]);
@@ -229,7 +235,10 @@ mod tests {
         let dir = temp_dir("cols").join("lineitem");
         proteus_storage::ColumnTable::write(
             &dir,
-            &[("l_orderkey".to_string(), proteus_storage::ColumnData::Int(vec![1, 2, 3]))],
+            &[(
+                "l_orderkey".to_string(),
+                proteus_storage::ColumnData::Int(vec![1, 2, 3]),
+            )],
         )
         .unwrap();
         let registry = PluginRegistry::new();

@@ -229,7 +229,13 @@ mod tests {
     #[test]
     fn collector_tracks_min_max_nulls_distinct() {
         let mut c = StatsCollector::new();
-        for v in [Value::Int(5), Value::Int(1), Value::Null, Value::Int(9), Value::Int(1)] {
+        for v in [
+            Value::Int(5),
+            Value::Int(1),
+            Value::Null,
+            Value::Int(9),
+            Value::Int(1),
+        ] {
             c.observe(&v);
         }
         assert_eq!(c.count(), 5);

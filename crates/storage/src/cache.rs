@@ -326,7 +326,9 @@ mod tests {
     #[test]
     fn insert_and_lookup_by_signature() {
         let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
-        store.insert(int_entry("c1", SourceFormat::Json, 100)).unwrap();
+        store
+            .insert(int_entry("c1", SourceFormat::Json, 100))
+            .unwrap();
         let hit = store.lookup_by_signature("sig-c1").unwrap();
         assert_eq!(hit.row_count(), 100);
         assert!(store.lookup_by_signature("sig-unknown").is_none());
@@ -339,7 +341,9 @@ mod tests {
     #[test]
     fn byte_size_is_accounted() {
         let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
-        store.insert(int_entry("c1", SourceFormat::Csv, 10)).unwrap();
+        store
+            .insert(int_entry("c1", SourceFormat::Csv, 10))
+            .unwrap();
         let stats = store.stats();
         // 10 ints (80 B) + 10 oids (80 B).
         assert_eq!(stats.bytes, 160);
@@ -349,13 +353,19 @@ mod tests {
     fn eviction_prefers_binary_over_json() {
         // Budget fits roughly two entries of 160 B each.
         let store = CacheStore::new(MemoryManager::with_budget(400));
-        store.insert(int_entry("json_cache", SourceFormat::Json, 10)).unwrap();
-        store.insert(int_entry("bin_cache", SourceFormat::Binary, 10)).unwrap();
+        store
+            .insert(int_entry("json_cache", SourceFormat::Json, 10))
+            .unwrap();
+        store
+            .insert(int_entry("bin_cache", SourceFormat::Binary, 10))
+            .unwrap();
         // Touch the binary cache so it is the most recently used.
         assert!(store.lookup_by_signature("sig-bin_cache").is_some());
         // Inserting a third entry forces an eviction; despite being LRU-cold,
         // the JSON cache must survive because its format weight dominates.
-        store.insert(int_entry("csv_cache", SourceFormat::Csv, 10)).unwrap();
+        store
+            .insert(int_entry("csv_cache", SourceFormat::Csv, 10))
+            .unwrap();
         let names = store.names();
         assert!(names.contains(&"json_cache".to_string()));
         assert!(!names.contains(&"bin_cache".to_string()));
@@ -373,9 +383,13 @@ mod tests {
     fn reinsert_replaces_and_releases_memory() {
         let mm = MemoryManager::with_budget(10_000);
         let store = CacheStore::new(mm.clone());
-        store.insert(int_entry("c", SourceFormat::Csv, 100)).unwrap();
+        store
+            .insert(int_entry("c", SourceFormat::Csv, 100))
+            .unwrap();
         let before = mm.stats().arena_bytes;
-        store.insert(int_entry("c", SourceFormat::Csv, 100)).unwrap();
+        store
+            .insert(int_entry("c", SourceFormat::Csv, 100))
+            .unwrap();
         assert_eq!(mm.stats().arena_bytes, before);
         assert_eq!(store.stats().entries, 1);
     }
@@ -383,7 +397,9 @@ mod tests {
     #[test]
     fn invalidate_dataset_drops_only_its_caches() {
         let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
-        store.insert(int_entry("a", SourceFormat::Json, 10)).unwrap();
+        store
+            .insert(int_entry("a", SourceFormat::Json, 10))
+            .unwrap();
         let mut other = int_entry("b", SourceFormat::Csv, 10);
         other.source_dataset = "orders".into();
         store.insert(other).unwrap();
@@ -396,7 +412,9 @@ mod tests {
     fn clear_releases_arena() {
         let mm = MemoryManager::with_budget(1 << 20);
         let store = CacheStore::new(mm.clone());
-        store.insert(int_entry("a", SourceFormat::Json, 10)).unwrap();
+        store
+            .insert(int_entry("a", SourceFormat::Json, 10))
+            .unwrap();
         store.clear();
         assert_eq!(mm.stats().arena_bytes, 0);
         assert_eq!(store.stats().entries, 0);
@@ -405,8 +423,12 @@ mod tests {
     #[test]
     fn caches_for_dataset_filters() {
         let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
-        store.insert(int_entry("a", SourceFormat::Json, 10)).unwrap();
-        store.insert(int_entry("b", SourceFormat::Json, 10)).unwrap();
+        store
+            .insert(int_entry("a", SourceFormat::Json, 10))
+            .unwrap();
+        store
+            .insert(int_entry("b", SourceFormat::Json, 10))
+            .unwrap();
         assert_eq!(store.caches_for_dataset("lineitem").len(), 2);
         assert_eq!(store.caches_for_dataset("orders").len(), 0);
     }

@@ -76,6 +76,44 @@ impl ColumnData {
         }
     }
 
+    /// Fills a strided destination slice with the values of rows
+    /// `start..start + count`: value `i` lands at `out[base + i * stride]`.
+    ///
+    /// This is the column side of the morsel scan path: one call per
+    /// (column, morsel) with a monomorphic inner loop, instead of one
+    /// type-dispatched access per tuple.
+    pub fn fill_values(
+        &self,
+        start: usize,
+        count: usize,
+        out: &mut [Value],
+        base: usize,
+        stride: usize,
+    ) {
+        match self {
+            ColumnData::Int(v) => {
+                for (i, x) in v[start..start + count].iter().enumerate() {
+                    out[base + i * stride] = Value::Int(*x);
+                }
+            }
+            ColumnData::Float(v) => {
+                for (i, x) in v[start..start + count].iter().enumerate() {
+                    out[base + i * stride] = Value::Float(*x);
+                }
+            }
+            ColumnData::Bool(v) => {
+                for (i, x) in v[start..start + count].iter().enumerate() {
+                    out[base + i * stride] = Value::Bool(*x);
+                }
+            }
+            ColumnData::Str(v) => {
+                for (i, x) in v[start..start + count].iter().enumerate() {
+                    out[base + i * stride] = Value::Str(x.clone());
+                }
+            }
+        }
+    }
+
     /// Appends a value, coercing numerics; errors on class mismatch.
     pub fn push_value(&mut self, value: &Value) -> Result<()> {
         match (self, value) {
@@ -204,9 +242,9 @@ impl ColumnData {
                 }
                 let mut lengths = Vec::with_capacity(count);
                 for i in 0..count {
-                    lengths.push(u32::from_le_bytes(
-                        payload[i * 4..i * 4 + 4].try_into().unwrap(),
-                    ) as usize);
+                    lengths.push(
+                        u32::from_le_bytes(payload[i * 4..i * 4 + 4].try_into().unwrap()) as usize,
+                    );
                 }
                 let mut strings = Vec::with_capacity(count);
                 let mut offset = count * 4;
@@ -215,7 +253,9 @@ impl ColumnData {
                         return Err(StorageError::Corrupt("truncated string payload".into()));
                     }
                     let s = std::str::from_utf8(&payload[offset..offset + len])
-                        .map_err(|_| StorageError::Corrupt("invalid utf-8 in string column".into()))?
+                        .map_err(|_| {
+                            StorageError::Corrupt("invalid utf-8 in string column".into())
+                        })?
                         .to_string();
                     strings.push(s);
                     offset += len;
@@ -242,10 +282,7 @@ pub struct ColumnTable {
 
 impl ColumnTable {
     /// Writes a set of named columns as a column table directory.
-    pub fn write(
-        dir: impl AsRef<Path>,
-        columns: &[(String, ColumnData)],
-    ) -> Result<ColumnTable> {
+    pub fn write(dir: impl AsRef<Path>, columns: &[(String, ColumnData)]) -> Result<ColumnTable> {
         let dir = dir.as_ref().to_path_buf();
         fs::create_dir_all(&dir)?;
         let row_count = columns.first().map(|(_, c)| c.len()).unwrap_or(0);
@@ -283,8 +320,9 @@ impl ColumnTable {
     /// Opens an existing column table directory by reading its manifest.
     pub fn open(dir: impl AsRef<Path>) -> Result<ColumnTable> {
         let dir = dir.as_ref().to_path_buf();
-        let manifest = fs::read_to_string(dir.join("_schema.txt"))
-            .map_err(|_| StorageError::NotFound(format!("{} is not a column table", dir.display())))?;
+        let manifest = fs::read_to_string(dir.join("_schema.txt")).map_err(|_| {
+            StorageError::NotFound(format!("{} is not a column table", dir.display()))
+        })?;
         let mut fields = Vec::new();
         for line in manifest.lines().filter(|l| !l.trim().is_empty()) {
             let (name, type_name) = line

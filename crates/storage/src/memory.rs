@@ -151,6 +151,14 @@ impl Default for MemoryManager {
     }
 }
 
+impl MemoryManager {
+    /// Returns an already registered/mapped buffer without touching the file
+    /// system (test/diagnostic helper).
+    pub fn map_file_if_registered(&self, path: impl AsRef<Path>) -> Option<Bytes> {
+        self.inner.read().mapped.get(path.as_ref()).cloned()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -209,13 +217,5 @@ mod tests {
         let mm = MemoryManager::with_budget(10);
         mm.release_arena(100);
         assert_eq!(mm.stats().arena_bytes, 0);
-    }
-}
-
-impl MemoryManager {
-    /// Returns an already registered/mapped buffer without touching the file
-    /// system (test/diagnostic helper).
-    pub fn map_file_if_registered(&self, path: impl AsRef<Path>) -> Option<Bytes> {
-        self.inner.read().mapped.get(path.as_ref()).cloned()
     }
 }

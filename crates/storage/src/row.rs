@@ -66,16 +66,16 @@ pub struct RowTable {
 impl RowTable {
     /// Writes rows (records whose fields follow `schema` order) to a binary
     /// row file.
-    pub fn write(
-        path: impl AsRef<Path>,
-        schema: &Schema,
-        rows: &[Value],
-    ) -> Result<RowTable> {
+    pub fn write(path: impl AsRef<Path>, schema: &Schema, rows: &[Value]) -> Result<RowTable> {
         let path = path.as_ref().to_path_buf();
         if let Some(parent) = path.parent() {
             fs::create_dir_all(parent)?;
         }
-        let codes: Vec<u8> = schema.fields().iter().map(|f| type_code(&f.data_type)).collect();
+        let codes: Vec<u8> = schema
+            .fields()
+            .iter()
+            .map(|f| type_code(&f.data_type))
+            .collect();
         let row_width: usize = codes.iter().map(|c| field_width(*c)).sum();
 
         let mut header = Vec::new();
@@ -92,9 +92,9 @@ impl RowTable {
         let mut fixed = Vec::with_capacity(rows.len() * row_width);
         let mut heap: Vec<u8> = Vec::new();
         for row in rows {
-            let rec = row.as_record().map_err(|e| {
-                StorageError::TypeMismatch(format!("row is not a record: {e}"))
-            })?;
+            let rec = row
+                .as_record()
+                .map_err(|e| StorageError::TypeMismatch(format!("row is not a record: {e}")))?;
             for (field, code) in schema.fields().iter().zip(&codes) {
                 let value = rec.get(&field.name).cloned().unwrap_or(Value::Null);
                 match code {
@@ -199,10 +199,8 @@ impl RowTableReader {
         if pos + 12 > data.len() {
             return Err(StorageError::Corrupt("truncated row header".into()));
         }
-        let row_count =
-            u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap()) as usize;
-        let row_width =
-            u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap()) as usize;
+        let row_count = u64::from_le_bytes(data[pos..pos + 8].try_into().unwrap()) as usize;
+        let row_width = u32::from_le_bytes(data[pos + 8..pos + 12].try_into().unwrap()) as usize;
         pos += 12;
 
         let mut offsets = Vec::with_capacity(field_count);
@@ -280,7 +278,9 @@ impl RowTableReader {
         let len = u64::from_le_bytes(self.data[pos + 8..pos + 16].try_into().unwrap()) as usize;
         let start = self.heap_start + offset;
         if start + len > self.data.len() {
-            return Err(StorageError::Corrupt("string heap pointer out of range".into()));
+            return Err(StorageError::Corrupt(
+                "string heap pointer out of range".into(),
+            ));
         }
         std::str::from_utf8(&self.data[start..start + len])
             .map_err(|_| StorageError::Corrupt("invalid utf-8 in string heap".into()))
@@ -353,7 +353,10 @@ mod tests {
 
         let reader = RowTableReader::open_path(&path).unwrap();
         assert_eq!(reader.row_count(), 5);
-        assert_eq!(reader.schema().names(), vec!["id", "price", "active", "name"]);
+        assert_eq!(
+            reader.schema().names(),
+            vec!["id", "price", "active", "name"]
+        );
         for (i, expected) in rows.iter().enumerate() {
             assert_eq!(&reader.read_row(i).unwrap(), expected);
         }

@@ -22,7 +22,8 @@ fn main() {
 
     // Caching disabled: every query pays the JSON navigation cost.
     let cold = QueryEngine::new(EngineConfig::without_caching());
-    cold.register_json("lineitem", dir.join("lineitem.json")).unwrap();
+    cold.register_json("lineitem", dir.join("lineitem.json"))
+        .unwrap();
     let start = Instant::now();
     let baseline = cold.sql(query).unwrap();
     let baseline_time = start.elapsed();
@@ -30,7 +31,9 @@ fn main() {
     // Caching enabled: the first query populates binary caches of the numeric
     // fields it touches; the second is served from them.
     let adaptive = QueryEngine::with_defaults();
-    adaptive.register_json("lineitem", dir.join("lineitem.json")).unwrap();
+    adaptive
+        .register_json("lineitem", dir.join("lineitem.json"))
+        .unwrap();
     let start = Instant::now();
     let first = adaptive.sql(query).unwrap();
     let first_time = start.elapsed();
@@ -40,7 +43,10 @@ fn main() {
 
     assert_eq!(baseline.rows, second.rows);
     println!("result: {}", second.rows[0]);
-    println!("caching disabled:          {:.2} ms", baseline_time.as_secs_f64() * 1e3);
+    println!(
+        "caching disabled:          {:.2} ms",
+        baseline_time.as_secs_f64() * 1e3
+    );
     println!(
         "caching enabled, 1st run:  {:.2} ms ({} values cached)",
         first_time.as_secs_f64() * 1e3,

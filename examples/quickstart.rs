@@ -24,8 +24,12 @@ fn main() {
     )
     .unwrap();
     writers::write_json(dir.join("orders.json"), &orders, true).unwrap();
-    writers::write_column_table(dir.join("lineitem_cols"), &lineitems, &TpchGenerator::lineitem_schema())
-        .unwrap();
+    writers::write_column_table(
+        dir.join("lineitem_cols"),
+        &lineitems,
+        &TpchGenerator::lineitem_schema(),
+    )
+    .unwrap();
 
     // One engine, three heterogeneous datasets, no loading step.
     let engine = QueryEngine::with_defaults();
@@ -37,7 +41,9 @@ fn main() {
             CsvOptions::default(),
         )
         .unwrap();
-    engine.register_json("orders", dir.join("orders.json")).unwrap();
+    engine
+        .register_json("orders", dir.join("orders.json"))
+        .unwrap();
     engine
         .register_columns("lineitem", dir.join("lineitem_cols"))
         .unwrap();
@@ -76,4 +82,22 @@ fn main() {
     );
 
     println!("cache state: {:?}", engine.cache_stats());
+
+    // Morsel-driven parallelism: the same pipelines fan morsels of ~1024
+    // tuples across a worker pool. `parallelism: 0` = one worker per CPU;
+    // per-thread partial aggregates merge under the monoid's ⊕ at the end.
+    let parallel = QueryEngine::new(EngineConfig::parallel());
+    parallel
+        .register_columns("lineitem", dir.join("lineitem_cols"))
+        .unwrap();
+    let result = parallel
+        .sql("SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 40")
+        .unwrap();
+    println!(
+        "\nmorsel-parallel lineitem: {} (threads={}, morsels={}, per-tuple allocs={})",
+        result.rows[0],
+        result.metrics.threads_used,
+        result.metrics.morsels,
+        result.metrics.binding_allocs
+    );
 }

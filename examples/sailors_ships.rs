@@ -27,8 +27,12 @@ fn main() {
     .unwrap();
 
     let engine = QueryEngine::with_defaults();
-    engine.register_json("Sailor", dir.join("sailors.json")).unwrap();
-    engine.register_json("Ship", dir.join("ships.json")).unwrap();
+    engine
+        .register_json("Sailor", dir.join("sailors.json"))
+        .unwrap();
+    engine
+        .register_json("Ship", dir.join("ships.json"))
+        .unwrap();
 
     // Example 3.1: "For each Sailor, return his id, the name of the Ship on
     // which he works, and the names of his adult children."
@@ -38,7 +42,10 @@ fn main() {
     let result = engine.comprehension(query).unwrap();
 
     println!("query: {query}\n");
-    println!("optimized plan:\n{}", proteus::algebra::pretty::explain(&result.plan));
+    println!(
+        "optimized plan:\n{}",
+        proteus::algebra::pretty::explain(&result.plan)
+    );
     println!("results:");
     for row in result.flattened_rows() {
         println!("  {row}");

@@ -29,8 +29,12 @@ fn main() {
         '|',
     )
     .unwrap();
-    writers::write_column_table(dir.join("history"), &history, &SymantecGenerator::history_schema())
-        .unwrap();
+    writers::write_column_table(
+        dir.join("history"),
+        &history,
+        &SymantecGenerator::history_schema(),
+    )
+    .unwrap();
 
     let engine = QueryEngine::with_defaults();
     engine.register_json("spam", dir.join("spam.json")).unwrap();
@@ -42,7 +46,9 @@ fn main() {
             CsvOptions::default(),
         )
         .unwrap();
-    engine.register_columns("history", dir.join("history")).unwrap();
+    engine
+        .register_columns("history", dir.join("history"))
+        .unwrap();
 
     // How many spam mails per origin country? (JSON only, nested field.)
     let by_country = engine
@@ -53,9 +59,7 @@ fn main() {
 
     // High-confidence phishing labels inside the nested class arrays.
     let phishing = engine
-        .comprehension(
-            "for { s <- spam, c <- s.classes, c.confidence > 0.8 } yield count",
-        )
+        .comprehension("for { s <- spam, c <- s.classes, c.confidence > 0.8 } yield count")
         .unwrap();
     println!("high-confidence classifications: {}", phishing.rows[0]);
 
@@ -82,5 +86,8 @@ fn main() {
     for path in &result.access_paths {
         println!("  {path}");
     }
-    println!("\ncaches built as a side effect: {:?}", engine.cache_stats());
+    println!(
+        "\ncaches built as a side effect: {:?}",
+        engine.cache_stats()
+    );
 }

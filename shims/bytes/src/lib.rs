@@ -1,0 +1,125 @@
+//! Offline stand-in for the `bytes` crate.
+//!
+//! The build environment has no access to crates.io, so this workspace ships
+//! a minimal, API-compatible subset of `bytes::Bytes`: a cheaply cloneable,
+//! immutable, shared byte buffer. Only what the workspace actually calls is
+//! implemented; semantics match the real crate for that subset.
+
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable, immutable shared byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes {
+    data: Arc<[u8]>,
+}
+
+impl Bytes {
+    /// An empty buffer.
+    pub fn new() -> Bytes {
+        Bytes {
+            data: Arc::from(&[][..]),
+        }
+    }
+
+    /// Wraps a static byte slice (no copy in the real crate; one copy here,
+    /// which is fine for the small static inputs the tests use).
+    pub fn from_static(data: &'static [u8]) -> Bytes {
+        Bytes {
+            data: Arc::from(data),
+        }
+    }
+
+    /// Number of bytes.
+    pub fn len(&self) -> usize {
+        self.data.len()
+    }
+
+    /// True when the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.data.is_empty()
+    }
+
+    /// Copies the range `[start, end)` into a new buffer.
+    pub fn slice(&self, range: std::ops::Range<usize>) -> Bytes {
+        Bytes {
+            data: Arc::from(&self.data[range]),
+        }
+    }
+
+    /// The bytes as a plain slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        &self.data
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(data: Vec<u8>) -> Bytes {
+        Bytes {
+            data: Arc::from(data.into_boxed_slice()),
+        }
+    }
+}
+
+impl From<String> for Bytes {
+    fn from(data: String) -> Bytes {
+        Bytes::from(data.into_bytes())
+    }
+}
+
+impl From<&str> for Bytes {
+    fn from(data: &str) -> Bytes {
+        Bytes::from(data.as_bytes().to_vec())
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(data: &[u8]) -> Bytes {
+        Bytes::from(data.to_vec())
+    }
+}
+
+impl std::fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "Bytes({} bytes)", self.len())
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Bytes) -> bool {
+        self.data[..] == other.data[..]
+    }
+}
+
+impl Eq for Bytes {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_views() {
+        let b = Bytes::from("hello".to_string());
+        assert_eq!(b.len(), 5);
+        assert_eq!(&b[1..3], b"el");
+        assert_eq!(b.as_ref(), b"hello");
+        let c = b.clone();
+        assert_eq!(c.slice(0..2).as_slice(), b"he");
+        assert_eq!(Bytes::from_static(b"xy").len(), 2);
+        assert!(Bytes::new().is_empty());
+    }
+}

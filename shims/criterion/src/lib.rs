@@ -1,0 +1,181 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! Provides the macro/builder surface the workspace's benches use
+//! (`criterion_group!`, `criterion_main!`, `Criterion::default()` with
+//! `sample_size`/`measurement_time`/`warm_up_time`, `bench_function`,
+//! `Bencher::iter`) backed by a plain wall-clock runner: warm up, collect
+//! per-sample means, report min/mean/max. No statistics beyond that.
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Bench configuration + registry, mirroring criterion's entry type.
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Criterion {
+        Criterion {
+            sample_size: 10,
+            measurement_time: Duration::from_secs(2),
+            warm_up_time: Duration::from_millis(300),
+        }
+    }
+}
+
+impl Criterion {
+    /// Number of measured samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Criterion {
+        self.sample_size = n.max(1);
+        self
+    }
+
+    /// Total time budget for measurement.
+    pub fn measurement_time(mut self, d: Duration) -> Criterion {
+        self.measurement_time = d;
+        self
+    }
+
+    /// Warm-up time before measurement.
+    pub fn warm_up_time(mut self, d: Duration) -> Criterion {
+        self.warm_up_time = d;
+        self
+    }
+
+    /// Runs one benchmark and prints a criterion-like summary line.
+    pub fn bench_function<F>(&mut self, name: &str, mut f: F) -> &mut Criterion
+    where
+        F: FnMut(&mut Bencher),
+    {
+        // Warm-up: run the body until the warm-up budget is spent.
+        let warm_deadline = Instant::now() + self.warm_up_time;
+        let mut bencher = Bencher {
+            per_iter: Duration::ZERO,
+            iters: 0,
+        };
+        while Instant::now() < warm_deadline {
+            f(&mut bencher);
+        }
+
+        let mut samples: Vec<Duration> = Vec::with_capacity(self.sample_size);
+        let deadline = Instant::now() + self.measurement_time;
+        for _ in 0..self.sample_size {
+            f(&mut bencher);
+            samples.push(bencher.per_iter);
+            if Instant::now() > deadline {
+                break;
+            }
+        }
+        samples.sort_unstable();
+        let min = samples.first().copied().unwrap_or_default();
+        let max = samples.last().copied().unwrap_or_default();
+        let mean = samples
+            .iter()
+            .sum::<Duration>()
+            .checked_div(samples.len().max(1) as u32)
+            .unwrap_or_default();
+        println!(
+            "{name:<45} time: [{} {} {}]",
+            fmt_duration(min),
+            fmt_duration(mean),
+            fmt_duration(max)
+        );
+        self
+    }
+}
+
+fn fmt_duration(d: Duration) -> String {
+    let nanos = d.as_nanos();
+    if nanos >= 1_000_000_000 {
+        format!("{:.4} s", d.as_secs_f64())
+    } else if nanos >= 1_000_000 {
+        format!("{:.4} ms", d.as_secs_f64() * 1e3)
+    } else if nanos >= 1_000 {
+        format!("{:.4} µs", d.as_secs_f64() * 1e6)
+    } else {
+        format!("{nanos} ns")
+    }
+}
+
+/// Timing helper passed to each benchmark body.
+pub struct Bencher {
+    per_iter: Duration,
+    iters: u64,
+}
+
+impl Bencher {
+    /// Times `body`, amortizing over an adaptive batch of iterations.
+    pub fn iter<R, F: FnMut() -> R>(&mut self, mut body: F) {
+        // Pick a batch size targeting ~10ms per sample so fast bodies are
+        // amortized and slow bodies run once.
+        let probe_start = Instant::now();
+        black_box(body());
+        let probe = probe_start.elapsed().max(Duration::from_nanos(50));
+        let batch =
+            (Duration::from_millis(10).as_nanos() / probe.as_nanos()).clamp(1, 10_000) as u64;
+
+        let start = Instant::now();
+        for _ in 0..batch {
+            black_box(body());
+        }
+        let elapsed = start.elapsed();
+        self.per_iter = elapsed / batch as u32;
+        self.iters += batch;
+    }
+}
+
+/// Mirrors criterion's group macro: both the `name/config/targets` form and
+/// the positional form.
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $crate::Criterion::default();
+            $( $target(&mut criterion); )+
+        }
+    };
+}
+
+/// Mirrors criterion's main macro.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bench_function_runs_and_reports() {
+        let mut c = Criterion::default()
+            .sample_size(3)
+            .measurement_time(Duration::from_millis(50))
+            .warm_up_time(Duration::from_millis(5));
+        let mut runs = 0u64;
+        c.bench_function("noop", |b| b.iter(|| runs += 1));
+        assert!(runs > 0);
+    }
+
+    #[test]
+    fn duration_formatting() {
+        assert!(fmt_duration(Duration::from_nanos(500)).ends_with("ns"));
+        assert!(fmt_duration(Duration::from_micros(5)).ends_with("µs"));
+        assert!(fmt_duration(Duration::from_millis(5)).ends_with("ms"));
+        assert!(fmt_duration(Duration::from_secs(5)).ends_with(" s"));
+    }
+}

@@ -1,0 +1,217 @@
+//! Offline stand-in for the `rand` crate (0.8-style API subset).
+//!
+//! Implements exactly what the workspace uses — `StdRng::seed_from_u64`,
+//! `Rng::gen_range` over integer/float ranges, `Rng::gen_bool`, and
+//! `SliceRandom::shuffle` — on top of a SplitMix64 generator. Output is fully
+//! deterministic per seed (the data generators rely on that), though the
+//! streams differ from the real crate's.
+
+/// Seedable generators.
+pub trait SeedableRng: Sized {
+    /// Creates a generator from a 64-bit seed.
+    fn seed_from_u64(seed: u64) -> Self;
+}
+
+/// The subset of rand's `Rng` trait the workspace uses.
+pub trait Rng {
+    /// Next raw 64 bits.
+    fn next_u64(&mut self) -> u64;
+
+    /// Uniform sample from a range.
+    fn gen_range<T, R: SampleRange<T>>(&mut self, range: R) -> T
+    where
+        Self: Sized,
+    {
+        range.sample(self)
+    }
+
+    /// Bernoulli sample with probability `p` of `true`.
+    fn gen_bool(&mut self, p: f64) -> bool
+    where
+        Self: Sized,
+    {
+        self.next_f64() < p
+    }
+
+    /// Uniform float in `[0, 1)`.
+    fn next_f64(&mut self) -> f64 {
+        // 53 high-quality mantissa bits.
+        (self.next_u64() >> 11) as f64 * (1.0 / (1u64 << 53) as f64)
+    }
+}
+
+/// A range a uniform value of type `T` can be drawn from. Parameterized by
+/// the output type (like the real crate) so integer literals in ranges infer
+/// from the expected result type.
+pub trait SampleRange<T> {
+    /// Draws one uniform sample. Panics on an empty range, like rand.
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T;
+}
+
+/// Types a uniform sample can be drawn for (rand's `SampleUniform` analogue).
+pub trait SampleUniform: Copy + PartialOrd {
+    /// Uniform draw from `[start, end)`.
+    fn sample_half_open<R: Rng + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+
+    /// Uniform draw from `[start, end]`.
+    fn sample_inclusive<R: Rng + ?Sized>(start: Self, end: Self, rng: &mut R) -> Self;
+}
+
+// Single blanket impls tying the output type to the range's element type:
+// this is what lets `gen_range(0..10)` infer i64 from the use site and
+// `gen_range(0.0..1.0)` fall back to f64.
+impl<T: SampleUniform> SampleRange<T> for std::ops::Range<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        assert!(self.start < self.end, "cannot sample empty range");
+        T::sample_half_open(self.start, self.end, rng)
+    }
+}
+
+impl<T: SampleUniform> SampleRange<T> for std::ops::RangeInclusive<T> {
+    fn sample<R: Rng + ?Sized>(self, rng: &mut R) -> T {
+        let (start, end) = self.into_inner();
+        assert!(start <= end, "cannot sample empty range");
+        T::sample_inclusive(start, end, rng)
+    }
+}
+
+fn uniform_u64<R: Rng + ?Sized>(rng: &mut R, span: u64) -> u64 {
+    debug_assert!(span > 0);
+    // Multiply-shift bounded sampling; bias is negligible at 64 bits for the
+    // small spans the generators use.
+    ((rng.next_u64() as u128 * span as u128) >> 64) as u64
+}
+
+macro_rules! int_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                let span = (end as i128 - start as i128) as u64;
+                (start as i128 + uniform_u64(rng, span) as i128) as $t
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                let span = (end as i128 - start as i128) as u64;
+                if span == u64::MAX {
+                    return rng.next_u64() as $t;
+                }
+                (start as i128 + uniform_u64(rng, span + 1) as i128) as $t
+            }
+        }
+    )*};
+}
+
+int_sample_uniform!(i8, i16, i32, i64, u8, u16, u32, u64, usize, isize);
+
+macro_rules! float_sample_uniform {
+    ($($t:ty),*) => {$(
+        impl SampleUniform for $t {
+            fn sample_half_open<R: Rng + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                start + (end - start) * rng.next_f64() as $t
+            }
+
+            fn sample_inclusive<R: Rng + ?Sized>(start: $t, end: $t, rng: &mut R) -> $t {
+                Self::sample_half_open(start, end, rng)
+            }
+        }
+    )*};
+}
+
+float_sample_uniform!(f32, f64);
+
+/// Standard generators.
+pub mod rngs {
+    use super::{Rng, SeedableRng};
+
+    /// Deterministic SplitMix64 generator standing in for rand's `StdRng`.
+    #[derive(Debug, Clone)]
+    pub struct StdRng {
+        state: u64,
+    }
+
+    impl SeedableRng for StdRng {
+        fn seed_from_u64(seed: u64) -> StdRng {
+            StdRng { state: seed }
+        }
+    }
+
+    impl Rng for StdRng {
+        fn next_u64(&mut self) -> u64 {
+            // SplitMix64 (Steele, Lea, Flood 2014).
+            self.state = self.state.wrapping_add(0x9E37_79B9_7F4A_7C15);
+            let mut z = self.state;
+            z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+            z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+            z ^ (z >> 31)
+        }
+    }
+}
+
+/// Sequence-related helpers.
+pub mod seq {
+    use super::Rng;
+
+    /// Shuffling of slices.
+    pub trait SliceRandom {
+        /// In-place Fisher–Yates shuffle.
+        fn shuffle<R: Rng>(&mut self, rng: &mut R);
+    }
+
+    impl<T> SliceRandom for [T] {
+        fn shuffle<R: Rng>(&mut self, rng: &mut R) {
+            for i in (1..self.len()).rev() {
+                let j = rng.gen_range(0..=i);
+                self.swap(i, j);
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::rngs::StdRng;
+    use super::seq::SliceRandom;
+    use super::{Rng, SeedableRng};
+
+    #[test]
+    fn deterministic_per_seed() {
+        let mut a = StdRng::seed_from_u64(7);
+        let mut b = StdRng::seed_from_u64(7);
+        for _ in 0..100 {
+            assert_eq!(a.next_u64(), b.next_u64());
+        }
+    }
+
+    #[test]
+    fn ranges_stay_in_bounds() {
+        let mut rng = StdRng::seed_from_u64(42);
+        for _ in 0..1000 {
+            let i = rng.gen_range(3i64..17);
+            assert!((3..17).contains(&i));
+            let j = rng.gen_range(1..=7);
+            assert!((1..=7).contains(&j));
+            let u = rng.gen_range(0usize..5);
+            assert!(u < 5);
+            let f = rng.gen_range(900.0..1100.0);
+            assert!((900.0..1100.0).contains(&f));
+        }
+    }
+
+    #[test]
+    fn gen_bool_tracks_probability() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let hits = (0..10_000).filter(|_| rng.gen_bool(0.6)).count();
+        assert!((5_500..6_500).contains(&hits), "hits={hits}");
+    }
+
+    #[test]
+    fn shuffle_is_a_permutation() {
+        let mut v: Vec<i32> = (0..50).collect();
+        let mut rng = StdRng::seed_from_u64(9);
+        v.shuffle(&mut rng);
+        let mut sorted = v.clone();
+        sorted.sort_unstable();
+        assert_eq!(sorted, (0..50).collect::<Vec<_>>());
+        assert_ne!(v, (0..50).collect::<Vec<_>>());
+    }
+}

@@ -27,12 +27,24 @@ fn fixture() -> Fixture {
         '|',
     )
     .unwrap();
-    writers::write_column_table(dir.join("lineitem_cols"), &lineitems, &TpchGenerator::lineitem_schema())
-        .unwrap();
-    writers::write_column_table(dir.join("orders_cols"), &orders, &TpchGenerator::orders_schema())
-        .unwrap();
-    writers::write_row_table(dir.join("orders.prow"), &orders, &TpchGenerator::orders_schema())
-        .unwrap();
+    writers::write_column_table(
+        dir.join("lineitem_cols"),
+        &lineitems,
+        &TpchGenerator::lineitem_schema(),
+    )
+    .unwrap();
+    writers::write_column_table(
+        dir.join("orders_cols"),
+        &orders,
+        &TpchGenerator::orders_schema(),
+    )
+    .unwrap();
+    writers::write_row_table(
+        dir.join("orders.prow"),
+        &orders,
+        &TpchGenerator::orders_schema(),
+    )
+    .unwrap();
     Fixture {
         dir,
         orders,
@@ -63,7 +75,9 @@ fn same_query_same_answer_across_all_formats() {
 
     // JSON.
     let engine = QueryEngine::new(EngineConfig::without_caching());
-    engine.register_json("lineitem", fx.dir.join("lineitem.json")).unwrap();
+    engine
+        .register_json("lineitem", fx.dir.join("lineitem.json"))
+        .unwrap();
     assert_eq!(engine.execute_plan(count_plan(30)).unwrap().rows, expected);
 
     // CSV.
@@ -80,7 +94,9 @@ fn same_query_same_answer_across_all_formats() {
 
     // Binary columns.
     let engine = QueryEngine::new(EngineConfig::without_caching());
-    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+    engine
+        .register_columns("lineitem", fx.dir.join("lineitem_cols"))
+        .unwrap();
     assert_eq!(engine.execute_plan(count_plan(30)).unwrap().rows, expected);
 }
 
@@ -102,13 +118,19 @@ fn cross_format_join_matches_reference() {
 
     // JSON orders ⋈ binary lineitems (heterogeneous inputs in one query).
     let engine = QueryEngine::new(EngineConfig::without_caching());
-    engine.register_json("orders", fx.dir.join("orders.json")).unwrap();
-    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+    engine
+        .register_json("orders", fx.dir.join("orders.json"))
+        .unwrap();
+    engine
+        .register_columns("lineitem", fx.dir.join("lineitem_cols"))
+        .unwrap();
     assert_eq!(engine.execute_plan(plan.clone()).unwrap().rows, expected);
 
     // Binary rows orders ⋈ CSV lineitems.
     let engine = QueryEngine::new(EngineConfig::without_caching());
-    engine.register_rows("orders", fx.dir.join("orders.prow")).unwrap();
+    engine
+        .register_rows("orders", fx.dir.join("orders.prow"))
+        .unwrap();
     engine
         .register_csv(
             "lineitem",
@@ -139,7 +161,9 @@ fn proteus_agrees_with_every_baseline_engine() {
         );
 
     let engine = QueryEngine::new(EngineConfig::without_caching());
-    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+    engine
+        .register_columns("lineitem", fx.dir.join("lineitem_cols"))
+        .unwrap();
     let proteus_rows = engine.execute_plan(plan.clone()).unwrap().rows;
 
     let checksum = |rows: &[Value]| -> (usize, i64) {
@@ -152,26 +176,40 @@ fn proteus_agrees_with_every_baseline_engine() {
 
     let mut row_store = RowStoreEngine::postgres_like();
     row_store.load("lineitem", fx.lineitems.clone());
-    assert_eq!(checksum(&row_store.execute(&plan).unwrap()), checksum(&proteus_rows));
+    assert_eq!(
+        checksum(&row_store.execute(&plan).unwrap()),
+        checksum(&proteus_rows)
+    );
 
     let mut column_store = ColumnStoreEngine::monetdb_like();
     column_store.load("lineitem", fx.lineitems.clone());
-    assert_eq!(checksum(&column_store.execute(&plan).unwrap()), checksum(&proteus_rows));
+    assert_eq!(
+        checksum(&column_store.execute(&plan).unwrap()),
+        checksum(&proteus_rows)
+    );
 
     let mut sorted = ColumnStoreEngine::dbms_c_like();
     sorted.load_with_sort_key("lineitem", fx.lineitems.clone(), Some("l_orderkey"));
-    assert_eq!(checksum(&sorted.execute(&plan).unwrap()), checksum(&proteus_rows));
+    assert_eq!(
+        checksum(&sorted.execute(&plan).unwrap()),
+        checksum(&proteus_rows)
+    );
 
     let mut documents = DocumentStoreEngine::new();
     documents.load("lineitem", fx.lineitems.clone());
-    assert_eq!(checksum(&documents.execute(&plan).unwrap()), checksum(&proteus_rows));
+    assert_eq!(
+        checksum(&documents.execute(&plan).unwrap()),
+        checksum(&proteus_rows)
+    );
 }
 
 #[test]
 fn caching_preserves_results_and_serves_second_query_from_cache() {
     let fx = fixture();
     let engine = QueryEngine::with_defaults();
-    engine.register_json("lineitem", fx.dir.join("lineitem.json")).unwrap();
+    engine
+        .register_json("lineitem", fx.dir.join("lineitem.json"))
+        .unwrap();
 
     let q = "SELECT COUNT(*), SUM(l_extendedprice) FROM lineitem WHERE l_orderkey < 40";
     let first = engine.sql(q).unwrap();
@@ -189,7 +227,9 @@ fn caching_preserves_results_and_serves_second_query_from_cache() {
 fn sql_and_comprehension_front_ends_agree() {
     let fx = fixture();
     let engine = QueryEngine::new(EngineConfig::without_caching());
-    engine.register_columns("lineitem", fx.dir.join("lineitem_cols")).unwrap();
+    engine
+        .register_columns("lineitem", fx.dir.join("lineitem_cols"))
+        .unwrap();
 
     let sql = engine
         .sql("SELECT COUNT(*) FROM lineitem WHERE l_orderkey < 25")

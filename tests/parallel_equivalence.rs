@@ -1,0 +1,158 @@
+//! Property test for the morsel-parallel pipelines: across the fig05–fig12
+//! query shapes (projections, selections, joins, unnest, group-bys) over
+//! both the JSON and the binary representations, the parallel pipeline must
+//! produce the same order-insensitive result set and the same monoid
+//! aggregates as `parallelism = 1`.
+//!
+//! Scalar aggregates that sum floats are compared with a small relative
+//! tolerance: partial accumulators merge in a different order than the
+//! serial fold, which legally perturbs the low bits of float sums.
+
+use proteus::prelude::*;
+use proteus_bench::harness::{BenchSetup, QueryTemplate};
+
+const PARALLELISM: usize = 4;
+
+fn templates() -> Vec<QueryTemplate> {
+    vec![
+        QueryTemplate::Projection { aggregates: 1 },
+        QueryTemplate::Projection { aggregates: 2 },
+        QueryTemplate::Projection { aggregates: 4 },
+        QueryTemplate::Selection { predicates: 1 },
+        QueryTemplate::Selection { predicates: 3 },
+        QueryTemplate::Selection { predicates: 4 },
+        QueryTemplate::Join { aggregates: 1 },
+        QueryTemplate::Join { aggregates: 2 },
+        QueryTemplate::Join { aggregates: 3 },
+        QueryTemplate::Unnest,
+        QueryTemplate::GroupBy { aggregates: 1 },
+        QueryTemplate::GroupBy { aggregates: 2 },
+    ]
+}
+
+/// Float-tolerant value equivalence: numerics within 1e-9 relative error,
+/// everything else exact.
+fn values_equivalent(a: &Value, b: &Value) -> bool {
+    match (a.as_float(), b.as_float()) {
+        (Ok(x), Ok(y)) => {
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= 1e-9 * scale
+        }
+        _ => match (a, b) {
+            (Value::Record(ra), Value::Record(rb)) => {
+                ra.len() == rb.len()
+                    && ra
+                        .iter()
+                        .zip(rb.iter())
+                        .all(|((na, va), (nb, vb))| na == nb && values_equivalent(va, vb))
+            }
+            (Value::List(la), Value::List(lb)) => {
+                la.len() == lb.len()
+                    && la
+                        .iter()
+                        .zip(lb.iter())
+                        .all(|(va, vb)| values_equivalent(va, vb))
+            }
+            _ => a.value_eq(b),
+        },
+    }
+}
+
+/// Order-insensitive row-set equivalence with float tolerance.
+fn row_sets_equivalent(serial: &[Value], parallel: &[Value]) -> bool {
+    if serial.len() != parallel.len() {
+        return false;
+    }
+    let mut unmatched: Vec<&Value> = parallel.iter().collect();
+    for row in serial {
+        match unmatched
+            .iter()
+            .position(|candidate| values_equivalent(row, candidate))
+        {
+            Some(idx) => {
+                unmatched.swap_remove(idx);
+            }
+            None => return false,
+        }
+    }
+    unmatched.is_empty()
+}
+
+fn check_all_templates(serial: &QueryEngine, parallel: &QueryEngine, label: &str) {
+    let setup_thresholds = [10i64, 37, 80, 10_000];
+    for template in templates() {
+        for threshold in setup_thresholds {
+            let plan = template.plan(threshold);
+            let a = serial.execute_plan(plan.clone()).unwrap();
+            let b = parallel.execute_plan(plan).unwrap();
+            assert!(
+                row_sets_equivalent(&a.rows, &b.rows),
+                "{label}: {} @ threshold {threshold}:\n serial   {:?}\n parallel {:?}",
+                template.label(),
+                a.rows,
+                b.rows
+            );
+            assert_eq!(
+                a.metrics.tuples_scanned,
+                b.metrics.tuples_scanned,
+                "{label}: {} scanned tuples diverged",
+                template.label()
+            );
+        }
+    }
+}
+
+#[test]
+fn parallel_pipelines_match_serial_over_json() {
+    let setup = BenchSetup::tpch(0.02);
+    let serial = setup.proteus_json(false);
+    let parallel = {
+        let engine =
+            QueryEngine::new(EngineConfig::without_caching().with_parallelism(PARALLELISM));
+        engine
+            .register_json("lineitem", setup.dir.join("lineitem.json"))
+            .unwrap();
+        engine
+            .register_json("orders", setup.dir.join("orders.json"))
+            .unwrap();
+        engine
+            .register_json("orders_denorm", setup.dir.join("orders_denorm.json"))
+            .unwrap();
+        engine
+    };
+    check_all_templates(&serial, &parallel, "json");
+}
+
+#[test]
+fn parallel_pipelines_match_serial_over_binary() {
+    let setup = BenchSetup::tpch(0.02);
+    let serial = setup.proteus_binary();
+    let parallel = {
+        let engine =
+            QueryEngine::new(EngineConfig::without_caching().with_parallelism(PARALLELISM));
+        engine
+            .register_columns("lineitem", setup.dir.join("lineitem_cols"))
+            .unwrap();
+        engine
+            .register_columns("orders", setup.dir.join("orders_cols"))
+            .unwrap();
+        engine
+    };
+    // The binary templates exclude Unnest (no nested collections in the
+    // columnar representation); filter it out.
+    for template in templates() {
+        if template == QueryTemplate::Unnest {
+            continue;
+        }
+        for threshold in [10i64, 37, 80, 10_000] {
+            let plan = template.plan(threshold);
+            let a = serial.execute_plan(plan.clone()).unwrap();
+            let b = parallel.execute_plan(plan).unwrap();
+            assert!(
+                row_sets_equivalent(&a.rows, &b.rows),
+                "binary: {} @ {threshold}",
+                template.label()
+            );
+        }
+    }
+}

@@ -2,22 +2,36 @@
 //! the generated Proteus pipelines, the reference interpreter and the
 //! baseline engines must all return the same answers, and the JSON/CSV
 //! structural-index access paths must agree with a full re-parse.
+//!
+//! The build environment is offline, so instead of proptest these properties
+//! run over a deterministic seed sweep: each case derives its data and its
+//! query parameter from a fixed-seed RNG, which keeps failures reproducible
+//! (the failing seed is in the assertion message).
 
-use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
 
 use proteus::baselines::{BaselineEngine, RowStoreEngine};
 use proteus::datagen::writers;
 use proteus::prelude::*;
 
-fn rows_strategy() -> impl Strategy<Value = Vec<(i64, f64, String)>> {
-    prop::collection::vec(
-        (
-            0i64..50,
-            prop::num::f64::POSITIVE.prop_map(|f| (f % 1000.0 * 100.0).round() / 100.0),
-            "[a-z]{0,8}",
-        ),
-        1..60,
-    )
+const CASES: u64 = 24;
+
+/// Random `(k, q, c)` rows mirroring the old proptest strategy: 1..60 rows,
+/// small integer keys, two-decimal floats, short lowercase strings.
+fn random_rows(rng: &mut StdRng) -> Vec<(i64, f64, String)> {
+    let len = rng.gen_range(1usize..60);
+    (0..len)
+        .map(|_| {
+            let k = rng.gen_range(0i64..50);
+            let q = (rng.gen_range(0.0..1000.0) * 100.0f64).round() / 100.0;
+            let c_len = rng.gen_range(0usize..=8);
+            let c: String = (0..c_len)
+                .map(|_| (b'a' + rng.gen_range(0u8..26)) as char)
+                .collect();
+            (k, q, c)
+        })
+        .collect()
 }
 
 fn to_records(rows: &[(i64, f64, String)]) -> Vec<Value> {
@@ -56,79 +70,108 @@ fn reference(rows: &[Value], plan: &LogicalPlan) -> Vec<Value> {
     proteus::algebra::interp::execute(plan, &catalog).unwrap()
 }
 
-proptest! {
-    #![proptest_config(ProptestConfig::with_cases(24))]
+fn case_dir(name: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join(format!("proteus_prop_{}_{}", name, std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    dir
+}
 
-    #[test]
-    fn generated_engine_equals_interpreter_over_json(rows in rows_strategy(), threshold in 0i64..60) {
+#[test]
+fn generated_engine_equals_interpreter_over_json() {
+    let dir = case_dir("json");
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xA11CE + seed);
+        let rows = random_rows(&mut rng);
+        let threshold = rng.gen_range(0i64..60);
         let records = to_records(&rows);
         let plan = aggregate_plan(threshold);
         let expected = reference(&records, &plan);
 
-        let dir = std::env::temp_dir().join(format!("proteus_prop_json_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("t_{}_{}.json", rows.len(), threshold));
+        let path = dir.join(format!("t_{seed}.json"));
         writers::write_json(&path, &records, true).unwrap();
 
         let engine = QueryEngine::new(EngineConfig::without_caching());
         engine.register_json("t", &path).unwrap();
         let got = engine.execute_plan(plan).unwrap().rows;
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn generated_engine_equals_interpreter_over_csv(rows in rows_strategy(), threshold in 0i64..60) {
+#[test]
+fn generated_engine_equals_interpreter_over_csv() {
+    let dir = case_dir("csv");
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xC54 + seed);
+        let rows = random_rows(&mut rng);
+        let threshold = rng.gen_range(0i64..60);
         let records = to_records(&rows);
         let plan = aggregate_plan(threshold);
         let expected = reference(&records, &plan);
 
-        let dir = std::env::temp_dir().join(format!("proteus_prop_csv_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("t_{}_{}.csv", rows.len(), threshold));
+        let path = dir.join(format!("t_{seed}.csv"));
         writers::write_csv(&path, &records, &schema(), '|').unwrap();
 
         let engine = QueryEngine::new(EngineConfig::without_caching());
-        engine.register_csv("t", &path, schema(), CsvOptions::default()).unwrap();
+        engine
+            .register_csv("t", &path, schema(), CsvOptions::default())
+            .unwrap();
         let got = engine.execute_plan(plan).unwrap().rows;
-        prop_assert_eq!(got, expected);
+        assert_eq!(got, expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn caching_never_changes_results(rows in rows_strategy(), threshold in 0i64..60) {
+#[test]
+fn caching_never_changes_results() {
+    let dir = case_dir("cache");
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xCAC4E + seed);
+        let rows = random_rows(&mut rng);
+        let threshold = rng.gen_range(0i64..60);
         let records = to_records(&rows);
         let plan = aggregate_plan(threshold);
 
-        let dir = std::env::temp_dir().join(format!("proteus_prop_cache_{}", std::process::id()));
-        std::fs::create_dir_all(&dir).unwrap();
-        let path = dir.join(format!("t_{}_{}.json", rows.len(), threshold));
+        let path = dir.join(format!("t_{seed}.json"));
         writers::write_json(&path, &records, false).unwrap();
 
         let engine = QueryEngine::with_defaults();
         engine.register_json("t", &path).unwrap();
         let first = engine.execute_plan(plan.clone()).unwrap().rows;
         let second = engine.execute_plan(plan).unwrap().rows;
-        prop_assert_eq!(&first, &reference(&records, &aggregate_plan(threshold)));
-        prop_assert_eq!(first, second);
+        assert_eq!(
+            first,
+            reference(&records, &aggregate_plan(threshold)),
+            "seed {seed}"
+        );
+        assert_eq!(first, second, "seed {seed}");
     }
+}
 
-    #[test]
-    fn baseline_row_store_agrees_with_generated_engine(rows in rows_strategy(), threshold in 0i64..60) {
+#[test]
+fn baseline_row_store_agrees_with_generated_engine() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0xBA5E + seed);
+        let rows = random_rows(&mut rng);
+        let threshold = rng.gen_range(0i64..60);
         let records = to_records(&rows);
         let plan = aggregate_plan(threshold);
         let expected = reference(&records, &plan);
 
         let mut baseline = RowStoreEngine::postgres_like();
         baseline.load("t", records);
-        prop_assert_eq!(baseline.execute(&plan).unwrap(), expected);
+        assert_eq!(baseline.execute(&plan).unwrap(), expected, "seed {seed}");
     }
+}
 
-    #[test]
-    fn json_round_trip_preserves_values(rows in rows_strategy()) {
+#[test]
+fn json_round_trip_preserves_values() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x707 + seed);
+        let rows = random_rows(&mut rng);
         let records = to_records(&rows);
         for record in &records {
             let text = writers::value_to_json(record);
             let parsed = proteus::plugins::json::parse_json_value(text.as_bytes()).unwrap();
-            prop_assert!(parsed.value_eq(record), "{} != {}", parsed, record);
+            assert!(parsed.value_eq(record), "seed {seed}: {parsed} != {record}");
         }
     }
 }
