@@ -1,0 +1,174 @@
+//! Vectorized-kernel selection microbenchmark: fig07/fig08-style predicates
+//! over 2M binary-column rows, kernel path (typed morsel columns +
+//! columnar predicate kernels) vs the PR 1 closure path (compiled per-tuple
+//! closures), at 1 worker so the comparison isolates the evaluation model.
+//!
+//! Prints rows/sec per predicate shape, the kernel/closure speedup, and
+//! emits `BENCH_vectorized_filter.json`. Asserts the kernels are actually
+//! engaged (`kernel_rows > 0` / `== 0`) and that the steady-state scan path
+//! still performs zero per-tuple allocations — a CI smoke check, not a perf
+//! gate.
+//!
+//! Knobs: `PROTEUS_VECTOR_ROWS` (default 2_000_000),
+//! `PROTEUS_VECTOR_REPS` (default 3).
+
+use std::time::Instant;
+
+use proteus_algebra::{Expr, LogicalPlan, Monoid, ReduceSpec, Schema};
+use proteus_bench::harness::{emit_bench_json, BenchRow};
+use proteus_core::{EngineConfig, QueryEngine, QueryResult};
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_storage::ColumnData;
+
+fn synthetic_lineitem(rows: usize) -> ColumnPlugin {
+    let n = rows as i64;
+    ColumnPlugin::from_pairs(
+        "lineitem",
+        vec![
+            (
+                "l_orderkey".to_string(),
+                ColumnData::Int((0..n).map(|i| i % (n / 4).max(1)).collect()),
+            ),
+            (
+                "l_quantity".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 50) as f64).collect()),
+            ),
+            (
+                "l_discount".to_string(),
+                ColumnData::Float((0..n).map(|i| ((i % 11) as f64) / 100.0).collect()),
+            ),
+            (
+                "l_tax".to_string(),
+                ColumnData::Float((0..n).map(|i| ((i % 9) as f64) / 100.0).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic columns")
+}
+
+/// fig07/fig08-style selection shapes (the first predicate carries the
+/// selectivity knob), plus a computed-expression predicate.
+fn workloads(rows: i64) -> Vec<(&'static str, LogicalPlan)> {
+    let scan = || LogicalPlan::scan("lineitem", "l", Schema::empty());
+    let count =
+        |plan: LogicalPlan| plan.reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
+    let key_filter = |pct: i64| Expr::path("l.l_orderkey").lt(Expr::int(rows / 4 * pct / 100));
+    vec![
+        ("sel-1pred-2pct", count(scan().select(key_filter(2)))),
+        ("sel-1pred-50pct", count(scan().select(key_filter(50)))),
+        (
+            "sel-3pred",
+            count(
+                scan().select(
+                    key_filter(50)
+                        .and(Expr::path("l.l_quantity").lt(Expr::int(45)))
+                        .and(Expr::path("l.l_discount").lt(Expr::float(0.09))),
+                ),
+            ),
+        ),
+        (
+            "sel-arith",
+            count(
+                scan().select(
+                    Expr::binary(
+                        proteus_algebra::BinaryOp::Mul,
+                        Expr::path("l.l_quantity"),
+                        Expr::float(1.1),
+                    )
+                    .lt(Expr::int(30)),
+                ),
+            ),
+        ),
+        // The selection feeds a real aggregate over another column, so the
+        // hydration of survivors is measured too.
+        (
+            "sel-then-sum",
+            scan().select(key_filter(10)).reduce(vec![ReduceSpec::new(
+                Monoid::Sum,
+                Expr::path("l.l_quantity"),
+                "total",
+            )]),
+        ),
+    ]
+}
+
+fn best_of(engine: &QueryEngine, plan: &LogicalPlan, reps: usize) -> (f64, QueryResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = engine.execute_plan(plan.clone()).expect("query failed");
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        last = Some(result);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn main() {
+    let rows: usize = std::env::var("PROTEUS_VECTOR_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let reps: usize = std::env::var("PROTEUS_VECTOR_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    println!("generating {rows} synthetic lineitem rows (binary columns)...");
+    let plugin = synthetic_lineitem(rows);
+    let kernels = QueryEngine::new(EngineConfig::without_caching());
+    let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+    kernels.register_plugin(std::sync::Arc::new(plugin.clone()));
+    closures.register_plugin(std::sync::Arc::new(plugin));
+
+    let mut report: Vec<BenchRow> = Vec::new();
+    for (label, plan) in workloads(rows as i64) {
+        let plan = proteus_algebra::rewrite::rewrite(plan);
+        let (kernel_secs, kernel_out) = best_of(&kernels, &plan, reps);
+        let (closure_secs, closure_out) = best_of(&closures, &plan, reps);
+
+        assert_eq!(
+            kernel_out.rows, closure_out.rows,
+            "{label}: kernel and closure engines disagree"
+        );
+        assert!(
+            kernel_out.metrics.kernel_rows >= rows as u64,
+            "{label}: vectorized kernels were not engaged ({})",
+            kernel_out.metrics
+        );
+        assert_eq!(
+            closure_out.metrics.kernel_rows, 0,
+            "{label}: closure engine unexpectedly engaged kernels"
+        );
+        assert_eq!(
+            kernel_out.metrics.binding_allocs, 0,
+            "{label}: kernel scan path allocated per tuple"
+        );
+
+        let kernel_rate = rows as f64 / kernel_secs;
+        let closure_rate = rows as f64 / closure_secs;
+        println!(
+            "{label:<16} kernels {kernel_rate:>12.0} rows/s | closures {closure_rate:>12.0} rows/s | speedup {:>5.2}x",
+            kernel_rate / closure_rate
+        );
+        report.push(BenchRow {
+            engine: "proteus-kernels".to_string(),
+            template: label.to_string(),
+            selectivity_pct: 100,
+            millis: kernel_secs * 1e3,
+            rows_per_sec: kernel_rate,
+        });
+        report.push(BenchRow {
+            engine: "proteus-closures".to_string(),
+            template: label.to_string(),
+            selectivity_pct: 100,
+            millis: closure_secs * 1e3,
+            rows_per_sec: closure_rate,
+        });
+    }
+    emit_bench_json("vectorized filter", rows, &report);
+    println!("kernels engaged on every workload; per-tuple allocations: 0");
+}

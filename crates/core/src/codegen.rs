@@ -14,12 +14,13 @@
 //! for the substitution argument). A human-readable pseudo-IR equivalent to
 //! Figure 3 is emitted alongside for inspection and tests.
 
+use std::collections::{HashMap, HashSet};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use proteus_algebra::{BinaryOp, Expr, JoinKind, LogicalPlan, Monoid, Record, ReduceSpec, Value};
 use proteus_optimizer::cache_match::cache_name_from_dataset;
-use proteus_plugins::{BatchFill, PluginRegistry};
+use proteus_plugins::{BatchFill, PluginRegistry, TypedKind};
 use proteus_storage::{CacheStore, ColumnData};
 
 use crate::cache_builder::{find_full_column_cache, should_cache_field, CacheBuilder};
@@ -27,21 +28,63 @@ use crate::error::{EngineError, Result};
 use crate::exec::expr::{
     compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate,
 };
+use crate::exec::kernels;
 use crate::exec::metrics::ExecutionMetrics;
-use crate::exec::pipeline::{run_collect, run_nest, run_reduce, Producer};
+use crate::exec::pipeline::{run_collect, run_nest, run_reduce, Producer, TypedSlotFill};
 
 /// The query compiler: turns optimized plans into specialized pipelines.
 #[derive(Clone)]
 pub struct Compiler {
     registry: PluginRegistry,
     caches: Option<CacheStore>,
+    vectorized: bool,
+}
+
+/// Per-compilation planner state: which slot names any compiled closure
+/// (residual predicates, sink expressions, collected/copied rows) reads in
+/// `Value` form. Typed slots outside this set are never hydrated — their
+/// data never round-trips through `Value` at all.
+#[derive(Default)]
+struct PlanCtx {
+    value_refs: HashSet<String>,
+}
+
+impl PlanCtx {
+    /// Marks every slot an expression resolves to as `Value`-consumed.
+    fn note_expr(&mut self, expr: &Expr, layout: &BindingLayout) {
+        for path in expr.referenced_paths() {
+            if let Some((slot, _)) = layout.resolve(&path) {
+                self.value_refs.insert(layout.slots()[slot].clone());
+            }
+        }
+    }
+
+    /// Marks a whole layout as `Value`-consumed (rows copied wholesale:
+    /// collect/entries sinks, unnest and join-probe row rebuilding).
+    fn note_all(&mut self, layout: &BindingLayout) {
+        for slot in layout.slots() {
+            self.value_refs.insert(slot.clone());
+        }
+    }
 }
 
 impl Compiler {
     /// Creates a compiler over a plug-in registry, optionally with adaptive
-    /// caching enabled.
+    /// caching enabled. Vectorized predicate kernels are on by default.
     pub fn new(registry: PluginRegistry, caches: Option<CacheStore>) -> Compiler {
-        Compiler { registry, caches }
+        Compiler {
+            registry,
+            caches,
+            vectorized: true,
+        }
+    }
+
+    /// Enables or disables the vectorized predicate kernels (builder style);
+    /// with `false` every selection compiles to per-tuple closures, the
+    /// pre-kernel execution model.
+    pub fn with_vectorization(mut self, vectorized: bool) -> Compiler {
+        self.vectorized = vectorized;
+        self
     }
 
     /// Compiles a plan into an executable query.
@@ -49,16 +92,18 @@ impl Compiler {
         let started = Instant::now();
         let mut ir = IrEmitter::new();
         let mut access_paths = Vec::new();
+        let mut ctx = PlanCtx::default();
 
-        let (sink, producer, layout) = match plan {
+        let (sink, mut producer, layout) = match plan {
             LogicalPlan::Reduce {
                 input,
                 outputs,
                 predicate,
             } => {
                 let (producer, layout) =
-                    self.compile_producer(input, &mut ir, &mut access_paths)?;
-                let sink = self.compile_reduce(outputs, predicate.as_ref(), &layout, &mut ir)?;
+                    self.compile_producer(input, &mut ir, &mut access_paths, &mut ctx)?;
+                let sink =
+                    self.compile_reduce(outputs, predicate.as_ref(), &layout, &mut ir, &mut ctx)?;
                 (sink, producer, layout)
             }
             LogicalPlan::Nest {
@@ -69,7 +114,7 @@ impl Compiler {
                 predicate,
             } => {
                 let (producer, layout) =
-                    self.compile_producer(input, &mut ir, &mut access_paths)?;
+                    self.compile_producer(input, &mut ir, &mut access_paths, &mut ctx)?;
                 let sink = self.compile_nest(
                     group_by,
                     group_aliases,
@@ -77,16 +122,20 @@ impl Compiler {
                     predicate.as_ref(),
                     &layout,
                     &mut ir,
+                    &mut ctx,
                 )?;
                 (sink, producer, layout)
             }
             other => {
                 let (producer, layout) =
-                    self.compile_producer(other, &mut ir, &mut access_paths)?;
+                    self.compile_producer(other, &mut ir, &mut access_paths, &mut ctx)?;
                 ir.line(0, "collect bindings into output records");
+                ctx.note_all(&layout);
                 (Sink::Collect, producer, layout)
             }
         };
+
+        finalize_typed_fills(&mut producer, &ctx.value_refs);
 
         Ok(CompiledQuery {
             sink,
@@ -104,6 +153,7 @@ impl Compiler {
         predicate: Option<&Expr>,
         layout: &BindingLayout,
         ir: &mut IrEmitter,
+        ctx: &mut PlanCtx,
     ) -> Result<Sink> {
         let mut specs = Vec::with_capacity(outputs.len());
         for output in outputs {
@@ -114,6 +164,7 @@ impl Compiler {
                     output.alias, output.monoid, output.expr
                 ),
             );
+            ctx.note_expr(&output.expr, layout);
             specs.push((
                 output.monoid,
                 compile_expr(&output.expr, layout)?,
@@ -123,6 +174,7 @@ impl Compiler {
         let predicate = match predicate {
             Some(p) => {
                 ir.line(1, &format!("if (eval({p})) merge accumulators"));
+                ctx.note_expr(p, layout);
                 Some(compile_predicate(p, layout)?)
             }
             None => None,
@@ -140,7 +192,17 @@ impl Compiler {
         predicate: Option<&Expr>,
         layout: &BindingLayout,
         ir: &mut IrEmitter,
+        ctx: &mut PlanCtx,
     ) -> Result<Sink> {
+        for g in group_by {
+            ctx.note_expr(g, layout);
+        }
+        for output in outputs {
+            ctx.note_expr(&output.expr, layout);
+        }
+        if let Some(p) = predicate {
+            ctx.note_expr(p, layout);
+        }
         let keys: Vec<CompiledExpr> = group_by
             .iter()
             .map(|g| compile_expr(g, layout))
@@ -201,6 +263,7 @@ impl Compiler {
         plan: &LogicalPlan,
         ir: &mut IrEmitter,
         access_paths: &mut Vec<String>,
+        ctx: &mut PlanCtx,
     ) -> Result<(Producer, BindingLayout)> {
         match plan {
             LogicalPlan::Scan {
@@ -210,12 +273,41 @@ impl Compiler {
                 projected_fields,
             } => self.compile_scan(dataset, alias, schema, projected_fields, ir, access_paths),
             LogicalPlan::Select { input, predicate } => {
-                let (producer, layout) = self.compile_producer(input, ir, access_paths)?;
-                ir.line(1, &format!("if (eval({predicate})) {{"));
-                let compiled = compile_predicate(predicate, &layout)?;
+                let (mut producer, layout) = self.compile_producer(input, ir, access_paths, ctx)?;
+                // Predicate planner: classify the conjunction against the
+                // typed slots the underlying scan can serve. Eligible
+                // conjuncts become a columnar kernel (and activate the
+                // typed fills they read); the rest stay a compiled closure.
+                let mut kernel = None;
+                let mut residual: Option<Expr> = Some(predicate.clone());
+                if self.vectorized {
+                    if let Some(typed_slots) = scan_typed_kinds(&producer) {
+                        if let Some(planned) =
+                            kernels::plan_predicate(predicate, &layout, &typed_slots)
+                        {
+                            activate_typed_slots(&mut producer, &planned.used_slots);
+                            kernel = Some(planned.kernel);
+                            residual = planned.residual;
+                        }
+                    }
+                }
+                let vect_note = if kernel.is_some() {
+                    "   // vectorized columnar kernel"
+                } else {
+                    ""
+                };
+                ir.line(1, &format!("if (eval({predicate})) {{{vect_note}"));
+                let compiled = match &residual {
+                    Some(expr) => {
+                        ctx.note_expr(expr, &layout);
+                        Some(compile_predicate(expr, &layout)?)
+                    }
+                    None => None,
+                };
                 Ok((
                     Producer::Filter {
                         input: Box::new(producer),
+                        kernel,
                         predicate: compiled,
                     },
                     layout,
@@ -228,7 +320,10 @@ impl Compiler {
                 predicate,
                 outer,
             } => {
-                let (producer, mut layout) = self.compile_producer(input, ir, access_paths)?;
+                let (producer, mut layout) = self.compile_producer(input, ir, access_paths, ctx)?;
+                // Unnest rebuilds each surviving row into the output batch,
+                // so every input slot is consumed in Value form.
+                ctx.note_all(&layout);
                 let collection = compile_expr(&Expr::Path(path.clone()), &layout)?;
                 let slot = layout.slot_for(alias);
                 ir.line(
@@ -261,7 +356,7 @@ impl Compiler {
                 right,
                 predicate,
                 kind,
-            } => self.compile_join(left, right, predicate, *kind, ir, access_paths),
+            } => self.compile_join(left, right, predicate, *kind, ir, access_paths, ctx),
             LogicalPlan::CacheScan {
                 input,
                 expressions,
@@ -280,7 +375,7 @@ impl Compiler {
                             .join(", ")
                     ),
                 );
-                self.compile_producer(input, ir, access_paths)
+                self.compile_producer(input, ir, access_paths, ctx)
             }
             LogicalPlan::Reduce { .. } | LogicalPlan::Nest { .. } => Err(EngineError::Unsupported(
                 "aggregation below the plan root is not supported by the generated engine"
@@ -333,6 +428,7 @@ impl Compiler {
 
         let mut layout = BindingLayout::new();
         let mut fills: Vec<(usize, BatchFill)> = Vec::new();
+        let mut typed: Vec<TypedSlotFill> = Vec::new();
         let mut served_from_cache: Vec<String> = Vec::new();
         let mut fields_from_plugin: Vec<String> = Vec::new();
         let mut slot_of_field: Vec<(String, usize)> = Vec::new();
@@ -346,7 +442,19 @@ impl Compiler {
                 if let Some((cache_name, column)) =
                     find_full_column_cache(store, dataset, field, plugin.len())
                 {
-                    fills.push((slot, batch_fill_over_column(column)));
+                    let shared = Arc::new(column);
+                    fills.push((slot, batch_fill_over_column(shared.clone())));
+                    if self.vectorized {
+                        let (kind, fill) = proteus_plugins::column_typed_fill(shared);
+                        typed.push(TypedSlotFill {
+                            slot,
+                            name: format!("{alias}.{field}"),
+                            kind,
+                            fill,
+                            active: false,
+                            hydrate: false,
+                        });
+                    }
                     served_from_cache.push(format!("{field} (cache {cache_name})"));
                     continue;
                 }
@@ -364,6 +472,23 @@ impl Compiler {
                     .map(|(_, s)| *s)
                     .expect("generated accessor for an unrequested field");
                 fills.push((slot, fill));
+            }
+            if self.vectorized {
+                for (field, kind, fill) in scan.typed_fields {
+                    let slot = slot_of_field
+                        .iter()
+                        .find(|(f, _)| *f == field)
+                        .map(|(_, s)| *s)
+                        .expect("generated typed filler for an unrequested field");
+                    typed.push(TypedSlotFill {
+                        slot,
+                        name: format!("{alias}.{field}"),
+                        kind,
+                        fill,
+                        active: false,
+                        hydrate: false,
+                    });
+                }
             }
         } else {
             access_paths.push(format!("{dataset}: fully served from caches"));
@@ -420,6 +545,10 @@ impl Compiler {
                     .expect("cached field must have a slot")
             })
             .collect();
+        // The cache-building side effect observes every scanned row's Value
+        // form before filtering; fields it captures must stay on the
+        // row-major fill path.
+        typed.retain(|t| !cache_field_slots.contains(&t.slot));
 
         ir.line(
             0,
@@ -442,6 +571,7 @@ impl Compiler {
                 dataset: dataset.to_string(),
                 row_count: plugin.len(),
                 fills,
+                typed,
                 width: layout.len(),
                 cache_builder,
                 cache_field_slots,
@@ -451,6 +581,7 @@ impl Compiler {
         ))
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compile_join(
         &self,
         left: &LogicalPlan,
@@ -459,10 +590,17 @@ impl Compiler {
         kind: JoinKind,
         ir: &mut IrEmitter,
         access_paths: &mut Vec<String>,
+        ctx: &mut PlanCtx,
     ) -> Result<(Producer, BindingLayout)> {
-        let (build, build_layout) = self.compile_producer(left, ir, access_paths)?;
+        let (build, build_layout) = self.compile_producer(left, ir, access_paths, ctx)?;
         ir.line(0, "materialize + radix-cluster build side");
-        let (probe, probe_layout) = self.compile_producer(right, ir, access_paths)?;
+        let (probe, probe_layout) = self.compile_producer(right, ir, access_paths, ctx)?;
+
+        // Both sides are consumed row-wise: the build side materializes
+        // whole bindings into the hash table, the probe stage concatenates
+        // whole probe rows into the output batch.
+        ctx.note_all(&build_layout);
+        ctx.note_all(&probe_layout);
 
         let mut combined = build_layout.clone();
         let probe_offset = combined.extend_with(&probe_layout);
@@ -529,8 +667,58 @@ impl Compiler {
 
 /// Builds a specialized morsel filler over an in-memory cached column: a
 /// direct strided copy, the same fast path the binary column plug-in uses.
-fn batch_fill_over_column(column: ColumnData) -> BatchFill {
-    proteus_plugins::column_batch_fill(Arc::new(column))
+fn batch_fill_over_column(column: Arc<ColumnData>) -> BatchFill {
+    proteus_plugins::column_batch_fill(column)
+}
+
+/// The typed slot kinds an (optionally filter-wrapped) scan can serve, or
+/// `None` when the producer's batches carry no typed columns (unnest/join
+/// outputs are rebuilt row-wise).
+fn scan_typed_kinds(producer: &Producer) -> Option<HashMap<usize, TypedKind>> {
+    match producer {
+        Producer::Scan { typed, .. } => Some(typed.iter().map(|t| (t.slot, t.kind)).collect()),
+        Producer::Filter { input, .. } => scan_typed_kinds(input),
+        _ => None,
+    }
+}
+
+/// Activates the typed fills of the slots a planned kernel reads.
+fn activate_typed_slots(producer: &mut Producer, slots: &[usize]) {
+    match producer {
+        Producer::Scan { typed, .. } => {
+            for t in typed.iter_mut() {
+                if slots.contains(&t.slot) {
+                    t.active = true;
+                }
+            }
+        }
+        Producer::Filter { input, .. } => activate_typed_slots(input, slots),
+        _ => unreachable!("kernels planned over a non-scan producer"),
+    }
+}
+
+/// Post-pass over the finished producer tree: activated typed slots drop
+/// their row-major `Value` fills (the data no longer round-trips through
+/// `Value` on the scan path) and learn whether anything downstream still
+/// needs hydration into `Value` form.
+fn finalize_typed_fills(producer: &mut Producer, value_refs: &HashSet<String>) {
+    match producer {
+        Producer::Scan { fills, typed, .. } => {
+            for t in typed.iter_mut() {
+                if t.active {
+                    fills.retain(|(slot, _)| *slot != t.slot);
+                    t.hydrate = value_refs.contains(&t.name);
+                }
+            }
+        }
+        Producer::Filter { input, .. } | Producer::Unnest { input, .. } => {
+            finalize_typed_fills(input, value_refs)
+        }
+        Producer::Join { build, probe, .. } => {
+            finalize_typed_fills(build, value_refs);
+            finalize_typed_fills(probe, value_refs);
+        }
+    }
 }
 
 /// The sink at the root of the generated pipeline.

@@ -40,6 +40,11 @@ pub struct EngineConfig {
     /// pending cache-building side effect always run serially because cache
     /// entries require in-order OIDs.
     pub parallelism: usize,
+    /// Evaluate kernel-eligible selection predicates with vectorized
+    /// columnar kernels over typed morsel columns (the default). `false`
+    /// pins every selection to the compiled per-tuple closures — used by the
+    /// kernel-vs-closure benchmarks and equivalence tests.
+    pub vectorized: bool,
 }
 
 impl Default for EngineConfig {
@@ -48,6 +53,7 @@ impl Default for EngineConfig {
             caching_enabled: true,
             cache_budget: MemoryManager::DEFAULT_ARENA_BUDGET,
             parallelism: 1,
+            vectorized: true,
         }
     }
 }
@@ -74,6 +80,12 @@ impl EngineConfig {
     /// Sets the number of morsel workers (builder style).
     pub fn with_parallelism(mut self, parallelism: usize) -> EngineConfig {
         self.parallelism = parallelism;
+        self
+    }
+
+    /// Enables or disables the vectorized predicate kernels (builder style).
+    pub fn with_vectorized(mut self, vectorized: bool) -> EngineConfig {
+        self.vectorized = vectorized;
         self
     }
 }
@@ -252,7 +264,8 @@ impl QueryEngine {
         let compiler = Compiler::new(
             self.registry.clone(),
             self.config.caching_enabled.then(|| self.caches.clone()),
-        );
+        )
+        .with_vectorization(self.config.vectorized);
         let compiled = compiler.compile(&optimized.plan)?;
         let ir = compiled.ir.clone();
         let access_paths = compiled.access_paths.clone();
@@ -283,7 +296,8 @@ impl QueryEngine {
         let compiler = Compiler::new(
             self.registry.clone(),
             self.config.caching_enabled.then(|| self.caches.clone()),
-        );
+        )
+        .with_vectorization(self.config.vectorized);
         let compiled = compiler.compile(&optimized.plan)?;
         Ok(format!(
             "== Optimized plan (estimated cost {:.1}, cardinality {:.1}) ==\n{}\n== Generated engine (pseudo-IR) ==\n{}",

@@ -9,6 +9,7 @@
 //! previously seen batch size).
 
 use proteus_algebra::Value;
+use proteus_plugins::{TypedColumn, TypedKind};
 
 /// Number of tuples per morsel. Chosen so a morsel of a few projected
 /// columns stays comfortably inside L2 while amortizing per-morsel overhead
@@ -22,6 +23,12 @@ pub struct BindingBatch {
     rows: usize,
     data: Vec<Value>,
     sel: Vec<u32>,
+    /// Typed columnar buffers, one (lazily allocated, recycled) per slot.
+    /// Only slots the planner routed through the vectorized path are live;
+    /// their row-major `data` cells stay `Value::Null` until
+    /// [`BindingBatch::hydrate`] materializes the selected rows.
+    typed: Vec<TypedColumn>,
+    typed_live: Vec<bool>,
     /// Number of times the backing buffers had to (re)allocate.
     allocs: u64,
 }
@@ -82,6 +89,7 @@ impl BindingBatch {
         if self.data.capacity() > had_capacity {
             self.allocs += 1;
         }
+        self.typed_live.clear();
         self.reset_sel(rows);
     }
 
@@ -92,6 +100,60 @@ impl BindingBatch {
         self.rows = 0;
         self.data.clear();
         self.sel.clear();
+        self.typed_live.clear();
+    }
+
+    // -- typed columnar slots (the vectorized scan path) --------------------
+
+    /// Mutable access to slot `slot`'s typed column, marking it live for this
+    /// morsel. The column buffers are recycled across morsels.
+    pub fn typed_col_mut(&mut self, slot: usize) -> &mut TypedColumn {
+        if self.typed.len() <= slot {
+            self.typed
+                .resize_with(slot + 1, || TypedColumn::new(TypedKind::I64));
+        }
+        if self.typed_live.len() <= slot {
+            self.typed_live.resize(slot + 1, false);
+        }
+        self.typed_live[slot] = true;
+        &mut self.typed[slot]
+    }
+
+    /// The live typed column of a slot, if the scan filled one this morsel.
+    pub fn typed_col(&self, slot: usize) -> Option<&TypedColumn> {
+        if self.typed_live.get(slot).copied().unwrap_or(false) {
+            self.typed.get(slot)
+        } else {
+            None
+        }
+    }
+
+    /// Materializes the listed typed slots into the row-major `Value`
+    /// storage, **selected rows only** — rows the vectorized kernels already
+    /// filtered out never round-trip through `Value`.
+    pub fn hydrate(&mut self, slots: &[usize]) {
+        let width = self.width;
+        for &slot in slots {
+            if !self.typed_live.get(slot).copied().unwrap_or(false) {
+                continue;
+            }
+            let col = &self.typed[slot];
+            for &i in &self.sel {
+                self.data[i as usize * width + slot] = col.value_at(i as usize);
+            }
+        }
+    }
+
+    /// Shrinks the selection to the rows whose `mask` bit is set (branch-lean
+    /// compress-store; `mask` is indexed by *row*, not by selection slot).
+    pub fn compress_sel(&mut self, mask: &[bool]) {
+        let mut out = 0usize;
+        for idx in 0..self.sel.len() {
+            let row = self.sel[idx];
+            self.sel[out] = row;
+            out += mask[row as usize] as usize;
+        }
+        self.sel.truncate(out);
     }
 
     /// Rebuilds the identity selection `0..rows`.

@@ -19,15 +19,27 @@ use crate::error::{EngineError, Result};
 use crate::exec::Binding;
 
 /// Compile-time mapping from dotted paths (and variables) to binding slots.
-#[derive(Debug, Clone, Default, PartialEq)]
+///
+/// Keeps the ordered slot list plus a name → index hash map, so
+/// [`BindingLayout::index_of`] — on the path-resolution hot loop of the
+/// compiler — is O(1) instead of a linear scan over the slot names.
+#[derive(Debug, Clone, Default)]
 pub struct BindingLayout {
     slots: Vec<String>,
+    index: std::collections::HashMap<String, usize>,
+}
+
+impl PartialEq for BindingLayout {
+    fn eq(&self, other: &BindingLayout) -> bool {
+        // The map is derived state; the ordered slot list is the identity.
+        self.slots == other.slots
+    }
 }
 
 impl BindingLayout {
     /// Empty layout.
     pub fn new() -> BindingLayout {
-        BindingLayout { slots: Vec::new() }
+        BindingLayout::default()
     }
 
     /// Number of slots.
@@ -45,14 +57,22 @@ impl BindingLayout {
         if let Some(idx) = self.index_of(dotted) {
             idx
         } else {
-            self.slots.push(dotted.to_string());
-            self.slots.len() - 1
+            self.push_slot(dotted.to_string())
         }
+    }
+
+    /// Appends a slot name, keeping the first index when the name repeats
+    /// (mirroring the linear `position()` lookup this map replaced).
+    fn push_slot(&mut self, name: String) -> usize {
+        let idx = self.slots.len();
+        self.index.entry(name.clone()).or_insert(idx);
+        self.slots.push(name);
+        idx
     }
 
     /// Index of an exact dotted path.
     pub fn index_of(&self, dotted: &str) -> Option<usize> {
-        self.slots.iter().position(|s| s == dotted)
+        self.index.get(dotted).copied()
     }
 
     /// Slot names in order.
@@ -100,7 +120,7 @@ impl BindingLayout {
     pub fn extend_with(&mut self, other: &BindingLayout) -> usize {
         let offset = self.slots.len();
         for slot in &other.slots {
-            self.slots.push(slot.clone());
+            self.push_slot(slot.clone());
         }
         offset
     }

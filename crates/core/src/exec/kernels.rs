@@ -1,0 +1,1184 @@
+//! Vectorized columnar predicate & expression kernels.
+//!
+//! The expression generators (§5.2, [`crate::exec::expr`]) compile algebraic
+//! expressions into per-tuple closures; even with batched morsels every
+//! selection then pays a `Value` match and two virtual calls per tuple. This
+//! module adds the column-at-a-time alternative: at *prepare* time the
+//! planner ([`plan_predicate`]) classifies each selection conjunct as
+//! **kernel-eligible** (comparisons, `+`/`-`/`*` arithmetic, `AND`/`OR`/`NOT`
+//! conjunction, `IS NULL`, string equality/ordering/`contains` against
+//! literals — all over typed scan slots) or **closure-fallback**
+//! (record/list/regex-shaped expressions, `If`, division, nested paths). The
+//! eligible part becomes a [`KernelPred`] evaluated by dense, branch-lean
+//! loops over the typed morsel columns ([`proteus_plugins::TypedColumn`]),
+//! producing a boolean mask that is compress-stored into the next selection
+//! vector; the residual (if any) stays a compiled closure.
+//!
+//! Semantics contract: a kernel must agree **exactly** with the compiled
+//! closure it replaces, including the quirks —
+//!
+//! * comparisons follow [`Value::total_cmp`]: numerics compare by their
+//!   *float view* (`i64 as f64`, so giant integers legally collide), floats
+//!   by `f64::total_cmp` (`-0.0 < 0.0`, NaN sorts last);
+//! * null comparisons are false except `Neq` against exactly one null;
+//! * integer `+`/`-`/`*` wrap; mixed int/float arithmetic widens per
+//!   operand (not per subtree);
+//! * `NOT x` is "x is not `Bool(true)`", so `NOT (null < 5)` is true.
+//!
+//! Equivalence is enforced by the seed-sweep property tests at the bottom of
+//! this file and by `tests/kernel_equivalence.rs`.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use proteus_algebra::{BinaryOp, Expr, UnaryOp, Value};
+use proteus_plugins::{TypedColumn, TypedKind};
+
+use crate::exec::batch::BindingBatch;
+use crate::exec::expr::BindingLayout;
+
+// ---------------------------------------------------------------------------
+// The kernel plan.
+// ---------------------------------------------------------------------------
+
+/// Comparison operators (a subset of [`BinaryOp`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum CmpOp {
+    /// `=`
+    Eq,
+    /// `<>`
+    Neq,
+    /// `<`
+    Lt,
+    /// `<=`
+    Le,
+    /// `>`
+    Gt,
+    /// `>=`
+    Ge,
+}
+
+impl CmpOp {
+    fn from_binary(op: BinaryOp) -> Option<CmpOp> {
+        Some(match op {
+            BinaryOp::Eq => CmpOp::Eq,
+            BinaryOp::Neq => CmpOp::Neq,
+            BinaryOp::Lt => CmpOp::Lt,
+            BinaryOp::Le => CmpOp::Le,
+            BinaryOp::Gt => CmpOp::Gt,
+            BinaryOp::Ge => CmpOp::Ge,
+            _ => return None,
+        })
+    }
+
+    /// The operator with its operands swapped (`lit < slot` → `slot > lit`).
+    fn flipped(self) -> CmpOp {
+        match self {
+            CmpOp::Eq => CmpOp::Eq,
+            CmpOp::Neq => CmpOp::Neq,
+            CmpOp::Lt => CmpOp::Gt,
+            CmpOp::Le => CmpOp::Ge,
+            CmpOp::Gt => CmpOp::Lt,
+            CmpOp::Ge => CmpOp::Le,
+        }
+    }
+
+    /// Applies the comparison to a total ordering (the [`Value::total_cmp`]
+    /// derivation used by `eval_binary`).
+    #[inline]
+    fn holds(self, ord: Ordering) -> bool {
+        match self {
+            CmpOp::Eq => ord == Ordering::Equal,
+            CmpOp::Neq => ord != Ordering::Equal,
+            CmpOp::Lt => ord == Ordering::Less,
+            CmpOp::Le => ord != Ordering::Greater,
+            CmpOp::Gt => ord == Ordering::Greater,
+            CmpOp::Ge => ord != Ordering::Less,
+        }
+    }
+}
+
+/// Arithmetic operators eligible for kernels (`/` and `%` keep their
+/// error-on-zero closure semantics and stay on the fallback path).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ArithOp {
+    /// `+`
+    Add,
+    /// `-`
+    Sub,
+    /// `*`
+    Mul,
+}
+
+/// A numeric vector expression over typed slots and literals.
+#[derive(Debug, Clone)]
+pub enum NumExpr {
+    /// An `i64` typed slot.
+    SlotI64(usize),
+    /// An `f64` typed slot.
+    SlotF64(usize),
+    /// An integer literal.
+    ConstI64(i64),
+    /// A float literal (also date literals, via their float view).
+    ConstF64(f64),
+    /// Arithmetic over two numeric subexpressions.
+    Arith {
+        /// Operator.
+        op: ArithOp,
+        /// Left operand.
+        lhs: Box<NumExpr>,
+        /// Right operand.
+        rhs: Box<NumExpr>,
+    },
+    /// Arithmetic negation.
+    Neg(Box<NumExpr>),
+}
+
+impl NumExpr {
+    /// True when the expression is integer-typed end to end (closure
+    /// semantics: `Int ∘ Int` stays `Int` with wrapping ops; anything
+    /// involving a float widens *that* operation to float).
+    fn is_int(&self) -> bool {
+        match self {
+            NumExpr::SlotI64(_) | NumExpr::ConstI64(_) => true,
+            NumExpr::SlotF64(_) | NumExpr::ConstF64(_) => false,
+            NumExpr::Arith { lhs, rhs, .. } => lhs.is_int() && rhs.is_int(),
+            NumExpr::Neg(inner) => inner.is_int(),
+        }
+    }
+
+    fn collect_slots(&self, out: &mut Vec<usize>) {
+        match self {
+            NumExpr::SlotI64(s) | NumExpr::SlotF64(s) => out.push(*s),
+            NumExpr::ConstI64(_) | NumExpr::ConstF64(_) => {}
+            NumExpr::Arith { lhs, rhs, .. } => {
+                lhs.collect_slots(out);
+                rhs.collect_slots(out);
+            }
+            NumExpr::Neg(inner) => inner.collect_slots(out),
+        }
+    }
+}
+
+/// A kernel-evaluable predicate over the typed columns of one batch.
+#[derive(Debug, Clone)]
+pub enum KernelPred {
+    /// Numeric comparison.
+    CmpNum {
+        /// Operator.
+        op: CmpOp,
+        /// Left operand.
+        lhs: NumExpr,
+        /// Right operand.
+        rhs: NumExpr,
+    },
+    /// String slot compared against a string literal (pool-wise: each unique
+    /// string of the morsel is compared once).
+    CmpStr {
+        /// Operator.
+        op: CmpOp,
+        /// The string slot.
+        slot: usize,
+        /// The literal.
+        lit: String,
+    },
+    /// `contains(slot, needle)` over an interned string slot.
+    StrContains {
+        /// The string slot.
+        slot: usize,
+        /// The constant needle.
+        needle: String,
+    },
+    /// Bool slot compared against a bool literal.
+    CmpBool {
+        /// Operator.
+        op: CmpOp,
+        /// The bool slot.
+        slot: usize,
+        /// The literal.
+        lit: bool,
+    },
+    /// A bare bool slot used as a predicate (`true` iff the value is
+    /// non-null `true`).
+    BoolSlot(usize),
+    /// `slot IS NULL`.
+    IsNull(usize),
+    /// Logical negation.
+    Not(Box<KernelPred>),
+    /// Conjunction.
+    And(Vec<KernelPred>),
+    /// Disjunction.
+    Or(Vec<KernelPred>),
+    /// A constant predicate.
+    Const(bool),
+}
+
+impl KernelPred {
+    /// Every typed slot the predicate reads.
+    pub fn slots(&self) -> Vec<usize> {
+        let mut out = Vec::new();
+        self.collect_slots(&mut out);
+        out.sort_unstable();
+        out.dedup();
+        out
+    }
+
+    fn collect_slots(&self, out: &mut Vec<usize>) {
+        match self {
+            KernelPred::CmpNum { lhs, rhs, .. } => {
+                lhs.collect_slots(out);
+                rhs.collect_slots(out);
+            }
+            KernelPred::CmpStr { slot, .. }
+            | KernelPred::StrContains { slot, .. }
+            | KernelPred::CmpBool { slot, .. }
+            | KernelPred::BoolSlot(slot)
+            | KernelPred::IsNull(slot) => out.push(*slot),
+            KernelPred::Not(inner) => inner.collect_slots(out),
+            KernelPred::And(parts) | KernelPred::Or(parts) => {
+                for p in parts {
+                    p.collect_slots(out);
+                }
+            }
+            KernelPred::Const(_) => {}
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The planner: Expr → KernelPred classification.
+// ---------------------------------------------------------------------------
+
+/// What the planner produced for one selection predicate.
+pub struct PlannedPredicate {
+    /// The kernel-eligible part (conjunction of eligible conjuncts).
+    pub kernel: KernelPred,
+    /// The conjuncts that must stay on the closure path, if any.
+    pub residual: Option<Expr>,
+    /// Typed slots the kernel reads (the scan must activate their fills).
+    pub used_slots: Vec<usize>,
+}
+
+/// Classifies a selection predicate against the typed slots a scan can
+/// serve. Splits the top-level conjunction: eligible conjuncts become one
+/// [`KernelPred`], the rest are re-conjoined as the closure residual.
+/// Returns `None` when no conjunct is kernel-eligible.
+pub fn plan_predicate(
+    predicate: &Expr,
+    layout: &BindingLayout,
+    typed_slots: &HashMap<usize, TypedKind>,
+) -> Option<PlannedPredicate> {
+    let mut eligible = Vec::new();
+    let mut residual = Vec::new();
+    for conjunct in predicate.split_conjunction() {
+        match plan_pred(&conjunct, layout, typed_slots) {
+            Some(kernel) => eligible.push(kernel),
+            None => residual.push(conjunct),
+        }
+    }
+    if eligible.is_empty() {
+        return None;
+    }
+    let kernel = if eligible.len() == 1 {
+        eligible.pop().unwrap()
+    } else {
+        KernelPred::And(eligible)
+    };
+    let used_slots = kernel.slots();
+    Some(PlannedPredicate {
+        kernel,
+        residual: (!residual.is_empty()).then(|| Expr::conjunction(residual)),
+        used_slots,
+    })
+}
+
+/// The typed slot a path resolves to, provided it is an *exact* slot (no
+/// residual navigation) with a live typed kind.
+fn typed_slot_of(
+    expr: &Expr,
+    layout: &BindingLayout,
+    typed_slots: &HashMap<usize, TypedKind>,
+) -> Option<(usize, TypedKind)> {
+    let Expr::Path(path) = expr else { return None };
+    let (slot, residual) = layout.resolve(path)?;
+    if !residual.is_empty() {
+        return None;
+    }
+    typed_slots.get(&slot).map(|kind| (slot, *kind))
+}
+
+fn plan_pred(
+    expr: &Expr,
+    layout: &BindingLayout,
+    typed: &HashMap<usize, TypedKind>,
+) -> Option<KernelPred> {
+    match expr {
+        Expr::Literal(Value::Bool(b)) => Some(KernelPred::Const(*b)),
+        Expr::Path(_) => match typed_slot_of(expr, layout, typed)? {
+            (slot, TypedKind::Bool) => Some(KernelPred::BoolSlot(slot)),
+            _ => None,
+        },
+        Expr::Unary { op, expr: inner } => match op {
+            UnaryOp::Not => Some(KernelPred::Not(Box::new(plan_pred(inner, layout, typed)?))),
+            UnaryOp::IsNull => {
+                let (slot, _) = typed_slot_of(inner, layout, typed)?;
+                Some(KernelPred::IsNull(slot))
+            }
+            UnaryOp::Neg => None,
+        },
+        Expr::Binary { op, left, right } => match op {
+            BinaryOp::And => Some(KernelPred::And(vec![
+                plan_pred(left, layout, typed)?,
+                plan_pred(right, layout, typed)?,
+            ])),
+            BinaryOp::Or => Some(KernelPred::Or(vec![
+                plan_pred(left, layout, typed)?,
+                plan_pred(right, layout, typed)?,
+            ])),
+            _ => {
+                let cmp = CmpOp::from_binary(*op)?;
+                plan_cmp(cmp, left, right, layout, typed)
+            }
+        },
+        Expr::Contains {
+            expr: inner,
+            needle,
+        } => match typed_slot_of(inner, layout, typed)? {
+            (slot, TypedKind::Str) => Some(KernelPred::StrContains {
+                slot,
+                needle: needle.clone(),
+            }),
+            _ => None,
+        },
+        _ => None,
+    }
+}
+
+fn plan_cmp(
+    op: CmpOp,
+    left: &Expr,
+    right: &Expr,
+    layout: &BindingLayout,
+    typed: &HashMap<usize, TypedKind>,
+) -> Option<KernelPred> {
+    // Numeric vs numeric.
+    if let (Some(lhs), Some(rhs)) = (
+        plan_num(left, layout, typed),
+        plan_num(right, layout, typed),
+    ) {
+        return Some(KernelPred::CmpNum { op, lhs, rhs });
+    }
+    // String slot vs string literal (either side).
+    if let (Some((slot, TypedKind::Str)), Expr::Literal(Value::Str(lit))) =
+        (typed_slot_of(left, layout, typed), right)
+    {
+        return Some(KernelPred::CmpStr {
+            op,
+            slot,
+            lit: lit.clone(),
+        });
+    }
+    if let (Expr::Literal(Value::Str(lit)), Some((slot, TypedKind::Str))) =
+        (left, typed_slot_of(right, layout, typed))
+    {
+        return Some(KernelPred::CmpStr {
+            op: op.flipped(),
+            slot,
+            lit: lit.clone(),
+        });
+    }
+    // Bool slot vs bool literal.
+    if let (Some((slot, TypedKind::Bool)), Expr::Literal(Value::Bool(lit))) =
+        (typed_slot_of(left, layout, typed), right)
+    {
+        return Some(KernelPred::CmpBool {
+            op,
+            slot,
+            lit: *lit,
+        });
+    }
+    if let (Expr::Literal(Value::Bool(lit)), Some((slot, TypedKind::Bool))) =
+        (left, typed_slot_of(right, layout, typed))
+    {
+        return Some(KernelPred::CmpBool {
+            op: op.flipped(),
+            slot,
+            lit: *lit,
+        });
+    }
+    None
+}
+
+fn plan_num(
+    expr: &Expr,
+    layout: &BindingLayout,
+    typed: &HashMap<usize, TypedKind>,
+) -> Option<NumExpr> {
+    match expr {
+        Expr::Literal(Value::Int(v)) => Some(NumExpr::ConstI64(*v)),
+        Expr::Literal(Value::Float(v)) => Some(NumExpr::ConstF64(*v)),
+        // Date literals compare through their float view in eval_binary's
+        // mixed-type arithmetic/comparison, so ConstF64 reproduces both.
+        Expr::Literal(Value::Date(d)) => Some(NumExpr::ConstF64(*d as f64)),
+        Expr::Path(_) => match typed_slot_of(expr, layout, typed)? {
+            (slot, TypedKind::I64) => Some(NumExpr::SlotI64(slot)),
+            (slot, TypedKind::F64) => Some(NumExpr::SlotF64(slot)),
+            _ => None,
+        },
+        Expr::Binary { op, left, right } => {
+            let op = match op {
+                BinaryOp::Add => ArithOp::Add,
+                BinaryOp::Sub => ArithOp::Sub,
+                BinaryOp::Mul => ArithOp::Mul,
+                _ => return None,
+            };
+            Some(NumExpr::Arith {
+                op,
+                lhs: Box::new(plan_num(left, layout, typed)?),
+                rhs: Box::new(plan_num(right, layout, typed)?),
+            })
+        }
+        Expr::Unary {
+            op: UnaryOp::Neg,
+            expr: inner,
+        } => {
+            // The closure's Neg only negates Int/Float *values*; a bare Date
+            // literal under Neg evaluates to Null there, so it is not
+            // kernel-eligible. (Date *slots* are fine: the typed accessors
+            // already render date fields as plain ints.)
+            if matches!(inner.as_ref(), Expr::Literal(Value::Date(_))) {
+                return None;
+            }
+            Some(NumExpr::Neg(Box::new(plan_num(inner, layout, typed)?)))
+        }
+        _ => None,
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Evaluation: dense mask kernels + compress-store selection update.
+// ---------------------------------------------------------------------------
+
+/// Recycled per-worker scratch buffers for masks and arithmetic temporaries.
+#[derive(Default)]
+pub struct Scratch {
+    bools: Vec<Vec<bool>>,
+    i64s: Vec<Vec<i64>>,
+    f64s: Vec<Vec<f64>>,
+}
+
+impl Scratch {
+    /// Fresh scratch (buffers allocate lazily and are recycled).
+    pub fn new() -> Scratch {
+        Scratch::default()
+    }
+
+    fn take_bools(&mut self) -> Vec<bool> {
+        self.bools.pop().unwrap_or_default()
+    }
+
+    fn put_bools(&mut self, mut v: Vec<bool>) {
+        v.clear();
+        self.bools.push(v);
+    }
+
+    fn take_i64s(&mut self) -> Vec<i64> {
+        self.i64s.pop().unwrap_or_default()
+    }
+
+    fn put_i64s(&mut self, mut v: Vec<i64>) {
+        v.clear();
+        self.i64s.push(v);
+    }
+
+    fn take_f64s(&mut self) -> Vec<f64> {
+        self.f64s.pop().unwrap_or_default()
+    }
+
+    fn put_f64s(&mut self, mut v: Vec<f64>) {
+        v.clear();
+        self.f64s.push(v);
+    }
+}
+
+/// Applies a kernel predicate to the batch: evaluates the mask densely over
+/// all `rows` and compresses the selection in place.
+pub fn apply_filter(pred: &KernelPred, batch: &mut BindingBatch, scratch: &mut Scratch) {
+    let rows = batch.rows();
+    let mut mask = scratch.take_bools();
+    eval_pred(pred, batch, rows, &mut mask, scratch);
+    batch.compress_sel(&mask);
+    scratch.put_bools(mask);
+}
+
+fn typed(batch: &BindingBatch, slot: usize) -> &TypedColumn {
+    batch
+        .typed_col(slot)
+        .expect("kernel predicate over a slot without a live typed column")
+}
+
+/// Evaluates `pred` into `mask[0..rows]`.
+fn eval_pred(
+    pred: &KernelPred,
+    batch: &BindingBatch,
+    rows: usize,
+    mask: &mut Vec<bool>,
+    scratch: &mut Scratch,
+) {
+    mask.clear();
+    match pred {
+        KernelPred::Const(b) => mask.resize(rows, *b),
+        KernelPred::BoolSlot(slot) => {
+            let col = typed(batch, *slot);
+            let data = col.bool_values();
+            mask.extend_from_slice(&data[..rows]);
+            mask_out_nulls(col, rows, mask, false);
+        }
+        KernelPred::IsNull(slot) => {
+            let col = typed(batch, *slot);
+            mask.extend((0..rows).map(|i| col.is_null(i)));
+        }
+        KernelPred::CmpBool { op, slot, lit } => {
+            let col = typed(batch, *slot);
+            let data = col.bool_values();
+            let (op, lit) = (*op, *lit);
+            mask.extend(data[..rows].iter().map(|v| op.holds(v.cmp(&lit))));
+            // eval_binary null rule: `Neq` against one null is true, every
+            // other comparison with a null is false.
+            mask_out_nulls(col, rows, mask, op == CmpOp::Neq);
+        }
+        KernelPred::CmpStr { op, slot, lit } => {
+            let col = typed(batch, *slot);
+            let (ids, pool) = col.str_parts();
+            // Compare each *unique* string of the morsel once.
+            let per_id: Vec<bool> = pool
+                .iter()
+                .map(|s| op.holds(s.as_ref().cmp(lit.as_str())))
+                .collect();
+            mask.extend(ids[..rows].iter().map(|id| per_id[*id as usize]));
+            mask_out_nulls(col, rows, mask, *op == CmpOp::Neq);
+        }
+        KernelPred::StrContains { slot, needle } => {
+            let col = typed(batch, *slot);
+            let (ids, pool) = col.str_parts();
+            let per_id: Vec<bool> = pool.iter().map(|s| s.contains(needle.as_str())).collect();
+            mask.extend(ids[..rows].iter().map(|id| per_id[*id as usize]));
+            // The compiled Contains treats non-strings (incl. null) as false.
+            mask_out_nulls(col, rows, mask, false);
+        }
+        KernelPred::CmpNum { op, lhs, rhs } => {
+            eval_cmp_num(*op, lhs, rhs, batch, rows, mask, scratch);
+        }
+        KernelPred::Not(inner) => {
+            eval_pred(inner, batch, rows, mask, scratch);
+            for m in mask.iter_mut() {
+                *m = !*m;
+            }
+        }
+        KernelPred::And(parts) => {
+            eval_pred(&parts[0], batch, rows, mask, scratch);
+            let mut tmp = scratch.take_bools();
+            for part in &parts[1..] {
+                eval_pred(part, batch, rows, &mut tmp, scratch);
+                for (m, t) in mask.iter_mut().zip(&tmp) {
+                    *m &= *t;
+                }
+            }
+            scratch.put_bools(tmp);
+        }
+        KernelPred::Or(parts) => {
+            eval_pred(&parts[0], batch, rows, mask, scratch);
+            let mut tmp = scratch.take_bools();
+            for part in &parts[1..] {
+                eval_pred(part, batch, rows, &mut tmp, scratch);
+                for (m, t) in mask.iter_mut().zip(&tmp) {
+                    *m |= *t;
+                }
+            }
+            scratch.put_bools(tmp);
+        }
+    }
+}
+
+/// Rewrites mask entries at null rows to `value_when_null` (no-op when the
+/// column has no nulls).
+fn mask_out_nulls(col: &TypedColumn, rows: usize, mask: &mut [bool], value_when_null: bool) {
+    if !col.has_nulls() {
+        return;
+    }
+    for (i, m) in mask.iter_mut().enumerate().take(rows) {
+        if col.is_null(i) {
+            *m = value_when_null;
+        }
+    }
+}
+
+/// A numeric operand rendered for one morsel: either a borrowed column, a
+/// computed temporary, or a broadcast constant.
+enum NumVec<'a> {
+    I64(&'a [i64]),
+    F64(&'a [f64]),
+    TmpI64(Vec<i64>),
+    TmpF64(Vec<f64>),
+    ConstI64(i64),
+    ConstF64(f64),
+}
+
+impl NumVec<'_> {
+    /// The float view of lane `i` (the comparison domain of `total_cmp`).
+    #[inline]
+    fn f64_at(&self, i: usize) -> f64 {
+        match self {
+            NumVec::I64(v) => v[i] as f64,
+            NumVec::F64(v) => v[i],
+            NumVec::TmpI64(v) => v[i] as f64,
+            NumVec::TmpF64(v) => v[i],
+            NumVec::ConstI64(c) => *c as f64,
+            NumVec::ConstF64(c) => *c,
+        }
+    }
+}
+
+fn eval_cmp_num(
+    op: CmpOp,
+    lhs: &NumExpr,
+    rhs: &NumExpr,
+    batch: &BindingBatch,
+    rows: usize,
+    mask: &mut Vec<bool>,
+    scratch: &mut Scratch,
+) {
+    let l = eval_num(lhs, batch, rows, scratch);
+    let r = eval_num(rhs, batch, rows, scratch);
+
+    // Comparison loops: `eval_binary` compares two numerics with
+    // `as_float().total_cmp()`, so every kernel comparison goes through the
+    // f64 total order (branch-free bit tricks the compiler can vectorize).
+    // Specialize the hottest shapes to keep the lane loads direct.
+    match (&l, &r) {
+        (NumVec::I64(a), NumVec::ConstI64(c)) => {
+            let c = *c as f64;
+            mask.extend(
+                a[..rows]
+                    .iter()
+                    .map(|x| op.holds((*x as f64).total_cmp(&c))),
+            );
+        }
+        (NumVec::I64(a), NumVec::ConstF64(c)) => {
+            mask.extend(a[..rows].iter().map(|x| op.holds((*x as f64).total_cmp(c))));
+        }
+        (NumVec::F64(a), NumVec::ConstI64(c)) => {
+            let c = *c as f64;
+            mask.extend(a[..rows].iter().map(|x| op.holds(x.total_cmp(&c))));
+        }
+        (NumVec::F64(a), NumVec::ConstF64(c)) => {
+            mask.extend(a[..rows].iter().map(|x| op.holds(x.total_cmp(c))));
+        }
+        (NumVec::I64(a), NumVec::I64(b)) => {
+            mask.extend(
+                a[..rows]
+                    .iter()
+                    .zip(&b[..rows])
+                    .map(|(x, y)| op.holds((*x as f64).total_cmp(&(*y as f64)))),
+            );
+        }
+        (NumVec::F64(a), NumVec::F64(b)) => {
+            mask.extend(
+                a[..rows]
+                    .iter()
+                    .zip(&b[..rows])
+                    .map(|(x, y)| op.holds(x.total_cmp(y))),
+            );
+        }
+        _ => {
+            mask.extend((0..rows).map(|i| op.holds(l.f64_at(i).total_cmp(&r.f64_at(i)))));
+        }
+    }
+
+    // Null propagation: a null operand makes the comparison false, except
+    // `Neq` against exactly one null. Arithmetic over a null is null.
+    let lhs_nulls = null_mask(lhs, batch, rows, scratch);
+    let rhs_nulls = null_mask(rhs, batch, rows, scratch);
+    match (&lhs_nulls, &rhs_nulls) {
+        (None, None) => {}
+        (Some(ln), None) => {
+            let neq = op == CmpOp::Neq;
+            for (m, l_null) in mask.iter_mut().zip(ln) {
+                if *l_null {
+                    *m = neq;
+                }
+            }
+        }
+        (None, Some(rn)) => {
+            let neq = op == CmpOp::Neq;
+            for (m, r_null) in mask.iter_mut().zip(rn) {
+                if *r_null {
+                    *m = neq;
+                }
+            }
+        }
+        (Some(ln), Some(rn)) => {
+            let neq = op == CmpOp::Neq;
+            for ((m, l_null), r_null) in mask.iter_mut().zip(ln).zip(rn) {
+                if *l_null || *r_null {
+                    *m = neq && (*l_null ^ *r_null);
+                }
+            }
+        }
+    }
+    if let Some(v) = lhs_nulls {
+        scratch.put_bools(v);
+    }
+    if let Some(v) = rhs_nulls {
+        scratch.put_bools(v);
+    }
+    release(l, scratch);
+    release(r, scratch);
+}
+
+fn release(v: NumVec<'_>, scratch: &mut Scratch) {
+    match v {
+        NumVec::TmpI64(buf) => scratch.put_i64s(buf),
+        NumVec::TmpF64(buf) => scratch.put_f64s(buf),
+        _ => {}
+    }
+}
+
+/// The union of the null bitmaps of every slot a numeric expression reads
+/// (`None` when no referenced slot has nulls — the common case).
+fn null_mask(
+    expr: &NumExpr,
+    batch: &BindingBatch,
+    rows: usize,
+    scratch: &mut Scratch,
+) -> Option<Vec<bool>> {
+    let mut slots = Vec::new();
+    expr.collect_slots(&mut slots);
+    let mut out: Option<Vec<bool>> = None;
+    for slot in slots {
+        let col = typed(batch, slot);
+        if !col.has_nulls() {
+            continue;
+        }
+        let mask = out.get_or_insert_with(|| {
+            let mut v = scratch.take_bools();
+            v.resize(rows, false);
+            v
+        });
+        for (i, m) in mask.iter_mut().enumerate() {
+            *m |= col.is_null(i);
+        }
+    }
+    out
+}
+
+/// Renders a numeric expression for the morsel. Slots borrow their typed
+/// columns; arithmetic computes into recycled temporaries (integer ops wrap,
+/// mirroring `eval_binary`; mixed int/float widens per operation).
+fn eval_num<'a>(
+    expr: &NumExpr,
+    batch: &'a BindingBatch,
+    rows: usize,
+    scratch: &mut Scratch,
+) -> NumVec<'a> {
+    match expr {
+        NumExpr::SlotI64(slot) => NumVec::I64(typed(batch, *slot).i64_values()),
+        NumExpr::SlotF64(slot) => NumVec::F64(typed(batch, *slot).f64_values()),
+        NumExpr::ConstI64(c) => NumVec::ConstI64(*c),
+        NumExpr::ConstF64(c) => NumVec::ConstF64(*c),
+        NumExpr::Neg(inner) => {
+            let v = eval_num(inner, batch, rows, scratch);
+            if inner.is_int() {
+                let mut out = scratch.take_i64s();
+                // Plain `-` mirrors the closure's `Value::Int(-i)` exactly:
+                // both panic on i64::MIN in debug and wrap in release.
+                match &v {
+                    NumVec::I64(a) => out.extend(a[..rows].iter().map(|x| -x)),
+                    NumVec::TmpI64(a) => out.extend(a[..rows].iter().map(|x| -x)),
+                    NumVec::ConstI64(c) => out.resize(rows, -c),
+                    _ => unreachable!("int Neg over a float operand"),
+                }
+                release(v, scratch);
+                NumVec::TmpI64(out)
+            } else {
+                let mut out = scratch.take_f64s();
+                out.extend((0..rows).map(|i| -v.f64_at(i)));
+                release(v, scratch);
+                NumVec::TmpF64(out)
+            }
+        }
+        NumExpr::Arith { op, lhs, rhs } => {
+            let l = eval_num(lhs, batch, rows, scratch);
+            let r = eval_num(rhs, batch, rows, scratch);
+            let int = lhs.is_int() && rhs.is_int();
+            let result = if int {
+                let mut out = scratch.take_i64s();
+                let l_at = |v: &NumVec<'_>, i: usize| -> i64 {
+                    match v {
+                        NumVec::I64(a) => a[i],
+                        NumVec::TmpI64(a) => a[i],
+                        NumVec::ConstI64(c) => *c,
+                        _ => unreachable!("int arith over a float operand"),
+                    }
+                };
+                match op {
+                    ArithOp::Add => {
+                        out.extend((0..rows).map(|i| l_at(&l, i).wrapping_add(l_at(&r, i))))
+                    }
+                    ArithOp::Sub => {
+                        out.extend((0..rows).map(|i| l_at(&l, i).wrapping_sub(l_at(&r, i))))
+                    }
+                    ArithOp::Mul => {
+                        out.extend((0..rows).map(|i| l_at(&l, i).wrapping_mul(l_at(&r, i))))
+                    }
+                }
+                NumVec::TmpI64(out)
+            } else {
+                let mut out = scratch.take_f64s();
+                match op {
+                    ArithOp::Add => out.extend((0..rows).map(|i| l.f64_at(i) + r.f64_at(i))),
+                    ArithOp::Sub => out.extend((0..rows).map(|i| l.f64_at(i) - r.f64_at(i))),
+                    ArithOp::Mul => out.extend((0..rows).map(|i| l.f64_at(i) * r.f64_at(i))),
+                }
+                NumVec::TmpF64(out)
+            };
+            release(l, scratch);
+            release(r, scratch);
+            result
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::expr::compile_predicate;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const CASES: u64 = 64;
+
+    /// Slots: 0 = `t.i` (I64), 1 = `t.f` (F64), 2 = `t.b` (Bool),
+    /// 3 = `t.s` (Str).
+    fn layout() -> BindingLayout {
+        let mut layout = BindingLayout::new();
+        layout.slot_for("t.i");
+        layout.slot_for("t.f");
+        layout.slot_for("t.b");
+        layout.slot_for("t.s");
+        layout
+    }
+
+    fn typed_map() -> HashMap<usize, TypedKind> {
+        [
+            (0, TypedKind::I64),
+            (1, TypedKind::F64),
+            (2, TypedKind::Bool),
+            (3, TypedKind::Str),
+        ]
+        .into_iter()
+        .collect()
+    }
+
+    /// Builds a batch holding the same random rows in both representations:
+    /// typed columns (with a null bitmap) and row-major `Value`s — exactly
+    /// the state after a typed scan plus hydration.
+    fn random_batch(rng: &mut StdRng, rows: usize) -> BindingBatch {
+        let mut batch = BindingBatch::new();
+        batch.reset(4, rows);
+        batch.typed_col_mut(0).begin(TypedKind::I64, rows);
+        batch.typed_col_mut(1).begin(TypedKind::F64, rows);
+        batch.typed_col_mut(2).begin(TypedKind::Bool, rows);
+        batch.typed_col_mut(3).begin(TypedKind::Str, rows);
+        let words = ["", "fox", "quick fox", "lazy", "zebra", "ant"];
+        let mut values: Vec<[Value; 4]> = Vec::with_capacity(rows);
+        for _ in 0..rows {
+            let null_roll = rng.gen_range(0u32..10);
+            let i_val = (null_roll != 0).then(|| rng.gen_range(-50i64..50));
+            let f_val = (null_roll != 1).then(|| {
+                let raw = rng.gen_range(-40.0f64..40.0);
+                // Exercise -0.0 and NaN-free odd values.
+                if rng.gen_range(0u32..20) == 0 {
+                    -0.0
+                } else {
+                    (raw * 4.0).round() / 4.0
+                }
+            });
+            let b_val = (null_roll != 2).then(|| rng.gen_range(0u32..2) == 1);
+            let s_val = (null_roll != 3).then(|| words[rng.gen_range(0usize..words.len())]);
+            values.push([
+                i_val.map(Value::Int).unwrap_or(Value::Null),
+                f_val.map(Value::Float).unwrap_or(Value::Null),
+                b_val.map(Value::Bool).unwrap_or(Value::Null),
+                s_val.map(Value::str).unwrap_or(Value::Null),
+            ]);
+            let col = batch.typed_col_mut(0);
+            match i_val {
+                Some(v) => col.push_i64(v),
+                None => col.push_null(),
+            }
+            let col = batch.typed_col_mut(1);
+            match f_val {
+                Some(v) => col.push_f64(v),
+                None => col.push_null(),
+            }
+            let col = batch.typed_col_mut(2);
+            match b_val {
+                Some(v) => col.push_bool(v),
+                None => col.push_null(),
+            }
+            let col = batch.typed_col_mut(3);
+            match s_val {
+                Some(v) => col.push_str(v),
+                None => col.push_null(),
+            }
+        }
+        for (row, vals) in values.into_iter().enumerate() {
+            for (slot, v) in vals.into_iter().enumerate() {
+                batch.put(row, slot, v);
+            }
+        }
+        batch
+    }
+
+    /// One random conjunct drawn from the fig05–fig12 predicate shapes
+    /// (threshold selections, conjunctions over numeric columns, string
+    /// predicates) plus the null/negation/disjunction edge shapes. Shapes
+    /// 10+ are deliberately closure-only (fallback coverage).
+    fn random_conjunct(rng: &mut StdRng) -> Expr {
+        let ops = [
+            BinaryOp::Eq,
+            BinaryOp::Neq,
+            BinaryOp::Lt,
+            BinaryOp::Le,
+            BinaryOp::Gt,
+            BinaryOp::Ge,
+        ];
+        let op = ops[rng.gen_range(0usize..ops.len())];
+        let words = ["", "fox", "quick fox", "lazy", "zebra", "nope"];
+        match rng.gen_range(0u32..13) {
+            // fig07/fig08-style threshold comparisons.
+            0 => Expr::binary(op, Expr::path("t.i"), Expr::int(rng.gen_range(-30i64..30))),
+            1 => Expr::binary(
+                op,
+                Expr::path("t.f"),
+                Expr::float(rng.gen_range(-20.0f64..20.0)),
+            ),
+            // Literal-first (flipped) comparisons.
+            2 => Expr::binary(op, Expr::int(rng.gen_range(-30i64..30)), Expr::path("t.i")),
+            // Column-vs-column, mixed int/float.
+            3 => Expr::binary(op, Expr::path("t.i"), Expr::path("t.f")),
+            // Arithmetic inside the comparison (fig05-style computed
+            // projections used as filters).
+            4 => Expr::binary(
+                op,
+                Expr::binary(
+                    BinaryOp::Mul,
+                    Expr::path("t.i"),
+                    Expr::int(rng.gen_range(1i64..4)),
+                ),
+                Expr::int(rng.gen_range(-40i64..40)),
+            ),
+            5 => Expr::binary(
+                op,
+                Expr::binary(BinaryOp::Add, Expr::path("t.f"), Expr::path("t.i")),
+                Expr::float(rng.gen_range(-30.0f64..30.0)),
+            ),
+            // String predicates (Symantec Q12/Q13-style).
+            6 => Expr::binary(
+                op,
+                Expr::path("t.s"),
+                Expr::string(words[rng.gen_range(0usize..words.len())]),
+            ),
+            7 => Expr::Contains {
+                expr: Box::new(Expr::path("t.s")),
+                needle: ["fox", "qu", "z", "xyz"][rng.gen_range(0usize..4)].into(),
+            },
+            // Bool column, bare and compared.
+            8 => Expr::path("t.b"),
+            9 => Expr::binary(
+                op,
+                Expr::path("t.b"),
+                Expr::boolean(rng.gen_range(0u32..2) == 1),
+            ),
+            // IS NULL / negation / disjunction.
+            10 => Expr::Unary {
+                op: UnaryOp::IsNull,
+                expr: Box::new(Expr::path(
+                    ["t.i", "t.f", "t.b", "t.s"][rng.gen_range(0usize..4)],
+                )),
+            },
+            11 => Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(Expr::binary(
+                    op,
+                    Expr::path("t.i"),
+                    Expr::int(rng.gen_range(-30i64..30)),
+                )),
+            },
+            _ => Expr::binary(op, Expr::path("t.i"), Expr::int(rng.gen_range(-30i64..30))).or(
+                Expr::binary(
+                    op,
+                    Expr::path("t.f"),
+                    Expr::float(rng.gen_range(-20.0f64..20.0)),
+                ),
+            ),
+        }
+    }
+
+    /// A conjunct the planner must refuse: division, conditionals, record
+    /// shapes. These exercise the residual (closure-fallback) split.
+    fn fallback_conjunct(rng: &mut StdRng) -> Expr {
+        match rng.gen_range(0u32..3) {
+            0 => Expr::binary(
+                BinaryOp::Lt,
+                Expr::binary(BinaryOp::Div, Expr::path("t.i"), Expr::int(2)),
+                Expr::int(rng.gen_range(-10i64..10)),
+            ),
+            1 => Expr::If {
+                cond: Box::new(Expr::path("t.b")),
+                then: Box::new(Expr::boolean(true)),
+                otherwise: Box::new(Expr::binary(BinaryOp::Gt, Expr::path("t.i"), Expr::int(0))),
+            },
+            _ => Expr::binary(BinaryOp::Mod, Expr::path("t.i"), Expr::int(3)).eq(Expr::int(0)),
+        }
+    }
+
+    fn selections_match(seed: u64, with_fallback: bool, empty_selection: bool) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = layout();
+        let typed = typed_map();
+        let rows = rng.gen_range(1usize..200);
+        let conjuncts: usize = rng.gen_range(1usize..4);
+        let mut parts: Vec<Expr> = (0..conjuncts).map(|_| random_conjunct(&mut rng)).collect();
+        if with_fallback {
+            parts.push(fallback_conjunct(&mut rng));
+        }
+        let predicate = Expr::conjunction(parts);
+
+        let planned = plan_predicate(&predicate, &layout, &typed);
+        let Some(planned) = planned else {
+            assert!(
+                with_fallback && conjuncts == 0,
+                "seed {seed}: no conjunct was kernel-eligible for {predicate}"
+            );
+            return;
+        };
+        if with_fallback {
+            assert!(
+                planned.residual.is_some(),
+                "seed {seed}: fallback conjunct was not split out of {predicate}"
+            );
+        }
+
+        // Two identical batches from the same derived seed.
+        let batch_seed = rng.gen_range(0u64..u64::MAX / 2);
+        let mut kernel_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
+        let mut closure_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
+        if empty_selection {
+            let none = vec![false; rows];
+            kernel_batch.compress_sel(&none);
+            closure_batch.compress_sel(&none);
+        }
+
+        let mut scratch = Scratch::new();
+        apply_filter(&planned.kernel, &mut kernel_batch, &mut scratch);
+        if let Some(residual) = &planned.residual {
+            let pred = compile_predicate(residual, &layout).unwrap();
+            kernel_batch.retain(|row| pred(row));
+        }
+        let full = compile_predicate(&predicate, &layout).unwrap();
+        closure_batch.retain(|row| full(row));
+
+        assert_eq!(
+            kernel_batch.sel(),
+            closure_batch.sel(),
+            "seed {seed}: kernel and closure selections diverge for {predicate}"
+        );
+    }
+
+    #[test]
+    fn kernel_selection_equals_closure_selection() {
+        for seed in 0..CASES {
+            selections_match(seed, false, false);
+        }
+    }
+
+    #[test]
+    fn kernel_plus_residual_equals_full_closure() {
+        for seed in 0..CASES {
+            selections_match(seed, true, false);
+        }
+    }
+
+    #[test]
+    fn kernels_handle_empty_selections() {
+        for seed in 0..CASES / 4 {
+            selections_match(seed, false, true);
+        }
+    }
+
+    #[test]
+    fn planner_rejects_untyped_and_nested_shapes() {
+        let layout = layout();
+        let typed = typed_map();
+        // Nested path below a typed slot → not eligible.
+        assert!(
+            plan_predicate(&Expr::path("t.s.inner").eq(Expr::int(1)), &layout, &typed).is_none()
+        );
+        // Unknown slot → not eligible.
+        assert!(plan_predicate(&Expr::path("ghost.x").lt(Expr::int(1)), &layout, &typed).is_none());
+        // Division keeps its closure semantics.
+        assert!(plan_predicate(
+            &Expr::binary(BinaryOp::Div, Expr::path("t.i"), Expr::int(0)).lt(Expr::int(1)),
+            &layout,
+            &typed
+        )
+        .is_none());
+        // Eligible + ineligible conjunction splits.
+        let planned = plan_predicate(
+            &Expr::path("t.i")
+                .lt(Expr::int(5))
+                .and(Expr::binary(BinaryOp::Div, Expr::path("t.i"), Expr::int(2)).lt(Expr::int(1))),
+            &layout,
+            &typed,
+        )
+        .unwrap();
+        assert!(planned.residual.is_some());
+        assert_eq!(planned.used_slots, vec![0]);
+    }
+
+    #[test]
+    fn interned_string_kernels_compare_pooled_uniques() {
+        let mut batch = BindingBatch::new();
+        batch.reset(4, 6);
+        for (slot, kind) in [
+            (0, TypedKind::I64),
+            (1, TypedKind::F64),
+            (2, TypedKind::Bool),
+        ] {
+            let col = batch.typed_col_mut(slot);
+            col.begin(kind, 6);
+            for _ in 0..6 {
+                col.push_null();
+            }
+        }
+        let col = batch.typed_col_mut(3);
+        col.begin(TypedKind::Str, 6);
+        for s in ["a", "b", "a", "c", "b", "a"] {
+            col.push_str(s);
+        }
+        let (ids, pool) = batch.typed_col(3).unwrap().str_parts();
+        assert_eq!(pool.len(), 3, "pool holds unique strings only");
+        assert_eq!(ids, &[0, 1, 0, 2, 1, 0]);
+
+        let mut scratch = Scratch::new();
+        let pred = KernelPred::CmpStr {
+            op: CmpOp::Eq,
+            slot: 3,
+            lit: "a".into(),
+        };
+        apply_filter(&pred, &mut batch, &mut scratch);
+        assert_eq!(batch.sel(), &[0, 2, 5]);
+    }
+}

@@ -24,8 +24,16 @@ pub struct ExecutionMetrics {
     pub intermediate_tuples: u64,
     /// Bytes of intermediate state written.
     pub intermediate_bytes: u64,
-    /// Predicate / branch evaluations on the per-tuple path.
+    /// Predicate / branch evaluations on the per-tuple path (kernel and
+    /// closure selections combined: `kernel_rows + fallback_rows` for plain
+    /// filter stages).
     pub predicate_evals: u64,
+    /// Rows whose selection predicates were evaluated by the vectorized
+    /// columnar kernels.
+    pub kernel_rows: u64,
+    /// Rows whose selection predicates fell back to compiled per-tuple
+    /// closures (record/list-shaped or untyped expressions).
+    pub fallback_rows: u64,
     /// Hash-table probes performed by joins and group-bys.
     pub hash_probes: u64,
     /// Values appended to caches as a side-effect of execution.
@@ -63,6 +71,8 @@ impl ExecutionMetrics {
         self.intermediate_tuples += other.intermediate_tuples;
         self.intermediate_bytes += other.intermediate_bytes;
         self.predicate_evals += other.predicate_evals;
+        self.kernel_rows += other.kernel_rows;
+        self.fallback_rows += other.fallback_rows;
         self.hash_probes += other.hash_probes;
         self.cached_values += other.cached_values;
         self.morsels += other.morsels;
@@ -83,12 +93,14 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
             self.intermediate_bytes,
             self.predicate_evals,
+            self.kernel_rows,
+            self.fallback_rows,
             self.hash_probes,
             self.cached_values,
             self.morsels,

@@ -36,13 +36,51 @@
 //!   partials are merged under the monoid's associative ⊕ when the pool
 //!   drains. `parallelism = 1` runs the identical batch code inline — serial
 //!   and parallel execution differ only in floating-point summation order.
+//! * Join build sides also *build* in parallel: the radix partition phase
+//!   fans out over contiguous entry chunks and the cluster (sort) phase over
+//!   the radix digits, producing a table bit-identical to the serial build.
 //!
 //! Collected (non-aggregated) outputs are tagged with their morsel index and
 //! re-sorted on merge, so row order matches the serial scan order no matter
 //! which worker claimed which morsel.
+//!
+//! # Typed columns, vectorized kernels, closure fallback
+//!
+//! Selections have a second, column-at-a-time evaluation tier on top of the
+//! compiled closures:
+//!
+//! * **Typed columns.** For each slot referenced by a kernel-eligible
+//!   predicate, the scan asks the plug-in for a *typed fill*
+//!   ([`proteus_plugins::TypedFill`]): the morsel's values land in a
+//!   [`proteus_plugins::TypedColumn`] — raw `i64`/`f64`/`bool` vectors or
+//!   per-morsel interned strings, each with a null bitmap — instead of the
+//!   row-major `Value` buffer. Binary and cached columnar data is a plain
+//!   slice append; CSV/JSON parse their raw bytes straight into the vector.
+//! * **Kernels.** The predicate planner (`codegen`) classifies each
+//!   selection conjunct at prepare time. Eligible conjuncts (comparisons,
+//!   `+`/`-`/`*` arithmetic, `AND`/`OR`/`NOT`, `IS NULL`, string
+//!   equality/ordering/`contains` vs literals) compile to a
+//!   [`kernels::KernelPred`] evaluated by dense branch-lean loops that
+//!   produce a boolean mask, compress-stored into the selection vector.
+//!   String kernels compare each *unique* pooled string once per morsel.
+//! * **Closure fallback.** Everything else — record/list-shaped
+//!   expressions, conditionals, division, nested paths, untyped slots —
+//!   stays on the compiled-closure path, as does any filter above an
+//!   unnest/join (those rebuild batches row-wise, dropping typed columns).
+//! * **Hydration.** Typed slots whose `Value` form something downstream
+//!   still reads (closure residuals, sink expressions, collected rows) are
+//!   materialized *after* the kernels, for the surviving selection only;
+//!   slots nothing reads (e.g. the filter column of a `COUNT(*)`) never
+//!   round-trip through `Value` at all.
+//!
+//! `ExecutionMetrics::kernel_rows` / `fallback_rows` report which tier
+//! evaluated each row's predicates; kernel ≡ closure equivalence is enforced
+//! by seed-sweep property tests ([`kernels`] and
+//! `tests/kernel_equivalence.rs`).
 
 pub mod batch;
 pub mod expr;
+pub mod kernels;
 pub mod metrics;
 pub mod pipeline;
 pub mod radix;

@@ -18,13 +18,14 @@ use std::sync::{Arc, Mutex};
 
 use proteus_algebra::monoid::Accumulator;
 use proteus_algebra::{JoinKind, Monoid, Value};
-use proteus_plugins::BatchFill;
+use proteus_plugins::{BatchFill, TypedFill};
 use proteus_storage::CacheStore;
 
 use crate::cache_builder::CacheBuilder;
 use crate::error::Result;
 use crate::exec::batch::{BindingBatch, MORSEL_SIZE};
 use crate::exec::expr::{CompiledExpr, CompiledPredicate};
+use crate::exec::kernels::{self, KernelPred};
 use crate::exec::metrics::ExecutionMetrics;
 use crate::exec::radix::{RadixGroupTable, RadixHashTable};
 use crate::exec::Binding;
@@ -32,6 +33,23 @@ use crate::exec::Binding;
 // ---------------------------------------------------------------------------
 // The compiled producer tree (built by codegen).
 // ---------------------------------------------------------------------------
+
+/// One typed (vectorized) slot fill of a scan, planned by codegen.
+pub(crate) struct TypedSlotFill {
+    /// Batch slot the column lands in.
+    pub(crate) slot: usize,
+    /// Dotted slot name (drives the hydration analysis).
+    pub(crate) name: String,
+    /// Element kind of the typed column (drives kernel planning).
+    pub(crate) kind: proteus_plugins::TypedKind,
+    /// The plug-in's typed morsel filler.
+    pub(crate) fill: TypedFill,
+    /// Set once a kernel predicate references the slot.
+    pub(crate) active: bool,
+    /// Set when anything downstream of the kernels reads the slot's `Value`
+    /// form (closure residuals, sink expressions, collected rows).
+    pub(crate) hydrate: bool,
+}
 
 /// A binding producer: the part of the pipeline below the sink.
 pub(crate) enum Producer {
@@ -43,15 +61,20 @@ pub(crate) enum Producer {
         row_count: u64,
         /// `(slot, morsel filler)` per projected field.
         fills: Vec<(usize, BatchFill)>,
+        /// Typed columnar fills the plug-in offers; entries activated by the
+        /// kernel planner replace the slot's `Value` fill.
+        typed: Vec<TypedSlotFill>,
         width: usize,
         cache_builder: CacheBuilder,
         cache_field_slots: Vec<usize>,
         cache_store: Option<CacheStore>,
     },
-    /// Inlined selection.
+    /// Inlined selection: a vectorized kernel part and/or a compiled-closure
+    /// part (at least one is present).
     Filter {
         input: Box<Producer>,
-        predicate: CompiledPredicate,
+        kernel: Option<KernelPred>,
+        predicate: Option<CompiledPredicate>,
     },
     /// Unnest of a nested collection into a new slot.
     Unnest {
@@ -89,12 +112,20 @@ struct PreparedScan {
     row_count: u64,
     width: usize,
     fills: Vec<(usize, BatchFill)>,
+    /// Activated typed fills: `(slot, filler, hydrate?)`.
+    typed_fills: Vec<(usize, TypedFill, bool)>,
     cache: Option<CacheSideEffect>,
 }
 
 enum Stage {
-    /// Shrinks the selection in place.
+    /// Shrinks the selection via a vectorized columnar kernel.
+    KernelFilter(KernelPred),
+    /// Shrinks the selection in place with a compiled closure.
     Filter(CompiledPredicate),
+    /// Materializes the listed typed slots into `Value` form for the rows
+    /// that survived the kernels (inserted before the first stage — or the
+    /// sink — that reads rows).
+    Hydrate(Vec<usize>),
     /// Expands each row once per collection element into the output batch.
     Unnest {
         collection: CompiledExpr,
@@ -132,6 +163,7 @@ fn prepare(
             dataset: _,
             row_count,
             fills,
+            typed,
             width,
             cache_builder,
             cache_field_slots,
@@ -145,19 +177,34 @@ fn prepare(
                 }),
                 _ => None,
             };
+            let typed_fills = typed
+                .into_iter()
+                .filter(|t| t.active)
+                .map(|t| (t.slot, t.fill, t.hydrate))
+                .collect();
             Ok(PreparedPipeline {
                 scan: PreparedScan {
                     row_count,
                     width,
                     fills,
+                    typed_fills,
                     cache,
                 },
                 stages: Vec::new(),
             })
         }
-        Producer::Filter { input, predicate } => {
+        Producer::Filter {
+            input,
+            kernel,
+            predicate,
+        } => {
             let mut prepared = prepare(*input, threads, metrics)?;
-            prepared.stages.push(Stage::Filter(predicate));
+            if let Some(kernel) = kernel {
+                prepared.stages.push(Stage::KernelFilter(kernel));
+            }
+            if let Some(predicate) = predicate {
+                prepared.stages.push(Stage::Filter(predicate));
+            }
             Ok(prepared)
         }
         Producer::Unnest {
@@ -187,10 +234,12 @@ fn prepare(
             build_width,
             kind,
         } => {
-            // Materialize + cluster the build side with its own morsel run.
+            // Materialize + cluster the build side with its own morsel run;
+            // the partition/cluster phases fan out over the same worker
+            // budget (deterministic: identical to the serial build).
             let entries = run_entries(*build, &build_keys, threads, metrics)?;
             metrics.intermediate_tuples += entries.len() as u64;
-            let table = Arc::new(RadixHashTable::build(entries));
+            let table = Arc::new(RadixHashTable::build_parallel(entries, threads));
             metrics.intermediate_bytes += table.materialized_bytes();
 
             let mut prepared = prepare(*probe, threads, metrics)?;
@@ -222,9 +271,37 @@ fn current_width(prepared: &PreparedPipeline) -> usize {
         .rev()
         .find_map(|stage| match stage {
             Stage::Unnest { width, .. } | Stage::Probe { width, .. } => Some(*width),
-            Stage::Filter(_) => None,
+            Stage::KernelFilter(_) | Stage::Filter(_) | Stage::Hydrate(_) => None,
         })
         .unwrap_or(prepared.scan.width)
+}
+
+/// Inserts the hydration stage: typed slots whose `Value` form anything
+/// downstream reads are materialized (for the surviving selection only)
+/// right before the first row-consuming stage, or at the end of the stage
+/// chain when only the sink reads rows.
+fn insert_hydration(pipeline: &mut PreparedPipeline) {
+    let slots: Vec<usize> = pipeline
+        .scan
+        .typed_fills
+        .iter()
+        .filter(|(_, _, hydrate)| *hydrate)
+        .map(|(slot, _, _)| *slot)
+        .collect();
+    if slots.is_empty() {
+        return;
+    }
+    let at = pipeline
+        .stages
+        .iter()
+        .position(|stage| {
+            matches!(
+                stage,
+                Stage::Filter(_) | Stage::Unnest { .. } | Stage::Probe { .. }
+            )
+        })
+        .unwrap_or(pipeline.stages.len());
+    pipeline.stages.insert(at, Stage::Hydrate(slots));
 }
 
 // ---------------------------------------------------------------------------
@@ -418,6 +495,9 @@ fn fill_morsel(
     for (slot, fill) in &scan.fills {
         fill(start, count, data, *slot, width);
     }
+    for (slot, fill, _) in &scan.typed_fills {
+        fill(start, count, batch.typed_col_mut(*slot));
+    }
     metrics.tuples_scanned += count as u64;
 
     if let Some(cache) = &scan.cache {
@@ -443,6 +523,7 @@ fn process_stages(
     spare: &mut BindingBatch,
     sink: &SinkSpec,
     state: &mut SinkState,
+    scratch: &mut kernels::Scratch,
     morsel: u64,
     metrics: &mut ExecutionMetrics,
 ) {
@@ -451,6 +532,15 @@ fn process_stages(
             break;
         }
         match stage {
+            Stage::KernelFilter(kernel) => {
+                let active = cur.active() as u64;
+                kernels::apply_filter(kernel, cur, scratch);
+                metrics.kernel_rows += active;
+                metrics.predicate_evals += active;
+            }
+            Stage::Hydrate(slots) => {
+                cur.hydrate(slots);
+            }
             Stage::Filter(predicate) => {
                 let mut evaluations = 0u64;
                 cur.retain(|row| {
@@ -458,6 +548,7 @@ fn process_stages(
                     predicate(row)
                 });
                 metrics.predicate_evals += evaluations;
+                metrics.fallback_rows += evaluations;
             }
             Stage::Unnest {
                 collection,
@@ -538,6 +629,7 @@ fn worker_loop(
     let mut state = sink.new_state();
     let mut cur = BindingBatch::new();
     let mut spare = BindingBatch::new();
+    let mut scratch = kernels::Scratch::new();
     loop {
         let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
         if morsel >= morsel_count {
@@ -553,6 +645,7 @@ fn worker_loop(
             &mut spare,
             sink,
             &mut state,
+            &mut scratch,
             morsel,
             &mut metrics,
         );
@@ -618,6 +711,7 @@ fn execute_pipeline(
             if !tail.is_empty() {
                 let mut spare = BindingBatch::new();
                 let mut state = sink.new_state();
+                let mut scratch = kernels::Scratch::new();
                 // Tag tail rows past every real morsel so they sort last.
                 process_stages(
                     &pipeline.stages[idx + 1..],
@@ -625,6 +719,7 @@ fn execute_pipeline(
                     &mut spare,
                     sink,
                     &mut state,
+                    &mut scratch,
                     morsel_count,
                     metrics,
                 );
@@ -656,6 +751,8 @@ impl ExecutionMetrics {
         self.intermediate_tuples += other.intermediate_tuples;
         self.intermediate_bytes += other.intermediate_bytes;
         self.predicate_evals += other.predicate_evals;
+        self.kernel_rows += other.kernel_rows;
+        self.fallback_rows += other.fallback_rows;
         self.hash_probes += other.hash_probes;
         self.cached_values += other.cached_values;
         self.morsels += other.morsels;
@@ -676,7 +773,8 @@ pub(crate) fn run_reduce(
     threads: usize,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Accumulator>> {
-    let pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, metrics)?;
+    insert_hydration(&mut pipeline);
     match execute_pipeline(
         &pipeline,
         &SinkSpec::Reduce { specs, predicate },
@@ -698,7 +796,8 @@ pub(crate) fn run_nest(
     threads: usize,
     metrics: &mut ExecutionMetrics,
 ) -> Result<RadixGroupTable> {
-    let pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, metrics)?;
+    insert_hydration(&mut pipeline);
     let spec = SinkSpec::Nest {
         keys,
         monoids,
@@ -717,7 +816,8 @@ pub(crate) fn run_collect(
     threads: usize,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Binding>> {
-    let pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, metrics)?;
+    insert_hydration(&mut pipeline);
     match execute_pipeline(&pipeline, &SinkSpec::Collect, threads, metrics)? {
         SinkResult::Rows(rows) => Ok(rows),
         _ => unreachable!(),
@@ -731,7 +831,8 @@ fn run_entries(
     threads: usize,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<(Value, Binding)>> {
-    let pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, metrics)?;
+    insert_hydration(&mut pipeline);
     let spec = SinkSpec::Entries {
         keys: keys.to_vec(),
     };

@@ -37,21 +37,28 @@ pub fn hash_key_components(values: &[Value]) -> u64 {
     h
 }
 
+/// One clustered build entry: `(key hash, key, binding, entry id)`. The
+/// entry id is the position in the original build input, used by left-outer
+/// joins to track matches.
+type BuildEntry = (u64, Value, Binding, u32);
+
 /// A materialized, radix-partitioned hash table over the build side of a join.
 pub struct RadixHashTable {
-    /// Per partition: the clustered `(key hash, key, binding, entry id)`
-    /// entries. The entry id is the position in the original build input,
-    /// used by left-outer joins to track matches.
-    partitions: Vec<Vec<(u64, Value, Binding, u32)>>,
+    /// Per partition: the clustered entries.
+    partitions: Vec<Vec<BuildEntry>>,
     /// Number of entries inserted.
     len: usize,
 }
+
+/// Entries below this size build serially: the scatter fits in cache and
+/// thread spawn/merge overhead would dominate.
+const PARALLEL_BUILD_THRESHOLD: usize = 4096;
 
 impl RadixHashTable {
     /// Builds the table by partitioning (clustering) the materialized build
     /// side on the key hash.
     pub fn build(entries: Vec<(Value, Binding)>) -> RadixHashTable {
-        let mut partitions: Vec<Vec<(u64, Value, Binding, u32)>> =
+        let mut partitions: Vec<Vec<BuildEntry>> =
             (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
         let len = entries.len();
         for (id, (key, binding)) in entries.into_iter().enumerate() {
@@ -61,6 +68,111 @@ impl RadixHashTable {
         // Cluster each partition by hash so probes touch contiguous runs.
         for partition in &mut partitions {
             partition.sort_by_key(|(hash, _, _, _)| *hash);
+        }
+        RadixHashTable { partitions, len }
+    }
+
+    /// Morsel-parallel build: the partition phase fans out over contiguous
+    /// entry chunks (one per worker) and the cluster phase fans out over the
+    /// radix digits. Thread-chunk partials are concatenated in chunk order
+    /// before the stable per-digit sort, so the result is bit-identical to
+    /// [`RadixHashTable::build`] — probe/match order does not depend on the
+    /// worker count.
+    pub fn build_parallel(entries: Vec<(Value, Binding)>, threads: usize) -> RadixHashTable {
+        let len = entries.len();
+        if threads <= 1 || len < PARALLEL_BUILD_THRESHOLD {
+            return Self::build(entries);
+        }
+        let threads = threads.min(len);
+
+        // Phase 1: partition each contiguous chunk into per-thread local
+        // radix buckets (entry ids stay global).
+        let chunk_size = len.div_ceil(threads);
+        let mut chunks: Vec<(usize, Vec<(Value, Binding)>)> = Vec::with_capacity(threads);
+        let mut rest = entries;
+        let mut base = 0usize;
+        while !rest.is_empty() {
+            let take = chunk_size.min(rest.len());
+            let tail = rest.split_off(take);
+            chunks.push((base, std::mem::replace(&mut rest, tail)));
+            base += take;
+        }
+        let locals: Vec<Vec<Vec<BuildEntry>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = chunks
+                .into_iter()
+                .map(|(base, chunk)| {
+                    scope.spawn(move || {
+                        let mut local: Vec<Vec<BuildEntry>> =
+                            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+                        for (offset, (key, binding)) in chunk.into_iter().enumerate() {
+                            let hash = key.stable_hash();
+                            local[partition_of(hash)].push((
+                                hash,
+                                key,
+                                binding,
+                                (base + offset) as u32,
+                            ));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("radix partition worker panicked"))
+                .collect()
+        });
+
+        // Regroup the chunk-local buckets by radix digit (moves Vec handles
+        // only), preserving chunk order so concatenation matches the serial
+        // insertion order.
+        let mut by_digit: Vec<Vec<Vec<BuildEntry>>> =
+            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+        for thread_local in locals {
+            for (digit, bucket) in thread_local.into_iter().enumerate() {
+                by_digit[digit].push(bucket);
+            }
+        }
+
+        // Phase 2: cluster per radix digit, digits striped across workers.
+        let mut jobs: Vec<Vec<(usize, Vec<Vec<BuildEntry>>)>> =
+            (0..threads).map(|_| Vec::new()).collect();
+        for (digit, buckets) in by_digit.into_iter().enumerate() {
+            jobs[digit % threads].push((digit, buckets));
+        }
+        let clustered: Vec<Vec<(usize, Vec<BuildEntry>)>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = jobs
+                .into_iter()
+                .map(|job| {
+                    scope.spawn(move || {
+                        job.into_iter()
+                            .map(|(digit, buckets)| {
+                                let total: usize = buckets.iter().map(Vec::len).sum();
+                                let mut merged = Vec::with_capacity(total);
+                                for bucket in buckets {
+                                    merged.extend(bucket);
+                                }
+                                // Stable sort: ties keep insertion order,
+                                // exactly like the serial build.
+                                merged.sort_by_key(|(hash, _, _, _)| *hash);
+                                (digit, merged)
+                            })
+                            .collect()
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("radix cluster worker panicked"))
+                .collect()
+        });
+
+        let mut partitions: Vec<Vec<BuildEntry>> =
+            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+        for job in clustered {
+            for (digit, merged) in job {
+                partitions[digit] = merged;
+            }
         }
         RadixHashTable { partitions, len }
     }
@@ -279,6 +391,49 @@ mod tests {
         table.for_each_entry(|id, _, _| all.push(id));
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn parallel_build_is_identical_to_serial() {
+        // Above the parallel threshold, with duplicate keys so hash ties
+        // exercise the stable-ordering contract.
+        let entries: Vec<(Value, Binding)> = (0..10_000)
+            .map(|i| {
+                let key = match i % 3 {
+                    0 => Value::Int(i % 257),
+                    1 => Value::str(format!("k{}", i % 101)),
+                    _ => Value::Float((i % 53) as f64 / 2.0),
+                };
+                (key, vec![Value::Int(i)])
+            })
+            .collect();
+        let serial = RadixHashTable::build(entries.clone());
+        for threads in [2, 3, 8] {
+            let parallel = RadixHashTable::build_parallel(entries.clone(), threads);
+            assert_eq!(parallel.len(), serial.len());
+            let mut serial_entries = Vec::new();
+            serial.for_each_entry(|id, k, b| serial_entries.push((id, k.clone(), b.clone())));
+            let mut parallel_entries = Vec::new();
+            parallel.for_each_entry(|id, k, b| parallel_entries.push((id, k.clone(), b.clone())));
+            // Entry-for-entry identical, including order within partitions.
+            assert_eq!(serial_entries, parallel_entries, "threads={threads}");
+            // Probe match order identical too.
+            let mut a = Vec::new();
+            serial.probe(&Value::Int(7), |b| a.push(b[0].clone()));
+            let mut b = Vec::new();
+            parallel.probe(&Value::Int(7), |v| b.push(v[0].clone()));
+            assert_eq!(a, b);
+        }
+    }
+
+    #[test]
+    fn small_or_serial_parallel_build_falls_back() {
+        let entries: Vec<(Value, Binding)> = (0..100)
+            .map(|i| (Value::Int(i), vec![Value::Int(i)]))
+            .collect();
+        let table = RadixHashTable::build_parallel(entries, 4);
+        assert_eq!(table.len(), 100);
+        assert_eq!(table.probe(&Value::Int(42), |_| {}), 1);
     }
 
     #[test]

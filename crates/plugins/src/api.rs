@@ -140,6 +140,57 @@ impl FieldAccessor {
             }
         }
     }
+
+    /// Builds a [`TypedFill`] from this accessor, when it is specialized:
+    /// the same closure [`FieldAccessor::batch_fill`] loops over, minus the
+    /// `Value` boxing — so the typed and row-major paths agree *by
+    /// construction*. `Generic` accessors (nested/nullable shapes) have no
+    /// typed form.
+    pub fn typed_fill(&self) -> Option<(TypedKind, TypedFill)> {
+        Some(match self {
+            FieldAccessor::Int(f) => {
+                let f = f.clone();
+                let fill: TypedFill = Arc::new(move |start, count, out: &mut TypedColumn| {
+                    out.begin(TypedKind::I64, count);
+                    for i in 0..count {
+                        out.push_i64(f(start + i as Oid));
+                    }
+                });
+                (TypedKind::I64, fill)
+            }
+            FieldAccessor::Float(f) => {
+                let f = f.clone();
+                let fill: TypedFill = Arc::new(move |start, count, out: &mut TypedColumn| {
+                    out.begin(TypedKind::F64, count);
+                    for i in 0..count {
+                        out.push_f64(f(start + i as Oid));
+                    }
+                });
+                (TypedKind::F64, fill)
+            }
+            FieldAccessor::Bool(f) => {
+                let f = f.clone();
+                let fill: TypedFill = Arc::new(move |start, count, out: &mut TypedColumn| {
+                    out.begin(TypedKind::Bool, count);
+                    for i in 0..count {
+                        out.push_bool(f(start + i as Oid));
+                    }
+                });
+                (TypedKind::Bool, fill)
+            }
+            FieldAccessor::Str(f) => {
+                let f = f.clone();
+                let fill: TypedFill = Arc::new(move |start, count, out: &mut TypedColumn| {
+                    out.begin(TypedKind::Str, count);
+                    for i in 0..count {
+                        out.push_str(&f(start + i as Oid));
+                    }
+                });
+                (TypedKind::Str, fill)
+            }
+            FieldAccessor::Generic(_) => return None,
+        })
+    }
 }
 
 /// A morsel filler for one field: writes the values of objects
@@ -157,6 +208,325 @@ pub fn column_batch_fill(column: Arc<proteus_storage::ColumnData>) -> BatchFill 
     Arc::new(move |start, count, out: &mut [Value], base, stride| {
         column.fill_values(start as usize, count, out, base, stride)
     })
+}
+
+// ---------------------------------------------------------------------------
+// Typed morsel columns: the vectorized scan path.
+// ---------------------------------------------------------------------------
+
+/// Element type of a [`TypedColumn`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TypedKind {
+    /// 64-bit integers (also carries date fields, which the specialized
+    /// accessors already render as plain integers).
+    I64,
+    /// 64-bit floats.
+    F64,
+    /// Booleans.
+    Bool,
+    /// Interned UTF-8 strings.
+    Str,
+}
+
+/// Typed backing storage of one morsel column.
+#[derive(Debug, Clone)]
+enum TypedData {
+    I64(Vec<i64>),
+    F64(Vec<f64>),
+    Bool(Vec<bool>),
+    /// Interned strings: `ids[i]` indexes into the per-morsel `pool` of
+    /// unique strings, so predicates compare each distinct string once per
+    /// morsel instead of once per row.
+    Str {
+        ids: Vec<u32>,
+        pool: Vec<Arc<str>>,
+    },
+}
+
+/// A typed, reusable column of one morsel's values for a single batch slot,
+/// with a null bitmap. Plug-ins fill these directly from their raw data —
+/// binary/cached columnar data never round-trips through [`Value`] — and the
+/// vectorized predicate kernels evaluate over them column-at-a-time.
+///
+/// Values at null positions hold an arbitrary placeholder (0 / 0.0 / false /
+/// pool id 0); consumers must consult [`TypedColumn::is_null`].
+#[derive(Debug, Clone)]
+pub struct TypedColumn {
+    data: TypedData,
+    /// Null bitmap, one bit per row (bit set = null). Empty when the morsel
+    /// has no nulls.
+    nulls: Vec<u64>,
+    len: usize,
+    /// Interning map recycled across morsels (only used for `Str` columns).
+    intern: std::collections::HashMap<Arc<str>, u32>,
+}
+
+impl TypedColumn {
+    /// Creates an empty column of the given kind.
+    pub fn new(kind: TypedKind) -> TypedColumn {
+        TypedColumn {
+            data: match kind {
+                TypedKind::I64 => TypedData::I64(Vec::new()),
+                TypedKind::F64 => TypedData::F64(Vec::new()),
+                TypedKind::Bool => TypedData::Bool(Vec::new()),
+                TypedKind::Str => TypedData::Str {
+                    ids: Vec::new(),
+                    pool: Vec::new(),
+                },
+            },
+            nulls: Vec::new(),
+            len: 0,
+            intern: std::collections::HashMap::new(),
+        }
+    }
+
+    /// Resets the column for a new morsel of (up to) `rows` values, recycling
+    /// the existing buffers when the kind is unchanged.
+    pub fn begin(&mut self, kind: TypedKind, rows: usize) {
+        if self.kind() != kind {
+            *self = TypedColumn::new(kind);
+        }
+        match &mut self.data {
+            TypedData::I64(v) => {
+                v.clear();
+                v.reserve(rows);
+            }
+            TypedData::F64(v) => {
+                v.clear();
+                v.reserve(rows);
+            }
+            TypedData::Bool(v) => {
+                v.clear();
+                v.reserve(rows);
+            }
+            TypedData::Str { ids, pool } => {
+                ids.clear();
+                ids.reserve(rows);
+                pool.clear();
+                self.intern.clear();
+            }
+        }
+        self.nulls.clear();
+        self.len = 0;
+    }
+
+    /// The column's element kind.
+    pub fn kind(&self) -> TypedKind {
+        match &self.data {
+            TypedData::I64(_) => TypedKind::I64,
+            TypedData::F64(_) => TypedKind::F64,
+            TypedData::Bool(_) => TypedKind::Bool,
+            TypedData::Str { .. } => TypedKind::Str,
+        }
+    }
+
+    /// Number of values appended since [`TypedColumn::begin`].
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// True when no values were appended.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// True when any null was appended.
+    pub fn has_nulls(&self) -> bool {
+        !self.nulls.is_empty()
+    }
+
+    /// True when row `i` is null.
+    #[inline]
+    pub fn is_null(&self, i: usize) -> bool {
+        self.nulls
+            .get(i >> 6)
+            .is_some_and(|word| word >> (i & 63) & 1 == 1)
+    }
+
+    fn set_null_bit(&mut self, i: usize) {
+        let word = i >> 6;
+        if self.nulls.len() <= word {
+            self.nulls.resize(word + 1, 0);
+        }
+        self.nulls[word] |= 1 << (i & 63);
+    }
+
+    /// Appends an integer.
+    #[inline]
+    pub fn push_i64(&mut self, v: i64) {
+        match &mut self.data {
+            TypedData::I64(vec) => vec.push(v),
+            _ => unreachable!("push_i64 on a non-I64 typed column"),
+        }
+        self.len += 1;
+    }
+
+    /// Appends a float.
+    #[inline]
+    pub fn push_f64(&mut self, v: f64) {
+        match &mut self.data {
+            TypedData::F64(vec) => vec.push(v),
+            _ => unreachable!("push_f64 on a non-F64 typed column"),
+        }
+        self.len += 1;
+    }
+
+    /// Appends a boolean.
+    #[inline]
+    pub fn push_bool(&mut self, v: bool) {
+        match &mut self.data {
+            TypedData::Bool(vec) => vec.push(v),
+            _ => unreachable!("push_bool on a non-Bool typed column"),
+        }
+        self.len += 1;
+    }
+
+    /// Appends a string, interning it into the morsel pool.
+    pub fn push_str(&mut self, s: &str) {
+        let TypedData::Str { ids, pool } = &mut self.data else {
+            unreachable!("push_str on a non-Str typed column");
+        };
+        let id = match self.intern.get(s) {
+            Some(id) => *id,
+            None => {
+                let id = pool.len() as u32;
+                let shared: Arc<str> = Arc::from(s);
+                pool.push(shared.clone());
+                self.intern.insert(shared, id);
+                id
+            }
+        };
+        ids.push(id);
+        self.len += 1;
+    }
+
+    /// Appends a null (a placeholder value plus a null bit).
+    pub fn push_null(&mut self) {
+        let at = self.len;
+        match &mut self.data {
+            TypedData::I64(vec) => vec.push(0),
+            TypedData::F64(vec) => vec.push(0.0),
+            TypedData::Bool(vec) => vec.push(false),
+            TypedData::Str { ids, pool } => {
+                if pool.is_empty() {
+                    let shared: Arc<str> = Arc::from("");
+                    pool.push(shared.clone());
+                    self.intern.insert(shared, 0);
+                }
+                ids.push(0);
+            }
+        }
+        self.len += 1;
+        self.set_null_bit(at);
+    }
+
+    /// Bulk-appends a non-null integer slice (the binary/cache fast path).
+    pub fn extend_i64(&mut self, values: &[i64]) {
+        match &mut self.data {
+            TypedData::I64(vec) => vec.extend_from_slice(values),
+            _ => unreachable!("extend_i64 on a non-I64 typed column"),
+        }
+        self.len += values.len();
+    }
+
+    /// Bulk-appends a non-null float slice.
+    pub fn extend_f64(&mut self, values: &[f64]) {
+        match &mut self.data {
+            TypedData::F64(vec) => vec.extend_from_slice(values),
+            _ => unreachable!("extend_f64 on a non-F64 typed column"),
+        }
+        self.len += values.len();
+    }
+
+    /// Bulk-appends a non-null bool slice.
+    pub fn extend_bool(&mut self, values: &[bool]) {
+        match &mut self.data {
+            TypedData::Bool(vec) => vec.extend_from_slice(values),
+            _ => unreachable!("extend_bool on a non-Bool typed column"),
+        }
+        self.len += values.len();
+    }
+
+    /// The integer values (placeholders at null positions).
+    pub fn i64_values(&self) -> &[i64] {
+        match &self.data {
+            TypedData::I64(v) => v,
+            _ => unreachable!("i64_values on a non-I64 typed column"),
+        }
+    }
+
+    /// The float values (placeholders at null positions).
+    pub fn f64_values(&self) -> &[f64] {
+        match &self.data {
+            TypedData::F64(v) => v,
+            _ => unreachable!("f64_values on a non-F64 typed column"),
+        }
+    }
+
+    /// The bool values (placeholders at null positions).
+    pub fn bool_values(&self) -> &[bool] {
+        match &self.data {
+            TypedData::Bool(v) => v,
+            _ => unreachable!("bool_values on a non-Bool typed column"),
+        }
+    }
+
+    /// The per-row pool ids and the unique-string pool of a `Str` column.
+    pub fn str_parts(&self) -> (&[u32], &[Arc<str>]) {
+        match &self.data {
+            TypedData::Str { ids, pool } => (ids, pool),
+            _ => unreachable!("str_parts on a non-Str typed column"),
+        }
+    }
+
+    /// Materializes row `i` as a [`Value`] (the hydration path for rows that
+    /// survive the vectorized selection).
+    pub fn value_at(&self, i: usize) -> Value {
+        if self.is_null(i) {
+            return Value::Null;
+        }
+        match &self.data {
+            TypedData::I64(v) => Value::Int(v[i]),
+            TypedData::F64(v) => Value::Float(v[i]),
+            TypedData::Bool(v) => Value::Bool(v[i]),
+            TypedData::Str { ids, pool } => Value::Str(pool[ids[i] as usize].to_string()),
+        }
+    }
+}
+
+/// A typed morsel filler for one field: renders the values of objects
+/// `start..start + count` into a [`TypedColumn`] (calling
+/// [`TypedColumn::begin`] itself), never materializing intermediate
+/// [`Value`]s. Plug-ins advertise these only for fields whose raw data can be
+/// rendered typed; the planner activates them for slots referenced by
+/// kernel-eligible predicates.
+pub type TypedFill = Arc<dyn Fn(Oid, usize, &mut TypedColumn) + Send + Sync>;
+
+/// Builds the columnar typed filler over a shared raw column: a direct slice
+/// append for numeric/bool data, per-morsel interning for strings.
+pub fn column_typed_fill(column: Arc<proteus_storage::ColumnData>) -> (TypedKind, TypedFill) {
+    use proteus_storage::ColumnData;
+    let kind = match column.as_ref() {
+        ColumnData::Int(_) => TypedKind::I64,
+        ColumnData::Float(_) => TypedKind::F64,
+        ColumnData::Bool(_) => TypedKind::Bool,
+        ColumnData::Str(_) => TypedKind::Str,
+    };
+    let fill: TypedFill = Arc::new(move |start, count, out: &mut TypedColumn| {
+        let start = start as usize;
+        out.begin(kind, count);
+        match column.as_ref() {
+            ColumnData::Int(v) => out.extend_i64(&v[start..start + count]),
+            ColumnData::Float(v) => out.extend_f64(&v[start..start + count]),
+            ColumnData::Bool(v) => out.extend_bool(&v[start..start + count]),
+            ColumnData::Str(v) => {
+                for s in &v[start..start + count] {
+                    out.push_str(s);
+                }
+            }
+        }
+    });
+    (kind, fill)
 }
 
 impl std::fmt::Debug for FieldAccessor {
@@ -185,13 +555,21 @@ pub struct ScanAccessors {
     /// order as `fields`; plug-ins with a native columnar layout install
     /// direct-copy fillers, everyone else wraps the accessor.
     pub batch_fields: Vec<(String, BatchFill)>,
+    /// `(field name, kind, typed filler)` for the fields this plug-in can
+    /// render directly into a [`TypedColumn`] (the vectorized scan path).
+    /// Empty for plug-ins without typed support; a typed filler must produce
+    /// exactly the values the corresponding `batch_fields` filler would
+    /// (nulls ↔ `Value::Null`), so the kernel and closure paths agree.
+    pub typed_fields: Vec<(String, TypedKind, TypedFill)>,
     /// Human-readable description of the access path the plug-in chose
     /// (shows up in the emitted pseudo-IR, e.g. `"csv(structural-index N=8)"`).
     pub access_path: String,
 }
 
 impl ScanAccessors {
-    /// Builds accessors with the generic per-accessor batch fillers.
+    /// Builds accessors with the generic per-accessor batch fillers, and
+    /// typed fillers derived from the same specialized accessors (so the
+    /// vectorized and row-major paths cannot drift apart).
     pub fn from_accessors(
         row_count: u64,
         fields: Vec<(String, FieldAccessor)>,
@@ -201,10 +579,19 @@ impl ScanAccessors {
             .iter()
             .map(|(name, accessor)| (name.clone(), accessor.batch_fill()))
             .collect();
+        let typed_fields = fields
+            .iter()
+            .filter_map(|(name, accessor)| {
+                accessor
+                    .typed_fill()
+                    .map(|(kind, fill)| (name.clone(), kind, fill))
+            })
+            .collect();
         ScanAccessors {
             row_count,
             fields,
             batch_fields,
+            typed_fields,
             access_path: access_path.into(),
         }
     }
@@ -220,6 +607,14 @@ impl ScanAccessors {
             .iter()
             .find(|(n, _)| n == name)
             .map(|(_, f)| f)
+    }
+
+    /// Looks up the typed morsel filler generated for a field, if any.
+    pub fn typed_field(&self, name: &str) -> Option<(TypedKind, &TypedFill)> {
+        self.typed_fields
+            .iter()
+            .find(|(n, _, _)| n == name)
+            .map(|(_, kind, f)| (*kind, f))
     }
 }
 

@@ -169,6 +169,7 @@ impl InputPlugin for ColumnPlugin {
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
         let mut accessors = Vec::with_capacity(fields.len());
         let mut batch_fields = Vec::with_capacity(fields.len());
+        let mut typed_fields = Vec::with_capacity(fields.len());
         for field in fields {
             let column = self.inner.columns.get(field).cloned().ok_or_else(|| {
                 PluginError::UnknownField {
@@ -179,6 +180,10 @@ impl InputPlugin for ColumnPlugin {
             // Morsel path: a direct strided copy out of the raw column, one
             // virtual call per (field, morsel).
             batch_fields.push((field.clone(), crate::api::column_batch_fill(column.clone())));
+            // Vectorized path: the same raw column appended straight into a
+            // typed morsel column, no Value boxing at all.
+            let (kind, typed) = crate::api::column_typed_fill(column.clone());
+            typed_fields.push((field.clone(), kind, typed));
             let accessor = match column.as_ref() {
                 ColumnData::Int(_) => {
                     let col = column.clone();
@@ -215,6 +220,7 @@ impl InputPlugin for ColumnPlugin {
             row_count: self.len(),
             fields: accessors,
             batch_fields,
+            typed_fields,
             access_path: "binary-columns(direct positional reads)".into(),
         })
     }

@@ -86,11 +86,16 @@ impl InputPlugin for CachePlugin {
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
         let mut accessors = Vec::with_capacity(fields.len());
         let mut batch_fields = Vec::with_capacity(fields.len());
+        let mut typed_fields = Vec::with_capacity(fields.len());
         for field in fields {
             let column = self.column(field)?.clone();
             let column = Arc::new(column);
             // Morsel path: cached columns copy straight into the batch.
             batch_fields.push((field.clone(), crate::api::column_batch_fill(column.clone())));
+            // Vectorized path: cached binary columns never round-trip
+            // through Value.
+            let (kind, typed) = crate::api::column_typed_fill(column.clone());
+            typed_fields.push((field.clone(), kind, typed));
             let accessor = match column.as_ref() {
                 ColumnData::Int(_) => {
                     let col = column.clone();
@@ -127,6 +132,7 @@ impl InputPlugin for CachePlugin {
             row_count: self.len(),
             fields: accessors,
             batch_fields,
+            typed_fields,
             access_path: format!("cache({})", self.inner.entry.name),
         })
     }

@@ -372,9 +372,30 @@ impl InputPlugin for CsvPlugin {
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
         let mut accessors = Vec::with_capacity(fields.len());
+        let mut typed_fields = Vec::with_capacity(fields.len());
         for field in fields {
             let field_idx = self.field_index(field)?;
             let data_type = self.inner.schema.field(field).unwrap().data_type.clone();
+            // Vectorized path for Bool fields: they go through the Generic
+            // accessor below (whose misses are Null), so their typed fill
+            // shares `parse_typed` directly — nullable bool columns. The
+            // scalar Int/Float/String fields get accessor-derived typed
+            // fills from `from_accessors`.
+            if matches!(data_type, DataType::Bool) {
+                let plugin = self.clone();
+                let fill: crate::api::TypedFill =
+                    Arc::new(move |start, count, out: &mut crate::api::TypedColumn| {
+                        out.begin(crate::api::TypedKind::Bool, count);
+                        for oid in start..start + count as Oid {
+                            let bytes = plugin.raw_field(oid, field_idx).unwrap_or(b"");
+                            match parse_typed(bytes, &DataType::Bool) {
+                                Value::Bool(b) => out.push_bool(b),
+                                _ => out.push_null(),
+                            }
+                        }
+                    });
+                typed_fields.push((field.clone(), crate::api::TypedKind::Bool, fill));
+            }
             let plugin = self.clone();
             let accessor = match data_type {
                 DataType::Int | DataType::Date => FieldAccessor::Int(Arc::new(move |oid| {
@@ -420,11 +441,11 @@ impl InputPlugin for CsvPlugin {
         };
         // The morsel path wraps the typed closures: parsing still happens
         // per value, but accessor dispatch drops to one call per morsel.
-        Ok(ScanAccessors::from_accessors(
-            self.len(),
-            accessors,
-            access_path,
-        ))
+        // `from_accessors` derives the Int/Float/String typed fills; the
+        // hand-built nullable Bool fills are appended on top.
+        let mut scan = ScanAccessors::from_accessors(self.len(), accessors, access_path);
+        scan.typed_fields.extend(typed_fields);
+        Ok(scan)
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {

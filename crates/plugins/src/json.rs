@@ -808,7 +808,9 @@ impl InputPlugin for JsonPlugin {
             "json(structural-index level-0 + level-1)".to_string()
         };
         // Morsel path: one structural-index walk per value but one accessor
-        // dispatch per (field, morsel).
+        // dispatch per (field, morsel). The scalar Int/Float/String fields
+        // also get accessor-derived typed fills (the vectorized path);
+        // bool/nested fields stay on the closure path.
         Ok(ScanAccessors::from_accessors(
             self.len(),
             accessors,

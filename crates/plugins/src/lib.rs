@@ -35,7 +35,8 @@ pub mod registry;
 pub mod stats;
 
 pub use api::{
-    column_batch_fill, BatchFill, FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor,
+    column_batch_fill, column_typed_fill, BatchFill, FieldAccessor, InputPlugin, Oid,
+    ScanAccessors, TypedColumn, TypedFill, TypedKind, UnnestCursor,
 };
 pub use error::{PluginError, Result};
 pub use registry::PluginRegistry;
