@@ -7,12 +7,32 @@
 //! complex nested results, query output and tests.
 
 use std::cmp::Ordering;
-use std::collections::hash_map::DefaultHasher;
 use std::fmt;
-use std::hash::{Hash, Hasher};
 
 use crate::error::{AlgebraError, Result};
 use crate::types::{CollectionKind, DataType};
+
+/// Class tags keeping the hash domains of the value classes apart: six
+/// arbitrary-but-distinct 64-bit constants (derived from one seed by
+/// per-class shifts/rotations), one per `total_cmp` class. Only their
+/// distinctness matters; they carry no ordering.
+const CLASS_NULL: u64 = 0x9e37_79b9_7f4a_7c00;
+const CLASS_BOOL: u64 = 0x9e37_79b9_7f4a_7c01 << 8;
+const CLASS_NUMERIC: u64 = 0x9e37_79b9_7f4a_7c02_u64.rotate_left(17);
+const CLASS_STR: u64 = 0x9e37_79b9_7f4a_7c03_u64.rotate_left(34);
+const CLASS_LIST: u64 = 0x9e37_79b9_7f4a_7c04_u64.rotate_left(51);
+const CLASS_RECORD: u64 = 0x9e37_79b9_7f4a_7c05_u64.rotate_left(3);
+
+/// The splitmix64 finalizer: a full-avalanche 64-bit mixer.
+#[inline]
+fn mix64(mut x: u64) -> u64 {
+    x ^= x >> 30;
+    x = x.wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x ^= x >> 27;
+    x = x.wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^= x >> 31;
+    x
+}
 
 /// A record: ordered list of `(field name, value)` pairs.
 ///
@@ -294,46 +314,75 @@ impl Value {
     /// A stable 64-bit hash consistent with [`Value::value_eq`].
     ///
     /// Numeric values hash through their float bit pattern so that
-    /// `Int(3)` and `Float(3.0)` collide, matching equality.
+    /// `Int(3)` and `Float(3.0)` collide, matching equality. Scalar classes
+    /// hash with a branch-free splitmix64-style mixer (not `DefaultHasher`'s
+    /// SipHash): value hashing sits on the per-row path of every radix join
+    /// build/probe and every group-by ingest, where the keyed-SipHash setup
+    /// cost dominated the actual key comparison work. The hash is only ever
+    /// compared within one process, so no DoS-resistant keying is needed.
     pub fn stable_hash(&self) -> u64 {
-        let mut hasher = DefaultHasher::new();
-        self.hash_into(&mut hasher);
-        hasher.finish()
-    }
-
-    fn hash_into(&self, hasher: &mut DefaultHasher) {
         match self {
-            Value::Null => 0u8.hash(hasher),
-            Value::Bool(b) => {
-                1u8.hash(hasher);
-                b.hash(hasher);
-            }
-            v if v.is_numeric() => {
-                2u8.hash(hasher);
-                let f = v.as_float().unwrap_or(f64::NAN);
-                f.to_bits().hash(hasher);
-            }
-            Value::Str(s) => {
-                3u8.hash(hasher);
-                s.hash(hasher);
-            }
+            Value::Null => Value::stable_hash_null(),
+            Value::Bool(b) => Value::stable_hash_bool(*b),
+            v if v.is_numeric() => Value::stable_hash_numeric(v.as_float().unwrap_or(f64::NAN)),
+            Value::Str(s) => Value::stable_hash_str(s),
             Value::List(items) => {
-                4u8.hash(hasher);
-                items.len().hash(hasher);
+                let mut h = mix64(CLASS_LIST ^ items.len() as u64);
                 for item in items {
-                    item.hash_into(hasher);
+                    h = mix64(h ^ item.stable_hash());
                 }
+                h
             }
             Value::Record(rec) => {
-                5u8.hash(hasher);
-                rec.len().hash(hasher);
-                for (n, v) in rec.iter() {
-                    n.hash(hasher);
-                    v.hash_into(hasher);
+                let mut h = mix64(CLASS_RECORD ^ rec.len() as u64);
+                for (name, value) in rec.iter() {
+                    h = mix64(h ^ Value::stable_hash_str(name));
+                    h = mix64(h ^ value.stable_hash());
                 }
+                h
             }
             _ => unreachable!("numeric arm handled above"),
         }
+    }
+
+    /// Component hash of a null, identical to `Value::Null.stable_hash()`.
+    ///
+    /// The `stable_hash_*` family lets vectorized consumers (typed morsel
+    /// columns) hash scalar key components straight from raw lanes without
+    /// materializing a [`Value`] per row; each helper reproduces the exact
+    /// encoding of [`Value::stable_hash`] for the corresponding class.
+    #[inline]
+    pub fn stable_hash_null() -> u64 {
+        mix64(CLASS_NULL)
+    }
+
+    /// Component hash of a boolean, identical to
+    /// `Value::Bool(b).stable_hash()`.
+    #[inline]
+    pub fn stable_hash_bool(b: bool) -> u64 {
+        mix64(CLASS_BOOL ^ b as u64)
+    }
+
+    /// Component hash of a numeric value through its float view, identical
+    /// to `Value::Int/Float/Date(..).stable_hash()` (ints and dates hash as
+    /// `v as f64`, so `Int(3)` and `Float(3.0)` collide like
+    /// [`Value::value_eq`] demands).
+    #[inline]
+    pub fn stable_hash_numeric(float_view: f64) -> u64 {
+        mix64(CLASS_NUMERIC ^ float_view.to_bits())
+    }
+
+    /// Component hash of a string, identical to
+    /// `Value::Str(s.into()).stable_hash()`: FNV-1a over the bytes, then
+    /// the same finalizer as the other classes.
+    #[inline]
+    pub fn stable_hash_str(s: &str) -> u64 {
+        let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+        for &b in s.as_bytes() {
+            h ^= b as u64;
+            h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        }
+        mix64(CLASS_STR ^ h)
     }
 
     /// Navigates a dotted path inside nested records.
@@ -422,6 +471,30 @@ impl From<String> for Value {
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn component_hash_helpers_match_stable_hash() {
+        assert_eq!(Value::stable_hash_null(), Value::Null.stable_hash());
+        for b in [false, true] {
+            assert_eq!(Value::stable_hash_bool(b), Value::Bool(b).stable_hash());
+        }
+        for i in [0i64, 1, -7, i64::MAX, i64::MIN + 1] {
+            assert_eq!(
+                Value::stable_hash_numeric(i as f64),
+                Value::Int(i).stable_hash()
+            );
+        }
+        for f in [0.0f64, -0.0, 3.5, f64::NAN, f64::INFINITY] {
+            assert_eq!(Value::stable_hash_numeric(f), Value::Float(f).stable_hash());
+        }
+        assert_eq!(
+            Value::stable_hash_numeric(12345.0),
+            Value::Date(12345).stable_hash()
+        );
+        for s in ["", "fox", "quick fox"] {
+            assert_eq!(Value::stable_hash_str(s), Value::str(s).stable_hash());
+        }
+    }
 
     #[test]
     fn record_get_set() {

@@ -1,0 +1,216 @@
+//! Vectorized-aggregation microbenchmark: fig05/fig11-style reduce and
+//! group-by sinks over 2M binary-column rows, kernel path (columnwise
+//! aggregate folds + typed group-key ingest) vs the closure sink path
+//! (per-tuple `Value` merge through `Accumulator::merge`), at 1 worker so
+//! the comparison isolates the sink evaluation model.
+//!
+//! Prints rows/sec per sink shape, the kernel/closure speedup, and emits
+//! `BENCH_vectorized_aggregate.json`. Asserts the aggregate kernels are
+//! actually engaged (`agg_kernel_rows > 0`, `agg_fallback_rows == 0` on the
+//! all-kernel shapes) and that the kernel path performs zero per-tuple
+//! allocations — a CI smoke check, not a perf gate.
+//!
+//! Knobs: `PROTEUS_AGG_ROWS` (default 2_000_000), `PROTEUS_AGG_REPS`
+//! (default 3).
+
+use std::time::Instant;
+
+use proteus_algebra::{Expr, LogicalPlan, Monoid, ReduceSpec, Schema};
+use proteus_bench::harness::{emit_bench_json, BenchRow};
+use proteus_core::{EngineConfig, QueryEngine, QueryResult};
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_storage::ColumnData;
+
+fn synthetic_lineitem(rows: usize) -> ColumnPlugin {
+    let n = rows as i64;
+    ColumnPlugin::from_pairs(
+        "lineitem",
+        vec![
+            (
+                "l_orderkey".to_string(),
+                ColumnData::Int((0..n).map(|i| i % (n / 4).max(1)).collect()),
+            ),
+            (
+                "l_bucket".to_string(),
+                ColumnData::Int((0..n).map(|i| i % 13).collect()),
+            ),
+            (
+                "l_seg".to_string(),
+                ColumnData::Int((0..n).map(|i| (i * 7) % 5).collect()),
+            ),
+            (
+                "l_quantity".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 50) as f64).collect()),
+            ),
+            (
+                "l_discount".to_string(),
+                ColumnData::Float((0..n).map(|i| ((i % 11) as f64) / 100.0).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic columns")
+}
+
+/// Reduce and group-by sink shapes. The bool marks shapes where every
+/// output spec and the whole predicate classify as kernels, so the run must
+/// report `agg_fallback_rows == 0` (no `Value` ever materializes).
+fn workloads(rows: i64) -> Vec<(&'static str, bool, LogicalPlan)> {
+    let scan = || LogicalPlan::scan("lineitem", "l", Schema::empty());
+    let key_filter = |pct: i64| Expr::path("l.l_orderkey").lt(Expr::int(rows / 4 * pct / 100));
+    vec![
+        (
+            "sum",
+            true,
+            scan().reduce(vec![ReduceSpec::new(
+                Monoid::Sum,
+                Expr::path("l.l_quantity"),
+                "total",
+            )]),
+        ),
+        (
+            "sum-4agg",
+            true,
+            scan().reduce(vec![
+                ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                ReduceSpec::new(Monoid::Min, Expr::path("l.l_quantity"), "minq"),
+                ReduceSpec::new(Monoid::Max, Expr::path("l.l_discount"), "maxd"),
+                ReduceSpec::new(Monoid::Avg, Expr::path("l.l_quantity"), "avgq"),
+            ]),
+        ),
+        (
+            "count-where",
+            true,
+            scan().select(key_filter(10)).reduce(vec![ReduceSpec::new(
+                Monoid::Count,
+                Expr::int(1),
+                "cnt",
+            )]),
+        ),
+        // `SUM(x) WHERE p` as a reduce-level predicate: the mask folds into
+        // the same kernel pass, no closure ever runs.
+        (
+            "sum-where",
+            true,
+            LogicalPlan::Reduce {
+                input: Box::new(scan()),
+                outputs: vec![
+                    ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ],
+                predicate: Some(key_filter(50)),
+            },
+        ),
+        (
+            "group-sum",
+            true,
+            scan().nest(
+                vec![Expr::path("l.l_bucket")],
+                vec!["bucket".into()],
+                vec![
+                    ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ],
+            ),
+        ),
+        (
+            "group-2key-where",
+            true,
+            scan().select(key_filter(50)).nest(
+                vec![Expr::path("l.l_bucket"), Expr::path("l.l_seg")],
+                vec!["bucket".into(), "seg".into()],
+                vec![
+                    ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                    ReduceSpec::new(Monoid::Avg, Expr::path("l.l_discount"), "avgd"),
+                ],
+            ),
+        ),
+    ]
+}
+
+fn best_of(engine: &QueryEngine, plan: &LogicalPlan, reps: usize) -> (f64, QueryResult) {
+    let mut best = f64::INFINITY;
+    let mut last = None;
+    for _ in 0..reps {
+        let start = Instant::now();
+        let result = engine.execute_plan(plan.clone()).expect("query failed");
+        let elapsed = start.elapsed().as_secs_f64();
+        if elapsed < best {
+            best = elapsed;
+        }
+        last = Some(result);
+    }
+    (best, last.expect("at least one rep"))
+}
+
+fn main() {
+    let rows: usize = std::env::var("PROTEUS_AGG_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let reps: usize = std::env::var("PROTEUS_AGG_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+
+    println!("generating {rows} synthetic lineitem rows (binary columns)...");
+    let plugin = synthetic_lineitem(rows);
+    let kernels = QueryEngine::new(EngineConfig::without_caching());
+    let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+    kernels.register_plugin(std::sync::Arc::new(plugin.clone()));
+    closures.register_plugin(std::sync::Arc::new(plugin));
+
+    let mut report: Vec<BenchRow> = Vec::new();
+    for (label, all_kernel, plan) in workloads(rows as i64) {
+        let plan = proteus_algebra::rewrite::rewrite(plan);
+        let (kernel_secs, kernel_out) = best_of(&kernels, &plan, reps);
+        let (closure_secs, closure_out) = best_of(&closures, &plan, reps);
+
+        assert_eq!(
+            kernel_out.rows, closure_out.rows,
+            "{label}: kernel and closure engines disagree"
+        );
+        assert!(
+            kernel_out.metrics.agg_kernel_rows > 0,
+            "{label}: aggregate kernels were not engaged ({})",
+            kernel_out.metrics
+        );
+        assert_eq!(
+            closure_out.metrics.agg_kernel_rows, 0,
+            "{label}: closure engine unexpectedly engaged aggregate kernels"
+        );
+        if all_kernel {
+            assert_eq!(
+                kernel_out.metrics.agg_fallback_rows, 0,
+                "{label}: all-kernel sink fell back to closures ({})",
+                kernel_out.metrics
+            );
+        }
+        assert_eq!(
+            kernel_out.metrics.binding_allocs, 0,
+            "{label}: kernel aggregation path allocated per tuple"
+        );
+
+        let kernel_rate = rows as f64 / kernel_secs;
+        let closure_rate = rows as f64 / closure_secs;
+        println!(
+            "{label:<18} kernels {kernel_rate:>12.0} rows/s | closures {closure_rate:>12.0} rows/s | speedup {:>5.2}x",
+            kernel_rate / closure_rate
+        );
+        report.push(BenchRow {
+            engine: "proteus-agg-kernels".to_string(),
+            template: label.to_string(),
+            selectivity_pct: 100,
+            millis: kernel_secs * 1e3,
+            rows_per_sec: kernel_rate,
+        });
+        report.push(BenchRow {
+            engine: "proteus-agg-closures".to_string(),
+            template: label.to_string(),
+            selectivity_pct: 100,
+            millis: closure_secs * 1e3,
+            rows_per_sec: closure_rate,
+        });
+    }
+    emit_bench_json("vectorized aggregate", rows, &report);
+    println!("aggregate kernels engaged on every workload; per-tuple allocations: 0");
+}

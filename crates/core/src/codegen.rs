@@ -100,10 +100,16 @@ impl Compiler {
                 outputs,
                 predicate,
             } => {
-                let (producer, layout) =
+                let (mut producer, layout) =
                     self.compile_producer(input, &mut ir, &mut access_paths, &mut ctx)?;
-                let sink =
-                    self.compile_reduce(outputs, predicate.as_ref(), &layout, &mut ir, &mut ctx)?;
+                let sink = self.compile_reduce(
+                    outputs,
+                    predicate.as_ref(),
+                    &mut producer,
+                    &layout,
+                    &mut ir,
+                    &mut ctx,
+                )?;
                 (sink, producer, layout)
             }
             LogicalPlan::Nest {
@@ -113,13 +119,14 @@ impl Compiler {
                 outputs,
                 predicate,
             } => {
-                let (producer, layout) =
+                let (mut producer, layout) =
                     self.compile_producer(input, &mut ir, &mut access_paths, &mut ctx)?;
                 let sink = self.compile_nest(
                     group_by,
                     group_aliases,
                     outputs,
                     predicate.as_ref(),
+                    &mut producer,
                     &layout,
                     &mut ir,
                     &mut ctx,
@@ -147,40 +154,95 @@ impl Compiler {
         })
     }
 
+    /// Classifies a sink against the typed slots its producer can serve
+    /// (vectorized engines over plain scan/filter spines only), activating
+    /// the typed fills the kernel plan reads. Returns the plan plus the
+    /// predicate part that stays a closure.
+    fn plan_sink_kernel(
+        &self,
+        outputs: &[ReduceSpec],
+        group_by: &[Expr],
+        predicate: Option<&Expr>,
+        producer: &mut Producer,
+        layout: &BindingLayout,
+    ) -> Option<kernels::PlannedSink> {
+        if !self.vectorized {
+            return None;
+        }
+        let typed_slots = scan_typed_kinds(producer)?;
+        let planned = kernels::plan_sink(outputs, group_by, predicate, layout, &typed_slots)?;
+        activate_typed_slots(producer, &planned.used_slots);
+        Some(planned)
+    }
+
+    #[allow(clippy::too_many_arguments)]
     fn compile_reduce(
         &self,
         outputs: &[ReduceSpec],
         predicate: Option<&Expr>,
+        producer: &mut Producer,
         layout: &BindingLayout,
         ir: &mut IrEmitter,
         ctx: &mut PlanCtx,
     ) -> Result<Sink> {
+        let planned = self.plan_sink_kernel(outputs, &[], predicate, producer, layout);
+        let is_kernel = |i: usize| planned.as_ref().is_some_and(|p| p.kernel.aggs[i].is_some());
         let mut specs = Vec::with_capacity(outputs.len());
-        for output in outputs {
+        for (i, output) in outputs.iter().enumerate() {
+            let vect_note = if is_kernel(i) {
+                "   // vectorized aggregate kernel"
+            } else {
+                ""
+            };
             ir.line(
                 1,
                 &format!(
-                    "acc_{} := merge_{}({})",
+                    "acc_{} := merge_{}({}){vect_note}",
                     output.alias, output.monoid, output.expr
                 ),
             );
-            ctx.note_expr(&output.expr, layout);
+            // Kernel-classified specs read their inputs from the typed
+            // columns; only closure-fallback specs consume `Value` rows.
+            if !is_kernel(i) {
+                ctx.note_expr(&output.expr, layout);
+            }
             specs.push((
                 output.monoid,
                 compile_expr(&output.expr, layout)?,
                 output.alias.clone(),
             ));
         }
-        let predicate = match predicate {
-            Some(p) => {
-                ir.line(1, &format!("if (eval({p})) merge accumulators"));
-                ctx.note_expr(p, layout);
-                Some(compile_predicate(p, layout)?)
+        let closure_pred = match &planned {
+            Some(p) => p.pred_residual.clone(),
+            None => predicate.cloned(),
+        };
+        let predicate = match (predicate, &closure_pred) {
+            (Some(p), residual) => {
+                let vect_note = if planned
+                    .as_ref()
+                    .is_some_and(|p| p.kernel.predicate.is_some())
+                {
+                    "   // vectorized reduce predicate"
+                } else {
+                    ""
+                };
+                ir.line(1, &format!("if (eval({p})) merge accumulators{vect_note}"));
+                match residual {
+                    Some(residual) => {
+                        ctx.note_expr(residual, layout);
+                        Some(compile_predicate(residual, layout)?)
+                    }
+                    None => None,
+                }
             }
-            None => None,
+            (None, _) => None,
         };
         ir.line(0, "return accumulators");
-        Ok(Sink::Reduce { specs, predicate })
+        Ok(Sink::Reduce {
+            specs,
+            predicate,
+            kernel: planned.map(|p| p.kernel),
+        })
     }
 
     #[allow(clippy::too_many_arguments)]
@@ -190,17 +252,31 @@ impl Compiler {
         group_aliases: &[String],
         outputs: &[ReduceSpec],
         predicate: Option<&Expr>,
+        producer: &mut Producer,
         layout: &BindingLayout,
         ir: &mut IrEmitter,
         ctx: &mut PlanCtx,
     ) -> Result<Sink> {
-        for g in group_by {
-            ctx.note_expr(g, layout);
+        let planned = self.plan_sink_kernel(outputs, group_by, predicate, producer, layout);
+        let is_kernel = |i: usize| planned.as_ref().is_some_and(|p| p.kernel.aggs[i].is_some());
+        // Typed key ingest reads (hashes, compares, materializes) the key
+        // components straight from the typed columns; without it the keys
+        // are evaluated from hydrated `Value` rows.
+        if planned.is_none() {
+            for g in group_by {
+                ctx.note_expr(g, layout);
+            }
         }
-        for output in outputs {
-            ctx.note_expr(&output.expr, layout);
+        for (i, output) in outputs.iter().enumerate() {
+            if !is_kernel(i) {
+                ctx.note_expr(&output.expr, layout);
+            }
         }
-        if let Some(p) = predicate {
+        let closure_pred = match &planned {
+            Some(p) => p.pred_residual.clone(),
+            None => predicate.cloned(),
+        };
+        if let Some(p) = &closure_pred {
             ctx.note_expr(p, layout);
         }
         let keys: Vec<CompiledExpr> = group_by
@@ -228,24 +304,36 @@ impl Compiler {
         ir.line(
             1,
             &format!(
-                "group := radix_group(key = [{}])",
+                "group := radix_group(key = [{}]){}",
                 group_by
                     .iter()
                     .map(|g| g.to_string())
                     .collect::<Vec<_>>()
-                    .join(", ")
+                    .join(", "),
+                if planned.is_some() {
+                    "   // typed key ingest"
+                } else {
+                    ""
+                }
             ),
         );
-        for output in outputs {
+        for (i, output) in outputs.iter().enumerate() {
             ir.line(
                 1,
                 &format!(
-                    "group.acc_{} := merge_{}({})",
-                    output.alias, output.monoid, output.expr
+                    "group.acc_{} := merge_{}({}){}",
+                    output.alias,
+                    output.monoid,
+                    output.expr,
+                    if is_kernel(i) {
+                        "   // vectorized aggregate kernel"
+                    } else {
+                        ""
+                    }
                 ),
             );
         }
-        let predicate = match predicate {
+        let predicate = match &closure_pred {
             Some(p) => Some(compile_predicate(p, layout)?),
             None => None,
         };
@@ -255,6 +343,7 @@ impl Compiler {
             key_aliases,
             specs,
             predicate,
+            kernel: planned.map(|p| p.kernel),
         })
     }
 
@@ -727,6 +816,9 @@ enum Sink {
     Reduce {
         specs: Vec<(Monoid, CompiledExpr, String)>,
         predicate: Option<CompiledPredicate>,
+        /// Vectorized sink plan (columnwise aggregate inputs + kernel
+        /// predicate mask), when the sink classified kernel-eligible.
+        kernel: Option<kernels::SinkKernel>,
     },
     /// Γ nest: radix grouping.
     Nest {
@@ -734,6 +826,8 @@ enum Sink {
         key_aliases: Vec<String>,
         specs: Vec<(Monoid, CompiledExpr, String)>,
         predicate: Option<CompiledPredicate>,
+        /// Vectorized sink plan (typed key ingest + columnwise aggregates).
+        kernel: Option<kernels::SinkKernel>,
     },
     /// No aggregation: emit one record per binding.
     Collect,
@@ -775,23 +869,33 @@ impl CompiledQuery {
         let started = Instant::now();
         let mut threads = resolve_parallelism(parallelism);
         // Collection monoids (bag/set/list) materialize their elements in
-        // fold order; a parallel fold would permute list results
-        // nondeterministically. Pin those sinks to the serial path so the
-        // serial ≡ parallel contract stays exact.
-        let sink_monoids: &[(Monoid, CompiledExpr, String)] = match &self.sink {
-            Sink::Reduce { specs, .. } | Sink::Nest { specs, .. } => specs,
-            Sink::Collect => &[],
-        };
-        if sink_monoids.iter().any(|(m, _, _)| m.is_collection()) {
-            threads = 1;
+        // fold order. Reduce sinks restore scan order under a parallel fold
+        // with morsel-tagged elements (the Collect/Entries merge), but a
+        // grouped collection would need per-element tags inside every
+        // group's accumulator — pin *nest* collection sinks to the serial
+        // path so the serial ≡ parallel contract stays exact.
+        if let Sink::Nest { specs, .. } = &self.sink {
+            if specs.iter().any(|(m, _, _)| m.is_collection()) {
+                threads = 1;
+            }
         }
         let mut metrics = ExecutionMetrics::new();
         let rows = match self.sink {
-            Sink::Reduce { specs, predicate } => {
+            Sink::Reduce {
+                specs,
+                predicate,
+                kernel,
+            } => {
                 let exec_specs: Vec<(Monoid, CompiledExpr)> =
                     specs.iter().map(|(m, e, _)| (*m, e.clone())).collect();
-                let accumulators =
-                    run_reduce(self.producer, exec_specs, predicate, threads, &mut metrics)?;
+                let accumulators = run_reduce(
+                    self.producer,
+                    exec_specs,
+                    predicate,
+                    kernel,
+                    threads,
+                    &mut metrics,
+                )?;
                 let mut record = Record::empty();
                 for ((monoid, _, alias), acc) in specs.iter().zip(accumulators) {
                     record.set(alias.clone(), acc.finish(*monoid));
@@ -803,6 +907,7 @@ impl CompiledQuery {
                 key_aliases,
                 specs,
                 predicate,
+                kernel,
             } => {
                 let monoids: Vec<Monoid> = specs.iter().map(|(m, _, _)| *m).collect();
                 let value_exprs: Vec<CompiledExpr> =
@@ -813,6 +918,7 @@ impl CompiledQuery {
                     monoids,
                     value_exprs,
                     predicate,
+                    kernel,
                     threads,
                     &mut metrics,
                 )?;
@@ -1253,9 +1359,10 @@ mod tests {
     }
 
     #[test]
-    fn collection_monoids_pin_to_the_serial_path() {
-        // A list fold is order-sensitive; the engine must refuse to
-        // parallelize it even when asked.
+    fn collection_reduce_sinks_fan_out_in_scan_order() {
+        // List/bag/set reduce folds are order-sensitive; the parallel path
+        // restores scan order with morsel-tagged elements, so fanning out
+        // must produce the exact serial element order.
         let rows = 4 * crate::exec::MORSEL_SIZE as i64;
         let registry = PluginRegistry::new();
         registry.register(Arc::new(
@@ -1266,12 +1373,50 @@ mod tests {
             .unwrap(),
         ));
         let compiler = Compiler::new(registry, None);
-        let plan =
-            proteus_algebra::rewrite::rewrite(scan("seq", "s").reduce(vec![ReduceSpec::new(
-                Monoid::List,
-                Expr::path("s.v"),
-                "all",
-            )]));
+        for monoid in [Monoid::List, Monoid::Bag, Monoid::Set] {
+            let plan = proteus_algebra::rewrite::rewrite(
+                scan("seq", "s").reduce(vec![ReduceSpec::new(monoid, Expr::path("s.v"), "all")]),
+            );
+            let serial = compiler.compile(&plan).unwrap().execute().unwrap();
+            let parallel = compiler
+                .compile(&plan)
+                .unwrap()
+                .execute_with_parallelism(4)
+                .unwrap();
+            assert_eq!(
+                parallel.metrics.threads_used, 4,
+                "{monoid}: collection reduce did not fan out"
+            );
+            // Element order is preserved exactly.
+            assert_eq!(serial.rows, parallel.rows, "{monoid}");
+        }
+    }
+
+    #[test]
+    fn collection_nest_sinks_pin_to_the_serial_path() {
+        // A grouped list fold would need per-element tags inside every
+        // group accumulator; the engine refuses to parallelize it.
+        let rows = 4 * crate::exec::MORSEL_SIZE as i64;
+        let registry = PluginRegistry::new();
+        registry.register(Arc::new(
+            proteus_plugins::binary::ColumnPlugin::from_pairs(
+                "seq",
+                vec![
+                    (
+                        "g".to_string(),
+                        ColumnData::Int((0..rows).map(|i| i % 3).collect()),
+                    ),
+                    ("v".to_string(), ColumnData::Int((0..rows).collect())),
+                ],
+            )
+            .unwrap(),
+        ));
+        let compiler = Compiler::new(registry, None);
+        let plan = proteus_algebra::rewrite::rewrite(scan("seq", "s").nest(
+            vec![Expr::path("s.g")],
+            vec!["g".into()],
+            vec![ReduceSpec::new(Monoid::List, Expr::path("s.v"), "all")],
+        ));
         let serial = compiler.compile(&plan).unwrap().execute().unwrap();
         let parallel = compiler
             .compile(&plan)
@@ -1279,8 +1424,94 @@ mod tests {
             .execute_with_parallelism(4)
             .unwrap();
         assert_eq!(parallel.metrics.threads_used, 1);
-        // Element order is preserved exactly.
         assert_eq!(serial.rows, parallel.rows);
+    }
+
+    #[test]
+    fn fully_kernel_aggregates_never_fold_through_closures() {
+        // `SELECT SUM(q), COUNT(*) WHERE k < 100`: predicate, aggregate
+        // inputs and the count all classify, so no spec ever folds through
+        // `Accumulator::merge` closures and no per-tuple Value/Binding is
+        // materialized.
+        let compiler = Compiler::new(registry(), None);
+        let plan = proteus_algebra::rewrite::rewrite(
+            scan("lineitem", "l")
+                .select(Expr::path("l.l_orderkey").lt(Expr::int(100)))
+                .reduce(vec![
+                    ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ]),
+        );
+        let compiled = compiler.compile(&plan).unwrap();
+        assert!(compiled.ir.contains("vectorized aggregate kernel"));
+        let out = compiled.execute().unwrap();
+        assert_eq!(scalar(&out, "cnt"), Value::Int(500));
+        // 500 surviving rows × 2 kernel specs; zero closure folds.
+        assert_eq!(out.metrics.agg_kernel_rows, 1000);
+        assert_eq!(out.metrics.agg_fallback_rows, 0);
+        assert_eq!(out.metrics.binding_allocs, 0);
+
+        // The closure engine folds the same rows through merge closures.
+        let closures = Compiler::new(registry(), None).with_vectorization(false);
+        let out = closures.compile(&plan).unwrap().execute().unwrap();
+        assert_eq!(out.metrics.agg_kernel_rows, 0);
+        assert_eq!(out.metrics.agg_fallback_rows, 1000);
+    }
+
+    #[test]
+    fn fully_kernel_group_by_ingests_typed_keys() {
+        // `SELECT line, SUM(q), COUNT(*) GROUP BY line WHERE k < 100`: the
+        // key is hashed straight from the typed column and both aggregates
+        // fold columnwise — the closure fold count stays zero.
+        let compiler = Compiler::new(registry(), None);
+        let plan = proteus_algebra::rewrite::rewrite(
+            scan("lineitem", "l")
+                .select(Expr::path("l.l_orderkey").lt(Expr::int(100)))
+                .nest(
+                    vec![Expr::path("l.l_linenumber")],
+                    vec!["line".into()],
+                    vec![
+                        ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                        ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                    ],
+                ),
+        );
+        let compiled = compiler.compile(&plan).unwrap();
+        assert!(compiled.ir.contains("typed key ingest"));
+        let out = compiled.execute().unwrap();
+        assert_eq!(out.rows.len(), 7);
+        assert_eq!(out.metrics.agg_kernel_rows, 1000);
+        assert_eq!(out.metrics.agg_fallback_rows, 0);
+        assert_eq!(out.metrics.binding_allocs, 0);
+        let total: i64 = out
+            .rows
+            .iter()
+            .map(|r| r.as_record().unwrap().get("cnt").unwrap().as_int().unwrap())
+            .sum();
+        assert_eq!(total, 500);
+    }
+
+    #[test]
+    fn reduce_predicate_folds_into_the_kernel_mask() {
+        // A kernel-eligible reduce-level predicate masks without closures.
+        let compiler = Compiler::new(registry(), None);
+        let plan = LogicalPlan::Reduce {
+            input: Box::new(scan("lineitem", "l")),
+            outputs: vec![
+                ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ],
+            predicate: Some(Expr::path("l.l_orderkey").lt(Expr::int(100))),
+        };
+        let out = compiler.compile(&plan).unwrap().execute().unwrap();
+        assert_eq!(scalar(&out, "cnt"), Value::Int(500));
+        assert_eq!(out.metrics.agg_kernel_rows, 1000);
+        assert_eq!(out.metrics.agg_fallback_rows, 0);
+
+        // Closure reference agrees.
+        let closures = Compiler::new(registry(), None).with_vectorization(false);
+        let reference = closures.compile(&plan).unwrap().execute().unwrap();
+        assert_eq!(out.rows, reference.rows);
     }
 
     #[test]

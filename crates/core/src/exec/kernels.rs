@@ -27,15 +27,36 @@
 //!
 //! Equivalence is enforced by the seed-sweep property tests at the bottom of
 //! this file and by `tests/kernel_equivalence.rs`.
+//!
+//! # The aggregation tier
+//!
+//! Since the vectorized-aggregation rework the kernels no longer stop at the
+//! selection vector: reduce and group-by sinks are classified the same way
+//! ([`plan_sink`]). Kernel-eligible aggregate inputs — the [`NumExpr`]
+//! subset for `sum`/`min`/`max`/`avg`, predicate shapes for `and`/`or`,
+//! nothing at all for `count` — are rendered columnwise once per batch
+//! ([`SinkKernel::render`]) and folded into [`Accumulator`]s by dense loops
+//! that mirror `Accumulator::merge` bit for bit (running f64 sums in row
+//! order, `f64::total_cmp` strict-replace min/max, nulls skipped exactly
+//! where the closure skips them). A kernel-eligible sink *predicate* folds
+//! into the same pass as a mask, so `SUM(x) WHERE p` never calls a closure.
+//! Group-by sinks additionally read their key components straight from the
+//! typed columns ([`TypedKeys`]): rows are hashed lane-wise (via the
+//! `Value::stable_hash_*` component helpers) and a `Vec<Value>` key is only
+//! materialized when a group is first inserted. Collection monoids
+//! (bag/set/list) and ineligible expressions stay on the closure path,
+//! spec by spec.
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
 
-use proteus_algebra::{BinaryOp, Expr, UnaryOp, Value};
+use proteus_algebra::monoid::Accumulator;
+use proteus_algebra::{BinaryOp, Expr, Monoid, ReduceSpec, UnaryOp, Value};
 use proteus_plugins::{TypedColumn, TypedKind};
 
 use crate::exec::batch::BindingBatch;
 use crate::exec::expr::BindingLayout;
+use crate::exec::radix::KeyHash;
 
 // ---------------------------------------------------------------------------
 // The kernel plan.
@@ -465,6 +486,9 @@ pub struct Scratch {
     bools: Vec<Vec<bool>>,
     i64s: Vec<Vec<i64>>,
     f64s: Vec<Vec<f64>>,
+    sels: Vec<Vec<u32>>,
+    u64s: Vec<Vec<u64>>,
+    values: Vec<Vec<Value>>,
 }
 
 impl Scratch {
@@ -473,11 +497,11 @@ impl Scratch {
         Scratch::default()
     }
 
-    fn take_bools(&mut self) -> Vec<bool> {
+    pub(crate) fn take_bools(&mut self) -> Vec<bool> {
         self.bools.pop().unwrap_or_default()
     }
 
-    fn put_bools(&mut self, mut v: Vec<bool>) {
+    pub(crate) fn put_bools(&mut self, mut v: Vec<bool>) {
         v.clear();
         self.bools.push(v);
     }
@@ -499,6 +523,39 @@ impl Scratch {
         v.clear();
         self.f64s.push(v);
     }
+
+    /// Borrows a recycled row-index buffer (the sink's masked selection).
+    pub(crate) fn take_sel(&mut self) -> Vec<u32> {
+        self.sels.pop().unwrap_or_default()
+    }
+
+    /// Returns a row-index buffer to the pool.
+    pub(crate) fn put_sel(&mut self, mut v: Vec<u32>) {
+        v.clear();
+        self.sels.push(v);
+    }
+
+    /// Borrows a recycled `u64` buffer (the columnwise key hashes).
+    pub(crate) fn take_u64s(&mut self) -> Vec<u64> {
+        self.u64s.pop().unwrap_or_default()
+    }
+
+    /// Returns a `u64` buffer to the pool.
+    pub(crate) fn put_u64s(&mut self, mut v: Vec<u64>) {
+        v.clear();
+        self.u64s.push(v);
+    }
+
+    /// Borrows a recycled `Value` buffer (the nest fallback's scratch key).
+    pub(crate) fn take_values(&mut self) -> Vec<Value> {
+        self.values.pop().unwrap_or_default()
+    }
+
+    /// Returns a `Value` buffer to the pool.
+    pub(crate) fn put_values(&mut self, mut v: Vec<Value>) {
+        v.clear();
+        self.values.push(v);
+    }
 }
 
 /// Applies a kernel predicate to the batch: evaluates the mask densely over
@@ -518,7 +575,7 @@ fn typed(batch: &BindingBatch, slot: usize) -> &TypedColumn {
 }
 
 /// Evaluates `pred` into `mask[0..rows]`.
-fn eval_pred(
+pub(crate) fn eval_pred(
     pred: &KernelPred,
     batch: &BindingBatch,
     rows: usize,
@@ -635,6 +692,29 @@ impl NumVec<'_> {
             NumVec::TmpF64(v) => v[i],
             NumVec::ConstI64(c) => *c as f64,
             NumVec::ConstF64(c) => *c,
+        }
+    }
+
+    /// Lane `i` of an integer-typed expression (callers guard on
+    /// [`NumExpr::is_int`]).
+    #[inline]
+    fn i64_at(&self, i: usize) -> i64 {
+        match self {
+            NumVec::I64(v) => v[i],
+            NumVec::TmpI64(v) => v[i],
+            NumVec::ConstI64(c) => *c,
+            _ => unreachable!("integer lane over a float operand"),
+        }
+    }
+
+    /// Lane `i` as the `Value` the compiled closure would have produced
+    /// (non-null lanes only; `int` is the expression's [`NumExpr::is_int`]).
+    #[inline]
+    fn value_at(&self, i: usize, int: bool) -> Value {
+        if int {
+            Value::Int(self.i64_at(i))
+        } else {
+            Value::Float(self.f64_at(i))
         }
     }
 }
@@ -846,6 +926,538 @@ fn eval_num<'a>(
             release(r, scratch);
             result
         }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The aggregation tier: kernel plans for reduce / group-by sinks.
+// ---------------------------------------------------------------------------
+
+/// One kernel-classified aggregate input.
+#[derive(Debug, Clone)]
+pub enum AggKernel {
+    /// `count`: the fold ignores its input entirely, so no expression is
+    /// evaluated (and nothing is hydrated) — the kernel just counts the
+    /// surviving rows, exactly like `Accumulator::merge` counts every merged
+    /// value regardless of its shape.
+    Count,
+    /// `sum`/`min`/`max`/`avg` over a numeric vector expression.
+    Num(NumExpr),
+    /// `and`/`or` over a predicate-shaped boolean expression (a mask:
+    /// `Bool(true)` lanes are `true`, everything else — incl. nulls — is
+    /// `false`, matching `Value::as_bool`'s null collapse under merge).
+    Bool(KernelPred),
+}
+
+impl AggKernel {
+    fn collect_slots(&self, out: &mut Vec<usize>) {
+        match self {
+            AggKernel::Count => {}
+            AggKernel::Num(expr) => expr.collect_slots(out),
+            AggKernel::Bool(pred) => pred.collect_slots(out),
+        }
+    }
+}
+
+/// The kernel plan of one reduce or group-by sink.
+#[derive(Debug, Clone)]
+pub struct SinkKernel {
+    /// Per output spec (parallel to the sink's `(monoid, expr)` list):
+    /// the kernel, or `None` when that spec stays on the closure path.
+    pub aggs: Vec<Option<AggKernel>>,
+    /// Kernel part of the sink-level predicate; the residual (if any) stays
+    /// a compiled closure applied after this mask.
+    pub predicate: Option<KernelPred>,
+    /// Typed slots serving the group-by key components, in key order
+    /// (empty for reduce sinks).
+    pub key_slots: Vec<usize>,
+}
+
+impl SinkKernel {
+    /// Number of kernel-classified output specs.
+    pub fn kernel_specs(&self) -> usize {
+        self.aggs.iter().filter(|a| a.is_some()).count()
+    }
+
+    /// Renders every kernel-classified aggregate input for one batch:
+    /// numeric expressions evaluate to dense lanes (plus their null union),
+    /// boolean expressions to masks. Costs nothing per closure-fallback spec.
+    pub fn render<'a>(
+        &self,
+        batch: &'a BindingBatch,
+        rows: usize,
+        scratch: &mut Scratch,
+    ) -> RenderedAggs<'a> {
+        let slots = self
+            .aggs
+            .iter()
+            .map(|agg| {
+                agg.as_ref().map(|agg| match agg {
+                    AggKernel::Count => RenderedAgg::Count,
+                    AggKernel::Num(expr) => RenderedAgg::Num {
+                        vec: eval_num(expr, batch, rows, scratch),
+                        nulls: null_mask(expr, batch, rows, scratch),
+                        int: expr.is_int(),
+                    },
+                    AggKernel::Bool(pred) => {
+                        let mut mask = scratch.take_bools();
+                        eval_pred(pred, batch, rows, &mut mask, scratch);
+                        RenderedAgg::Bool(mask)
+                    }
+                })
+            })
+            .collect();
+        RenderedAggs { slots }
+    }
+}
+
+/// One rendered aggregate input (see [`SinkKernel::render`]).
+enum RenderedAgg<'a> {
+    Count,
+    Num {
+        vec: NumVec<'a>,
+        nulls: Option<Vec<bool>>,
+        int: bool,
+    },
+    Bool(Vec<bool>),
+}
+
+/// The rendered kernel aggregate inputs of one batch.
+pub struct RenderedAggs<'a> {
+    slots: Vec<Option<RenderedAgg<'a>>>,
+}
+
+#[inline]
+fn null_at(nulls: &Option<Vec<bool>>, i: usize) -> bool {
+    nulls.as_ref().is_some_and(|n| n[i])
+}
+
+impl RenderedAggs<'_> {
+    /// True when output spec `spec` was kernel-classified.
+    pub fn is_kernel(&self, spec: usize) -> bool {
+        self.slots[spec].is_some()
+    }
+
+    /// Folds every row of `rows_idx` into `acc` for output spec `spec`,
+    /// reproducing a row-order sequence of `Accumulator::merge` calls
+    /// exactly (running float adds in row order, strict-replace extremes,
+    /// `count` counting nulls, `sum`/`avg` skipping them).
+    pub fn fold_rows(&self, spec: usize, monoid: Monoid, acc: &mut Accumulator, rows_idx: &[u32]) {
+        let Some(rendered) = &self.slots[spec] else {
+            unreachable!("fold_rows on a closure-fallback spec");
+        };
+        match (rendered, monoid, acc) {
+            (RenderedAgg::Count, Monoid::Count, Accumulator::Int(count)) => {
+                *count += rows_idx.len() as i64;
+            }
+            (RenderedAgg::Num { vec, nulls, .. }, Monoid::Sum, Accumulator::Float(total)) => {
+                match (vec, nulls) {
+                    (NumVec::F64(v), None) => {
+                        for &r in rows_idx {
+                            *total += v[r as usize];
+                        }
+                    }
+                    (NumVec::I64(v), None) => {
+                        for &r in rows_idx {
+                            *total += v[r as usize] as f64;
+                        }
+                    }
+                    (vec, nulls) => {
+                        for &r in rows_idx {
+                            let i = r as usize;
+                            if !null_at(nulls, i) {
+                                *total += vec.f64_at(i);
+                            }
+                        }
+                    }
+                }
+            }
+            (
+                RenderedAgg::Num { vec, nulls, .. },
+                Monoid::Avg,
+                Accumulator::AvgState { sum, count },
+            ) => match (vec, nulls) {
+                (NumVec::F64(v), None) => {
+                    for &r in rows_idx {
+                        *sum += v[r as usize];
+                    }
+                    *count += rows_idx.len() as u64;
+                }
+                (NumVec::I64(v), None) => {
+                    for &r in rows_idx {
+                        *sum += v[r as usize] as f64;
+                    }
+                    *count += rows_idx.len() as u64;
+                }
+                (vec, nulls) => {
+                    for &r in rows_idx {
+                        let i = r as usize;
+                        if !null_at(nulls, i) {
+                            *sum += vec.f64_at(i);
+                            *count += 1;
+                        }
+                    }
+                }
+            },
+            (
+                RenderedAgg::Num { vec, nulls, int },
+                Monoid::Max | Monoid::Min,
+                Accumulator::Extreme(state),
+            ) => {
+                // `merge` replaces the running extreme only on a *strict*
+                // total_cmp win, so ties keep the earliest row — fold the
+                // batch locally with the same rule, then write back once.
+                let want = if monoid == Monoid::Max {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                };
+                let mut best_view = state.as_ref().map(|v| v.as_float().unwrap_or(f64::NAN));
+                let mut best_row = None;
+                for &r in rows_idx {
+                    let i = r as usize;
+                    if null_at(nulls, i) {
+                        continue;
+                    }
+                    let view = vec.f64_at(i);
+                    let replace = match best_view {
+                        None => true,
+                        Some(current) => view.total_cmp(&current) == want,
+                    };
+                    if replace {
+                        best_view = Some(view);
+                        best_row = Some(i);
+                    }
+                }
+                if let Some(i) = best_row {
+                    *state = Some(vec.value_at(i, *int));
+                }
+            }
+            (RenderedAgg::Bool(mask), Monoid::And, Accumulator::Bool(b)) => {
+                if *b {
+                    *b = rows_idx.iter().all(|&r| mask[r as usize]);
+                }
+            }
+            (RenderedAgg::Bool(mask), Monoid::Or, Accumulator::Bool(b)) => {
+                if !*b {
+                    *b = rows_idx.iter().any(|&r| mask[r as usize]);
+                }
+            }
+            _ => unreachable!("rendered aggregate does not match its monoid's accumulator"),
+        }
+    }
+
+    /// Folds one row into `acc` for output spec `spec` (the group-by ingest
+    /// path, where each row lands in a different group's accumulator).
+    #[inline]
+    pub fn fold_row(&self, spec: usize, monoid: Monoid, acc: &mut Accumulator, row: usize) {
+        let Some(rendered) = &self.slots[spec] else {
+            unreachable!("fold_row on a closure-fallback spec");
+        };
+        match (rendered, monoid, acc) {
+            (RenderedAgg::Count, Monoid::Count, Accumulator::Int(count)) => *count += 1,
+            (RenderedAgg::Num { vec, nulls, .. }, Monoid::Sum, Accumulator::Float(total)) => {
+                if !null_at(nulls, row) {
+                    *total += vec.f64_at(row);
+                }
+            }
+            (
+                RenderedAgg::Num { vec, nulls, .. },
+                Monoid::Avg,
+                Accumulator::AvgState { sum, count },
+            ) => {
+                if !null_at(nulls, row) {
+                    *sum += vec.f64_at(row);
+                    *count += 1;
+                }
+            }
+            (
+                RenderedAgg::Num { vec, nulls, int },
+                Monoid::Max | Monoid::Min,
+                Accumulator::Extreme(state),
+            ) => {
+                if null_at(nulls, row) {
+                    return;
+                }
+                let view = vec.f64_at(row);
+                let want = if monoid == Monoid::Max {
+                    Ordering::Greater
+                } else {
+                    Ordering::Less
+                };
+                let replace = match state {
+                    None => true,
+                    Some(current) => {
+                        view.total_cmp(&current.as_float().unwrap_or(f64::NAN)) == want
+                    }
+                };
+                if replace {
+                    *state = Some(vec.value_at(row, *int));
+                }
+            }
+            (RenderedAgg::Bool(mask), Monoid::And, Accumulator::Bool(b)) => {
+                *b = *b && mask[row];
+            }
+            (RenderedAgg::Bool(mask), Monoid::Or, Accumulator::Bool(b)) => {
+                *b = *b || mask[row];
+            }
+            _ => unreachable!("rendered aggregate does not match its monoid's accumulator"),
+        }
+    }
+
+    /// Returns the rendered buffers to the scratch pools.
+    pub fn release(self, scratch: &mut Scratch) {
+        for slot in self.slots {
+            match slot {
+                Some(RenderedAgg::Num { vec, nulls, .. }) => {
+                    release(vec, scratch);
+                    if let Some(n) = nulls {
+                        scratch.put_bools(n);
+                    }
+                }
+                Some(RenderedAgg::Bool(mask)) => scratch.put_bools(mask),
+                Some(RenderedAgg::Count) | None => {}
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Typed group keys: hash + compare + materialize straight from the columns.
+// ---------------------------------------------------------------------------
+
+/// A group-by key reader bound to one batch's typed columns. Hashes key
+/// components lane-wise — string pools are pre-hashed once per morsel — and
+/// compares rows against stored group keys with [`Value::value_eq`]
+/// semantics (numerics through their float view), so the typed ingest path
+/// groups exactly like the hydrated closure path.
+pub struct TypedKeys<'a> {
+    comps: Vec<(&'a TypedColumn, Vec<u64>)>,
+}
+
+impl<'a> TypedKeys<'a> {
+    /// Binds the key slots to the batch's live typed columns.
+    pub fn bind(slots: &[usize], batch: &'a BindingBatch) -> TypedKeys<'a> {
+        let comps = slots
+            .iter()
+            .map(|&slot| {
+                let col = typed(batch, slot);
+                let pool_hashes = match col.kind() {
+                    TypedKind::Str => {
+                        let (_, pool) = col.str_parts();
+                        pool.iter().map(|s| Value::stable_hash_str(s)).collect()
+                    }
+                    _ => Vec::new(),
+                };
+                (col, pool_hashes)
+            })
+            .collect();
+        TypedKeys { comps }
+    }
+
+    /// The stable hash of one key component at `row` — the single source of
+    /// truth for lane↔`Value` hash parity (both [`TypedKeys::hash`] and the
+    /// nullable arm of [`TypedKeys::hash_rows`] go through here; the dense
+    /// `hash_rows` loops are per-kind specializations of this dispatch).
+    #[inline]
+    fn component_hash(col: &TypedColumn, pool_hashes: &[u64], row: usize) -> u64 {
+        if col.is_null(row) {
+            return Value::stable_hash_null();
+        }
+        match col.kind() {
+            TypedKind::I64 => Value::stable_hash_numeric(col.i64_values()[row] as f64),
+            TypedKind::F64 => Value::stable_hash_numeric(col.f64_values()[row]),
+            TypedKind::Bool => Value::stable_hash_bool(col.bool_values()[row]),
+            TypedKind::Str => pool_hashes[col.str_parts().0[row] as usize],
+        }
+    }
+
+    /// The key hash of one row, identical to
+    /// [`hash_key_components`](crate::exec::radix::hash_key_components) over
+    /// the hydrated key values.
+    pub fn hash(&self, row: usize) -> u64 {
+        let mut h = KeyHash::new(self.comps.len());
+        for (col, pool_hashes) in &self.comps {
+            h.push(Self::component_hash(col, pool_hashes, row));
+        }
+        h.finish()
+    }
+
+    /// Columnwise batch hashing: `out[j]` becomes the key hash of row
+    /// `rows_idx[j]` (identical to [`TypedKeys::hash`] per row). The kind
+    /// dispatch runs once per *component* instead of once per row, leaving
+    /// dense mix loops over the raw lanes.
+    pub fn hash_rows(&self, rows_idx: &[u32], out: &mut Vec<u64>) {
+        out.clear();
+        out.resize(rows_idx.len(), KeyHash::seed(self.comps.len()));
+        for (col, pool_hashes) in &self.comps {
+            if col.has_nulls() {
+                // Nullable columns take the per-row branchy path.
+                for (h, &r) in out.iter_mut().zip(rows_idx) {
+                    *h = KeyHash::mix(*h, Self::component_hash(col, pool_hashes, r as usize));
+                }
+                continue;
+            }
+            match col.kind() {
+                TypedKind::I64 => {
+                    let lanes = col.i64_values();
+                    for (h, &r) in out.iter_mut().zip(rows_idx) {
+                        *h = KeyHash::mix(*h, Value::stable_hash_numeric(lanes[r as usize] as f64));
+                    }
+                }
+                TypedKind::F64 => {
+                    let lanes = col.f64_values();
+                    for (h, &r) in out.iter_mut().zip(rows_idx) {
+                        *h = KeyHash::mix(*h, Value::stable_hash_numeric(lanes[r as usize]));
+                    }
+                }
+                TypedKind::Bool => {
+                    let lanes = col.bool_values();
+                    for (h, &r) in out.iter_mut().zip(rows_idx) {
+                        *h = KeyHash::mix(*h, Value::stable_hash_bool(lanes[r as usize]));
+                    }
+                }
+                TypedKind::Str => {
+                    let (ids, _) = col.str_parts();
+                    for (h, &r) in out.iter_mut().zip(rows_idx) {
+                        *h = KeyHash::mix(*h, pool_hashes[ids[r as usize] as usize]);
+                    }
+                }
+            }
+        }
+    }
+
+    /// Componentwise [`Value::value_eq`] between row `row` and a stored key.
+    pub fn eq_values(&self, row: usize, key: &[Value]) -> bool {
+        key.len() == self.comps.len()
+            && self.comps.iter().zip(key).all(|((col, _), stored)| {
+                if col.is_null(row) {
+                    return stored.is_null();
+                }
+                match col.kind() {
+                    TypedKind::I64 => {
+                        stored.is_numeric()
+                            && (col.i64_values()[row] as f64)
+                                .total_cmp(&stored.as_float().unwrap_or(f64::NAN))
+                                == Ordering::Equal
+                    }
+                    TypedKind::F64 => {
+                        stored.is_numeric()
+                            && col.f64_values()[row]
+                                .total_cmp(&stored.as_float().unwrap_or(f64::NAN))
+                                == Ordering::Equal
+                    }
+                    TypedKind::Bool => *stored == Value::Bool(col.bool_values()[row]),
+                    TypedKind::Str => {
+                        let (ids, pool) = col.str_parts();
+                        matches!(stored, Value::Str(s) if *s == *pool[ids[row] as usize])
+                    }
+                }
+            })
+    }
+
+    /// Materializes the row's key components (first insertion of a group).
+    pub fn materialize(&self, row: usize) -> Vec<Value> {
+        self.comps
+            .iter()
+            .map(|(col, _)| col.value_at(row))
+            .collect()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The sink planner: ReduceSpec / group-by → SinkKernel classification.
+// ---------------------------------------------------------------------------
+
+/// What the planner produced for one reduce or group-by sink.
+pub struct PlannedSink {
+    /// The kernel plan (per-spec aggs, kernel predicate part, key slots).
+    pub kernel: SinkKernel,
+    /// Predicate conjuncts that must stay on the closure path, if any.
+    pub pred_residual: Option<Expr>,
+    /// Typed slots the kernel reads (the scan must activate their fills).
+    pub used_slots: Vec<usize>,
+}
+
+/// Classifies a sink against the typed slots a scan can serve.
+///
+/// * Every output spec is classified independently ([`AggKernel`]); specs
+///   the kernels cannot serve (collection monoids, record/list-shaped or
+///   untyped expressions, division) fall back to their compiled closure.
+/// * A group-by (`group_by` non-empty) is all-or-nothing on its **keys**:
+///   every key expression must resolve to an exact typed slot, otherwise
+///   the whole sink stays on the closure path.
+/// * The sink predicate splits like a selection: eligible conjuncts become
+///   the kernel mask, the rest are re-conjoined as the closure residual.
+///
+/// Returns `None` when nothing would run on the kernel path.
+pub fn plan_sink(
+    outputs: &[ReduceSpec],
+    group_by: &[Expr],
+    predicate: Option<&Expr>,
+    layout: &BindingLayout,
+    typed_slots: &HashMap<usize, TypedKind>,
+) -> Option<PlannedSink> {
+    let mut key_slots = Vec::with_capacity(group_by.len());
+    for key in group_by {
+        let (slot, _) = typed_slot_of(key, layout, typed_slots)?;
+        key_slots.push(slot);
+    }
+    let aggs: Vec<Option<AggKernel>> = outputs
+        .iter()
+        .map(|output| plan_agg(output.monoid, &output.expr, layout, typed_slots))
+        .collect();
+    let (kernel_pred, pred_residual) = match predicate {
+        Some(p) => match plan_predicate(p, layout, typed_slots) {
+            Some(planned) => (Some(planned.kernel), planned.residual),
+            None => (None, Some(p.clone())),
+        },
+        None => (None, None),
+    };
+    // A reduce sink engages when at least one spec or the predicate runs on
+    // the kernel path; a group-by with typed keys always engages (the typed
+    // key ingest alone removes the per-row key allocation).
+    if group_by.is_empty() && aggs.iter().all(Option::is_none) && kernel_pred.is_none() {
+        return None;
+    }
+    let mut used_slots = key_slots.clone();
+    for agg in aggs.iter().flatten() {
+        agg.collect_slots(&mut used_slots);
+    }
+    if let Some(pred) = &kernel_pred {
+        pred.collect_slots(&mut used_slots);
+    }
+    used_slots.sort_unstable();
+    used_slots.dedup();
+    Some(PlannedSink {
+        kernel: SinkKernel {
+            aggs,
+            predicate: kernel_pred,
+            key_slots,
+        },
+        pred_residual,
+        used_slots,
+    })
+}
+
+/// Classifies one aggregate output spec.
+fn plan_agg(
+    monoid: Monoid,
+    expr: &Expr,
+    layout: &BindingLayout,
+    typed: &HashMap<usize, TypedKind>,
+) -> Option<AggKernel> {
+    match monoid {
+        // `count` never looks at the merged value (`Accumulator::merge`
+        // increments unconditionally), so it is eligible regardless of the
+        // expression's shape — and its inputs are never evaluated.
+        Monoid::Count => Some(AggKernel::Count),
+        Monoid::Sum | Monoid::Avg | Monoid::Min | Monoid::Max => {
+            plan_num(expr, layout, typed).map(AggKernel::Num)
+        }
+        Monoid::And | Monoid::Or => plan_pred(expr, layout, typed).map(AggKernel::Bool),
+        // Collection monoids materialize their inputs value-wise.
+        Monoid::Bag | Monoid::Set | Monoid::List => None,
     }
 }
 
@@ -1146,6 +1758,360 @@ mod tests {
         .unwrap();
         assert!(planned.residual.is_some());
         assert_eq!(planned.used_slots, vec![0]);
+    }
+
+    // -- aggregation-tier property tests ------------------------------------
+
+    use crate::exec::expr::{compile_expr, CompiledExpr, CompiledPredicate};
+    use crate::exec::radix::{hash_key_components, RadixGroupTable};
+
+    /// A kernel-eligible numeric aggregate input (fig05/fig11 shapes:
+    /// plain columns, computed expressions, literals).
+    fn random_num_input(rng: &mut StdRng) -> Expr {
+        match rng.gen_range(0u32..6) {
+            0 => Expr::path("t.i"),
+            1 => Expr::path("t.f"),
+            2 => Expr::int(rng.gen_range(-5i64..5)),
+            3 => Expr::binary(
+                BinaryOp::Mul,
+                Expr::path("t.i"),
+                Expr::int(rng.gen_range(1i64..4)),
+            ),
+            4 => Expr::binary(BinaryOp::Add, Expr::path("t.f"), Expr::path("t.i")),
+            _ => Expr::Unary {
+                op: UnaryOp::Neg,
+                expr: Box::new(Expr::path("t.i")),
+            },
+        }
+    }
+
+    /// One kernel-eligible output spec.
+    fn random_agg_spec(rng: &mut StdRng, alias: usize) -> ReduceSpec {
+        let monoid = [
+            Monoid::Sum,
+            Monoid::Count,
+            Monoid::Min,
+            Monoid::Max,
+            Monoid::Avg,
+            Monoid::And,
+            Monoid::Or,
+        ][rng.gen_range(0usize..7)];
+        let expr = match monoid {
+            Monoid::And | Monoid::Or => random_conjunct(rng),
+            _ => random_num_input(rng),
+        };
+        ReduceSpec::new(monoid, expr, format!("a{alias}"))
+    }
+
+    /// A spec the planner must leave on the closure path: division inputs,
+    /// conditional bool inputs, collection monoids.
+    fn fallback_agg_spec(rng: &mut StdRng, alias: usize) -> ReduceSpec {
+        match rng.gen_range(0u32..3) {
+            0 => ReduceSpec::new(
+                [Monoid::Sum, Monoid::Min, Monoid::Max, Monoid::Avg][rng.gen_range(0usize..4)],
+                Expr::binary(BinaryOp::Div, Expr::path("t.i"), Expr::int(2)),
+                format!("a{alias}"),
+            ),
+            1 => ReduceSpec::new(
+                [Monoid::And, Monoid::Or][rng.gen_range(0usize..2)],
+                Expr::If {
+                    cond: Box::new(Expr::path("t.b")),
+                    then: Box::new(Expr::boolean(true)),
+                    otherwise: Box::new(Expr::binary(
+                        BinaryOp::Gt,
+                        Expr::path("t.i"),
+                        Expr::int(0),
+                    )),
+                },
+                format!("a{alias}"),
+            ),
+            _ => ReduceSpec::new(
+                [Monoid::Bag, Monoid::Set, Monoid::List][rng.gen_range(0usize..3)],
+                Expr::path("t.i"),
+                format!("a{alias}"),
+            ),
+        }
+    }
+
+    /// Emulates the pipeline's masked-selection build: current selection ∧
+    /// kernel predicate mask ∧ closure residual.
+    fn masked_rows(
+        planned: &PlannedSink,
+        residual: Option<&CompiledPredicate>,
+        batch: &BindingBatch,
+        scratch: &mut Scratch,
+    ) -> Vec<u32> {
+        let mut masked: Vec<u32> = match &planned.kernel.predicate {
+            Some(pred) => {
+                let mut mask = scratch.take_bools();
+                eval_pred(pred, batch, batch.rows(), &mut mask, scratch);
+                let rows = batch
+                    .sel()
+                    .iter()
+                    .copied()
+                    .filter(|&r| mask[r as usize])
+                    .collect();
+                scratch.put_bools(mask);
+                rows
+            }
+            None => batch.sel().to_vec(),
+        };
+        if let Some(pred) = residual {
+            masked.retain(|&r| pred(batch.row(r)));
+        }
+        masked
+    }
+
+    /// Kernel-path vs closure-path aggregation over one random batch:
+    /// matching accumulators for reduce, matching finished groups for nest.
+    fn aggregates_match(seed: u64, with_fallback: bool, empty_selection: bool, grouped: bool) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let layout = layout();
+        let typed = typed_map();
+        let rows = rng.gen_range(1usize..200);
+        let mut outputs: Vec<ReduceSpec> = (0..rng.gen_range(1usize..4))
+            .map(|i| random_agg_spec(&mut rng, i))
+            .collect();
+        if with_fallback {
+            let alias = outputs.len();
+            outputs.push(fallback_agg_spec(&mut rng, alias));
+        }
+        let group_by: Vec<Expr> = if grouped {
+            let names = ["t.i", "t.b", "t.s"];
+            (0..rng.gen_range(1usize..3))
+                .map(|_| Expr::path(names[rng.gen_range(0usize..names.len())]))
+                .collect()
+        } else {
+            Vec::new()
+        };
+        let predicate = match rng.gen_range(0u32..3) {
+            0 => None,
+            1 => Some(random_conjunct(&mut rng)),
+            _ => Some(random_conjunct(&mut rng).and(fallback_conjunct(&mut rng))),
+        };
+
+        let planned = plan_sink(&outputs, &group_by, predicate.as_ref(), &layout, &typed)
+            .expect("sink with kernel-eligible parts must classify");
+        if with_fallback {
+            assert!(
+                planned.kernel.aggs.last().unwrap().is_none()
+                    // Count is eligible regardless of its input expression.
+                    || outputs.last().unwrap().monoid == Monoid::Count,
+                "seed {seed}: fallback spec classified as kernel"
+            );
+        }
+
+        let batch_seed = rng.gen_range(0u64..u64::MAX / 2);
+        let mut kernel_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
+        let mut closure_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
+        if empty_selection {
+            let none = vec![false; rows];
+            kernel_batch.compress_sel(&none);
+            closure_batch.compress_sel(&none);
+        }
+
+        let exprs: Vec<CompiledExpr> = outputs
+            .iter()
+            .map(|o| compile_expr(&o.expr, &layout).unwrap())
+            .collect();
+        let monoids: Vec<Monoid> = outputs.iter().map(|o| o.monoid).collect();
+        let full_pred = predicate
+            .as_ref()
+            .map(|p| compile_predicate(p, &layout).unwrap());
+        let residual = planned
+            .pred_residual
+            .as_ref()
+            .map(|p| compile_predicate(p, &layout).unwrap());
+
+        let mut scratch = Scratch::new();
+        let masked = masked_rows(&planned, residual.as_ref(), &kernel_batch, &mut scratch);
+        let rendered = planned.kernel.render(&kernel_batch, rows, &mut scratch);
+
+        if grouped {
+            // Reference: the closure ingest (hydrated keys and values).
+            let key_exprs: Vec<CompiledExpr> = group_by
+                .iter()
+                .map(|g| compile_expr(g, &layout).unwrap())
+                .collect();
+            let mut expected = RadixGroupTable::new(monoids.clone());
+            closure_batch.for_each_selected(|row| {
+                if let Some(pred) = &full_pred {
+                    if !pred(row) {
+                        return;
+                    }
+                }
+                let key: Vec<Value> = key_exprs.iter().map(|k| k(row)).collect();
+                let values: Vec<Value> = exprs.iter().map(|e| e(row)).collect();
+                expected.merge(key, values);
+            });
+            // Kernel: typed key ingest + columnwise folds.
+            let typed_keys = TypedKeys::bind(&planned.kernel.key_slots, &kernel_batch);
+            let mut got = RadixGroupTable::new(monoids.clone());
+            for &r in &masked {
+                let row = r as usize;
+                let hash = typed_keys.hash(row);
+                assert_eq!(
+                    hash,
+                    hash_key_components(&typed_keys.materialize(row)),
+                    "seed {seed}: typed key hash diverges from component hash"
+                );
+                got.merge_with(
+                    hash,
+                    |stored| typed_keys.eq_values(row, stored),
+                    || typed_keys.materialize(row),
+                    |accumulators, table_monoids| {
+                        for (i, (acc, monoid)) in
+                            accumulators.iter_mut().zip(table_monoids).enumerate()
+                        {
+                            if rendered.is_kernel(i) {
+                                rendered.fold_row(i, *monoid, acc, row);
+                            } else {
+                                let _ = acc.merge(*monoid, exprs[i](kernel_batch.row(r)));
+                            }
+                        }
+                    },
+                );
+            }
+            assert_eq!(
+                got.finish(),
+                expected.finish(),
+                "seed {seed}: typed group ingest diverges from closure ingest"
+            );
+        } else {
+            let mut expected: Vec<Accumulator> =
+                monoids.iter().map(|m| Accumulator::zero(*m)).collect();
+            closure_batch.for_each_selected(|row| {
+                if let Some(pred) = &full_pred {
+                    if !pred(row) {
+                        return;
+                    }
+                }
+                for ((monoid, expr), acc) in monoids.iter().zip(&exprs).zip(expected.iter_mut()) {
+                    let _ = acc.merge(*monoid, expr(row));
+                }
+            });
+            let mut got: Vec<Accumulator> = monoids.iter().map(|m| Accumulator::zero(*m)).collect();
+            for (i, monoid) in monoids.iter().enumerate() {
+                if rendered.is_kernel(i) {
+                    rendered.fold_rows(i, *monoid, &mut got[i], &masked);
+                } else {
+                    for &r in &masked {
+                        let _ = got[i].merge(*monoid, exprs[i](kernel_batch.row(r)));
+                    }
+                }
+            }
+            // Bit-exact, including float sums: the kernels fold in the same
+            // row order with the same running accumulator.
+            assert_eq!(
+                got, expected,
+                "seed {seed}: kernel accumulators diverge from closure merge"
+            );
+        }
+        rendered.release(&mut scratch);
+    }
+
+    #[test]
+    fn aggregate_kernels_equal_closure_merge() {
+        for seed in 0..CASES {
+            aggregates_match(seed, false, false, false);
+        }
+    }
+
+    #[test]
+    fn aggregate_kernels_with_fallback_specs() {
+        for seed in 0..CASES {
+            aggregates_match(seed, true, false, false);
+        }
+    }
+
+    #[test]
+    fn aggregate_kernels_handle_empty_selections() {
+        for seed in 0..CASES / 4 {
+            aggregates_match(seed, false, true, false);
+        }
+    }
+
+    #[test]
+    fn typed_group_ingest_equals_closure_ingest() {
+        for seed in 0..CASES {
+            aggregates_match(seed, false, false, true);
+        }
+    }
+
+    #[test]
+    fn typed_group_ingest_with_fallback_specs() {
+        for seed in 0..CASES {
+            aggregates_match(seed, true, false, true);
+        }
+    }
+
+    #[test]
+    fn sink_planner_classification_rules() {
+        let layout = layout();
+        let typed = typed_map();
+        // Count is eligible no matter the input shape, and reads no slots.
+        let planned = plan_sink(
+            &[ReduceSpec::new(
+                Monoid::Count,
+                Expr::binary(BinaryOp::Div, Expr::path("t.i"), Expr::int(0)),
+                "c",
+            )],
+            &[],
+            None,
+            &layout,
+            &typed,
+        )
+        .unwrap();
+        assert!(matches!(planned.kernel.aggs[0], Some(AggKernel::Count)));
+        assert!(planned.used_slots.is_empty());
+        // Division keeps its closure semantics; a sum over it cannot engage.
+        assert!(plan_sink(
+            &[ReduceSpec::new(
+                Monoid::Sum,
+                Expr::binary(BinaryOp::Div, Expr::path("t.i"), Expr::int(2)),
+                "s",
+            )],
+            &[],
+            None,
+            &layout,
+            &typed,
+        )
+        .is_none());
+        // Group-by keys are all-or-nothing: one untyped key kills the plan.
+        assert!(plan_sink(
+            &[ReduceSpec::new(Monoid::Count, Expr::int(1), "c")],
+            &[Expr::path("t.i"), Expr::path("ghost.x")],
+            None,
+            &layout,
+            &typed,
+        )
+        .is_none());
+        // Collection monoids stay on the closure path, spec by spec.
+        let planned = plan_sink(
+            &[
+                ReduceSpec::new(Monoid::List, Expr::path("t.i"), "l"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("t.f"), "s"),
+            ],
+            &[],
+            None,
+            &layout,
+            &typed,
+        )
+        .unwrap();
+        assert!(planned.kernel.aggs[0].is_none());
+        assert!(planned.kernel.aggs[1].is_some());
+        assert_eq!(planned.used_slots, vec![1]);
+        // A kernel-eligible reduce predicate engages even without aggs.
+        let planned = plan_sink(
+            &[ReduceSpec::new(Monoid::Bag, Expr::path("t.s"), "b")],
+            &[],
+            Some(&Expr::path("t.i").lt(Expr::int(3))),
+            &layout,
+            &typed,
+        )
+        .unwrap();
+        assert!(planned.kernel.predicate.is_some());
+        assert!(planned.pred_residual.is_none());
     }
 
     #[test]

@@ -34,6 +34,12 @@ pub struct ExecutionMetrics {
     /// Rows whose selection predicates fell back to compiled per-tuple
     /// closures (record/list-shaped or untyped expressions).
     pub fallback_rows: u64,
+    /// Aggregate inputs folded columnwise by the vectorized sink kernels
+    /// (counted per surviving row × kernel-classified output spec).
+    pub agg_kernel_rows: u64,
+    /// Aggregate inputs folded through compiled per-tuple closures and
+    /// `Accumulator::merge` (per row × closure-fallback output spec).
+    pub agg_fallback_rows: u64,
     /// Hash-table probes performed by joins and group-bys.
     pub hash_probes: u64,
     /// Values appended to caches as a side-effect of execution.
@@ -63,21 +69,32 @@ impl ExecutionMetrics {
         ExecutionMetrics::default()
     }
 
-    /// Sums another metrics object into this one (used to aggregate a whole
-    /// workload, e.g. Table 3).
-    pub fn merge(&mut self, other: &ExecutionMetrics) {
+    /// Sums the pure event counters — everything except output size, thread
+    /// count and the timing fields. The single list shared by the workload
+    /// merge below and the pipeline's per-worker merge (workers run
+    /// concurrently, so their wall times must not add; thread count is
+    /// tracked by the dispatcher).
+    pub fn merge_counters(&mut self, other: &ExecutionMetrics) {
         self.tuples_scanned += other.tuples_scanned;
-        self.tuples_output += other.tuples_output;
         self.intermediate_tuples += other.intermediate_tuples;
         self.intermediate_bytes += other.intermediate_bytes;
         self.predicate_evals += other.predicate_evals;
         self.kernel_rows += other.kernel_rows;
         self.fallback_rows += other.fallback_rows;
+        self.agg_kernel_rows += other.agg_kernel_rows;
+        self.agg_fallback_rows += other.agg_fallback_rows;
         self.hash_probes += other.hash_probes;
         self.cached_values += other.cached_values;
         self.morsels += other.morsels;
         self.binding_allocs += other.binding_allocs;
         self.batch_grows += other.batch_grows;
+    }
+
+    /// Sums another metrics object into this one (used to aggregate a whole
+    /// workload, e.g. Table 3).
+    pub fn merge(&mut self, other: &ExecutionMetrics) {
+        self.merge_counters(other);
+        self.tuples_output += other.tuples_output;
         self.threads_used = self.threads_used.max(other.threads_used);
         self.compile_time += other.compile_time;
         self.exec_time += other.exec_time;
@@ -93,7 +110,7 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
@@ -101,6 +118,8 @@ impl fmt::Display for ExecutionMetrics {
             self.predicate_evals,
             self.kernel_rows,
             self.fallback_rows,
+            self.agg_kernel_rows,
+            self.agg_fallback_rows,
             self.hash_probes,
             self.cached_values,
             self.morsels,

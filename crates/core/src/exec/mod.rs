@@ -77,6 +77,46 @@
 //! evaluated each row's predicates; kernel ≡ closure equivalence is enforced
 //! by seed-sweep property tests ([`kernels`] and
 //! `tests/kernel_equivalence.rs`).
+//!
+//! # Vectorized aggregation: the third tier
+//!
+//! The typed tier runs end-to-end — scan → kernel filter → **kernel
+//! aggregate** — so a kernel-eligible `SELECT k, SUM(v) … WHERE p` morsel
+//! never materializes a `Value`:
+//!
+//! * **Reduce sinks.** The sink planner ([`kernels::plan_sink`]) classifies
+//!   every output spec: `sum`/`min`/`max`/`avg` over the numeric-expression
+//!   subset, `and`/`or` over predicate shapes, `count` unconditionally (its
+//!   input is never evaluated). Classified inputs render columnwise once per
+//!   batch and fold into `Accumulator`s with dense loops that mirror
+//!   `Accumulator::merge` bit for bit — running f64 sums in row order,
+//!   strict-replace `total_cmp` extremes, nulls skipped exactly where the
+//!   closure skips them. A kernel-eligible *reduce-level* predicate
+//!   (`SUM(x) WHERE p`) becomes a mask in the same pass; only residual
+//!   conjuncts and ineligible specs (collection monoids, division,
+//!   record/list shapes) fall back to closures, spec by spec.
+//! * **Group-by sinks.** When every group key resolves to a typed slot, the
+//!   radix group table ingests typed keys: components hash lane-wise
+//!   (columnwise, pool strings pre-hashed per morsel) through the same
+//!   mixer as `hash_key_components`, rows compare against stored keys with
+//!   `value_eq` semantics, and a `Vec<Value>` key is materialized only when
+//!   a group is first inserted. Aggregate inputs fold per group index from
+//!   the rendered lanes. The closure fallback also stopped allocating: it
+//!   reuses a scratch key buffer and clones it on first insertion only
+//!   ([`radix::RadixGroupTable::merge_with`]).
+//! * **Hydration.** Slots only the sink's kernels read are never hydrated —
+//!   codegen classifies sinks at compile time, activates typed fills for
+//!   aggregate-input and key slots, and drops their `Value` fills.
+//! * **Parallel collection monoids.** Bag/set/list *reduce* sinks no longer
+//!   pin the pipeline to the serial path: elements are tagged with their
+//!   morsel index per worker and merged in morsel order (the same ordered
+//!   merge Collect/Entries use), with sets deduping locally first (the local
+//!   first occurrence carries the smallest tag). Grouped collections still
+//!   run serially — they would need per-element tags inside every group.
+//!
+//! `ExecutionMetrics::agg_kernel_rows` / `agg_fallback_rows` report which
+//! tier folded each (row × output spec); aggregate kernel ≡ closure
+//! equivalence is enforced by the same seed-sweep suites.
 
 pub mod batch;
 pub mod expr;

@@ -25,9 +25,9 @@ use crate::cache_builder::CacheBuilder;
 use crate::error::Result;
 use crate::exec::batch::{BindingBatch, MORSEL_SIZE};
 use crate::exec::expr::{CompiledExpr, CompiledPredicate};
-use crate::exec::kernels::{self, KernelPred};
+use crate::exec::kernels::{self, KernelPred, SinkKernel};
 use crate::exec::metrics::ExecutionMetrics;
-use crate::exec::radix::{RadixGroupTable, RadixHashTable};
+use crate::exec::radix::{hash_key_components, RadixGroupTable, RadixHashTable};
 use crate::exec::Binding;
 
 // ---------------------------------------------------------------------------
@@ -312,13 +312,19 @@ fn insert_hydration(pipeline: &mut PreparedPipeline) {
 enum SinkSpec {
     Reduce {
         specs: Vec<(Monoid, CompiledExpr)>,
+        /// Closure part of the sink predicate (the residual when a kernel
+        /// predicate exists, the whole predicate otherwise).
         predicate: Option<CompiledPredicate>,
+        /// Kernel plan: columnwise aggregate inputs + kernel predicate mask.
+        kernel: Option<SinkKernel>,
     },
     Nest {
         keys: Vec<CompiledExpr>,
         monoids: Vec<Monoid>,
         value_exprs: Vec<CompiledExpr>,
         predicate: Option<CompiledPredicate>,
+        /// Kernel plan: typed key ingest + columnwise aggregate inputs.
+        kernel: Option<SinkKernel>,
     },
     Collect,
     /// Join-build materialization: `(key, binding)` pairs.
@@ -327,9 +333,46 @@ enum SinkSpec {
     },
 }
 
+/// One reduce output's worker partial.
+enum ReducePartial {
+    /// Fixed-size accumulator state (sum/count/min/max/avg/and/or).
+    Scalar(Accumulator),
+    /// Collection elements tagged with their morsel, so the merged output
+    /// preserves scan order under a parallel fold (the same morsel-tagged
+    /// ordered merge the Collect/Entries sinks use). Sets dedup locally —
+    /// the first local occurrence carries the smallest tag, so the ordered
+    /// global dedup still keeps the scan-order-first element.
+    Tagged(Vec<(u64, Value)>),
+}
+
+impl ReducePartial {
+    fn new(monoid: Monoid) -> ReducePartial {
+        if monoid.is_collection() {
+            ReducePartial::Tagged(Vec::new())
+        } else {
+            ReducePartial::Scalar(Accumulator::zero(monoid))
+        }
+    }
+
+    /// Mirrors `Accumulator::merge` for one folded value.
+    fn fold(&mut self, monoid: Monoid, value: Value, morsel: u64) {
+        match self {
+            ReducePartial::Scalar(acc) => {
+                let _ = acc.merge(monoid, value);
+            }
+            ReducePartial::Tagged(items) => {
+                if monoid == Monoid::Set && items.iter().any(|(_, v)| v.value_eq(&value)) {
+                    return;
+                }
+                items.push((morsel, value));
+            }
+        }
+    }
+}
+
 /// A worker-private sink partial.
 enum SinkState {
-    Reduce(Vec<Accumulator>),
+    Reduce(Vec<ReducePartial>),
     Nest(RadixGroupTable),
     /// Rows tagged with their morsel index so the merged output preserves
     /// scan order regardless of which worker claimed which morsel.
@@ -349,7 +392,7 @@ impl SinkSpec {
     fn new_state(&self) -> SinkState {
         match self {
             SinkSpec::Reduce { specs, .. } => {
-                SinkState::Reduce(specs.iter().map(|(m, _)| Accumulator::zero(*m)).collect())
+                SinkState::Reduce(specs.iter().map(|(m, _)| ReducePartial::new(*m)).collect())
             }
             SinkSpec::Nest { monoids, .. } => {
                 SinkState::Nest(RadixGroupTable::new(monoids.clone()))
@@ -359,49 +402,191 @@ impl SinkSpec {
         }
     }
 
+    /// Builds the sink's masked row list for one batch: the current
+    /// selection filtered by the kernel predicate mask (if any) and the
+    /// closure predicate residual (if any). Returns a scratch buffer the
+    /// caller must hand back via `Scratch::put_sel`.
+    fn masked_rows(
+        kernel_pred: Option<&KernelPred>,
+        predicate: &Option<CompiledPredicate>,
+        batch: &BindingBatch,
+        scratch: &mut kernels::Scratch,
+    ) -> Vec<u32> {
+        let mut masked = scratch.take_sel();
+        if let Some(pred) = kernel_pred {
+            let rows = batch.rows();
+            let mut mask = scratch.take_bools();
+            kernels::eval_pred(pred, batch, rows, &mut mask, scratch);
+            masked.extend(batch.sel().iter().copied().filter(|&r| mask[r as usize]));
+            scratch.put_bools(mask);
+        } else {
+            masked.extend_from_slice(batch.sel());
+        }
+        if let Some(pred) = predicate {
+            masked.retain(|&r| pred(batch.row(r)));
+        }
+        masked
+    }
+
     /// Folds one batch into a worker-local partial.
     fn consume(
         &self,
         state: &mut SinkState,
         batch: &BindingBatch,
+        scratch: &mut kernels::Scratch,
         morsel: u64,
         metrics: &mut ExecutionMetrics,
     ) {
         match (self, state) {
-            (SinkSpec::Reduce { specs, predicate }, SinkState::Reduce(accumulators)) => {
+            (
+                SinkSpec::Reduce {
+                    specs,
+                    predicate,
+                    kernel: Some(sink_kernel),
+                },
+                SinkState::Reduce(partials),
+            ) => {
+                let masked =
+                    Self::masked_rows(sink_kernel.predicate.as_ref(), predicate, batch, scratch);
+                if masked.is_empty() {
+                    scratch.put_sel(masked);
+                    return;
+                }
+                let rendered = sink_kernel.render(batch, batch.rows(), scratch);
+                let mut closure_specs = 0u64;
+                for (i, (monoid, expr)) in specs.iter().enumerate() {
+                    if rendered.is_kernel(i) {
+                        let ReducePartial::Scalar(acc) = &mut partials[i] else {
+                            unreachable!("kernel-classified collection monoid");
+                        };
+                        rendered.fold_rows(i, *monoid, acc, &masked);
+                    } else {
+                        closure_specs += 1;
+                        for &r in &masked {
+                            partials[i].fold(*monoid, expr(batch.row(r)), morsel);
+                        }
+                    }
+                }
+                metrics.agg_kernel_rows += masked.len() as u64 * sink_kernel.kernel_specs() as u64;
+                metrics.agg_fallback_rows += masked.len() as u64 * closure_specs;
+                rendered.release(scratch);
+                scratch.put_sel(masked);
+            }
+            (
+                SinkSpec::Reduce {
+                    specs,
+                    predicate,
+                    kernel: None,
+                },
+                SinkState::Reduce(partials),
+            ) => {
+                let mut consumed = 0u64;
                 batch.for_each_selected(|row| {
                     if let Some(pred) = predicate {
                         if !pred(row) {
                             return;
                         }
                     }
-                    for ((monoid, expr), acc) in specs.iter().zip(accumulators.iter_mut()) {
-                        let _ = acc.merge(*monoid, expr(row));
+                    consumed += 1;
+                    for ((monoid, expr), partial) in specs.iter().zip(partials.iter_mut()) {
+                        partial.fold(*monoid, expr(row), morsel);
                     }
                 });
+                metrics.agg_fallback_rows += consumed * specs.len() as u64;
+            }
+            (
+                SinkSpec::Nest {
+                    value_exprs,
+                    predicate,
+                    kernel: Some(sink_kernel),
+                    ..
+                },
+                SinkState::Nest(table),
+            ) => {
+                let masked =
+                    Self::masked_rows(sink_kernel.predicate.as_ref(), predicate, batch, scratch);
+                if masked.is_empty() {
+                    scratch.put_sel(masked);
+                    return;
+                }
+                let typed_keys = kernels::TypedKeys::bind(&sink_kernel.key_slots, batch);
+                let mut hashes = scratch.take_u64s();
+                typed_keys.hash_rows(&masked, &mut hashes);
+                let rendered = sink_kernel.render(batch, batch.rows(), scratch);
+                for (&r, &hash) in masked.iter().zip(&hashes) {
+                    let row = r as usize;
+                    table.merge_with(
+                        hash,
+                        |stored| typed_keys.eq_values(row, stored),
+                        || typed_keys.materialize(row),
+                        |accumulators, monoids| {
+                            for (i, (acc, monoid)) in
+                                accumulators.iter_mut().zip(monoids).enumerate()
+                            {
+                                if rendered.is_kernel(i) {
+                                    rendered.fold_row(i, *monoid, acc, row);
+                                } else {
+                                    let _ = acc.merge(*monoid, value_exprs[i](batch.row(r)));
+                                }
+                            }
+                        },
+                    );
+                }
+                let kernel_specs = sink_kernel.kernel_specs() as u64;
+                metrics.hash_probes += masked.len() as u64;
+                metrics.agg_kernel_rows += masked.len() as u64 * kernel_specs;
+                metrics.agg_fallback_rows +=
+                    masked.len() as u64 * (value_exprs.len() as u64 - kernel_specs);
+                rendered.release(scratch);
+                scratch.put_u64s(hashes);
+                scratch.put_sel(masked);
             }
             (
                 SinkSpec::Nest {
                     keys,
                     value_exprs,
                     predicate,
+                    kernel: None,
                     ..
                 },
                 SinkState::Nest(table),
             ) => {
                 let mut probes = 0u64;
+                // Scratch key buffer: the key components are cloned into the
+                // table only when a row starts a new group.
+                let mut key_buf = scratch.take_values();
                 batch.for_each_selected(|row| {
                     if let Some(pred) = predicate {
                         if !pred(row) {
                             return;
                         }
                     }
-                    let key: Vec<Value> = keys.iter().map(|k| k(row)).collect();
-                    let values: Vec<Value> = value_exprs.iter().map(|e| e(row)).collect();
+                    key_buf.clear();
+                    key_buf.extend(keys.iter().map(|k| k(row)));
+                    let hash = hash_key_components(&key_buf);
                     probes += 1;
-                    table.merge(key, values);
+                    table.merge_with(
+                        hash,
+                        |stored| {
+                            stored.len() == key_buf.len()
+                                && stored
+                                    .iter()
+                                    .zip(key_buf.iter())
+                                    .all(|(a, b)| a.value_eq(b))
+                        },
+                        || key_buf.clone(),
+                        |accumulators, monoids| {
+                            for ((acc, monoid), expr) in
+                                accumulators.iter_mut().zip(monoids).zip(value_exprs)
+                            {
+                                let _ = acc.merge(*monoid, expr(row));
+                            }
+                        },
+                    );
                 });
+                scratch.put_values(key_buf);
                 metrics.hash_probes += probes;
+                metrics.agg_fallback_rows += probes * value_exprs.len() as u64;
             }
             (SinkSpec::Collect, SinkState::Collect(rows)) => {
                 batch.for_each_selected(|row| {
@@ -425,12 +610,27 @@ impl SinkSpec {
             SinkSpec::Reduce { specs, .. } => {
                 let mut merged: Vec<Accumulator> =
                     specs.iter().map(|(m, _)| Accumulator::zero(*m)).collect();
+                let mut tagged: Vec<Vec<(u64, Value)>> = specs.iter().map(|_| Vec::new()).collect();
                 for partial in partials {
-                    if let SinkState::Reduce(accumulators) = partial {
-                        for (((monoid, _), acc), partial_acc) in
-                            specs.iter().zip(merged.iter_mut()).zip(accumulators)
-                        {
-                            let _ = acc.combine(*monoid, partial_acc);
+                    if let SinkState::Reduce(parts) = partial {
+                        for (i, part) in parts.into_iter().enumerate() {
+                            match part {
+                                ReducePartial::Scalar(acc) => {
+                                    let _ = merged[i].combine(specs[i].0, acc);
+                                }
+                                ReducePartial::Tagged(items) => tagged[i].extend(items),
+                            }
+                        }
+                    }
+                }
+                // Collection partials: restore scan order across workers by
+                // the morsel tag (stable, so within-morsel order is kept),
+                // then fold under the monoid — `Set` dedups globally here.
+                for (i, mut items) in tagged.into_iter().enumerate() {
+                    if specs[i].0.is_collection() {
+                        items.sort_by_key(|(tag, _)| *tag);
+                        for (_, value) in items {
+                            let _ = merged[i].merge(specs[i].0, value);
                         }
                     }
                 }
@@ -614,7 +814,7 @@ fn process_stages(
             }
         }
     }
-    sink.consume(state, cur, morsel, metrics);
+    sink.consume(state, cur, scratch, morsel, metrics);
     metrics.batch_grows += cur.take_alloc_events() + spare.take_alloc_events();
 }
 
@@ -673,7 +873,7 @@ fn execute_pipeline(
     let mut partials: Vec<SinkState> = Vec::with_capacity(threads);
     if threads == 1 {
         let (state, worker_metrics) = worker_loop(pipeline, sink, &next_morsel, morsel_count);
-        metrics.merge_worker(&worker_metrics);
+        metrics.merge_counters(&worker_metrics);
         partials.push(state);
     } else {
         let results = std::thread::scope(|scope| {
@@ -686,7 +886,7 @@ fn execute_pipeline(
                 .collect::<Vec<_>>()
         });
         for (state, worker_metrics) in results {
-            metrics.merge_worker(&worker_metrics);
+            metrics.merge_counters(&worker_metrics);
             partials.push(state);
         }
     }
@@ -743,33 +943,17 @@ fn execute_pipeline(
     Ok(sink.merge(partials))
 }
 
-impl ExecutionMetrics {
-    /// Merges a worker's counters without touching the timing fields (the
-    /// workers ran concurrently; wall time is measured by the caller).
-    fn merge_worker(&mut self, other: &ExecutionMetrics) {
-        self.tuples_scanned += other.tuples_scanned;
-        self.intermediate_tuples += other.intermediate_tuples;
-        self.intermediate_bytes += other.intermediate_bytes;
-        self.predicate_evals += other.predicate_evals;
-        self.kernel_rows += other.kernel_rows;
-        self.fallback_rows += other.fallback_rows;
-        self.hash_probes += other.hash_probes;
-        self.cached_values += other.cached_values;
-        self.morsels += other.morsels;
-        self.binding_allocs += other.binding_allocs;
-        self.batch_grows += other.batch_grows;
-    }
-}
-
 // ---------------------------------------------------------------------------
 // Public (crate) entry points, one per sink shape.
 // ---------------------------------------------------------------------------
 
 /// Runs `producer` into per-query reduce accumulators.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_reduce(
     producer: Producer,
     specs: Vec<(Monoid, CompiledExpr)>,
     predicate: Option<CompiledPredicate>,
+    kernel: Option<SinkKernel>,
     threads: usize,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Accumulator>> {
@@ -777,7 +961,11 @@ pub(crate) fn run_reduce(
     insert_hydration(&mut pipeline);
     match execute_pipeline(
         &pipeline,
-        &SinkSpec::Reduce { specs, predicate },
+        &SinkSpec::Reduce {
+            specs,
+            predicate,
+            kernel,
+        },
         threads,
         metrics,
     )? {
@@ -787,12 +975,14 @@ pub(crate) fn run_reduce(
 }
 
 /// Runs `producer` into a radix group table.
+#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_nest(
     producer: Producer,
     keys: Vec<CompiledExpr>,
     monoids: Vec<Monoid>,
     value_exprs: Vec<CompiledExpr>,
     predicate: Option<CompiledPredicate>,
+    kernel: Option<SinkKernel>,
     threads: usize,
     metrics: &mut ExecutionMetrics,
 ) -> Result<RadixGroupTable> {
@@ -803,6 +993,7 @@ pub(crate) fn run_nest(
         monoids,
         value_exprs,
         predicate,
+        kernel,
     };
     match execute_pipeline(&pipeline, &spec, threads, metrics)? {
         SinkResult::Groups(table) => Ok(table),

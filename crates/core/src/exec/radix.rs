@@ -21,20 +21,57 @@ fn partition_of(hash: u64) -> usize {
     (hash as usize) & (RADIX_PARTITIONS - 1)
 }
 
+/// Incremental multi-column key hasher: FNV-1a over per-component hashes,
+/// seeded with the arity. The typed group-by ingest feeds it component
+/// hashes computed straight from raw column lanes
+/// (`Value::stable_hash_numeric` & friends), so both key paths — hydrated
+/// `Value` components and typed lanes — mix identically.
+pub struct KeyHash(u64);
+
+impl KeyHash {
+    /// Starts a key hash for a key of `arity` components.
+    pub fn new(arity: usize) -> KeyHash {
+        KeyHash(Self::seed(arity))
+    }
+
+    /// The seed state for a key of `arity` components (the raw-state mixer
+    /// entry point used by the columnwise hash loops).
+    #[inline]
+    pub fn seed(arity: usize) -> u64 {
+        0xcbf2_9ce4_8422_2325 ^ (arity as u64)
+    }
+
+    /// One raw mixing step: folds a component's stable hash into the state.
+    #[inline]
+    pub fn mix(state: u64, component_hash: u64) -> u64 {
+        let mut h = state ^ component_hash;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+        // Finalization round so low bits (the radix) mix well.
+        h ^ (h >> 29)
+    }
+
+    /// Mixes in the next component's stable hash.
+    #[inline]
+    pub fn push(&mut self, component_hash: u64) {
+        self.0 = Self::mix(self.0, component_hash);
+    }
+
+    /// The mixed key hash.
+    pub fn finish(self) -> u64 {
+        self.0
+    }
+}
+
 /// Hashes a multi-column key from its components *in place* — no
 /// `Value::List` is materialized per entry. Consistent with
 /// `Value::value_eq` componentwise equality: components hash through
 /// [`Value::stable_hash`] and are combined with an order-sensitive mixer.
 pub fn hash_key_components(values: &[Value]) -> u64 {
-    // FNV-1a over the component hashes, seeded with the arity.
-    let mut h: u64 = 0xcbf2_9ce4_8422_2325 ^ (values.len() as u64);
+    let mut h = KeyHash::new(values.len());
     for value in values {
-        h ^= value.stable_hash();
-        h = h.wrapping_mul(0x0000_0100_0000_01b3);
-        // Finalization round so low bits (the radix) mix well.
-        h ^= h >> 29;
+        h.push(value.stable_hash());
     }
-    h
+    h.finish()
 }
 
 /// One clustered build entry: `(key hash, key, binding, entry id)`. The
@@ -261,25 +298,47 @@ impl RadixGroupTable {
     pub fn merge(&mut self, key: Vec<Value>, values: Vec<Value>) {
         // Hash the key components in place — no cloned Value::List per entry.
         let hash = hash_key_components(&key);
-        let partition = &mut self.partitions[partition_of(hash)];
-        let found = partition.iter_mut().find(|(h, k, _)| {
-            *h == hash && k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.value_eq(b))
-        });
-        match found {
-            Some((_, _, accumulators)) => {
-                for ((acc, monoid), value) in accumulators.iter_mut().zip(&self.monoids).zip(values)
+        let mut values = Some(values);
+        self.merge_with(
+            hash,
+            |k| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.value_eq(b)),
+            || key.clone(),
+            |accumulators, monoids| {
+                for ((acc, monoid), value) in accumulators
+                    .iter_mut()
+                    .zip(monoids)
+                    .zip(values.take().expect("fold runs once"))
                 {
                     let _ = acc.merge(*monoid, value);
                 }
-            }
+            },
+        );
+    }
+
+    /// The generic find-or-create fold: locates the group of a pre-hashed
+    /// key (`key_eq` compares against a candidate group's stored components)
+    /// and hands its accumulators to `fold`. The key is only materialized —
+    /// via `make_key` — when the group is first inserted, so callers that
+    /// read key components from typed columns or a reused scratch buffer
+    /// allocate **nothing** on the per-row path for existing groups.
+    pub fn merge_with(
+        &mut self,
+        hash: u64,
+        key_eq: impl Fn(&[Value]) -> bool,
+        make_key: impl FnOnce() -> Vec<Value>,
+        fold: impl FnOnce(&mut [Accumulator], &[Monoid]),
+    ) {
+        let partition = &mut self.partitions[partition_of(hash)];
+        let found = partition
+            .iter_mut()
+            .find(|(h, k, _)| *h == hash && key_eq(k));
+        match found {
+            Some((_, _, accumulators)) => fold(accumulators, &self.monoids),
             None => {
                 let mut accumulators: Vec<Accumulator> =
                     self.monoids.iter().map(|m| Accumulator::zero(*m)).collect();
-                for ((acc, monoid), value) in accumulators.iter_mut().zip(&self.monoids).zip(values)
-                {
-                    let _ = acc.merge(*monoid, value);
-                }
-                partition.push((hash, key, accumulators));
+                fold(&mut accumulators, &self.monoids);
+                partition.push((hash, make_key(), accumulators));
                 self.groups += 1;
             }
         }

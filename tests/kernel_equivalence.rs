@@ -108,12 +108,67 @@ fn plans_for(pred: Expr) -> Vec<LogicalPlan> {
             ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
             ReduceSpec::new(Monoid::Max, Expr::path("t.k"), "maxk"),
         ]),
+        // The full scalar-monoid spread (vectorized aggregate kernels),
+        // including a computed input and a closure-fallback division spec.
+        scan().select(pred.clone()).reduce(vec![
+            ReduceSpec::new(Monoid::Avg, Expr::path("t.q"), "avgq"),
+            ReduceSpec::new(Monoid::Min, Expr::path("t.k"), "mink"),
+            ReduceSpec::new(
+                Monoid::Max,
+                Expr::binary(
+                    proteus::algebra::BinaryOp::Add,
+                    Expr::path("t.q"),
+                    Expr::path("t.k"),
+                ),
+                "maxqk",
+            ),
+            ReduceSpec::new(
+                Monoid::Sum,
+                Expr::binary(
+                    proteus::algebra::BinaryOp::Div,
+                    Expr::path("t.q"),
+                    Expr::float(2.0),
+                ),
+                "halves",
+            ),
+        ]),
+        // Boolean monoids over predicate-shaped inputs.
+        scan().reduce(vec![
+            ReduceSpec::new(Monoid::And, pred.clone(), "every"),
+            ReduceSpec::new(Monoid::Or, pred.clone(), "some"),
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+        ]),
+        // Reduce-level predicate (`SUM(x) WHERE p` folds into the kernel
+        // mask pass).
+        LogicalPlan::Reduce {
+            input: Box::new(scan()),
+            outputs: vec![
+                ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ],
+            predicate: Some(pred.clone()),
+        },
         // fig11/12-style group-by under the selection.
         scan().select(pred.clone()).nest(
             vec![Expr::path("t.k")],
             vec!["key".into()],
             vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")],
         ),
+        // Multi-key group-by (typed key ingest) with kernel aggregates.
+        scan().select(pred.clone()).nest(
+            vec![Expr::path("t.k"), Expr::path("t.c")],
+            vec!["key".into(), "word".into()],
+            vec![
+                ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+                ReduceSpec::new(Monoid::Avg, Expr::path("t.q"), "avgq"),
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ],
+        ),
+        // Collection monoids (closure specs, parallel-safe tagged merge).
+        scan().select(pred.clone()).reduce(vec![
+            ReduceSpec::new(Monoid::List, Expr::path("t.k"), "all"),
+            ReduceSpec::new(Monoid::Set, Expr::path("t.c"), "words"),
+        ]),
         // Projection (collect) of the surviving rows.
         scan().select(pred),
     ]
@@ -153,10 +208,26 @@ fn engines_agree(
         slow.metrics.kernel_rows, 0,
         "{label}: closure engine must not engage kernels"
     );
-    if expect_kernels {
+    fn has_select(plan: &LogicalPlan) -> bool {
+        matches!(plan, LogicalPlan::Select { .. }) || plan.children().iter().any(|c| has_select(c))
+    }
+    if expect_kernels && has_select(&plan) {
         assert!(
             fast.metrics.kernel_rows > 0,
             "{label}: kernels were not engaged (metrics: {})",
+            fast.metrics
+        );
+    }
+    assert_eq!(
+        slow.metrics.agg_kernel_rows, 0,
+        "{label}: closure engine must not engage aggregate kernels"
+    );
+    // Whenever the vectorized engine moved output specs off the closure
+    // fold, the aggregate kernels must report the folded rows.
+    if fast.metrics.agg_fallback_rows < slow.metrics.agg_fallback_rows {
+        assert!(
+            fast.metrics.agg_kernel_rows > 0,
+            "{label}: aggregate kernels were not engaged (metrics: {})",
             fast.metrics
         );
     }
