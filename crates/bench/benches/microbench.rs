@@ -64,15 +64,20 @@ fn bench_json_access(c: &mut Criterion) {
 
 fn bench_radix_join(c: &mut Criterion) {
     use proteus_algebra::Value;
-    let build: Vec<(Value, Vec<Value>)> = (0..5_000)
-        .map(|i| (Value::Int(i % 500), vec![Value::Int(i)]))
+    use proteus_core::exec::radix::BuildStore;
+    let build: Vec<(Value, Value)> = (0..5_000)
+        .map(|i| (Value::Int(i % 500), Value::Int(i)))
         .collect();
     c.bench_function("radix_hash_join_build_probe", |b| {
         b.iter(|| {
-            let table = RadixHashTable::build(build.clone());
+            let mut store = BuildStore::new(1, vec![0]);
+            for (key, payload) in &build {
+                store.push_entry(std::slice::from_ref(key), std::slice::from_ref(payload));
+            }
+            let table = RadixHashTable::build(store);
             let mut matches = 0usize;
             for i in 0..5_000i64 {
-                matches += table.probe(&Value::Int(i % 500), |_| {});
+                matches += table.probe_components(&[Value::Int(i % 500)], |_| {});
             }
             matches
         })

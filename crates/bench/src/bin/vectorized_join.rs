@@ -1,0 +1,226 @@
+//! Vectorized-join microbenchmark: fig09/fig10-style equi-joins over a
+//! 2M-row probe side and a 2M/8-row build side at several match rates,
+//! kernel path (typed-key build ingest + columnwise probe hashing with
+//! lane-vs-stored-key compares) vs the closure join path (compiled key
+//! extractors hydrating a `Value` per row), at 1 worker so the comparison
+//! isolates the key evaluation model. Both paths share the columnar
+//! [`BuildStore`] — the speedup measured here is the typed-key tier alone.
+//!
+//! Prints probe rows/sec per join shape, the kernel/closure speedup, and
+//! emits `BENCH_vectorized_join.json`. Asserts the join kernels are
+//! actually engaged (`join_kernel_rows > 0`, `join_fallback_rows == 0`)
+//! and that the kernel path performs zero per-tuple allocations — a CI
+//! smoke check, not a perf gate.
+//!
+//! Knobs: `PROTEUS_JOIN_ROWS` (default 2_000_000 probe rows; build side is
+//! rows/8), `PROTEUS_JOIN_REPS` (default 3).
+
+use std::time::Instant;
+
+use proteus_algebra::{Expr, JoinKind, LogicalPlan, Monoid, ReduceSpec, Schema};
+use proteus_bench::harness::{emit_bench_json, BenchRow};
+use proteus_core::{EngineConfig, QueryEngine, QueryResult};
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_storage::ColumnData;
+
+/// The build side: `build_n` orders with unique keys `0..build_n`.
+fn synthetic_orders(build_n: usize) -> ColumnPlugin {
+    let n = build_n as i64;
+    ColumnPlugin::from_pairs(
+        "orders",
+        vec![
+            ("o_orderkey".to_string(), ColumnData::Int((0..n).collect())),
+            (
+                "o_bucket".to_string(),
+                ColumnData::Int((0..n).map(|i| i % 13).collect()),
+            ),
+            (
+                "o_totalprice".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 997) as f64).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic build columns")
+}
+
+/// The probe side: keys cycle over `key_space` ≥ `build_n`, so the match
+/// rate is `build_n / key_space` and every matching probe row hits exactly
+/// one build entry.
+fn synthetic_lineitem(rows: usize, key_space: i64) -> ColumnPlugin {
+    let n = rows as i64;
+    ColumnPlugin::from_pairs(
+        "lineitem",
+        vec![
+            (
+                "l_orderkey".to_string(),
+                ColumnData::Int((0..n).map(|i| (i * 7 + 3) % key_space).collect()),
+            ),
+            (
+                "l_bucket".to_string(),
+                ColumnData::Int((0..n).map(|i| i % 13).collect()),
+            ),
+            (
+                "l_quantity".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 50) as f64).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic probe columns")
+}
+
+fn count(plan: LogicalPlan) -> LogicalPlan {
+    plan.reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")])
+}
+
+fn main() {
+    let rows: usize = std::env::var("PROTEUS_JOIN_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(2_000_000);
+    let reps: usize = std::env::var("PROTEUS_JOIN_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(3);
+    let build_n = (rows / 8).max(1);
+
+    let orders = || LogicalPlan::scan("orders", "o", Schema::empty());
+    let lineitem = || LogicalPlan::scan("lineitem", "l", Schema::empty());
+    let on = || Expr::path("o.o_orderkey").eq(Expr::path("l.l_orderkey"));
+
+    // (label, match-rate %, join plan). All plans reduce — the kernel path
+    // must report zero per-tuple allocations end to end.
+    let workloads: Vec<(&'static str, u32, LogicalPlan)> = vec![
+        (
+            "count-match100",
+            100,
+            count(orders().join(lineitem(), on(), JoinKind::Inner)),
+        ),
+        (
+            "count-match10",
+            10,
+            count(orders().join(lineitem(), on(), JoinKind::Inner)),
+        ),
+        (
+            "count-match1",
+            1,
+            count(orders().join(lineitem(), on(), JoinKind::Inner)),
+        ),
+        (
+            "sum-probe-col",
+            10,
+            orders()
+                .join(lineitem(), on(), JoinKind::Inner)
+                .reduce(vec![ReduceSpec::new(
+                    Monoid::Sum,
+                    Expr::path("l.l_quantity"),
+                    "total",
+                )]),
+        ),
+        (
+            "sum-build-col",
+            10,
+            orders()
+                .join(lineitem(), on(), JoinKind::Inner)
+                .reduce(vec![ReduceSpec::new(
+                    Monoid::Sum,
+                    Expr::path("o.o_totalprice"),
+                    "total",
+                )]),
+        ),
+        (
+            "multikey",
+            10,
+            count(orders().join(
+                lineitem(),
+                on().and(Expr::path("o.o_bucket").eq(Expr::path("l.l_bucket"))),
+                JoinKind::Inner,
+            )),
+        ),
+        (
+            "leftouter-match10",
+            10,
+            count(orders().join(lineitem(), on(), JoinKind::LeftOuter)),
+        ),
+    ];
+
+    println!("generating {rows} probe rows x {build_n} build rows (binary columns)...");
+    let mut report: Vec<BenchRow> = Vec::new();
+    for (label, match_pct, plan) in workloads {
+        let key_space = (build_n as i64 * 100) / match_pct as i64;
+        let build = synthetic_orders(build_n);
+        let probe = synthetic_lineitem(rows, key_space);
+        let kernels = QueryEngine::new(EngineConfig::without_caching());
+        let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+        for engine in [&kernels, &closures] {
+            engine.register_plugin(std::sync::Arc::new(build.clone()));
+            engine.register_plugin(std::sync::Arc::new(probe.clone()));
+        }
+
+        let plan = proteus_algebra::rewrite::rewrite(plan);
+        let timed = |engine: &QueryEngine| -> (f64, QueryResult) {
+            let start = Instant::now();
+            let result = engine.execute_plan(plan.clone()).expect("query failed");
+            (start.elapsed().as_secs_f64(), result)
+        };
+        // Interleave the engines' reps so slow-clock phases of the host hit
+        // both paths alike, then keep each engine's best rep.
+        let mut kernel_secs = f64::INFINITY;
+        let mut closure_secs = f64::INFINITY;
+        let mut outs = None;
+        for _ in 0..reps {
+            let (k, kernel_out) = timed(&kernels);
+            let (c, closure_out) = timed(&closures);
+            kernel_secs = kernel_secs.min(k);
+            closure_secs = closure_secs.min(c);
+            outs = Some((kernel_out, closure_out));
+        }
+        let (kernel_out, closure_out) = outs.expect("at least one rep");
+
+        assert_eq!(
+            kernel_out.rows, closure_out.rows,
+            "{label}: kernel and closure engines disagree"
+        );
+        assert!(
+            kernel_out.metrics.join_kernel_rows > 0,
+            "{label}: join kernels were not engaged ({})",
+            kernel_out.metrics
+        );
+        assert_eq!(
+            kernel_out.metrics.join_fallback_rows, 0,
+            "{label}: typed-key join fell back to closures ({})",
+            kernel_out.metrics
+        );
+        assert_eq!(
+            closure_out.metrics.join_kernel_rows, 0,
+            "{label}: closure engine unexpectedly engaged join kernels"
+        );
+        assert_eq!(
+            kernel_out.metrics.binding_allocs, 0,
+            "{label}: kernel join path allocated per tuple ({})",
+            kernel_out.metrics
+        );
+
+        let kernel_rate = rows as f64 / kernel_secs;
+        let closure_rate = rows as f64 / closure_secs;
+        println!(
+            "{label:<18} kernels {kernel_rate:>12.0} rows/s | closures {closure_rate:>12.0} rows/s | speedup {:>5.2}x",
+            kernel_rate / closure_rate
+        );
+        report.push(BenchRow {
+            engine: "proteus-join-kernels".to_string(),
+            template: label.to_string(),
+            selectivity_pct: match_pct,
+            millis: kernel_secs * 1e3,
+            rows_per_sec: kernel_rate,
+        });
+        report.push(BenchRow {
+            engine: "proteus-join-closures".to_string(),
+            template: label.to_string(),
+            selectivity_pct: match_pct,
+            millis: closure_secs * 1e3,
+            rows_per_sec: closure_rate,
+        });
+    }
+    emit_bench_json("vectorized join", rows, &report);
+    println!("join kernels engaged on every workload; per-tuple allocations: 0");
+}

@@ -171,7 +171,7 @@ impl Compiler {
         }
         let typed_slots = scan_typed_kinds(producer)?;
         let planned = kernels::plan_sink(outputs, group_by, predicate, layout, &typed_slots)?;
-        activate_typed_slots(producer, &planned.used_slots);
+        try_activate_typed_slots(producer, &planned.used_slots);
         Some(planned)
     }
 
@@ -374,7 +374,7 @@ impl Compiler {
                         if let Some(planned) =
                             kernels::plan_predicate(predicate, &layout, &typed_slots)
                         {
-                            activate_typed_slots(&mut producer, &planned.used_slots);
+                            try_activate_typed_slots(&mut producer, &planned.used_slots);
                             kernel = Some(planned.kernel);
                             residual = planned.residual;
                         }
@@ -681,23 +681,17 @@ impl Compiler {
         access_paths: &mut Vec<String>,
         ctx: &mut PlanCtx,
     ) -> Result<(Producer, BindingLayout)> {
-        let (build, build_layout) = self.compile_producer(left, ir, access_paths, ctx)?;
+        let (mut build, build_layout) = self.compile_producer(left, ir, access_paths, ctx)?;
         ir.line(0, "materialize + radix-cluster build side");
-        let (probe, probe_layout) = self.compile_producer(right, ir, access_paths, ctx)?;
-
-        // Both sides are consumed row-wise: the build side materializes
-        // whole bindings into the hash table, the probe stage concatenates
-        // whole probe rows into the output batch.
-        ctx.note_all(&build_layout);
-        ctx.note_all(&probe_layout);
+        let (mut probe, probe_layout) = self.compile_producer(right, ir, access_paths, ctx)?;
 
         let mut combined = build_layout.clone();
         let probe_offset = combined.extend_with(&probe_layout);
         let _ = probe_offset;
 
         // Split the predicate into equi-key pairs and residual conjuncts.
-        let mut build_keys: Vec<CompiledExpr> = Vec::new();
-        let mut probe_keys: Vec<CompiledExpr> = Vec::new();
+        let mut build_key_exprs: Vec<Expr> = Vec::new();
+        let mut probe_key_exprs: Vec<Expr> = Vec::new();
         let mut residual_conjuncts: Vec<Expr> = Vec::new();
         for conjunct in predicate.split_conjunction() {
             if conjunct == Expr::boolean(true) {
@@ -715,29 +709,68 @@ impl Compiler {
                     let l_on_probe = probe_layout.resolve(lp).is_some();
                     let r_on_probe = probe_layout.resolve(rp).is_some();
                     if l_on_build && r_on_probe && !r_on_build {
-                        build_keys.push(compile_expr(&Expr::Path(lp.clone()), &build_layout)?);
-                        probe_keys.push(compile_expr(&Expr::Path(rp.clone()), &probe_layout)?);
+                        build_key_exprs.push(Expr::Path(lp.clone()));
+                        probe_key_exprs.push(Expr::Path(rp.clone()));
                         continue;
                     }
                     if r_on_build && l_on_probe && !l_on_build {
-                        build_keys.push(compile_expr(&Expr::Path(rp.clone()), &build_layout)?);
-                        probe_keys.push(compile_expr(&Expr::Path(lp.clone()), &probe_layout)?);
+                        build_key_exprs.push(Expr::Path(rp.clone()));
+                        probe_key_exprs.push(Expr::Path(lp.clone()));
                         continue;
                     }
                 }
             }
             residual_conjuncts.push(conjunct);
         }
+
+        // Key classification, each side on its own: when every key of a side
+        // resolves to a typed scan slot, that side hashes/compares its keys
+        // straight from the typed columns and its key `Value`s never
+        // materialize; otherwise its key closures run and the slots they
+        // read are hydrated. (Nested/record-shaped keys stay closures.)
+        let build_key_slots = self.join_key_slots(&build_key_exprs, &mut build, &build_layout);
+        if build_key_slots.is_none() {
+            for key in &build_key_exprs {
+                ctx.note_expr(key, &build_layout);
+            }
+        }
+        let probe_key_slots = self.join_key_slots(&probe_key_exprs, &mut probe, &probe_layout);
+        if probe_key_slots.is_none() {
+            for key in &probe_key_exprs {
+                ctx.note_expr(key, &probe_layout);
+            }
+        }
+
+        let build_keys: Vec<CompiledExpr> = build_key_exprs
+            .iter()
+            .map(|k| compile_expr(k, &build_layout))
+            .collect::<Result<_>>()?;
+        let probe_keys: Vec<CompiledExpr> = probe_key_exprs
+            .iter()
+            .map(|k| compile_expr(k, &probe_layout))
+            .collect::<Result<_>>()?;
+
         let residual = if residual_conjuncts.is_empty() {
             None
         } else {
-            Some(compile_predicate(
-                &Expr::conjunction(residual_conjuncts),
-                &combined,
-            )?)
+            let expr = Expr::conjunction(residual_conjuncts);
+            // The residual reads join-output rows, so the slots it touches
+            // (either side) must be hydrated, stored and copied.
+            ctx.note_expr(&expr, &combined);
+            Some(compile_predicate(&expr, &combined)?)
         };
 
-        ir.line(0, "probe radix hash table for each probe-side tuple {");
+        ir.line(
+            0,
+            &format!(
+                "probe radix hash table for each probe-side tuple {{{}",
+                if probe_key_slots.is_some() {
+                    "   // vectorized probe keys"
+                } else {
+                    ""
+                }
+            ),
+        );
 
         Ok((
             Producer::Join {
@@ -745,12 +778,38 @@ impl Compiler {
                 probe: Box::new(probe),
                 build_keys,
                 probe_keys,
+                build_key_slots,
+                probe_key_slots,
                 residual,
                 build_width: build_layout.len(),
+                build_names: build_layout.slots().to_vec(),
+                probe_names: probe_layout.slots().to_vec(),
+                // Liveness is a whole-plan property: filled by the finalize
+                // pass once every downstream `Value` reference is known.
+                build_live: Vec::new(),
+                probe_live: Vec::new(),
                 kind,
             },
             combined,
         ))
+    }
+
+    /// Classifies one join side's equi-keys against its scan's typed slots,
+    /// activating the typed fills the kernel path reads. `None` when the
+    /// side must extract keys through closures.
+    fn join_key_slots(
+        &self,
+        keys: &[Expr],
+        producer: &mut Producer,
+        layout: &BindingLayout,
+    ) -> Option<Vec<usize>> {
+        if !self.vectorized || keys.is_empty() {
+            return None;
+        }
+        let typed_slots = scan_typed_kinds(producer)?;
+        let slots = kernels::plan_key_slots(keys, layout, &typed_slots)?;
+        try_activate_typed_slots(producer, &slots);
+        Some(slots)
     }
 }
 
@@ -771,8 +830,12 @@ fn scan_typed_kinds(producer: &Producer) -> Option<HashMap<usize, TypedKind>> {
     }
 }
 
-/// Activates the typed fills of the slots a planned kernel reads.
-fn activate_typed_slots(producer: &mut Producer, slots: &[usize]) {
+/// Activates the typed fills of the slots a planned kernel or join
+/// ingest/gather reads. Recurses through filters to the scan; producers
+/// with no typed scan underneath (join-output or unnest sides, where
+/// activation is an optimization rather than a planning invariant) are
+/// left untouched.
+fn try_activate_typed_slots(producer: &mut Producer, slots: &[usize]) {
     match producer {
         Producer::Scan { typed, .. } => {
             for t in typed.iter_mut() {
@@ -781,15 +844,19 @@ fn activate_typed_slots(producer: &mut Producer, slots: &[usize]) {
                 }
             }
         }
-        Producer::Filter { input, .. } => activate_typed_slots(input, slots),
-        _ => unreachable!("kernels planned over a non-scan producer"),
+        Producer::Filter { input, .. } => try_activate_typed_slots(input, slots),
+        _ => {}
     }
 }
 
-/// Post-pass over the finished producer tree: activated typed slots drop
-/// their row-major `Value` fills (the data no longer round-trips through
-/// `Value` on the scan path) and learn whether anything downstream still
-/// needs hydration into `Value` form.
+/// Post-pass over the finished producer tree, once every downstream `Value`
+/// reference is known. Activated typed slots drop their row-major `Value`
+/// fills (the data no longer round-trips through `Value` on the scan path)
+/// and learn whether anything downstream still needs hydration into `Value`
+/// form. Joins learn their *live* slot sets the same way: only build slots
+/// someone reads are stored in the build arena, only probe slots someone
+/// reads are copied into the join output — everything else stays null and
+/// never touches a `Value`.
 fn finalize_typed_fills(producer: &mut Producer, value_refs: &HashSet<String>) {
     match producer {
         Producer::Scan { fills, typed, .. } => {
@@ -803,11 +870,44 @@ fn finalize_typed_fills(producer: &mut Producer, value_refs: &HashSet<String>) {
         Producer::Filter { input, .. } | Producer::Unnest { input, .. } => {
             finalize_typed_fills(input, value_refs)
         }
-        Producer::Join { build, probe, .. } => {
+        Producer::Join {
+            build,
+            probe,
+            build_key_slots,
+            probe_key_slots,
+            build_names,
+            probe_names,
+            build_live,
+            probe_live,
+            ..
+        } => {
+            *build_live = live_slots_of(build_names, value_refs);
+            *probe_live = live_slots_of(probe_names, value_refs);
+            // On kernel-keyed sides the ingest/gather reads live slots
+            // straight from typed columns and full-side hydration is
+            // skipped, so only matched rows materialize a `Value` —
+            // activate the typed fills those reads come from (slots the
+            // scan cannot serve typed keep their row-major fills and are
+            // read as rows).
+            if build_key_slots.is_some() {
+                try_activate_typed_slots(build, build_live);
+            }
+            if probe_key_slots.is_some() {
+                try_activate_typed_slots(probe, probe_live);
+            }
             finalize_typed_fills(build, value_refs);
             finalize_typed_fills(probe, value_refs);
         }
     }
+}
+
+/// The slot indices of `names` something downstream reads in `Value` form.
+fn live_slots_of(names: &[String], value_refs: &HashSet<String>) -> Vec<usize> {
+    names
+        .iter()
+        .enumerate()
+        .filter_map(|(slot, name)| value_refs.contains(name).then_some(slot))
+        .collect()
 }
 
 /// The sink at the root of the generated pipeline.
@@ -1512,6 +1612,69 @@ mod tests {
         let closures = Compiler::new(registry(), None).with_vectorization(false);
         let reference = closures.compile(&plan).unwrap().execute().unwrap();
         assert_eq!(out.rows, reference.rows);
+    }
+
+    #[test]
+    fn fully_kernel_join_probes_typed_keys() {
+        // `COUNT(*)` over orders ⋈ lineitem: both sides' keys resolve to
+        // typed slots, so build ingest and probe hash/compare straight from
+        // the typed columns — no per-tuple `Value` key, no per-entry
+        // `Vec<Value>` binding, and (count reads nothing) no slot is ever
+        // hydrated or copied into the join output.
+        let compiler = Compiler::new(registry(), None);
+        let plan = proteus_algebra::rewrite::rewrite(count(
+            scan("orders", "o")
+                .join(
+                    scan("lineitem", "l"),
+                    Expr::path("o.o_orderkey").eq(Expr::path("l.l_orderkey")),
+                    JoinKind::Inner,
+                )
+                .select(Expr::path("o.o_totalprice").lt(Expr::int(500))),
+        ));
+        let compiled = compiler.compile(&plan).unwrap();
+        assert!(compiled.ir.contains("vectorized probe keys"));
+        let out = compiled.execute().unwrap();
+        assert!(out.metrics.join_kernel_rows > 0, "{}", out.metrics);
+        assert_eq!(out.metrics.join_fallback_rows, 0, "{}", out.metrics);
+        assert_eq!(out.metrics.binding_allocs, 0, "{}", out.metrics);
+
+        // The closure engine extracts every key through compiled closures
+        // and must agree bit for bit.
+        let closures = Compiler::new(registry(), None).with_vectorization(false);
+        let reference = closures.compile(&plan).unwrap().execute().unwrap();
+        assert_eq!(out.rows, reference.rows);
+        assert_eq!(reference.metrics.join_kernel_rows, 0);
+        assert!(reference.metrics.join_fallback_rows > 0);
+        // The columnar build store removed the per-entry binding allocation
+        // from the closure path too.
+        assert_eq!(reference.metrics.binding_allocs, 0);
+    }
+
+    #[test]
+    fn join_copies_only_live_slots_into_the_output() {
+        // A sum over one probe column: only that column (plus nothing from
+        // the build side) is live, so the probe gather touches exactly one
+        // slot per match — and the result still matches the closure engine.
+        let compiler = Compiler::new(registry(), None);
+        let plan = proteus_algebra::rewrite::rewrite(
+            scan("orders", "o")
+                .join(
+                    scan("lineitem", "l"),
+                    Expr::path("o.o_orderkey").eq(Expr::path("l.l_orderkey")),
+                    JoinKind::Inner,
+                )
+                .reduce(vec![ReduceSpec::new(
+                    Monoid::Sum,
+                    Expr::path("l.l_quantity"),
+                    "total",
+                )]),
+        );
+        let out = compiler.compile(&plan).unwrap().execute().unwrap();
+        let closures = Compiler::new(registry(), None).with_vectorization(false);
+        let reference = closures.compile(&plan).unwrap().execute().unwrap();
+        assert_eq!(out.rows, reference.rows);
+        assert!(out.metrics.join_kernel_rows > 0);
+        assert_eq!(out.metrics.join_fallback_rows, 0);
     }
 
     #[test]

@@ -93,6 +93,28 @@ impl BindingBatch {
         self.reset_sel(rows);
     }
 
+    /// Like [`BindingBatch::reset`] but without null-initializing reused
+    /// storage: whatever the buffer held last time is left in place. For
+    /// callers that overwrite every slot anything downstream reads (the join
+    /// probe gather writes exactly the *live* slots; dead slots are never
+    /// read by construction — a collect sink marks every slot live).
+    pub fn reset_sparse(&mut self, width: usize, rows: usize) {
+        self.width = width;
+        self.rows = rows;
+        let needed = rows * width;
+        if self.data.len() < needed {
+            let had_capacity = self.data.capacity();
+            self.data.resize(needed, Value::Null);
+            if self.data.capacity() > had_capacity {
+                self.allocs += 1;
+            }
+        } else {
+            self.data.truncate(needed);
+        }
+        self.typed_live.clear();
+        self.reset_sel(rows);
+    }
+
     /// Resets to an empty batch of the given width (rows appended via
     /// [`BindingBatch::push_row`]).
     pub fn reset_empty(&mut self, width: usize) {

@@ -56,7 +56,7 @@ use proteus_plugins::{TypedColumn, TypedKind};
 
 use crate::exec::batch::BindingBatch;
 use crate::exec::expr::BindingLayout;
-use crate::exec::radix::KeyHash;
+use crate::exec::radix::{BuildStore, KeyHash};
 
 // ---------------------------------------------------------------------------
 // The kernel plan.
@@ -489,6 +489,7 @@ pub struct Scratch {
     sels: Vec<Vec<u32>>,
     u64s: Vec<Vec<u64>>,
     values: Vec<Vec<Value>>,
+    pairs: Vec<Vec<(u32, u32)>>,
 }
 
 impl Scratch {
@@ -555,6 +556,18 @@ impl Scratch {
     pub(crate) fn put_values(&mut self, mut v: Vec<Value>) {
         v.clear();
         self.values.push(v);
+    }
+
+    /// Borrows a recycled `(entry, row)` pair buffer (the probe stage's
+    /// per-morsel match list).
+    pub(crate) fn take_pairs(&mut self) -> Vec<(u32, u32)> {
+        self.pairs.pop().unwrap_or_default()
+    }
+
+    /// Returns a pair buffer to the pool.
+    pub(crate) fn put_pairs(&mut self, mut v: Vec<(u32, u32)>) {
+        v.clear();
+        self.pairs.push(v);
     }
 }
 
@@ -1327,33 +1340,127 @@ impl<'a> TypedKeys<'a> {
         }
     }
 
+    /// [`Value::value_eq`] between one typed lane and a stored component
+    /// value (the shared compare of [`TypedKeys::eq_values`] and the
+    /// view-less arm of [`TypedKeys::eq_store`]).
+    #[inline]
+    fn component_eq_value(col: &TypedColumn, row: usize, stored: &Value) -> bool {
+        if col.is_null(row) {
+            return stored.is_null();
+        }
+        match col.kind() {
+            TypedKind::I64 => {
+                stored.is_numeric()
+                    && (col.i64_values()[row] as f64)
+                        .total_cmp(&stored.as_float().unwrap_or(f64::NAN))
+                        == Ordering::Equal
+            }
+            TypedKind::F64 => {
+                stored.is_numeric()
+                    && col.f64_values()[row].total_cmp(&stored.as_float().unwrap_or(f64::NAN))
+                        == Ordering::Equal
+            }
+            TypedKind::Bool => *stored == Value::Bool(col.bool_values()[row]),
+            TypedKind::Str => {
+                let (ids, pool) = col.str_parts();
+                matches!(stored, Value::Str(s) if *s == *pool[ids[row] as usize])
+            }
+        }
+    }
+
     /// Componentwise [`Value::value_eq`] between row `row` and a stored key.
     pub fn eq_values(&self, row: usize, key: &[Value]) -> bool {
         key.len() == self.comps.len()
-            && self.comps.iter().zip(key).all(|((col, _), stored)| {
-                if col.is_null(row) {
-                    return stored.is_null();
-                }
-                match col.kind() {
-                    TypedKind::I64 => {
-                        stored.is_numeric()
-                            && (col.i64_values()[row] as f64)
-                                .total_cmp(&stored.as_float().unwrap_or(f64::NAN))
-                                == Ordering::Equal
+            && self
+                .comps
+                .iter()
+                .zip(key)
+                .all(|((col, _), stored)| Self::component_eq_value(col, row, stored))
+    }
+
+    /// The lane-vs-stored-key compare of the kernel probe path: componentwise
+    /// [`Value::value_eq`] between row `row` of the bound typed columns and
+    /// build entry `entry` of a join [`BuildStore`]. Numeric components take
+    /// the store's `f64` total-order fast view when it exists; everything
+    /// else compares against the stored component values.
+    pub fn eq_store(&self, row: usize, store: &BuildStore, entry: u32) -> bool {
+        debug_assert_eq!(store.arity(), self.comps.len());
+        self.comps.iter().enumerate().all(|(comp, (col, _))| {
+            if let Some(view) = store.num_view(comp) {
+                let lane = match col.kind() {
+                    TypedKind::I64 if !col.is_null(row) => col.i64_values()[row] as f64,
+                    TypedKind::F64 if !col.is_null(row) => col.f64_values()[row],
+                    // Null or non-numeric lane: only exact value compare
+                    // (null == null, bool/str never equal a numeric view).
+                    _ => {
+                        return Self::component_eq_value(col, row, store.key_component(entry, comp))
                     }
-                    TypedKind::F64 => {
-                        stored.is_numeric()
-                            && col.f64_values()[row]
-                                .total_cmp(&stored.as_float().unwrap_or(f64::NAN))
-                                == Ordering::Equal
-                    }
-                    TypedKind::Bool => *stored == Value::Bool(col.bool_values()[row]),
-                    TypedKind::Str => {
-                        let (ids, pool) = col.str_parts();
-                        matches!(stored, Value::Str(s) if *s == *pool[ids[row] as usize])
-                    }
-                }
-            })
+                };
+                // The view covers every numeric entry; null entries hide
+                // behind the stored-null check.
+                !store.key_component(entry, comp).is_null()
+                    && lane.total_cmp(&view[entry as usize]) == Ordering::Equal
+            } else {
+                Self::component_eq_value(col, row, store.key_component(entry, comp))
+            }
+        })
+    }
+
+    /// The single-numeric-key probe fast path: when the key is exactly one
+    /// `i64`/`f64` column and the build store carries its `f64` total-order
+    /// view, probes every selected row with the lane hoisted out of the
+    /// candidate compares (and the same lookahead prefetch as the generic
+    /// loop). Parity with [`TypedKeys::eq_store`] row by row: a null lane
+    /// matches exactly the null-keyed entries, a numeric lane matches by
+    /// `total_cmp` against the view. Returns `false` when ineligible — the
+    /// caller runs the generic loop instead.
+    pub fn probe_rows_numeric(
+        &self,
+        table: &crate::exec::radix::RadixHashTable,
+        sel: &[u32],
+        hashes: &[u64],
+        mut on_match: impl FnMut(u32, u32),
+    ) -> bool {
+        if self.comps.len() != 1 {
+            return false;
+        }
+        let (col, _) = &self.comps[0];
+        let store = table.store();
+        let Some(view) = store.num_view(0) else {
+            return false;
+        };
+        let ints = matches!(col.kind(), TypedKind::I64);
+        if !ints && !matches!(col.kind(), TypedKind::F64) {
+            return false;
+        }
+        for (i, (&r, &hash)) in sel.iter().zip(hashes).enumerate() {
+            if let Some(&ahead) = hashes.get(i + crate::exec::radix::PROBE_LOOKAHEAD) {
+                table.prefetch(ahead);
+            }
+            let row = r as usize;
+            if col.is_null(row) {
+                table.probe_hashed(
+                    hash,
+                    |entry| store.key_component(entry, 0).is_null(),
+                    |entry| on_match(entry, r),
+                );
+                continue;
+            }
+            let lane = if ints {
+                col.i64_values()[row] as f64
+            } else {
+                col.f64_values()[row]
+            };
+            table.probe_hashed(
+                hash,
+                |entry| {
+                    !store.key_component(entry, 0).is_null()
+                        && lane.total_cmp(&view[entry as usize]) == Ordering::Equal
+                },
+                |entry| on_match(entry, r),
+            );
+        }
+        true
     }
 
     /// Materializes the row's key components (first insertion of a group).
@@ -1362,6 +1469,12 @@ impl<'a> TypedKeys<'a> {
             .iter()
             .map(|(col, _)| col.value_at(row))
             .collect()
+    }
+
+    /// Appends the row's key components to a flattened arena (the columnar
+    /// join build ingest — no per-row `Vec` is allocated).
+    pub fn materialize_into(&self, row: usize, out: &mut Vec<Value>) {
+        out.extend(self.comps.iter().map(|(col, _)| col.value_at(row)));
     }
 }
 
@@ -1377,6 +1490,21 @@ pub struct PlannedSink {
     pub pred_residual: Option<Expr>,
     /// Typed slots the kernel reads (the scan must activate their fills).
     pub used_slots: Vec<usize>,
+}
+
+/// Resolves every key expression (group-by keys, join equi-keys) to an exact
+/// typed slot, or `None` when any key must stay on the closure path — key
+/// classification is all-or-nothing, because every component of one key must
+/// hash/compare through the same tier for hash parity. Nested paths,
+/// computed keys and untyped slots are the expressions this refuses.
+pub fn plan_key_slots(
+    keys: &[Expr],
+    layout: &BindingLayout,
+    typed_slots: &HashMap<usize, TypedKind>,
+) -> Option<Vec<usize>> {
+    keys.iter()
+        .map(|key| typed_slot_of(key, layout, typed_slots).map(|(slot, _)| slot))
+        .collect()
 }
 
 /// Classifies a sink against the typed slots a scan can serve.
@@ -1398,11 +1526,7 @@ pub fn plan_sink(
     layout: &BindingLayout,
     typed_slots: &HashMap<usize, TypedKind>,
 ) -> Option<PlannedSink> {
-    let mut key_slots = Vec::with_capacity(group_by.len());
-    for key in group_by {
-        let (slot, _) = typed_slot_of(key, layout, typed_slots)?;
-        key_slots.push(slot);
-    }
+    let key_slots = plan_key_slots(group_by, layout, typed_slots)?;
     let aggs: Vec<Option<AggKernel>> = outputs
         .iter()
         .map(|output| plan_agg(output.monoid, &output.expr, layout, typed_slots))
@@ -2043,6 +2167,146 @@ mod tests {
         for seed in 0..CASES {
             aggregates_match(seed, true, false, true);
         }
+    }
+
+    // -- join-tier property tests --------------------------------------------
+
+    use crate::exec::radix::{BuildStore, RadixHashTable};
+
+    /// One random build-side key: drawn from the probe batch's own rows
+    /// (so matches occur, with ints often re-rendered as floats to exercise
+    /// the numeric `value_eq` collapse) or fully random (misses, nulls,
+    /// cross-kind keys that must never match).
+    fn random_build_key(
+        rng: &mut StdRng,
+        typed_keys: &TypedKeys<'_>,
+        rows: usize,
+        arity: usize,
+    ) -> Vec<Value> {
+        if rng.gen_range(0u32..4) == 0 {
+            let words = ["", "fox", "quick fox", "lazy", "zebra", "ant"];
+            (0..arity)
+                .map(|_| match rng.gen_range(0u32..5) {
+                    0 => Value::Null,
+                    1 => Value::Int(rng.gen_range(-50i64..50)),
+                    2 => Value::Float((rng.gen_range(-40.0f64..40.0) * 4.0).round() / 4.0),
+                    3 => Value::Bool(rng.gen_range(0u32..2) == 1),
+                    _ => Value::str(words[rng.gen_range(0usize..words.len())]),
+                })
+                .collect()
+        } else {
+            let mut key = typed_keys.materialize(rng.gen_range(0usize..rows));
+            for v in key.iter_mut() {
+                if rng.gen_range(0u32..3) == 0 {
+                    if let Value::Int(i) = v {
+                        // Int keys stored as their float view must still
+                        // match (hash and eq parity across numeric kinds).
+                        *v = Value::Float(*i as f64);
+                    }
+                }
+            }
+            key
+        }
+    }
+
+    /// Kernel probe (columnwise hashing + lane-vs-stored compares) vs the
+    /// closure probe (hydrated components, `hash_key_components` +
+    /// componentwise `value_eq`) over one random batch and build store:
+    /// identical match lists, in identical order.
+    fn join_probes_match(seed: u64, empty_selection: bool) {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let rows = rng.gen_range(1usize..200);
+        let mut batch = random_batch(&mut rng, rows);
+        if empty_selection {
+            batch.compress_sel(&vec![false; rows]);
+        }
+        let arity = rng.gen_range(1usize..3);
+        // Key slots may repeat (t.i = both key components) — the planner
+        // never produces that shape, but the probe must not care.
+        let slots: Vec<usize> = (0..arity).map(|_| rng.gen_range(0usize..4)).collect();
+        let typed_keys = TypedKeys::bind(&slots, &batch);
+
+        let mut store = BuildStore::new(arity, vec![0]);
+        for i in 0..rng.gen_range(0usize..120) {
+            let key = random_build_key(&mut rng, &typed_keys, rows, arity);
+            store.push_entry(&key, &[Value::Int(i as i64)]);
+        }
+        let table = RadixHashTable::build(store);
+
+        let mut hashes = Vec::new();
+        typed_keys.hash_rows(batch.sel(), &mut hashes);
+        let mut kernel_matches: Vec<(u32, u32)> = Vec::new();
+        for (&r, &hash) in batch.sel().iter().zip(&hashes) {
+            assert_eq!(
+                hash,
+                hash_key_components(&typed_keys.materialize(r as usize)),
+                "seed {seed}: probe hash diverges from component hash"
+            );
+            table.probe_hashed(
+                hash,
+                |entry| typed_keys.eq_store(r as usize, table.store(), entry),
+                |entry| kernel_matches.push((r, entry)),
+            );
+        }
+        let mut closure_matches: Vec<(u32, u32)> = Vec::new();
+        for &r in batch.sel() {
+            let key = typed_keys.materialize(r as usize);
+            table.probe_components(&key, |entry| closure_matches.push((r, entry)));
+        }
+        assert_eq!(
+            kernel_matches, closure_matches,
+            "seed {seed}: kernel probe diverges from closure probe"
+        );
+        // The single-numeric-key fast loop (when eligible) must reproduce
+        // the generic compares match for match, in order.
+        let mut fast_matches: Vec<(u32, u32)> = Vec::new();
+        if typed_keys.probe_rows_numeric(&table, batch.sel(), &hashes, |entry, r| {
+            fast_matches.push((r, entry))
+        }) {
+            assert_eq!(
+                fast_matches, kernel_matches,
+                "seed {seed}: numeric fast probe diverges from generic probe"
+            );
+        }
+    }
+
+    #[test]
+    fn join_kernel_probe_equals_closure_probe() {
+        for seed in 0..CASES {
+            join_probes_match(seed, false);
+        }
+    }
+
+    #[test]
+    fn join_kernels_handle_empty_selections() {
+        for seed in 0..CASES / 4 {
+            join_probes_match(seed, true);
+        }
+    }
+
+    #[test]
+    fn join_key_planner_rules() {
+        let layout = layout();
+        let typed = typed_map();
+        // Every key must resolve to an exact typed slot.
+        assert_eq!(
+            plan_key_slots(&[Expr::path("t.i"), Expr::path("t.s")], &layout, &typed),
+            Some(vec![0, 3])
+        );
+        // Computed keys stay closures (all-or-nothing).
+        assert!(plan_key_slots(
+            &[
+                Expr::path("t.i"),
+                Expr::binary(BinaryOp::Add, Expr::path("t.i"), Expr::int(1)),
+            ],
+            &layout,
+            &typed
+        )
+        .is_none());
+        // Nested paths below a typed slot stay closures.
+        assert!(plan_key_slots(&[Expr::path("t.s.inner")], &layout, &typed).is_none());
+        // Unknown slots stay closures.
+        assert!(plan_key_slots(&[Expr::path("ghost.x")], &layout, &typed).is_none());
     }
 
     #[test]

@@ -40,6 +40,12 @@ pub struct ExecutionMetrics {
     /// Aggregate inputs folded through compiled per-tuple closures and
     /// `Accumulator::merge` (per row × closure-fallback output spec).
     pub agg_fallback_rows: u64,
+    /// Join build/probe rows whose keys were hashed and compared straight
+    /// from typed morsel columns by the vectorized join kernels.
+    pub join_kernel_rows: u64,
+    /// Join build/probe rows whose keys fell back to compiled per-tuple key
+    /// closures (untyped slots, computed or record-shaped key expressions).
+    pub join_fallback_rows: u64,
     /// Hash-table probes performed by joins and group-bys.
     pub hash_probes: u64,
     /// Values appended to caches as a side-effect of execution.
@@ -83,6 +89,8 @@ impl ExecutionMetrics {
         self.fallback_rows += other.fallback_rows;
         self.agg_kernel_rows += other.agg_kernel_rows;
         self.agg_fallback_rows += other.agg_fallback_rows;
+        self.join_kernel_rows += other.join_kernel_rows;
+        self.join_fallback_rows += other.join_fallback_rows;
         self.hash_probes += other.hash_probes;
         self.cached_values += other.cached_values;
         self.morsels += other.morsels;
@@ -110,7 +118,7 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
@@ -120,6 +128,8 @@ impl fmt::Display for ExecutionMetrics {
             self.fallback_rows,
             self.agg_kernel_rows,
             self.agg_fallback_rows,
+            self.join_kernel_rows,
+            self.join_fallback_rows,
             self.hash_probes,
             self.cached_values,
             self.morsels,

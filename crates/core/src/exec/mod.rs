@@ -117,6 +117,50 @@
 //! `ExecutionMetrics::agg_kernel_rows` / `agg_fallback_rows` report which
 //! tier folded each (row × output spec); aggregate kernel ≡ closure
 //! equivalence is enforced by the same seed-sweep suites.
+//!
+//! # Vectorized joins: typed-key build & probe
+//!
+//! Radix hash joins run on the same typed tier, so a kernel-eligible
+//! equi-join never materializes a per-tuple `Value` on either side:
+//!
+//! * **Columnar build store.** The build side materializes into a
+//!   [`radix::BuildStore`] — per-entry key hash, key components and *live*
+//!   payload values flattened into contiguous arenas indexed by entry id —
+//!   instead of a `(Value, Vec<Value>)` pair per entry. The
+//!   [`radix::RadixHashTable`] clusters only 12-byte `(hash, entry id)`
+//!   pairs over the store — 256 radix partitions, each with a top-byte
+//!   directory that narrows every probe to a handful of entries; the heavy
+//!   entry data never moves. Numeric key columns additionally carry an
+//!   `f64` total-order view, so probe compares against them are one
+//!   branchless float comparison (single numeric keys take a dedicated
+//!   hoisted-lane loop). Because the kernel path hashes whole morsels up
+//!   front, the probe loop prefetches each row's sub-run (and each match's
+//!   payload) a fixed lookahead ahead — memory latency the one-row-at-a-time
+//!   closure fallback cannot hide.
+//! * **Key classification.** Codegen classifies each join side on its own
+//!   at prepare time: when every equi-key resolves to a typed scan slot
+//!   ([`kernels::plan_key_slots`] — all-or-nothing per side, so every
+//!   component hashes through one tier), that side's keys are batch-hashed
+//!   columnwise by [`kernels::TypedKeys`] (the group-by machinery) with
+//!   `Value::stable_hash` parity, and probe rows confirm candidates with
+//!   lane-vs-stored-key `value_eq` compares ([`kernels::TypedKeys::eq_store`]).
+//!   Nested paths, computed keys and untyped slots keep that side on the
+//!   closure-fallback path — which also stopped boxing: key components
+//!   evaluate into the store arenas (build) or a recycled scratch buffer
+//!   (probe) componentwise, with no `Value::List` wrapper at any arity.
+//! * **Liveness.** The referenced-name analysis runs over *both* join
+//!   layouts: only build slots something downstream reads are stored in the
+//!   arena, and only live probe slots are gathered (columnwise) into the
+//!   join output batch — a `COUNT(*)` over a join hydrates nothing at all.
+//! * **Parallelism.** Worker-private build partials keep the same flattened
+//!   arenas and merge by morsel tag (a k-way merge that *moves* values), so
+//!   the store — and therefore probe/match order — is bit-identical to the
+//!   serial build at any worker count, for inner and left-outer kinds.
+//!
+//! `ExecutionMetrics::join_kernel_rows` / `join_fallback_rows` report which
+//! tier keyed each build/probe row; join kernel ≡ closure equivalence is
+//! enforced by seed-sweep property tests in [`kernels`] and engine-level
+//! inner/left-outer suites in `tests/kernel_equivalence.rs`.
 
 pub mod batch;
 pub mod expr;

@@ -27,7 +27,9 @@ use crate::exec::batch::{BindingBatch, MORSEL_SIZE};
 use crate::exec::expr::{CompiledExpr, CompiledPredicate};
 use crate::exec::kernels::{self, KernelPred, SinkKernel};
 use crate::exec::metrics::ExecutionMetrics;
-use crate::exec::radix::{hash_key_components, RadixGroupTable, RadixHashTable};
+use crate::exec::radix::{
+    hash_key_components, key_components_eq, BuildStore, RadixGroupTable, RadixHashTable,
+};
 use crate::exec::Binding;
 
 // ---------------------------------------------------------------------------
@@ -88,10 +90,27 @@ pub(crate) enum Producer {
     Join {
         build: Box<Producer>,
         probe: Box<Producer>,
+        /// Closure key extractors — the fallback when a side's keys are not
+        /// kernel-classified (kept compiled on both sides for simplicity;
+        /// only the fallback side ever calls them).
         build_keys: Vec<CompiledExpr>,
         probe_keys: Vec<CompiledExpr>,
+        /// Typed slots serving the build key components, when every build
+        /// key resolved to a typed scan slot (the kernel build ingest).
+        build_key_slots: Option<Vec<usize>>,
+        /// Typed slots serving the probe key components (the kernel probe).
+        probe_key_slots: Option<Vec<usize>>,
         residual: Option<CompiledPredicate>,
         build_width: usize,
+        /// Slot names of the build / probe layouts, in slot order (drives
+        /// the referenced-name liveness analysis in codegen's finalize pass).
+        build_names: Vec<String>,
+        probe_names: Vec<String>,
+        /// Build-side slots something downstream of the join reads — the
+        /// only slots the build store materializes (filled by codegen).
+        build_live: Vec<usize>,
+        /// Probe-side slots copied into the join output (filled by codegen).
+        probe_live: Vec<usize>,
         kind: JoinKind,
     },
 }
@@ -137,10 +156,18 @@ enum Stage {
     /// Streams probe rows against the shared build table.
     Probe {
         table: Arc<RadixHashTable>,
+        /// Closure key extractors (the fallback path).
         probe_keys: Vec<CompiledExpr>,
+        /// Typed slots serving the probe key components: the kernel path
+        /// batch-hashes the whole selection straight from the typed columns.
+        key_slots: Option<Vec<usize>>,
         residual: Option<CompiledPredicate>,
+        /// Offset of the probe slots in the join output rows.
         build_width: usize,
         width: usize,
+        /// Probe-side slots copied into the output (the rest stay null —
+        /// nothing downstream reads them).
+        probe_live: Vec<usize>,
         /// Present for left-outer joins: per-build-entry matched flags.
         matched: Option<Arc<Vec<AtomicBool>>>,
     },
@@ -230,16 +257,29 @@ fn prepare(
             probe,
             build_keys,
             probe_keys,
+            build_key_slots,
+            probe_key_slots,
             residual,
             build_width,
+            build_names: _,
+            probe_names: _,
+            build_live,
+            probe_live,
             kind,
         } => {
             // Materialize + cluster the build side with its own morsel run;
             // the partition/cluster phases fan out over the same worker
             // budget (deterministic: identical to the serial build).
-            let entries = run_entries(*build, &build_keys, threads, metrics)?;
-            metrics.intermediate_tuples += entries.len() as u64;
-            let table = Arc::new(RadixHashTable::build_parallel(entries, threads));
+            let store = run_entries(
+                *build,
+                build_keys,
+                build_key_slots,
+                build_live,
+                threads,
+                metrics,
+            )?;
+            metrics.intermediate_tuples += store.len() as u64;
+            let table = Arc::new(RadixHashTable::build_parallel(store, threads));
             metrics.intermediate_bytes += table.materialized_bytes();
 
             let mut prepared = prepare(*probe, threads, metrics)?;
@@ -254,9 +294,11 @@ fn prepare(
             prepared.stages.push(Stage::Probe {
                 table,
                 probe_keys,
+                key_slots: probe_key_slots,
                 residual,
                 build_width,
                 width: build_width + probe_width,
+                probe_live,
                 matched,
             });
             Ok(prepared)
@@ -280,7 +322,15 @@ fn current_width(prepared: &PreparedPipeline) -> usize {
 /// downstream reads are materialized (for the surviving selection only)
 /// right before the first row-consuming stage, or at the end of the stage
 /// chain when only the sink reads rows.
-fn insert_hydration(pipeline: &mut PreparedPipeline) {
+///
+/// When the first row-consuming stage is a *kernel-keyed probe*, hydration
+/// is skipped entirely: the probe reads no rows (keys hash from typed
+/// columns) and its gather copies live slots straight out of the typed
+/// columns, so only *matched* rows ever materialize a `Value` — everything
+/// after the probe reads the gathered join-output rows. The same applies
+/// when the pipeline ends at a typed-key build sink (`sink_reads_typed`):
+/// the build ingest keys and payload both read the typed columns.
+fn insert_hydration(pipeline: &mut PreparedPipeline, sink_reads_typed: bool) {
     let slots: Vec<usize> = pipeline
         .scan
         .typed_fills
@@ -301,6 +351,13 @@ fn insert_hydration(pipeline: &mut PreparedPipeline) {
             )
         })
         .unwrap_or(pipeline.stages.len());
+    match pipeline.stages.get(at) {
+        Some(Stage::Probe {
+            key_slots: Some(_), ..
+        }) => return,
+        None if sink_reads_typed => return,
+        _ => {}
+    }
     pipeline.stages.insert(at, Stage::Hydrate(slots));
 }
 
@@ -327,9 +384,16 @@ enum SinkSpec {
         kernel: Option<SinkKernel>,
     },
     Collect,
-    /// Join-build materialization: `(key, binding)` pairs.
+    /// Join-build materialization into a columnar [`BuildStore`]: key
+    /// components + live payload slots, flattened per entry.
     Entries {
+        /// Closure key extractors (the fallback ingest).
         keys: Vec<CompiledExpr>,
+        /// Typed slots serving the key components (the kernel ingest:
+        /// batch-hashed straight from the typed columns).
+        key_slots: Option<Vec<usize>>,
+        /// Build slots something downstream of the join reads.
+        live_slots: Vec<usize>,
     },
 }
 
@@ -370,6 +434,19 @@ impl ReducePartial {
     }
 }
 
+/// One worker's columnar build-side partial: per-entry morsel tag and key
+/// hash, with key components and live payload values flattened into arenas —
+/// no per-entry `Vec<Value>` is ever allocated. Tags ascend within a
+/// partial (workers claim morsels in increasing order), so the merge is a
+/// k-way merge by morsel.
+#[derive(Default)]
+struct EntriesPartial {
+    tags: Vec<u64>,
+    hashes: Vec<u64>,
+    keys: Vec<Value>,
+    payload: Vec<Value>,
+}
+
 /// A worker-private sink partial.
 enum SinkState {
     Reduce(Vec<ReducePartial>),
@@ -377,7 +454,7 @@ enum SinkState {
     /// Rows tagged with their morsel index so the merged output preserves
     /// scan order regardless of which worker claimed which morsel.
     Collect(Vec<(u64, Binding)>),
-    Entries(Vec<(u64, (Value, Binding))>),
+    Entries(EntriesPartial),
 }
 
 /// The merged result of a pipeline run.
@@ -385,7 +462,7 @@ enum SinkResult {
     Accumulators(Vec<Accumulator>),
     Groups(RadixGroupTable),
     Rows(Vec<Binding>),
-    Entries(Vec<(Value, Binding)>),
+    Entries(BuildStore),
 }
 
 impl SinkSpec {
@@ -398,7 +475,7 @@ impl SinkSpec {
                 SinkState::Nest(RadixGroupTable::new(monoids.clone()))
             }
             SinkSpec::Collect => SinkState::Collect(Vec::new()),
-            SinkSpec::Entries { .. } => SinkState::Entries(Vec::new()),
+            SinkSpec::Entries { .. } => SinkState::Entries(EntriesPartial::default()),
         }
     }
 
@@ -594,11 +671,59 @@ impl SinkSpec {
                     metrics.binding_allocs += 1;
                 });
             }
-            (SinkSpec::Entries { keys }, SinkState::Entries(entries)) => {
-                batch.for_each_selected(|row| {
-                    entries.push((morsel, (join_key(keys, row), row.to_vec())));
-                    metrics.binding_allocs += 1;
-                });
+            (
+                SinkSpec::Entries {
+                    keys,
+                    key_slots,
+                    live_slots,
+                },
+                SinkState::Entries(partial),
+            ) => {
+                match key_slots {
+                    Some(slots) => {
+                        // Kernel ingest: batch-hash the whole selection from
+                        // the typed columns, materialize components lane-wise.
+                        let typed_keys = kernels::TypedKeys::bind(slots, batch);
+                        // Live payload slots read the typed columns where
+                        // the scan filled them (hydration is skipped ahead
+                        // of a typed-key build sink).
+                        let live_cols: Vec<_> =
+                            live_slots.iter().map(|&s| batch.typed_col(s)).collect();
+                        let mut hashes = scratch.take_u64s();
+                        typed_keys.hash_rows(batch.sel(), &mut hashes);
+                        for (&r, &hash) in batch.sel().iter().zip(&hashes) {
+                            partial.tags.push(morsel);
+                            partial.hashes.push(hash);
+                            typed_keys.materialize_into(r as usize, &mut partial.keys);
+                            partial
+                                .payload
+                                .extend(live_slots.iter().zip(&live_cols).map(
+                                    |(&s, col)| match col {
+                                        Some(col) => col.value_at(r as usize),
+                                        None => batch.row(r)[s].clone(),
+                                    },
+                                ));
+                        }
+                        metrics.join_kernel_rows += batch.active() as u64;
+                        scratch.put_u64s(hashes);
+                    }
+                    None => {
+                        // Closure fallback: key components evaluate into the
+                        // arena directly — no `Value::List` wrapper at any
+                        // arity, and single keys are just one component.
+                        batch.for_each_selected(|row| {
+                            let start = partial.keys.len();
+                            partial.keys.extend(keys.iter().map(|k| k(row)));
+                            let hash = hash_key_components(&partial.keys[start..]);
+                            partial.hashes.push(hash);
+                            partial.tags.push(morsel);
+                            partial
+                                .payload
+                                .extend(live_slots.iter().map(|&s| row[s].clone()));
+                        });
+                        metrics.join_fallback_rows += batch.active() as u64;
+                    }
+                }
             }
             _ => unreachable!("sink state does not match sink spec"),
         }
@@ -655,25 +780,53 @@ impl SinkSpec {
                 tagged.sort_by_key(|(morsel, _)| *morsel);
                 SinkResult::Rows(tagged.into_iter().map(|(_, row)| row).collect())
             }
-            SinkSpec::Entries { .. } => {
-                let mut tagged: Vec<(u64, (Value, Binding))> = Vec::new();
-                for partial in partials {
-                    if let SinkState::Entries(entries) = partial {
-                        tagged.extend(entries);
-                    }
+            SinkSpec::Entries {
+                keys, live_slots, ..
+            } => {
+                let arity = keys.len();
+                let mut parts: Vec<EntriesPartial> = partials
+                    .into_iter()
+                    .filter_map(|p| match p {
+                        SinkState::Entries(e) => Some(e),
+                        _ => None,
+                    })
+                    .collect();
+                // Serial fast path: one partial's arenas *are* the store.
+                if parts.len() == 1 {
+                    let p = parts.pop().unwrap();
+                    return SinkResult::Entries(BuildStore::from_parts(
+                        arity,
+                        live_slots.clone(),
+                        p.hashes,
+                        p.keys,
+                        p.payload,
+                    ));
                 }
-                tagged.sort_by_key(|(morsel, _)| *morsel);
-                SinkResult::Entries(tagged.into_iter().map(|(_, entry)| entry).collect())
+                // Restore scan order across workers: per-partial tags
+                // ascend and every morsel belongs to one worker, so a k-way
+                // merge by (tag, worker index) reproduces the serial entry
+                // order exactly. Values are moved, not cloned.
+                let live_width = live_slots.len();
+                let total: usize = parts.iter().map(|p| p.hashes.len()).sum();
+                let mut store = BuildStore::new(arity, live_slots.clone());
+                let mut cursors = vec![0usize; parts.len()];
+                for _ in 0..total {
+                    let w = (0..parts.len())
+                        .filter(|&w| cursors[w] < parts[w].tags.len())
+                        .min_by_key(|&w| (parts[w].tags[cursors[w]], w))
+                        .expect("entry count mismatch in k-way merge");
+                    let i = cursors[w];
+                    cursors[w] += 1;
+                    let p = &mut parts[w];
+                    store.push_taken(
+                        p.hashes[i],
+                        &mut p.keys[i * arity..(i + 1) * arity],
+                        &mut p.payload[i * live_width..(i + 1) * live_width],
+                    );
+                }
+                SinkResult::Entries(store)
             }
         }
-    }
-}
-
-pub(crate) fn join_key(keys: &[CompiledExpr], binding: &[Value]) -> Value {
-    match keys.len() {
-        0 => Value::Int(0),
-        1 => keys[0](binding),
-        _ => Value::List(keys.iter().map(|k| k(binding)).collect()),
     }
 }
 
@@ -786,30 +939,117 @@ fn process_stages(
             Stage::Probe {
                 table,
                 probe_keys,
+                key_slots,
                 residual,
                 build_width,
                 width,
+                probe_live,
                 matched,
             } => {
-                spare.reset_empty(*width);
-                let mut probes = 0u64;
-                cur.for_each_selected(|row| {
-                    let key = join_key(probe_keys, row);
-                    probes += 1;
-                    table.probe_indexed(&key, |entry_id, build_binding| {
-                        spare.push_concat(build_binding, *build_width, row);
-                        if let Some(pred) = residual {
-                            if !pred(spare.last_row()) {
-                                spare.pop_row();
-                                return;
+                let store = table.store();
+                let mut pairs = scratch.take_pairs();
+                match key_slots {
+                    Some(slots) => {
+                        // Kernel probe: batch-hash the whole selection from
+                        // the typed columns, then walk the clustered hash
+                        // runs with lane-vs-stored-key compares. No `Value`
+                        // is materialized per probe row.
+                        let typed_keys = kernels::TypedKeys::bind(slots, cur);
+                        let mut hashes = scratch.take_u64s();
+                        typed_keys.hash_rows(cur.sel(), &mut hashes);
+                        // Single numeric keys take the specialized loop;
+                        // everything else runs the generic componentwise
+                        // compares. Batch hashing buys both a fixed probe
+                        // lookahead: pull each row's clustered sub-run
+                        // toward cache while earlier rows are confirmed.
+                        if !typed_keys.probe_rows_numeric(table, cur.sel(), &hashes, |entry, r| {
+                            pairs.push((entry, r))
+                        }) {
+                            for (i, (&r, &hash)) in cur.sel().iter().zip(&hashes).enumerate() {
+                                if let Some(&ahead) =
+                                    hashes.get(i + crate::exec::radix::PROBE_LOOKAHEAD)
+                                {
+                                    table.prefetch(ahead);
+                                }
+                                table.probe_hashed(
+                                    hash,
+                                    |entry| typed_keys.eq_store(r as usize, store, entry),
+                                    |entry| pairs.push((entry, r)),
+                                );
                             }
                         }
-                        if let Some(flags) = matched {
-                            flags[entry_id as usize].store(true, Ordering::Relaxed);
+                        metrics.join_kernel_rows += cur.active() as u64;
+                        scratch.put_u64s(hashes);
+                    }
+                    None => {
+                        // Closure fallback: key components evaluate into a
+                        // recycled scratch buffer (no `Value::List` wrapper
+                        // at any arity), hash/compare componentwise.
+                        let mut key_buf = scratch.take_values();
+                        for &r in cur.sel() {
+                            let row = cur.row(r);
+                            key_buf.clear();
+                            key_buf.extend(probe_keys.iter().map(|k| k(row)));
+                            table.probe_hashed(
+                                hash_key_components(&key_buf),
+                                |entry| key_components_eq(store.key_components(entry), &key_buf),
+                                |entry| pairs.push((entry, r)),
+                            );
                         }
-                    });
-                });
-                metrics.hash_probes += probes;
+                        metrics.join_fallback_rows += cur.active() as u64;
+                        scratch.put_values(key_buf);
+                    }
+                }
+                metrics.hash_probes += cur.active() as u64;
+
+                // Gather the matched rows columnwise into the output batch:
+                // only live slots are written; dead slots are never read
+                // (liveness covers every downstream reader, and a collect
+                // sink marks all slots live), so the reset skips
+                // null-filling them.
+                spare.reset_sparse(*width, pairs.len());
+                for (comp, &slot) in store.live_slots().iter().enumerate() {
+                    for (out_row, &(entry, _)) in pairs.iter().enumerate() {
+                        // Matched entries scatter over the payload arena;
+                        // pull upcoming entries in while copying (an entry's
+                        // payload values are contiguous, so the first
+                        // component's pass covers them all).
+                        if comp == 0 {
+                            if let Some(&(ahead, _)) = pairs.get(out_row + 8) {
+                                store.prefetch_payload(ahead);
+                            }
+                        }
+                        spare.put(out_row, slot, store.payload(entry)[comp].clone());
+                    }
+                }
+                for &slot in probe_live {
+                    let out_slot = build_width + slot;
+                    // Typed slots gather straight from the column — matched
+                    // rows are the only ones that ever become a `Value`
+                    // (hydration is skipped ahead of a kernel-keyed probe).
+                    match cur.typed_col(slot) {
+                        Some(col) => {
+                            for (out_row, &(_, r)) in pairs.iter().enumerate() {
+                                spare.put(out_row, out_slot, col.value_at(r as usize));
+                            }
+                        }
+                        None => {
+                            for (out_row, &(_, r)) in pairs.iter().enumerate() {
+                                spare.put(out_row, out_slot, cur.row(r)[slot].clone());
+                            }
+                        }
+                    }
+                }
+                if let Some(pred) = residual {
+                    spare.retain(|row| pred(row));
+                }
+                if let Some(flags) = matched {
+                    for &out_row in spare.sel() {
+                        let (entry, _) = pairs[out_row as usize];
+                        flags[entry as usize].store(true, Ordering::Relaxed);
+                    }
+                }
+                scratch.put_pairs(pairs);
                 std::mem::swap(cur, spare);
             }
         }
@@ -901,13 +1141,19 @@ fn execute_pipeline(
             ..
         } = stage
         {
+            let store = table.store();
             let mut tail = BindingBatch::new();
             tail.reset_empty(*width);
-            table.for_each_entry(|entry_id, _, binding| {
-                if !flags[entry_id as usize].load(Ordering::Relaxed) {
-                    tail.push_row(binding);
+            for entry in 0..table.len() as u32 {
+                if !flags[entry as usize].load(Ordering::Relaxed) {
+                    // Null row, then the stored live slots — exactly the
+                    // shape of a probe output row with a null probe side.
+                    tail.push_row(&[]);
+                    for (comp, &slot) in store.live_slots().iter().enumerate() {
+                        tail.set_last(slot, store.payload(entry)[comp].clone());
+                    }
                 }
-            });
+            }
             if !tail.is_empty() {
                 let mut spare = BindingBatch::new();
                 let mut state = sink.new_state();
@@ -958,7 +1204,7 @@ pub(crate) fn run_reduce(
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Accumulator>> {
     let mut pipeline = prepare(producer, threads, metrics)?;
-    insert_hydration(&mut pipeline);
+    insert_hydration(&mut pipeline, false);
     match execute_pipeline(
         &pipeline,
         &SinkSpec::Reduce {
@@ -987,7 +1233,7 @@ pub(crate) fn run_nest(
     metrics: &mut ExecutionMetrics,
 ) -> Result<RadixGroupTable> {
     let mut pipeline = prepare(producer, threads, metrics)?;
-    insert_hydration(&mut pipeline);
+    insert_hydration(&mut pipeline, false);
     let spec = SinkSpec::Nest {
         keys,
         monoids,
@@ -1008,27 +1254,33 @@ pub(crate) fn run_collect(
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Binding>> {
     let mut pipeline = prepare(producer, threads, metrics)?;
-    insert_hydration(&mut pipeline);
+    insert_hydration(&mut pipeline, false);
     match execute_pipeline(&pipeline, &SinkSpec::Collect, threads, metrics)? {
         SinkResult::Rows(rows) => Ok(rows),
         _ => unreachable!(),
     }
 }
 
-/// Runs `producer` materializing `(join key, binding)` entries (build sides).
+/// Runs `producer` materializing the columnar build store of a join: key
+/// components (typed-key ingest when `key_slots` is set) plus the live
+/// payload slots, flattened per entry.
 fn run_entries(
     producer: Producer,
-    keys: &[CompiledExpr],
+    keys: Vec<CompiledExpr>,
+    key_slots: Option<Vec<usize>>,
+    live_slots: Vec<usize>,
     threads: usize,
     metrics: &mut ExecutionMetrics,
-) -> Result<Vec<(Value, Binding)>> {
+) -> Result<BuildStore> {
     let mut pipeline = prepare(producer, threads, metrics)?;
-    insert_hydration(&mut pipeline);
+    insert_hydration(&mut pipeline, key_slots.is_some());
     let spec = SinkSpec::Entries {
-        keys: keys.to_vec(),
+        keys,
+        key_slots,
+        live_slots,
     };
     match execute_pipeline(&pipeline, &spec, threads, metrics)? {
-        SinkResult::Entries(entries) => Ok(entries),
+        SinkResult::Entries(store) => Ok(store),
         _ => unreachable!(),
     }
 }

@@ -11,8 +11,6 @@
 use proteus_algebra::monoid::Accumulator;
 use proteus_algebra::{Monoid, Value};
 
-use crate::exec::Binding;
-
 /// Number of radix partitions (64 = 6 radix bits), chosen so each partition's
 /// working set stays cache-resident for the scaled-down datasets.
 pub const RADIX_PARTITIONS: usize = 64;
@@ -74,17 +72,250 @@ pub fn hash_key_components(values: &[Value]) -> u64 {
     h.finish()
 }
 
-/// One clustered build entry: `(key hash, key, binding, entry id)`. The
-/// entry id is the position in the original build input, used by left-outer
-/// joins to track matches.
-type BuildEntry = (u64, Value, Binding, u32);
+/// Componentwise [`Value::value_eq`] between a stored key and a probe key
+/// (equal-arity slices; the closure-fallback probe compare).
+pub fn key_components_eq(stored: &[Value], probe: &[Value]) -> bool {
+    stored.len() == probe.len() && stored.iter().zip(probe).all(|(a, b)| a.value_eq(b))
+}
 
-/// A materialized, radix-partitioned hash table over the build side of a join.
+/// The columnar build side of a radix hash join.
+///
+/// Entries live in flattened arenas indexed by entry id — `arity` key
+/// components and `live_slots.len()` payload values per entry, plus the
+/// precomputed key hash — so materializing a build row costs **zero**
+/// per-entry heap allocations (no `(Value, Vec<Value>)` pair per tuple).
+/// The payload keeps only the *live* subset of the build binding: the slots
+/// something downstream of the join actually reads.
+pub struct BuildStore {
+    arity: usize,
+    /// Build-binding slot index of each stored payload column (ascending).
+    live_slots: Vec<usize>,
+    /// Per entry: the key hash ([`hash_key_components`] of the components).
+    hashes: Vec<u64>,
+    /// Flattened key components: entry `e` at `e*arity .. (e+1)*arity`.
+    keys: Vec<Value>,
+    /// Flattened live payload: entry `e` at `e*lw .. (e+1)*lw`.
+    payload: Vec<Value>,
+    /// Per key component: the `f64` total-order view of every entry, built
+    /// when all non-null components of the column are numeric — the typed
+    /// fast path of the lane-vs-stored-key probe compares.
+    num_views: Vec<Option<Vec<f64>>>,
+}
+
+impl BuildStore {
+    /// Empty store for keys of `arity` components storing the given build
+    /// slots.
+    pub fn new(arity: usize, live_slots: Vec<usize>) -> BuildStore {
+        BuildStore {
+            arity,
+            live_slots,
+            hashes: Vec::new(),
+            keys: Vec::new(),
+            payload: Vec::new(),
+            num_views: Vec::new(),
+        }
+    }
+
+    /// Wraps already-flattened arenas (the serial single-partial fast path:
+    /// the sink's buffers become the store without copying).
+    pub fn from_parts(
+        arity: usize,
+        live_slots: Vec<usize>,
+        hashes: Vec<u64>,
+        keys: Vec<Value>,
+        payload: Vec<Value>,
+    ) -> BuildStore {
+        debug_assert_eq!(keys.len(), hashes.len() * arity);
+        debug_assert_eq!(payload.len(), hashes.len() * live_slots.len());
+        BuildStore {
+            arity,
+            live_slots,
+            hashes,
+            keys,
+            payload,
+            num_views: Vec::new(),
+        }
+    }
+
+    /// Appends one entry, hashing and cloning its components (test/bench
+    /// convenience; the pipeline uses [`BuildStore::push_taken`]).
+    pub fn push_entry(&mut self, key: &[Value], payload: &[Value]) {
+        debug_assert_eq!(key.len(), self.arity);
+        debug_assert_eq!(payload.len(), self.live_slots.len());
+        self.hashes.push(hash_key_components(key));
+        self.keys.extend(key.iter().cloned());
+        self.payload.extend(payload.iter().cloned());
+    }
+
+    /// Appends one entry with a precomputed hash, *moving* the values out of
+    /// the caller's buffers (the multi-worker ordered merge).
+    pub fn push_taken(&mut self, hash: u64, key: &mut [Value], payload: &mut [Value]) {
+        debug_assert_eq!(key.len(), self.arity);
+        debug_assert_eq!(payload.len(), self.live_slots.len());
+        self.hashes.push(hash);
+        self.keys
+            .extend(key.iter_mut().map(|v| std::mem::replace(v, Value::Null)));
+        self.payload.extend(
+            payload
+                .iter_mut()
+                .map(|v| std::mem::replace(v, Value::Null)),
+        );
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.hashes.len()
+    }
+
+    /// True when no entries were materialized.
+    pub fn is_empty(&self) -> bool {
+        self.hashes.is_empty()
+    }
+
+    /// Key component arity.
+    pub fn arity(&self) -> usize {
+        self.arity
+    }
+
+    /// The stored build-binding slots, in payload-column order.
+    pub fn live_slots(&self) -> &[usize] {
+        &self.live_slots
+    }
+
+    /// The key components of one entry.
+    #[inline]
+    pub fn key_components(&self, entry: u32) -> &[Value] {
+        let start = entry as usize * self.arity;
+        &self.keys[start..start + self.arity]
+    }
+
+    /// One key component of one entry.
+    #[inline]
+    pub fn key_component(&self, entry: u32, comp: usize) -> &Value {
+        &self.keys[entry as usize * self.arity + comp]
+    }
+
+    /// The numeric fast view of key component `comp`, when every non-null
+    /// stored component is numeric (indexed by entry id; lanes at null
+    /// entries are placeholders, guarded by the component's null check).
+    #[inline]
+    pub fn num_view(&self, comp: usize) -> Option<&[f64]> {
+        self.num_views.get(comp)?.as_deref()
+    }
+
+    /// The live payload values of one entry (parallel to
+    /// [`BuildStore::live_slots`]).
+    #[inline]
+    pub fn payload(&self, entry: u32) -> &[Value] {
+        let lw = self.live_slots.len();
+        let start = entry as usize * lw;
+        &self.payload[start..start + lw]
+    }
+
+    /// Hints the CPU to pull one entry's payload values toward cache (the
+    /// probe gather walks matched entries in probe order — a random scatter
+    /// over the arena). No-op outside x86-64.
+    #[inline]
+    pub fn prefetch_payload(&self, entry: u32) {
+        let start = entry as usize * self.live_slots.len();
+        if let Some(first) = self.payload.get(start) {
+            prefetch_ptr(first);
+        }
+    }
+
+    /// Builds the per-component numeric views ("typed where eligible"):
+    /// a column qualifies when every non-null component is numeric, so the
+    /// probe compare reduces to one `f64` total-order comparison per
+    /// candidate instead of a `Value` match.
+    fn build_num_views(&mut self) {
+        self.num_views = (0..self.arity)
+            .map(|comp| {
+                let eligible = (0..self.len() as u32)
+                    .map(|e| self.key_component(e, comp))
+                    .all(|v| v.is_null() || v.is_numeric());
+                eligible.then(|| {
+                    (0..self.len() as u32)
+                        .map(|e| self.key_component(e, comp).as_float().unwrap_or(f64::NAN))
+                        .collect()
+                })
+            })
+            .collect();
+    }
+
+    /// Approximate bytes materialized by the build side (for metrics).
+    pub fn materialized_bytes(&self) -> u64 {
+        // Hash + id pair, key components, live payload values (Value ≈ 16 B).
+        self.len() as u64 * (16 + (self.arity + self.live_slots.len()) as u64 * 16)
+    }
+}
+
+/// A radix-partitioned hash table over a columnar [`BuildStore`]: each
+/// partition holds `(key hash, entry id)` pairs clustered (sorted) by hash,
+/// ties in entry-id (build scan) order. The heavy entry data never moves
+/// during the build — only the 12-byte pairs are scattered and sorted.
 pub struct RadixHashTable {
-    /// Per partition: the clustered entries.
-    partitions: Vec<Vec<BuildEntry>>,
-    /// Number of entries inserted.
-    len: usize,
+    store: BuildStore,
+    partitions: Vec<Vec<HashPair>>,
+    /// Per partition: 257 offsets bucketing the clustered run by the top
+    /// byte of the hash (entries are sorted by full hash, so the top byte
+    /// is monotonic within a partition). Probes jump straight to a ~`n/256`
+    /// sub-run instead of binary-searching the whole partition.
+    dirs: Vec<Vec<u32>>,
+}
+
+/// Join-table fan-out: 256 partitions (8 radix bits) over the low hash
+/// bits, finer than the group table's [`RADIX_PARTITIONS`] because the
+/// probe side only reads — each probe lands in a ~`n/256` partition whose
+/// top-byte directory then narrows the search to a handful of entries.
+const JOIN_RADIX_PARTITIONS: usize = 256;
+
+fn join_partition_of(hash: u64) -> usize {
+    (hash as usize) & (JOIN_RADIX_PARTITIONS - 1)
+}
+
+/// One clustered `(key hash, entry id)` pair of a join partition.
+type HashPair = (u64, u32);
+
+/// How many probe rows the batched join loops run ahead of themselves when
+/// issuing cache prefetches (sub-runs and payload entries). Shared by the
+/// generic and single-numeric probe loops so the two tiers stay in
+/// lockstep.
+pub const PROBE_LOOKAHEAD: usize = 16;
+
+/// Hints the CPU to pull the cache line holding `value` toward L1. No-op
+/// outside x86-64.
+#[inline]
+fn prefetch_ptr<T>(value: &T) {
+    #[cfg(target_arch = "x86_64")]
+    // SAFETY: `value` is a live reference; prefetching any valid address
+    // has no observable effect beyond the cache.
+    unsafe {
+        use std::arch::x86_64::{_mm_prefetch, _MM_HINT_T0};
+        _mm_prefetch::<_MM_HINT_T0>(value as *const T as *const i8);
+    }
+    #[cfg(not(target_arch = "x86_64"))]
+    let _ = value;
+}
+
+/// The top-byte directories of clustered partitions.
+fn build_dirs(partitions: &[Vec<HashPair>]) -> Vec<Vec<u32>> {
+    partitions
+        .iter()
+        .map(|partition| {
+            let mut counts = [0u32; 256];
+            for &(hash, _) in partition {
+                counts[(hash >> 56) as usize] += 1;
+            }
+            let mut dir = Vec::with_capacity(257);
+            let mut acc = 0u32;
+            dir.push(0);
+            for count in counts {
+                acc += count;
+                dir.push(acc);
+            }
+            dir
+        })
+        .collect()
 }
 
 /// Entries below this size build serially: the scatter fits in cache and
@@ -92,63 +323,53 @@ pub struct RadixHashTable {
 const PARALLEL_BUILD_THRESHOLD: usize = 4096;
 
 impl RadixHashTable {
-    /// Builds the table by partitioning (clustering) the materialized build
-    /// side on the key hash.
-    pub fn build(entries: Vec<(Value, Binding)>) -> RadixHashTable {
-        let mut partitions: Vec<Vec<BuildEntry>> =
-            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
-        let len = entries.len();
-        for (id, (key, binding)) in entries.into_iter().enumerate() {
-            let hash = key.stable_hash();
-            partitions[partition_of(hash)].push((hash, key, binding, id as u32));
-        }
-        // Cluster each partition by hash so probes touch contiguous runs.
-        for partition in &mut partitions {
-            partition.sort_by_key(|(hash, _, _, _)| *hash);
-        }
-        RadixHashTable { partitions, len }
+    /// Builds the table by partitioning (clustering) the store's entries on
+    /// their key hash.
+    pub fn build(store: BuildStore) -> RadixHashTable {
+        Self::build_parallel(store, 1)
     }
 
-    /// Morsel-parallel build: the partition phase fans out over contiguous
-    /// entry chunks (one per worker) and the cluster phase fans out over the
-    /// radix digits. Thread-chunk partials are concatenated in chunk order
-    /// before the stable per-digit sort, so the result is bit-identical to
-    /// [`RadixHashTable::build`] — probe/match order does not depend on the
-    /// worker count.
-    pub fn build_parallel(entries: Vec<(Value, Binding)>, threads: usize) -> RadixHashTable {
-        let len = entries.len();
+    /// Morsel-parallel build: the partition (scatter) phase fans out over
+    /// contiguous entry-id chunks and the cluster phase over the radix
+    /// digits. Chunk partials are concatenated in chunk order before the
+    /// stable per-digit sort, so the result is bit-identical to the serial
+    /// build — probe/match order does not depend on the worker count.
+    pub fn build_parallel(mut store: BuildStore, threads: usize) -> RadixHashTable {
+        store.build_num_views();
+        let len = store.len();
         if threads <= 1 || len < PARALLEL_BUILD_THRESHOLD {
-            return Self::build(entries);
+            let mut partitions: Vec<Vec<HashPair>> =
+                (0..JOIN_RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+            for (id, &hash) in store.hashes.iter().enumerate() {
+                partitions[join_partition_of(hash)].push((hash, id as u32));
+            }
+            for partition in &mut partitions {
+                // Stable: ties keep entry-id (insertion) order.
+                partition.sort_by_key(|(hash, _)| *hash);
+            }
+            let dirs = build_dirs(&partitions);
+            return RadixHashTable {
+                store,
+                partitions,
+                dirs,
+            };
         }
         let threads = threads.min(len);
 
-        // Phase 1: partition each contiguous chunk into per-thread local
-        // radix buckets (entry ids stay global).
+        // Phase 1: scatter each contiguous id chunk into per-thread local
+        // radix buckets (ids stay global; only (hash, id) pairs move).
         let chunk_size = len.div_ceil(threads);
-        let mut chunks: Vec<(usize, Vec<(Value, Binding)>)> = Vec::with_capacity(threads);
-        let mut rest = entries;
-        let mut base = 0usize;
-        while !rest.is_empty() {
-            let take = chunk_size.min(rest.len());
-            let tail = rest.split_off(take);
-            chunks.push((base, std::mem::replace(&mut rest, tail)));
-            base += take;
-        }
-        let locals: Vec<Vec<Vec<BuildEntry>>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = chunks
-                .into_iter()
-                .map(|(base, chunk)| {
+        let hashes = &store.hashes;
+        let locals: Vec<Vec<Vec<HashPair>>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
                     scope.spawn(move || {
-                        let mut local: Vec<Vec<BuildEntry>> =
-                            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
-                        for (offset, (key, binding)) in chunk.into_iter().enumerate() {
-                            let hash = key.stable_hash();
-                            local[partition_of(hash)].push((
-                                hash,
-                                key,
-                                binding,
-                                (base + offset) as u32,
-                            ));
+                        let base = (t * chunk_size).min(len);
+                        let end = (base + chunk_size).min(len);
+                        let mut local: Vec<Vec<HashPair>> =
+                            (0..JOIN_RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+                        for (id, &hash) in hashes[base..end].iter().enumerate() {
+                            local[join_partition_of(hash)].push((hash, (base + id) as u32));
                         }
                         local
                     })
@@ -160,11 +381,10 @@ impl RadixHashTable {
                 .collect()
         });
 
-        // Regroup the chunk-local buckets by radix digit (moves Vec handles
-        // only), preserving chunk order so concatenation matches the serial
-        // insertion order.
-        let mut by_digit: Vec<Vec<Vec<BuildEntry>>> =
-            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+        // Regroup the chunk-local buckets by radix digit, preserving chunk
+        // order so concatenation matches the serial insertion order.
+        let mut by_digit: Vec<Vec<Vec<HashPair>>> =
+            (0..JOIN_RADIX_PARTITIONS).map(|_| Vec::new()).collect();
         for thread_local in locals {
             for (digit, bucket) in thread_local.into_iter().enumerate() {
                 by_digit[digit].push(bucket);
@@ -172,12 +392,12 @@ impl RadixHashTable {
         }
 
         // Phase 2: cluster per radix digit, digits striped across workers.
-        let mut jobs: Vec<Vec<(usize, Vec<Vec<BuildEntry>>)>> =
+        let mut jobs: Vec<Vec<(usize, Vec<Vec<HashPair>>)>> =
             (0..threads).map(|_| Vec::new()).collect();
         for (digit, buckets) in by_digit.into_iter().enumerate() {
             jobs[digit % threads].push((digit, buckets));
         }
-        let clustered: Vec<Vec<(usize, Vec<BuildEntry>)>> = std::thread::scope(|scope| {
+        let clustered: Vec<Vec<(usize, Vec<HashPair>)>> = std::thread::scope(|scope| {
             let handles: Vec<_> = jobs
                 .into_iter()
                 .map(|job| {
@@ -191,7 +411,7 @@ impl RadixHashTable {
                                 }
                                 // Stable sort: ties keep insertion order,
                                 // exactly like the serial build.
-                                merged.sort_by_key(|(hash, _, _, _)| *hash);
+                                merged.sort_by_key(|(hash, _)| *hash);
                                 (digit, merged)
                             })
                             .collect()
@@ -204,43 +424,65 @@ impl RadixHashTable {
                 .collect()
         });
 
-        let mut partitions: Vec<Vec<BuildEntry>> =
-            (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect();
+        let mut partitions: Vec<Vec<HashPair>> =
+            (0..JOIN_RADIX_PARTITIONS).map(|_| Vec::new()).collect();
         for job in clustered {
             for (digit, merged) in job {
                 partitions[digit] = merged;
             }
         }
-        RadixHashTable { partitions, len }
+        let dirs = build_dirs(&partitions);
+        RadixHashTable {
+            store,
+            partitions,
+            dirs,
+        }
+    }
+
+    /// The columnar build store behind the table.
+    pub fn store(&self) -> &BuildStore {
+        &self.store
     }
 
     /// Number of build-side entries.
     pub fn len(&self) -> usize {
-        self.len
+        self.store.len()
     }
 
     /// True when no entries were materialized.
     pub fn is_empty(&self) -> bool {
-        self.len == 0
+        self.store.is_empty()
     }
 
-    /// Probes with a key, invoking `on_match` for every build binding whose
-    /// key equals the probe key. Returns the number of matches.
-    pub fn probe(&self, key: &Value, mut on_match: impl FnMut(&Binding)) -> usize {
-        self.probe_indexed(key, |_, binding| on_match(binding))
-    }
-
-    /// Like [`RadixHashTable::probe`] but also hands the matched entry's
-    /// build-input position to the callback (left-outer match tracking).
-    pub fn probe_indexed(&self, key: &Value, mut on_match: impl FnMut(u32, &Binding)) -> usize {
-        let hash = key.stable_hash();
-        let partition = &self.partitions[partition_of(hash)];
-        // Binary search to the first entry with this hash, then walk the run.
-        let mut idx = partition.partition_point(|(h, _, _, _)| *h < hash);
+    /// Probes with a precomputed key hash: walks the clustered hash run,
+    /// calling `key_eq(entry id)` to confirm candidates and `on_match` for
+    /// every confirmed entry (in entry-id order within the run). Returns the
+    /// number of matches. The caller supplies the compare — typed probe
+    /// lanes and hydrated `Value` keys share this entry point.
+    pub fn probe_hashed(
+        &self,
+        hash: u64,
+        mut key_eq: impl FnMut(u32) -> bool,
+        mut on_match: impl FnMut(u32),
+    ) -> usize {
+        let digit = join_partition_of(hash);
+        let partition = &self.partitions[digit];
+        // The top-byte directory narrows the search to a ~n/256 sub-run.
+        let dir = &self.dirs[digit];
+        let byte = (hash >> 56) as usize;
+        let (lo, hi) = (dir[byte] as usize, dir[byte + 1] as usize);
+        // Sub-runs average a handful of entries (8 partition bits × 8
+        // directory bits), so a linear scan to the hash run beats a binary
+        // search's unpredictable branches.
+        let mut idx = lo;
+        while idx < hi && partition[idx].0 < hash {
+            idx += 1;
+        }
         let mut matches = 0;
-        while idx < partition.len() && partition[idx].0 == hash {
-            if partition[idx].1.value_eq(key) {
-                on_match(partition[idx].3, &partition[idx].2);
+        while idx < hi && partition[idx].0 == hash {
+            let entry = partition[idx].1;
+            if key_eq(entry) {
+                on_match(entry);
                 matches += 1;
             }
             idx += 1;
@@ -248,25 +490,43 @@ impl RadixHashTable {
         matches
     }
 
-    /// Visits every entry as `(entry id, key, binding)` (left-outer sweep).
-    pub fn for_each_entry(&self, mut f: impl FnMut(u32, &Value, &Binding)) {
-        for partition in &self.partitions {
-            for (_, key, binding, id) in partition {
-                f(*id, key, binding);
+    /// Hints the CPU to pull the clustered sub-run a future probe of `hash`
+    /// will search into cache. The kernel probe path hashes whole morsels
+    /// up front, so it can issue these a fixed lookahead ahead of the probe
+    /// loop — hiding the table's memory latency behind useful work (the
+    /// per-row closure fallback has no precomputed hashes to look ahead
+    /// with). No-op outside x86-64.
+    #[inline]
+    pub fn prefetch(&self, hash: u64) {
+        let digit = join_partition_of(hash);
+        let dir = &self.dirs[digit];
+        let byte = (hash >> 56) as usize;
+        let (lo, hi) = (dir[byte] as usize, dir[byte + 1] as usize);
+        let partition = &self.partitions[digit];
+        // Pull the sub-run's first and middle lines: entries are 16 bytes
+        // (4 per cache line) and runs start unaligned, so a several-entry
+        // scan regularly straddles two lines — fetching both measurably
+        // beats fetching just the front.
+        for probe in [lo, lo + (hi - lo) / 2] {
+            if let Some(entry) = partition.get(probe) {
+                prefetch_ptr(entry);
             }
         }
     }
 
+    /// Probes with hydrated key components (the closure-fallback path and
+    /// tests): hashes in place, compares componentwise.
+    pub fn probe_components(&self, key: &[Value], on_match: impl FnMut(u32)) -> usize {
+        self.probe_hashed(
+            hash_key_components(key),
+            |entry| key_components_eq(self.store.key_components(entry), key),
+            on_match,
+        )
+    }
+
     /// Approximate bytes materialized by the build side (for metrics).
     pub fn materialized_bytes(&self) -> u64 {
-        self.partitions
-            .iter()
-            .map(|p| {
-                p.iter()
-                    .map(|(_, _, b, _)| 16 + b.len() as u64 * 16)
-                    .sum::<u64>()
-            })
-            .sum()
+        self.store.materialized_bytes()
     }
 }
 
@@ -403,96 +663,138 @@ impl RadixGroupTable {
 mod tests {
     use super::*;
 
+    fn store_of(entries: &[(Value, Value)]) -> BuildStore {
+        let mut store = BuildStore::new(1, vec![0]);
+        for (key, payload) in entries {
+            store.push_entry(std::slice::from_ref(key), std::slice::from_ref(payload));
+        }
+        store
+    }
+
     #[test]
     fn join_table_finds_all_matches() {
-        let build: Vec<(Value, Binding)> = (0..1000)
-            .map(|i| (Value::Int(i % 100), vec![Value::Int(i)]))
+        let entries: Vec<(Value, Value)> = (0..1000)
+            .map(|i| (Value::Int(i % 100), Value::Int(i)))
             .collect();
-        let table = RadixHashTable::build(build);
+        let table = RadixHashTable::build(store_of(&entries));
         assert_eq!(table.len(), 1000);
         let mut matches = Vec::new();
-        let count = table.probe(&Value::Int(7), |b| matches.push(b[0].clone()));
+        let count = table.probe_components(&[Value::Int(7)], |e| {
+            matches.push(table.store().payload(e)[0].clone())
+        });
         assert_eq!(count, 10);
         assert!(matches.iter().all(|v| v.as_int().unwrap() % 100 == 7));
-        assert_eq!(table.probe(&Value::Int(500), |_| {}), 0);
+        assert_eq!(table.probe_components(&[Value::Int(500)], |_| {}), 0);
     }
 
     #[test]
     fn join_table_handles_int_float_key_equivalence() {
-        let table = RadixHashTable::build(vec![(Value::Int(3), vec![Value::Int(1)])]);
-        assert_eq!(table.probe(&Value::Float(3.0), |_| {}), 1);
+        let table = RadixHashTable::build(store_of(&[(Value::Int(3), Value::Int(1))]));
+        assert_eq!(table.probe_components(&[Value::Float(3.0)], |_| {}), 1);
+        // The numeric fast view is built for the all-int key column.
+        assert!(table.store().num_view(0).is_some());
     }
 
     #[test]
     fn join_table_string_keys() {
-        let table = RadixHashTable::build(vec![
-            (Value::str("a"), vec![Value::Int(1)]),
-            (Value::str("b"), vec![Value::Int(2)]),
-            (Value::str("a"), vec![Value::Int(3)]),
-        ]);
-        assert_eq!(table.probe(&Value::str("a"), |_| {}), 2);
+        let table = RadixHashTable::build(store_of(&[
+            (Value::str("a"), Value::Int(1)),
+            (Value::str("b"), Value::Int(2)),
+            (Value::str("a"), Value::Int(3)),
+        ]));
+        assert_eq!(table.probe_components(&[Value::str("a")], |_| {}), 2);
         assert!(table.materialized_bytes() > 0);
         assert!(!table.is_empty());
+        // Strings have no numeric view; compares go through the components.
+        assert!(table.store().num_view(0).is_none());
     }
 
     #[test]
-    fn probe_indexed_reports_entry_ids() {
-        let table = RadixHashTable::build(vec![
-            (Value::Int(1), vec![Value::Int(10)]),
-            (Value::Int(2), vec![Value::Int(20)]),
-            (Value::Int(1), vec![Value::Int(30)]),
-        ]);
+    fn probe_reports_entry_ids_in_build_order() {
+        let table = RadixHashTable::build(store_of(&[
+            (Value::Int(1), Value::Int(10)),
+            (Value::Int(2), Value::Int(20)),
+            (Value::Int(1), Value::Int(30)),
+        ]));
         let mut ids = Vec::new();
-        table.probe_indexed(&Value::Int(1), |id, _| ids.push(id));
-        ids.sort_unstable();
+        table.probe_components(&[Value::Int(1)], |id| ids.push(id));
+        // Duplicate keys match in entry-id (build scan) order.
         assert_eq!(ids, vec![0, 2]);
-        let mut all = Vec::new();
-        table.for_each_entry(|id, _, _| all.push(id));
-        all.sort_unstable();
-        assert_eq!(all, vec![0, 1, 2]);
+        assert_eq!(table.store().key_components(2), &[Value::Int(1)]);
+    }
+
+    #[test]
+    fn multi_key_store_probes_componentwise() {
+        let mut store = BuildStore::new(2, vec![0, 2]);
+        store.push_entry(
+            &[Value::Int(1), Value::str("x")],
+            &[Value::Int(10), Value::Int(100)],
+        );
+        store.push_entry(
+            &[Value::Int(1), Value::str("y")],
+            &[Value::Int(20), Value::Int(200)],
+        );
+        let table = RadixHashTable::build(store);
+        let mut hits = Vec::new();
+        // Numeric component matches through the float view (Int vs Float).
+        table.probe_components(&[Value::Float(1.0), Value::str("y")], |e| hits.push(e));
+        assert_eq!(hits, vec![1]);
+        assert_eq!(table.store().payload(1), &[Value::Int(20), Value::Int(200)]);
+        assert_eq!(table.store().live_slots(), &[0, 2]);
+        assert_eq!(table.store().arity(), 2);
     }
 
     #[test]
     fn parallel_build_is_identical_to_serial() {
         // Above the parallel threshold, with duplicate keys so hash ties
         // exercise the stable-ordering contract.
-        let entries: Vec<(Value, Binding)> = (0..10_000)
+        let entries: Vec<(Value, Value)> = (0..10_000)
             .map(|i| {
                 let key = match i % 3 {
                     0 => Value::Int(i % 257),
                     1 => Value::str(format!("k{}", i % 101)),
                     _ => Value::Float((i % 53) as f64 / 2.0),
                 };
-                (key, vec![Value::Int(i)])
+                (key, Value::Int(i))
             })
             .collect();
-        let serial = RadixHashTable::build(entries.clone());
+        let serial = RadixHashTable::build(store_of(&entries));
         for threads in [2, 3, 8] {
-            let parallel = RadixHashTable::build_parallel(entries.clone(), threads);
+            let parallel = RadixHashTable::build_parallel(store_of(&entries), threads);
             assert_eq!(parallel.len(), serial.len());
-            let mut serial_entries = Vec::new();
-            serial.for_each_entry(|id, k, b| serial_entries.push((id, k.clone(), b.clone())));
-            let mut parallel_entries = Vec::new();
-            parallel.for_each_entry(|id, k, b| parallel_entries.push((id, k.clone(), b.clone())));
-            // Entry-for-entry identical, including order within partitions.
-            assert_eq!(serial_entries, parallel_entries, "threads={threads}");
+            // Partition-for-partition identical (hash, id) clustering.
+            assert_eq!(serial.partitions, parallel.partitions, "threads={threads}");
             // Probe match order identical too.
             let mut a = Vec::new();
-            serial.probe(&Value::Int(7), |b| a.push(b[0].clone()));
+            serial.probe_components(&[Value::Int(7)], |e| a.push(e));
             let mut b = Vec::new();
-            parallel.probe(&Value::Int(7), |v| b.push(v[0].clone()));
+            parallel.probe_components(&[Value::Int(7)], |e| b.push(e));
             assert_eq!(a, b);
         }
     }
 
     #[test]
     fn small_or_serial_parallel_build_falls_back() {
-        let entries: Vec<(Value, Binding)> = (0..100)
-            .map(|i| (Value::Int(i), vec![Value::Int(i)]))
-            .collect();
-        let table = RadixHashTable::build_parallel(entries, 4);
+        let entries: Vec<(Value, Value)> =
+            (0..100).map(|i| (Value::Int(i), Value::Int(i))).collect();
+        let table = RadixHashTable::build_parallel(store_of(&entries), 4);
         assert_eq!(table.len(), 100);
-        assert_eq!(table.probe(&Value::Int(42), |_| {}), 1);
+        assert_eq!(table.probe_components(&[Value::Int(42)], |_| {}), 1);
+    }
+
+    #[test]
+    fn push_taken_moves_values_and_matches_push_entry() {
+        let mut a = BuildStore::new(1, vec![0]);
+        a.push_entry(&[Value::str("k")], &[Value::Int(1)]);
+        let mut key = vec![Value::str("k")];
+        let mut payload = vec![Value::Int(1)];
+        let mut b = BuildStore::new(1, vec![0]);
+        b.push_taken(hash_key_components(&key), &mut key, &mut payload);
+        assert_eq!(a.hashes, b.hashes);
+        assert_eq!(a.keys, b.keys);
+        assert_eq!(a.payload, b.payload);
+        // The donor buffers were drained to nulls.
+        assert_eq!(key, vec![Value::Null]);
     }
 
     #[test]

@@ -52,6 +52,100 @@ fn schema() -> Schema {
     ])
 }
 
+/// The join build side: keys overlapping (and overshooting) `t.k`'s range,
+/// a float payload, and a string key column for string/multi-key joins.
+fn random_build_rows(rng: &mut StdRng) -> Vec<(i64, f64, String)> {
+    let len = rng.gen_range(1usize..40);
+    (0..len)
+        .map(|_| {
+            let ok = rng.gen_range(-5i64..55);
+            let ov = (rng.gen_range(0.0..50.0) * 2.0f64).round() / 2.0;
+            let words = ["", "fox", "quick fox", "lazy dog", "zebra", "nope"];
+            let oc = words[rng.gen_range(0usize..words.len())].to_string();
+            (ok, ov, oc)
+        })
+        .collect()
+}
+
+fn build_to_records(rows: &[(i64, f64, String)]) -> Vec<Value> {
+    rows.iter()
+        .map(|(ok, ov, oc)| {
+            Value::record(vec![
+                ("ok", Value::Int(*ok)),
+                ("ov", Value::Float(*ov)),
+                ("oc", Value::Str(oc.clone())),
+            ])
+        })
+        .collect()
+}
+
+fn build_schema() -> Schema {
+    Schema::from_pairs(vec![
+        ("ok", DataType::Int),
+        ("ov", DataType::Float),
+        ("oc", DataType::String),
+    ])
+}
+
+/// Join shapes over build side `o` (the plan's left input) and probe side
+/// `t`: inner and left-outer kinds, typed single/multi/string keys, residual
+/// conjuncts, aggregating and collecting sinks.
+fn join_plans_for(pred: Expr) -> Vec<LogicalPlan> {
+    let t = || LogicalPlan::scan("t", "t", Schema::empty());
+    let o = || LogicalPlan::scan("o", "o", Schema::empty());
+    let on = || Expr::path("o.ok").eq(Expr::path("t.k"));
+    let count =
+        |plan: LogicalPlan| plan.reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
+    vec![
+        // Inner join under a probe-side selection → count (nothing is live:
+        // the fully-kernel path materializes no Value at all).
+        count(o().join(t().select(pred.clone()), on(), JoinKind::Inner)),
+        // Aggregates reading live columns from both sides.
+        o().join(t(), on(), JoinKind::Inner).reduce(vec![
+            ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+            ReduceSpec::new(Monoid::Max, Expr::path("o.ov"), "maxv"),
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+        ]),
+        // Equi-keys plus a non-equi residual conjunct.
+        count(o().join(
+            t(),
+            on().and(Expr::path("o.ov").lt(Expr::path("t.q"))),
+            JoinKind::Inner,
+        )),
+        // Left outer: unmatched build rows pad the probe side with nulls.
+        o().join(t().select(pred.clone()), on(), JoinKind::LeftOuter)
+            .reduce(vec![
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+            ]),
+        // Group-by over the join output.
+        o().join(t(), on(), JoinKind::Inner).nest(
+            vec![Expr::path("t.k")],
+            vec!["key".into()],
+            vec![
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("o.ov"), "total"),
+            ],
+        ),
+        // Multi-key equi-join (int + string components).
+        count(o().join(
+            t(),
+            on().and(Expr::path("o.oc").eq(Expr::path("t.c"))),
+            JoinKind::Inner,
+        )),
+        // String-key join.
+        count(o().join(
+            t(),
+            Expr::path("o.oc").eq(Expr::path("t.c")),
+            JoinKind::Inner,
+        )),
+        // Collect the joined rows (row order must match exactly).
+        o().join(t().select(pred.clone()), on(), JoinKind::Inner),
+        // Left-outer collect (null-padded tails included).
+        o().join(t().select(pred), on(), JoinKind::LeftOuter),
+    ]
+}
+
 /// The fig05–fig12 selection shapes: threshold selections (fig07/fig08),
 /// multi-predicate conjunctions, computed predicates (fig05-style
 /// expressions), string predicates, and group-bys under a selection
@@ -178,6 +272,59 @@ fn reference(rows: &[Value], plan: &LogicalPlan) -> Vec<Value> {
     let mut catalog = proteus::algebra::interp::MemoryCatalog::new();
     catalog.register("t", rows.to_vec());
     proteus::algebra::interp::execute(plan, &catalog).unwrap()
+}
+
+fn join_reference(probe: &[Value], build: &[Value], plan: &LogicalPlan) -> Vec<Value> {
+    let mut catalog = proteus::algebra::interp::MemoryCatalog::new();
+    catalog.register("t", probe.to_vec());
+    catalog.register("o", build.to_vec());
+    proteus::algebra::interp::execute(plan, &catalog).unwrap()
+}
+
+/// Vectorized vs closure-only engines over a join plan: identical rows,
+/// aggregating plans also checked against the reference interpreter, and
+/// the metrics prove which key tier ran — the closure engine must extract
+/// every key through compiled closures, the vectorized engine must hash and
+/// compare every key straight from the typed columns (every key in
+/// [`join_plans_for`] is a direct path to a typed scan slot).
+fn join_engines_agree(
+    vectorized: &QueryEngine,
+    closures: &QueryEngine,
+    probe_records: &[Value],
+    build_records: &[Value],
+    plan: &LogicalPlan,
+    label: &str,
+) {
+    let plan = proteus::algebra::rewrite::rewrite(plan.clone());
+    let fast = vectorized.execute_plan(plan.clone()).unwrap();
+    let slow = closures.execute_plan(plan.clone()).unwrap();
+    assert_eq!(fast.rows, slow.rows, "{label}: kernel vs closure join rows");
+    if matches!(plan, LogicalPlan::Reduce { .. } | LogicalPlan::Nest { .. }) {
+        let mut got = fast.rows.clone();
+        let mut expected = join_reference(probe_records, build_records, &plan);
+        got.sort_by(|a, b| a.total_cmp(b));
+        expected.sort_by(|a, b| a.total_cmp(b));
+        assert_eq!(got, expected, "{label}: kernel vs interpreter join rows");
+    }
+    assert_eq!(
+        slow.metrics.join_kernel_rows, 0,
+        "{label}: closure engine must not engage join kernels"
+    );
+    assert!(
+        slow.metrics.join_fallback_rows > 0,
+        "{label}: closure engine reported no fallback key rows (metrics: {})",
+        slow.metrics
+    );
+    assert!(
+        fast.metrics.join_kernel_rows > 0,
+        "{label}: join kernels were not engaged (metrics: {})",
+        fast.metrics
+    );
+    assert_eq!(
+        fast.metrics.join_fallback_rows, 0,
+        "{label}: typed-key join unexpectedly fell back (metrics: {})",
+        fast.metrics
+    );
 }
 
 fn engines_agree(
@@ -363,4 +510,246 @@ fn kernels_survive_parallel_execution() {
     assert!(b.metrics.threads_used > 1);
     assert_eq!(a.metrics.binding_allocs, 0);
     assert_eq!(b.metrics.binding_allocs, 0);
+}
+
+fn build_plugin(rows: &[(i64, f64, String)]) -> ColumnPlugin {
+    ColumnPlugin::from_pairs(
+        "o",
+        vec![
+            (
+                "ok".to_string(),
+                ColumnData::Int(rows.iter().map(|(ok, _, _)| *ok).collect()),
+            ),
+            (
+                "ov".to_string(),
+                ColumnData::Float(rows.iter().map(|(_, ov, _)| *ov).collect()),
+            ),
+            (
+                "oc".to_string(),
+                ColumnData::Str(rows.iter().map(|(_, _, oc)| oc.clone()).collect()),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+fn probe_plugin(rows: &[(i64, f64, String)]) -> ColumnPlugin {
+    ColumnPlugin::from_pairs(
+        "t",
+        vec![
+            (
+                "k".to_string(),
+                ColumnData::Int(rows.iter().map(|(k, _, _)| *k).collect()),
+            ),
+            (
+                "q".to_string(),
+                ColumnData::Float(rows.iter().map(|(_, q, _)| *q).collect()),
+            ),
+            (
+                "c".to_string(),
+                ColumnData::Str(rows.iter().map(|(_, _, c)| c.clone()).collect()),
+            ),
+        ],
+    )
+    .unwrap()
+}
+
+#[test]
+fn join_kernels_equal_closures_over_binary_columns() {
+    for seed in 0..CASES {
+        let mut rng = StdRng::seed_from_u64(0x10_1F + seed);
+        let probe_rows = random_rows(&mut rng);
+        let build_rows = random_build_rows(&mut rng);
+        let probe_records = to_records(&probe_rows);
+        let build_records = build_to_records(&build_rows);
+
+        let vectorized = QueryEngine::new(EngineConfig::without_caching());
+        let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+        for engine in [&vectorized, &closures] {
+            engine.register_plugin(std::sync::Arc::new(probe_plugin(&probe_rows)));
+            engine.register_plugin(std::sync::Arc::new(build_plugin(&build_rows)));
+        }
+
+        for (pi, pred) in predicate_shapes(&mut rng).into_iter().enumerate() {
+            for (qi, plan) in join_plans_for(pred).into_iter().enumerate() {
+                join_engines_agree(
+                    &vectorized,
+                    &closures,
+                    &probe_records,
+                    &build_records,
+                    &plan,
+                    &format!("binary join seed {seed} pred {pi} plan {qi}"),
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn join_kernels_equal_closures_over_json_and_csv() {
+    let dir = std::env::temp_dir().join(format!("proteus_join_eq_{}", std::process::id()));
+    std::fs::create_dir_all(&dir).unwrap();
+    for seed in 0..CASES / 4 {
+        let mut rng = StdRng::seed_from_u64(0x20_1F + seed);
+        let probe_rows = random_rows(&mut rng);
+        let build_rows = random_build_rows(&mut rng);
+        let probe_records = to_records(&probe_rows);
+        let build_records = build_to_records(&build_rows);
+
+        let t_json = dir.join(format!("t_{seed}.json"));
+        writers::write_json(&t_json, &probe_records, true).unwrap();
+        let o_json = dir.join(format!("o_{seed}.json"));
+        writers::write_json(&o_json, &build_records, true).unwrap();
+        let t_csv = dir.join(format!("t_{seed}.csv"));
+        writers::write_csv(&t_csv, &probe_records, &schema(), '|').unwrap();
+        let o_csv = dir.join(format!("o_{seed}.csv"));
+        writers::write_csv(&o_csv, &build_records, &build_schema(), '|').unwrap();
+
+        for format in ["json", "csv"] {
+            let vectorized = QueryEngine::new(EngineConfig::without_caching());
+            let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+            for engine in [&vectorized, &closures] {
+                if format == "json" {
+                    engine.register_json("t", &t_json).unwrap();
+                    engine.register_json("o", &o_json).unwrap();
+                } else {
+                    engine
+                        .register_csv("t", &t_csv, schema(), CsvOptions::default())
+                        .unwrap();
+                    engine
+                        .register_csv("o", &o_csv, build_schema(), CsvOptions::default())
+                        .unwrap();
+                }
+            }
+            for (pi, pred) in predicate_shapes(&mut rng).into_iter().enumerate() {
+                for (qi, plan) in join_plans_for(pred).into_iter().enumerate() {
+                    join_engines_agree(
+                        &vectorized,
+                        &closures,
+                        &probe_records,
+                        &build_records,
+                        &plan,
+                        &format!("{format} join seed {seed} pred {pi} plan {qi}"),
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn join_fallback_split_agrees_with_closures() {
+    // A nested join: the outer probe side is itself a join output, so its
+    // keys cannot resolve to typed scan slots and fall back to closure
+    // extraction, while the inner join (and the outer build side) stay on
+    // the kernel tier — both tiers run inside one plan and must agree with
+    // the closure-only engine and the interpreter.
+    let mut rng = StdRng::seed_from_u64(0x5111);
+    let probe_rows = random_rows(&mut rng);
+    let build_rows = random_build_rows(&mut rng);
+    let probe_records = to_records(&probe_rows);
+    let build_records = build_to_records(&build_rows);
+
+    let vectorized = QueryEngine::new(EngineConfig::without_caching());
+    let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+    for engine in [&vectorized, &closures] {
+        engine.register_plugin(std::sync::Arc::new(probe_plugin(&probe_rows)));
+        engine.register_plugin(std::sync::Arc::new(build_plugin(&build_rows)));
+    }
+
+    let inner = LogicalPlan::scan("o", "o", Schema::empty()).join(
+        LogicalPlan::scan("t", "t", Schema::empty()),
+        Expr::path("o.ok").eq(Expr::path("t.k")),
+        JoinKind::Inner,
+    );
+    let plan = proteus::algebra::rewrite::rewrite(
+        LogicalPlan::scan("o", "o2", Schema::empty())
+            .join(
+                inner,
+                Expr::path("o2.ok").eq(Expr::path("t.k")),
+                JoinKind::Inner,
+            )
+            .reduce(vec![
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("o.ov"), "total"),
+            ]),
+    );
+
+    let fast = vectorized.execute_plan(plan.clone()).unwrap();
+    let slow = closures.execute_plan(plan.clone()).unwrap();
+    assert_eq!(fast.rows, slow.rows);
+    let mut catalog = proteus::algebra::interp::MemoryCatalog::new();
+    catalog.register("t", probe_records);
+    catalog.register("o", build_records);
+    let expected = proteus::algebra::interp::execute(&plan, &catalog).unwrap();
+    assert_eq!(fast.rows, expected);
+    // Inner join + outer build ran typed keys; the outer probe fell back.
+    assert!(fast.metrics.join_kernel_rows > 0, "{}", fast.metrics);
+    assert!(fast.metrics.join_fallback_rows > 0, "{}", fast.metrics);
+    assert_eq!(slow.metrics.join_kernel_rows, 0);
+}
+
+#[test]
+fn join_kernels_survive_parallel_execution() {
+    // Multi-morsel sides so parallel workers genuinely run the kernel build
+    // ingest, the ordered build merge, and the kernel probe.
+    let probe_n = 8 * 1024_i64;
+    let build_n = 5 * 1024_i64;
+    let probe_rows: Vec<(i64, f64, String)> = (0..probe_n)
+        .map(|i| (i % 700, (i % 97) as f64, format!("w{}", i % 5)))
+        .collect();
+    let build_rows: Vec<(i64, f64, String)> = (0..build_n)
+        .map(|i| (i % 900, (i % 53) as f64, format!("w{}", i % 7)))
+        .collect();
+
+    let serial = QueryEngine::new(EngineConfig::without_caching());
+    let parallel = QueryEngine::new(EngineConfig::without_caching().with_parallelism(4));
+    for engine in [&serial, &parallel] {
+        engine.register_plugin(std::sync::Arc::new(probe_plugin(&probe_rows)));
+        engine.register_plugin(std::sync::Arc::new(build_plugin(&build_rows)));
+    }
+
+    for (label, plan) in [
+        (
+            "inner",
+            LogicalPlan::scan("o", "o", Schema::empty())
+                .join(
+                    LogicalPlan::scan("t", "t", Schema::empty()),
+                    Expr::path("o.ok").eq(Expr::path("t.k")),
+                    JoinKind::Inner,
+                )
+                .reduce(vec![
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                    ReduceSpec::new(Monoid::Sum, Expr::path("o.ov"), "total"),
+                    ReduceSpec::new(Monoid::Max, Expr::path("t.q"), "maxq"),
+                ]),
+        ),
+        (
+            "left-outer",
+            LogicalPlan::scan("o", "o", Schema::empty())
+                .join(
+                    LogicalPlan::scan("t", "t", Schema::empty())
+                        .select(Expr::path("t.k").lt(Expr::int(400))),
+                    Expr::path("o.ok").eq(Expr::path("t.k")),
+                    JoinKind::LeftOuter,
+                )
+                .reduce(vec![
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                    ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+                ]),
+        ),
+    ] {
+        let plan = proteus::algebra::rewrite::rewrite(plan);
+        let a = serial.execute_plan(plan.clone()).unwrap();
+        let b = parallel.execute_plan(plan).unwrap();
+        assert_eq!(a.rows, b.rows, "{label}: serial vs parallel join rows");
+        assert!(a.metrics.join_kernel_rows > 0, "{label}: {}", a.metrics);
+        assert_eq!(
+            a.metrics.join_kernel_rows, b.metrics.join_kernel_rows,
+            "{label}: kernel row counts must not depend on the worker count"
+        );
+        assert_eq!(a.metrics.join_fallback_rows, 0, "{label}: {}", a.metrics);
+        assert_eq!(b.metrics.join_fallback_rows, 0, "{label}: {}", b.metrics);
+        assert!(b.metrics.threads_used > 1, "{label}: {}", b.metrics);
+    }
 }
