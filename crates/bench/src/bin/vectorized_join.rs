@@ -4,7 +4,7 @@
 //! lane-vs-stored-key compares) vs the closure join path (compiled key
 //! extractors hydrating a `Value` per row), at 1 worker so the comparison
 //! isolates the key evaluation model. Both paths share the columnar
-//! [`BuildStore`] — the speedup measured here is the typed-key tier alone.
+//! `BuildStore` — the speedup measured here is the typed-key tier alone.
 //!
 //! Prints probe rows/sec per join shape, the kernel/closure speedup, and
 //! emits `BENCH_vectorized_join.json`. Asserts the join kernels are

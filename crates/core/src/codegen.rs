@@ -13,6 +13,23 @@
 //! lowered to monomorphized Rust closures fused at query time (see DESIGN.md
 //! for the substitution argument). A human-readable pseudo-IR equivalent to
 //! Figure 3 is emitted alongside for inspection and tests.
+//!
+//! # Kernel classification (the vectorized tiers)
+//!
+//! Compilation is also where the vectorized tiers are decided (see
+//! `ARCHITECTURE.md` at the repo root). For each selection the compiler asks
+//! [`kernels::plan_predicate`] to split the conjunction into a kernel part —
+//! evaluated over typed morsel columns into a packed 64-bit selection
+//! bitmask ([`crate::exec::mask`]) — and a compiled-closure residual; for
+//! each reduce/nest sink it asks [`kernels::plan_sink`] to classify output
+//! specs and group keys; for each join side it asks
+//! [`kernels::plan_key_slots`] for an all-or-nothing typed-key plan. Every
+//! classification *activates* the typed fills the kernels read
+//! (`try_activate_typed_slots`) and withholds `Value` hydration from slots
+//! nothing downstream reads in boxed form (`PlanCtx::value_refs` — the
+//! referenced-name liveness pass in `finalize_typed_fills`). The planners
+//! only choose representations; semantics are pinned by the kernel ≡ closure
+//! bit-exactness contract documented in [`kernels`].
 
 use std::collections::{HashMap, HashSet};
 use std::sync::Arc;

@@ -166,14 +166,30 @@ impl BindingBatch {
         }
     }
 
-    /// Shrinks the selection to the rows whose `mask` bit is set (branch-lean
-    /// compress-store; `mask` is indexed by *row*, not by selection slot).
-    pub fn compress_sel(&mut self, mask: &[bool]) {
+    /// Shrinks the selection to the rows whose bit is set in the packed
+    /// bitmask (`mask` is indexed by *row*, not by selection slot; see
+    /// [`crate::exec::mask`] for the word layout).
+    ///
+    /// From the identity selection — the state after every scan, and the
+    /// common case for a morsel's first filter — the selection is rebuilt
+    /// density-adaptively ([`crate::exec::mask::push_selected`]): sparse
+    /// masks walk their set bits with `trailing_zeros` (cost ∝ survivors),
+    /// dense masks compact branch-free per row. An already-shrunk selection
+    /// is compressed in place with branch-free per-row bit tests.
+    pub fn compress_sel(&mut self, mask: &[u64]) {
+        if self.sel.len() == self.rows {
+            // The selection only ever shrinks from the identity built by
+            // `reset`/`push_row`, so full length ⟹ identity: rebuild it
+            // from the mask's set bits directly.
+            self.sel.clear();
+            crate::exec::mask::push_selected(mask, self.rows, &mut self.sel);
+            return;
+        }
         let mut out = 0usize;
         for idx in 0..self.sel.len() {
             let row = self.sel[idx];
             self.sel[out] = row;
-            out += mask[row as usize] as usize;
+            out += (mask[row as usize >> 6] >> (row & 63) & 1) as usize;
         }
         self.sel.truncate(out);
     }

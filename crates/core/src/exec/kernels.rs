@@ -9,10 +9,12 @@
 //! conjunction, `IS NULL`, string equality/ordering/`contains` against
 //! literals — all over typed scan slots) or **closure-fallback**
 //! (record/list/regex-shaped expressions, `If`, division, nested paths). The
-//! eligible part becomes a [`KernelPred`] evaluated by dense, branch-lean
+//! eligible part becomes a [`KernelPred`] evaluated by dense, branch-free
 //! loops over the typed morsel columns ([`proteus_plugins::TypedColumn`]),
-//! producing a boolean mask that is compress-stored into the next selection
-//! vector; the residual (if any) stays a compiled closure.
+//! producing a packed 64-bit bitmask ([`crate::exec::mask`]) — one word per
+//! 64 rows, `AND`/`OR`/`NOT` and null propagation word-wise — that is
+//! compress-stored into the next selection vector by `trailing_zeros`
+//! iteration; the residual (if any) stays a compiled closure.
 //!
 //! Semantics contract: a kernel must agree **exactly** with the compiled
 //! closure it replaces, including the quirks —
@@ -56,6 +58,7 @@ use proteus_plugins::{TypedColumn, TypedKind};
 
 use crate::exec::batch::BindingBatch;
 use crate::exec::expr::BindingLayout;
+use crate::exec::mask;
 use crate::exec::radix::{BuildStore, KeyHash};
 
 // ---------------------------------------------------------------------------
@@ -483,7 +486,7 @@ fn plan_num(
 /// Recycled per-worker scratch buffers for masks and arithmetic temporaries.
 #[derive(Default)]
 pub struct Scratch {
-    bools: Vec<Vec<bool>>,
+    masks: Vec<Vec<u64>>,
     i64s: Vec<Vec<i64>>,
     f64s: Vec<Vec<f64>>,
     sels: Vec<Vec<u32>>,
@@ -498,13 +501,15 @@ impl Scratch {
         Scratch::default()
     }
 
-    pub(crate) fn take_bools(&mut self) -> Vec<bool> {
-        self.bools.pop().unwrap_or_default()
+    /// Borrows a recycled packed bitmask buffer (see [`crate::exec::mask`]).
+    pub(crate) fn take_mask(&mut self) -> Vec<u64> {
+        self.masks.pop().unwrap_or_default()
     }
 
-    pub(crate) fn put_bools(&mut self, mut v: Vec<bool>) {
+    /// Returns a bitmask buffer to the pool.
+    pub(crate) fn put_mask(&mut self, mut v: Vec<u64>) {
         v.clear();
-        self.bools.push(v);
+        self.masks.push(v);
     }
 
     fn take_i64s(&mut self) -> Vec<i64> {
@@ -571,14 +576,15 @@ impl Scratch {
     }
 }
 
-/// Applies a kernel predicate to the batch: evaluates the mask densely over
-/// all `rows` and compresses the selection in place.
+/// Applies a kernel predicate to the batch: evaluates the packed bitmask
+/// densely over all `rows` and compresses the selection in place
+/// (`trailing_zeros` iteration on the identity-selection fast path).
 pub fn apply_filter(pred: &KernelPred, batch: &mut BindingBatch, scratch: &mut Scratch) {
     let rows = batch.rows();
-    let mut mask = scratch.take_bools();
+    let mut mask = scratch.take_mask();
     eval_pred(pred, batch, rows, &mut mask, scratch);
     batch.compress_sel(&mask);
-    scratch.put_bools(mask);
+    scratch.put_mask(mask);
 }
 
 fn typed(batch: &BindingBatch, slot: usize) -> &TypedColumn {
@@ -587,35 +593,37 @@ fn typed(batch: &BindingBatch, slot: usize) -> &TypedColumn {
         .expect("kernel predicate over a slot without a live typed column")
 }
 
-/// Evaluates `pred` into `mask[0..rows]`.
+/// Evaluates `pred` over rows `0..rows` into the packed bitmask `mask`
+/// (see [`crate::exec::mask`] for the representation and its zero-tail
+/// invariant). Every arm is word-at-a-time: comparisons pack 64 verdicts
+/// per word with branch-free shift/or loops, the logic connectives combine
+/// whole words, and null propagation `OR`s/`AND NOT`s the columns' own
+/// packed null bitmaps straight into the mask.
 pub(crate) fn eval_pred(
     pred: &KernelPred,
     batch: &BindingBatch,
     rows: usize,
-    mask: &mut Vec<bool>,
+    mask: &mut Vec<u64>,
     scratch: &mut Scratch,
 ) {
-    mask.clear();
     match pred {
-        KernelPred::Const(b) => mask.resize(rows, *b),
+        KernelPred::Const(b) => mask::fill(mask, rows, *b),
         KernelPred::BoolSlot(slot) => {
             let col = typed(batch, *slot);
-            let data = col.bool_values();
-            mask.extend_from_slice(&data[..rows]);
-            mask_out_nulls(col, rows, mask, false);
+            mask::pack_slice(mask, &col.bool_values()[..rows], |v| v);
+            mask_out_nulls(col, mask, false);
         }
         KernelPred::IsNull(slot) => {
             let col = typed(batch, *slot);
-            mask.extend((0..rows).map(|i| col.is_null(i)));
+            mask::copy_from(mask, rows, col.null_words());
         }
         KernelPred::CmpBool { op, slot, lit } => {
             let col = typed(batch, *slot);
-            let data = col.bool_values();
             let (op, lit) = (*op, *lit);
-            mask.extend(data[..rows].iter().map(|v| op.holds(v.cmp(&lit))));
+            mask::pack_slice(mask, &col.bool_values()[..rows], |v| op.holds(v.cmp(&lit)));
             // eval_binary null rule: `Neq` against one null is true, every
             // other comparison with a null is false.
-            mask_out_nulls(col, rows, mask, op == CmpOp::Neq);
+            mask_out_nulls(col, mask, op == CmpOp::Neq);
         }
         KernelPred::CmpStr { op, slot, lit } => {
             let col = typed(batch, *slot);
@@ -625,61 +633,56 @@ pub(crate) fn eval_pred(
                 .iter()
                 .map(|s| op.holds(s.as_ref().cmp(lit.as_str())))
                 .collect();
-            mask.extend(ids[..rows].iter().map(|id| per_id[*id as usize]));
-            mask_out_nulls(col, rows, mask, *op == CmpOp::Neq);
+            mask::pack_slice(mask, &ids[..rows], |id| per_id[id as usize]);
+            mask_out_nulls(col, mask, *op == CmpOp::Neq);
         }
         KernelPred::StrContains { slot, needle } => {
             let col = typed(batch, *slot);
             let (ids, pool) = col.str_parts();
             let per_id: Vec<bool> = pool.iter().map(|s| s.contains(needle.as_str())).collect();
-            mask.extend(ids[..rows].iter().map(|id| per_id[*id as usize]));
+            mask::pack_slice(mask, &ids[..rows], |id| per_id[id as usize]);
             // The compiled Contains treats non-strings (incl. null) as false.
-            mask_out_nulls(col, rows, mask, false);
+            mask_out_nulls(col, mask, false);
         }
         KernelPred::CmpNum { op, lhs, rhs } => {
             eval_cmp_num(*op, lhs, rhs, batch, rows, mask, scratch);
         }
         KernelPred::Not(inner) => {
             eval_pred(inner, batch, rows, mask, scratch);
-            for m in mask.iter_mut() {
-                *m = !*m;
-            }
+            mask::not(mask, rows);
         }
         KernelPred::And(parts) => {
             eval_pred(&parts[0], batch, rows, mask, scratch);
-            let mut tmp = scratch.take_bools();
+            let mut tmp = scratch.take_mask();
             for part in &parts[1..] {
                 eval_pred(part, batch, rows, &mut tmp, scratch);
-                for (m, t) in mask.iter_mut().zip(&tmp) {
-                    *m &= *t;
-                }
+                mask::and(mask, &tmp);
             }
-            scratch.put_bools(tmp);
+            scratch.put_mask(tmp);
         }
         KernelPred::Or(parts) => {
             eval_pred(&parts[0], batch, rows, mask, scratch);
-            let mut tmp = scratch.take_bools();
+            let mut tmp = scratch.take_mask();
             for part in &parts[1..] {
                 eval_pred(part, batch, rows, &mut tmp, scratch);
-                for (m, t) in mask.iter_mut().zip(&tmp) {
-                    *m |= *t;
-                }
+                mask::or(mask, &tmp);
             }
-            scratch.put_bools(tmp);
+            scratch.put_mask(tmp);
         }
     }
 }
 
-/// Rewrites mask entries at null rows to `value_when_null` (no-op when the
-/// column has no nulls).
-fn mask_out_nulls(col: &TypedColumn, rows: usize, mask: &mut [bool], value_when_null: bool) {
+/// Rewrites mask bits at null rows to `value_when_null`: a word-wise
+/// `OR`/`AND NOT` against the column's packed null bitmap (no-op when the
+/// column has no nulls; the bitmap may be shorter than the mask).
+fn mask_out_nulls(col: &TypedColumn, mask: &mut [u64], value_when_null: bool) {
     if !col.has_nulls() {
         return;
     }
-    for (i, m) in mask.iter_mut().enumerate().take(rows) {
-        if col.is_null(i) {
-            *m = value_when_null;
-        }
+    if value_when_null {
+        mask::or(mask, col.null_words());
+    } else {
+        mask::and_not(mask, col.null_words());
     }
 }
 
@@ -738,7 +741,7 @@ fn eval_cmp_num(
     rhs: &NumExpr,
     batch: &BindingBatch,
     rows: usize,
-    mask: &mut Vec<bool>,
+    mask: &mut Vec<u64>,
     scratch: &mut Scratch,
 ) {
     let l = eval_num(lhs, batch, rows, scratch);
@@ -746,84 +749,87 @@ fn eval_cmp_num(
 
     // Comparison loops: `eval_binary` compares two numerics with
     // `as_float().total_cmp()`, so every kernel comparison goes through the
-    // f64 total order (branch-free bit tricks the compiler can vectorize).
-    // Specialize the hottest shapes to keep the lane loads direct.
-    match (&l, &r) {
-        (NumVec::I64(a), NumVec::ConstI64(c)) => {
-            let c = *c as f64;
-            mask.extend(
-                a[..rows]
-                    .iter()
-                    .map(|x| op.holds((*x as f64).total_cmp(&c))),
-            );
+    // f64 total order. Operands normalize to a dense lane view first —
+    // computed temporaries compare through the same specialized loops as
+    // borrowed columns, and constants pre-widen to their float view — so
+    // every shape packs verdicts 64 per mask word with a branch-free
+    // byte-compare + movemask loop over direct lane loads.
+    enum Lanes<'v> {
+        I64(&'v [i64]),
+        F64(&'v [f64]),
+        Const(f64),
+    }
+    fn view<'v>(v: &'v NumVec<'_>, rows: usize) -> Lanes<'v> {
+        match v {
+            NumVec::I64(a) => Lanes::I64(&a[..rows]),
+            NumVec::TmpI64(a) => Lanes::I64(&a[..rows]),
+            NumVec::F64(a) => Lanes::F64(&a[..rows]),
+            NumVec::TmpF64(a) => Lanes::F64(&a[..rows]),
+            NumVec::ConstI64(c) => Lanes::Const(*c as f64),
+            NumVec::ConstF64(c) => Lanes::Const(*c),
         }
-        (NumVec::I64(a), NumVec::ConstF64(c)) => {
-            mask.extend(a[..rows].iter().map(|x| op.holds((*x as f64).total_cmp(c))));
+    }
+    match (view(&l, rows), view(&r, rows)) {
+        (Lanes::I64(a), Lanes::Const(c)) => {
+            mask::pack_slice(mask, a, |x| op.holds((x as f64).total_cmp(&c)));
         }
-        (NumVec::F64(a), NumVec::ConstI64(c)) => {
-            let c = *c as f64;
-            mask.extend(a[..rows].iter().map(|x| op.holds(x.total_cmp(&c))));
+        (Lanes::F64(a), Lanes::Const(c)) => {
+            mask::pack_slice(mask, a, |x| op.holds(x.total_cmp(&c)));
         }
-        (NumVec::F64(a), NumVec::ConstF64(c)) => {
-            mask.extend(a[..rows].iter().map(|x| op.holds(x.total_cmp(c))));
+        (Lanes::Const(c), Lanes::I64(a)) => {
+            mask::pack_slice(mask, a, |x| op.holds(c.total_cmp(&(x as f64))));
         }
-        (NumVec::I64(a), NumVec::I64(b)) => {
-            mask.extend(
-                a[..rows]
-                    .iter()
-                    .zip(&b[..rows])
-                    .map(|(x, y)| op.holds((*x as f64).total_cmp(&(*y as f64)))),
-            );
+        (Lanes::Const(c), Lanes::F64(a)) => {
+            mask::pack_slice(mask, a, |x| op.holds(c.total_cmp(&x)));
         }
-        (NumVec::F64(a), NumVec::F64(b)) => {
-            mask.extend(
-                a[..rows]
-                    .iter()
-                    .zip(&b[..rows])
-                    .map(|(x, y)| op.holds(x.total_cmp(y))),
-            );
+        (Lanes::I64(a), Lanes::I64(b)) => {
+            mask::pack_zip(mask, a, b, |x, y| {
+                op.holds((x as f64).total_cmp(&(y as f64)))
+            });
         }
-        _ => {
-            mask.extend((0..rows).map(|i| op.holds(l.f64_at(i).total_cmp(&r.f64_at(i)))));
+        (Lanes::F64(a), Lanes::F64(b)) => {
+            mask::pack_zip(mask, a, b, |x, y| op.holds(x.total_cmp(&y)));
+        }
+        (Lanes::I64(a), Lanes::F64(b)) => {
+            mask::pack_zip(mask, a, b, |x, y| op.holds((x as f64).total_cmp(&y)));
+        }
+        (Lanes::F64(a), Lanes::I64(b)) => {
+            mask::pack_zip(mask, a, b, |x, y| op.holds(x.total_cmp(&(y as f64))));
+        }
+        (Lanes::Const(a), Lanes::Const(b)) => {
+            mask::fill(mask, rows, op.holds(a.total_cmp(&b)));
         }
     }
 
     // Null propagation: a null operand makes the comparison false, except
-    // `Neq` against exactly one null. Arithmetic over a null is null.
+    // `Neq` against exactly one null. Arithmetic over a null is null. All
+    // word-wise over the packed null unions.
     let lhs_nulls = null_mask(lhs, batch, rows, scratch);
     let rhs_nulls = null_mask(rhs, batch, rows, scratch);
+    let neq = op == CmpOp::Neq;
     match (&lhs_nulls, &rhs_nulls) {
         (None, None) => {}
-        (Some(ln), None) => {
-            let neq = op == CmpOp::Neq;
-            for (m, l_null) in mask.iter_mut().zip(ln) {
-                if *l_null {
-                    *m = neq;
-                }
-            }
-        }
-        (None, Some(rn)) => {
-            let neq = op == CmpOp::Neq;
-            for (m, r_null) in mask.iter_mut().zip(rn) {
-                if *r_null {
-                    *m = neq;
-                }
+        (Some(nulls), None) | (None, Some(nulls)) => {
+            if neq {
+                mask::or(mask, nulls);
+            } else {
+                mask::and_not(mask, nulls);
             }
         }
         (Some(ln), Some(rn)) => {
-            let neq = op == CmpOp::Neq;
-            for ((m, l_null), r_null) in mask.iter_mut().zip(ln).zip(rn) {
-                if *l_null || *r_null {
-                    *m = neq && (*l_null ^ *r_null);
-                }
+            // Rows with any null operand become `neq && (exactly one null)`;
+            // the rest keep their comparison verdict.
+            let on_neq = if neq { !0u64 } else { 0 };
+            for ((m, &l_word), &r_word) in mask.iter_mut().zip(ln.iter()).zip(rn.iter()) {
+                *m = (*m & !(l_word | r_word)) | ((l_word ^ r_word) & on_neq);
             }
         }
     }
     if let Some(v) = lhs_nulls {
-        scratch.put_bools(v);
+        scratch.put_mask(v);
     }
     if let Some(v) = rhs_nulls {
-        scratch.put_bools(v);
+        scratch.put_mask(v);
     }
     release(l, scratch);
     release(r, scratch);
@@ -837,30 +843,30 @@ fn release(v: NumVec<'_>, scratch: &mut Scratch) {
     }
 }
 
-/// The union of the null bitmaps of every slot a numeric expression reads
-/// (`None` when no referenced slot has nulls — the common case).
+/// The union of the packed null bitmaps of every slot a numeric expression
+/// reads, sized to `rows` (`None` when no referenced slot has nulls — the
+/// common case). A single-slot union is a word copy; multi-slot unions are
+/// word-wise `OR`s.
 fn null_mask(
     expr: &NumExpr,
     batch: &BindingBatch,
     rows: usize,
     scratch: &mut Scratch,
-) -> Option<Vec<bool>> {
+) -> Option<Vec<u64>> {
     let mut slots = Vec::new();
     expr.collect_slots(&mut slots);
-    let mut out: Option<Vec<bool>> = None;
+    let mut out: Option<Vec<u64>> = None;
     for slot in slots {
         let col = typed(batch, slot);
         if !col.has_nulls() {
             continue;
         }
         let mask = out.get_or_insert_with(|| {
-            let mut v = scratch.take_bools();
-            v.resize(rows, false);
+            let mut v = scratch.take_mask();
+            v.resize(mask::words_for(rows), 0);
             v
         });
-        for (i, m) in mask.iter_mut().enumerate() {
-            *m |= col.is_null(i);
-        }
+        mask::or(mask, col.null_words());
     }
     out
 }
@@ -1013,7 +1019,7 @@ impl SinkKernel {
                         int: expr.is_int(),
                     },
                     AggKernel::Bool(pred) => {
-                        let mut mask = scratch.take_bools();
+                        let mut mask = scratch.take_mask();
                         eval_pred(pred, batch, rows, &mut mask, scratch);
                         RenderedAgg::Bool(mask)
                     }
@@ -1024,15 +1030,16 @@ impl SinkKernel {
     }
 }
 
-/// One rendered aggregate input (see [`SinkKernel::render`]).
+/// One rendered aggregate input (see [`SinkKernel::render`]). Boolean
+/// inputs and null unions are packed bitmasks ([`crate::exec::mask`]).
 enum RenderedAgg<'a> {
     Count,
     Num {
         vec: NumVec<'a>,
-        nulls: Option<Vec<bool>>,
+        nulls: Option<Vec<u64>>,
         int: bool,
     },
-    Bool(Vec<bool>),
+    Bool(Vec<u64>),
 }
 
 /// The rendered kernel aggregate inputs of one batch.
@@ -1041,8 +1048,8 @@ pub struct RenderedAggs<'a> {
 }
 
 #[inline]
-fn null_at(nulls: &Option<Vec<bool>>, i: usize) -> bool {
-    nulls.as_ref().is_some_and(|n| n[i])
+fn null_at(nulls: &Option<Vec<u64>>, i: usize) -> bool {
+    nulls.as_ref().is_some_and(|n| mask::get(n, i))
 }
 
 impl RenderedAggs<'_> {
@@ -1146,14 +1153,14 @@ impl RenderedAggs<'_> {
                     *state = Some(vec.value_at(i, *int));
                 }
             }
-            (RenderedAgg::Bool(mask), Monoid::And, Accumulator::Bool(b)) => {
+            (RenderedAgg::Bool(bits), Monoid::And, Accumulator::Bool(b)) => {
                 if *b {
-                    *b = rows_idx.iter().all(|&r| mask[r as usize]);
+                    *b = rows_idx.iter().all(|&r| mask::get(bits, r as usize));
                 }
             }
-            (RenderedAgg::Bool(mask), Monoid::Or, Accumulator::Bool(b)) => {
+            (RenderedAgg::Bool(bits), Monoid::Or, Accumulator::Bool(b)) => {
                 if !*b {
-                    *b = rows_idx.iter().any(|&r| mask[r as usize]);
+                    *b = rows_idx.iter().any(|&r| mask::get(bits, r as usize));
                 }
             }
             _ => unreachable!("rendered aggregate does not match its monoid's accumulator"),
@@ -1208,11 +1215,11 @@ impl RenderedAggs<'_> {
                     *state = Some(vec.value_at(row, *int));
                 }
             }
-            (RenderedAgg::Bool(mask), Monoid::And, Accumulator::Bool(b)) => {
-                *b = *b && mask[row];
+            (RenderedAgg::Bool(bits), Monoid::And, Accumulator::Bool(b)) => {
+                *b = *b && mask::get(bits, row);
             }
-            (RenderedAgg::Bool(mask), Monoid::Or, Accumulator::Bool(b)) => {
-                *b = *b || mask[row];
+            (RenderedAgg::Bool(bits), Monoid::Or, Accumulator::Bool(b)) => {
+                *b = *b || mask::get(bits, row);
             }
             _ => unreachable!("rendered aggregate does not match its monoid's accumulator"),
         }
@@ -1225,10 +1232,10 @@ impl RenderedAggs<'_> {
                 Some(RenderedAgg::Num { vec, nulls, .. }) => {
                     release(vec, scratch);
                     if let Some(n) = nulls {
-                        scratch.put_bools(n);
+                        scratch.put_mask(n);
                     }
                 }
-                Some(RenderedAgg::Bool(mask)) => scratch.put_bools(mask),
+                Some(RenderedAgg::Bool(bits)) => scratch.put_mask(bits),
                 Some(RenderedAgg::Count) | None => {}
             }
         }
@@ -1812,7 +1819,7 @@ mod tests {
         let mut kernel_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
         let mut closure_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
         if empty_selection {
-            let none = vec![false; rows];
+            let none = vec![0u64; mask::words_for(rows)];
             kernel_batch.compress_sel(&none);
             closure_batch.compress_sel(&none);
         }
@@ -1851,6 +1858,111 @@ mod tests {
     fn kernels_handle_empty_selections() {
         for seed in 0..CASES / 4 {
             selections_match(seed, false, true);
+        }
+    }
+
+    /// Bitmask edge shapes: every predicate class at morsel sizes that
+    /// straddle the 64-row word boundary (single word, exact words, one-over
+    /// tails), against the compiled closure as the reference. Covers the
+    /// all-zero/all-one constant words, `NOT` at a partial tail word, the
+    /// `Neq`-vs-null rule (null words flow *into* the mask word-wise), and
+    /// `IS NULL` (the mask *is* the column's packed null bitmap).
+    #[test]
+    fn bitmask_word_tails_and_null_words() {
+        let layout = layout();
+        let typed = typed_map();
+        let predicates: Vec<Expr> = vec![
+            Expr::boolean(true),
+            Expr::boolean(false),
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(Expr::boolean(false)),
+            },
+            // Neq against a literal: one-null rows must come out true.
+            Expr::binary(BinaryOp::Neq, Expr::path("t.i"), Expr::int(3)),
+            // Neq between two nullable columns: exactly-one-null is true.
+            Expr::binary(BinaryOp::Neq, Expr::path("t.i"), Expr::path("t.f")),
+            Expr::binary(BinaryOp::Lt, Expr::path("t.i"), Expr::path("t.f")),
+            Expr::Unary {
+                op: UnaryOp::IsNull,
+                expr: Box::new(Expr::path("t.i")),
+            },
+            Expr::Unary {
+                op: UnaryOp::Not,
+                expr: Box::new(Expr::binary(BinaryOp::Ge, Expr::path("t.i"), Expr::int(0))),
+            },
+            Expr::path("t.b").and(Expr::path("t.i").lt(Expr::int(10))),
+            Expr::path("t.b").or(Expr::binary(
+                BinaryOp::Eq,
+                Expr::path("t.s"),
+                Expr::string("fox"),
+            )),
+        ];
+        for rows in [1usize, 63, 64, 65, 127, 128, 129, 200] {
+            for (p, predicate) in predicates.iter().enumerate() {
+                let planned = plan_predicate(predicate, &layout, &typed)
+                    .unwrap_or_else(|| panic!("predicate {p} must be kernel-eligible"));
+                assert!(planned.residual.is_none(), "predicate {p} split a residual");
+                let seed = 0x5eed ^ (rows as u64) << 8 ^ p as u64;
+                let mut kernel_batch = random_batch(&mut StdRng::seed_from_u64(seed), rows);
+                let mut closure_batch = random_batch(&mut StdRng::seed_from_u64(seed), rows);
+                let mut scratch = Scratch::new();
+                apply_filter(&planned.kernel, &mut kernel_batch, &mut scratch);
+                let pred = compile_predicate(predicate, &layout).unwrap();
+                closure_batch.retain(|row| pred(row));
+                assert_eq!(
+                    kernel_batch.sel(),
+                    closure_batch.sel(),
+                    "rows={rows} predicate {p}: bitmask filter diverges from closure"
+                );
+            }
+        }
+    }
+
+    /// Compress-store parity: packing an arbitrary boolean verdict vector
+    /// into mask words and compressing must keep exactly the rows a
+    /// per-row `retain` keeps, both from the identity selection (the
+    /// `trailing_zeros` fast path) and from an already-shrunk one (the
+    /// bit-test path).
+    #[test]
+    fn compress_store_matches_boolean_reference() {
+        for rows in [1usize, 63, 64, 65, 127, 128, 129, 200] {
+            for seed in 0..8u64 {
+                let mut rng = StdRng::seed_from_u64(seed ^ (rows as u64) << 32);
+                let verdicts: Vec<bool> = (0..rows).map(|_| rng.gen_range(0u32..3) > 0).collect();
+                let mut bits = Vec::new();
+                mask::pack_slice(&mut bits, &verdicts, |b| b);
+
+                // Identity selection.
+                let mut packed = BindingBatch::new();
+                packed.reset(1, rows);
+                let mut reference = BindingBatch::new();
+                reference.reset(1, rows);
+                packed.compress_sel(&bits);
+                let mut i = 0;
+                reference.retain(|_| {
+                    let keep = verdicts[i];
+                    i += 1;
+                    keep
+                });
+                assert_eq!(packed.sel(), reference.sel(), "rows={rows} seed={seed}");
+
+                // Pre-shrunk selection: keep every other row first.
+                let mut even = Vec::new();
+                mask::pack_rows(&mut even, rows, |i| i % 2 == 0);
+                let mut packed = BindingBatch::new();
+                packed.reset(1, rows);
+                packed.compress_sel(&even);
+                let expected: Vec<u32> = (0..rows as u32)
+                    .filter(|&r| r % 2 == 0 && verdicts[r as usize])
+                    .collect();
+                packed.compress_sel(&bits);
+                assert_eq!(
+                    packed.sel(),
+                    &expected[..],
+                    "rows={rows} seed={seed} (pre-shrunk)"
+                );
+            }
         }
     }
 
@@ -1967,15 +2079,15 @@ mod tests {
     ) -> Vec<u32> {
         let mut masked: Vec<u32> = match &planned.kernel.predicate {
             Some(pred) => {
-                let mut mask = scratch.take_bools();
-                eval_pred(pred, batch, batch.rows(), &mut mask, scratch);
+                let mut bits = scratch.take_mask();
+                eval_pred(pred, batch, batch.rows(), &mut bits, scratch);
                 let rows = batch
                     .sel()
                     .iter()
                     .copied()
-                    .filter(|&r| mask[r as usize])
+                    .filter(|&r| mask::get(&bits, r as usize))
                     .collect();
-                scratch.put_bools(mask);
+                scratch.put_mask(bits);
                 rows
             }
             None => batch.sel().to_vec(),
@@ -2029,7 +2141,7 @@ mod tests {
         let mut kernel_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
         let mut closure_batch = random_batch(&mut StdRng::seed_from_u64(batch_seed), rows);
         if empty_selection {
-            let none = vec![false; rows];
+            let none = vec![0u64; mask::words_for(rows)];
             kernel_batch.compress_sel(&none);
             closure_batch.compress_sel(&none);
         }
@@ -2218,7 +2330,7 @@ mod tests {
         let rows = rng.gen_range(1usize..200);
         let mut batch = random_batch(&mut rng, rows);
         if empty_selection {
-            batch.compress_sel(&vec![false; rows]);
+            batch.compress_sel(&vec![0u64; mask::words_for(rows)]);
         }
         let arity = rng.gen_range(1usize..3);
         // Key slots may repeat (t.i = both key components) — the planner

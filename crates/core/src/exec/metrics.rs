@@ -29,10 +29,18 @@ pub struct ExecutionMetrics {
     /// filter stages).
     pub predicate_evals: u64,
     /// Rows whose selection predicates were evaluated by the vectorized
-    /// columnar kernels.
+    /// columnar kernels (the packed-bitmask tier): counted once per row per
+    /// `KernelFilter` stage, whether or not the row survived. A fully
+    /// kernel-eligible selection over N scanned rows reports exactly N here
+    /// and 0 in [`ExecutionMetrics::fallback_rows`].
     pub kernel_rows: u64,
     /// Rows whose selection predicates fell back to compiled per-tuple
-    /// closures (record/list-shaped or untyped expressions).
+    /// closures — ineligible conjuncts (division, `If`, record/list shapes,
+    /// nested paths, untyped slots) split out as residuals, plus every
+    /// filter above an unnest/join. When a predicate splits, the residual
+    /// closure only sees rows the kernel mask already passed, so
+    /// `kernel_rows + fallback_rows` can legitimately exceed the scanned
+    /// row count while each tier's number stays per-row accurate.
     pub fallback_rows: u64,
     /// Aggregate inputs folded columnwise by the vectorized sink kernels
     /// (counted per surviving row × kernel-classified output spec).

@@ -1,5 +1,12 @@
 //! Runtime building blocks of the generated query pipelines.
 //!
+//! A reading-order map of the whole execution architecture — the four tiers
+//! (closure interpreter → morsel pipelines → typed kernels → typed
+//! sinks/joins), the kernel ≡ closure bit-exactness contract, and the
+//! per-operator eligibility/fallback rules — lives in `ARCHITECTURE.md` at
+//! the repository root. This module doc covers the same ground closer to
+//! the code.
+//!
 //! # Bindings and layouts
 //!
 //! The generated engine works over *positional bindings*: a binding is a flat
@@ -60,9 +67,13 @@
 //!   selection conjunct at prepare time. Eligible conjuncts (comparisons,
 //!   `+`/`-`/`*` arithmetic, `AND`/`OR`/`NOT`, `IS NULL`, string
 //!   equality/ordering/`contains` vs literals) compile to a
-//!   [`kernels::KernelPred`] evaluated by dense branch-lean loops that
-//!   produce a boolean mask, compress-stored into the selection vector.
-//!   String kernels compare each *unique* pooled string once per morsel.
+//!   [`kernels::KernelPred`] evaluated by dense branch-free loops that pack
+//!   64 verdicts per word into a packed bitmask ([`mask`]): `AND`/`OR`/`NOT`
+//!   combine whole words, null propagation `OR`s/`AND NOT`s the columns' own
+//!   packed null bitmaps (same word layout), and the mask compress-stores
+//!   into the selection vector by `trailing_zeros` iteration over its set
+//!   bits. String kernels compare each *unique* pooled string once per
+//!   morsel.
 //! * **Closure fallback.** Everything else — record/list-shaped
 //!   expressions, conditionals, division, nested paths, untyped slots —
 //!   stays on the compiled-closure path, as does any filter above an
@@ -165,6 +176,7 @@
 pub mod batch;
 pub mod expr;
 pub mod kernels;
+pub mod mask;
 pub mod metrics;
 pub mod pipeline;
 pub mod radix;

@@ -1,6 +1,6 @@
 //! Morsel-driven execution of the generated pipelines.
 //!
-//! The compiler (codegen) lowers a plan to a [`Producer`] tree. Before
+//! The compiler (codegen) lowers a plan to a `Producer` tree. Before
 //! execution the tree is *prepared*: every join build side is materialized
 //! into a shared [`RadixHashTable`] (itself via a morsel-parallel run of the
 //! build spine), leaving a linear **spine** — scan → stage* — that streams
@@ -13,7 +13,7 @@
 //! the serial path and the parallel path are the same code, so their results
 //! only differ by floating-point summation order.
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::{Arc, Mutex};
 
 use proteus_algebra::monoid::Accumulator;
@@ -26,9 +26,11 @@ use crate::error::Result;
 use crate::exec::batch::{BindingBatch, MORSEL_SIZE};
 use crate::exec::expr::{CompiledExpr, CompiledPredicate};
 use crate::exec::kernels::{self, KernelPred, SinkKernel};
+use crate::exec::mask;
 use crate::exec::metrics::ExecutionMetrics;
 use crate::exec::radix::{
-    hash_key_components, key_components_eq, BuildStore, RadixGroupTable, RadixHashTable,
+    hash_key_components, key_components_eq, BuildStore, MatchedBitmap, RadixGroupTable,
+    RadixHashTable,
 };
 use crate::exec::Binding;
 
@@ -168,8 +170,9 @@ enum Stage {
         /// Probe-side slots copied into the output (the rest stay null —
         /// nothing downstream reads them).
         probe_live: Vec<usize>,
-        /// Present for left-outer joins: per-build-entry matched flags.
-        matched: Option<Arc<Vec<AtomicBool>>>,
+        /// Present for left-outer joins: the shared packed bitmap of
+        /// per-build-entry matched flags.
+        matched: Option<Arc<MatchedBitmap>>,
     },
 }
 
@@ -284,13 +287,8 @@ fn prepare(
 
             let mut prepared = prepare(*probe, threads, metrics)?;
             let probe_width = current_width(&prepared);
-            let matched = (kind == JoinKind::LeftOuter).then(|| {
-                Arc::new(
-                    (0..table.len())
-                        .map(|_| AtomicBool::new(false))
-                        .collect::<Vec<_>>(),
-                )
-            });
+            let matched =
+                (kind == JoinKind::LeftOuter).then(|| Arc::new(MatchedBitmap::new(table.len())));
             prepared.stages.push(Stage::Probe {
                 table,
                 probe_keys,
@@ -492,10 +490,21 @@ impl SinkSpec {
         let mut masked = scratch.take_sel();
         if let Some(pred) = kernel_pred {
             let rows = batch.rows();
-            let mut mask = scratch.take_bools();
-            kernels::eval_pred(pred, batch, rows, &mut mask, scratch);
-            masked.extend(batch.sel().iter().copied().filter(|&r| mask[r as usize]));
-            scratch.put_bools(mask);
+            let mut bits = scratch.take_mask();
+            kernels::eval_pred(pred, batch, rows, &mut bits, scratch);
+            if batch.sel().len() == rows {
+                // Identity selection: compress straight off the mask words.
+                mask::push_selected(&bits, rows, &mut masked);
+            } else {
+                masked.extend(
+                    batch
+                        .sel()
+                        .iter()
+                        .copied()
+                        .filter(|&r| mask::get(&bits, r as usize)),
+                );
+            }
+            scratch.put_mask(bits);
         } else {
             masked.extend_from_slice(batch.sel());
         }
@@ -1046,7 +1055,7 @@ fn process_stages(
                 if let Some(flags) = matched {
                     for &out_row in spare.sel() {
                         let (entry, _) = pairs[out_row as usize];
-                        flags[entry as usize].store(true, Ordering::Relaxed);
+                        flags.set(entry as usize);
                     }
                 }
                 scratch.put_pairs(pairs);
@@ -1144,16 +1153,14 @@ fn execute_pipeline(
             let store = table.store();
             let mut tail = BindingBatch::new();
             tail.reset_empty(*width);
-            for entry in 0..table.len() as u32 {
-                if !flags[entry as usize].load(Ordering::Relaxed) {
-                    // Null row, then the stored live slots — exactly the
-                    // shape of a probe output row with a null probe side.
-                    tail.push_row(&[]);
-                    for (comp, &slot) in store.live_slots().iter().enumerate() {
-                        tail.set_last(slot, store.payload(entry)[comp].clone());
-                    }
+            flags.for_each_unmatched(table.len(), |entry| {
+                // Null row, then the stored live slots — exactly the
+                // shape of a probe output row with a null probe side.
+                tail.push_row(&[]);
+                for (comp, &slot) in store.live_slots().iter().enumerate() {
+                    tail.set_last(slot, store.payload(entry)[comp].clone());
                 }
-            }
+            });
             if !tail.is_empty() {
                 let mut spare = BindingBatch::new();
                 let mut state = sink.new_state();

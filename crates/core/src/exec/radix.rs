@@ -249,6 +249,61 @@ impl BuildStore {
     }
 }
 
+/// A packed, shared bitmap of per-build-entry matched flags for left-outer
+/// joins: bit `entry & 63` of word `entry >> 6`, the same word layout as the
+/// kernel selection masks (`crate::exec::mask`) and the [`TypedColumn`]
+/// null bitmaps. Probe workers set bits concurrently with relaxed
+/// `fetch_or`s — the flag only ever goes `false → true` and is read after
+/// the probe drains, so no ordering is required — and the unmatched tail
+/// scan walks *zero* bits word-at-a-time instead of loading one
+/// `AtomicBool` per entry.
+///
+/// [`TypedColumn`]: proteus_plugins::TypedColumn
+pub struct MatchedBitmap {
+    words: Vec<std::sync::atomic::AtomicU64>,
+}
+
+impl MatchedBitmap {
+    /// An all-unmatched bitmap for `entries` build entries.
+    pub fn new(entries: usize) -> MatchedBitmap {
+        MatchedBitmap {
+            words: (0..entries.div_ceil(64))
+                .map(|_| std::sync::atomic::AtomicU64::new(0))
+                .collect(),
+        }
+    }
+
+    /// Marks one entry matched (thread-safe, relaxed).
+    #[inline]
+    pub fn set(&self, entry: usize) {
+        self.words[entry >> 6].fetch_or(1 << (entry & 63), std::sync::atomic::Ordering::Relaxed);
+    }
+
+    /// Whether the entry was matched.
+    #[inline]
+    pub fn get(&self, entry: usize) -> bool {
+        self.words[entry >> 6].load(std::sync::atomic::Ordering::Relaxed) >> (entry & 63) & 1 == 1
+    }
+
+    /// Calls `f` for every *unmatched* entry of `0..entries`, in ascending
+    /// order (the left-outer null-padded tail emission).
+    pub fn for_each_unmatched(&self, entries: usize, mut f: impl FnMut(u32)) {
+        for (wi, word) in self.words.iter().enumerate() {
+            let base = (wi as u32) << 6;
+            // Complement: set bits are now the unmatched entries; clamp the
+            // final word's tail.
+            let mut w = !word.load(std::sync::atomic::Ordering::Relaxed);
+            if (entries as u32) - base < 64 {
+                w &= (1u64 << (entries - wi * 64)) - 1;
+            }
+            while w != 0 {
+                f(base + w.trailing_zeros());
+                w &= w - 1;
+            }
+        }
+    }
+}
+
 /// A radix-partitioned hash table over a columnar [`BuildStore`]: each
 /// partition holds `(key hash, entry id)` pairs clustered (sorted) by hash,
 /// ties in entry-id (build scan) order. The heavy entry data never moves
@@ -860,5 +915,25 @@ mod tests {
         let table = RadixGroupTable::new(vec![Monoid::Max]);
         assert_eq!(table.group_count(), 0);
         assert!(table.finish().is_empty());
+    }
+
+    #[test]
+    fn matched_bitmap_word_boundaries() {
+        // Entry counts straddling the 64-entry word boundary, including the
+        // exact-multiple case where the final word must not be clamped.
+        for entries in [1usize, 63, 64, 65, 127, 128, 129] {
+            let bitmap = MatchedBitmap::new(entries);
+            let matched: Vec<usize> = (0..entries).filter(|e| e % 3 == 0).collect();
+            for &e in &matched {
+                bitmap.set(e);
+            }
+            for e in 0..entries {
+                assert_eq!(bitmap.get(e), e % 3 == 0, "entries={entries} bit {e}");
+            }
+            let expected: Vec<u32> = (0..entries as u32).filter(|e| e % 3 != 0).collect();
+            let mut unmatched = Vec::new();
+            bitmap.for_each_unmatched(entries, |e| unmatched.push(e));
+            assert_eq!(unmatched, expected, "entries={entries}");
+        }
     }
 }

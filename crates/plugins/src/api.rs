@@ -343,6 +343,19 @@ impl TypedColumn {
             .is_some_and(|word| word >> (i & 63) & 1 == 1)
     }
 
+    /// The packed null-bitmap words: bit `i & 63` of word `i >> 6` is set
+    /// when row `i` is null. The vector may be *shorter* than
+    /// `len().div_ceil(64)` — it only grows up to the word of the last null
+    /// pushed, and missing words mean "no nulls there". This is the same
+    /// word layout as the kernel selection masks in `proteus-core`
+    /// (`exec::mask`), so null propagation into a predicate mask is a
+    /// word-wise `OR` / `AND NOT` of this slice — no per-row [`TypedColumn::is_null`]
+    /// calls on the kernel path.
+    #[inline]
+    pub fn null_words(&self) -> &[u64] {
+        &self.nulls
+    }
+
     fn set_null_bit(&mut self, i: usize) {
         let word = i >> 6;
         if self.nulls.len() <= word {

@@ -378,9 +378,12 @@ impl InputPlugin for CsvPlugin {
             let data_type = self.inner.schema.field(field).unwrap().data_type.clone();
             // Vectorized path for Bool fields: they go through the Generic
             // accessor below (whose misses are Null), so their typed fill
-            // shares `parse_typed` directly — nullable bool columns. The
-            // scalar Int/Float/String fields get accessor-derived typed
-            // fills from `from_accessors`.
+            // shares `parse_typed` directly — nullable bool columns, every
+            // miss landing a bit in the column's packed null bitmap
+            // (`TypedColumn::push_null` / `null_words`), which the kernel
+            // mask loops then fold in word-wise. The scalar
+            // Int/Float/String fields get accessor-derived typed fills from
+            // `from_accessors`.
             if matches!(data_type, DataType::Bool) {
                 let plugin = self.clone();
                 let fill: crate::api::TypedFill =

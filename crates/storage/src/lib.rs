@@ -5,7 +5,7 @@
 //! * [`memory`] — the Memory Manager of §4: input files are mapped into
 //!   memory and treated as memory-resident; cache structures are pinned in a
 //!   budgeted arena.
-//! * [`column`] — typed in-memory column vectors plus the on-disk binary
+//! * [`column`](mod@column) — typed in-memory column vectors plus the on-disk binary
 //!   column format ("Proteus operates over binary column files similar to the
 //!   ones of MonetDB", §7.1).
 //! * [`row`] — the on-disk binary row format (row-oriented relational binary

@@ -3,7 +3,15 @@
 //! Umbrella crate of the Proteus reproduction (*Fast Queries Over
 //! Heterogeneous Data Through Engine Customization*, VLDB 2016). It
 //! re-exports the public API of the workspace crates so applications can
-//! depend on a single crate:
+//! depend on a single crate.
+//!
+//! **Architecture:** `ARCHITECTURE.md` at the repository root explains the
+//! four execution tiers (closure interpreter → morsel pipelines → typed
+//! bitmask kernels → typed sinks/joins), the kernel ≡ closure
+//! bit-exactness contract, and the per-operator eligibility rules;
+//! `BENCHMARKS.md` maps every `BENCH_*.json` report to its paper figure.
+//! `cargo run --release --example vectorized_pipeline` shows the tiers
+//! engaging on live queries.
 //!
 //! ```no_run
 //! use proteus::prelude::*;
