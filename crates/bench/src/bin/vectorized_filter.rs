@@ -119,7 +119,11 @@ fn main() {
 
     println!("generating {rows} synthetic lineitem rows (binary columns)...");
     let plugin = synthetic_lineitem(rows);
-    let kernels = QueryEngine::new(EngineConfig::without_caching());
+    // Morsel skipping off: this bench isolates per-row kernel vs closure
+    // cost and asserts `kernel_rows >= rows`, which zone-map skipping would
+    // legitimately break on the sawtooth key layout (it proves whole
+    // morsels). The skipping A/B lives in `zone_map_skipping`.
+    let kernels = QueryEngine::new(EngineConfig::without_caching().with_morsel_skipping(false));
     let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
     kernels.register_plugin(std::sync::Arc::new(plugin.clone()));
     closures.register_plugin(std::sync::Arc::new(plugin));

@@ -1,0 +1,167 @@
+//! Morsel-skipping A/B: the §5.2 per-morsel zone maps versus a full kernel
+//! scan over the same data, interleaved on the same host so the comparison
+//! absorbs frequency drift.
+//!
+//! Two layouts of the same 2M-row `i64` key column:
+//!
+//! * **clustered** — values ascend with the OID, so a `k < threshold`
+//!   predicate is provably false for every morsel past the threshold and
+//!   provably true for almost every morsel before it. Skipping makes the
+//!   scan cost ∝ survivors.
+//! * **random** — the same values shuffled, so every 1024-row zone spans
+//!   nearly the full domain and the zone maps can prove nothing. This is
+//!   the worst case: the bench asserts skipping costs ~nothing here.
+//!
+//! Selectivities 2% and 50%, skipping on vs off (one `EngineConfig` flag),
+//! reps interleaved. Emits `BENCH_zone_map_skipping.json`. Row count is
+//! overridable via `PROTEUS_ZONE_BENCH_ROWS` for the CI smoke; the ≥2x
+//! clustered-2% speedup assertion only arms at the full 2M rows, the
+//! correctness and `morsels_skipped`/kernel-engagement assertions always
+//! hold.
+
+use std::time::Instant;
+
+use proteus_algebra::{Expr, LogicalPlan, Monoid, ReduceSpec, Schema};
+use proteus_bench::harness::{checksum, checksums_agree, emit_bench_json, BenchRow};
+use proteus_core::{EngineConfig, QueryEngine};
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_storage::ColumnData;
+
+const DEFAULT_ROWS: usize = 2_000_000;
+const REPS: usize = 5;
+
+fn rows_from_env() -> usize {
+    std::env::var("PROTEUS_ZONE_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROWS)
+}
+
+/// Deterministic xorshift permutation source — same sequence every run, so
+/// the on/off arms always scan identical bytes.
+fn shuffle(values: &mut [i64]) {
+    let mut state = 0x9E3779B97F4A7C15u64;
+    for i in (1..values.len()).rev() {
+        state ^= state << 13;
+        state ^= state >> 7;
+        state ^= state << 17;
+        values.swap(i, (state % (i as u64 + 1)) as usize);
+    }
+}
+
+fn register(engine: &QueryEngine, dataset: &str, keys: &[i64]) {
+    let payload: Vec<f64> = keys.iter().map(|&k| (k % 97) as f64 * 0.5).collect();
+    let plugin = ColumnPlugin::from_pairs(
+        dataset,
+        vec![
+            ("k".to_string(), ColumnData::Int(keys.to_vec())),
+            ("p".to_string(), ColumnData::Float(payload)),
+        ],
+    )
+    .unwrap();
+    engine.register_plugin(std::sync::Arc::new(plugin));
+}
+
+fn plan(dataset: &str, threshold: i64) -> LogicalPlan {
+    LogicalPlan::scan(dataset, "t", Schema::empty())
+        .select(Expr::path("t.k").lt(Expr::int(threshold)))
+        .reduce(vec![
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ReduceSpec::new(Monoid::Sum, Expr::path("t.p"), "sum_p"),
+        ])
+}
+
+fn main() {
+    let rows = rows_from_env();
+    let full_size = rows >= DEFAULT_ROWS;
+
+    let clustered: Vec<i64> = (0..rows as i64).collect();
+    let mut random = clustered.clone();
+    shuffle(&mut random);
+
+    let skip_on = QueryEngine::new(EngineConfig::without_caching());
+    let skip_off = QueryEngine::new(EngineConfig::without_caching().with_morsel_skipping(false));
+    for engine in [&skip_on, &skip_off] {
+        register(engine, "zm_clustered", &clustered);
+        register(engine, "zm_random", &random);
+    }
+
+    let mut report = Vec::new();
+    println!("=== Morsel skipping A/B ({rows} rows, {REPS} interleaved reps) ===");
+    for (layout, dataset) in [("clustered", "zm_clustered"), ("random", "zm_random")] {
+        for selectivity_pct in [2u32, 50u32] {
+            let threshold = (rows as f64 * selectivity_pct as f64 / 100.0) as i64;
+            let query = plan(dataset, threshold);
+
+            let mut best = [f64::INFINITY; 2];
+            let mut checks = [0.0f64; 2];
+            let mut on_metrics = None;
+            // Interleave the arms so neither benefits from running last.
+            for _ in 0..REPS {
+                for (arm, engine) in [(0, &skip_on), (1, &skip_off)] {
+                    let start = Instant::now();
+                    let result = engine.execute_plan(query.clone()).unwrap();
+                    let millis = start.elapsed().as_secs_f64() * 1e3;
+                    best[arm] = best[arm].min(millis);
+                    checks[arm] = checksum(&result.rows);
+                    if arm == 0 {
+                        on_metrics = Some(result.metrics);
+                    } else {
+                        // The full scan must render compare kernels for
+                        // every row — proof the off arm measures real work.
+                        assert!(
+                            result.metrics.kernel_rows >= rows as u64,
+                            "skip-off arm did not engage the compare kernels"
+                        );
+                    }
+                }
+            }
+            assert!(
+                checksums_agree(checks[0], checks[1]),
+                "{layout}/{selectivity_pct}%: skipping changed the query result \
+                 ({} vs {})",
+                checks[0],
+                checks[1]
+            );
+            let metrics = on_metrics.unwrap();
+            if layout == "clustered" {
+                assert!(
+                    metrics.morsels_skipped > 0,
+                    "clustered layout must skip morsels (got {})",
+                    metrics
+                );
+                assert!(
+                    metrics.morsels_short_circuited > 0,
+                    "clustered layout must short-circuit all-pass morsels (got {})",
+                    metrics
+                );
+            }
+
+            let speedup = best[1] / best[0];
+            println!(
+                "{layout:>9} {selectivity_pct:>2}%: skip-on {:.2} ms vs skip-off {:.2} ms ({speedup:.2}x), \
+                 morsels={} skipped={} short-circuited={}",
+                best[0], best[1], metrics.morsels, metrics.morsels_skipped,
+                metrics.morsels_short_circuited
+            );
+            if full_size && layout == "clustered" && selectivity_pct == 2 {
+                assert!(
+                    speedup >= 2.0,
+                    "clustered 2% filter must speed up >= 2x with skipping (got {speedup:.2}x)"
+                );
+            }
+
+            for (arm, label) in [(0, "skip-on"), (1, "skip-off")] {
+                report.push(BenchRow {
+                    engine: label.to_string(),
+                    template: layout.to_string(),
+                    selectivity_pct,
+                    millis: best[arm],
+                    rows_per_sec: rows as f64 / (best[arm] / 1e3),
+                });
+            }
+        }
+    }
+
+    emit_bench_json("zone map skipping", rows, &report);
+}

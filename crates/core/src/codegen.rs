@@ -37,7 +37,7 @@ use std::time::{Duration, Instant};
 
 use proteus_algebra::{BinaryOp, Expr, JoinKind, LogicalPlan, Monoid, Record, ReduceSpec, Value};
 use proteus_optimizer::cache_match::cache_name_from_dataset;
-use proteus_plugins::{BatchFill, PluginRegistry, TypedKind};
+use proteus_plugins::{BatchFill, ColumnStats, PluginRegistry, TypedKind, ZoneMap};
 use proteus_storage::{CacheStore, ColumnData};
 
 use crate::cache_builder::{find_full_column_cache, should_cache_field, CacheBuilder};
@@ -55,6 +55,7 @@ pub struct Compiler {
     registry: PluginRegistry,
     caches: Option<CacheStore>,
     vectorized: bool,
+    morsel_skipping: bool,
 }
 
 /// Per-compilation planner state: which slot names any compiled closure
@@ -93,6 +94,7 @@ impl Compiler {
             registry,
             caches,
             vectorized: true,
+            morsel_skipping: true,
         }
     }
 
@@ -101,6 +103,16 @@ impl Compiler {
     /// pre-kernel execution model.
     pub fn with_vectorization(mut self, vectorized: bool) -> Compiler {
         self.vectorized = vectorized;
+        self
+    }
+
+    /// Enables or disables zone-map morsel skipping (builder style; on by
+    /// default). With `false` the scan attaches no zone maps, so every
+    /// morsel fills and runs the compare kernels — the pre-skipping model.
+    /// Skipping rides on the kernel tier, so disabling vectorization
+    /// disables it too.
+    pub fn with_morsel_skipping(mut self, morsel_skipping: bool) -> Compiler {
+        self.morsel_skipping = morsel_skipping;
         self
     }
 
@@ -388,9 +400,16 @@ impl Compiler {
                 let mut residual: Option<Expr> = Some(predicate.clone());
                 if self.vectorized {
                     if let Some(typed_slots) = scan_typed_kinds(&producer) {
-                        if let Some(planned) =
-                            kernels::plan_predicate(predicate, &layout, &typed_slots)
-                        {
+                        // Conjuncts order by estimated selectivity (from the
+                        // scan's observed bounds) so the most selective
+                        // compare packs first and the evaluator's dead-mask
+                        // exit can retire the rest.
+                        if let Some(planned) = kernels::plan_predicate_with_stats(
+                            predicate,
+                            &layout,
+                            &typed_slots,
+                            scan_slot_stats(&producer),
+                        ) {
                             try_activate_typed_slots(&mut producer, &planned.used_slots);
                             kernel = Some(planned.kernel);
                             residual = planned.residual;
@@ -538,6 +557,10 @@ impl Compiler {
         let mut served_from_cache: Vec<String> = Vec::new();
         let mut fields_from_plugin: Vec<String> = Vec::new();
         let mut slot_of_field: Vec<(String, usize)> = Vec::new();
+        // Tier 0: per-morsel zone maps, keyed by typed slot. The kernel tier
+        // is the consumer, so vectorization off implies skipping off.
+        let zone_maps_wanted = self.vectorized && self.morsel_skipping;
+        let mut zones: Vec<(usize, Arc<ZoneMap>)> = Vec::new();
 
         for field in &fields {
             let slot = layout.slot_for(&format!("{alias}.{field}"));
@@ -550,6 +573,9 @@ impl Compiler {
                 {
                     let shared = Arc::new(column);
                     fills.push((slot, batch_fill_over_column(shared.clone())));
+                    if zone_maps_wanted {
+                        zones.push((slot, Arc::new(ZoneMap::from_column(&shared))));
+                    }
                     if self.vectorized {
                         let (kind, fill) = proteus_plugins::column_typed_fill(shared);
                         typed.push(TypedSlotFill {
@@ -599,6 +625,27 @@ impl Compiler {
         } else {
             access_paths.push(format!("{dataset}: fully served from caches"));
         }
+        if zone_maps_wanted && !fields_from_plugin.is_empty() {
+            // Binary/cache plug-ins answer from their recorded maps; CSV and
+            // JSON derive (and memoize) them from their own typed fills, so
+            // the bounds agree with the lanes the kernels will compare.
+            for (field, zm) in plugin.zone_maps(&fields_from_plugin) {
+                if let Some((_, slot)) = slot_of_field.iter().find(|(f, _)| *f == field) {
+                    zones.push((*slot, zm));
+                }
+            }
+        }
+        // Dataset-level per-slot statistics for the selectivity-ordered
+        // predicate planner (compile-time only; dropped at prepare).
+        let slot_stats: Vec<(usize, ColumnStats)> = if self.vectorized {
+            let stats = plugin.statistics();
+            slot_of_field
+                .iter()
+                .filter_map(|(field, slot)| stats.column(field).map(|cs| (*slot, cs.clone())))
+                .collect()
+        } else {
+            Vec::new()
+        };
 
         // Cache-building side-effect: numeric fields read from verbose
         // sources that are not already cached.
@@ -682,6 +729,8 @@ impl Compiler {
                 cache_builder,
                 cache_field_slots,
                 cache_store: self.caches.clone(),
+                zones,
+                slot_stats,
             },
             layout,
         ))
@@ -844,6 +893,17 @@ fn scan_typed_kinds(producer: &Producer) -> Option<HashMap<usize, TypedKind>> {
         Producer::Scan { typed, .. } => Some(typed.iter().map(|t| (t.slot, t.kind)).collect()),
         Producer::Filter { input, .. } => scan_typed_kinds(input),
         _ => None,
+    }
+}
+
+/// The per-slot dataset statistics an (optionally filter-wrapped) scan
+/// aggregated from its zone maps; empty for producers without a scan
+/// underneath.
+fn scan_slot_stats(producer: &Producer) -> &[(usize, ColumnStats)] {
+    match producer {
+        Producer::Scan { slot_stats, .. } => slot_stats,
+        Producer::Filter { input, .. } => scan_slot_stats(input),
+        _ => &[],
     }
 }
 

@@ -45,6 +45,13 @@ pub struct EngineConfig {
     /// pins every selection to the compiled per-tuple closures — used by the
     /// kernel-vs-closure benchmarks and equivalence tests.
     pub vectorized: bool,
+    /// Consult per-morsel zone maps before a morsel's lanes render, skipping
+    /// morsels the leading kernel filter provably rejects and
+    /// short-circuiting morsels it provably accepts (the default). Rides on
+    /// the kernel tier: `vectorized: false` disables it too. `false` runs
+    /// the compare kernels on every morsel — used by the skipping-vs-full
+    /// benchmarks and equivalence tests.
+    pub morsel_skipping: bool,
 }
 
 impl Default for EngineConfig {
@@ -54,6 +61,7 @@ impl Default for EngineConfig {
             cache_budget: MemoryManager::DEFAULT_ARENA_BUDGET,
             parallelism: 1,
             vectorized: true,
+            morsel_skipping: true,
         }
     }
 }
@@ -86,6 +94,12 @@ impl EngineConfig {
     /// Enables or disables the vectorized predicate kernels (builder style).
     pub fn with_vectorized(mut self, vectorized: bool) -> EngineConfig {
         self.vectorized = vectorized;
+        self
+    }
+
+    /// Enables or disables zone-map morsel skipping (builder style).
+    pub fn with_morsel_skipping(mut self, morsel_skipping: bool) -> EngineConfig {
+        self.morsel_skipping = morsel_skipping;
         self
     }
 }
@@ -265,7 +279,8 @@ impl QueryEngine {
             self.registry.clone(),
             self.config.caching_enabled.then(|| self.caches.clone()),
         )
-        .with_vectorization(self.config.vectorized);
+        .with_vectorization(self.config.vectorized)
+        .with_morsel_skipping(self.config.morsel_skipping);
         let compiled = compiler.compile(&optimized.plan)?;
         let ir = compiled.ir.clone();
         let access_paths = compiled.access_paths.clone();
@@ -297,7 +312,8 @@ impl QueryEngine {
             self.registry.clone(),
             self.config.caching_enabled.then(|| self.caches.clone()),
         )
-        .with_vectorization(self.config.vectorized);
+        .with_vectorization(self.config.vectorized)
+        .with_morsel_skipping(self.config.morsel_skipping);
         let compiled = compiler.compile(&optimized.plan)?;
         Ok(format!(
             "== Optimized plan (estimated cost {:.1}, cardinality {:.1}) ==\n{}\n== Generated engine (pseudo-IR) ==\n{}",

@@ -1,0 +1,426 @@
+//! Secondary indexes that answer predicates by emitting packed bitmask words.
+//!
+//! The paper's §5.2 access-path layer keeps per-attribute auxiliary
+//! structures next to the raw data so selective predicates can be answered
+//! in cost ∝ survivors instead of cost ∝ rows. This module is that layer
+//! for in-memory binary/cache columns:
+//!
+//! * [`SortedIndex`] — a sorted `(key, oid)` run over an `i64`/`f64`
+//!   column. Every [`CmpOp`] becomes one or two `partition_point` probes
+//!   plus a walk over exactly the matching entries.
+//! * [`HashIndex`] — oid postings lists keyed by `i64` or string value,
+//!   answering equality in a single bucket lookup.
+//!
+//! Both emit their answers directly in the packed selection-mask
+//! representation of [`super::mask`]: row `i` lives in bit `i & 63` of word
+//! `i >> 6`, words beyond the row count stay absent, and tail bits past the
+//! last row stay zero. That makes an index answer a drop-in left operand
+//! for the kernel tier — residual predicates the index cannot answer are
+//! rendered by [`super::kernels`] into a second mask and composed with a
+//! word-wise [`mask::and`], exactly like one more conjunct.
+//!
+//! Key order matches the compare kernels bit for bit: `i64` keys are
+//! widened to their `f64` view and all comparisons use [`f64::total_cmp`],
+//! the same total order (`-0.0 < 0.0`, NaN greatest) that
+//! `kernels::eval_pred` applies lane-wise. The parity tests below pin that
+//! equivalence for every operator at word-boundary row counts.
+//!
+//! Rows answered by an index (bits it set without any per-row compare)
+//! are reported through `ExecutionMetrics::index_rows` by the callers that
+//! probe indexes — see the `microbench_indexes` bench bin.
+
+use std::cmp::Ordering;
+use std::collections::HashMap;
+
+use proteus_storage::ColumnData;
+
+use super::kernels::CmpOp;
+use super::mask;
+
+/// A sorted secondary index over a numeric (`i64` or `f64`) column.
+///
+/// Stores one `(key, oid)` entry per row, sorted by [`f64::total_cmp`] on
+/// the key. Range and equality predicates are answered by binary-searching
+/// the run boundaries and setting one bit per matching entry.
+#[derive(Debug, Clone)]
+pub struct SortedIndex {
+    /// Number of rows in the indexed column (the mask domain).
+    rows: usize,
+    /// `(key, oid)` pairs in `total_cmp` key order; `i64` keys are stored
+    /// as their `f64` view so index order equals kernel compare order.
+    entries: Vec<(f64, u32)>,
+}
+
+impl SortedIndex {
+    /// Builds a sorted index over a numeric column. Returns `None` for
+    /// non-numeric columns (index those with a [`HashIndex`] instead).
+    pub fn build(col: &ColumnData) -> Option<SortedIndex> {
+        let mut entries: Vec<(f64, u32)> = match col {
+            ColumnData::Int(v) => v.iter().zip(0u32..).map(|(&k, o)| (k as f64, o)).collect(),
+            ColumnData::Float(v) => v.iter().zip(0u32..).map(|(&k, o)| (k, o)).collect(),
+            ColumnData::Bool(_) | ColumnData::Str(_) => return None,
+        };
+        entries.sort_unstable_by(|a, b| a.0.total_cmp(&b.0));
+        Some(SortedIndex {
+            rows: col.len(),
+            entries,
+        })
+    }
+
+    /// Number of rows the index covers.
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    /// Heap footprint of the index payload in bytes.
+    pub fn size_bytes(&self) -> usize {
+        self.entries.len() * std::mem::size_of::<(f64, u32)>()
+    }
+
+    /// Answers `column <op> literal` into `out` as a packed bitmask over
+    /// all indexed rows (tail bits zero) and returns the number of set
+    /// bits. The verdict is bit-exact with the compare kernels: `total_cmp`
+    /// key order, and `Neq` as the complement of the equal run (the indexed
+    /// `ColumnData` representation has no nulls, so the complement is
+    /// exact).
+    pub fn eval_into(&self, op: CmpOp, literal: f64, out: &mut Vec<u64>) -> usize {
+        mask::fill(out, self.rows, false);
+        let lower = self
+            .entries
+            .partition_point(|(k, _)| k.total_cmp(&literal) == Ordering::Less);
+        let upper = self
+            .entries
+            .partition_point(|(k, _)| k.total_cmp(&literal) != Ordering::Greater);
+        let end = self.entries.len();
+        let ranges = match op {
+            CmpOp::Lt => [0..lower, 0..0],
+            CmpOp::Le => [0..upper, 0..0],
+            CmpOp::Gt => [upper..end, 0..0],
+            CmpOp::Ge => [lower..end, 0..0],
+            CmpOp::Eq => [lower..upper, 0..0],
+            CmpOp::Neq => [0..lower, upper..end],
+        };
+        let mut matched = 0;
+        for range in ranges {
+            matched += range.len();
+            for &(_, oid) in &self.entries[range] {
+                mask::set(out, oid as usize);
+            }
+        }
+        matched
+    }
+
+    /// Convenience wrapper around [`SortedIndex::eval_into`] that allocates
+    /// the mask.
+    pub fn eval(&self, op: CmpOp, literal: f64) -> (Vec<u64>, usize) {
+        let mut out = Vec::new();
+        let matched = self.eval_into(op, literal, &mut out);
+        (out, matched)
+    }
+}
+
+/// An equality key for a [`HashIndex`] probe.
+#[derive(Debug, Clone, Copy)]
+pub enum IndexKey<'a> {
+    /// An integer key.
+    I64(i64),
+    /// A string key.
+    Str(&'a str),
+}
+
+/// Per-value oid postings lists over an `i64` or string column, answering
+/// equality predicates in one bucket lookup.
+#[derive(Debug, Clone)]
+pub enum HashIndex {
+    /// Postings keyed by integer value.
+    I64 {
+        /// Number of rows the index covers.
+        rows: usize,
+        /// Value → ascending oids holding that value.
+        buckets: HashMap<i64, Vec<u32>>,
+    },
+    /// Postings keyed by string value.
+    Str {
+        /// Number of rows the index covers.
+        rows: usize,
+        /// Value → ascending oids holding that value.
+        buckets: HashMap<String, Vec<u32>>,
+    },
+}
+
+impl HashIndex {
+    /// Builds a hash index over an `i64` or string column. Returns `None`
+    /// for float/bool columns (range-index floats with a [`SortedIndex`]).
+    pub fn build(col: &ColumnData) -> Option<HashIndex> {
+        match col {
+            ColumnData::Int(v) => {
+                let mut buckets: HashMap<i64, Vec<u32>> = HashMap::new();
+                for (oid, &k) in v.iter().enumerate() {
+                    buckets.entry(k).or_default().push(oid as u32);
+                }
+                Some(HashIndex::I64 {
+                    rows: v.len(),
+                    buckets,
+                })
+            }
+            ColumnData::Str(v) => {
+                let mut buckets: HashMap<String, Vec<u32>> = HashMap::new();
+                for (oid, k) in v.iter().enumerate() {
+                    buckets.entry(k.clone()).or_default().push(oid as u32);
+                }
+                Some(HashIndex::Str {
+                    rows: v.len(),
+                    buckets,
+                })
+            }
+            ColumnData::Float(_) | ColumnData::Bool(_) => None,
+        }
+    }
+
+    /// Number of rows the index covers.
+    pub fn rows(&self) -> usize {
+        match self {
+            HashIndex::I64 { rows, .. } | HashIndex::Str { rows, .. } => *rows,
+        }
+    }
+
+    /// Number of distinct keys in the index.
+    pub fn distinct_keys(&self) -> usize {
+        match self {
+            HashIndex::I64 { buckets, .. } => buckets.len(),
+            HashIndex::Str { buckets, .. } => buckets.len(),
+        }
+    }
+
+    /// Answers `column = key` into `out` as a packed bitmask over all
+    /// indexed rows and returns the number of set bits. A key of the wrong
+    /// type matches nothing (mirroring the strict-typed compare kernels,
+    /// which never coerce strings to numbers).
+    pub fn eval_eq_into(&self, key: IndexKey<'_>, out: &mut Vec<u64>) -> usize {
+        mask::fill(out, self.rows(), false);
+        let postings = match (self, key) {
+            (HashIndex::I64 { buckets, .. }, IndexKey::I64(k)) => buckets.get(&k),
+            (HashIndex::Str { buckets, .. }, IndexKey::Str(k)) => buckets.get(k),
+            _ => None,
+        };
+        let Some(postings) = postings else { return 0 };
+        for &oid in postings {
+            mask::set(out, oid as usize);
+        }
+        postings.len()
+    }
+
+    /// Convenience wrapper around [`HashIndex::eval_eq_into`] that
+    /// allocates the mask.
+    pub fn eval_eq(&self, key: IndexKey<'_>) -> (Vec<u64>, usize) {
+        let mut out = Vec::new();
+        let matched = self.eval_eq_into(key, &mut out);
+        (out, matched)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::exec::batch::BindingBatch;
+    use crate::exec::kernels::{eval_pred, KernelPred, NumExpr, Scratch};
+    use proteus_plugins::TypedKind;
+    use rand::rngs::StdRng;
+    use rand::{Rng, SeedableRng};
+
+    const OPS: [CmpOp; 6] = [
+        CmpOp::Eq,
+        CmpOp::Neq,
+        CmpOp::Lt,
+        CmpOp::Le,
+        CmpOp::Gt,
+        CmpOp::Ge,
+    ];
+
+    /// Word-boundary row counts: the mask edge cases around 64-bit words
+    /// and the morsel size.
+    const ROW_COUNTS: [usize; 6] = [63, 64, 65, 1023, 1024, 1025];
+
+    /// Builds a batch whose slot 0 typed column holds exactly `col` (no
+    /// nulls) so the compare kernels see the same rows as the index.
+    fn batch_over(col: &ColumnData) -> BindingBatch {
+        let rows = col.len();
+        let mut batch = BindingBatch::new();
+        batch.reset(1, rows);
+        match col {
+            ColumnData::Int(v) => {
+                batch.typed_col_mut(0).begin(TypedKind::I64, rows);
+                for &x in v {
+                    batch.typed_col_mut(0).push_i64(x);
+                }
+            }
+            ColumnData::Float(v) => {
+                batch.typed_col_mut(0).begin(TypedKind::F64, rows);
+                for &x in v {
+                    batch.typed_col_mut(0).push_f64(x);
+                }
+            }
+            ColumnData::Str(v) => {
+                batch.typed_col_mut(0).begin(TypedKind::Str, rows);
+                for x in v {
+                    batch.typed_col_mut(0).push_str(x);
+                }
+            }
+            ColumnData::Bool(_) => unreachable!("no bool parity fixtures"),
+        }
+        batch
+    }
+
+    fn kernel_mask(pred: &KernelPred, batch: &BindingBatch, rows: usize) -> Vec<u64> {
+        let mut mask = Vec::new();
+        let mut scratch = Scratch::new();
+        eval_pred(pred, batch, rows, &mut mask, &mut scratch);
+        mask
+    }
+
+    #[test]
+    fn sorted_index_matches_compare_kernels_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(0xA11CE);
+        for rows in ROW_COUNTS {
+            // Duplicates (small key domain), negatives, and float
+            // edge values (-0.0) all in range.
+            let ints: Vec<i64> = (0..rows).map(|_| rng.gen_range(-40i64..40)).collect();
+            let floats: Vec<f64> = (0..rows)
+                .map(|_| {
+                    if rng.gen_range(0u32..20) == 0 {
+                        -0.0
+                    } else {
+                        (rng.gen_range(-30.0f64..30.0) * 4.0).round() / 4.0
+                    }
+                })
+                .collect();
+            for (col, slot_expr) in [
+                (ColumnData::Int(ints.clone()), NumExpr::SlotI64(0)),
+                (ColumnData::Float(floats.clone()), NumExpr::SlotF64(0)),
+            ] {
+                let index = SortedIndex::build(&col).expect("numeric column");
+                let batch = batch_over(&col);
+                for _ in 0..16 {
+                    let lit = (rng.gen_range(-45.0f64..45.0) * 4.0).round() / 4.0;
+                    for op in OPS {
+                        let (index_mask, matched) = index.eval(op, lit);
+                        let pred = KernelPred::CmpNum {
+                            op,
+                            lhs: slot_expr.clone(),
+                            rhs: NumExpr::ConstF64(lit),
+                        };
+                        let kernel = kernel_mask(&pred, &batch, rows);
+                        assert_eq!(
+                            index_mask, kernel,
+                            "rows={rows} op={op:?} lit={lit} index mask diverged"
+                        );
+                        assert_eq!(matched, mask::count_ones(&index_mask));
+                    }
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn sorted_index_handles_minus_zero_like_total_cmp() {
+        let col = ColumnData::Float(vec![-0.0, 0.0, 1.0, -1.0, -0.0]);
+        let index = SortedIndex::build(&col).unwrap();
+        let batch = batch_over(&col);
+        // total_cmp: -0.0 < 0.0, so Lt 0.0 selects the two -0.0 rows and
+        // -1.0 — same as the kernels' lane-wise total_cmp.
+        for (op, lit) in [(CmpOp::Lt, 0.0), (CmpOp::Eq, -0.0), (CmpOp::Ge, 0.0)] {
+            let (index_mask, _) = index.eval(op, lit);
+            let pred = KernelPred::CmpNum {
+                op,
+                lhs: NumExpr::SlotF64(0),
+                rhs: NumExpr::ConstF64(lit),
+            };
+            assert_eq!(index_mask, kernel_mask(&pred, &batch, col.len()));
+        }
+    }
+
+    #[test]
+    fn hash_index_matches_equality_kernels_bit_exactly() {
+        let mut rng = StdRng::seed_from_u64(0xB0B);
+        let words = ["", "fox", "quick fox", "lazy", "zebra", "ant"];
+        for rows in ROW_COUNTS {
+            let ints: Vec<i64> = (0..rows).map(|_| rng.gen_range(-20i64..20)).collect();
+            let strs: Vec<String> = (0..rows)
+                .map(|_| words[rng.gen_range(0..words.len())].to_string())
+                .collect();
+
+            let col = ColumnData::Int(ints.clone());
+            let index = HashIndex::build(&col).expect("int column");
+            let batch = batch_over(&col);
+            for _ in 0..16 {
+                let key = rng.gen_range(-25i64..25);
+                let (index_mask, matched) = index.eval_eq(IndexKey::I64(key));
+                let pred = KernelPred::CmpNum {
+                    op: CmpOp::Eq,
+                    lhs: NumExpr::SlotI64(0),
+                    rhs: NumExpr::ConstI64(key),
+                };
+                let kernel = kernel_mask(&pred, &batch, rows);
+                assert_eq!(index_mask, kernel, "rows={rows} key={key}");
+                assert_eq!(matched, mask::count_ones(&index_mask));
+            }
+
+            let col = ColumnData::Str(strs.clone());
+            let index = HashIndex::build(&col).expect("str column");
+            let batch = batch_over(&col);
+            for probe in words.iter().chain(["nope"].iter()) {
+                let (index_mask, _) = index.eval_eq(IndexKey::Str(probe));
+                let pred = KernelPred::CmpStr {
+                    op: CmpOp::Eq,
+                    slot: 0,
+                    lit: probe.to_string(),
+                };
+                assert_eq!(index_mask, kernel_mask(&pred, &batch, rows));
+            }
+        }
+    }
+
+    #[test]
+    fn index_mask_composes_with_residual_kernel_via_and() {
+        // `i < 10 AND i * 3 > 9`: the sorted index answers the range half,
+        // the kernels render the residual, and the word-wise AND must equal
+        // the kernels rendering the whole conjunction.
+        let mut rng = StdRng::seed_from_u64(7);
+        let rows = 1025;
+        let ints: Vec<i64> = (0..rows).map(|_| rng.gen_range(0i64..64)).collect();
+        let col = ColumnData::Int(ints);
+        let index = SortedIndex::build(&col).unwrap();
+        let batch = batch_over(&col);
+        let residual = KernelPred::CmpNum {
+            op: CmpOp::Gt,
+            lhs: NumExpr::Arith {
+                op: crate::exec::kernels::ArithOp::Mul,
+                lhs: Box::new(NumExpr::SlotI64(0)),
+                rhs: Box::new(NumExpr::ConstI64(3)),
+            },
+            rhs: NumExpr::ConstI64(9),
+        };
+        let range = KernelPred::CmpNum {
+            op: CmpOp::Lt,
+            lhs: NumExpr::SlotI64(0),
+            rhs: NumExpr::ConstI64(10),
+        };
+        let whole = KernelPred::And(vec![range, residual.clone()]);
+
+        let (mut composed, _) = index.eval(CmpOp::Lt, 10.0);
+        let residual_mask = kernel_mask(&residual, &batch, rows);
+        mask::and(&mut composed, &residual_mask);
+
+        assert_eq!(composed, kernel_mask(&whole, &batch, rows));
+    }
+
+    #[test]
+    fn wrong_key_type_matches_nothing() {
+        let index = HashIndex::build(&ColumnData::Int(vec![1, 2, 3])).unwrap();
+        let (mask_out, matched) = index.eval_eq(IndexKey::Str("1"));
+        assert_eq!(matched, 0);
+        assert_eq!(mask::count_ones(&mask_out), 0);
+        assert!(SortedIndex::build(&ColumnData::Str(vec!["a".into()])).is_none());
+        assert!(HashIndex::build(&ColumnData::Float(vec![1.0])).is_none());
+    }
+}

@@ -51,10 +51,12 @@
 
 use std::cmp::Ordering;
 use std::collections::HashMap;
+use std::sync::Arc;
 
 use proteus_algebra::monoid::Accumulator;
 use proteus_algebra::{BinaryOp, Expr, Monoid, ReduceSpec, UnaryOp, Value};
-use proteus_plugins::{TypedColumn, TypedKind};
+use proteus_plugins::zonemap::ZoneEntry;
+use proteus_plugins::{ColumnStats, TypedColumn, TypedKind, ZoneMap};
 
 use crate::exec::batch::BindingBatch;
 use crate::exec::expr::BindingLayout;
@@ -480,6 +482,239 @@ fn plan_num(
 }
 
 // ---------------------------------------------------------------------------
+// Selectivity-ordered planning (zone-map statistics feeding the planner).
+// ---------------------------------------------------------------------------
+
+/// Like [`plan_predicate`], but orders the kernel-eligible conjuncts by
+/// estimated selectivity (most selective first) before packing them into the
+/// [`KernelPred::And`]. Combined with the conjunction evaluator's dead-mask
+/// early exit, the most selective compare renders first and the remaining
+/// kernels often see an already-dead mask and never run. `slot_stats` pairs
+/// typed slots with the per-column statistics the scan's zone maps
+/// aggregated; conjuncts whose selectivity cannot be estimated keep their
+/// source order at the back (the sort is stable). The reorder is bit-exact:
+/// `AND` over packed masks is commutative.
+pub fn plan_predicate_with_stats(
+    predicate: &Expr,
+    layout: &BindingLayout,
+    typed_slots: &HashMap<usize, TypedKind>,
+    slot_stats: &[(usize, ColumnStats)],
+) -> Option<PlannedPredicate> {
+    let mut planned = plan_predicate(predicate, layout, typed_slots)?;
+    if slot_stats.is_empty() {
+        return Some(planned);
+    }
+    if let KernelPred::And(parts) = &mut planned.kernel {
+        let mut keyed: Vec<(f64, KernelPred)> = parts
+            .drain(..)
+            .map(|p| (estimate_selectivity(&p, slot_stats), p))
+            .collect();
+        keyed.sort_by(|a, b| a.0.total_cmp(&b.0));
+        parts.extend(keyed.into_iter().map(|(_, p)| p));
+    }
+    Some(planned)
+}
+
+/// Estimated fraction of rows one kernel conjunct passes, from the scan's
+/// observed column bounds. Only bare slot-vs-literal numeric comparisons are
+/// estimated; everything else reports 1.0 (kept at the back, source order).
+fn estimate_selectivity(pred: &KernelPred, slot_stats: &[(usize, ColumnStats)]) -> f64 {
+    let KernelPred::CmpNum { op, lhs, rhs } = pred else {
+        return 1.0;
+    };
+    let (op, slot, bound) = match (lhs, rhs) {
+        (NumExpr::SlotI64(s) | NumExpr::SlotF64(s), NumExpr::ConstI64(c)) => {
+            (*op, *s, Value::Int(*c))
+        }
+        (NumExpr::SlotI64(s) | NumExpr::SlotF64(s), NumExpr::ConstF64(c)) => {
+            (*op, *s, Value::Float(*c))
+        }
+        (NumExpr::ConstI64(c), NumExpr::SlotI64(s) | NumExpr::SlotF64(s)) => {
+            (op.flipped(), *s, Value::Int(*c))
+        }
+        (NumExpr::ConstF64(c), NumExpr::SlotI64(s) | NumExpr::SlotF64(s)) => {
+            (op.flipped(), *s, Value::Float(*c))
+        }
+        _ => return 1.0,
+    };
+    let Some((_, stats)) = slot_stats.iter().find(|(s, _)| *s == slot) else {
+        return 1.0;
+    };
+    match op {
+        CmpOp::Lt | CmpOp::Le => stats.selectivity_lt(&bound),
+        CmpOp::Gt | CmpOp::Ge => 1.0 - stats.selectivity_lt(&bound),
+        CmpOp::Eq => stats.selectivity_eq(),
+        CmpOp::Neq => 1.0 - stats.selectivity_eq(),
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Zone-map classification: morsel skipping before any lanes render.
+// ---------------------------------------------------------------------------
+
+/// What a morsel's zone entries prove about a kernel predicate.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ZoneVerdict {
+    /// No row of the morsel can pass: skip it without running its typed
+    /// fills.
+    NonePass,
+    /// Every row of the morsel passes: fill it, then short-circuit the
+    /// compare kernels to an identity selection.
+    AllPass,
+    /// The zone bounds straddle the predicate: run the compare kernels.
+    Ambiguous,
+}
+
+/// Classifies one morsel of a scan against a kernel predicate using
+/// per-morsel zone maps (`zones` pairs typed slots with their column's
+/// [`ZoneMap`]). Sound by construction: a verdict other than
+/// [`ZoneVerdict::Ambiguous`] is returned only when the zone bounds — kept in
+/// the same `f64` total order the compare kernels evaluate in — prove the
+/// kernel mask would come out all-zero (`NonePass`) or all-one (`AllPass`)
+/// over the morsel's rows, nulls included. Anything the zones cannot prove
+/// (string/bool compares over non-degenerate zones, arithmetic,
+/// slot-vs-slot, missing maps) is `Ambiguous`.
+pub fn classify_morsel(
+    pred: &KernelPred,
+    zones: &[(usize, Arc<ZoneMap>)],
+    morsel: usize,
+) -> ZoneVerdict {
+    use ZoneVerdict::*;
+    let entry = |slot: usize| -> Option<&ZoneEntry> {
+        zones
+            .iter()
+            .find(|(s, _)| *s == slot)
+            .and_then(|(_, zm)| zm.entry(morsel))
+    };
+    match pred {
+        KernelPred::Const(b) => {
+            if *b {
+                AllPass
+            } else {
+                NonePass
+            }
+        }
+        KernelPred::IsNull(slot) => match entry(*slot) {
+            Some(e) if e.all_null() => AllPass,
+            Some(e) if e.null_count == 0 => NonePass,
+            _ => Ambiguous,
+        },
+        // Null bool lanes and null haystacks evaluate to false.
+        KernelPred::BoolSlot(slot) | KernelPred::StrContains { slot, .. } => match entry(*slot) {
+            Some(e) if e.all_null() => NonePass,
+            _ => Ambiguous,
+        },
+        // The evaluator's null rule: `Neq` against a null is true, every
+        // other comparison false — decidable only for all-null zones.
+        KernelPred::CmpBool { op, slot, .. } | KernelPred::CmpStr { op, slot, .. } => {
+            match entry(*slot) {
+                Some(e) if e.all_null() => {
+                    if *op == CmpOp::Neq {
+                        AllPass
+                    } else {
+                        NonePass
+                    }
+                }
+                _ => Ambiguous,
+            }
+        }
+        KernelPred::CmpNum { op, lhs, rhs } => {
+            let (op, slot, c) = match (lhs, rhs) {
+                (NumExpr::SlotI64(s) | NumExpr::SlotF64(s), NumExpr::ConstI64(c)) => {
+                    (*op, *s, *c as f64)
+                }
+                (NumExpr::SlotI64(s) | NumExpr::SlotF64(s), NumExpr::ConstF64(c)) => (*op, *s, *c),
+                (NumExpr::ConstI64(c), NumExpr::SlotI64(s) | NumExpr::SlotF64(s)) => {
+                    (op.flipped(), *s, *c as f64)
+                }
+                (NumExpr::ConstF64(c), NumExpr::SlotI64(s) | NumExpr::SlotF64(s)) => {
+                    (op.flipped(), *s, *c)
+                }
+                _ => return Ambiguous,
+            };
+            match entry(slot) {
+                Some(e) => classify_cmp_zone(op, e, c),
+                None => Ambiguous,
+            }
+        }
+        KernelPred::Not(inner) => match classify_morsel(inner, zones, morsel) {
+            AllPass => NonePass,
+            NonePass => AllPass,
+            Ambiguous => Ambiguous,
+        },
+        KernelPred::And(parts) => {
+            let mut all = AllPass;
+            for part in parts {
+                match classify_morsel(part, zones, morsel) {
+                    NonePass => return NonePass,
+                    Ambiguous => all = Ambiguous,
+                    AllPass => {}
+                }
+            }
+            all
+        }
+        KernelPred::Or(parts) => {
+            let mut none = NonePass;
+            for part in parts {
+                match classify_morsel(part, zones, morsel) {
+                    AllPass => return AllPass,
+                    Ambiguous => none = Ambiguous,
+                    NonePass => {}
+                }
+            }
+            none
+        }
+    }
+}
+
+/// `slot op c` against one zone's `[min, max]` bounds, in the `f64` total
+/// order of [`eval_cmp_num`] (so `-0.0 < 0.0` and NaN sorts last, exactly
+/// as the kernels compare).
+fn classify_cmp_zone(op: CmpOp, e: &ZoneEntry, c: f64) -> ZoneVerdict {
+    use Ordering::*;
+    use ZoneVerdict::*;
+    if e.all_null() {
+        // A null lane compares false, except under `Neq`.
+        return if op == CmpOp::Neq { AllPass } else { NonePass };
+    }
+    if !e.numeric {
+        return Ambiguous;
+    }
+    let lo = e.min.total_cmp(&c);
+    let hi = e.max.total_cmp(&c);
+    // "Every non-null row passes" upgrades to AllPass only when the zone has
+    // no nulls to drag the mask down (`Neq` is the exception: nulls pass).
+    let nulls = e.null_count > 0;
+    let all_unless_nulls = |cond: bool, none: bool| {
+        if cond && !nulls {
+            AllPass
+        } else if none {
+            NonePass
+        } else {
+            Ambiguous
+        }
+    };
+    match op {
+        CmpOp::Lt => all_unless_nulls(hi == Less, lo != Less),
+        CmpOp::Le => all_unless_nulls(hi != Greater, lo == Greater),
+        CmpOp::Gt => all_unless_nulls(lo == Greater, hi != Greater),
+        CmpOp::Ge => all_unless_nulls(lo != Less, hi == Less),
+        CmpOp::Eq => all_unless_nulls(lo == Equal && hi == Equal, lo == Greater || hi == Less),
+        CmpOp::Neq => {
+            if lo == Greater || hi == Less {
+                // Out-of-range values differ from the literal, and nulls pass
+                // `Neq` too.
+                AllPass
+            } else if lo == Equal && hi == Equal && !nulls {
+                NonePass
+            } else {
+                Ambiguous
+            }
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
 // Evaluation: dense mask kernels + compress-store selection update.
 // ---------------------------------------------------------------------------
 
@@ -655,6 +890,13 @@ pub(crate) fn eval_pred(
             eval_pred(&parts[0], batch, rows, mask, scratch);
             let mut tmp = scratch.take_mask();
             for part in &parts[1..] {
+                // A dead conjunction stays dead: further `AND`s cannot set
+                // bits, so stop rendering the remaining compares. With the
+                // stats-ordered planner the most selective conjunct runs
+                // first, making this exit the common case on selective scans.
+                if mask.iter().all(|w| *w == 0) {
+                    break;
+                }
                 eval_pred(part, batch, rows, &mut tmp, scratch);
                 mask::and(mask, &tmp);
             }
@@ -2522,5 +2764,152 @@ mod tests {
         };
         apply_filter(&pred, &mut batch, &mut scratch);
         assert_eq!(batch.sel(), &[0, 2, 5]);
+    }
+
+    #[test]
+    fn stats_ordered_planner_puts_selective_conjunct_first() {
+        use proteus_plugins::ColumnStats;
+        let layout = layout();
+        let typed = typed_map();
+        // t.i < 90 passes ~90% of [0, 100); t.f < 10.0 passes ~10%.
+        let pred = Expr::path("t.i")
+            .lt(Expr::int(90))
+            .and(Expr::path("t.f").lt(Expr::float(10.0)));
+        let stats = vec![
+            (
+                0usize,
+                ColumnStats {
+                    min: Value::Int(0),
+                    max: Value::Int(100),
+                    distinct: 100,
+                    nulls: 0,
+                },
+            ),
+            (
+                1usize,
+                ColumnStats {
+                    min: Value::Float(0.0),
+                    max: Value::Float(100.0),
+                    distinct: 100,
+                    nulls: 0,
+                },
+            ),
+        ];
+        let planned = plan_predicate_with_stats(&pred, &layout, &typed, &stats).unwrap();
+        let KernelPred::And(parts) = &planned.kernel else {
+            panic!("expected a conjunction");
+        };
+        // The float conjunct (10% estimated) must render before the int one.
+        assert!(matches!(
+            &parts[0],
+            KernelPred::CmpNum {
+                lhs: NumExpr::SlotF64(1),
+                ..
+            }
+        ));
+        // Without stats the source order is preserved.
+        let planned = plan_predicate_with_stats(&pred, &layout, &typed, &[]).unwrap();
+        let KernelPred::And(parts) = &planned.kernel else {
+            panic!("expected a conjunction");
+        };
+        assert!(matches!(
+            &parts[0],
+            KernelPred::CmpNum {
+                lhs: NumExpr::SlotI64(0),
+                ..
+            }
+        ));
+    }
+
+    fn zone_fixture() -> Vec<(usize, Arc<ZoneMap>)> {
+        use proteus_storage::ColumnData;
+        // Slot 0: zone 0 holds 0..1024, zone 1 holds 1024..2048.
+        let zm = ZoneMap::from_column(&ColumnData::Int((0..2048).collect()));
+        vec![(0usize, Arc::new(zm))]
+    }
+
+    fn cmp(op: CmpOp, lit: i64) -> KernelPred {
+        KernelPred::CmpNum {
+            op,
+            lhs: NumExpr::SlotI64(0),
+            rhs: NumExpr::ConstI64(lit),
+        }
+    }
+
+    #[test]
+    fn zone_classification_skips_and_short_circuits() {
+        use ZoneVerdict::*;
+        let zones = zone_fixture();
+        // Zone 0 = [0, 1023], zone 1 = [1024, 2047].
+        assert_eq!(classify_morsel(&cmp(CmpOp::Lt, 1024), &zones, 0), AllPass);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Lt, 1024), &zones, 1), NonePass);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Lt, 500), &zones, 0), Ambiguous);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Ge, 1024), &zones, 1), AllPass);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Le, 1023), &zones, 0), AllPass);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Gt, 2047), &zones, 1), NonePass);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Eq, 5000), &zones, 0), NonePass);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Eq, 5), &zones, 0), Ambiguous);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Neq, 5000), &zones, 1), AllPass);
+        // Literal-first comparisons flip: `2000 < slot` over zone 0 is empty.
+        let flipped = KernelPred::CmpNum {
+            op: CmpOp::Lt,
+            lhs: NumExpr::ConstI64(2000),
+            rhs: NumExpr::SlotI64(0),
+        };
+        assert_eq!(classify_morsel(&flipped, &zones, 0), NonePass);
+        assert_eq!(classify_morsel(&flipped, &zones, 1), Ambiguous);
+        // Connectives fold verdicts.
+        let and = KernelPred::And(vec![cmp(CmpOp::Lt, 1024), cmp(CmpOp::Ge, 0)]);
+        assert_eq!(classify_morsel(&and, &zones, 0), AllPass);
+        assert_eq!(classify_morsel(&and, &zones, 1), NonePass);
+        let or = KernelPred::Or(vec![cmp(CmpOp::Lt, 500), cmp(CmpOp::Ge, 0)]);
+        assert_eq!(classify_morsel(&or, &zones, 0), AllPass);
+        assert_eq!(
+            classify_morsel(&KernelPred::Not(Box::new(cmp(CmpOp::Lt, 1024))), &zones, 0),
+            NonePass
+        );
+        // No zone map / no entry for the morsel → run the kernels.
+        assert_eq!(classify_morsel(&cmp(CmpOp::Lt, 1024), &zones, 9), Ambiguous);
+        let unmapped = KernelPred::CmpNum {
+            op: CmpOp::Lt,
+            lhs: NumExpr::SlotI64(7),
+            rhs: NumExpr::ConstI64(3),
+        };
+        assert_eq!(classify_morsel(&unmapped, &zones, 0), Ambiguous);
+        // IsNull over a null-free zone is statically empty.
+        assert_eq!(classify_morsel(&KernelPred::IsNull(0), &zones, 0), NonePass);
+    }
+
+    #[test]
+    fn zone_classification_handles_nulls() {
+        use proteus_plugins::{TypedColumn, TypedFill, TypedKind};
+        use ZoneVerdict::*;
+        // Zone 0: values 0..1024 with every third row null; zone 1 all null.
+        let fill: TypedFill = Arc::new(|start, count, out: &mut TypedColumn| {
+            out.begin(TypedKind::I64, count);
+            for oid in start..start + count as u64 {
+                if oid >= 1024 || oid % 3 == 0 {
+                    out.push_null();
+                } else {
+                    out.push_i64(oid as i64);
+                }
+            }
+        });
+        let zm = Arc::new(ZoneMap::from_typed_fill(2048, TypedKind::I64, &fill));
+        let zones = vec![(0usize, zm)];
+        // All non-null rows pass, but nulls fail: cannot short-circuit.
+        assert_eq!(classify_morsel(&cmp(CmpOp::Lt, 5000), &zones, 0), Ambiguous);
+        // No row can pass regardless of nulls: still skippable.
+        assert_eq!(classify_morsel(&cmp(CmpOp::Gt, 5000), &zones, 0), NonePass);
+        // Nulls pass `Neq`, so an out-of-range literal short-circuits.
+        assert_eq!(classify_morsel(&cmp(CmpOp::Neq, 5000), &zones, 0), AllPass);
+        // The all-null zone: comparisons fail, `Neq` and `IsNull` pass.
+        assert_eq!(classify_morsel(&cmp(CmpOp::Lt, 5000), &zones, 1), NonePass);
+        assert_eq!(classify_morsel(&cmp(CmpOp::Neq, 0), &zones, 1), AllPass);
+        assert_eq!(classify_morsel(&KernelPred::IsNull(0), &zones, 1), AllPass);
+        assert_eq!(
+            classify_morsel(&KernelPred::IsNull(0), &zones, 0),
+            Ambiguous
+        );
     }
 }

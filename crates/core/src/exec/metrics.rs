@@ -60,6 +60,19 @@ pub struct ExecutionMetrics {
     pub cached_values: u64,
     /// Morsels dispatched to pipeline workers.
     pub morsels: u64,
+    /// Morsels skipped entirely by zone-map classification: the leading
+    /// kernel predicate could not pass any row in the morsel's OID range, so
+    /// no typed fill ran and nothing was scanned. Still counted in
+    /// [`ExecutionMetrics::morsels`] (they were dispatched).
+    pub morsels_skipped: u64,
+    /// Morsels whose zone maps proved the leading kernel predicate passes
+    /// every row: the compare kernels were bypassed and the selection
+    /// short-circuited to an identity bitmask.
+    pub morsels_short_circuited: u64,
+    /// Rows answered by a secondary index emitting packed bitmask words
+    /// directly (sorted range probes and hash equality probes), bypassing
+    /// the compare kernels for those predicates.
+    pub index_rows: u64,
     /// Per-tuple `Binding` heap materializations (join build sides,
     /// collected output rows). **Zero on the steady-state scan path** —
     /// scans, filters and reduce/nest sinks work entirely inside recycled
@@ -102,6 +115,9 @@ impl ExecutionMetrics {
         self.hash_probes += other.hash_probes;
         self.cached_values += other.cached_values;
         self.morsels += other.morsels;
+        self.morsels_skipped += other.morsels_skipped;
+        self.morsels_short_circuited += other.morsels_short_circuited;
+        self.index_rows += other.index_rows;
         self.binding_allocs += other.binding_allocs;
         self.batch_grows += other.batch_grows;
     }
@@ -126,7 +142,7 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) probes={} cached={} morsels={} allocs={} grows={} threads={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) probes={} cached={} morsels={} (skipped={} short-circuited={}) index_rows={} allocs={} grows={} threads={} compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
@@ -141,6 +157,9 @@ impl fmt::Display for ExecutionMetrics {
             self.hash_probes,
             self.cached_values,
             self.morsels,
+            self.morsels_skipped,
+            self.morsels_short_circuited,
+            self.index_rows,
             self.binding_allocs,
             self.batch_grows,
             self.threads_used,

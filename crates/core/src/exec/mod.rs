@@ -175,6 +175,7 @@
 
 pub mod batch;
 pub mod expr;
+pub mod index;
 pub mod kernels;
 pub mod mask;
 pub mod metrics;

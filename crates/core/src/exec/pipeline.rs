@@ -18,14 +18,14 @@ use std::sync::{Arc, Mutex};
 
 use proteus_algebra::monoid::Accumulator;
 use proteus_algebra::{JoinKind, Monoid, Value};
-use proteus_plugins::{BatchFill, TypedFill};
+use proteus_plugins::{BatchFill, ColumnStats, TypedFill, ZoneMap, ZONE_ROWS};
 use proteus_storage::CacheStore;
 
 use crate::cache_builder::CacheBuilder;
 use crate::error::Result;
 use crate::exec::batch::{BindingBatch, MORSEL_SIZE};
 use crate::exec::expr::{CompiledExpr, CompiledPredicate};
-use crate::exec::kernels::{self, KernelPred, SinkKernel};
+use crate::exec::kernels::{self, KernelPred, SinkKernel, ZoneVerdict};
 use crate::exec::mask;
 use crate::exec::metrics::ExecutionMetrics;
 use crate::exec::radix::{
@@ -72,6 +72,14 @@ pub(crate) enum Producer {
         cache_builder: CacheBuilder,
         cache_field_slots: Vec<usize>,
         cache_store: Option<CacheStore>,
+        /// Per-morsel zone maps keyed by typed slot (empty when morsel
+        /// skipping is off or the plug-in has none). Zone `z` describes
+        /// exactly morsel `z` (`ZONE_ROWS == MORSEL_SIZE`, asserted below).
+        zones: Vec<(usize, Arc<ZoneMap>)>,
+        /// Dataset-level per-slot statistics (aggregated from the zone
+        /// maps); consumed at compile time by the selectivity-ordered
+        /// predicate planner, not at execution time.
+        slot_stats: Vec<(usize, ColumnStats)>,
     },
     /// Inlined selection: a vectorized kernel part and/or a compiled-closure
     /// part (at least one is present).
@@ -136,7 +144,13 @@ struct PreparedScan {
     /// Activated typed fills: `(slot, filler, hydrate?)`.
     typed_fills: Vec<(usize, TypedFill, bool)>,
     cache: Option<CacheSideEffect>,
+    /// Per-morsel zone maps keyed by typed slot (Tier 0: morsel skipping).
+    zones: Vec<(usize, Arc<ZoneMap>)>,
 }
+
+// A zone entry must describe exactly one morsel for `classify_morsel(z)` to
+// speak for morsel `z`.
+const _: () = assert!(MORSEL_SIZE == ZONE_ROWS);
 
 enum Stage {
     /// Shrinks the selection via a vectorized columnar kernel.
@@ -198,6 +212,8 @@ fn prepare(
             cache_builder,
             cache_field_slots,
             cache_store,
+            zones,
+            slot_stats: _,
         } => {
             let cache = match (cache_builder.is_enabled(), cache_store) {
                 (true, Some(store)) => Some(CacheSideEffect {
@@ -219,6 +235,7 @@ fn prepare(
                     fills,
                     typed_fills,
                     cache,
+                    zones,
                 },
                 stages: Vec::new(),
             })
@@ -1079,17 +1096,47 @@ fn worker_loop(
     let mut cur = BindingBatch::new();
     let mut spare = BindingBatch::new();
     let mut scratch = kernels::Scratch::new();
+    // Tier 0, morsel skipping: engages only when the spine leads with a
+    // kernel filter, the scan recorded zone maps, and no cache side effect
+    // needs to observe every row. Each morsel is classified against the
+    // zone bounds before its lanes render.
+    let skip_pred = match pipeline.stages.first() {
+        Some(Stage::KernelFilter(kernel))
+            if !pipeline.scan.zones.is_empty() && pipeline.scan.cache.is_none() =>
+        {
+            Some(kernel)
+        }
+        _ => None,
+    };
     loop {
         let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
         if morsel >= morsel_count {
             break;
         }
+        metrics.morsels += 1;
+        let verdict = match skip_pred {
+            Some(kernel) => kernels::classify_morsel(kernel, &pipeline.scan.zones, morsel as usize),
+            None => ZoneVerdict::Ambiguous,
+        };
+        if verdict == ZoneVerdict::NonePass {
+            // No row of this morsel can pass the leading kernel filter:
+            // skip it without running a single fill.
+            metrics.morsels_skipped += 1;
+            continue;
+        }
         let start = morsel * MORSEL_SIZE as u64;
         let count = ((pipeline.scan.row_count - start) as usize).min(MORSEL_SIZE);
         fill_morsel(&pipeline.scan, start, count, &mut cur, &mut metrics);
-        metrics.morsels += 1;
+        let stages = if verdict == ZoneVerdict::AllPass {
+            // Every row passes: keep the identity selection and drop
+            // straight past the leading kernel filter.
+            metrics.morsels_short_circuited += 1;
+            &pipeline.stages[1..]
+        } else {
+            &pipeline.stages[..]
+        };
         process_stages(
-            &pipeline.stages,
+            stages,
             &mut cur,
             &mut spare,
             sink,

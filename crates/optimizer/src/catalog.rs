@@ -10,7 +10,7 @@ use std::sync::Arc;
 
 use parking_lot::RwLock;
 use proteus_algebra::Schema;
-use proteus_plugins::{CostProfile, DatasetStats, PluginRegistry};
+use proteus_plugins::{CostProfile, DatasetStats, PluginRegistry, ZoneMap};
 
 /// Metadata for one dataset.
 #[derive(Debug, Clone)]
@@ -23,6 +23,10 @@ pub struct DatasetMeta {
     pub stats: DatasetStats,
     /// Cost profile of the plug-in serving the dataset.
     pub cost: CostProfile,
+    /// Per-morsel zone maps already recorded by the plug-in (binary/cache
+    /// record them eagerly; csv/json contribute whatever earlier scans
+    /// derived). Used by [`crate::stats`] for clustering-aware selectivity.
+    pub zone_maps: HashMap<String, Arc<ZoneMap>>,
 }
 
 /// The catalog: a snapshot-able map from dataset name to metadata.
@@ -48,6 +52,7 @@ impl Catalog {
                     schema: plugin.schema().clone(),
                     stats: plugin.statistics(),
                     cost: plugin.cost_profile(),
+                    zone_maps: plugin.cached_zone_maps().into_iter().collect(),
                 });
             }
         }
@@ -68,6 +73,7 @@ impl Catalog {
             schema,
             stats: DatasetStats::with_cardinality(cardinality),
             cost: CostProfile::binary(),
+            zone_maps: HashMap::new(),
         });
     }
 

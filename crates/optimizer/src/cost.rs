@@ -61,6 +61,17 @@ impl CostModel {
                 if let Some(attr) = path.segments.first() {
                     for dataset in self.catalog.datasets() {
                         if let Some(meta) = self.catalog.get(&dataset) {
+                            // Per-morsel zone maps answer first: their
+                            // zone-weighted estimate respects clustering,
+                            // where the dataset-level interpolation assumes
+                            // a uniform spread.
+                            if let Some(zones) = meta.zone_maps.get(attr) {
+                                if let Some(s) =
+                                    crate::stats::zone_selectivity(*op, zones, &literal)
+                                {
+                                    return s;
+                                }
+                            }
                             if let Some(stats) = meta.stats.column(attr) {
                                 return match op {
                                     BinaryOp::Lt | BinaryOp::Le => stats.selectivity_lt(&literal),
@@ -203,6 +214,7 @@ mod tests {
             ]),
             stats,
             cost: CostProfile::json(),
+            zone_maps: Default::default(),
         });
         catalog.insert_simple(
             "orders",
@@ -225,6 +237,27 @@ mod tests {
         assert!((model.selectivity(&fifth) - 0.2).abs() < 0.01);
         let all = Expr::path("l.l_orderkey").lt(Expr::int(5000));
         assert!((model.selectivity(&all) - 1.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn zone_maps_override_uniform_interpolation() {
+        use proteus_plugins::ZoneMap;
+        use proteus_storage::ColumnData;
+        let catalog = catalog();
+        let mut meta = catalog.get("lineitem").unwrap();
+        // Clustered skew: three zones of zeros, one zone spanning 0..=1000.
+        // `l_orderkey < 1` truly passes ~75% of rows; the uniform guess
+        // over [0, 1000] says ~0.1%.
+        let mut vals = vec![0i64; 3072];
+        vals.extend(0..1000);
+        meta.zone_maps.insert(
+            "l_orderkey".into(),
+            std::sync::Arc::new(ZoneMap::from_column(&ColumnData::Int(vals))),
+        );
+        catalog.insert(meta);
+        let model = CostModel::new(catalog);
+        let s = model.selectivity(&Expr::path("l.l_orderkey").lt(Expr::int(1)));
+        assert!(s > 0.74, "zone-aware estimate should see the zeros, s={s}");
     }
 
     #[test]

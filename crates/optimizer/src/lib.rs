@@ -16,8 +16,10 @@ pub mod cache_match;
 pub mod catalog;
 pub mod cost;
 pub mod optimizer;
+pub mod stats;
 
 pub use cache_match::{match_caches, CacheRewrite};
 pub use catalog::Catalog;
 pub use cost::{CostEstimate, CostModel};
 pub use optimizer::{OptimizedPlan, Optimizer};
+pub use stats::{zone_selectivity, zone_selectivity_eq, zone_selectivity_lt};

@@ -1,0 +1,151 @@
+//! Zone-map-backed selectivity estimation.
+//!
+//! The dataset-level [`ColumnStats`](proteus_plugins::ColumnStats) answer
+//! range predicates with a single min/max interpolation — implicitly
+//! assuming a uniform distribution across the whole column. The per-morsel
+//! [`ZoneMap`]s recorded by the plug-ins carry 1024-row-granular bounds, so
+//! the same interpolation applied zone by zone and weighted by each zone's
+//! non-null row count gives an estimate that respects clustering and skew:
+//! a clustered 2%-selective predicate estimates near 2% instead of the
+//! uniform guess, which is what lets the cost model prefer the selective
+//! conjunct (and the morsel-skipping scan) with confidence.
+//!
+//! All bounds live in the same `f64` total-order view the compare kernels
+//! use (`i64 as f64`), so estimates and execution agree on which zones can
+//! pass at all.
+
+use proteus_algebra::{BinaryOp, Value};
+use proteus_plugins::ZoneMap;
+
+/// Estimated selectivity of `attr < bound` from per-zone bounds: each
+/// zone contributes its clamped uniform interpolation weighted by its
+/// non-null rows. Returns `None` when the zone map cannot answer (empty,
+/// non-numeric column, or a non-numeric bound) — callers fall back to the
+/// dataset-level stats.
+pub fn zone_selectivity_lt(zones: &ZoneMap, bound: &Value) -> Option<f64> {
+    let b = bound.as_float().ok()?;
+    if zones.row_count() == 0 {
+        return Some(0.0);
+    }
+    let mut passing = 0.0f64;
+    for entry in zones.entries() {
+        let non_null = entry.non_null() as f64;
+        if non_null == 0.0 {
+            continue;
+        }
+        if !entry.numeric {
+            return None;
+        }
+        let fraction = if b <= entry.min {
+            0.0
+        } else if b > entry.max {
+            1.0
+        } else if entry.max > entry.min {
+            ((b - entry.min) / (entry.max - entry.min)).clamp(0.0, 1.0)
+        } else {
+            // Degenerate single-value zone with b == max: `<` excludes it.
+            0.0
+        };
+        passing += fraction * non_null;
+    }
+    Some(passing / zones.row_count() as f64)
+}
+
+/// Estimated selectivity of `attr = literal` from per-zone bounds: only
+/// zones whose `[min, max]` covers the literal can contribute, so the
+/// estimate is the covered non-null fraction capped by the dataset-level
+/// distinct-count estimate. Returns `None` when the zone map cannot answer.
+pub fn zone_selectivity_eq(zones: &ZoneMap, literal: &Value) -> Option<f64> {
+    let v = literal.as_float().ok()?;
+    if zones.row_count() == 0 {
+        return Some(0.0);
+    }
+    let mut covered = 0.0f64;
+    for entry in zones.entries() {
+        let non_null = entry.non_null() as f64;
+        if non_null == 0.0 {
+            continue;
+        }
+        if !entry.numeric {
+            return None;
+        }
+        if v >= entry.min && v <= entry.max {
+            covered += non_null;
+        }
+    }
+    let covered_fraction = covered / zones.row_count() as f64;
+    Some(covered_fraction.min(zones.column_stats().selectivity_eq()))
+}
+
+/// Zone-aware selectivity for one `attr <op> literal` conjunct, or `None`
+/// when the operator or the zone map cannot answer.
+pub fn zone_selectivity(op: BinaryOp, zones: &ZoneMap, literal: &Value) -> Option<f64> {
+    match op {
+        BinaryOp::Lt | BinaryOp::Le => zone_selectivity_lt(zones, literal),
+        BinaryOp::Gt | BinaryOp::Ge => zone_selectivity_lt(zones, literal).map(|s| 1.0 - s),
+        BinaryOp::Eq => zone_selectivity_eq(zones, literal),
+        BinaryOp::Neq => zone_selectivity_eq(zones, literal).map(|s| 1.0 - s),
+        _ => None,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use proteus_storage::ColumnData;
+
+    /// 4096 clustered rows: values equal their OID, so zone `z` spans
+    /// exactly `[1024z, 1024z + 1023]`.
+    fn clustered() -> ZoneMap {
+        ZoneMap::from_column(&ColumnData::Int((0..4096).collect()))
+    }
+
+    #[test]
+    fn clustered_range_estimates_follow_zones() {
+        let zones = clustered();
+        // First zone only: ~25% of rows, and the zone-level estimate nails
+        // it where the uniform dataset-level estimate would too (values are
+        // uniform here) — the point is agreement at zone granularity.
+        let s = zone_selectivity_lt(&zones, &Value::Int(1024)).unwrap();
+        assert!((s - 0.25).abs() < 0.01, "s={s}");
+        assert_eq!(zone_selectivity_lt(&zones, &Value::Int(-5)), Some(0.0));
+        assert_eq!(zone_selectivity_lt(&zones, &Value::Int(100_000)), Some(1.0));
+    }
+
+    #[test]
+    fn skewed_clustering_beats_uniform_assumption() {
+        // 3 zones of zeros, 1 zone spanning 0..=1023: `< 1` truly passes
+        // ~3/4 of the rows (all the zeros). The uniform dataset-level
+        // estimate over [0, 1023] would say ~0.1%; the zone-weighted
+        // estimate sees three full zones pass.
+        let mut vals = vec![0i64; 3072];
+        vals.extend(0..1024);
+        let zones = ZoneMap::from_column(&ColumnData::Int(vals));
+        let s = zone_selectivity_lt(&zones, &Value::Int(1)).unwrap();
+        assert!(s > 0.74, "s={s}");
+    }
+
+    #[test]
+    fn equality_only_counts_covering_zones() {
+        let zones = clustered();
+        // 2500 lives in zone 2 only: covered fraction 25%, then capped by
+        // the distinct estimate (4096 distinct → ~0.02%).
+        let s = zone_selectivity_eq(&zones, &Value::Int(2500)).unwrap();
+        assert!(s <= 0.25);
+        assert!(s > 0.0);
+        assert_eq!(zone_selectivity_eq(&zones, &Value::Int(-1)), Some(0.0));
+    }
+
+    #[test]
+    fn non_numeric_zone_maps_decline_to_answer() {
+        let zones = ZoneMap::from_column(&ColumnData::Str(vec!["a".into(), "b".into()]));
+        assert_eq!(zone_selectivity_lt(&zones, &Value::Int(1)), None);
+        assert_eq!(zone_selectivity(BinaryOp::Eq, &zones, &Value::Int(1)), None);
+        let numeric = clustered();
+        assert_eq!(
+            zone_selectivity_lt(&numeric, &Value::str("nope")),
+            None,
+            "non-numeric bound"
+        );
+    }
+}

@@ -739,6 +739,24 @@ pub trait InputPlugin: Send + Sync {
     /// The plug-in's cost profile: per-tuple and per-field access cost
     /// factors the optimizer plugs into its cost formulas.
     fn cost_profile(&self) -> CostProfile;
+
+    /// Per-morsel zone maps for the requested fields, building/deriving them
+    /// if needed (the engine calls this at compile time when morsel skipping
+    /// is enabled). Binary columns and caches answer from maps recorded at
+    /// registration / cache-build time; CSV/JSON derive them once from their
+    /// typed fills and memoize. The default — no zone maps — simply disables
+    /// skipping for the plug-in's scans.
+    fn zone_maps(&self, fields: &[String]) -> Vec<(String, Arc<crate::zonemap::ZoneMap>)> {
+        let _ = fields;
+        Vec::new()
+    }
+
+    /// Zone maps that are already materialized, without triggering any
+    /// derivation work (the catalog snapshots these for observed-bounds
+    /// selectivity estimation).
+    fn cached_zone_maps(&self) -> Vec<(String, Arc<crate::zonemap::ZoneMap>)> {
+        Vec::new()
+    }
 }
 
 #[cfg(test)]

@@ -14,7 +14,8 @@ use proteus_storage::{ColumnData, ColumnTable, MemoryManager, RowTableReader, So
 
 use crate::api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
 use crate::error::{PluginError, Result};
-use crate::stats::{ColumnStats, CostProfile, DatasetStats, StatsCollector};
+use crate::stats::{CostProfile, DatasetStats, StatsCollector};
+use crate::zonemap::ZoneMap;
 
 // ---------------------------------------------------------------------------
 // Column-oriented plug-in.
@@ -26,6 +27,9 @@ struct ColumnInner {
     row_count: u64,
     columns: HashMap<String, Arc<ColumnData>>,
     stats: DatasetStats,
+    /// Per-morsel zone maps, recorded once at registration time. The
+    /// dataset-level `stats` above are aggregated from these.
+    zone_maps: HashMap<String, Arc<ZoneMap>>,
 }
 
 /// Plug-in over binary column files.
@@ -69,7 +73,24 @@ impl ColumnPlugin {
                 });
             }
         }
-        let stats = column_stats(row_count, &schema, &columns);
+        // One registration-time pass per column records the per-morsel zone
+        // maps; the dataset-level statistics are aggregated from the same
+        // pass (no separate min/max scan).
+        let zone_maps: HashMap<String, Arc<ZoneMap>> = columns
+            .iter()
+            .map(|(name, col)| (name.clone(), Arc::new(ZoneMap::from_column(col))))
+            .collect();
+        let mut stats = DatasetStats::with_cardinality(row_count);
+        for field in schema.fields() {
+            if !field.data_type.is_numeric() {
+                continue;
+            }
+            if let Some(zm) = zone_maps.get(&field.name) {
+                stats
+                    .columns
+                    .insert(field.name.clone(), zm.column_stats().clone());
+            }
+        }
         Ok(ColumnPlugin {
             inner: Arc::new(ColumnInner {
                 dataset,
@@ -77,6 +98,7 @@ impl ColumnPlugin {
                 row_count,
                 columns,
                 stats,
+                zone_maps,
             }),
         })
     }
@@ -102,51 +124,6 @@ impl ColumnPlugin {
     pub fn column(&self, name: &str) -> Option<Arc<ColumnData>> {
         self.inner.columns.get(name).cloned()
     }
-}
-
-fn column_stats(
-    row_count: u64,
-    schema: &Schema,
-    columns: &HashMap<String, Arc<ColumnData>>,
-) -> DatasetStats {
-    let mut stats = DatasetStats::with_cardinality(row_count);
-    for field in schema.fields() {
-        if !field.data_type.is_numeric() {
-            continue;
-        }
-        if let Some(col) = columns.get(&field.name) {
-            let column_stat = match col.as_ref() {
-                ColumnData::Int(v) => ColumnStats {
-                    min: v
-                        .iter()
-                        .min()
-                        .map(|x| Value::Int(*x))
-                        .unwrap_or(Value::Null),
-                    max: v
-                        .iter()
-                        .max()
-                        .map(|x| Value::Int(*x))
-                        .unwrap_or(Value::Null),
-                    distinct: distinct_estimate(v.len()),
-                    nulls: 0,
-                },
-                ColumnData::Float(v) => {
-                    let mut collector = StatsCollector::new();
-                    for x in v {
-                        collector.observe(&Value::Float(*x));
-                    }
-                    collector.finish()
-                }
-                _ => continue,
-            };
-            stats.columns.insert(field.name.clone(), column_stat);
-        }
-    }
-    stats
-}
-
-fn distinct_estimate(len: usize) -> u64 {
-    (len as u64).min(4096)
 }
 
 impl InputPlugin for ColumnPlugin {
@@ -263,6 +240,26 @@ impl InputPlugin for ColumnPlugin {
 
     fn cost_profile(&self) -> CostProfile {
         CostProfile::binary()
+    }
+
+    fn zone_maps(&self, fields: &[String]) -> Vec<(String, Arc<ZoneMap>)> {
+        fields
+            .iter()
+            .filter_map(|f| {
+                self.inner
+                    .zone_maps
+                    .get(f)
+                    .map(|zm| (f.clone(), zm.clone()))
+            })
+            .collect()
+    }
+
+    fn cached_zone_maps(&self) -> Vec<(String, Arc<ZoneMap>)> {
+        self.inner
+            .zone_maps
+            .iter()
+            .map(|(n, zm)| (n.clone(), zm.clone()))
+            .collect()
     }
 }
 

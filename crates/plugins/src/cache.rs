@@ -12,13 +12,20 @@ use std::sync::Arc;
 use proteus_algebra::{Field, Schema, Value};
 use proteus_storage::{CacheEntry, ColumnData, SourceFormat};
 
+use std::collections::HashMap;
+
 use crate::api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
 use crate::error::{PluginError, Result};
 use crate::stats::{CostProfile, DatasetStats};
+use crate::zonemap::ZoneMap;
 
 struct CacheInner {
     entry: CacheEntry,
     schema: Schema,
+    /// Per-morsel zone maps over the cached binary columns (recorded when
+    /// the plug-in wraps the entry; one min/max pass per column).
+    zone_maps: HashMap<String, Arc<ZoneMap>>,
+    stats: DatasetStats,
 }
 
 /// Plug-in exposing one cache entry as a dataset.
@@ -37,8 +44,29 @@ impl CachePlugin {
                 .map(|(name, col)| Field::new(name.clone(), col.data_type()))
                 .collect(),
         );
+        let zone_maps: HashMap<String, Arc<ZoneMap>> = entry
+            .columns
+            .iter()
+            .map(|(name, col)| (name.clone(), Arc::new(ZoneMap::from_column(col))))
+            .collect();
+        let mut stats = DatasetStats::with_cardinality(entry.row_count() as u64);
+        for field in schema.fields() {
+            if !field.data_type.is_numeric() {
+                continue;
+            }
+            if let Some(zm) = zone_maps.get(&field.name) {
+                stats
+                    .columns
+                    .insert(field.name.clone(), zm.column_stats().clone());
+            }
+        }
         CachePlugin {
-            inner: Arc::new(CacheInner { entry, schema }),
+            inner: Arc::new(CacheInner {
+                entry,
+                schema,
+                zone_maps,
+                stats,
+            }),
         }
     }
 
@@ -162,11 +190,31 @@ impl InputPlugin for CachePlugin {
     }
 
     fn statistics(&self) -> DatasetStats {
-        DatasetStats::with_cardinality(self.len())
+        self.inner.stats.clone()
     }
 
     fn cost_profile(&self) -> CostProfile {
         CostProfile::cache()
+    }
+
+    fn zone_maps(&self, fields: &[String]) -> Vec<(String, Arc<ZoneMap>)> {
+        fields
+            .iter()
+            .filter_map(|f| {
+                self.inner
+                    .zone_maps
+                    .get(f)
+                    .map(|zm| (f.clone(), zm.clone()))
+            })
+            .collect()
+    }
+
+    fn cached_zone_maps(&self) -> Vec<(String, Arc<ZoneMap>)> {
+        self.inner
+            .zone_maps
+            .iter()
+            .map(|(n, zm)| (n.clone(), zm.clone()))
+            .collect()
     }
 }
 

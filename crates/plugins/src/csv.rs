@@ -21,6 +21,7 @@ use proteus_storage::{MemoryManager, SourceFormat};
 use crate::api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
 use crate::error::{PluginError, Result};
 use crate::stats::{CostProfile, DatasetStats, StatsCollector};
+use crate::zonemap::{derive_zone_maps, ZoneMap};
 
 /// CSV parsing options.
 #[derive(Debug, Clone)]
@@ -221,6 +222,9 @@ struct CsvInner {
     options: CsvOptions,
     index: CsvStructuralIndex,
     stats: DatasetStats,
+    /// Lazily derived per-morsel zone maps (one extra parse pass per column,
+    /// memoized for the plug-in's lifetime).
+    zone_maps: std::sync::Mutex<std::collections::HashMap<String, Arc<ZoneMap>>>,
 }
 
 /// The CSV input plug-in.
@@ -261,6 +265,7 @@ impl CsvPlugin {
                 options,
                 index,
                 stats,
+                zone_maps: Default::default(),
             }),
         })
     }
@@ -482,6 +487,22 @@ impl InputPlugin for CsvPlugin {
 
     fn cost_profile(&self) -> CostProfile {
         CostProfile::csv()
+    }
+
+    fn zone_maps(&self, fields: &[String]) -> Vec<(String, Arc<ZoneMap>)> {
+        derive_zone_maps(&self.inner.zone_maps, fields, |missing| {
+            self.generate(missing).ok()
+        })
+    }
+
+    fn cached_zone_maps(&self) -> Vec<(String, Arc<ZoneMap>)> {
+        self.inner
+            .zone_maps
+            .lock()
+            .expect("zone map cache poisoned")
+            .iter()
+            .map(|(n, zm)| (n.clone(), zm.clone()))
+            .collect()
     }
 }
 

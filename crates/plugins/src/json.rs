@@ -30,6 +30,7 @@ use proteus_storage::{MemoryManager, SourceFormat};
 use crate::api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
 use crate::error::{PluginError, Result};
 use crate::stats::{CostProfile, DatasetStats, StatsCollector};
+use crate::zonemap::{derive_zone_maps, ZoneMap};
 
 /// Type of an indexed token.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -575,6 +576,9 @@ struct JsonInner {
     schema: Schema,
     index: JsonStructuralIndex,
     stats: DatasetStats,
+    /// Lazily derived per-morsel zone maps (one extra parse pass per column,
+    /// memoized for the plug-in's lifetime).
+    zone_maps: std::sync::Mutex<HashMap<String, Arc<ZoneMap>>>,
 }
 
 /// The JSON input plug-in.
@@ -614,6 +618,7 @@ impl JsonPlugin {
                 schema,
                 index,
                 stats,
+                zone_maps: Default::default(),
             }),
         })
     }
@@ -869,6 +874,22 @@ impl InputPlugin for JsonPlugin {
 
     fn cost_profile(&self) -> CostProfile {
         CostProfile::json()
+    }
+
+    fn zone_maps(&self, fields: &[String]) -> Vec<(String, Arc<ZoneMap>)> {
+        derive_zone_maps(&self.inner.zone_maps, fields, |missing| {
+            self.generate(missing).ok()
+        })
+    }
+
+    fn cached_zone_maps(&self) -> Vec<(String, Arc<ZoneMap>)> {
+        self.inner
+            .zone_maps
+            .lock()
+            .expect("zone map cache poisoned")
+            .iter()
+            .map(|(n, zm)| (n.clone(), zm.clone()))
+            .collect()
     }
 }
 

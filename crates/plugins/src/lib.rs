@@ -23,6 +23,9 @@
 //!   hand to the generated query pipelines.
 //! * [`stats`] — per-dataset statistics and the per-plug-in cost profiles the
 //!   optimizer consumes.
+//! * [`zonemap`] — per-morsel min/max/null zone maps: the statistics the
+//!   engine consults to skip or short-circuit whole morsels before any lanes
+//!   render.
 //! * [`registry`] — maps dataset names to plug-ins and auto-detects formats.
 
 pub mod api;
@@ -33,6 +36,7 @@ pub mod error;
 pub mod json;
 pub mod registry;
 pub mod stats;
+pub mod zonemap;
 
 pub use api::{
     column_batch_fill, column_typed_fill, BatchFill, FieldAccessor, InputPlugin, Oid,
@@ -41,3 +45,4 @@ pub use api::{
 pub use error::{PluginError, Result};
 pub use registry::PluginRegistry;
 pub use stats::{ColumnStats, CostProfile, DatasetStats};
+pub use zonemap::{ZoneEntry, ZoneMap, ZONE_ROWS};

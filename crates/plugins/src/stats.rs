@@ -36,6 +36,27 @@ impl ColumnStats {
         }
     }
 
+    /// Folds another partial statistic into this one: min/max widen through
+    /// `Value::total_cmp` (ignoring `Null` bounds), null counts add. This is
+    /// the aggregation path the per-morsel zone maps use to produce the
+    /// dataset-level statistics, so the two representations cannot drift.
+    /// Distinct counts are not mergeable from bounds; the larger estimate
+    /// wins.
+    pub fn merge(&mut self, other: &ColumnStats) {
+        if !other.min.is_null()
+            && (self.min.is_null() || other.min.total_cmp(&self.min) == std::cmp::Ordering::Less)
+        {
+            self.min = other.min.clone();
+        }
+        if !other.max.is_null()
+            && (self.max.is_null() || other.max.total_cmp(&self.max) == std::cmp::Ordering::Greater)
+        {
+            self.max = other.max.clone();
+        }
+        self.nulls += other.nulls;
+        self.distinct = self.distinct.max(other.distinct);
+    }
+
     /// Estimated selectivity of the predicate `attr < bound` assuming a
     /// uniform distribution between min and max. Falls back to the paper's
     /// default (10 %) when the statistics cannot answer.
@@ -269,6 +290,34 @@ mod tests {
         let empty = ColumnStats::empty();
         assert_eq!(empty.selectivity_lt(&Value::Int(3)), DEFAULT_SELECTIVITY);
         assert_eq!(empty.selectivity_eq(), DEFAULT_SELECTIVITY);
+    }
+
+    #[test]
+    fn merge_widens_bounds_and_adds_nulls() {
+        let mut a = ColumnStats {
+            min: Value::Int(5),
+            max: Value::Int(9),
+            distinct: 3,
+            nulls: 1,
+        };
+        let b = ColumnStats {
+            min: Value::Int(1),
+            max: Value::Int(7),
+            distinct: 2,
+            nulls: 4,
+        };
+        a.merge(&b);
+        assert_eq!(a.min, Value::Int(1));
+        assert_eq!(a.max, Value::Int(9));
+        assert_eq!(a.nulls, 5);
+        assert_eq!(a.distinct, 3);
+        // Null bounds (empty partials) never narrow or poison the result.
+        a.merge(&ColumnStats::empty());
+        assert_eq!(a.min, Value::Int(1));
+        let mut empty = ColumnStats::empty();
+        empty.merge(&a);
+        assert_eq!(empty.min, Value::Int(1));
+        assert_eq!(empty.max, Value::Int(9));
     }
 
     #[test]

@@ -1,0 +1,425 @@
+//! Per-morsel zone maps: the morsel-skipping statistics tier (§5.2).
+//!
+//! The paper's metadata store keeps per-attribute min/max statistics so
+//! access paths can be pruned. This module records those statistics at the
+//! granularity the execution engine actually dispatches work: one
+//! [`ZoneEntry`] per [`ZONE_ROWS`]-row OID range (the morsel size of
+//! `proteus-core`). Before a morsel's lanes render, the engine compares the
+//! conjunction's per-column bounds against the morsel's zone entry and either
+//! skips the morsel entirely (no typed fill, no hydration), short-circuits it
+//! to an identity selection, or runs the compare kernels on the ambiguous
+//! middle.
+//!
+//! Zone bounds live in the **`f64` total order** — the comparison domain of
+//! the predicate kernels (`i64` lanes compare through their `as f64` view,
+//! `-0.0 < 0.0`, NaN sorts last via `f64::total_cmp`) — so a zone verdict is
+//! exactly the verdict the kernel mask would have produced for every row of
+//! the zone.
+//!
+//! Binary columns and cache entries build zone maps directly from their raw
+//! [`ColumnData`] (a single pass at registration / cache-build time). CSV and
+//! JSON plug-ins derive them lazily from the same [`TypedFill`] closures the
+//! vectorized scan uses ([`derive_zone_maps`]), which guarantees the bounds
+//! agree with the lanes the kernels will see (e.g. a CSV parse miss fills
+//! `0`, and that `0` lands in the zone bounds too).
+//!
+//! The same pass aggregates the dataset-level [`ColumnStats`] through
+//! [`ColumnStats::merge`], so the zone tier and the optimizer's statistics
+//! cannot drift apart.
+
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex};
+
+use proteus_algebra::Value;
+use proteus_storage::ColumnData;
+
+use crate::api::{ScanAccessors, TypedColumn, TypedFill, TypedKind};
+use crate::stats::ColumnStats;
+
+/// Rows covered by one zone entry. Must stay equal to the engine's morsel
+/// size (`proteus_core::exec::MORSEL_SIZE`, compile-time asserted there) so
+/// zone index `z` describes exactly morsel `z`.
+pub const ZONE_ROWS: usize = 1024;
+
+/// Statistics of one `ZONE_ROWS`-row OID range of a column.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ZoneEntry {
+    /// Rows in this zone (only the last zone of a column may be short).
+    pub rows: u32,
+    /// Null rows in this zone.
+    pub null_count: u32,
+    /// Smallest non-null value, in the `f64` total-order view (`i64 as f64`).
+    /// Meaningful only when [`ZoneEntry::numeric`] is true.
+    pub min: f64,
+    /// Largest non-null value, in the `f64` total-order view.
+    pub max: f64,
+    /// True when `min`/`max` are valid: the column is numeric and the zone
+    /// holds at least one non-null value.
+    pub numeric: bool,
+}
+
+impl ZoneEntry {
+    fn empty() -> ZoneEntry {
+        ZoneEntry {
+            rows: 0,
+            null_count: 0,
+            min: f64::INFINITY,
+            max: f64::NEG_INFINITY,
+            numeric: false,
+        }
+    }
+
+    /// True when every row of the zone is null.
+    pub fn all_null(&self) -> bool {
+        self.null_count == self.rows
+    }
+
+    /// Non-null rows in the zone.
+    pub fn non_null(&self) -> u32 {
+        self.rows - self.null_count
+    }
+
+    #[inline]
+    fn observe(&mut self, view: f64) {
+        if !self.numeric {
+            self.min = view;
+            self.max = view;
+            self.numeric = true;
+            return;
+        }
+        if view.total_cmp(&self.min) == std::cmp::Ordering::Less {
+            self.min = view;
+        }
+        if view.total_cmp(&self.max) == std::cmp::Ordering::Greater {
+            self.max = view;
+        }
+    }
+}
+
+/// Per-morsel zone map of one column, plus the dataset-level [`ColumnStats`]
+/// aggregated from the same pass.
+#[derive(Debug, Clone)]
+pub struct ZoneMap {
+    kind: TypedKind,
+    row_count: u64,
+    entries: Vec<ZoneEntry>,
+    stats: ColumnStats,
+}
+
+/// Incremental builder: rows stream in OID order, entries close every
+/// [`ZONE_ROWS`] rows, and the dataset-level stats fold through
+/// [`ColumnStats::merge`] as each zone completes.
+struct ZoneBuilder {
+    kind: TypedKind,
+    entries: Vec<ZoneEntry>,
+    cur: ZoneEntry,
+    /// Exact-typed min/max of the *current* zone (`Value::Int` for integer
+    /// columns so the aggregated stats keep integer bounds).
+    cur_min: Value,
+    cur_max: Value,
+    total: ColumnStats,
+    rows: u64,
+}
+
+impl ZoneBuilder {
+    fn new(kind: TypedKind) -> ZoneBuilder {
+        ZoneBuilder {
+            kind,
+            entries: Vec::new(),
+            cur: ZoneEntry::empty(),
+            cur_min: Value::Null,
+            cur_max: Value::Null,
+            total: ColumnStats::empty(),
+            rows: 0,
+        }
+    }
+
+    #[inline]
+    fn observe_value(&mut self, view: f64, exact: Value) {
+        self.cur.observe(view);
+        if self.cur_min.is_null() || exact.total_cmp(&self.cur_min) == std::cmp::Ordering::Less {
+            self.cur_min = exact.clone();
+        }
+        if self.cur_max.is_null() || exact.total_cmp(&self.cur_max) == std::cmp::Ordering::Greater {
+            self.cur_max = exact;
+        }
+        self.advance();
+    }
+
+    #[inline]
+    fn observe_null(&mut self) {
+        self.cur.null_count += 1;
+        self.advance();
+    }
+
+    /// Observes a row of a non-numeric column (no bounds, only row/null
+    /// accounting).
+    #[inline]
+    fn observe_opaque(&mut self) {
+        self.advance();
+    }
+
+    #[inline]
+    fn advance(&mut self) {
+        self.cur.rows += 1;
+        self.rows += 1;
+        if self.cur.rows as usize == ZONE_ROWS {
+            self.close_zone();
+        }
+    }
+
+    fn close_zone(&mut self) {
+        let zone_stats = ColumnStats {
+            min: std::mem::replace(&mut self.cur_min, Value::Null),
+            max: std::mem::replace(&mut self.cur_max, Value::Null),
+            distinct: 0,
+            nulls: self.cur.null_count as u64,
+        };
+        self.total.merge(&zone_stats);
+        self.entries.push(self.cur);
+        self.cur = ZoneEntry::empty();
+    }
+
+    fn finish(mut self) -> ZoneMap {
+        if self.cur.rows > 0 {
+            self.close_zone();
+        }
+        // Distinct counts are not derivable from bounds: use the bounded
+        // estimate the plug-ins have always used for raw columns.
+        self.total.distinct = (self.rows - self.total.nulls).min(4096);
+        ZoneMap {
+            kind: self.kind,
+            row_count: self.rows,
+            entries: self.entries,
+            stats: self.total,
+        }
+    }
+}
+
+impl ZoneMap {
+    /// Builds the zone map of a raw binary column (registration / cache-build
+    /// time; `ColumnData` has no nulls, so every `null_count` is zero).
+    pub fn from_column(col: &ColumnData) -> ZoneMap {
+        match col {
+            ColumnData::Int(v) => {
+                let mut b = ZoneBuilder::new(TypedKind::I64);
+                for &x in v {
+                    b.observe_value(x as f64, Value::Int(x));
+                }
+                b.finish()
+            }
+            ColumnData::Float(v) => {
+                let mut b = ZoneBuilder::new(TypedKind::F64);
+                for &x in v {
+                    b.observe_value(x, Value::Float(x));
+                }
+                b.finish()
+            }
+            ColumnData::Bool(v) => {
+                let mut b = ZoneBuilder::new(TypedKind::Bool);
+                for _ in v {
+                    b.observe_opaque();
+                }
+                b.finish()
+            }
+            ColumnData::Str(v) => {
+                let mut b = ZoneBuilder::new(TypedKind::Str);
+                for _ in v {
+                    b.observe_opaque();
+                }
+                b.finish()
+            }
+        }
+    }
+
+    /// Derives the zone map by running the scan's own typed fill over every
+    /// morsel (the CSV/JSON fallback). The bounds are exactly the lanes the
+    /// predicate kernels will compare, nulls included.
+    pub fn from_typed_fill(row_count: u64, kind: TypedKind, fill: &TypedFill) -> ZoneMap {
+        let mut b = ZoneBuilder::new(kind);
+        let mut col = TypedColumn::new(kind);
+        let mut start = 0u64;
+        while start < row_count {
+            let count = ((row_count - start) as usize).min(ZONE_ROWS);
+            fill(start, count, &mut col);
+            match kind {
+                TypedKind::I64 => {
+                    for (i, &x) in col.i64_values()[..count].iter().enumerate() {
+                        if col.is_null(i) {
+                            b.observe_null();
+                        } else {
+                            b.observe_value(x as f64, Value::Int(x));
+                        }
+                    }
+                }
+                TypedKind::F64 => {
+                    for (i, &x) in col.f64_values()[..count].iter().enumerate() {
+                        if col.is_null(i) {
+                            b.observe_null();
+                        } else {
+                            b.observe_value(x, Value::Float(x));
+                        }
+                    }
+                }
+                TypedKind::Bool | TypedKind::Str => {
+                    for i in 0..count {
+                        if col.is_null(i) {
+                            b.observe_null();
+                        } else {
+                            b.observe_opaque();
+                        }
+                    }
+                }
+            }
+            start += count as u64;
+        }
+        b.finish()
+    }
+
+    /// Typed kind of the mapped column.
+    pub fn kind(&self) -> TypedKind {
+        self.kind
+    }
+
+    /// Rows covered by the map.
+    pub fn row_count(&self) -> u64 {
+        self.row_count
+    }
+
+    /// All zone entries, in OID order.
+    pub fn entries(&self) -> &[ZoneEntry] {
+        &self.entries
+    }
+
+    /// The entry covering OID range `[zone * ZONE_ROWS, ...)`.
+    pub fn entry(&self, zone: usize) -> Option<&ZoneEntry> {
+        self.entries.get(zone)
+    }
+
+    /// Dataset-level statistics aggregated from the zones (min/max/nulls via
+    /// [`ColumnStats::merge`]; distinct is a bounded estimate).
+    pub fn column_stats(&self) -> &ColumnStats {
+        &self.stats
+    }
+}
+
+/// Shared get-or-derive cache used by the plug-ins whose zone maps come from
+/// typed fills (CSV/JSON): already-derived columns are returned as-is,
+/// missing ones are derived through `generate` and memoized.
+pub fn derive_zone_maps(
+    cache: &Mutex<HashMap<String, Arc<ZoneMap>>>,
+    fields: &[String],
+    generate: impl Fn(&[String]) -> Option<ScanAccessors>,
+) -> Vec<(String, Arc<ZoneMap>)> {
+    let mut out = Vec::new();
+    let mut missing = Vec::new();
+    {
+        let cached = cache.lock().expect("zone map cache poisoned");
+        for field in fields {
+            match cached.get(field) {
+                Some(zm) => out.push((field.clone(), zm.clone())),
+                None => missing.push(field.clone()),
+            }
+        }
+    }
+    if missing.is_empty() {
+        return out;
+    }
+    if let Some(scan) = generate(&missing) {
+        let mut cached = cache.lock().expect("zone map cache poisoned");
+        for (name, kind, fill) in &scan.typed_fields {
+            let zm = cached
+                .entry(name.clone())
+                .or_insert_with(|| Arc::new(ZoneMap::from_typed_fill(scan.row_count, *kind, fill)))
+                .clone();
+            out.push((name.clone(), zm));
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn int_column_bounds_per_zone() {
+        // Two full zones and a 5-row tail, values 0..2053.
+        let col = ColumnData::Int((0..2053).collect());
+        let zm = ZoneMap::from_column(&col);
+        assert_eq!(zm.row_count(), 2053);
+        assert_eq!(zm.entries().len(), 3);
+        assert_eq!(zm.entry(0).unwrap().min, 0.0);
+        assert_eq!(zm.entry(0).unwrap().max, 1023.0);
+        assert_eq!(zm.entry(1).unwrap().min, 1024.0);
+        assert_eq!(zm.entry(2).unwrap().rows, 5);
+        assert_eq!(zm.entry(2).unwrap().max, 2052.0);
+        assert!(zm.entry(3).is_none());
+        let stats = zm.column_stats();
+        assert_eq!(stats.min, Value::Int(0));
+        assert_eq!(stats.max, Value::Int(2052));
+        assert_eq!(stats.nulls, 0);
+    }
+
+    #[test]
+    fn float_zone_bounds_use_the_total_order() {
+        let col = ColumnData::Float(vec![0.0, -0.0, 3.5, f64::NAN, -1.0]);
+        let zm = ZoneMap::from_column(&col);
+        let e = zm.entry(0).unwrap();
+        // NaN sorts last in the total order, -0.0 below 0.0.
+        assert!(e.max.is_nan());
+        assert_eq!(e.min, -1.0);
+        assert!(e.numeric);
+    }
+
+    #[test]
+    fn typed_fill_derivation_tracks_nulls() {
+        // A fill that nulls every third row.
+        let fill: TypedFill = Arc::new(|start, count, out: &mut TypedColumn| {
+            out.begin(TypedKind::I64, count);
+            for oid in start..start + count as u64 {
+                if oid % 3 == 0 {
+                    out.push_null();
+                } else {
+                    out.push_i64(oid as i64);
+                }
+            }
+        });
+        let zm = ZoneMap::from_typed_fill(2000, TypedKind::I64, &fill);
+        assert_eq!(zm.entries().len(), 2);
+        let e0 = zm.entry(0).unwrap();
+        assert_eq!(e0.rows, 1024);
+        assert_eq!(e0.null_count, 342); // ceil(1024/3)
+        assert!(!e0.all_null());
+        assert_eq!(e0.min, 1.0);
+        assert_eq!(
+            zm.column_stats().nulls,
+            342 + zm.entry(1).unwrap().null_count as u64
+        );
+    }
+
+    #[test]
+    fn all_null_zone_is_marked() {
+        let fill: TypedFill = Arc::new(|_, count, out: &mut TypedColumn| {
+            out.begin(TypedKind::F64, count);
+            for _ in 0..count {
+                out.push_null();
+            }
+        });
+        let zm = ZoneMap::from_typed_fill(100, TypedKind::F64, &fill);
+        let e = zm.entry(0).unwrap();
+        assert!(e.all_null());
+        assert!(!e.numeric);
+        assert_eq!(e.non_null(), 0);
+        assert_eq!(zm.column_stats().min, Value::Null);
+    }
+
+    #[test]
+    fn opaque_kinds_track_rows_only() {
+        let col = ColumnData::Str(vec!["a".into(), "b".into()]);
+        let zm = ZoneMap::from_column(&col);
+        let e = zm.entry(0).unwrap();
+        assert_eq!(e.rows, 2);
+        assert!(!e.numeric);
+    }
+}

@@ -408,7 +408,13 @@ fn kernels_equal_closures_over_binary_columns() {
             ],
         )
         .unwrap();
-        let vectorized = QueryEngine::new(EngineConfig::without_caching());
+        // Morsel skipping off: this suite asserts the compare kernels engage
+        // on every predicate shape, and a single-morsel scan is routinely
+        // provably empty/full for a random threshold (zone maps would
+        // legitimately bypass the kernels). Skip-on equivalence is covered
+        // by tests/zone_map_skipping.rs.
+        let vectorized =
+            QueryEngine::new(EngineConfig::without_caching().with_morsel_skipping(false));
         let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
         vectorized.register_plugin(std::sync::Arc::new(plugin.clone()));
         closures.register_plugin(std::sync::Arc::new(plugin));
@@ -443,7 +449,9 @@ fn kernels_equal_closures_over_json_and_csv() {
         writers::write_csv(&csv_path, &records, &schema(), '|').unwrap();
 
         for format in ["json", "csv"] {
-            let vectorized = QueryEngine::new(EngineConfig::without_caching());
+            // Skipping off for the same reason as the binary suite above.
+            let vectorized =
+                QueryEngine::new(EngineConfig::without_caching().with_morsel_skipping(false));
             let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
             for engine in [&vectorized, &closures] {
                 if format == "json" {
@@ -563,7 +571,11 @@ fn join_kernels_equal_closures_over_binary_columns() {
         let probe_records = to_records(&probe_rows);
         let build_records = build_to_records(&build_rows);
 
-        let vectorized = QueryEngine::new(EngineConfig::without_caching());
+        // Skipping off: a random threshold below the join can prove a whole
+        // single-morsel side empty, zeroing the join-kernel counters this
+        // suite asserts on.
+        let vectorized =
+            QueryEngine::new(EngineConfig::without_caching().with_morsel_skipping(false));
         let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
         for engine in [&vectorized, &closures] {
             engine.register_plugin(std::sync::Arc::new(probe_plugin(&probe_rows)));
@@ -606,7 +618,9 @@ fn join_kernels_equal_closures_over_json_and_csv() {
         writers::write_csv(&o_csv, &build_records, &build_schema(), '|').unwrap();
 
         for format in ["json", "csv"] {
-            let vectorized = QueryEngine::new(EngineConfig::without_caching());
+            // Skipping off for the same reason as the binary join suite.
+            let vectorized =
+                QueryEngine::new(EngineConfig::without_caching().with_morsel_skipping(false));
             let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
             for engine in [&vectorized, &closures] {
                 if format == "json" {
