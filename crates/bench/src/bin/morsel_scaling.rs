@@ -137,7 +137,12 @@ fn main() {
         }
         println!();
     }
-    emit_bench_json("morsel scaling", rows, &report);
+    emit_bench_json(
+        "morsel scaling",
+        rows,
+        "per-thread-count blocks, best-of-reps per block",
+        &report,
+    );
     if cpus < 4 {
         println!(
             "note: only {cpus} CPU(s) visible — thread counts above {cpus} cannot show wall-clock \

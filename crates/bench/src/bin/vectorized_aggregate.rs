@@ -211,6 +211,11 @@ fn main() {
             rows_per_sec: closure_rate,
         });
     }
-    emit_bench_json("vectorized aggregate", rows, &report);
+    emit_bench_json(
+        "vectorized aggregate",
+        rows,
+        "back-to-back best-of-reps blocks (kernels then closures, per shape)",
+        &report,
+    );
     println!("aggregate kernels engaged on every workload; per-tuple allocations: 0");
 }

@@ -173,6 +173,11 @@ fn main() {
             rows_per_sec: closure_rate,
         });
     }
-    emit_bench_json("vectorized filter", rows, &report);
+    emit_bench_json(
+        "vectorized filter",
+        rows,
+        "back-to-back best-of-reps blocks (kernels then closures, per shape)",
+        &report,
+    );
     println!("kernels engaged on every workload; per-tuple allocations: 0");
 }

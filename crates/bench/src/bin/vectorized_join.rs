@@ -221,6 +221,11 @@ fn main() {
             rows_per_sec: closure_rate,
         });
     }
-    emit_bench_json("vectorized join", rows, &report);
+    emit_bench_json(
+        "vectorized join",
+        rows,
+        "back-to-back best-of-reps blocks (kernels then closures, per shape)",
+        &report,
+    );
     println!("join kernels engaged on every workload; per-tuple allocations: 0");
 }

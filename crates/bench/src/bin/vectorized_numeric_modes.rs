@@ -1,0 +1,336 @@
+//! Numeric-mode A/B microbenchmark: the same query shapes executed under the
+//! default `strict` numeric mode (bit-exact, kernel ≡ closure) and the opt-in
+//! `relaxed` mode (explicit-lane float folds, chunked batch hashing,
+//! multi-lane probe compares — see ARCHITECTURE.md "Numeric modes").
+//!
+//! Strict and relaxed repetitions are **interleaved per rep** (A/B/A/B …)
+//! rather than run as back-to-back blocks, so frequency and thermal drift
+//! hit both modes equally; each mode's best rep is reported. A third,
+//! closure-only engine provides the correctness reference: `strict` must
+//! reproduce it bit for bit, `relaxed` must agree within the documented
+//! relative epsilon (summation order is the only thing the mode relaxes).
+//!
+//! Asserts, at the default row count, that `relaxed` is ≥1.3x `strict` on
+//! the dense sum/avg reduce shapes, and on every shape that the lane loops
+//! actually engaged (`simd_rows > 0` relaxed, `== 0` strict). Emits
+//! `BENCH_numeric_modes.json`.
+//!
+//! Knobs: `PROTEUS_NUMERIC_ROWS` (default 2_000_000; capping below the
+//! default skips the speedup gate so CI smoke runs stay load-tolerant),
+//! `PROTEUS_NUMERIC_REPS` (default 5).
+
+use std::sync::Arc;
+use std::time::Instant;
+
+use proteus_algebra::{Expr, JoinKind, LogicalPlan, Monoid, ReduceSpec, Schema, Value};
+use proteus_bench::harness::{emit_bench_json, BenchRow};
+use proteus_core::{EngineConfig, NumericMode, QueryEngine, QueryResult};
+use proteus_datagen::writers;
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_storage::ColumnData;
+
+const DEFAULT_ROWS: usize = 2_000_000;
+
+/// The relative tolerance `relaxed` results are held to versus `strict`
+/// (documented in ARCHITECTURE.md "Numeric modes").
+const RELATIVE_EPSILON: f64 = 1e-9;
+
+fn synthetic_lineitem(rows: usize) -> ColumnPlugin {
+    let n = rows as i64;
+    ColumnPlugin::from_pairs(
+        "lineitem",
+        vec![
+            (
+                "l_orderkey".to_string(),
+                ColumnData::Int((0..n).map(|i| i % (n / 4).max(1)).collect()),
+            ),
+            // Clustered group key: runs of 1000 equal keys, so the relaxed
+            // group-by path exercises its adjacent-run folding.
+            (
+                "l_cluster".to_string(),
+                ColumnData::Int((0..n).map(|i| i / 1000).collect()),
+            ),
+            // Varied fractional parts so reassociated summation genuinely
+            // changes low-order bits (the epsilon check is not vacuous).
+            (
+                "l_quantity".to_string(),
+                ColumnData::Float(
+                    (0..n)
+                        .map(|i| (i % 97) as f64 * 0.25 + (i % 13) as f64 * 0.001)
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+    .expect("synthetic columns")
+}
+
+fn synthetic_orders(rows: usize) -> ColumnPlugin {
+    let n = rows as i64;
+    ColumnPlugin::from_pairs(
+        "orders",
+        vec![
+            ("o_orderkey".to_string(), ColumnData::Int((0..n).collect())),
+            (
+                "o_total".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 89) as f64 * 1.5).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic columns")
+}
+
+/// Newline-delimited JSON with every 13th `qty` null: the nullable-column
+/// lane path (`null_words` folded per 64-row lane group) only engages on
+/// data that actually carries a null bitmap, which dense binary columns
+/// never do.
+fn write_nullable_json(rows: usize) -> std::path::PathBuf {
+    let values: Vec<Value> = (0..rows as i64)
+        .map(|i| {
+            let qty = if i % 13 == 0 {
+                Value::Null
+            } else {
+                Value::Float((i % 83) as f64 * 0.5 + (i % 7) as f64 * 0.01)
+            };
+            Value::record(vec![("id", Value::Int(i)), ("qty", qty)])
+        })
+        .collect();
+    let path = std::env::temp_dir().join(format!("proteus_numeric_modes_{rows}.json"));
+    writers::write_json(&path, &values, false).expect("write nullable json");
+    path
+}
+
+/// (label, perf-gated, plan): `perf-gated` marks the dense sum/avg reduce
+/// shapes the ≥1.3x acceptance bar applies to.
+fn workloads(rows: i64) -> Vec<(&'static str, bool, LogicalPlan)> {
+    let lineitem = || LogicalPlan::scan("lineitem", "l", Schema::empty());
+    vec![
+        (
+            "sum",
+            true,
+            lineitem().reduce(vec![ReduceSpec::new(
+                Monoid::Sum,
+                Expr::path("l.l_quantity"),
+                "total",
+            )]),
+        ),
+        (
+            "avg",
+            true,
+            lineitem().reduce(vec![ReduceSpec::new(
+                Monoid::Avg,
+                Expr::path("l.l_quantity"),
+                "avgq",
+            )]),
+        ),
+        (
+            "sum-avg-nulls",
+            false,
+            LogicalPlan::scan("nullable", "r", Schema::empty()).reduce(vec![
+                ReduceSpec::new(Monoid::Sum, Expr::path("r.qty"), "total"),
+                ReduceSpec::new(Monoid::Avg, Expr::path("r.qty"), "avgq"),
+            ]),
+        ),
+        (
+            "group-sum-clustered",
+            false,
+            lineitem().nest(
+                vec![Expr::path("l.l_cluster")],
+                vec!["cluster".into()],
+                vec![
+                    ReduceSpec::new(Monoid::Sum, Expr::path("l.l_quantity"), "total"),
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ],
+            ),
+        ),
+        (
+            "join-count",
+            false,
+            LogicalPlan::scan("orders", "o", Schema::empty())
+                .join(
+                    lineitem(),
+                    Expr::path("o.o_orderkey").eq(Expr::path("l.l_orderkey")),
+                    JoinKind::Inner,
+                )
+                .select(Expr::path("o.o_orderkey").lt(Expr::int(rows / 8)))
+                .reduce(vec![
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                    ReduceSpec::new(Monoid::Sum, Expr::path("o.o_total"), "total"),
+                ]),
+        ),
+    ]
+}
+
+/// Interleaves strict/relaxed repetitions (A/B per rep) and returns each
+/// mode's best wall-clock seconds plus its last result.
+fn interleaved_ab(
+    strict: &QueryEngine,
+    relaxed: &QueryEngine,
+    plan: &LogicalPlan,
+    reps: usize,
+) -> (f64, f64, QueryResult, QueryResult) {
+    let mut best = [f64::INFINITY; 2];
+    let mut last: [Option<QueryResult>; 2] = [None, None];
+    for _ in 0..reps {
+        for (slot, engine) in [strict, relaxed].into_iter().enumerate() {
+            let start = Instant::now();
+            let result = engine.execute_plan(plan.clone()).expect("query failed");
+            let elapsed = start.elapsed().as_secs_f64();
+            if elapsed < best[slot] {
+                best[slot] = elapsed;
+            }
+            last[slot] = Some(result);
+        }
+    }
+    let [strict_out, relaxed_out] = last;
+    (
+        best[0],
+        best[1],
+        strict_out.expect("at least one rep"),
+        relaxed_out.expect("at least one rep"),
+    )
+}
+
+/// Structural equality with a relative tolerance on floats — the comparison
+/// `relaxed` output is held to versus `strict`. Numerics compare across
+/// `Int`/`Float`: `Accumulator::finish` reports an integral float sum as
+/// `Value::Int`, so a reassociated sum landing exactly on an integer flips
+/// the output *type* while staying inside the epsilon envelope.
+fn value_approx_eq(a: &Value, b: &Value) -> bool {
+    fn numeric(v: &Value) -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        _ if numeric(a).is_some() && numeric(b).is_some() => {
+            let (x, y) = (numeric(a).unwrap(), numeric(b).unwrap());
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= RELATIVE_EPSILON * scale
+        }
+        (Value::Record(x), Value::Record(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|((na, va), (nb, vb))| na == nb && value_approx_eq(va, vb))
+        }
+        (Value::List(x), Value::List(y)) => {
+            x.len() == y.len()
+                && x.iter()
+                    .zip(y.iter())
+                    .all(|(va, vb)| value_approx_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+fn rows_approx_eq(a: &[Value], b: &[Value]) -> bool {
+    a.len() == b.len() && a.iter().zip(b.iter()).all(|(x, y)| value_approx_eq(x, y))
+}
+
+fn main() {
+    let rows: usize = std::env::var("PROTEUS_NUMERIC_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROWS);
+    let reps: usize = std::env::var("PROTEUS_NUMERIC_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(5);
+    let gate_speedup = rows >= DEFAULT_ROWS;
+
+    println!("generating {rows} synthetic lineitem rows (binary columns)...");
+    let lineitem = Arc::new(synthetic_lineitem(rows));
+    let orders = Arc::new(synthetic_orders(rows / 4));
+    let json_rows = (rows / 10).max(1_000);
+    let json_path = write_nullable_json(json_rows);
+
+    let strict = QueryEngine::new(EngineConfig::without_caching());
+    let relaxed =
+        QueryEngine::new(EngineConfig::without_caching().with_numeric_mode(NumericMode::Relaxed));
+    let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+    for engine in [&strict, &relaxed, &closures] {
+        engine.register_plugin(lineitem.clone());
+        engine.register_plugin(orders.clone());
+        engine
+            .register_json("nullable", &json_path)
+            .expect("register nullable json");
+    }
+
+    let mut report: Vec<BenchRow> = Vec::new();
+    for (label, perf_gated, plan) in workloads(rows as i64) {
+        let plan = proteus_algebra::rewrite::rewrite(plan);
+        let (strict_secs, relaxed_secs, strict_out, relaxed_out) =
+            interleaved_ab(&strict, &relaxed, &plan, reps);
+        let closure_out = closures.execute_plan(plan.clone()).expect("query failed");
+
+        // Strict keeps the kernel ≡ closure bit-exactness contract.
+        assert_eq!(
+            strict_out.rows, closure_out.rows,
+            "{label}: strict mode diverged from the closure engine"
+        );
+        // Relaxed may reassociate float summation, nothing more.
+        assert!(
+            rows_approx_eq(&relaxed_out.rows, &strict_out.rows),
+            "{label}: relaxed mode outside the {RELATIVE_EPSILON:e} relative envelope\n  strict:  {:?}\n  relaxed: {:?}",
+            strict_out.rows,
+            relaxed_out.rows
+        );
+        // The lane loops must actually engage — a silently-scalar relaxed
+        // mode would pass every equivalence check.
+        assert!(
+            relaxed_out.metrics.simd_rows > 0,
+            "{label}: relaxed mode never took a lane loop ({})",
+            relaxed_out.metrics
+        );
+        assert_eq!(
+            strict_out.metrics.simd_rows, 0,
+            "{label}: strict mode took a lane loop ({})",
+            strict_out.metrics
+        );
+
+        let shape_rows = if label == "sum-avg-nulls" {
+            json_rows
+        } else {
+            rows
+        };
+        let strict_rate = shape_rows as f64 / strict_secs;
+        let relaxed_rate = shape_rows as f64 / relaxed_secs;
+        let speedup = strict_secs / relaxed_secs;
+        println!(
+            "{label:<20} strict {strict_rate:>12.0} rows/s | relaxed {relaxed_rate:>12.0} rows/s | speedup {speedup:>5.2}x"
+        );
+        if perf_gated && gate_speedup {
+            assert!(
+                speedup >= 1.3,
+                "{label}: relaxed/strict speedup {speedup:.2}x below the 1.3x bar"
+            );
+        }
+        for (engine, secs, rate) in [
+            ("proteus-strict", strict_secs, strict_rate),
+            ("proteus-relaxed", relaxed_secs, relaxed_rate),
+        ] {
+            report.push(BenchRow {
+                engine: engine.to_string(),
+                template: label.to_string(),
+                selectivity_pct: 100,
+                millis: secs * 1e3,
+                rows_per_sec: rate,
+            });
+        }
+    }
+    emit_bench_json(
+        "numeric modes",
+        rows,
+        "strict/relaxed alternated per rep, best-of-reps per mode",
+        &report,
+    );
+    if gate_speedup {
+        println!("relaxed ≥1.3x strict on the dense sum/avg shapes; lane loops engaged everywhere");
+    } else {
+        println!("row count capped below {DEFAULT_ROWS}: speedup gate skipped (smoke run)");
+    }
+}

@@ -163,5 +163,10 @@ fn main() {
         }
     }
 
-    emit_bench_json("zone map skipping", rows, &report);
+    emit_bench_json(
+        "zone map skipping",
+        rows,
+        "back-to-back best-of-reps blocks (indexed then full-scan, per shape)",
+        &report,
+    );
 }

@@ -406,7 +406,15 @@ pub struct BenchRow {
 /// and bin writes to one stable location regardless of its CWD). Plain
 /// hand-rolled JSON — the environment is offline, and the schema is four
 /// scalars per row.
-pub fn emit_bench_json(title: &str, dataset_rows: usize, rows: &[BenchRow]) {
+///
+/// Every report carries a `host` block — CPU count, the `PROTEUS_THREADS`
+/// override (or `null`), and the measurement `interleaving` scheme — so a
+/// number read months later can be judged against the machine and
+/// methodology that produced it. `interleaving` describes how the compared
+/// engines' repetitions were ordered in time: back-to-back blocks are
+/// vulnerable to frequency/thermal drift between blocks, per-rep
+/// alternation is not.
+pub fn emit_bench_json(title: &str, dataset_rows: usize, interleaving: &str, rows: &[BenchRow]) {
     fn json_escape(s: &str) -> String {
         s.chars()
             .flat_map(|c| match c {
@@ -436,9 +444,20 @@ pub fn emit_bench_json(title: &str, dataset_rows: usize, rows: &[BenchRow]) {
             .unwrap_or_else(|| ".".to_string())
     });
     let path = std::path::Path::new(&dir).join(format!("BENCH_{slug}.json"));
+    let cpus = std::thread::available_parallelism()
+        .map(|n| n.get())
+        .unwrap_or(1);
+    let proteus_threads = match std::env::var("PROTEUS_THREADS") {
+        Ok(v) => format!("\"{}\"", json_escape(&v)),
+        Err(_) => "null".to_string(),
+    };
     let mut out = String::from("{\n");
     out.push_str(&format!("  \"title\": \"{}\",\n", json_escape(title)));
     out.push_str(&format!("  \"dataset_rows\": {dataset_rows},\n"));
+    out.push_str(&format!(
+        "  \"host\": {{\"cpus\": {cpus}, \"proteus_threads\": {proteus_threads}, \"interleaving\": \"{}\"}},\n",
+        json_escape(interleaving)
+    ));
     out.push_str("  \"rows\": [\n");
     for (i, row) in rows.iter().enumerate() {
         out.push_str(&format!(
@@ -521,7 +540,12 @@ pub fn run_figure(
         }
         println!("{line}");
     }
-    emit_bench_json(title, setup.lineitems.len(), &report);
+    emit_bench_json(
+        title,
+        setup.lineitems.len(),
+        "per-engine blocks (each engine runs all templates before the next)",
+        &report,
+    );
 }
 
 /// Default scale for bench targets (kept small so `cargo bench` is quick);

@@ -56,6 +56,7 @@ pub struct Compiler {
     caches: Option<CacheStore>,
     vectorized: bool,
     morsel_skipping: bool,
+    numeric_mode: kernels::NumericMode,
 }
 
 /// Per-compilation planner state: which slot names any compiled closure
@@ -95,6 +96,7 @@ impl Compiler {
             caches,
             vectorized: true,
             morsel_skipping: true,
+            numeric_mode: kernels::NumericMode::Strict,
         }
     }
 
@@ -113,6 +115,16 @@ impl Compiler {
     /// disables it too.
     pub fn with_morsel_skipping(mut self, morsel_skipping: bool) -> Compiler {
         self.morsel_skipping = morsel_skipping;
+        self
+    }
+
+    /// Selects the query's numeric mode (builder style; `strict` by
+    /// default). Under [`NumericMode::Relaxed`](kernels::NumericMode) the
+    /// generated engine's `sum`/`avg` folds lane-split (permitting float
+    /// reassociation) and batch hashing / numeric probe compares take their
+    /// chunked explicit-lane loops.
+    pub fn with_numeric_mode(mut self, mode: kernels::NumericMode) -> Compiler {
+        self.numeric_mode = mode;
         self
     }
 
@@ -177,6 +189,7 @@ impl Compiler {
             sink,
             producer,
             layout,
+            numeric_mode: self.numeric_mode,
             ir: ir.finish(),
             compile_time: started.elapsed(),
             access_paths,
@@ -199,7 +212,8 @@ impl Compiler {
             return None;
         }
         let typed_slots = scan_typed_kinds(producer)?;
-        let planned = kernels::plan_sink(outputs, group_by, predicate, layout, &typed_slots)?;
+        let mut planned = kernels::plan_sink(outputs, group_by, predicate, layout, &typed_slots)?;
+        planned.kernel.mode = self.numeric_mode;
         try_activate_typed_slots(producer, &planned.used_slots);
         Some(planned)
     }
@@ -216,9 +230,16 @@ impl Compiler {
     ) -> Result<Sink> {
         let planned = self.plan_sink_kernel(outputs, &[], predicate, producer, layout);
         let is_kernel = |i: usize| planned.as_ref().is_some_and(|p| p.kernel.aggs[i].is_some());
+        let lane_fold = |i: usize, monoid: Monoid| {
+            is_kernel(i)
+                && self.numeric_mode == kernels::NumericMode::Relaxed
+                && matches!(monoid, Monoid::Sum | Monoid::Avg)
+        };
         let mut specs = Vec::with_capacity(outputs.len());
         for (i, output) in outputs.iter().enumerate() {
-            let vect_note = if is_kernel(i) {
+            let vect_note = if lane_fold(i, output.monoid) {
+                "   // vectorized aggregate kernel (relaxed lanes)"
+            } else if is_kernel(i) {
                 "   // vectorized aggregate kernel"
             } else {
                 ""
@@ -354,7 +375,12 @@ impl Compiler {
                     output.alias,
                     output.monoid,
                     output.expr,
-                    if is_kernel(i) {
+                    if is_kernel(i)
+                        && self.numeric_mode == kernels::NumericMode::Relaxed
+                        && matches!(output.monoid, Monoid::Sum | Monoid::Avg)
+                    {
+                        "   // vectorized aggregate kernel (relaxed lanes)"
+                    } else if is_kernel(i) {
                         "   // vectorized aggregate kernel"
                     } else {
                         ""
@@ -1024,6 +1050,9 @@ pub struct CompiledQuery {
     sink: Sink,
     producer: Producer,
     layout: BindingLayout,
+    /// The numeric mode the engine was generated under (seeded into every
+    /// pipeline worker's scratch at execution time).
+    numeric_mode: kernels::NumericMode,
     /// Pseudo-IR of the generated engine (Figure 3 analogue).
     pub ir: String,
     /// Time spent generating the engine.
@@ -1044,18 +1073,8 @@ impl CompiledQuery {
     /// entries require in-order OIDs.
     pub fn execute_with_parallelism(self, parallelism: usize) -> Result<QueryOutput> {
         let started = Instant::now();
-        let mut threads = resolve_parallelism(parallelism);
-        // Collection monoids (bag/set/list) materialize their elements in
-        // fold order. Reduce sinks restore scan order under a parallel fold
-        // with morsel-tagged elements (the Collect/Entries merge), but a
-        // grouped collection would need per-element tags inside every
-        // group's accumulator — pin *nest* collection sinks to the serial
-        // path so the serial ≡ parallel contract stays exact.
-        if let Sink::Nest { specs, .. } = &self.sink {
-            if specs.iter().any(|(m, _, _)| m.is_collection()) {
-                threads = 1;
-            }
-        }
+        let threads = resolve_parallelism(parallelism);
+        let mode = self.numeric_mode;
         let mut metrics = ExecutionMetrics::new();
         let rows = match self.sink {
             Sink::Reduce {
@@ -1071,6 +1090,7 @@ impl CompiledQuery {
                     predicate,
                     kernel,
                     threads,
+                    mode,
                     &mut metrics,
                 )?;
                 let mut record = Record::empty();
@@ -1097,6 +1117,7 @@ impl CompiledQuery {
                     predicate,
                     kernel,
                     threads,
+                    mode,
                     &mut metrics,
                 )?;
                 metrics.intermediate_tuples += table.group_count() as u64;
@@ -1117,7 +1138,7 @@ impl CompiledQuery {
             }
             Sink::Collect => {
                 let slots: Vec<String> = self.layout.slots().to_vec();
-                let bindings = run_collect(self.producer, threads, &mut metrics)?;
+                let bindings = run_collect(self.producer, threads, mode, &mut metrics)?;
                 bindings
                     .into_iter()
                     .map(|binding| {
@@ -1570,9 +1591,10 @@ mod tests {
     }
 
     #[test]
-    fn collection_nest_sinks_pin_to_the_serial_path() {
-        // A grouped list fold would need per-element tags inside every
-        // group accumulator; the engine refuses to parallelize it.
+    fn collection_nest_sinks_run_parallel_in_order() {
+        // Grouped list folds carry per-element morsel tags inside every
+        // group accumulator, so the parallel merge reproduces the serial
+        // element order exactly — no serial pin.
         let rows = 4 * crate::exec::MORSEL_SIZE as i64;
         let registry = PluginRegistry::new();
         registry.register(Arc::new(
@@ -1600,7 +1622,7 @@ mod tests {
             .unwrap()
             .execute_with_parallelism(4)
             .unwrap();
-        assert_eq!(parallel.metrics.threads_used, 1);
+        assert_eq!(parallel.metrics.threads_used, 4);
         assert_eq!(serial.rows, parallel.rows);
     }
 

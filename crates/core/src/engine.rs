@@ -26,6 +26,7 @@ use proteus_storage::{CacheStore, MemoryManager};
 use crate::codegen::Compiler;
 use crate::error::Result;
 use crate::exec::metrics::ExecutionMetrics;
+use crate::exec::NumericMode;
 
 /// Engine configuration.
 #[derive(Debug, Clone)]
@@ -52,6 +53,15 @@ pub struct EngineConfig {
     /// the compare kernels on every morsel — used by the skipping-vs-full
     /// benchmarks and equivalence tests.
     pub morsel_skipping: bool,
+    /// Per-query numeric-reduction semantics. [`NumericMode::Strict`] (the
+    /// default) keeps the kernel ≡ closure bit-exactness guarantee:
+    /// generated engines reproduce row-order f64 additions bit for bit.
+    /// [`NumericMode::Relaxed`] permits reassociation — `sum`/`avg` folds
+    /// lane-split into independent partial accumulators and the batch
+    /// hashing / numeric probe loops take chunked explicit-lane forms —
+    /// trading bit-reproducibility for throughput (see `ARCHITECTURE.md`,
+    /// "Numeric modes", for the epsilon contract).
+    pub numeric_mode: NumericMode,
 }
 
 impl Default for EngineConfig {
@@ -62,6 +72,7 @@ impl Default for EngineConfig {
             parallelism: 1,
             vectorized: true,
             morsel_skipping: true,
+            numeric_mode: NumericMode::Strict,
         }
     }
 }
@@ -100,6 +111,12 @@ impl EngineConfig {
     /// Enables or disables zone-map morsel skipping (builder style).
     pub fn with_morsel_skipping(mut self, morsel_skipping: bool) -> EngineConfig {
         self.morsel_skipping = morsel_skipping;
+        self
+    }
+
+    /// Selects the numeric mode queries run under (builder style).
+    pub fn with_numeric_mode(mut self, mode: NumericMode) -> EngineConfig {
+        self.numeric_mode = mode;
         self
     }
 }
@@ -280,7 +297,8 @@ impl QueryEngine {
             self.config.caching_enabled.then(|| self.caches.clone()),
         )
         .with_vectorization(self.config.vectorized)
-        .with_morsel_skipping(self.config.morsel_skipping);
+        .with_morsel_skipping(self.config.morsel_skipping)
+        .with_numeric_mode(self.config.numeric_mode);
         let compiled = compiler.compile(&optimized.plan)?;
         let ir = compiled.ir.clone();
         let access_paths = compiled.access_paths.clone();
@@ -313,7 +331,8 @@ impl QueryEngine {
             self.config.caching_enabled.then(|| self.caches.clone()),
         )
         .with_vectorization(self.config.vectorized)
-        .with_morsel_skipping(self.config.morsel_skipping);
+        .with_morsel_skipping(self.config.morsel_skipping)
+        .with_numeric_mode(self.config.numeric_mode);
         let compiled = compiler.compile(&optimized.plan)?;
         Ok(format!(
             "== Optimized plan (estimated cost {:.1}, cardinality {:.1}) ==\n{}\n== Generated engine (pseudo-IR) ==\n{}",

@@ -54,6 +54,12 @@ pub struct ExecutionMetrics {
     /// Join build/probe rows whose keys fell back to compiled per-tuple key
     /// closures (untyped slots, computed or record-shaped key expressions).
     pub join_fallback_rows: u64,
+    /// Rows processed by the relaxed-tier explicit-lane loops (lane-split
+    /// `sum`/`avg` folds, chunked batch hashing counted per component pass,
+    /// chunked numeric probe compares). Always 0 under the default `strict`
+    /// numeric mode — the counter is how callers assert the lane path
+    /// actually engaged when a query opts into `relaxed`.
+    pub simd_rows: u64,
     /// Hash-table probes performed by joins and group-bys.
     pub hash_probes: u64,
     /// Values appended to caches as a side-effect of execution.
@@ -112,6 +118,7 @@ impl ExecutionMetrics {
         self.agg_fallback_rows += other.agg_fallback_rows;
         self.join_kernel_rows += other.join_kernel_rows;
         self.join_fallback_rows += other.join_fallback_rows;
+        self.simd_rows += other.simd_rows;
         self.hash_probes += other.hash_probes;
         self.cached_values += other.cached_values;
         self.morsels += other.morsels;
@@ -142,7 +149,7 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) probes={} cached={} morsels={} (skipped={} short-circuited={}) index_rows={} allocs={} grows={} threads={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) simd={} probes={} cached={} morsels={} (skipped={} short-circuited={}) index_rows={} allocs={} grows={} threads={} compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
@@ -154,6 +161,7 @@ impl fmt::Display for ExecutionMetrics {
             self.agg_fallback_rows,
             self.join_kernel_rows,
             self.join_fallback_rows,
+            self.simd_rows,
             self.hash_probes,
             self.cached_values,
             self.morsels,

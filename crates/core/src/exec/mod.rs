@@ -122,8 +122,27 @@
 //!   pin the pipeline to the serial path: elements are tagged with their
 //!   morsel index per worker and merged in morsel order (the same ordered
 //!   merge Collect/Entries use), with sets deduping locally first (the local
-//!   first occurrence carries the smallest tag). Grouped collections still
-//!   run serially — they would need per-element tags inside every group.
+//!   first occurrence carries the smallest tag). Grouped collections run
+//!   morsel-parallel the same way: each group's accumulator carries
+//!   per-element morsel tags, and [`radix::RadixGroupTable::absorb`] merges
+//!   element lists in tag order — identical to serial ingest at any worker
+//!   count.
+//!
+//! # Numeric modes: the relaxed explicit-lane tier
+//!
+//! The kernel ≡ closure bit-exactness contract above is itself a per-query
+//! choice ([`NumericMode`], default [`NumericMode::Strict`]). A query that
+//! opts into [`NumericMode::Relaxed`] permits float reassociation, and the
+//! hot scalar loops take fixed-width explicit-lane forms: `sum`/`avg` folds
+//! lane-split into [`kernels::FOLD_LANES`] independent partial accumulators
+//! combined pairwise (null words folding per 64-row lane group), batch key
+//! hashing chunks into [`radix::HASH_LANES`] independent mix chains, and
+//! the single-numeric-key probe hoists its compares into eight-wide lane
+//! gathers. Hashing and probing stay bit-identical (per-row chains never
+//! interact); only float summation order changes, within the relative
+//! epsilon documented in `ARCHITECTURE.md` ("Numeric modes").
+//! `ExecutionMetrics::simd_rows` counts rows the lane loops processed —
+//! always 0 under `strict`.
 //!
 //! `ExecutionMetrics::agg_kernel_rows` / `agg_fallback_rows` report which
 //! tier folded each (row × output spec); aggregate kernel ≡ closure
@@ -184,6 +203,7 @@ pub mod radix;
 
 pub use batch::{BindingBatch, MORSEL_SIZE};
 pub use expr::{compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate};
+pub use kernels::NumericMode;
 
 use proteus_algebra::Value;
 

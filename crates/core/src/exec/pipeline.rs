@@ -193,6 +193,9 @@ enum Stage {
 struct PreparedPipeline {
     scan: PreparedScan,
     stages: Vec<Stage>,
+    /// The query's numeric mode, seeded into every worker's
+    /// [`kernels::Scratch`] so spine stages (probe, build hashing) see it.
+    mode: kernels::NumericMode,
 }
 
 /// Flattens a producer tree into a prepared spine, executing every join
@@ -200,6 +203,7 @@ struct PreparedPipeline {
 fn prepare(
     producer: Producer,
     threads: usize,
+    mode: kernels::NumericMode,
     metrics: &mut ExecutionMetrics,
 ) -> Result<PreparedPipeline> {
     match producer {
@@ -238,6 +242,7 @@ fn prepare(
                     zones,
                 },
                 stages: Vec::new(),
+                mode,
             })
         }
         Producer::Filter {
@@ -245,7 +250,7 @@ fn prepare(
             kernel,
             predicate,
         } => {
-            let mut prepared = prepare(*input, threads, metrics)?;
+            let mut prepared = prepare(*input, threads, mode, metrics)?;
             if let Some(kernel) = kernel {
                 prepared.stages.push(Stage::KernelFilter(kernel));
             }
@@ -261,7 +266,7 @@ fn prepare(
             predicate,
             outer,
         } => {
-            let mut prepared = prepare(*input, threads, metrics)?;
+            let mut prepared = prepare(*input, threads, mode, metrics)?;
             let width = current_width(&prepared).max(slot + 1);
             prepared.stages.push(Stage::Unnest {
                 collection,
@@ -296,13 +301,14 @@ fn prepare(
                 build_key_slots,
                 build_live,
                 threads,
+                mode,
                 metrics,
             )?;
             metrics.intermediate_tuples += store.len() as u64;
             let table = Arc::new(RadixHashTable::build_parallel(store, threads));
             metrics.intermediate_bytes += table.materialized_bytes();
 
-            let mut prepared = prepare(*probe, threads, metrics)?;
+            let mut prepared = prepare(*probe, threads, mode, metrics)?;
             let probe_width = current_width(&prepared);
             let matched =
                 (kind == JoinKind::LeftOuter).then(|| Arc::new(MatchedBitmap::new(table.len())));
@@ -562,7 +568,7 @@ impl SinkSpec {
                         let ReducePartial::Scalar(acc) = &mut partials[i] else {
                             unreachable!("kernel-classified collection monoid");
                         };
-                        rendered.fold_rows(i, *monoid, acc, &masked);
+                        metrics.simd_rows += rendered.fold_rows(i, *monoid, acc, &masked);
                     } else {
                         closure_specs += 1;
                         for &r in &masked {
@@ -612,31 +618,77 @@ impl SinkSpec {
                     scratch.put_sel(masked);
                     return;
                 }
-                let typed_keys = kernels::TypedKeys::bind(&sink_kernel.key_slots, batch);
+                let typed_keys = kernels::TypedKeys::bind(&sink_kernel.key_slots, batch)
+                    .with_mode(sink_kernel.mode);
                 let mut hashes = scratch.take_u64s();
-                typed_keys.hash_rows(&masked, &mut hashes);
+                metrics.simd_rows += typed_keys.hash_rows(&masked, &mut hashes);
                 let rendered = sink_kernel.render(batch, batch.rows(), scratch);
-                for (&r, &hash) in masked.iter().zip(&hashes) {
+                let relaxed = sink_kernel.mode == kernels::NumericMode::Relaxed;
+                let mut probes = 0u64;
+                let mut i = 0;
+                while i < masked.len() {
+                    let r = masked[i];
                     let row = r as usize;
-                    table.merge_with(
-                        hash,
-                        |stored| typed_keys.eq_values(row, stored),
-                        || typed_keys.materialize(row),
-                        |accumulators, monoids| {
-                            for (i, (acc, monoid)) in
-                                accumulators.iter_mut().zip(monoids).enumerate()
-                            {
-                                if rendered.is_kernel(i) {
-                                    rendered.fold_row(i, *monoid, acc, row);
-                                } else {
-                                    let _ = acc.merge(*monoid, value_exprs[i](batch.row(r)));
+                    let hash = hashes[i];
+                    let mut end = i + 1;
+                    if relaxed {
+                        // Clustered keys fold as one run: adjacent rows with
+                        // the same key share one table lookup, and their
+                        // kernel aggregates lane-fold through `fold_rows`.
+                        while end < masked.len()
+                            && hashes[end] == hash
+                            && typed_keys.rows_eq(row, masked[end] as usize)
+                        {
+                            end += 1;
+                        }
+                    }
+                    probes += 1;
+                    if end - i > 1 {
+                        let run = &masked[i..end];
+                        let simd = &mut metrics.simd_rows;
+                        table.merge_with(
+                            hash,
+                            |stored| typed_keys.eq_values(row, stored),
+                            || typed_keys.materialize(row),
+                            morsel,
+                            |accumulators, monoids| {
+                                for (spec, (acc, monoid)) in
+                                    accumulators.iter_mut().zip(monoids).enumerate()
+                                {
+                                    if rendered.is_kernel(spec) {
+                                        *simd += rendered.fold_rows(spec, *monoid, acc, run);
+                                    } else {
+                                        for &rr in run {
+                                            let _ = acc
+                                                .merge(*monoid, value_exprs[spec](batch.row(rr)));
+                                        }
+                                    }
                                 }
-                            }
-                        },
-                    );
+                            },
+                        );
+                    } else {
+                        table.merge_with(
+                            hash,
+                            |stored| typed_keys.eq_values(row, stored),
+                            || typed_keys.materialize(row),
+                            morsel,
+                            |accumulators, monoids| {
+                                for (spec, (acc, monoid)) in
+                                    accumulators.iter_mut().zip(monoids).enumerate()
+                                {
+                                    if rendered.is_kernel(spec) {
+                                        rendered.fold_row(spec, *monoid, acc, row);
+                                    } else {
+                                        let _ = acc.merge(*monoid, value_exprs[spec](batch.row(r)));
+                                    }
+                                }
+                            },
+                        );
+                    }
+                    i = end;
                 }
                 let kernel_specs = sink_kernel.kernel_specs() as u64;
-                metrics.hash_probes += masked.len() as u64;
+                metrics.hash_probes += probes;
                 metrics.agg_kernel_rows += masked.len() as u64 * kernel_specs;
                 metrics.agg_fallback_rows +=
                     masked.len() as u64 * (value_exprs.len() as u64 - kernel_specs);
@@ -678,6 +730,7 @@ impl SinkSpec {
                                     .all(|(a, b)| a.value_eq(b))
                         },
                         || key_buf.clone(),
+                        morsel,
                         |accumulators, monoids| {
                             for ((acc, monoid), expr) in
                                 accumulators.iter_mut().zip(monoids).zip(value_exprs)
@@ -709,14 +762,15 @@ impl SinkSpec {
                     Some(slots) => {
                         // Kernel ingest: batch-hash the whole selection from
                         // the typed columns, materialize components lane-wise.
-                        let typed_keys = kernels::TypedKeys::bind(slots, batch);
+                        let typed_keys =
+                            kernels::TypedKeys::bind(slots, batch).with_mode(scratch.mode());
                         // Live payload slots read the typed columns where
                         // the scan filled them (hydration is skipped ahead
                         // of a typed-key build sink).
                         let live_cols: Vec<_> =
                             live_slots.iter().map(|&s| batch.typed_col(s)).collect();
                         let mut hashes = scratch.take_u64s();
-                        typed_keys.hash_rows(batch.sel(), &mut hashes);
+                        metrics.simd_rows += typed_keys.hash_rows(batch.sel(), &mut hashes);
                         for (&r, &hash) in batch.sel().iter().zip(&hashes) {
                             partial.tags.push(morsel);
                             partial.hashes.push(hash);
@@ -980,17 +1034,23 @@ fn process_stages(
                         // the typed columns, then walk the clustered hash
                         // runs with lane-vs-stored-key compares. No `Value`
                         // is materialized per probe row.
-                        let typed_keys = kernels::TypedKeys::bind(slots, cur);
+                        let typed_keys =
+                            kernels::TypedKeys::bind(slots, cur).with_mode(scratch.mode());
                         let mut hashes = scratch.take_u64s();
-                        typed_keys.hash_rows(cur.sel(), &mut hashes);
+                        metrics.simd_rows += typed_keys.hash_rows(cur.sel(), &mut hashes);
                         // Single numeric keys take the specialized loop;
                         // everything else runs the generic componentwise
                         // compares. Batch hashing buys both a fixed probe
                         // lookahead: pull each row's clustered sub-run
                         // toward cache while earlier rows are confirmed.
-                        if !typed_keys.probe_rows_numeric(table, cur.sel(), &hashes, |entry, r| {
+                        if typed_keys.probe_rows_numeric(table, cur.sel(), &hashes, |entry, r| {
                             pairs.push((entry, r))
                         }) {
+                            if scratch.mode() == kernels::NumericMode::Relaxed {
+                                // The chunked lane-gather probe engaged.
+                                metrics.simd_rows += cur.active() as u64;
+                            }
+                        } else {
                             for (i, (&r, &hash)) in cur.sel().iter().zip(&hashes).enumerate() {
                                 if let Some(&ahead) =
                                     hashes.get(i + crate::exec::radix::PROBE_LOOKAHEAD)
@@ -1095,7 +1155,7 @@ fn worker_loop(
     let mut state = sink.new_state();
     let mut cur = BindingBatch::new();
     let mut spare = BindingBatch::new();
-    let mut scratch = kernels::Scratch::new();
+    let mut scratch = kernels::Scratch::with_mode(pipeline.mode);
     // Tier 0, morsel skipping: engages only when the spine leads with a
     // kernel filter, the scan recorded zone maps, and no cache side effect
     // needs to observe every row. Each morsel is classified against the
@@ -1211,7 +1271,7 @@ fn execute_pipeline(
             if !tail.is_empty() {
                 let mut spare = BindingBatch::new();
                 let mut state = sink.new_state();
-                let mut scratch = kernels::Scratch::new();
+                let mut scratch = kernels::Scratch::with_mode(pipeline.mode);
                 // Tag tail rows past every real morsel so they sort last.
                 process_stages(
                     &pipeline.stages[idx + 1..],
@@ -1255,9 +1315,10 @@ pub(crate) fn run_reduce(
     predicate: Option<CompiledPredicate>,
     kernel: Option<SinkKernel>,
     threads: usize,
+    mode: kernels::NumericMode,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Accumulator>> {
-    let mut pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, metrics)?;
     insert_hydration(&mut pipeline, false);
     match execute_pipeline(
         &pipeline,
@@ -1284,9 +1345,10 @@ pub(crate) fn run_nest(
     predicate: Option<CompiledPredicate>,
     kernel: Option<SinkKernel>,
     threads: usize,
+    mode: kernels::NumericMode,
     metrics: &mut ExecutionMetrics,
 ) -> Result<RadixGroupTable> {
-    let mut pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, metrics)?;
     insert_hydration(&mut pipeline, false);
     let spec = SinkSpec::Nest {
         keys,
@@ -1305,9 +1367,10 @@ pub(crate) fn run_nest(
 pub(crate) fn run_collect(
     producer: Producer,
     threads: usize,
+    mode: kernels::NumericMode,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Binding>> {
-    let mut pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, metrics)?;
     insert_hydration(&mut pipeline, false);
     match execute_pipeline(&pipeline, &SinkSpec::Collect, threads, metrics)? {
         SinkResult::Rows(rows) => Ok(rows),
@@ -1318,15 +1381,17 @@ pub(crate) fn run_collect(
 /// Runs `producer` materializing the columnar build store of a join: key
 /// components (typed-key ingest when `key_slots` is set) plus the live
 /// payload slots, flattened per entry.
+#[allow(clippy::too_many_arguments)]
 fn run_entries(
     producer: Producer,
     keys: Vec<CompiledExpr>,
     key_slots: Option<Vec<usize>>,
     live_slots: Vec<usize>,
     threads: usize,
+    mode: kernels::NumericMode,
     metrics: &mut ExecutionMetrics,
 ) -> Result<BuildStore> {
-    let mut pipeline = prepare(producer, threads, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, metrics)?;
     insert_hydration(&mut pipeline, key_slots.is_some());
     let spec = SinkSpec::Entries {
         keys,

@@ -58,7 +58,23 @@ impl KeyHash {
     pub fn finish(self) -> u64 {
         self.0
     }
+
+    /// One mixing step over [`HASH_LANES`] independent states at once: the
+    /// relaxed-tier batch-hashing kernel. Each lane is exactly
+    /// [`KeyHash::mix`] — the chains never interact, so chunking changes
+    /// the loop shape, not the hashes.
+    #[inline]
+    pub fn mix_lanes(states: &mut [u64; HASH_LANES], component_hashes: &[u64; HASH_LANES]) {
+        for (state, &comp) in states.iter_mut().zip(component_hashes) {
+            *state = Self::mix(*state, comp);
+        }
+    }
 }
+
+/// Width of the chunked batch-hash loop ([`KeyHash::mix_lanes`]): eight
+/// 64-bit states fill two AVX2 registers, and the multiply-xor mix body
+/// vectorizes (or at least pipelines) across independent lanes.
+pub const HASH_LANES: usize = 8;
 
 /// Hashes a multi-column key from its components *in place* — no
 /// `Value::List` is materialized per entry. Consistent with
@@ -585,8 +601,21 @@ impl RadixHashTable {
     }
 }
 
-/// One group: `(key hash, key components, per-monoid accumulators)`.
-type GroupEntry = (u64, Vec<Value>, Vec<Accumulator>);
+/// One group of a [`RadixGroupTable`].
+struct GroupEntry {
+    /// The key hash.
+    hash: u64,
+    /// The key components.
+    key: Vec<Value>,
+    /// Per-monoid accumulator states.
+    accs: Vec<Accumulator>,
+    /// Per *collection* output spec (parallel to the table's
+    /// `collection_specs`): the morsel tag of each accumulated element, in
+    /// accumulator order. What lets grouped `bag`/`set`/`list` outputs run
+    /// morsel-parallel: [`RadixGroupTable::absorb`] merges the element lists
+    /// in tag order, reproducing the serial ingest order exactly.
+    tags: Vec<Vec<u64>>,
+}
 
 /// A radix-partitioned grouping (aggregation) table: the runtime of the
 /// `nest` operator. In a morsel-parallel pipeline every worker folds into a
@@ -595,21 +624,84 @@ type GroupEntry = (u64, Vec<Value>, Vec<Accumulator>);
 pub struct RadixGroupTable {
     partitions: Vec<Vec<GroupEntry>>,
     monoids: Vec<Monoid>,
+    /// Indices of the collection-monoid output specs (ascending), whose
+    /// per-element morsel tags are tracked for order-exact parallel merge.
+    collection_specs: Vec<usize>,
+    /// Reused buffer for pre-fold collection lengths (the per-row path
+    /// allocates nothing for existing groups).
+    len_scratch: Vec<usize>,
     groups: usize,
+}
+
+/// Number of elements held by a collection accumulator (0 for scalars).
+fn collection_len(acc: &Accumulator) -> usize {
+    match acc {
+        Accumulator::Collection(items) => items.len(),
+        _ => 0,
+    }
+}
+
+/// Tag-ordered two-way merge of one group's collection elements. Both sides
+/// are tag-sorted (workers claim morsels in increasing order, so each
+/// worker's elements accumulate in ascending tag order; a tag never appears
+/// on both sides because each morsel is folded by exactly one worker).
+/// `Set` dedups with [`Value::value_eq`] in merged order, keeping the
+/// earliest-tagged representative — exactly what serial ingest keeps.
+fn merge_tagged(
+    monoid: Monoid,
+    ours: &mut Vec<Value>,
+    our_tags: &mut Vec<u64>,
+    theirs: Vec<Value>,
+    their_tags: Vec<u64>,
+) {
+    debug_assert_eq!(theirs.len(), their_tags.len());
+    debug_assert_eq!(ours.len(), our_tags.len());
+    let dedup = monoid == Monoid::Set;
+    let mut a = std::mem::take(ours)
+        .into_iter()
+        .zip(std::mem::take(our_tags))
+        .peekable();
+    let mut b = theirs.into_iter().zip(their_tags).peekable();
+    loop {
+        let take_a = match (a.peek(), b.peek()) {
+            (Some((_, ta)), Some((_, tb))) => ta <= tb,
+            (Some(_), None) => true,
+            (None, Some(_)) => false,
+            (None, None) => break,
+        };
+        let (item, tag) = if take_a {
+            a.next().expect("peeked")
+        } else {
+            b.next().expect("peeked")
+        };
+        if dedup && ours.iter().any(|existing| existing.value_eq(&item)) {
+            continue;
+        }
+        ours.push(item);
+        our_tags.push(tag);
+    }
 }
 
 impl RadixGroupTable {
     /// Creates a table whose per-group accumulators follow `monoids`.
     pub fn new(monoids: Vec<Monoid>) -> RadixGroupTable {
+        let collection_specs = monoids
+            .iter()
+            .enumerate()
+            .filter(|(_, m)| m.is_collection())
+            .map(|(i, _)| i)
+            .collect();
         RadixGroupTable {
             partitions: (0..RADIX_PARTITIONS).map(|_| Vec::new()).collect(),
             monoids,
+            collection_specs,
+            len_scratch: Vec::new(),
             groups: 0,
         }
     }
 
     /// Folds one input: finds (or creates) the group of `key` and merges the
-    /// per-monoid values.
+    /// per-monoid values. (Serial convenience entry — morsel tag 0.)
     pub fn merge(&mut self, key: Vec<Value>, values: Vec<Value>) {
         // Hash the key components in place — no cloned Value::List per entry.
         let hash = hash_key_components(&key);
@@ -618,6 +710,7 @@ impl RadixGroupTable {
             hash,
             |k| k.len() == key.len() && k.iter().zip(&key).all(|(a, b)| a.value_eq(b)),
             || key.clone(),
+            0,
             |accumulators, monoids| {
                 for ((acc, monoid), value) in accumulators
                     .iter_mut()
@@ -636,51 +729,117 @@ impl RadixGroupTable {
     /// via `make_key` — when the group is first inserted, so callers that
     /// read key components from typed columns or a reused scratch buffer
     /// allocate **nothing** on the per-row path for existing groups.
+    ///
+    /// `tag` is the caller's morsel index: elements `fold` appends to
+    /// collection accumulators are recorded under it, so parallel partials
+    /// can later merge in exact serial order (pass 0 when serial).
     pub fn merge_with(
         &mut self,
         hash: u64,
         key_eq: impl Fn(&[Value]) -> bool,
         make_key: impl FnOnce() -> Vec<Value>,
+        tag: u64,
         fold: impl FnOnce(&mut [Accumulator], &[Monoid]),
     ) {
         let partition = &mut self.partitions[partition_of(hash)];
         let found = partition
             .iter_mut()
-            .find(|(h, k, _)| *h == hash && key_eq(k));
+            .find(|entry| entry.hash == hash && key_eq(&entry.key));
         match found {
-            Some((_, _, accumulators)) => fold(accumulators, &self.monoids),
+            Some(entry) => {
+                if self.collection_specs.is_empty() {
+                    fold(&mut entry.accs, &self.monoids);
+                } else {
+                    // Tag whatever elements the fold appends: record the
+                    // collection lengths before, extend the tag lists after
+                    // (a `set` dedup hit appends nothing and tags nothing).
+                    self.len_scratch.clear();
+                    self.len_scratch.extend(
+                        self.collection_specs
+                            .iter()
+                            .map(|&spec| collection_len(&entry.accs[spec])),
+                    );
+                    fold(&mut entry.accs, &self.monoids);
+                    for (ci, &spec) in self.collection_specs.iter().enumerate() {
+                        let added = collection_len(&entry.accs[spec]) - self.len_scratch[ci];
+                        entry.tags[ci].extend(std::iter::repeat_n(tag, added));
+                    }
+                }
+            }
             None => {
-                let mut accumulators: Vec<Accumulator> =
+                let mut accs: Vec<Accumulator> =
                     self.monoids.iter().map(|m| Accumulator::zero(*m)).collect();
-                fold(&mut accumulators, &self.monoids);
-                partition.push((hash, make_key(), accumulators));
+                fold(&mut accs, &self.monoids);
+                let tags = self
+                    .collection_specs
+                    .iter()
+                    .map(|&spec| vec![tag; collection_len(&accs[spec])])
+                    .collect();
+                partition.push(GroupEntry {
+                    hash,
+                    key: make_key(),
+                    accs,
+                    tags,
+                });
                 self.groups += 1;
             }
         }
     }
 
-    /// Absorbs another table's partial groups (same monoids): accumulator
-    /// states are combined under the monoid's associative ⊕.
+    /// Absorbs another table's partial groups (same monoids): scalar
+    /// accumulator states are combined under the monoid's associative ⊕;
+    /// collection accumulators merge element-wise in morsel-tag order
+    /// (`merge_tagged`), so the result is identical to a serial ingest.
     pub fn absorb(&mut self, other: RadixGroupTable) {
         debug_assert_eq!(self.monoids, other.monoids);
         for (pid, partition) in other.partitions.into_iter().enumerate() {
-            for (hash, key, accumulators) in partition {
+            for entry in partition {
                 let target = &mut self.partitions[pid];
-                let found = target.iter_mut().find(|(h, k, _)| {
-                    *h == hash
-                        && k.len() == key.len()
-                        && k.iter().zip(&key).all(|(a, b)| a.value_eq(b))
-                });
+                let found = target
+                    .iter_mut()
+                    .find(|e| e.hash == entry.hash && key_components_eq(&e.key, &entry.key));
                 match found {
-                    Some((_, _, existing)) => {
-                        for ((acc, monoid), partial) in
-                            existing.iter_mut().zip(&self.monoids).zip(accumulators)
+                    Some(existing) => {
+                        let GroupEntry {
+                            accs: in_accs,
+                            tags: in_tags,
+                            ..
+                        } = entry;
+                        // `collection_specs` ascends, so the incoming tag
+                        // lists are consumed in spec order.
+                        let mut tag_lists = in_tags.into_iter();
+                        let mut ci = 0;
+                        for (spec, ((acc, monoid), partial)) in existing
+                            .accs
+                            .iter_mut()
+                            .zip(&self.monoids)
+                            .zip(in_accs)
+                            .enumerate()
                         {
-                            let _ = acc.combine(*monoid, partial);
+                            if self.collection_specs.get(ci) == Some(&spec) {
+                                let Accumulator::Collection(theirs) = partial else {
+                                    unreachable!("collection spec holds a scalar accumulator");
+                                };
+                                let Accumulator::Collection(ours) = acc else {
+                                    unreachable!("collection spec holds a scalar accumulator");
+                                };
+                                let their_tags =
+                                    tag_lists.next().expect("tag list per collection spec");
+                                merge_tagged(
+                                    *monoid,
+                                    ours,
+                                    &mut existing.tags[ci],
+                                    theirs,
+                                    their_tags,
+                                );
+                                ci += 1;
+                            } else {
+                                let _ = acc.combine(*monoid, partial);
+                            }
                         }
                     }
                     None => {
-                        target.push((hash, key, accumulators));
+                        target.push(entry);
                         self.groups += 1;
                     }
                 }
@@ -695,19 +854,22 @@ impl RadixGroupTable {
 
     /// Finalizes the table into `(key, outputs)` rows. Rows come out in
     /// (partition, key hash) order so serial and parallel executions of the
-    /// same query produce the same row order.
+    /// same query produce the same row order. (Collection elements are
+    /// already tag-ordered by [`RadixGroupTable::absorb`]; the tags drop
+    /// here.)
     pub fn finish(self) -> Vec<(Vec<Value>, Vec<Value>)> {
         let monoids = self.monoids;
         let mut rows = Vec::with_capacity(self.groups);
         for mut partition in self.partitions {
-            partition.sort_by_key(|(hash, _, _)| *hash);
-            for (_, key, accumulators) in partition {
-                let outputs: Vec<Value> = accumulators
+            partition.sort_by_key(|entry| entry.hash);
+            for entry in partition {
+                let outputs: Vec<Value> = entry
+                    .accs
                     .into_iter()
                     .zip(&monoids)
                     .map(|(acc, monoid)| acc.finish(*monoid))
                     .collect();
-                rows.push((key, outputs));
+                rows.push((entry.key, outputs));
             }
         }
         rows

@@ -30,3 +30,4 @@ pub use codegen::{CompiledQuery, Compiler};
 pub use engine::{EngineConfig, QueryEngine, QueryResult};
 pub use error::{EngineError, Result};
 pub use exec::metrics::ExecutionMetrics;
+pub use exec::NumericMode;

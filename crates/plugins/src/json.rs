@@ -659,6 +659,40 @@ impl JsonPlugin {
         }
         Ok(self.inner.index.lookup(oid as usize, dotted))
     }
+
+    /// Raw token text of a numeric field, or `None` when the field is
+    /// missing or holds a non-number token (e.g. `null`) — the shared miss
+    /// definition of the nullable numeric accessors and typed fills.
+    fn numeric_field_text(&self, oid: Oid, dotted: &str) -> Option<&str> {
+        let entry = self.lookup_path(oid, dotted).ok().flatten()?;
+        if entry.token_type != TokenType::Number {
+            return None;
+        }
+        std::str::from_utf8(&self.inner.data[entry.start as usize..entry.end as usize]).ok()
+    }
+}
+
+/// Maps a token to the [`DataType`] it evidences (`Null` → `Any`).
+fn token_data_type(data: &[u8], entry: &TokenEntry) -> DataType {
+    match entry.token_type {
+        TokenType::Number => {
+            let text =
+                std::str::from_utf8(&data[entry.start as usize..entry.end as usize]).unwrap_or("");
+            if text.contains('.') || text.contains('e') {
+                DataType::Float
+            } else {
+                DataType::Int
+            }
+        }
+        TokenType::String => DataType::String,
+        TokenType::Bool => DataType::Bool,
+        TokenType::Array => DataType::Collection(
+            proteus_algebra::CollectionKind::List,
+            Box::new(DataType::Any),
+        ),
+        TokenType::Object => DataType::Record(vec![]),
+        TokenType::Null => DataType::Any,
+    }
 }
 
 /// Infers a top-level schema from the first object's tokens.
@@ -678,25 +712,21 @@ fn infer_schema(data: &[u8], index: &JsonStructuralIndex) -> Schema {
                 continue;
             }
             let entry = first.entries[slot as usize];
-            let data_type = match entry.token_type {
-                TokenType::Number => {
-                    let text = std::str::from_utf8(&data[entry.start as usize..entry.end as usize])
-                        .unwrap_or("");
-                    if text.contains('.') || text.contains('e') {
-                        DataType::Float
-                    } else {
-                        DataType::Int
+            let mut data_type = token_data_type(data, &entry);
+            if matches!(data_type, DataType::Any) {
+                // A leading `null` says nothing about the field's type: look
+                // ahead a bounded number of objects for the first non-null
+                // token so a nullable numeric column still types (and
+                // vectorizes) as numeric.
+                for oid in 1..index.object_count().min(64) {
+                    if let Some(later) = index.lookup(oid, &path) {
+                        if later.token_type != TokenType::Null {
+                            data_type = token_data_type(data, &later);
+                            break;
+                        }
                     }
                 }
-                TokenType::String => DataType::String,
-                TokenType::Bool => DataType::Bool,
-                TokenType::Array => DataType::Collection(
-                    proteus_algebra::CollectionKind::List,
-                    Box::new(DataType::Any),
-                ),
-                TokenType::Object => DataType::Record(vec![]),
-                TokenType::Null => DataType::Any,
-            };
+            }
             fields.push(Field::nullable(path, data_type));
         }
     }
@@ -746,6 +776,7 @@ impl InputPlugin for JsonPlugin {
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
         let mut accessors = Vec::with_capacity(fields.len());
+        let mut typed_fields = Vec::new();
         for field in fields {
             let data_type = self
                 .inner
@@ -756,34 +787,63 @@ impl InputPlugin for JsonPlugin {
             let plugin = self.clone();
             let dotted = field.clone();
             let accessor = match data_type {
-                DataType::Int => FieldAccessor::Int(Arc::new(move |oid| {
-                    plugin
-                        .lookup_path(oid, &dotted)
-                        .ok()
-                        .flatten()
-                        .and_then(|e| {
-                            std::str::from_utf8(
-                                &plugin.inner.data[e.start as usize..e.end as usize],
-                            )
-                            .ok()
+                // Numeric fields are null-preserving on *both* paths: the
+                // row-major accessor yields `Value::Null` for a missing
+                // field or a `null` token (matching `read_value` and what
+                // the row/document baselines load), and the hand-built
+                // typed fill lands the same misses in the typed column's
+                // packed null bitmap — so aggregates skip them identically
+                // in the closure and kernel tiers.
+                DataType::Int => {
+                    let fill_plugin = self.clone();
+                    let fill_path = field.clone();
+                    let fill: crate::api::TypedFill =
+                        Arc::new(move |start, count, out: &mut crate::api::TypedColumn| {
+                            out.begin(crate::api::TypedKind::I64, count);
+                            for oid in start..start + count as Oid {
+                                match fill_plugin
+                                    .numeric_field_text(oid, &fill_path)
+                                    .and_then(|s| s.trim().parse::<i64>().ok())
+                                {
+                                    Some(v) => out.push_i64(v),
+                                    None => out.push_null(),
+                                }
+                            }
+                        });
+                    typed_fields.push((field.clone(), crate::api::TypedKind::I64, fill));
+                    FieldAccessor::Generic(Arc::new(move |oid| {
+                        plugin
+                            .numeric_field_text(oid, &dotted)
                             .and_then(|s| s.trim().parse::<i64>().ok())
-                        })
-                        .unwrap_or(0)
-                })),
-                DataType::Float => FieldAccessor::Float(Arc::new(move |oid| {
-                    plugin
-                        .lookup_path(oid, &dotted)
-                        .ok()
-                        .flatten()
-                        .and_then(|e| {
-                            std::str::from_utf8(
-                                &plugin.inner.data[e.start as usize..e.end as usize],
-                            )
-                            .ok()
+                            .map(Value::Int)
+                            .unwrap_or(Value::Null)
+                    }))
+                }
+                DataType::Float => {
+                    let fill_plugin = self.clone();
+                    let fill_path = field.clone();
+                    let fill: crate::api::TypedFill =
+                        Arc::new(move |start, count, out: &mut crate::api::TypedColumn| {
+                            out.begin(crate::api::TypedKind::F64, count);
+                            for oid in start..start + count as Oid {
+                                match fill_plugin
+                                    .numeric_field_text(oid, &fill_path)
+                                    .and_then(|s| s.trim().parse::<f64>().ok())
+                                {
+                                    Some(v) => out.push_f64(v),
+                                    None => out.push_null(),
+                                }
+                            }
+                        });
+                    typed_fields.push((field.clone(), crate::api::TypedKind::F64, fill));
+                    FieldAccessor::Generic(Arc::new(move |oid| {
+                        plugin
+                            .numeric_field_text(oid, &dotted)
                             .and_then(|s| s.trim().parse::<f64>().ok())
-                        })
-                        .unwrap_or(0.0)
-                })),
+                            .map(Value::Float)
+                            .unwrap_or(Value::Null)
+                    }))
+                }
                 DataType::String => FieldAccessor::Str(Arc::new(move |oid| {
                     plugin
                         .lookup_path(oid, &dotted)
@@ -813,14 +873,12 @@ impl InputPlugin for JsonPlugin {
             "json(structural-index level-0 + level-1)".to_string()
         };
         // Morsel path: one structural-index walk per value but one accessor
-        // dispatch per (field, morsel). The scalar Int/Float/String fields
-        // also get accessor-derived typed fills (the vectorized path);
-        // bool/nested fields stay on the closure path.
-        Ok(ScanAccessors::from_accessors(
-            self.len(),
-            accessors,
-            access_path,
-        ))
+        // dispatch per (field, morsel). String fields get accessor-derived
+        // typed fills; the hand-built nullable Int/Float fills are appended
+        // on top; bool/nested fields stay on the closure path.
+        let mut scan = ScanAccessors::from_accessors(self.len(), accessors, access_path);
+        scan.typed_fields.extend(typed_fields);
+        Ok(scan)
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {

@@ -1,0 +1,470 @@
+//! Contract tests for the per-query numeric modes.
+//!
+//! `NumericMode::Strict` (the default) keeps the kernel tier bit-exact
+//! against the closure interpreter: every float fold runs in serial ingest
+//! order, so the two engines must produce *identical* rows. Tests here pin
+//! that with `assert_eq!` across seed sweeps and morsel-boundary row counts
+//! (63/64/65/1023/1024/1025 — tails, exact morsels, and one-past).
+//!
+//! `NumericMode::Relaxed` permits reassociation: sums and averages fold in
+//! `FOLD_LANES` independent lanes combined pairwise, which legally perturbs
+//! the low bits of float totals. Relaxed results are compared against
+//! strict with a 1e-9 *relative* envelope, with two documented caveats:
+//!
+//! * `Accumulator::finish` reports integral float sums as `Value::Int`, so
+//!   reassociation can flip the output *type* (Float ↔ Int) when a sum
+//!   lands exactly on an integer — comparisons coerce numerically.
+//! * Signed zeros never survive the fold: the `+0.0` identity absorbs
+//!   `-0.0` under IEEE addition in both modes, so `-0.0` inputs produce
+//!   `+0.0` (or `Int(0)`) everywhere.
+//!
+//! The `simd_rows` metric asserts the lane path actually engaged under
+//! relaxed (and never under strict); nullable columns come from the JSON
+//! plug-in, whose numeric accessors preserve nulls into the packed bitmap.
+
+use std::sync::Arc;
+
+use proteus::datagen::writers;
+use proteus::plugins::binary::ColumnPlugin;
+use proteus::prelude::*;
+use proteus::storage::ColumnData;
+
+const ROW_COUNTS: &[i64] = &[63, 64, 65, 1023, 1024, 1025];
+const SEEDS: &[i64] = &[1, 7, 1231];
+const RELATIVE_EPSILON: f64 = 1e-9;
+
+/// Numeric equivalence with the relaxed-mode envelope: `Int`/`Int` exact,
+/// any numeric mix within 1e-9 relative error (covers the integral-sum
+/// `Value::Int` flip from `Accumulator::finish`), containers recursively,
+/// everything else exact.
+fn value_approx_eq(a: &Value, b: &Value) -> bool {
+    fn numeric(v: &Value) -> Option<f64> {
+        match v {
+            Value::Int(i) => Some(*i as f64),
+            Value::Float(f) => Some(*f),
+            _ => None,
+        }
+    }
+    match (a, b) {
+        (Value::Int(x), Value::Int(y)) => x == y,
+        _ if numeric(a).is_some() && numeric(b).is_some() => {
+            let (x, y) = (numeric(a).unwrap(), numeric(b).unwrap());
+            let scale = x.abs().max(y.abs()).max(1.0);
+            (x - y).abs() <= RELATIVE_EPSILON * scale
+        }
+        (Value::Record(ra), Value::Record(rb)) => {
+            ra.len() == rb.len()
+                && ra
+                    .iter()
+                    .zip(rb.iter())
+                    .all(|((na, va), (nb, vb))| na == nb && value_approx_eq(va, vb))
+        }
+        (Value::List(la), Value::List(lb)) => {
+            la.len() == lb.len()
+                && la
+                    .iter()
+                    .zip(lb.iter())
+                    .all(|(va, vb)| value_approx_eq(va, vb))
+        }
+        _ => a == b,
+    }
+}
+
+/// Order-insensitive multiset match under [`value_approx_eq`] (group-by
+/// output order is an implementation detail).
+fn rows_approx_eq(a: &[Value], b: &[Value]) -> bool {
+    if a.len() != b.len() {
+        return false;
+    }
+    let mut unmatched: Vec<&Value> = b.iter().collect();
+    for row in a {
+        match unmatched.iter().position(|c| value_approx_eq(row, c)) {
+            Some(idx) => {
+                unmatched.swap_remove(idx);
+            }
+            None => return false,
+        }
+    }
+    unmatched.is_empty()
+}
+
+fn scalar(result: &proteus::core::QueryResult, name: &str) -> Value {
+    match &result.rows[0] {
+        Value::Record(rec) => rec.get(name).expect("output field").clone(),
+        other => panic!("expected record row, got {other:?}"),
+    }
+}
+
+/// Deterministic seed-swept fact table: a float measure with varied
+/// fractions, a selective key, and a low-cardinality group column.
+fn fact_table(rows: i64, seed: i64) -> ColumnPlugin {
+    ColumnPlugin::from_pairs(
+        "t",
+        vec![
+            (
+                "k".to_string(),
+                ColumnData::Int((0..rows).map(|i| (i * seed) % 41).collect()),
+            ),
+            (
+                // Clustered so grouped ingest sees long same-key runs (the
+                // run-folding path the relaxed lane fold rides on).
+                "g".to_string(),
+                ColumnData::Int((0..rows).map(|i| i / 16).collect()),
+            ),
+            (
+                "q".to_string(),
+                ColumnData::Float(
+                    (0..rows)
+                        .map(|i| ((i * seed) % 97) as f64 * 0.25 + ((i * seed) % 13) as f64 * 0.001)
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+    .expect("fact table")
+}
+
+/// (strict, relaxed, closures) engines over the same plug-in, numeric
+/// modes set explicitly.
+fn engines(plugin: ColumnPlugin) -> (QueryEngine, QueryEngine, QueryEngine) {
+    let plugin = Arc::new(plugin);
+    let strict =
+        QueryEngine::new(EngineConfig::without_caching().with_numeric_mode(NumericMode::Strict));
+    let relaxed =
+        QueryEngine::new(EngineConfig::without_caching().with_numeric_mode(NumericMode::Relaxed));
+    let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+    for engine in [&strict, &relaxed, &closures] {
+        engine.register_plugin(plugin.clone());
+    }
+    (strict, relaxed, closures)
+}
+
+fn scan_t() -> LogicalPlan {
+    LogicalPlan::scan("t", "t", Schema::empty())
+}
+
+/// The reduce/group shapes every mode test sweeps. The bool marks shapes
+/// whose relaxed path must report lane-processed rows (`simd_rows > 0`):
+/// reassociating float folds. Min/Max stay order-insensitive-by-definition
+/// and fold strictly in both modes.
+fn shapes() -> Vec<(&'static str, bool, LogicalPlan)> {
+    vec![
+        (
+            "sum",
+            true,
+            scan_t().reduce(vec![ReduceSpec::new(
+                Monoid::Sum,
+                Expr::path("t.q"),
+                "total",
+            )]),
+        ),
+        (
+            "avg",
+            true,
+            scan_t().reduce(vec![ReduceSpec::new(
+                Monoid::Avg,
+                Expr::path("t.q"),
+                "mean",
+            )]),
+        ),
+        (
+            "filtered-sum-minmax",
+            true,
+            scan_t()
+                .select(Expr::path("t.k").lt(Expr::int(29)))
+                .reduce(vec![
+                    ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+                    ReduceSpec::new(Monoid::Min, Expr::path("t.q"), "lo"),
+                    ReduceSpec::new(Monoid::Max, Expr::path("t.q"), "hi"),
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ]),
+        ),
+        (
+            "group-sum",
+            true,
+            scan_t().nest(
+                vec![Expr::path("t.g")],
+                vec!["g".into()],
+                vec![
+                    ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+                    ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ],
+            ),
+        ),
+    ]
+}
+
+#[test]
+fn strict_mode_is_bit_exact_against_closures() {
+    for &rows in ROW_COUNTS {
+        for &seed in SEEDS {
+            let (strict, _, closures) = engines(fact_table(rows, seed));
+            for (label, _, plan) in shapes() {
+                let a = strict.execute_plan(plan.clone()).expect("strict");
+                let b = closures.execute_plan(plan).expect("closures");
+                assert_eq!(
+                    a.rows, b.rows,
+                    "strict diverged from closures: {label} @ rows={rows} seed={seed}"
+                );
+                assert_eq!(
+                    a.metrics.simd_rows, 0,
+                    "strict mode took a lane path: {label} @ rows={rows} seed={seed}"
+                );
+            }
+        }
+    }
+}
+
+#[test]
+fn relaxed_mode_stays_within_epsilon_and_engages_lanes() {
+    for &rows in ROW_COUNTS {
+        for &seed in SEEDS {
+            let (strict, relaxed, _) = engines(fact_table(rows, seed));
+            for (label, lanes_expected, plan) in shapes() {
+                let a = strict.execute_plan(plan.clone()).expect("strict");
+                let b = relaxed.execute_plan(plan).expect("relaxed");
+                assert!(
+                    rows_approx_eq(&b.rows, &a.rows),
+                    "relaxed outside the {RELATIVE_EPSILON} envelope: {label} @ rows={rows} \
+                     seed={seed}\n strict  {:?}\n relaxed {:?}",
+                    a.rows,
+                    b.rows
+                );
+                if lanes_expected {
+                    assert!(
+                        b.metrics.simd_rows > 0,
+                        "relaxed never took a lane loop: {label} @ rows={rows} seed={seed}"
+                    );
+                }
+            }
+        }
+    }
+}
+
+#[test]
+fn join_shapes_agree_across_modes() {
+    // Fact ⋈ dimension on an integer key, counting and summing the
+    // dimension measure: exercises batch hashing and the relaxed
+    // multi-lane probe compares end to end.
+    for &rows in &[65i64, 1024, 1025] {
+        let fact = fact_table(rows, 7);
+        let dim_rows = (rows / 4).max(8);
+        let dim = ColumnPlugin::from_pairs(
+            "d",
+            vec![
+                ("k".to_string(), ColumnData::Int((0..dim_rows).collect())),
+                (
+                    "w".to_string(),
+                    ColumnData::Float((0..dim_rows).map(|i| (i % 89) as f64 * 1.5).collect()),
+                ),
+            ],
+        )
+        .expect("dim table");
+        let (strict, relaxed, closures) = engines(fact);
+        let dim = Arc::new(dim);
+        for engine in [&strict, &relaxed, &closures] {
+            engine.register_plugin(dim.clone());
+        }
+        let plan = LogicalPlan::scan("d", "d", Schema::empty())
+            .join(
+                scan_t(),
+                Expr::path("d.k").eq(Expr::path("t.k")),
+                JoinKind::Inner,
+            )
+            .reduce(vec![
+                ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+                ReduceSpec::new(Monoid::Sum, Expr::path("d.w"), "total"),
+            ]);
+        let s = strict.execute_plan(plan.clone()).expect("strict");
+        let c = closures.execute_plan(plan.clone()).expect("closures");
+        let r = relaxed.execute_plan(plan).expect("relaxed");
+        assert_eq!(s.rows, c.rows, "strict join diverged @ rows={rows}");
+        assert!(
+            rows_approx_eq(&r.rows, &s.rows),
+            "relaxed join outside envelope @ rows={rows}:\n strict  {:?}\n relaxed {:?}",
+            s.rows,
+            r.rows
+        );
+        assert_eq!(
+            scalar(&s, "cnt"),
+            scalar(&r, "cnt"),
+            "match counts must be exact"
+        );
+        assert!(
+            r.metrics.simd_rows > 0,
+            "relaxed join never took a lane loop"
+        );
+        assert_eq!(s.metrics.simd_rows, 0, "strict join took a lane path");
+    }
+}
+
+/// Writes a JSON dataset with a nullable `qty`; `pattern` decides which
+/// rows are null.
+fn write_nullable_json(name: &str, rows: i64, pattern: impl Fn(i64) -> bool) -> std::path::PathBuf {
+    let values: Vec<Value> = (0..rows)
+        .map(|i| {
+            let qty = if pattern(i) {
+                Value::Null
+            } else {
+                Value::Float((i % 83) as f64 * 0.5 + (i % 7) as f64 * 0.01)
+            };
+            Value::record(vec![("id", Value::Int(i)), ("qty", qty)])
+        })
+        .collect();
+    let path = std::env::temp_dir().join(format!("proteus_numeric_modes_test_{name}_{rows}.json"));
+    writers::write_json(&path, &values, false).expect("write nullable json");
+    path
+}
+
+fn json_engines(name: &str, path: &std::path::Path) -> (QueryEngine, QueryEngine, QueryEngine) {
+    let strict =
+        QueryEngine::new(EngineConfig::without_caching().with_numeric_mode(NumericMode::Strict));
+    let relaxed =
+        QueryEngine::new(EngineConfig::without_caching().with_numeric_mode(NumericMode::Relaxed));
+    let closures = QueryEngine::new(EngineConfig::without_caching().with_vectorized(false));
+    for engine in [&strict, &relaxed, &closures] {
+        engine.register_json(name, path).expect("register json");
+    }
+    (strict, relaxed, closures)
+}
+
+#[test]
+fn all_null_columns_aggregate_exactly_in_every_mode() {
+    // Every `qty` is null: null-skipping aggregates see zero inputs, so the
+    // sum is the monoid identity (reported as `Int(0)` by the integral-sum
+    // rule) and the average is `Null` — bitwise identical across all three
+    // engines and unaffected by reassociation. (An all-null field infers as
+    // `DataType::Any`, so this shape exercises the generic null-preserving
+    // accessors rather than the typed lane path.)
+    let path = write_nullable_json("allnull", 1025, |_| true);
+    let (strict, relaxed, closures) = json_engines("allnull", &path);
+    let plan = LogicalPlan::scan("allnull", "r", Schema::empty()).reduce(vec![
+        ReduceSpec::new(Monoid::Sum, Expr::path("r.qty"), "total"),
+        ReduceSpec::new(Monoid::Avg, Expr::path("r.qty"), "mean"),
+        ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+    ]);
+    let s = strict.execute_plan(plan.clone()).expect("strict");
+    let r = relaxed.execute_plan(plan.clone()).expect("relaxed");
+    let c = closures.execute_plan(plan).expect("closures");
+    assert_eq!(s.rows, c.rows, "strict vs closures on all-null column");
+    assert_eq!(s.rows, r.rows, "relaxed must be exact on all-null column");
+    assert_eq!(scalar(&s, "total"), Value::Int(0));
+    assert_eq!(scalar(&s, "cnt"), Value::Int(1025));
+}
+
+#[test]
+fn long_null_runs_fold_through_relaxed_lanes() {
+    // The first rows are non-null (so inference types `qty` as Float and
+    // the typed fill engages), then a >64-row null run produces fully-null
+    // bitmap words — the packed `null_words()` skip path — followed by a
+    // dense tail.
+    let rows = 2 * 1024 + 63;
+    let path = write_nullable_json("nullrun", rows, |i| (200..1400).contains(&i));
+    let (strict, relaxed, closures) = json_engines("nullrun", &path);
+    let plan = LogicalPlan::scan("nullrun", "r", Schema::empty()).reduce(vec![
+        ReduceSpec::new(Monoid::Sum, Expr::path("r.qty"), "total"),
+        ReduceSpec::new(Monoid::Avg, Expr::path("r.qty"), "mean"),
+    ]);
+    let s = strict.execute_plan(plan.clone()).expect("strict");
+    let r = relaxed.execute_plan(plan.clone()).expect("relaxed");
+    let c = closures.execute_plan(plan).expect("closures");
+    assert_eq!(s.rows, c.rows, "strict vs closures on null-run column");
+    assert!(
+        rows_approx_eq(&r.rows, &s.rows),
+        "relaxed outside envelope on null-run column:\n strict  {:?}\n relaxed {:?}",
+        s.rows,
+        r.rows
+    );
+    assert!(
+        r.metrics.simd_rows > 0,
+        "relaxed never took the nullable lane loop"
+    );
+    assert_eq!(s.metrics.simd_rows, 0, "strict took a lane path");
+}
+
+#[test]
+fn signed_zeros_and_integral_sums_normalize_identically() {
+    // Signed zeros cannot diverge between modes: the +0.0 fold identity
+    // absorbs -0.0 under IEEE addition in the closure fold, the strict
+    // kernel, and every relaxed lane alike. And a sum that lands exactly on
+    // an integer is reported as `Value::Int` by `Accumulator::finish` in
+    // every engine — both caveats pinned here.
+    let rows = 1024i64;
+    let neg_zeros = ColumnPlugin::from_pairs(
+        "t",
+        vec![
+            (
+                "g".to_string(),
+                ColumnData::Int((0..rows).map(|i| i % 5).collect()),
+            ),
+            (
+                "k".to_string(),
+                ColumnData::Int((0..rows).map(|i| i % 41).collect()),
+            ),
+            (
+                "q".to_string(),
+                ColumnData::Float(
+                    (0..rows)
+                        .map(|i| if i % 2 == 0 { -0.0 } else { 0.5 })
+                        .collect(),
+                ),
+            ),
+        ],
+    )
+    .expect("signed-zero table");
+    let (strict, relaxed, closures) = engines(neg_zeros);
+    let plan = scan_t().reduce(vec![
+        ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+        ReduceSpec::new(Monoid::Avg, Expr::path("t.q"), "mean"),
+    ]);
+    let s = strict.execute_plan(plan.clone()).expect("strict");
+    let r = relaxed.execute_plan(plan.clone()).expect("relaxed");
+    let c = closures.execute_plan(plan).expect("closures");
+    assert_eq!(s.rows, c.rows);
+    // 512 × 0.5 = 256 exactly: integral, so every engine reports Int.
+    assert_eq!(scalar(&s, "total"), Value::Int(256));
+    assert_eq!(scalar(&r, "total"), Value::Int(256));
+    // The mean is a positive zero-free quotient; relaxed reassociation of
+    // exact halves is still exact here.
+    assert_eq!(scalar(&s, "mean"), Value::Float(0.25));
+    assert_eq!(scalar(&r, "mean"), Value::Float(0.25));
+
+    // All -0.0 inputs: the fold identity flips the sign in every engine,
+    // and the integral rule turns the sum into Int(0).
+    let all_neg = ColumnPlugin::from_pairs(
+        "t",
+        vec![
+            (
+                "g".to_string(),
+                ColumnData::Int((0..rows).map(|i| i % 5).collect()),
+            ),
+            (
+                "k".to_string(),
+                ColumnData::Int((0..rows).map(|i| i % 41).collect()),
+            ),
+            (
+                "q".to_string(),
+                ColumnData::Float(vec![-0.0; rows as usize]),
+            ),
+        ],
+    )
+    .expect("negative-zero table");
+    let (strict, relaxed, closures) = engines(all_neg);
+    let plan = scan_t().reduce(vec![
+        ReduceSpec::new(Monoid::Sum, Expr::path("t.q"), "total"),
+        ReduceSpec::new(Monoid::Avg, Expr::path("t.q"), "mean"),
+    ]);
+    let s = strict.execute_plan(plan.clone()).expect("strict");
+    let r = relaxed.execute_plan(plan.clone()).expect("relaxed");
+    let c = closures.execute_plan(plan).expect("closures");
+    assert_eq!(s.rows, c.rows);
+    assert_eq!(s.rows, r.rows, "signed-zero outputs must agree bitwise");
+    assert_eq!(scalar(&s, "total"), Value::Int(0));
+    match scalar(&s, "mean") {
+        Value::Float(f) => {
+            assert_eq!(f, 0.0);
+            assert!(f.is_sign_positive(), "identity absorbed the sign");
+        }
+        other => panic!("expected Float mean, got {other:?}"),
+    }
+}

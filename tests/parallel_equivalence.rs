@@ -103,6 +103,68 @@ fn check_all_templates(serial: &QueryEngine, parallel: &QueryEngine, label: &str
 }
 
 #[test]
+fn grouped_collection_sinks_match_serial_element_order() {
+    // Grouped collection folds (list/bag/set) used to pin the whole query
+    // serial. They now run morsel-parallel: every element carries its
+    // morsel tag inside the group accumulator and the absorb step merges
+    // tags in ascending order, so the parallel output must reproduce the
+    // serial element order *exactly* — not just as a multiset.
+    use proteus::plugins::binary::ColumnPlugin;
+    use proteus::storage::ColumnData;
+    use std::sync::Arc;
+
+    let rows: i64 = 4 * 1024 + 137; // several full morsels plus a tail
+    let plugin = Arc::new(
+        ColumnPlugin::from_pairs(
+            "seq",
+            vec![
+                (
+                    "g".to_string(),
+                    ColumnData::Int((0..rows).map(|i| i % 7).collect()),
+                ),
+                ("v".to_string(), ColumnData::Int((0..rows).collect())),
+                (
+                    // Low-cardinality payload so Set actually deduplicates.
+                    "w".to_string(),
+                    ColumnData::Str((0..rows).map(|i| format!("tag{}", i % 11)).collect()),
+                ),
+            ],
+        )
+        .unwrap(),
+    );
+    let serial = QueryEngine::new(EngineConfig::without_caching().with_parallelism(1));
+    let parallel = QueryEngine::new(EngineConfig::without_caching().with_parallelism(PARALLELISM));
+    serial.register_plugin(plugin.clone());
+    parallel.register_plugin(plugin);
+
+    let plan = LogicalPlan::scan("seq", "s", Schema::empty()).nest(
+        vec![Expr::path("s.g")],
+        vec!["g".into()],
+        vec![
+            ReduceSpec::new(Monoid::List, Expr::path("s.v"), "all"),
+            ReduceSpec::new(Monoid::Bag, Expr::path("s.v"), "bag"),
+            ReduceSpec::new(Monoid::Set, Expr::path("s.w"), "tags"),
+            ReduceSpec::new(Monoid::Sum, Expr::path("s.v"), "total"),
+        ],
+    );
+    let a = serial.execute_plan(plan.clone()).unwrap();
+    let b = parallel.execute_plan(plan).unwrap();
+    assert_eq!(b.metrics.threads_used, PARALLELISM as u64);
+    // Integer payloads only, so bitwise equality — including the element
+    // order inside every list/bag/set — is required, not just tolerated.
+    assert!(
+        row_sets_equivalent(&a.rows, &b.rows),
+        "grouped collections diverged between serial and parallel"
+    );
+    for (serial_row, parallel_row) in a.rows.iter().zip(b.rows.iter()) {
+        assert_eq!(
+            serial_row, parallel_row,
+            "collection element order diverged from serial ingest order"
+        );
+    }
+}
+
+#[test]
 fn parallel_pipelines_match_serial_over_json() {
     let setup = BenchSetup::tpch(0.02);
     let serial = setup.proteus_json(false);

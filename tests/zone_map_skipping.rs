@@ -293,18 +293,29 @@ fn skipping_is_bit_exact_over_json_and_csv_with_nulls() {
 
 #[test]
 fn derived_json_zone_maps_skip_and_short_circuit_sparse_tails() {
-    // A fully-null column never activates a typed slot, so it takes the
-    // closure fallback and skipping stays out of the picture (covered for
-    // equivalence in the suite above; all-null *zone* classification is
-    // unit-tested against hand-built typed fills in exec/kernels.rs). At
-    // the engine level, the JSON typed accessors read missing/null numeric
-    // fields as 0 — a fill-level convention the derived zone maps share by
-    // construction, because they observe the same fill. A sparse tail
-    // therefore becomes constant-zero zones the maps can prove outright.
+    // The JSON numeric accessors are null-preserving: a missing field or a
+    // `null` token reads as `Value::Null` on the row-major path and lands a
+    // bit in the typed column's null bitmap — a convention the derived zone
+    // maps share by construction, because they observe the same fill. A
+    // null tail therefore becomes all-null zones that no comparison can
+    // match (provably skippable), and a constant non-null tail becomes
+    // zones a covering comparison proves full (short-circuitable).
     let dir = std::env::temp_dir().join(format!("proteus_zone_null_{}", std::process::id()));
     std::fs::create_dir_all(&dir).unwrap();
     let rows = 2 * 1024 + 100;
     let records: Vec<Value> = (0..rows)
+        .map(|i| {
+            let n = if i < 1024 {
+                Value::Int(i as i64)
+            } else {
+                Value::Int(1)
+            };
+            Value::record(vec![("n", n)])
+        })
+        .collect();
+    let json_path = dir.join("t.json");
+    writers::write_json(&json_path, &records, true).unwrap();
+    let null_records: Vec<Value> = (0..rows)
         .map(|i| {
             let n = if i < 1024 {
                 Value::Int(i as i64)
@@ -314,30 +325,42 @@ fn derived_json_zone_maps_skip_and_short_circuit_sparse_tails() {
             Value::record(vec![("n", n)])
         })
         .collect();
-    let json_path = dir.join("t.json");
-    writers::write_json(&json_path, &records, true).unwrap();
+    let null_path = dir.join("t_null.json");
+    writers::write_json(&null_path, &null_records, true).unwrap();
 
     let (skip_on, skip_off, closures) = engines();
     for engine in [&skip_on, &skip_off, &closures] {
         engine.register_json("t", &json_path).unwrap();
+        engine.register_json("t_null", &null_path).unwrap();
     }
     // `n < 5`: ambiguous in the populated first zone, provably full in the
-    // constant-zero tail zones.
+    // constant-one tail zones.
     let low = LogicalPlan::scan("t", "t", Schema::empty())
         .select(Expr::path("t.n").lt(Expr::int(5)))
         .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
-    let metrics = agree(&skip_on, &skip_off, &closures, &low, "sparse-tail lt");
+    let metrics = agree(&skip_on, &skip_off, &closures, &low, "constant-tail lt");
     assert!(
         metrics.morsels_short_circuited >= 2,
         "constant tail zones must short-circuit under `< 5` ({metrics})"
     );
-    // `n > 5`: provably empty in the constant-zero tail zones.
+    // `n > 5`: provably empty in the constant-one tail zones.
     let high = LogicalPlan::scan("t", "t", Schema::empty())
         .select(Expr::path("t.n").gt(Expr::int(5)))
         .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
-    let metrics = agree(&skip_on, &skip_off, &closures, &high, "sparse-tail gt");
+    let metrics = agree(&skip_on, &skip_off, &closures, &high, "constant-tail gt");
     assert!(
         metrics.morsels_skipped >= 2,
         "constant tail zones must be skipped under `> 5` ({metrics})"
+    );
+    // Null tails match no comparison at all: `< 5` skips them outright
+    // (under the old missing-numeric-as-0 convention they were constant-zero
+    // zones that short-circuited instead).
+    let null_low = LogicalPlan::scan("t_null", "t", Schema::empty())
+        .select(Expr::path("t.n").lt(Expr::int(5)))
+        .reduce(vec![ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt")]);
+    let metrics = agree(&skip_on, &skip_off, &closures, &null_low, "null-tail lt");
+    assert!(
+        metrics.morsels_skipped >= 2,
+        "all-null tail zones must be skipped under `< 5` ({metrics})"
     );
 }
