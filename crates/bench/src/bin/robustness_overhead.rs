@@ -1,0 +1,180 @@
+//! Lifecycle-overhead A/B: the per-morsel cancellation/deadline/budget
+//! checkpoints and panic containment of the query-lifecycle layer, armed
+//! versus disarmed, over the same data on the same host.
+//!
+//! The armed arm runs every query with a live cancellation token, a
+//! generous deadline and a generous memory budget — the full per-morsel
+//! check sequence plus per-morsel state-size estimation — none of which
+//! ever trips. The disarmed arm is `EngineConfig::with_lifecycle(false)`:
+//! the same limits are configured but the checks reduce to one relaxed
+//! atomic load per morsel. The difference is the whole cost of making
+//! queries cancellable, deadline-bounded and budgeted.
+//!
+//! Two shapes at 2M rows: a 50% filter + aggregate (morsel-dispatch bound)
+//! and an equi-join with a 2M/8 build side (sink-state bound, so the
+//! budget's size estimation is on the debited path). Reps are interleaved
+//! per-rep so neither arm benefits from running last. Emits
+//! `BENCH_robustness_overhead.json`. Row count is overridable via
+//! `PROTEUS_ROBUSTNESS_BENCH_ROWS` for the CI smoke; the ≤2% overhead
+//! gate only arms at the full 2M rows.
+
+use std::time::{Duration, Instant};
+
+use proteus_algebra::{Expr, JoinKind, LogicalPlan, Monoid, ReduceSpec, Schema};
+use proteus_bench::harness::{checksum, checksums_agree, emit_bench_json, BenchRow};
+use proteus_core::{CancellationToken, EngineConfig, QueryEngine};
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_storage::ColumnData;
+
+const DEFAULT_ROWS: usize = 2_000_000;
+const DEFAULT_REPS: usize = 15;
+/// Never trips: the bench measures the checks, not the failures.
+const BUDGET: u64 = u64::MAX / 2;
+const TIMEOUT: Duration = Duration::from_secs(3600);
+
+fn rows_from_env() -> usize {
+    std::env::var("PROTEUS_ROBUSTNESS_BENCH_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROWS)
+}
+
+fn reps_from_env() -> usize {
+    std::env::var("PROTEUS_ROBUSTNESS_BENCH_REPS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_REPS)
+}
+
+fn register(engine: &QueryEngine, rows: usize) {
+    let n = rows as i64;
+    let build_n = (n / 8).max(1);
+    let probe = ColumnPlugin::from_pairs(
+        "ro_probe",
+        vec![
+            ("k".to_string(), ColumnData::Int((0..n).collect())),
+            (
+                "fk".to_string(),
+                ColumnData::Int((0..n).map(|i| (i * 7 + 3) % build_n).collect()),
+            ),
+            (
+                "p".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 97) as f64 * 0.5).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic probe columns");
+    let build = ColumnPlugin::from_pairs(
+        "ro_build",
+        vec![
+            ("bk".to_string(), ColumnData::Int((0..build_n).collect())),
+            (
+                "w".to_string(),
+                ColumnData::Float((0..build_n).map(|i| (i % 31) as f64).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic build columns");
+    engine.register_plugin(std::sync::Arc::new(probe));
+    engine.register_plugin(std::sync::Arc::new(build));
+}
+
+fn filter_plan(rows: usize) -> LogicalPlan {
+    LogicalPlan::scan("ro_probe", "t", Schema::empty())
+        .select(Expr::path("t.k").lt(Expr::int(rows as i64 / 2)))
+        .reduce(vec![
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ReduceSpec::new(Monoid::Sum, Expr::path("t.p"), "sum_p"),
+        ])
+}
+
+fn join_plan() -> LogicalPlan {
+    LogicalPlan::scan("ro_build", "b", Schema::empty())
+        .join(
+            LogicalPlan::scan("ro_probe", "t", Schema::empty()),
+            Expr::path("b.bk").eq(Expr::path("t.fk")),
+            JoinKind::Inner,
+        )
+        .reduce(vec![
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ReduceSpec::new(Monoid::Sum, Expr::path("b.w"), "sum_w"),
+        ])
+}
+
+fn main() {
+    let rows = rows_from_env();
+    let full_size = rows >= DEFAULT_ROWS;
+
+    let armed = QueryEngine::new(
+        EngineConfig::without_caching()
+            .with_timeout(TIMEOUT)
+            .with_memory_budget(BUDGET),
+    );
+    let disarmed = QueryEngine::new(
+        EngineConfig::without_caching()
+            .with_timeout(TIMEOUT)
+            .with_memory_budget(BUDGET)
+            .with_lifecycle(false),
+    );
+    register(&armed, rows);
+    register(&disarmed, rows);
+
+    let reps = reps_from_env();
+    let mut report = Vec::new();
+    println!("=== Lifecycle overhead A/B ({rows} rows, {reps} interleaved reps) ===");
+    for (shape, query) in [("filter", filter_plan(rows)), ("join", join_plan())] {
+        let mut best = [f64::INFINITY; 2];
+        let mut checks = [0.0f64; 2];
+        // Interleave the arms so neither benefits from running last, and
+        // judge overhead on best-of-reps: timing noise on a shared host is
+        // strictly additive, so the per-arm minimum over many interleaved
+        // reps is the cleanest estimate of each arm's true cost.
+        for _ in 0..reps {
+            for (arm, engine) in [(0, &armed), (1, &disarmed)] {
+                let token = CancellationToken::new();
+                let start = Instant::now();
+                let result = engine
+                    .execute_plan_with_cancellation(query.clone(), Some(token))
+                    .unwrap();
+                let millis = start.elapsed().as_secs_f64() * 1e3;
+                best[arm] = best[arm].min(millis);
+                checks[arm] = checksum(&result.rows);
+            }
+        }
+        assert!(
+            checksums_agree(checks[0], checks[1]),
+            "{shape}: lifecycle checks changed the query result ({} vs {})",
+            checks[0],
+            checks[1]
+        );
+
+        let overhead_pct = (best[0] / best[1] - 1.0) * 100.0;
+        println!(
+            "{shape:>6}: armed {:.2} ms vs disarmed {:.2} ms ({overhead_pct:+.2}% overhead)",
+            best[0], best[1]
+        );
+        if full_size {
+            assert!(
+                overhead_pct <= 2.0,
+                "{shape}: lifecycle checks cost {overhead_pct:.2}% (> 2% budget)"
+            );
+        }
+
+        for (arm, label) in [(0, "lifecycle-on"), (1, "lifecycle-off")] {
+            report.push(BenchRow {
+                engine: label.to_string(),
+                template: shape.to_string(),
+                selectivity_pct: 50,
+                millis: best[arm],
+                rows_per_sec: rows as f64 / (best[arm] / 1e3),
+            });
+        }
+    }
+
+    emit_bench_json(
+        "robustness overhead",
+        rows,
+        "per-rep alternation (lifecycle on / off)",
+        &report,
+    );
+}

@@ -620,9 +620,11 @@ impl Compiler {
             fields_from_plugin.push(field.clone());
         }
 
+        let mut bad_rows = 0;
         if !fields_from_plugin.is_empty() {
             let scan = plugin.generate(&fields_from_plugin)?;
             access_paths.push(format!("{dataset}: {}", scan.access_path));
+            bad_rows = scan.bad_rows;
             for (field, fill) in scan.batch_fields {
                 let slot = slot_of_field
                     .iter()
@@ -757,6 +759,7 @@ impl Compiler {
                 cache_store: self.caches.clone(),
                 zones,
                 slot_stats,
+                bad_rows,
             },
             layout,
         ))
@@ -1072,10 +1075,52 @@ impl CompiledQuery {
     /// cache-building side effect run serially regardless, because cache
     /// entries require in-order OIDs.
     pub fn execute_with_parallelism(self, parallelism: usize) -> Result<QueryOutput> {
+        self.execute_with_context(parallelism, &crate::exec::QueryContext::disabled())
+    }
+
+    /// Executes the generated pipeline under a query lifecycle context:
+    /// cooperative cancellation, wall-clock deadline and memory budget are
+    /// all observed at morsel boundaries, worker panics are contained, and
+    /// a failing query reports the *first* structured error. A timed-out
+    /// query's [`crate::EngineError::DeadlineExceeded`] carries the metrics
+    /// of the work that completed before the deadline fired.
+    pub fn execute_with_context(
+        self,
+        parallelism: usize,
+        ctx: &crate::exec::QueryContext,
+    ) -> Result<QueryOutput> {
         let started = Instant::now();
+        let compile_time = self.compile_time;
+        let mut result = self.dispatch(parallelism, ctx);
+        match &mut result {
+            Ok(output) => {
+                output.metrics.compile_time = compile_time;
+                output.metrics.exec_time = started.elapsed();
+            }
+            Err(crate::EngineError::DeadlineExceeded { partial, .. }) => {
+                partial.compile_time = compile_time;
+                partial.exec_time = started.elapsed();
+            }
+            Err(_) => {}
+        }
+        result
+    }
+
+    /// Sink dispatch: runs the pipeline into its sink shape. On failure the
+    /// partial metrics are folded into errors that carry them.
+    fn dispatch(self, parallelism: usize, ctx: &crate::exec::QueryContext) -> Result<QueryOutput> {
         let threads = resolve_parallelism(parallelism);
         let mode = self.numeric_mode;
         let mut metrics = ExecutionMetrics::new();
+        let patch_partial = |err: crate::EngineError, metrics: ExecutionMetrics| match err {
+            crate::EngineError::DeadlineExceeded { timeout_ms, .. } => {
+                crate::EngineError::DeadlineExceeded {
+                    timeout_ms,
+                    partial: Box::new(metrics),
+                }
+            }
+            other => other,
+        };
         let rows = match self.sink {
             Sink::Reduce {
                 specs,
@@ -1084,15 +1129,19 @@ impl CompiledQuery {
             } => {
                 let exec_specs: Vec<(Monoid, CompiledExpr)> =
                     specs.iter().map(|(m, e, _)| (*m, e.clone())).collect();
-                let accumulators = run_reduce(
+                let accumulators = match run_reduce(
                     self.producer,
                     exec_specs,
                     predicate,
                     kernel,
                     threads,
                     mode,
+                    ctx,
                     &mut metrics,
-                )?;
+                ) {
+                    Ok(accumulators) => accumulators,
+                    Err(err) => return Err(patch_partial(err, metrics)),
+                };
                 let mut record = Record::empty();
                 for ((monoid, _, alias), acc) in specs.iter().zip(accumulators) {
                     record.set(alias.clone(), acc.finish(*monoid));
@@ -1109,7 +1158,7 @@ impl CompiledQuery {
                 let monoids: Vec<Monoid> = specs.iter().map(|(m, _, _)| *m).collect();
                 let value_exprs: Vec<CompiledExpr> =
                     specs.iter().map(|(_, e, _)| e.clone()).collect();
-                let table = run_nest(
+                let table = match run_nest(
                     self.producer,
                     keys,
                     monoids,
@@ -1118,8 +1167,12 @@ impl CompiledQuery {
                     kernel,
                     threads,
                     mode,
+                    ctx,
                     &mut metrics,
-                )?;
+                ) {
+                    Ok(table) => table,
+                    Err(err) => return Err(patch_partial(err, metrics)),
+                };
                 metrics.intermediate_tuples += table.group_count() as u64;
                 table
                     .finish()
@@ -1138,7 +1191,10 @@ impl CompiledQuery {
             }
             Sink::Collect => {
                 let slots: Vec<String> = self.layout.slots().to_vec();
-                let bindings = run_collect(self.producer, threads, mode, &mut metrics)?;
+                let bindings = match run_collect(self.producer, threads, mode, ctx, &mut metrics) {
+                    Ok(bindings) => bindings,
+                    Err(err) => return Err(patch_partial(err, metrics)),
+                };
                 bindings
                     .into_iter()
                     .map(|binding| {
@@ -1152,8 +1208,6 @@ impl CompiledQuery {
             }
         };
         metrics.tuples_output = rows.len() as u64;
-        metrics.compile_time = self.compile_time;
-        metrics.exec_time = started.elapsed();
         Ok(QueryOutput { rows, metrics })
     }
 }

@@ -12,6 +12,7 @@
 
 use std::path::Path;
 use std::sync::Arc;
+use std::time::Duration;
 
 use proteus_algebra::comprehension::parse_comprehension;
 use proteus_algebra::sql::{parse_sql, sql_to_plan};
@@ -19,12 +20,13 @@ use proteus_algebra::translate::comprehension_to_plan;
 use proteus_algebra::{LogicalPlan, Schema, Value};
 use proteus_optimizer::{CacheRewrite, Catalog, Optimizer};
 use proteus_plugins::csv::CsvOptions;
-use proteus_plugins::{InputPlugin, PluginRegistry};
+use proteus_plugins::{BadRowPolicy, InputPlugin, PluginRegistry};
 use proteus_storage::cache::CacheStats;
 use proteus_storage::{CacheStore, MemoryManager};
 
 use crate::codegen::Compiler;
 use crate::error::Result;
+use crate::exec::context::{CancellationToken, QueryContext};
 use crate::exec::metrics::ExecutionMetrics;
 use crate::exec::NumericMode;
 
@@ -62,6 +64,29 @@ pub struct EngineConfig {
     /// trading bit-reproducibility for throughput (see `ARCHITECTURE.md`,
     /// "Numeric modes", for the epsilon contract).
     pub numeric_mode: NumericMode,
+    /// Wall-clock deadline per query. A query running past it fails with
+    /// [`crate::EngineError::DeadlineExceeded`] (carrying the metrics of the
+    /// work that did complete) at its next morsel boundary. `None` (the
+    /// default) means no deadline.
+    pub timeout: Option<Duration>,
+    /// Per-query cap on execution-state memory (group tables, join build
+    /// arenas, collected rows, cache builds), in bytes. Exceeding it fails
+    /// the query with [`crate::EngineError::ResourceExhausted`]; the engine
+    /// stays usable. `None` (the default) means unlimited.
+    pub memory_budget: Option<u64>,
+    /// What CSV/JSON registration does with rows that fail to parse.
+    /// `None` (the default) keeps each format's historical semantics —
+    /// CSV nulls unparseable typed fields ([`BadRowPolicy::Null`]), JSON
+    /// rejects the file ([`BadRowPolicy::Fail`]). `Some(policy)` applies
+    /// one policy to both: `Fail` errors with the offending row number,
+    /// `Skip` drops bad rows, `Null` keeps them with null fields; skipped/
+    /// nulled rows are counted in `ExecutionMetrics::bad_rows`.
+    pub bad_row_policy: Option<BadRowPolicy>,
+    /// Master switch for the per-morsel deadline/cancellation/budget checks
+    /// (the default). `false` disarms them even when configured — the A/B
+    /// lever of the `robustness_overhead` bench. Worker panic containment
+    /// is *not* affected: it is always on.
+    pub lifecycle: bool,
 }
 
 impl Default for EngineConfig {
@@ -73,6 +98,10 @@ impl Default for EngineConfig {
             vectorized: true,
             morsel_skipping: true,
             numeric_mode: NumericMode::Strict,
+            timeout: None,
+            memory_budget: None,
+            bad_row_policy: None,
+            lifecycle: true,
         }
     }
 }
@@ -117,6 +146,33 @@ impl EngineConfig {
     /// Selects the numeric mode queries run under (builder style).
     pub fn with_numeric_mode(mut self, mode: NumericMode) -> EngineConfig {
         self.numeric_mode = mode;
+        self
+    }
+
+    /// Sets the per-query wall-clock deadline (builder style).
+    pub fn with_timeout(mut self, timeout: Duration) -> EngineConfig {
+        self.timeout = Some(timeout);
+        self
+    }
+
+    /// Sets the per-query execution-state memory cap in bytes (builder
+    /// style).
+    pub fn with_memory_budget(mut self, bytes: u64) -> EngineConfig {
+        self.memory_budget = Some(bytes);
+        self
+    }
+
+    /// Sets the bad-row policy applied when registering CSV/JSON datasets
+    /// (builder style).
+    pub fn with_bad_row_policy(mut self, policy: BadRowPolicy) -> EngineConfig {
+        self.bad_row_policy = Some(policy);
+        self
+    }
+
+    /// Arms or disarms the per-morsel lifecycle checks (builder style).
+    /// Panic containment stays on either way.
+    pub fn with_lifecycle(mut self, lifecycle: bool) -> EngineConfig {
+        self.lifecycle = lifecycle;
         self
     }
 }
@@ -213,7 +269,10 @@ impl QueryEngine {
         self.registry.register(plugin);
     }
 
-    /// Registers a CSV file with an explicit schema.
+    /// Registers a CSV file with an explicit schema. Malformed rows follow
+    /// the engine's bad-row policy (`EngineConfig::with_bad_row_policy`);
+    /// without one, unparseable typed fields read as nulls (the format's
+    /// historical lenient semantics).
     pub fn register_csv(
         &self,
         dataset: impl Into<String>,
@@ -221,15 +280,35 @@ impl QueryEngine {
         schema: Schema,
         options: CsvOptions,
     ) -> Result<()> {
-        self.registry
-            .register_csv(dataset, path, schema, options, &self.memory)?;
+        match self.config.bad_row_policy {
+            Some(policy) => self.registry.register_csv_with_policy(
+                dataset,
+                path,
+                schema,
+                options,
+                &self.memory,
+                policy,
+            )?,
+            None => self
+                .registry
+                .register_csv(dataset, path, schema, options, &self.memory)?,
+        }
         Ok(())
     }
 
     /// Registers a JSON file (schema is inferred; the structural index is
-    /// built during this first access).
+    /// built during this first access). Malformed objects follow the
+    /// engine's bad-row policy (`EngineConfig::with_bad_row_policy`);
+    /// without one, any malformed object rejects the file (the format's
+    /// historical strict semantics).
     pub fn register_json(&self, dataset: impl Into<String>, path: impl AsRef<Path>) -> Result<()> {
-        self.registry.register_json(dataset, path, &self.memory)?;
+        match self.config.bad_row_policy {
+            Some(policy) => {
+                self.registry
+                    .register_json_with_policy(dataset, path, &self.memory, policy)?
+            }
+            None => self.registry.register_json(dataset, path, &self.memory)?,
+        }
         Ok(())
     }
 
@@ -271,10 +350,22 @@ impl QueryEngine {
 
     /// Runs a SQL query.
     pub fn sql(&self, query: &str) -> Result<QueryResult> {
+        self.sql_with_cancellation(query, None)
+    }
+
+    /// Runs a SQL query under a cancellation token. Calling
+    /// [`CancellationToken::cancel`] from any thread makes the query fail
+    /// with [`crate::EngineError::Cancelled`] at its next morsel boundary;
+    /// the engine stays fully usable afterwards.
+    pub fn sql_with_cancellation(
+        &self,
+        query: &str,
+        cancel: Option<CancellationToken>,
+    ) -> Result<QueryResult> {
         let parsed = parse_sql(query)?;
         let registry = self.registry.clone();
         let plan = sql_to_plan(&parsed, &move |name: &str| registry.schema_of(name))?;
-        self.execute_plan(plan)
+        self.execute_plan_with_cancellation(plan, cancel)
     }
 
     /// Runs a monoid-comprehension query.
@@ -287,6 +378,17 @@ impl QueryEngine {
 
     /// Optimizes, compiles and executes a logical plan.
     pub fn execute_plan(&self, plan: LogicalPlan) -> Result<QueryResult> {
+        self.execute_plan_with_cancellation(plan, None)
+    }
+
+    /// Optimizes, compiles and executes a logical plan under an optional
+    /// cancellation token plus the engine's configured deadline and memory
+    /// budget.
+    pub fn execute_plan_with_cancellation(
+        &self,
+        plan: LogicalPlan,
+        cancel: Option<CancellationToken>,
+    ) -> Result<QueryResult> {
         let catalog = Catalog::from_registry(&self.registry);
         let optimizer = Optimizer::new(catalog);
         let caches = self.config.caching_enabled.then_some(&self.caches);
@@ -302,7 +404,13 @@ impl QueryEngine {
         let compiled = compiler.compile(&optimized.plan)?;
         let ir = compiled.ir.clone();
         let access_paths = compiled.access_paths.clone();
-        let output = compiled.execute_with_parallelism(self.config.parallelism)?;
+        let ctx = QueryContext::new(
+            cancel,
+            self.config.timeout,
+            self.config.memory_budget,
+            self.config.lifecycle,
+        );
+        let output = compiled.execute_with_context(self.config.parallelism, &ctx)?;
 
         self.workload_metrics.lock().merge(&output.metrics);
 

@@ -6,6 +6,8 @@ use proteus_algebra::AlgebraError;
 use proteus_plugins::PluginError;
 use proteus_storage::StorageError;
 
+use crate::exec::ExecutionMetrics;
+
 /// Errors produced while compiling or executing queries.
 #[derive(Debug)]
 pub enum EngineError {
@@ -19,6 +21,44 @@ pub enum EngineError {
     UnknownDataset(String),
     /// The plan cannot be compiled (unsupported shape).
     Unsupported(String),
+    /// The query's cancellation token was triggered; remaining morsels were
+    /// drained without being executed.
+    Cancelled,
+    /// The query ran past its wall-clock deadline
+    /// (`EngineConfig::with_timeout`). Carries the metrics of the work that
+    /// *did* complete before the deadline tripped.
+    DeadlineExceeded {
+        /// The configured timeout, in milliseconds.
+        timeout_ms: u64,
+        /// Metrics accumulated up to the point the deadline fired.
+        partial: Box<ExecutionMetrics>,
+    },
+    /// The query's memory budget was exhausted by an execution-state
+    /// allocation (group tables, join build arenas, collected rows, cache
+    /// builds). The query fails; the process does not.
+    ResourceExhausted {
+        /// Which allocation site tripped the budget.
+        site: &'static str,
+        /// Estimated bytes of query state at the point of failure.
+        used_bytes: u64,
+        /// The configured budget, in bytes.
+        budget_bytes: u64,
+    },
+    /// A worker thread panicked while executing a morsel. The panic was
+    /// contained (`catch_unwind`): remaining morsels were drained, the
+    /// engine stays usable, and the payload is surfaced here.
+    WorkerPanic {
+        /// The panic payload, stringified.
+        payload: String,
+    },
+    /// An internal executor failure at a named site (also carries injected
+    /// faults from the chaos harness).
+    Internal {
+        /// The executor site that failed.
+        site: String,
+        /// What went wrong.
+        detail: String,
+    },
 }
 
 impl fmt::Display for EngineError {
@@ -29,6 +69,24 @@ impl fmt::Display for EngineError {
             EngineError::Storage(e) => write!(f, "{e}"),
             EngineError::UnknownDataset(name) => write!(f, "dataset {name} is not registered"),
             EngineError::Unsupported(msg) => write!(f, "unsupported: {msg}"),
+            EngineError::Cancelled => write!(f, "query cancelled"),
+            EngineError::DeadlineExceeded { timeout_ms, .. } => {
+                write!(f, "query deadline exceeded ({timeout_ms} ms)")
+            }
+            EngineError::ResourceExhausted {
+                site,
+                used_bytes,
+                budget_bytes,
+            } => write!(
+                f,
+                "memory budget exhausted at {site}: ~{used_bytes} B used of {budget_bytes} B"
+            ),
+            EngineError::WorkerPanic { payload } => {
+                write!(f, "worker panicked while executing a morsel: {payload}")
+            }
+            EngineError::Internal { site, detail } => {
+                write!(f, "internal executor failure at {site}: {detail}")
+            }
         }
     }
 }

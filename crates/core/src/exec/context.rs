@@ -1,0 +1,341 @@
+//! Per-query lifecycle state: cancellation, deadlines, memory budgets and
+//! failure capture.
+//!
+//! Every executing query carries one [`QueryContext`]. Workers consult it at
+//! morsel boundaries — the natural cooperative checkpoint of the
+//! morsel-driven pipeline — so a cancelled, timed-out or over-budget query
+//! stops within one morsel (~[`super::MORSEL_SIZE`] rows) per worker without
+//! any preemption machinery. The same context collects the *first* failure
+//! observed by any worker (later failures are dropped) and poisons the
+//! query, making the remaining morsels drain as no-ops.
+//!
+//! The checks are tiered for the hot path:
+//!
+//! * the **poison flag** is one relaxed atomic load per morsel, always on —
+//!   it is what makes `catch_unwind` containment and fail-fast draining
+//!   work at all;
+//! * deadline / cancellation / budget checks run only when the context is
+//!   *armed* (a timeout, token or budget was actually configured, and the
+//!   lifecycle layer is enabled). `EngineConfig::with_lifecycle(false)`
+//!   disarms them wholesale, which is what the `robustness_overhead` bench
+//!   compares against.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
+
+use crate::error::EngineError;
+
+/// Morsels between wall-clock deadline reads at the checkpoint: deadline
+/// granularity is `DEADLINE_STRIDE × MORSEL_SIZE` rows per worker in
+/// exchange for amortizing the `Instant::now()` call.
+pub const DEADLINE_STRIDE: u64 = 4;
+
+/// A cloneable cancellation handle for one query.
+///
+/// Cancellation is cooperative: [`CancellationToken::cancel`] flips a shared
+/// flag, and every pipeline worker observes it at its next morsel boundary.
+/// The query then fails with [`EngineError::Cancelled`] after in-flight
+/// morsels finish; partial sink state is discarded.
+#[derive(Clone, Debug, Default)]
+pub struct CancellationToken {
+    flag: Arc<AtomicBool>,
+}
+
+impl CancellationToken {
+    /// Creates a fresh, un-cancelled token.
+    pub fn new() -> CancellationToken {
+        CancellationToken::default()
+    }
+
+    /// Requests cancellation. Idempotent; safe from any thread.
+    pub fn cancel(&self) {
+        self.flag.store(true, Ordering::Release);
+    }
+
+    /// Whether cancellation has been requested.
+    pub fn is_cancelled(&self) -> bool {
+        self.flag.load(Ordering::Acquire)
+    }
+}
+
+/// A per-query cap on execution-state memory.
+///
+/// The budget is debited with *estimates* of sink-state growth (group
+/// tables, join build arenas, collected rows, cache builds) at morsel
+/// granularity — it bounds the dominant allocations without instrumenting
+/// the allocator. Debits race benignly: `used` may briefly overshoot
+/// `limit` by at most one morsel's growth per worker before the query
+/// fails.
+#[derive(Debug)]
+pub struct MemoryBudget {
+    limit: u64,
+    used: AtomicU64,
+}
+
+impl MemoryBudget {
+    /// Creates a budget of `limit` bytes.
+    pub fn new(limit: u64) -> MemoryBudget {
+        MemoryBudget {
+            limit,
+            used: AtomicU64::new(0),
+        }
+    }
+
+    /// Records `bytes` of query-state growth. Returns `Err` with the new
+    /// total once the budget is exceeded.
+    pub fn debit(&self, bytes: u64) -> Result<(), u64> {
+        let used = self.used.fetch_add(bytes, Ordering::Relaxed) + bytes;
+        if used > self.limit {
+            Err(used)
+        } else {
+            Ok(())
+        }
+    }
+
+    /// The configured cap, in bytes.
+    pub fn limit(&self) -> u64 {
+        self.limit
+    }
+
+    /// Bytes debited so far.
+    pub fn used(&self) -> u64 {
+        self.used.load(Ordering::Relaxed)
+    }
+}
+
+/// Lifecycle state shared by every worker of one query execution.
+pub struct QueryContext {
+    cancel: Option<CancellationToken>,
+    deadline: Option<Instant>,
+    timeout_ms: u64,
+    budget: Option<MemoryBudget>,
+    /// False only under `with_lifecycle(false)`: the deadline/cancel/budget
+    /// checks are skipped even if configured (panic containment stays on).
+    enabled: bool,
+    poisoned: AtomicBool,
+    failure: Mutex<Option<EngineError>>,
+}
+
+impl QueryContext {
+    /// A context with no limits — the default for queries that configured
+    /// nothing. Workers still run under `catch_unwind` and still honor the
+    /// poison flag, so panic containment works even here.
+    pub fn disabled() -> QueryContext {
+        QueryContext {
+            cancel: None,
+            deadline: None,
+            timeout_ms: 0,
+            budget: None,
+            enabled: false,
+            poisoned: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Builds a context from the query's configured limits. `lifecycle:
+    /// false` keeps the limits recorded but disarms the per-morsel checks
+    /// (the A/B lever of the overhead bench).
+    pub fn new(
+        cancel: Option<CancellationToken>,
+        timeout: Option<Duration>,
+        budget_bytes: Option<u64>,
+        lifecycle: bool,
+    ) -> QueryContext {
+        QueryContext {
+            deadline: timeout.map(|t| Instant::now() + t),
+            timeout_ms: timeout.map(|t| t.as_millis() as u64).unwrap_or(0),
+            budget: budget_bytes.map(MemoryBudget::new),
+            enabled: lifecycle,
+            cancel,
+            poisoned: AtomicBool::new(false),
+            failure: Mutex::new(None),
+        }
+    }
+
+    /// Whether the per-morsel deadline/cancel/budget checks are live. False
+    /// for unlimited queries: the worker loop reduces to one relaxed load
+    /// of the poison flag per morsel.
+    pub fn armed(&self) -> bool {
+        self.enabled && (self.cancel.is_some() || self.deadline.is_some() || self.budget.is_some())
+    }
+
+    /// Whether a memory budget is live — lets workers skip the per-morsel
+    /// size estimation entirely for unbudgeted queries.
+    pub fn budgeted(&self) -> bool {
+        self.enabled && self.budget.is_some()
+    }
+
+    /// Whether any worker has recorded a failure.
+    pub fn poisoned(&self) -> bool {
+        self.poisoned.load(Ordering::Relaxed)
+    }
+
+    /// Records a failure and poisons the query. The *first* failure wins;
+    /// later ones (other workers tripping over the same condition) are
+    /// dropped.
+    pub fn fail(&self, error: EngineError) {
+        let mut slot = self
+            .failure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
+        if slot.is_none() {
+            *slot = Some(error);
+        }
+        // Store after the slot is filled so a poisoned() observer always
+        // finds the failure present.
+        self.poisoned.store(true, Ordering::Release);
+    }
+
+    /// Takes the recorded failure out of the context (once).
+    pub fn take_failure(&self) -> Option<EngineError> {
+        self.failure
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
+            .take()
+    }
+
+    /// The morsel-boundary checkpoint. Returns `false` when the query must
+    /// stop: already poisoned, cancelled, or past its deadline. The
+    /// corresponding failure is recorded here; callers just fall through to
+    /// the drain loop.
+    ///
+    /// `seq` is the caller's morsel index: the poison and cancellation
+    /// flags (plain atomic loads) are checked on every call, but the
+    /// wall-clock read behind the deadline check only runs when `seq` is a
+    /// multiple of [`DEADLINE_STRIDE`] — it is the one non-trivial cost of
+    /// an armed checkpoint.
+    #[must_use]
+    pub fn checkpoint(&self, seq: u64) -> bool {
+        if self.poisoned() {
+            return false;
+        }
+        if !self.armed() {
+            return true;
+        }
+        if let Some(cancel) = &self.cancel {
+            if cancel.is_cancelled() {
+                self.fail(EngineError::Cancelled);
+                return false;
+            }
+        }
+        if seq.is_multiple_of(DEADLINE_STRIDE) {
+            if let Some(deadline) = self.deadline {
+                if Instant::now() > deadline {
+                    self.fail(EngineError::DeadlineExceeded {
+                        timeout_ms: self.timeout_ms,
+                        partial: Box::default(),
+                    });
+                    return false;
+                }
+            }
+        }
+        true
+    }
+
+    /// Debits `bytes` of sink-state growth against the budget (no-op when
+    /// no budget is armed). On exhaustion, records
+    /// [`EngineError::ResourceExhausted`] naming `site` and returns
+    /// `false`.
+    #[must_use]
+    pub fn debit(&self, site: &'static str, bytes: u64) -> bool {
+        if !self.enabled || bytes == 0 {
+            return true;
+        }
+        let Some(budget) = &self.budget else {
+            return true;
+        };
+        match budget.debit(bytes) {
+            Ok(()) => true,
+            Err(used) => {
+                self.fail(EngineError::ResourceExhausted {
+                    site,
+                    used_bytes: used,
+                    budget_bytes: budget.limit(),
+                });
+                false
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn disabled_context_never_arms() {
+        let ctx = QueryContext::disabled();
+        assert!(!ctx.armed());
+        assert!(ctx.checkpoint(0));
+        assert!(ctx.debit("group table", u64::MAX / 2));
+    }
+
+    #[test]
+    fn cancellation_is_observed_at_checkpoint() {
+        let token = CancellationToken::new();
+        let ctx = QueryContext::new(Some(token.clone()), None, None, true);
+        assert!(ctx.armed());
+        assert!(ctx.checkpoint(0));
+        token.cancel();
+        // Cancellation is observed at every seq, stride-aligned or not.
+        assert!(!ctx.checkpoint(1));
+        assert!(matches!(ctx.take_failure(), Some(EngineError::Cancelled)));
+        // Poison persists after the failure is taken.
+        assert!(ctx.poisoned());
+        assert!(!ctx.checkpoint(2));
+    }
+
+    #[test]
+    fn deadline_in_the_past_trips_immediately() {
+        let ctx = QueryContext::new(None, Some(Duration::ZERO), None, true);
+        std::thread::sleep(Duration::from_millis(2));
+        // Off-stride checkpoints skip the wall-clock read entirely.
+        assert!(ctx.checkpoint(1));
+        assert!(!ctx.checkpoint(DEADLINE_STRIDE));
+        match ctx.take_failure() {
+            Some(EngineError::DeadlineExceeded { timeout_ms, .. }) => assert_eq!(timeout_ms, 0),
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn budget_debits_accumulate_and_trip() {
+        let ctx = QueryContext::new(None, None, Some(100), true);
+        assert!(ctx.debit("join build arena", 60));
+        assert!(!ctx.debit("join build arena", 60));
+        match ctx.take_failure() {
+            Some(EngineError::ResourceExhausted {
+                site,
+                used_bytes,
+                budget_bytes,
+            }) => {
+                assert_eq!(site, "join build arena");
+                assert_eq!(used_bytes, 120);
+                assert_eq!(budget_bytes, 100);
+            }
+            other => panic!("expected ResourceExhausted, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn lifecycle_off_disarms_configured_limits() {
+        let token = CancellationToken::new();
+        token.cancel();
+        let ctx = QueryContext::new(Some(token), Some(Duration::ZERO), Some(1), false);
+        assert!(!ctx.armed());
+        assert!(ctx.checkpoint(0));
+        assert!(ctx.debit("group table", 1000));
+    }
+
+    #[test]
+    fn first_failure_wins() {
+        let ctx = QueryContext::disabled();
+        ctx.fail(EngineError::Cancelled);
+        ctx.fail(EngineError::WorkerPanic {
+            payload: "late".into(),
+        });
+        assert!(matches!(ctx.take_failure(), Some(EngineError::Cancelled)));
+        assert!(ctx.take_failure().is_none());
+    }
+}

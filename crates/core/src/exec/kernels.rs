@@ -306,7 +306,7 @@ pub fn plan_predicate(
         return None;
     }
     let kernel = if eligible.len() == 1 {
-        eligible.pop().unwrap()
+        eligible.pop()?
     } else {
         KernelPred::And(eligible)
     };
@@ -860,6 +860,9 @@ pub fn apply_filter(pred: &KernelPred, batch: &mut BindingBatch, scratch: &mut S
     scratch.put_mask(mask);
 }
 
+// Invariant: the predicate planner only emits kernel predicates over slots
+// whose typed fills it activated, so the column is always live here.
+#[allow(clippy::expect_used)]
 fn typed(batch: &BindingBatch, slot: usize) -> &TypedColumn {
     batch
         .typed_col(slot)
@@ -1403,6 +1406,9 @@ fn lane_fold(vec: &NumVec<'_>, nulls: &Option<Vec<u64>>, rows_idx: &[u32]) -> (f
 /// into a fixed-width block, then advance eight independent mix chains at
 /// once ([`KeyHash::mix_lanes`]). Bit-identical to the scalar mix loop —
 /// no row's chain reads another row's state.
+// Invariant: the `try_into` converts a slice of exactly `HASH_LANES`
+// elements (the loop bound guarantees it), so it cannot fail.
+#[allow(clippy::unwrap_used)]
 fn mix_chunked(out: &mut [u64], rows_idx: &[u32], comp: impl Fn(usize) -> u64) {
     let mut i = 0;
     while i + HASH_LANES <= rows_idx.len() {

@@ -112,6 +112,9 @@ pub fn copy_from(mask: &mut Vec<u64>, rows: usize, src: &[u64]) {
 /// byte-lane movemasks via the `0x0102_0408_1020_4080` multiply trick.
 /// Exact for 0/1 bytes — every per-byte partial sum is ≤ `0xFF`, so no
 /// carry ever crosses a byte boundary into the extracted top byte.
+// Invariant: each `try_into` converts an exactly-8-byte slice of the fixed
+// 64-byte buffer, so it cannot fail.
+#[allow(clippy::unwrap_used)]
 #[inline]
 fn pack64(bytes: &[u8; 64]) -> u64 {
     let mut w = 0u64;

@@ -88,6 +88,10 @@ pub struct ExecutionMetrics {
     /// growing. O(pipeline depth × workers), not O(tuples) — stable after
     /// the first few morsels.
     pub batch_grows: u64,
+    /// Rows the dataset's plug-in skipped or nulled at registration under a
+    /// lenient bad-row policy (`Skip`/`Null`): the count of malformed
+    /// source rows behind this query's scans.
+    pub bad_rows: u64,
     /// Worker threads the pipeline executed on (1 = serial path).
     pub threads_used: u64,
     /// Time spent generating the specialized engine (the paper reports ≤ ~50 ms).
@@ -125,6 +129,7 @@ impl ExecutionMetrics {
         self.morsels_skipped += other.morsels_skipped;
         self.morsels_short_circuited += other.morsels_short_circuited;
         self.index_rows += other.index_rows;
+        self.bad_rows += other.bad_rows;
         self.binding_allocs += other.binding_allocs;
         self.batch_grows += other.batch_grows;
     }
@@ -149,7 +154,7 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) simd={} probes={} cached={} morsels={} (skipped={} short-circuited={}) index_rows={} allocs={} grows={} threads={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) simd={} probes={} cached={} morsels={} (skipped={} short-circuited={}) index_rows={} bad_rows={} allocs={} grows={} threads={} compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
@@ -168,6 +173,7 @@ impl fmt::Display for ExecutionMetrics {
             self.morsels_skipped,
             self.morsels_short_circuited,
             self.index_rows,
+            self.bad_rows,
             self.binding_allocs,
             self.batch_grows,
             self.threads_used,

@@ -193,6 +193,7 @@
 //! inner/left-outer suites in `tests/kernel_equivalence.rs`.
 
 pub mod batch;
+pub mod context;
 pub mod expr;
 pub mod index;
 pub mod kernels;
@@ -202,8 +203,10 @@ pub mod pipeline;
 pub mod radix;
 
 pub use batch::{BindingBatch, MORSEL_SIZE};
+pub use context::{CancellationToken, MemoryBudget, QueryContext};
 pub use expr::{compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate};
 pub use kernels::NumericMode;
+pub use metrics::ExecutionMetrics;
 
 use proteus_algebra::Value;
 

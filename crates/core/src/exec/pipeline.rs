@@ -22,8 +22,9 @@ use proteus_plugins::{BatchFill, ColumnStats, TypedFill, ZoneMap, ZONE_ROWS};
 use proteus_storage::CacheStore;
 
 use crate::cache_builder::CacheBuilder;
-use crate::error::Result;
+use crate::error::{EngineError, Result};
 use crate::exec::batch::{BindingBatch, MORSEL_SIZE};
+use crate::exec::context::QueryContext;
 use crate::exec::expr::{CompiledExpr, CompiledPredicate};
 use crate::exec::kernels::{self, KernelPred, SinkKernel, ZoneVerdict};
 use crate::exec::mask;
@@ -80,6 +81,10 @@ pub(crate) enum Producer {
         /// maps); consumed at compile time by the selectivity-ordered
         /// predicate planner, not at execution time.
         slot_stats: Vec<(usize, ColumnStats)>,
+        /// Malformed source rows the plug-in skipped or nulled at
+        /// registration (lenient bad-row policies) — surfaced in
+        /// `ExecutionMetrics::bad_rows`.
+        bad_rows: u64,
     },
     /// Inlined selection: a vectorized kernel part and/or a compiled-closure
     /// part (at least one is present).
@@ -204,6 +209,7 @@ fn prepare(
     producer: Producer,
     threads: usize,
     mode: kernels::NumericMode,
+    ctx: &QueryContext,
     metrics: &mut ExecutionMetrics,
 ) -> Result<PreparedPipeline> {
     match producer {
@@ -218,7 +224,9 @@ fn prepare(
             cache_store,
             zones,
             slot_stats: _,
+            bad_rows,
         } => {
+            metrics.bad_rows += bad_rows;
             let cache = match (cache_builder.is_enabled(), cache_store) {
                 (true, Some(store)) => Some(CacheSideEffect {
                     builder: Mutex::new(Some(cache_builder)),
@@ -250,7 +258,7 @@ fn prepare(
             kernel,
             predicate,
         } => {
-            let mut prepared = prepare(*input, threads, mode, metrics)?;
+            let mut prepared = prepare(*input, threads, mode, ctx, metrics)?;
             if let Some(kernel) = kernel {
                 prepared.stages.push(Stage::KernelFilter(kernel));
             }
@@ -266,7 +274,7 @@ fn prepare(
             predicate,
             outer,
         } => {
-            let mut prepared = prepare(*input, threads, mode, metrics)?;
+            let mut prepared = prepare(*input, threads, mode, ctx, metrics)?;
             let width = current_width(&prepared).max(slot + 1);
             prepared.stages.push(Stage::Unnest {
                 collection,
@@ -302,13 +310,20 @@ fn prepare(
                 build_live,
                 threads,
                 mode,
+                ctx,
                 metrics,
             )?;
             metrics.intermediate_tuples += store.len() as u64;
-            let table = Arc::new(RadixHashTable::build_parallel(store, threads));
+            // The partition/cluster phases run on this thread (fanning out
+            // their own scoped workers), outside the morsel loop's
+            // containment — catch a panic here the same way.
+            let table = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                Arc::new(RadixHashTable::build_parallel(store, threads))
+            }))
+            .map_err(|payload| panic_error(payload, "radix build"))?;
             metrics.intermediate_bytes += table.materialized_bytes();
 
-            let mut prepared = prepare(*probe, threads, mode, metrics)?;
+            let mut prepared = prepare(*probe, threads, mode, ctx, metrics)?;
             let probe_width = current_width(&prepared);
             let matched =
                 (kind == JoinKind::LeftOuter).then(|| Arc::new(MatchedBitmap::new(table.len())));
@@ -873,14 +888,15 @@ impl SinkSpec {
                     .collect();
                 // Serial fast path: one partial's arenas *are* the store.
                 if parts.len() == 1 {
-                    let p = parts.pop().unwrap();
-                    return SinkResult::Entries(BuildStore::from_parts(
-                        arity,
-                        live_slots.clone(),
-                        p.hashes,
-                        p.keys,
-                        p.payload,
-                    ));
+                    if let Some(p) = parts.pop() {
+                        return SinkResult::Entries(BuildStore::from_parts(
+                            arity,
+                            live_slots.clone(),
+                            p.hashes,
+                            p.keys,
+                            p.payload,
+                        ));
+                    }
                 }
                 // Restore scan order across workers: per-partial tags
                 // ascend and every morsel belongs to one worker, so a k-way
@@ -891,10 +907,15 @@ impl SinkSpec {
                 let mut store = BuildStore::new(arity, live_slots.clone());
                 let mut cursors = vec![0usize; parts.len()];
                 for _ in 0..total {
-                    let w = (0..parts.len())
+                    // `total` is the sum of the partial lengths, so some
+                    // cursor always has entries left; the else arm is
+                    // unreachable but keeps the merge abort-free.
+                    let Some(w) = (0..parts.len())
                         .filter(|&w| cursors[w] < parts[w].tags.len())
                         .min_by_key(|&w| (parts[w].tags[cursors[w]], w))
-                        .expect("entry count mismatch in k-way merge");
+                    else {
+                        break;
+                    };
                     let i = cursors[w];
                     cursors[w] += 1;
                     let p = &mut parts[w];
@@ -934,6 +955,9 @@ fn fill_morsel(
     metrics.tuples_scanned += count as u64;
 
     if let Some(cache) = &scan.cache {
+        // Chaos-harness site: fires inside the worker's catch_unwind, so an
+        // injected error/panic here exercises the half-built-cache path.
+        proteus_plugins::fault::check_infallible("cache.build");
         let mut guard = cache.builder.lock().unwrap_or_else(|e| e.into_inner());
         if let Some(builder) = guard.as_mut() {
             let mut values: Vec<Value> = Vec::with_capacity(cache.slots.len());
@@ -1144,18 +1168,88 @@ fn process_stages(
     metrics.batch_grows += cur.take_alloc_events() + spare.take_alloc_events();
 }
 
+/// Rough per-`Value` cost (enum size plus small-heap overhead) used by the
+/// memory-budget estimates. The budget bounds the dominant sink-state
+/// allocations at morsel granularity; it is not allocator truth.
+const VALUE_COST: u64 = 48;
+
+/// Estimated bytes held by a worker's sink partial. O(1) per call — totals
+/// derive from lengths/counts, never from walking the stored values.
+fn approx_state_bytes(state: &SinkState) -> u64 {
+    match state {
+        SinkState::Reduce(parts) => parts
+            .iter()
+            .map(|p| match p {
+                ReducePartial::Scalar(_) => 64,
+                ReducePartial::Tagged(items) => items.len() as u64 * (VALUE_COST + 8),
+            })
+            .sum(),
+        // Per group: the key components, one accumulator per monoid, and
+        // the table's directory entry.
+        SinkState::Nest(table) => table.group_count() as u64 * 4 * VALUE_COST,
+        SinkState::Collect(rows) => {
+            let width = rows.first().map(|(_, r)| r.len()).unwrap_or(0) as u64;
+            rows.len() as u64 * (16 + width * VALUE_COST)
+        }
+        SinkState::Entries(p) => {
+            (p.keys.len() + p.payload.len()) as u64 * VALUE_COST + p.hashes.len() as u64 * 16
+        }
+    }
+}
+
+/// The budget site name reported when a sink partial trips the cap.
+fn state_site(state: &SinkState) -> &'static str {
+    match state {
+        SinkState::Reduce(_) => "reduce partial",
+        SinkState::Nest(_) => "group table",
+        SinkState::Collect(_) => "collected rows",
+        SinkState::Entries(_) => "join build arena",
+    }
+}
+
+/// Maps a caught panic payload to its structured error: payloads carrying
+/// the fault harness's sentinel prefix are *injected errors* (surfaced as
+/// [`EngineError::Internal`]); anything else is a genuine contained panic.
+fn panic_error(payload: Box<dyn std::any::Any + Send>, site: &str) -> EngineError {
+    let text = payload
+        .downcast_ref::<&'static str>()
+        .map(|s| (*s).to_string())
+        .or_else(|| payload.downcast_ref::<String>().cloned())
+        .unwrap_or_else(|| "non-string panic payload".to_string());
+    match text.strip_prefix(proteus_plugins::fault::INJECTED_ERROR_SENTINEL) {
+        Some(detail) => EngineError::Internal {
+            site: site.to_string(),
+            detail: detail.to_string(),
+        },
+        None => EngineError::WorkerPanic { payload: text },
+    }
+}
+
 /// One worker: claims morsels until the queue drains.
+///
+/// Every morsel executes under `catch_unwind`, so a panic anywhere on the
+/// morsel path (plug-in fills, kernels, sink folds) is contained: the first
+/// failure is recorded in the shared [`QueryContext`], the query is
+/// poisoned, and all workers *drain* the remaining morsels as no-ops — the
+/// pool always winds down cleanly and the engine stays usable. A worker
+/// that failed returns `None` for its partial (its sink state may be
+/// mid-update) but always returns its metrics.
 fn worker_loop(
     pipeline: &PreparedPipeline,
     sink: &SinkSpec,
     next_morsel: &AtomicU64,
     morsel_count: u64,
-) -> (SinkState, ExecutionMetrics) {
+    ctx: &QueryContext,
+) -> (Option<SinkState>, ExecutionMetrics) {
     let mut metrics = ExecutionMetrics::new();
     let mut state = sink.new_state();
     let mut cur = BindingBatch::new();
     let mut spare = BindingBatch::new();
     let mut scratch = kernels::Scratch::with_mode(pipeline.mode);
+    let mut failed = false;
+    let mut state_bytes = 0u64;
+    let mut cache_bytes = 0u64;
+    let faults_armed = proteus_plugins::fault::armed();
     // Tier 0, morsel skipping: engages only when the spine leads with a
     // kernel filter, the scan recorded zone maps, and no cache side effect
     // needs to observe every row. Each morsel is classified against the
@@ -1173,47 +1267,109 @@ fn worker_loop(
         if morsel >= morsel_count {
             break;
         }
-        metrics.morsels += 1;
-        let verdict = match skip_pred {
-            Some(kernel) => kernels::classify_morsel(kernel, &pipeline.scan.zones, morsel as usize),
-            None => ZoneVerdict::Ambiguous,
-        };
-        if verdict == ZoneVerdict::NonePass {
-            // No row of this morsel can pass the leading kernel filter:
-            // skip it without running a single fill.
-            metrics.morsels_skipped += 1;
+        // The cooperative checkpoint: poisoned / cancelled / past-deadline
+        // queries *drain* the remaining morsels without executing them. The
+        // un-armed fast path is a single relaxed load of the poison flag;
+        // the global morsel index strides the armed path's wall-clock read.
+        if !ctx.checkpoint(morsel) {
             continue;
         }
-        let start = morsel * MORSEL_SIZE as u64;
-        let count = ((pipeline.scan.row_count - start) as usize).min(MORSEL_SIZE);
-        fill_morsel(&pipeline.scan, start, count, &mut cur, &mut metrics);
-        let stages = if verdict == ZoneVerdict::AllPass {
-            // Every row passes: keep the identity selection and drop
-            // straight past the leading kernel filter.
-            metrics.morsels_short_circuited += 1;
-            &pipeline.stages[1..]
-        } else {
-            &pipeline.stages[..]
-        };
-        process_stages(
-            stages,
-            &mut cur,
-            &mut spare,
-            sink,
-            &mut state,
-            &mut scratch,
-            morsel,
-            &mut metrics,
-        );
+        metrics.morsels += 1;
+        let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+            || -> std::result::Result<(), EngineError> {
+                if faults_armed {
+                    if let Err(detail) = proteus_plugins::fault::check("dispatch.morsel") {
+                        return Err(EngineError::Internal {
+                            site: "dispatch.morsel".to_string(),
+                            detail,
+                        });
+                    }
+                }
+                let verdict = match skip_pred {
+                    Some(kernel) => {
+                        kernels::classify_morsel(kernel, &pipeline.scan.zones, morsel as usize)
+                    }
+                    None => ZoneVerdict::Ambiguous,
+                };
+                if verdict == ZoneVerdict::NonePass {
+                    // No row of this morsel can pass the leading kernel
+                    // filter: skip it without running a single fill.
+                    metrics.morsels_skipped += 1;
+                    return Ok(());
+                }
+                let start = morsel * MORSEL_SIZE as u64;
+                let count = ((pipeline.scan.row_count - start) as usize).min(MORSEL_SIZE);
+                fill_morsel(&pipeline.scan, start, count, &mut cur, &mut metrics);
+                let stages = if verdict == ZoneVerdict::AllPass {
+                    // Every row passes: keep the identity selection and drop
+                    // straight past the leading kernel filter.
+                    metrics.morsels_short_circuited += 1;
+                    &pipeline.stages[1..]
+                } else {
+                    &pipeline.stages[..]
+                };
+                process_stages(
+                    stages,
+                    &mut cur,
+                    &mut spare,
+                    sink,
+                    &mut state,
+                    &mut scratch,
+                    morsel,
+                    &mut metrics,
+                );
+                Ok(())
+            },
+        ));
+        match outcome {
+            Ok(Ok(())) => {}
+            Ok(Err(err)) => {
+                ctx.fail(err);
+                failed = true;
+                continue;
+            }
+            Err(payload) => {
+                ctx.fail(panic_error(payload, "morsel execution"));
+                failed = true;
+                continue;
+            }
+        }
+        // Memory budget: debit this morsel's sink-state growth (and cache
+        // growth when a cache build rides the scan).
+        if ctx.budgeted() {
+            let bytes = approx_state_bytes(&state);
+            let site = state_site(&state);
+            if !ctx.debit(site, bytes.saturating_sub(state_bytes)) {
+                failed = true;
+                continue;
+            }
+            state_bytes = bytes;
+            if pipeline.scan.cache.is_some() {
+                let bytes = metrics.cached_values * 24;
+                if !ctx.debit("cache build", bytes.saturating_sub(cache_bytes)) {
+                    failed = true;
+                    continue;
+                }
+                cache_bytes = bytes;
+            }
+        }
     }
-    (state, metrics)
+    (if failed { None } else { Some(state) }, metrics)
 }
 
 /// Runs a prepared pipeline into a sink with up to `threads` workers.
+///
+/// Failure semantics: any worker failure (panic, injected fault,
+/// cancellation, deadline, budget) poisons the query, the remaining morsels
+/// drain, and the *first* recorded failure is returned — with all partial
+/// sink state discarded. The cache side effect is finalized **only** when
+/// the whole run succeeded, so a failed or cancelled query never registers
+/// a half-built cache.
 fn execute_pipeline(
     pipeline: &PreparedPipeline,
     sink: &SinkSpec,
     threads: usize,
+    ctx: &QueryContext,
     metrics: &mut ExecutionMetrics,
 ) -> Result<SinkResult> {
     let morsel_count = pipeline.scan.row_count.div_ceil(MORSEL_SIZE as u64);
@@ -1228,27 +1384,43 @@ fn execute_pipeline(
     let next_morsel = AtomicU64::new(0);
     let mut partials: Vec<SinkState> = Vec::with_capacity(threads);
     if threads == 1 {
-        let (state, worker_metrics) = worker_loop(pipeline, sink, &next_morsel, morsel_count);
+        let (state, worker_metrics) = worker_loop(pipeline, sink, &next_morsel, morsel_count, ctx);
         metrics.merge_counters(&worker_metrics);
-        partials.push(state);
+        partials.extend(state);
     } else {
         let results = std::thread::scope(|scope| {
             let handles: Vec<_> = (0..threads)
-                .map(|_| scope.spawn(|| worker_loop(pipeline, sink, &next_morsel, morsel_count)))
+                .map(|_| {
+                    scope.spawn(|| worker_loop(pipeline, sink, &next_morsel, morsel_count, ctx))
+                })
                 .collect();
             handles
                 .into_iter()
-                .map(|handle| handle.join().expect("pipeline worker panicked"))
+                .map(|handle| match handle.join() {
+                    Ok(result) => result,
+                    // Workers run morsels under catch_unwind, so this only
+                    // fires for a panic outside the morsel path. Contain it
+                    // the same way instead of unwinding through the scope.
+                    Err(payload) => {
+                        ctx.fail(panic_error(payload, "worker wind-down"));
+                        (None, ExecutionMetrics::new())
+                    }
+                })
                 .collect::<Vec<_>>()
         });
         for (state, worker_metrics) in results {
             metrics.merge_counters(&worker_metrics);
-            partials.push(state);
+            partials.extend(state);
         }
     }
 
+    if ctx.poisoned() {
+        return Err(take_failure(ctx));
+    }
+
     // Left-outer tails: emit unmatched build rows padded with nulls and run
-    // them through the remaining stages into one extra partial.
+    // them through the remaining stages into one extra partial. Runs on the
+    // calling thread, with the same panic containment as the workers.
     for (idx, stage) in pipeline.stages.iter().enumerate() {
         if let Stage::Probe {
             table,
@@ -1273,22 +1445,56 @@ fn execute_pipeline(
                 let mut state = sink.new_state();
                 let mut scratch = kernels::Scratch::with_mode(pipeline.mode);
                 // Tag tail rows past every real morsel so they sort last.
-                process_stages(
-                    &pipeline.stages[idx + 1..],
-                    &mut tail,
-                    &mut spare,
-                    sink,
-                    &mut state,
-                    &mut scratch,
-                    morsel_count,
-                    metrics,
-                );
+                let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
+                    process_stages(
+                        &pipeline.stages[idx + 1..],
+                        &mut tail,
+                        &mut spare,
+                        sink,
+                        &mut state,
+                        &mut scratch,
+                        morsel_count,
+                        metrics,
+                    );
+                }));
+                if let Err(payload) = outcome {
+                    ctx.fail(panic_error(payload, "left-outer tail"));
+                    return Err(take_failure(ctx));
+                }
                 partials.push(state);
             }
         }
     }
 
-    // Finalize the cache side effect once the scan has fully drained.
+    // Merge the worker partials, containing panics (and honoring the
+    // `merge.partial` chaos site) the same way the morsel path does.
+    let merged = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
+        || -> std::result::Result<SinkResult, EngineError> {
+            if proteus_plugins::fault::armed() {
+                if let Err(detail) = proteus_plugins::fault::check("merge.partial") {
+                    return Err(EngineError::Internal {
+                        site: "merge.partial".to_string(),
+                        detail,
+                    });
+                }
+            }
+            Ok(sink.merge(partials))
+        },
+    ));
+    let merged = match merged {
+        Ok(Ok(result)) => result,
+        Ok(Err(err)) => {
+            ctx.fail(err);
+            return Err(take_failure(ctx));
+        }
+        Err(payload) => {
+            ctx.fail(panic_error(payload, "partial merge"));
+            return Err(take_failure(ctx));
+        }
+    };
+
+    // Finalize the cache side effect only now that the whole run succeeded:
+    // a failed query drops its half-built cache instead of registering it.
     if let Some(cache) = &pipeline.scan.cache {
         let builder = cache
             .builder
@@ -1300,7 +1506,16 @@ fn execute_pipeline(
         }
     }
 
-    Ok(sink.merge(partials))
+    Ok(merged)
+}
+
+/// Pulls the recorded failure out of a poisoned context. The fallback arm
+/// covers the (unreachable in practice) poisoned-without-failure state.
+fn take_failure(ctx: &QueryContext) -> EngineError {
+    ctx.take_failure().unwrap_or(EngineError::Internal {
+        site: "query context".to_string(),
+        detail: "query poisoned without a recorded failure".to_string(),
+    })
 }
 
 // ---------------------------------------------------------------------------
@@ -1316,9 +1531,10 @@ pub(crate) fn run_reduce(
     kernel: Option<SinkKernel>,
     threads: usize,
     mode: kernels::NumericMode,
+    ctx: &QueryContext,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Accumulator>> {
-    let mut pipeline = prepare(producer, threads, mode, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
     insert_hydration(&mut pipeline, false);
     match execute_pipeline(
         &pipeline,
@@ -1328,6 +1544,7 @@ pub(crate) fn run_reduce(
             kernel,
         },
         threads,
+        ctx,
         metrics,
     )? {
         SinkResult::Accumulators(accumulators) => Ok(accumulators),
@@ -1346,9 +1563,10 @@ pub(crate) fn run_nest(
     kernel: Option<SinkKernel>,
     threads: usize,
     mode: kernels::NumericMode,
+    ctx: &QueryContext,
     metrics: &mut ExecutionMetrics,
 ) -> Result<RadixGroupTable> {
-    let mut pipeline = prepare(producer, threads, mode, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
     insert_hydration(&mut pipeline, false);
     let spec = SinkSpec::Nest {
         keys,
@@ -1357,7 +1575,7 @@ pub(crate) fn run_nest(
         predicate,
         kernel,
     };
-    match execute_pipeline(&pipeline, &spec, threads, metrics)? {
+    match execute_pipeline(&pipeline, &spec, threads, ctx, metrics)? {
         SinkResult::Groups(table) => Ok(table),
         _ => unreachable!(),
     }
@@ -1368,11 +1586,12 @@ pub(crate) fn run_collect(
     producer: Producer,
     threads: usize,
     mode: kernels::NumericMode,
+    ctx: &QueryContext,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Binding>> {
-    let mut pipeline = prepare(producer, threads, mode, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
     insert_hydration(&mut pipeline, false);
-    match execute_pipeline(&pipeline, &SinkSpec::Collect, threads, metrics)? {
+    match execute_pipeline(&pipeline, &SinkSpec::Collect, threads, ctx, metrics)? {
         SinkResult::Rows(rows) => Ok(rows),
         _ => unreachable!(),
     }
@@ -1389,16 +1608,17 @@ fn run_entries(
     live_slots: Vec<usize>,
     threads: usize,
     mode: kernels::NumericMode,
+    ctx: &QueryContext,
     metrics: &mut ExecutionMetrics,
 ) -> Result<BuildStore> {
-    let mut pipeline = prepare(producer, threads, mode, metrics)?;
+    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
     insert_hydration(&mut pipeline, key_slots.is_some());
     let spec = SinkSpec::Entries {
         keys,
         key_slots,
         live_slots,
     };
-    match execute_pipeline(&pipeline, &spec, threads, metrics)? {
+    match execute_pipeline(&pipeline, &spec, threads, ctx, metrics)? {
         SinkResult::Entries(store) => Ok(store),
         _ => unreachable!(),
     }

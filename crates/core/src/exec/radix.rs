@@ -448,7 +448,10 @@ impl RadixHashTable {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("radix partition worker panicked"))
+                // Propagate a worker panic with its original payload (the
+                // pipeline layer contains it) instead of aborting with a
+                // second panic here.
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
 
@@ -491,7 +494,7 @@ impl RadixHashTable {
                 .collect();
             handles
                 .into_iter()
-                .map(|h| h.join().expect("radix cluster worker panicked"))
+                .map(|h| h.join().unwrap_or_else(|p| std::panic::resume_unwind(p)))
                 .collect()
         });
 
@@ -647,6 +650,9 @@ fn collection_len(acc: &Accumulator) -> usize {
 /// on both sides because each morsel is folded by exactly one worker).
 /// `Set` dedups with [`Value::value_eq`] in merged order, keeping the
 /// earliest-tagged representative — exactly what serial ingest keeps.
+// Invariant: each `next().expect` follows a successful `peek()` on the same
+// iterator, so the element is always present.
+#[allow(clippy::expect_used)]
 fn merge_tagged(
     monoid: Monoid,
     ours: &mut Vec<Value>,
@@ -702,6 +708,9 @@ impl RadixGroupTable {
 
     /// Folds one input: finds (or creates) the group of `key` and merges the
     /// per-monoid values. (Serial convenience entry — morsel tag 0.)
+    // Invariant: `merge_with` invokes its fold callback exactly once, so the
+    // `values.take()` always yields the staged input.
+    #[allow(clippy::expect_used)]
     pub fn merge(&mut self, key: Vec<Value>, values: Vec<Value>) {
         // Hash the key components in place — no cloned Value::List per entry.
         let hash = hash_key_components(&key);
@@ -790,6 +799,10 @@ impl RadixGroupTable {
     /// accumulator states are combined under the monoid's associative ⊕;
     /// collection accumulators merge element-wise in morsel-tag order
     /// (`merge_tagged`), so the result is identical to a serial ingest.
+    // Invariant: every group entry carries exactly one tag list per
+    // collection spec (enforced at insertion), so the `next().expect` in the
+    // spec loop always yields.
+    #[allow(clippy::expect_used)]
     pub fn absorb(&mut self, other: RadixGroupTable) {
         debug_assert_eq!(self.monoids, other.monoids);
         for (pid, partition) in other.partitions.into_iter().enumerate() {

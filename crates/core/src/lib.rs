@@ -24,10 +24,16 @@ pub mod cache_builder;
 pub mod codegen;
 pub mod engine;
 pub mod error;
+// The executor hot path must not abort on bad input: `unwrap`/`expect` are
+// denied wholesale (outside tests); the few provably-safe sites carry
+// targeted `#[allow]`s with their invariant spelled out.
+#[cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 pub mod exec;
 
 pub use codegen::{CompiledQuery, Compiler};
 pub use engine::{EngineConfig, QueryEngine, QueryResult};
 pub use error::{EngineError, Result};
+pub use exec::context::{CancellationToken, MemoryBudget, QueryContext};
 pub use exec::metrics::ExecutionMetrics;
 pub use exec::NumericMode;
+pub use proteus_plugins::BadRowPolicy;

@@ -26,6 +26,27 @@ use crate::stats::{CostProfile, DatasetStats};
 /// Identifier of one data object ("tuple") within a dataset.
 pub type Oid = u64;
 
+/// How the textual plug-ins (CSV/JSON) treat rows that fail to parse —
+/// garbled lines, truncated objects, text that is not valid for the
+/// field's declared type.
+///
+/// The policy is applied at registration time, when the plug-ins build
+/// their structural indexes (so query hot paths never re-validate):
+/// `Fail` rejects the dataset with a row-numbered error, `Skip` removes
+/// the offending rows from the scan, `Null` keeps them with every typed
+/// field read as `Value::Null`. Skipped/nulled rows are counted and
+/// surface as `ExecutionMetrics::bad_rows` on queries over the dataset.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Default)]
+pub enum BadRowPolicy {
+    /// Reject the dataset at registration with a row-numbered error.
+    #[default]
+    Fail,
+    /// Drop bad rows from the scan entirely.
+    Skip,
+    /// Keep bad rows; their typed fields read as null.
+    Null,
+}
+
 /// A specialized accessor for one field of a dataset: given an OID it
 /// produces the field's value with no schema lookups or type dispatch on the
 /// hot path. The closure captured inside is built once per query by the
@@ -577,6 +598,10 @@ pub struct ScanAccessors {
     /// Human-readable description of the access path the plug-in chose
     /// (shows up in the emitted pseudo-IR, e.g. `"csv(structural-index N=8)"`).
     pub access_path: String,
+    /// Rows the plug-in skipped or nulled at registration under a lenient
+    /// [`BadRowPolicy`]; the executor folds this into
+    /// `ExecutionMetrics::bad_rows` for queries over the dataset.
+    pub bad_rows: u64,
 }
 
 impl ScanAccessors {
@@ -606,7 +631,15 @@ impl ScanAccessors {
             batch_fields,
             typed_fields,
             access_path: access_path.into(),
+            bad_rows: 0,
         }
+    }
+
+    /// Records the dataset's registration-time bad-row count on these
+    /// accessors (builder style, used by the plug-ins' `generate()`).
+    pub fn with_bad_rows(mut self, bad_rows: u64) -> ScanAccessors {
+        self.bad_rows = bad_rows;
+        self
     }
 
     /// Looks up the accessor generated for a field.

@@ -144,6 +144,10 @@ impl InputPlugin for ColumnPlugin {
     }
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
+        crate::fault::check("binary.decode").map_err(|detail| PluginError::Malformed {
+            dataset: self.inner.dataset.clone(),
+            detail,
+        })?;
         let mut accessors = Vec::with_capacity(fields.len());
         let mut batch_fields = Vec::with_capacity(fields.len());
         let mut typed_fields = Vec::with_capacity(fields.len());
@@ -193,13 +197,17 @@ impl InputPlugin for ColumnPlugin {
             };
             accessors.push((field.clone(), accessor));
         }
-        Ok(ScanAccessors {
-            row_count: self.len(),
-            fields: accessors,
-            batch_fields,
-            typed_fields,
-            access_path: "binary-columns(direct positional reads)".into(),
-        })
+        Ok(crate::fault::instrument_scan(
+            ScanAccessors {
+                row_count: self.len(),
+                fields: accessors,
+                batch_fields,
+                typed_fields,
+                access_path: "binary-columns(direct positional reads)".into(),
+                bad_rows: 0,
+            },
+            "binary.decode",
+        ))
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
@@ -351,6 +359,10 @@ impl InputPlugin for RowPlugin {
     }
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
+        crate::fault::check("binary.decode").map_err(|detail| PluginError::Malformed {
+            dataset: self.inner.dataset.clone(),
+            detail,
+        })?;
         let mut accessors = Vec::with_capacity(fields.len());
         for field in fields {
             let field_idx = self.field_index(field)?;
@@ -359,7 +371,10 @@ impl InputPlugin for RowPlugin {
                 .reader
                 .schema()
                 .field_at(field_idx)
-                .unwrap()
+                .ok_or_else(|| PluginError::UnknownField {
+                    dataset: self.inner.dataset.clone(),
+                    field: field.clone(),
+                })?
                 .data_type
                 .clone();
             let plugin = self.clone();
@@ -384,10 +399,13 @@ impl InputPlugin for RowPlugin {
             };
             accessors.push((field.clone(), accessor));
         }
-        Ok(ScanAccessors::from_accessors(
-            self.len(),
-            accessors,
-            "binary-rows(fixed-stride positions)",
+        Ok(crate::fault::instrument_scan(
+            ScanAccessors::from_accessors(
+                self.len(),
+                accessors,
+                "binary-rows(fixed-stride positions)",
+            ),
+            "binary.decode",
         ))
     }
 

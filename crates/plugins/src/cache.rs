@@ -162,6 +162,7 @@ impl InputPlugin for CachePlugin {
             batch_fields,
             typed_fields,
             access_path: format!("cache({})", self.inner.entry.name),
+            bad_rows: 0,
         })
     }
 

@@ -18,7 +18,7 @@ use bytes::Bytes;
 use proteus_algebra::{DataType, Schema, Value};
 use proteus_storage::{MemoryManager, SourceFormat};
 
-use crate::api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
+use crate::api::{BadRowPolicy, FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
 use crate::error::{PluginError, Result};
 use crate::stats::{CostProfile, DatasetStats, StatsCollector};
 use crate::zonemap::{derive_zone_maps, ZoneMap};
@@ -163,6 +163,30 @@ impl CsvStructuralIndex {
         }
     }
 
+    /// Drops the rows flagged in `bad` (same length as `row_count()`) from
+    /// the index: the `Skip` bad-row policy. The deterministic fixed layout,
+    /// when present, still holds for the surviving rows (they all matched
+    /// the first row's layout), so it is kept as-is.
+    fn retain_rows(&mut self, bad: &[bool]) {
+        let keep = |i: &usize| !bad[*i];
+        self.row_offsets = (0..self.row_offsets.len())
+            .filter(keep)
+            .map(|i| self.row_offsets[i])
+            .collect();
+        self.row_lengths = (0..self.row_lengths.len())
+            .filter(keep)
+            .map(|i| self.row_lengths[i])
+            .collect();
+        let per_row = self.anchors_per_row.max(1);
+        self.anchor_offsets = self
+            .anchor_offsets
+            .chunks(per_row)
+            .enumerate()
+            .filter(|(i, _)| !bad.get(*i).copied().unwrap_or(false))
+            .flat_map(|(_, chunk)| chunk.iter().copied())
+            .collect();
+    }
+
     /// Byte range `[start, end)` of field `field_idx` of row `row_idx`.
     pub fn locate_field(
         &self,
@@ -222,6 +246,8 @@ struct CsvInner {
     options: CsvOptions,
     index: CsvStructuralIndex,
     stats: DatasetStats,
+    /// Rows dropped (`Skip`) or nulled (`Null`) at registration.
+    bad_rows: u64,
     /// Lazily derived per-morsel zone maps (one extra parse pass per column,
     /// memoized for the plug-in's lifetime).
     zone_maps: std::sync::Mutex<std::collections::HashMap<String, Arc<ZoneMap>>>,
@@ -243,19 +269,48 @@ impl CsvPlugin {
         options: CsvOptions,
         memory: &MemoryManager,
     ) -> Result<CsvPlugin> {
-        let data = memory.map_file(path)?;
-        Self::from_bytes(dataset, data, schema, options)
+        Self::open_with_policy(dataset, path, schema, options, memory, BadRowPolicy::Null)
     }
 
-    /// Builds a plug-in over an in-memory CSV buffer.
+    /// [`CsvPlugin::open`] with an explicit bad-row policy.
+    pub fn open_with_policy(
+        dataset: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        schema: Schema,
+        options: CsvOptions,
+        memory: &MemoryManager,
+        policy: BadRowPolicy,
+    ) -> Result<CsvPlugin> {
+        let data = memory.map_file(path)?;
+        Self::from_bytes_with_policy(dataset, data, schema, options, policy)
+    }
+
+    /// Builds a plug-in over an in-memory CSV buffer. Rows that fail to
+    /// parse keep their historical lenient semantics (typed misses read as
+    /// null, i.e. [`BadRowPolicy::Null`]); use
+    /// [`CsvPlugin::from_bytes_with_policy`] to reject or drop them instead.
     pub fn from_bytes(
         dataset: impl Into<String>,
         data: Bytes,
         schema: Schema,
         options: CsvOptions,
     ) -> Result<CsvPlugin> {
+        Self::from_bytes_with_policy(dataset, data, schema, options, BadRowPolicy::Null)
+    }
+
+    /// [`CsvPlugin::from_bytes`] with an explicit bad-row policy, applied
+    /// during the registration-time index/validation pass (§5.2's "cold
+    /// access" work — query hot paths never re-validate).
+    pub fn from_bytes_with_policy(
+        dataset: impl Into<String>,
+        data: Bytes,
+        schema: Schema,
+        options: CsvOptions,
+        policy: BadRowPolicy,
+    ) -> Result<CsvPlugin> {
         let dataset = dataset.into();
-        let index = CsvStructuralIndex::build(&data, &options);
+        let mut index = CsvStructuralIndex::build(&data, &options);
+        let bad_rows = validate_rows(&dataset, &data, &schema, &options, &mut index, policy)?;
         let stats = collect_stats(&data, &schema, &options, &index);
         Ok(CsvPlugin {
             inner: Arc::new(CsvInner {
@@ -265,9 +320,16 @@ impl CsvPlugin {
                 options,
                 index,
                 stats,
+                bad_rows,
                 zone_maps: Default::default(),
             }),
         })
+    }
+
+    /// Rows skipped or nulled at registration under a lenient
+    /// [`BadRowPolicy`].
+    pub fn bad_rows(&self) -> u64 {
+        self.inner.bad_rows
     }
 
     /// The structural index (exposed for the index-size experiments).
@@ -326,6 +388,78 @@ fn parse_typed(bytes: &[u8], data_type: &DataType) -> Value {
     }
 }
 
+/// The registration-time validation pass behind [`BadRowPolicy`]: finds
+/// rows whose non-empty typed fields cannot parse (or that are short a
+/// field / not valid UTF-8). `Fail` rejects the dataset with the 1-based
+/// file line number of the first defect; `Skip` drops the rows from the
+/// structural index; `Null` keeps them (typed misses already read as null
+/// on the access paths). Returns the number of bad rows seen.
+fn validate_rows(
+    dataset: &str,
+    data: &[u8],
+    schema: &Schema,
+    options: &CsvOptions,
+    index: &mut CsvStructuralIndex,
+    policy: BadRowPolicy,
+) -> Result<u64> {
+    let mut bad = vec![false; index.row_count()];
+    let mut bad_count = 0u64;
+    for (row, flag) in bad.iter_mut().enumerate() {
+        if let Some(defect) = row_defect(data, schema, options, index, row) {
+            if policy == BadRowPolicy::Fail {
+                let line = row + 1 + usize::from(options.has_header);
+                return Err(PluginError::Malformed {
+                    dataset: dataset.to_string(),
+                    detail: format!("row {line}: {defect}"),
+                });
+            }
+            *flag = true;
+            bad_count += 1;
+        }
+    }
+    if policy == BadRowPolicy::Skip && bad_count > 0 {
+        index.retain_rows(&bad);
+    }
+    Ok(bad_count)
+}
+
+/// The first defect of a row, if any. Empty fields are *not* defects —
+/// they are the format's missing-value convention and read as null under
+/// every policy.
+fn row_defect(
+    data: &[u8],
+    schema: &Schema,
+    options: &CsvOptions,
+    index: &CsvStructuralIndex,
+    row: usize,
+) -> Option<String> {
+    for (idx, field) in schema.fields().iter().enumerate() {
+        let Some((start, end)) = index.locate_field(data, options.delimiter, row, idx) else {
+            return Some(format!("field `{}` is missing", field.name));
+        };
+        let Ok(text) = std::str::from_utf8(&data[start..end]) else {
+            return Some(format!("field `{}` is not valid UTF-8", field.name));
+        };
+        let text = text.trim();
+        if text.is_empty() {
+            continue;
+        }
+        let parses = match field.data_type {
+            DataType::Int | DataType::Date => text.parse::<i64>().is_ok(),
+            DataType::Float => text.parse::<f64>().is_ok(),
+            DataType::Bool => matches!(text, "true" | "1" | "t" | "false" | "0" | "f"),
+            _ => true,
+        };
+        if !parses {
+            return Some(format!(
+                "field `{}`: cannot parse {:?} as {:?}",
+                field.name, text, field.data_type
+            ));
+        }
+    }
+    None
+}
+
 fn collect_stats(
     data: &[u8],
     schema: &Schema,
@@ -376,11 +510,24 @@ impl InputPlugin for CsvPlugin {
     }
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
+        crate::fault::check("csv.decode").map_err(|detail| PluginError::Malformed {
+            dataset: self.inner.dataset.clone(),
+            detail,
+        })?;
         let mut accessors = Vec::with_capacity(fields.len());
         let mut typed_fields = Vec::with_capacity(fields.len());
         for field in fields {
             let field_idx = self.field_index(field)?;
-            let data_type = self.inner.schema.field(field).unwrap().data_type.clone();
+            let data_type = self
+                .inner
+                .schema
+                .field(field)
+                .ok_or_else(|| PluginError::UnknownField {
+                    dataset: self.inner.dataset.clone(),
+                    field: field.clone(),
+                })?
+                .data_type
+                .clone();
             // Vectorized path for Bool fields: they go through the Generic
             // accessor below (whose misses are Null), so their typed fill
             // shares `parse_typed` directly — nullable bool columns, every
@@ -451,14 +598,24 @@ impl InputPlugin for CsvPlugin {
         // per value, but accessor dispatch drops to one call per morsel.
         // `from_accessors` derives the Int/Float/String typed fills; the
         // hand-built nullable Bool fills are appended on top.
-        let mut scan = ScanAccessors::from_accessors(self.len(), accessors, access_path);
+        let mut scan = ScanAccessors::from_accessors(self.len(), accessors, access_path)
+            .with_bad_rows(self.inner.bad_rows);
         scan.typed_fields.extend(typed_fields);
-        Ok(scan)
+        Ok(crate::fault::instrument_scan(scan, "csv.decode"))
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
         let idx = self.field_index(field)?;
-        let data_type = self.inner.schema.field_at(idx).unwrap().data_type.clone();
+        let data_type = self
+            .inner
+            .schema
+            .field_at(idx)
+            .ok_or_else(|| PluginError::UnknownField {
+                dataset: self.inner.dataset.clone(),
+                field: field.to_string(),
+            })?
+            .data_type
+            .clone();
         let bytes = self.raw_field(oid, idx)?;
         Ok(self.parse_field(bytes, &data_type))
     }
@@ -499,7 +656,7 @@ impl InputPlugin for CsvPlugin {
         self.inner
             .zone_maps
             .lock()
-            .expect("zone map cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(n, zm)| (n.clone(), zm.clone()))
             .collect()

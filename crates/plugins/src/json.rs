@@ -27,7 +27,7 @@ use bytes::Bytes;
 use proteus_algebra::{DataType, Field, Record, Schema, Value};
 use proteus_storage::{MemoryManager, SourceFormat};
 
-use crate::api::{FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
+use crate::api::{BadRowPolicy, FieldAccessor, InputPlugin, Oid, ScanAccessors, UnnestCursor};
 use crate::error::{PluginError, Result};
 use crate::stats::{CostProfile, DatasetStats, StatsCollector};
 use crate::zonemap::{derive_zone_maps, ZoneMap};
@@ -506,9 +506,25 @@ fn index_object_fields(
 }
 
 /// Builds the dataset-wide structural index, detecting NDJSON vs top-level
-/// array and the deterministic-layout optimization.
+/// array and the deterministic-layout optimization. Malformed objects are
+/// rejected ([`BadRowPolicy::Fail`]).
 pub fn build_index(data: &[u8]) -> Result<JsonStructuralIndex> {
+    build_index_with_policy(data, BadRowPolicy::Fail).map(|(index, _)| index)
+}
+
+/// [`build_index`] with an explicit bad-row policy. Under `Skip`/`Null`
+/// a malformed object is abandoned and indexing resumes after the next
+/// newline (NDJSON's natural record boundary — in array form this may
+/// also drop trailing objects that share the damaged line): `Skip` drops
+/// the object entirely, `Null` keeps an empty per-object index so every
+/// field of that OID reads as null. Returns the index and the number of
+/// bad objects.
+pub fn build_index_with_policy(
+    data: &[u8],
+    policy: BadRowPolicy,
+) -> Result<(JsonStructuralIndex, u64)> {
     let mut objects = Vec::new();
+    let mut bad_rows = 0u64;
     let mut pos = 0usize;
     // Skip leading whitespace to detect the container form.
     while pos < data.len() && data[pos].is_ascii_whitespace() {
@@ -525,9 +541,40 @@ pub fn build_index(data: &[u8]) -> Result<JsonStructuralIndex> {
         if pos >= data.len() || data[pos] == b']' {
             break;
         }
-        let (object, next) = index_object(data, pos)?;
-        objects.push(object);
-        pos = next;
+        match index_object(data, pos) {
+            Ok((object, next)) => {
+                objects.push(object);
+                pos = next;
+            }
+            Err(e) => match policy {
+                BadRowPolicy::Fail => {
+                    let ordinal = objects.len() + 1;
+                    return Err(match e {
+                        PluginError::Malformed { dataset, detail } => PluginError::Malformed {
+                            dataset,
+                            detail: format!("object {ordinal}: {detail}"),
+                        },
+                        other => other,
+                    });
+                }
+                BadRowPolicy::Skip | BadRowPolicy::Null => {
+                    bad_rows += 1;
+                    let resume = data[pos..]
+                        .iter()
+                        .position(|b| *b == b'\n')
+                        .map(|p| pos + p + 1)
+                        .unwrap_or(data.len());
+                    if policy == BadRowPolicy::Null {
+                        objects.push(ObjectIndex {
+                            start: pos as u64,
+                            end: resume as u64,
+                            ..ObjectIndex::default()
+                        });
+                    }
+                    pos = resume;
+                }
+            },
+        }
     }
 
     // Determinism check: identical path sequences across all objects.
@@ -559,11 +606,14 @@ pub fn build_index(data: &[u8]) -> Result<JsonStructuralIndex> {
         None
     };
 
-    Ok(JsonStructuralIndex {
-        objects,
-        shared_layout,
-        first_object_paths,
-    })
+    Ok((
+        JsonStructuralIndex {
+            objects,
+            shared_layout,
+            first_object_paths,
+        },
+        bad_rows,
+    ))
 }
 
 // ---------------------------------------------------------------------------
@@ -576,6 +626,8 @@ struct JsonInner {
     schema: Schema,
     index: JsonStructuralIndex,
     stats: DatasetStats,
+    /// Objects dropped (`Skip`) or nulled (`Null`) at registration.
+    bad_rows: u64,
     /// Lazily derived per-morsel zone maps (one extra parse pass per column,
     /// memoized for the plug-in's lifetime).
     zone_maps: std::sync::Mutex<HashMap<String, Arc<ZoneMap>>>,
@@ -595,14 +647,37 @@ impl JsonPlugin {
         path: impl AsRef<std::path::Path>,
         memory: &MemoryManager,
     ) -> Result<JsonPlugin> {
-        let data = memory.map_file(path)?;
-        Self::from_bytes(dataset, data)
+        Self::open_with_policy(dataset, path, memory, BadRowPolicy::Fail)
     }
 
-    /// Builds a plug-in over an in-memory JSON buffer.
+    /// [`JsonPlugin::open`] with an explicit bad-row policy.
+    pub fn open_with_policy(
+        dataset: impl Into<String>,
+        path: impl AsRef<std::path::Path>,
+        memory: &MemoryManager,
+        policy: BadRowPolicy,
+    ) -> Result<JsonPlugin> {
+        let data = memory.map_file(path)?;
+        Self::from_bytes_with_policy(dataset, data, policy)
+    }
+
+    /// Builds a plug-in over an in-memory JSON buffer. Malformed objects
+    /// reject the dataset (the historical behavior, [`BadRowPolicy::Fail`]);
+    /// use [`JsonPlugin::from_bytes_with_policy`] to skip or null them.
     pub fn from_bytes(dataset: impl Into<String>, data: Bytes) -> Result<JsonPlugin> {
+        Self::from_bytes_with_policy(dataset, data, BadRowPolicy::Fail)
+    }
+
+    /// [`JsonPlugin::from_bytes`] with an explicit bad-row policy, applied
+    /// while the structural index is built (the "first/cold access" —
+    /// query hot paths never re-validate).
+    pub fn from_bytes_with_policy(
+        dataset: impl Into<String>,
+        data: Bytes,
+        policy: BadRowPolicy,
+    ) -> Result<JsonPlugin> {
         let dataset = dataset.into();
-        let index = build_index(&data).map_err(|e| match e {
+        let (index, bad_rows) = build_index_with_policy(&data, policy).map_err(|e| match e {
             PluginError::Malformed { detail, .. } => PluginError::Malformed {
                 dataset: dataset.clone(),
                 detail,
@@ -618,9 +693,16 @@ impl JsonPlugin {
                 schema,
                 index,
                 stats,
+                bad_rows,
                 zone_maps: Default::default(),
             }),
         })
+    }
+
+    /// Objects skipped or nulled at registration under a lenient
+    /// [`BadRowPolicy`].
+    pub fn bad_rows(&self) -> u64 {
+        self.inner.bad_rows
     }
 
     /// The structural index (for the index-size and determinism experiments).
@@ -695,10 +777,21 @@ fn token_data_type(data: &[u8], entry: &TokenEntry) -> DataType {
     }
 }
 
-/// Infers a top-level schema from the first object's tokens.
+/// Infers a top-level schema from the first object's tokens (skipping the
+/// empty sentinels a `Null` bad-row policy leaves behind, so a damaged
+/// leading object does not erase the schema).
 fn infer_schema(data: &[u8], index: &JsonStructuralIndex) -> Schema {
     let mut fields = Vec::new();
-    if let Some(first) = index.objects.first() {
+    let first = if index.shared_layout.is_some() {
+        index.objects.first()
+    } else {
+        index
+            .objects
+            .iter()
+            .find(|o| !o.level0.is_empty())
+            .or_else(|| index.objects.first())
+    };
+    if let Some(first) = first {
         let paths: Vec<(String, u32)> = if let Some(shared) = &index.shared_layout {
             let mut v: Vec<(String, u32)> = shared.iter().map(|(p, s)| (p.clone(), *s)).collect();
             v.sort_by_key(|(_, slot)| *slot);
@@ -775,6 +868,10 @@ impl InputPlugin for JsonPlugin {
     }
 
     fn generate(&self, fields: &[String]) -> Result<ScanAccessors> {
+        crate::fault::check("json.decode").map_err(|detail| PluginError::Malformed {
+            dataset: self.inner.dataset.clone(),
+            detail,
+        })?;
         let mut accessors = Vec::with_capacity(fields.len());
         let mut typed_fields = Vec::new();
         for field in fields {
@@ -876,9 +973,10 @@ impl InputPlugin for JsonPlugin {
         // dispatch per (field, morsel). String fields get accessor-derived
         // typed fills; the hand-built nullable Int/Float fills are appended
         // on top; bool/nested fields stay on the closure path.
-        let mut scan = ScanAccessors::from_accessors(self.len(), accessors, access_path);
+        let mut scan = ScanAccessors::from_accessors(self.len(), accessors, access_path)
+            .with_bad_rows(self.inner.bad_rows);
         scan.typed_fields.extend(typed_fields);
-        Ok(scan)
+        Ok(crate::fault::instrument_scan(scan, "json.decode"))
     }
 
     fn read_value(&self, oid: Oid, field: &str) -> Result<Value> {
@@ -944,7 +1042,7 @@ impl InputPlugin for JsonPlugin {
         self.inner
             .zone_maps
             .lock()
-            .expect("zone map cache poisoned")
+            .unwrap_or_else(std::sync::PoisonError::into_inner)
             .iter()
             .map(|(n, zm)| (n.clone(), zm.clone()))
             .collect()

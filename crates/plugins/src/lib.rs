@@ -27,19 +27,24 @@
 //!   engine consults to skip or short-circuit whole morsels before any lanes
 //!   render.
 //! * [`registry`] — maps dataset names to plug-ins and auto-detects formats.
+//! * [`fault`] — the failpoint-style fault-injection harness the chaos
+//!   tests use to fire every failure path deterministically.
+
+#![cfg_attr(not(test), deny(clippy::unwrap_used, clippy::expect_used))]
 
 pub mod api;
 pub mod binary;
 pub mod cache;
 pub mod csv;
 pub mod error;
+pub mod fault;
 pub mod json;
 pub mod registry;
 pub mod stats;
 pub mod zonemap;
 
 pub use api::{
-    column_batch_fill, column_typed_fill, BatchFill, FieldAccessor, InputPlugin, Oid,
+    column_batch_fill, column_typed_fill, BadRowPolicy, BatchFill, FieldAccessor, InputPlugin, Oid,
     ScanAccessors, TypedColumn, TypedFill, TypedKind, UnnestCursor,
 };
 pub use error::{PluginError, Result};

@@ -52,6 +52,21 @@ impl PluginRegistry {
         Ok(())
     }
 
+    /// Registers a CSV file under an explicit bad-row policy.
+    pub fn register_csv_with_policy(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        schema: Schema,
+        options: CsvOptions,
+        memory: &MemoryManager,
+        policy: crate::api::BadRowPolicy,
+    ) -> Result<()> {
+        let plugin = CsvPlugin::open_with_policy(dataset, path, schema, options, memory, policy)?;
+        self.register(Arc::new(plugin));
+        Ok(())
+    }
+
     /// Registers a JSON file.
     pub fn register_json(
         &self,
@@ -60,6 +75,19 @@ impl PluginRegistry {
         memory: &MemoryManager,
     ) -> Result<()> {
         let plugin = JsonPlugin::open(dataset, path, memory)?;
+        self.register(Arc::new(plugin));
+        Ok(())
+    }
+
+    /// Registers a JSON file under an explicit bad-row policy.
+    pub fn register_json_with_policy(
+        &self,
+        dataset: impl Into<String>,
+        path: impl AsRef<Path>,
+        memory: &MemoryManager,
+        policy: crate::api::BadRowPolicy,
+    ) -> Result<()> {
+        let plugin = JsonPlugin::open_with_policy(dataset, path, memory, policy)?;
         self.register(Arc::new(plugin));
         Ok(())
     }

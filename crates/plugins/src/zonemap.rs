@@ -314,7 +314,9 @@ pub fn derive_zone_maps(
     let mut out = Vec::new();
     let mut missing = Vec::new();
     {
-        let cached = cache.lock().expect("zone map cache poisoned");
+        let cached = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for field in fields {
             match cached.get(field) {
                 Some(zm) => out.push((field.clone(), zm.clone())),
@@ -326,7 +328,9 @@ pub fn derive_zone_maps(
         return out;
     }
     if let Some(scan) = generate(&missing) {
-        let mut cached = cache.lock().expect("zone map cache poisoned");
+        let mut cached = cache
+            .lock()
+            .unwrap_or_else(std::sync::PoisonError::into_inner);
         for (name, kind, fill) in &scan.typed_fields {
             let zm = cached
                 .entry(name.clone())

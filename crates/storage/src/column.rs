@@ -208,7 +208,11 @@ impl ColumnData {
         match type_code {
             0 | 1 => {
                 if payload.len() < count * 8 {
-                    return Err(StorageError::Corrupt("truncated numeric payload".into()));
+                    return Err(StorageError::Corrupt(format!(
+                        "truncated numeric payload: need {} bytes at byte offset 13, have {}",
+                        count * 8,
+                        payload.len()
+                    )));
                 }
                 if type_code == 0 {
                     let mut v = Vec::with_capacity(count);
@@ -230,7 +234,11 @@ impl ColumnData {
             }
             2 => {
                 if payload.len() < count {
-                    return Err(StorageError::Corrupt("truncated bool payload".into()));
+                    return Err(StorageError::Corrupt(format!(
+                        "truncated bool payload: need {} bytes at byte offset 13, have {}",
+                        count,
+                        payload.len()
+                    )));
                 }
                 Ok(ColumnData::Bool(
                     payload[..count].iter().map(|b| *b != 0).collect(),
@@ -238,7 +246,11 @@ impl ColumnData {
             }
             3 => {
                 if payload.len() < count * 4 {
-                    return Err(StorageError::Corrupt("truncated string offsets".into()));
+                    return Err(StorageError::Corrupt(format!(
+                        "truncated string offsets: need {} bytes at byte offset 13, have {}",
+                        count * 4,
+                        payload.len()
+                    )));
                 }
                 let mut lengths = Vec::with_capacity(count);
                 for i in 0..count {
@@ -250,7 +262,12 @@ impl ColumnData {
                 let mut offset = count * 4;
                 for len in lengths {
                     if offset + len > payload.len() {
-                        return Err(StorageError::Corrupt("truncated string payload".into()));
+                        return Err(StorageError::Corrupt(format!(
+                            "truncated string payload: string of {} bytes at byte offset {} overruns column end {}",
+                            len,
+                            13 + offset,
+                            13 + payload.len()
+                        )));
                     }
                     let s = std::str::from_utf8(&payload[offset..offset + len])
                         .map_err(|_| {
