@@ -1,0 +1,233 @@
+//! Concurrent service bench: closed-loop clients over the TCP service plus
+//! the single-query scheduler regression guard.
+//!
+//! **Part 1 — A/B guard.** The same filter+aggregate query runs on two
+//! engines over the same in-memory columns: one on the shared worker-pool
+//! scheduler (the default), one on the legacy per-query `thread::scope`
+//! backend (`EngineConfig::with_shared_scheduler(false)`). Reps are
+//! interleaved per-rep and judged on best-of-reps; the arms must agree
+//! bit-exactly, and the shared path must stay within **2%** of the scoped
+//! baseline at the full 2M rows (a looser 10% noise bound below full size,
+//! so the CI smoke still asserts).
+//!
+//! **Part 2 — closed-loop service.** A `Server` over an
+//! admission-controlled engine; N clients each run a fixed number of
+//! queries back-to-back (closed loop). Overloaded replies honor the
+//! server's `retry_after_ms` and retry; a query's latency is
+//! submit-to-success, backoff included. Reports p50/p95/p99 tail latency
+//! and the shed rate (sheds / attempts).
+//!
+//! Emits `BENCH_concurrent_service.json` with the standard `host` block.
+//! Knobs: `PROTEUS_CONCURRENT_BENCH_ROWS` (default 2M),
+//! `PROTEUS_CONCURRENT_BENCH_REPS` (A/B reps, default 15),
+//! `PROTEUS_CONCURRENT_BENCH_CLIENTS` (default 8),
+//! `PROTEUS_CONCURRENT_BENCH_QUERIES` (per client, default 12).
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use proteus_algebra::{Expr, LogicalPlan, Monoid, ReduceSpec, Schema};
+use proteus_bench::harness::{checksum, checksums_agree, emit_bench_json, BenchRow};
+use proteus_core::{AdmissionConfig, EngineConfig, QueryEngine};
+use proteus_plugins::binary::ColumnPlugin;
+use proteus_service::{Client, ClientError, Server};
+use proteus_storage::ColumnData;
+
+const DEFAULT_ROWS: usize = 2_000_000;
+
+fn env_usize(name: &str, default: usize) -> usize {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn register(engine: &QueryEngine, rows: usize) {
+    let n = rows as i64;
+    let table = ColumnPlugin::from_pairs(
+        "cs_data",
+        vec![
+            ("k".to_string(), ColumnData::Int((0..n).collect())),
+            (
+                "v".to_string(),
+                ColumnData::Float((0..n).map(|i| (i % 97) as f64 * 0.5).collect()),
+            ),
+        ],
+    )
+    .expect("synthetic columns");
+    engine.register_plugin(Arc::new(table));
+}
+
+fn query_plan(rows: usize) -> LogicalPlan {
+    LogicalPlan::scan("cs_data", "t", Schema::empty())
+        .select(Expr::path("t.k").lt(Expr::int(rows as i64 / 2)))
+        .reduce(vec![
+            ReduceSpec::new(Monoid::Count, Expr::int(1), "cnt"),
+            ReduceSpec::new(Monoid::Sum, Expr::path("t.v"), "sum_v"),
+        ])
+}
+
+fn percentile(sorted_millis: &[f64], pct: f64) -> f64 {
+    if sorted_millis.is_empty() {
+        return 0.0;
+    }
+    let idx = ((pct / 100.0) * (sorted_millis.len() - 1) as f64).round() as usize;
+    sorted_millis[idx.min(sorted_millis.len() - 1)]
+}
+
+/// Part 1: shared-scheduler vs per-query-scope, interleaved best-of-reps.
+fn ab_guard(rows: usize, reps: usize, report: &mut Vec<BenchRow>) {
+    let shared = QueryEngine::new(EngineConfig::without_caching());
+    let scoped = QueryEngine::new(EngineConfig::without_caching().with_shared_scheduler(false));
+    register(&shared, rows);
+    register(&scoped, rows);
+    let plan = query_plan(rows);
+
+    let mut best = [f64::INFINITY; 2];
+    let mut checks = [0.0f64; 2];
+    for _ in 0..reps {
+        for (arm, engine) in [(0, &shared), (1, &scoped)] {
+            let start = Instant::now();
+            let result = engine.execute_plan(plan.clone()).expect("A/B query");
+            let millis = start.elapsed().as_secs_f64() * 1e3;
+            best[arm] = best[arm].min(millis);
+            checks[arm] = checksum(&result.rows);
+        }
+    }
+    assert!(
+        checksums_agree(checks[0], checks[1]),
+        "scheduler backends disagree: {} vs {}",
+        checks[0],
+        checks[1]
+    );
+
+    let overhead_pct = (best[0] / best[1] - 1.0) * 100.0;
+    println!(
+        "A/B: shared {:.2} ms vs scoped {:.2} ms ({overhead_pct:+.2}% overhead)",
+        best[0], best[1]
+    );
+    // The tight 2% budget arms at full size; smaller (CI smoke) sizes keep
+    // a 10% noise bound so the guard still trips on real regressions.
+    let budget = if rows >= DEFAULT_ROWS { 2.0 } else { 10.0 };
+    assert!(
+        overhead_pct <= budget,
+        "shared scheduler costs {overhead_pct:.2}% on a single query (> {budget}% budget)"
+    );
+
+    for (arm, label) in [(0, "scheduler-shared"), (1, "scheduler-scoped")] {
+        report.push(BenchRow {
+            engine: label.to_string(),
+            template: "single-query".to_string(),
+            selectivity_pct: 50,
+            millis: best[arm],
+            rows_per_sec: rows as f64 / (best[arm] / 1e3),
+        });
+    }
+}
+
+/// Part 2: closed-loop clients against the TCP service.
+fn closed_loop(rows: usize, clients: usize, queries: usize, report: &mut Vec<BenchRow>) {
+    let engine = QueryEngine::new(
+        EngineConfig::without_caching()
+            .with_admission(AdmissionConfig::new(2, 2).with_retry_after_ms(5)),
+    );
+    register(&engine, rows);
+    let engine = Arc::new(engine);
+    let server = Server::start(Arc::clone(&engine), "127.0.0.1:0").expect("bind service");
+    let addr = server.local_addr();
+    let sql = format!(
+        "SELECT COUNT(*), SUM(v) FROM cs_data WHERE k < {}",
+        rows / 2
+    );
+
+    let wall = Instant::now();
+    let per_client: Vec<(Vec<f64>, u64)> = std::thread::scope(|scope| {
+        let workers: Vec<_> = (0..clients)
+            .map(|_| {
+                let sql = sql.as_str();
+                scope.spawn(move || {
+                    let mut client = Client::connect(addr).expect("connect");
+                    let mut latencies = Vec::with_capacity(queries);
+                    let mut sheds = 0u64;
+                    for _ in 0..queries {
+                        // Closed loop: latency is submit-to-success, the
+                        // server-directed backoff sleeps included.
+                        let start = Instant::now();
+                        loop {
+                            match client.query(sql) {
+                                Ok(_) => break,
+                                Err(ClientError::Engine(err)) if err.kind == "overloaded" => {
+                                    sheds += 1;
+                                    std::thread::sleep(Duration::from_millis(
+                                        err.retry_after_ms.unwrap_or(5),
+                                    ));
+                                }
+                                Err(other) => panic!("closed-loop client: {other}"),
+                            }
+                        }
+                        latencies.push(start.elapsed().as_secs_f64() * 1e3);
+                    }
+                    (latencies, sheds)
+                })
+            })
+            .collect();
+        workers.into_iter().map(|w| w.join().unwrap()).collect()
+    });
+    let wall_secs = wall.elapsed().as_secs_f64();
+    server.shutdown(Duration::from_secs(10));
+
+    let mut latencies: Vec<f64> = per_client.iter().flat_map(|(l, _)| l.clone()).collect();
+    let sheds: u64 = per_client.iter().map(|(_, s)| s).sum();
+    latencies.sort_by(|a, b| a.total_cmp(b));
+    let completed = latencies.len() as u64;
+    let attempts = completed + sheds;
+    let shed_rate_pct = 100.0 * sheds as f64 / attempts.max(1) as f64;
+    let qps = completed as f64 / wall_secs.max(1e-9);
+
+    let p50 = percentile(&latencies, 50.0);
+    let p95 = percentile(&latencies, 95.0);
+    let p99 = percentile(&latencies, 99.0);
+    println!(
+        "closed loop: {clients} clients x {queries} queries, {completed} completed, \
+         {sheds} shed ({shed_rate_pct:.1}%), {qps:.1} q/s"
+    );
+    println!("latency: p50 {p50:.2} ms, p95 {p95:.2} ms, p99 {p99:.2} ms");
+
+    for (label, millis) in [("p50", p50), ("p95", p95), ("p99", p99)] {
+        report.push(BenchRow {
+            engine: "service-closed-loop".to_string(),
+            template: label.to_string(),
+            selectivity_pct: 50,
+            millis,
+            rows_per_sec: rows as f64 / (millis / 1e3).max(1e-9),
+        });
+    }
+    report.push(BenchRow {
+        engine: "service-closed-loop".to_string(),
+        // The millis column carries the shed percentage for this row — the
+        // report schema is fixed at four scalars.
+        template: "shed-rate-pct".to_string(),
+        selectivity_pct: 50,
+        millis: shed_rate_pct,
+        rows_per_sec: qps,
+    });
+}
+
+fn main() {
+    let rows = env_usize("PROTEUS_CONCURRENT_BENCH_ROWS", DEFAULT_ROWS);
+    let reps = env_usize("PROTEUS_CONCURRENT_BENCH_REPS", 15);
+    let clients = env_usize("PROTEUS_CONCURRENT_BENCH_CLIENTS", 8);
+    let queries = env_usize("PROTEUS_CONCURRENT_BENCH_QUERIES", 12);
+
+    println!("=== Concurrent service ({rows} rows, {reps} A/B reps, {clients} clients) ===");
+    let mut report = Vec::new();
+    ab_guard(rows, reps, &mut report);
+    closed_loop(rows, clients, queries, &mut report);
+
+    emit_bench_json(
+        "concurrent service",
+        rows,
+        "per-rep alternation (shared / scoped), then closed-loop clients",
+        &report,
+    );
+}

@@ -1075,7 +1075,10 @@ impl CompiledQuery {
     /// cache-building side effect run serially regardless, because cache
     /// entries require in-order OIDs.
     pub fn execute_with_parallelism(self, parallelism: usize) -> Result<QueryOutput> {
-        self.execute_with_context(parallelism, &crate::exec::QueryContext::disabled())
+        self.execute_with_context(
+            parallelism,
+            std::sync::Arc::new(crate::exec::QueryContext::disabled()),
+        )
     }
 
     /// Executes the generated pipeline under a query lifecycle context:
@@ -1084,14 +1087,41 @@ impl CompiledQuery {
     /// a failing query reports the *first* structured error. A timed-out
     /// query's [`crate::EngineError::DeadlineExceeded`] carries the metrics
     /// of the work that completed before the deadline fired.
+    ///
+    /// Workers come from a per-query `std::thread::scope` (the legacy
+    /// backend); [`CompiledQuery::execute_with_scheduler`] runs the same
+    /// pipeline on a shared worker pool instead.
     pub fn execute_with_context(
         self,
         parallelism: usize,
-        ctx: &crate::exec::QueryContext,
+        ctx: std::sync::Arc<crate::exec::QueryContext>,
+    ) -> Result<QueryOutput> {
+        self.execute_in_env(parallelism, ctx, None)
+    }
+
+    /// Executes the generated pipeline on a shared worker-pool
+    /// [`crate::exec::Scheduler`]: the calling thread drives every pipeline
+    /// run to completion while idle pool workers steal bounded morsel
+    /// slices. Admission is the *caller's* job (the engine admits once per
+    /// query before calling this) — this method only provisions workers.
+    pub fn execute_with_scheduler(
+        self,
+        parallelism: usize,
+        ctx: std::sync::Arc<crate::exec::QueryContext>,
+        scheduler: std::sync::Arc<crate::exec::Scheduler>,
+    ) -> Result<QueryOutput> {
+        self.execute_in_env(parallelism, ctx, Some(scheduler))
+    }
+
+    fn execute_in_env(
+        self,
+        parallelism: usize,
+        ctx: std::sync::Arc<crate::exec::QueryContext>,
+        scheduler: Option<std::sync::Arc<crate::exec::Scheduler>>,
     ) -> Result<QueryOutput> {
         let started = Instant::now();
         let compile_time = self.compile_time;
-        let mut result = self.dispatch(parallelism, ctx);
+        let mut result = self.dispatch(parallelism, ctx, scheduler);
         match &mut result {
             Ok(output) => {
                 output.metrics.compile_time = compile_time;
@@ -1108,9 +1138,18 @@ impl CompiledQuery {
 
     /// Sink dispatch: runs the pipeline into its sink shape. On failure the
     /// partial metrics are folded into errors that carry them.
-    fn dispatch(self, parallelism: usize, ctx: &crate::exec::QueryContext) -> Result<QueryOutput> {
-        let threads = resolve_parallelism(parallelism);
-        let mode = self.numeric_mode;
+    fn dispatch(
+        self,
+        parallelism: usize,
+        ctx: std::sync::Arc<crate::exec::QueryContext>,
+        scheduler: Option<std::sync::Arc<crate::exec::Scheduler>>,
+    ) -> Result<QueryOutput> {
+        let env = crate::exec::pipeline::ExecEnv {
+            threads: resolve_parallelism(parallelism),
+            mode: self.numeric_mode,
+            ctx,
+            scheduler,
+        };
         let mut metrics = ExecutionMetrics::new();
         let patch_partial = |err: crate::EngineError, metrics: ExecutionMetrics| match err {
             crate::EngineError::DeadlineExceeded { timeout_ms, .. } => {
@@ -1134,9 +1173,7 @@ impl CompiledQuery {
                     exec_specs,
                     predicate,
                     kernel,
-                    threads,
-                    mode,
-                    ctx,
+                    &env,
                     &mut metrics,
                 ) {
                     Ok(accumulators) => accumulators,
@@ -1165,9 +1202,7 @@ impl CompiledQuery {
                     value_exprs,
                     predicate,
                     kernel,
-                    threads,
-                    mode,
-                    ctx,
+                    &env,
                     &mut metrics,
                 ) {
                     Ok(table) => table,
@@ -1191,7 +1226,7 @@ impl CompiledQuery {
             }
             Sink::Collect => {
                 let slots: Vec<String> = self.layout.slots().to_vec();
-                let bindings = match run_collect(self.producer, threads, mode, ctx, &mut metrics) {
+                let bindings = match run_collect(self.producer, &env, &mut metrics) {
                     Ok(bindings) => bindings,
                     Err(err) => return Err(patch_partial(err, metrics)),
                 };

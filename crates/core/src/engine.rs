@@ -28,6 +28,7 @@ use crate::codegen::Compiler;
 use crate::error::Result;
 use crate::exec::context::{CancellationToken, QueryContext};
 use crate::exec::metrics::ExecutionMetrics;
+use crate::exec::scheduler::{AdmissionConfig, DrainReport, Scheduler, SchedulerConfig};
 use crate::exec::NumericMode;
 
 /// Engine configuration.
@@ -87,6 +88,19 @@ pub struct EngineConfig {
     /// lever of the `robustness_overhead` bench. Worker panic containment
     /// is *not* affected: it is always on.
     pub lifecycle: bool,
+    /// Run queries on the shared worker-pool scheduler (the default): the
+    /// submitting thread drives each query while persistent pool workers
+    /// steal morsel slices, so concurrent queries share one pool instead of
+    /// spawning one `std::thread::scope` each. `false` pins the engine to
+    /// the legacy per-query scope backend — the A/B baseline of the
+    /// `concurrent_service` bench's regression guard.
+    pub shared_scheduler: bool,
+    /// Admission policy for this engine's queries. `Some(cfg)` gives the
+    /// engine a *dedicated* scheduler running at most `cfg.max_concurrent`
+    /// queries with a bounded pending queue (arrivals beyond it are shed
+    /// with [`crate::EngineError::Overloaded`]). `None` (the default)
+    /// admits everything and shares the process-wide pool.
+    pub admission: Option<AdmissionConfig>,
 }
 
 impl Default for EngineConfig {
@@ -102,6 +116,8 @@ impl Default for EngineConfig {
             memory_budget: None,
             bad_row_policy: None,
             lifecycle: true,
+            shared_scheduler: true,
+            admission: None,
         }
     }
 }
@@ -175,6 +191,22 @@ impl EngineConfig {
         self.lifecycle = lifecycle;
         self
     }
+
+    /// Selects the worker-provisioning backend (builder style): `true` (the
+    /// default) = shared worker-pool scheduler, `false` = legacy per-query
+    /// `std::thread::scope`.
+    pub fn with_shared_scheduler(mut self, shared: bool) -> EngineConfig {
+        self.shared_scheduler = shared;
+        self
+    }
+
+    /// Gives the engine a dedicated scheduler with the admission policy
+    /// (builder style): bounded concurrency, bounded pending queue,
+    /// overload shedding.
+    pub fn with_admission(mut self, admission: AdmissionConfig) -> EngineConfig {
+        self.admission = Some(admission);
+        self
+    }
 }
 
 /// The result of one query.
@@ -225,6 +257,7 @@ pub struct QueryEngine {
     memory: MemoryManager,
     registry: PluginRegistry,
     caches: CacheStore,
+    scheduler: Arc<Scheduler>,
     workload_metrics: parking_lot::Mutex<ExecutionMetrics>,
 }
 
@@ -232,11 +265,22 @@ impl QueryEngine {
     /// Creates an engine with the given configuration.
     pub fn new(config: EngineConfig) -> QueryEngine {
         let memory = MemoryManager::with_budget(config.cache_budget);
+        // An admission policy needs its own bookkeeping, so it gets a
+        // dedicated scheduler; engines without one share the process-wide
+        // pool (their queries steal work from each other's slack).
+        let scheduler = match &config.admission {
+            Some(admission) => Scheduler::new(SchedulerConfig {
+                max_workers: 0,
+                admission: Some(admission.clone()),
+            }),
+            None => Scheduler::global(),
+        };
         QueryEngine {
             registry: PluginRegistry::new(),
             caches: CacheStore::new(memory.clone()),
             memory,
             config,
+            scheduler,
             workload_metrics: parking_lot::Mutex::new(ExecutionMetrics::new()),
         }
     }
@@ -404,13 +448,28 @@ impl QueryEngine {
         let compiled = compiler.compile(&optimized.plan)?;
         let ir = compiled.ir.clone();
         let access_paths = compiled.access_paths.clone();
-        let ctx = QueryContext::new(
+        let ctx = Arc::new(QueryContext::new(
             cancel,
             self.config.timeout,
             self.config.memory_budget,
             self.config.lifecycle,
-        );
-        let output = compiled.execute_with_context(self.config.parallelism, &ctx)?;
+        ));
+        // Admission is once per query, never per nested pipeline run — a
+        // query that holds a slot can always finish, so the bounded queue
+        // can never deadlock against itself.
+        let permit = self.scheduler.admit(&ctx)?;
+        let queue_wait_us = permit.queue_wait.as_micros() as u64;
+        let mut output = if self.config.shared_scheduler {
+            compiled.execute_with_scheduler(
+                self.config.parallelism,
+                ctx,
+                Arc::clone(&self.scheduler),
+            )?
+        } else {
+            compiled.execute_with_context(self.config.parallelism, ctx)?
+        };
+        drop(permit);
+        output.metrics.queue_wait_us += queue_wait_us;
 
         self.workload_metrics.lock().merge(&output.metrics);
 
@@ -472,6 +531,19 @@ impl QueryEngine {
     /// Resets the aggregate workload metrics.
     pub fn reset_workload_metrics(&self) {
         *self.workload_metrics.lock() = ExecutionMetrics::new();
+    }
+
+    /// The scheduler this engine's queries run on (the process-wide pool,
+    /// or the engine's dedicated one when an admission policy is set).
+    pub fn scheduler(&self) -> &Arc<Scheduler> {
+        &self.scheduler
+    }
+
+    /// Graceful drain (for shutdown): stop admitting queries, give
+    /// in-flight ones `grace` to finish, then cancel the stragglers through
+    /// their own contexts. See [`Scheduler::drain`].
+    pub fn drain(&self, grace: Duration) -> DrainReport {
+        self.scheduler.drain(grace)
     }
 }
 

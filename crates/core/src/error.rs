@@ -51,6 +51,19 @@ pub enum EngineError {
         /// The panic payload, stringified.
         payload: String,
     },
+    /// The scheduler refused to admit the query: every concurrency slot is
+    /// taken and the bounded pending queue is full (or the scheduler is
+    /// draining for shutdown). The query was *shed* before any execution
+    /// state was built — retrying after `retry_after_ms` is safe and is what
+    /// the service client does.
+    Overloaded {
+        /// Queries waiting in the pending queue when the request was shed.
+        queued: u64,
+        /// The configured pending-queue capacity.
+        capacity: u64,
+        /// Suggested client back-off before retrying, in milliseconds.
+        retry_after_ms: u64,
+    },
     /// An internal executor failure at a named site (also carries injected
     /// faults from the chaos harness).
     Internal {
@@ -80,6 +93,14 @@ impl fmt::Display for EngineError {
             } => write!(
                 f,
                 "memory budget exhausted at {site}: ~{used_bytes} B used of {budget_bytes} B"
+            ),
+            EngineError::Overloaded {
+                queued,
+                capacity,
+                retry_after_ms,
+            } => write!(
+                f,
+                "engine overloaded: {queued} queued of {capacity} queue slots; retry after {retry_after_ms} ms"
             ),
             EngineError::WorkerPanic { payload } => {
                 write!(f, "worker panicked while executing a morsel: {payload}")

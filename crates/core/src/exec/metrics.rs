@@ -92,8 +92,26 @@ pub struct ExecutionMetrics {
     /// lenient bad-row policy (`Skip`/`Null`): the count of malformed
     /// source rows behind this query's scans.
     pub bad_rows: u64,
-    /// Worker threads the pipeline executed on (1 = serial path).
+    /// The query's worker *cap*: how many workers the dispatcher made
+    /// available to its pipelines (1 = serial path). Under the shared
+    /// scheduler this is the per-query concurrency limit, not a claim that
+    /// that many pool workers actually touched the query — that is
+    /// [`ExecutionMetrics::workers_touched`].
     pub threads_used: u64,
+    /// Distinct workers (the submitting thread plus any pool workers) that
+    /// processed at least one morsel of the query. At most `threads_used`;
+    /// exactly 1 on the serial path. Reported as the maximum across the
+    /// query's pipeline runs (a join executes one run per build side plus
+    /// the probe spine).
+    pub workers_touched: u64,
+    /// Microseconds the query waited in the scheduler's admission queue
+    /// before a concurrency slot freed up. 0 when admission is unlimited or
+    /// a slot was free on arrival.
+    pub queue_wait_us: u64,
+    /// Work-stealing events: how many times a shared-pool worker attached to
+    /// one of this query's morsel queues and claimed a slice of morsels. 0
+    /// on the serial path and under the per-query scoped executor.
+    pub sched_steals: u64,
     /// Time spent generating the specialized engine (the paper reports ≤ ~50 ms).
     pub compile_time: Duration,
     /// Time spent executing the generated engine.
@@ -132,6 +150,8 @@ impl ExecutionMetrics {
         self.bad_rows += other.bad_rows;
         self.binding_allocs += other.binding_allocs;
         self.batch_grows += other.batch_grows;
+        self.queue_wait_us += other.queue_wait_us;
+        self.sched_steals += other.sched_steals;
     }
 
     /// Sums another metrics object into this one (used to aggregate a whole
@@ -140,6 +160,7 @@ impl ExecutionMetrics {
         self.merge_counters(other);
         self.tuples_output += other.tuples_output;
         self.threads_used = self.threads_used.max(other.threads_used);
+        self.workers_touched = self.workers_touched.max(other.workers_touched);
         self.compile_time += other.compile_time;
         self.exec_time += other.exec_time;
     }
@@ -154,7 +175,7 @@ impl fmt::Display for ExecutionMetrics {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
         write!(
             f,
-            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) simd={} probes={} cached={} morsels={} (skipped={} short-circuited={}) index_rows={} bad_rows={} allocs={} grows={} threads={} compile={:?} exec={:?}",
+            "scanned={} output={} intermediates={} ({} B) predicates={} (kernel={} fallback={}) aggs (kernel={} fallback={}) joins (kernel={} fallback={}) simd={} probes={} cached={} morsels={} (skipped={} short-circuited={}) index_rows={} bad_rows={} allocs={} grows={} threads={} workers={} steals={} queue_wait={}us compile={:?} exec={:?}",
             self.tuples_scanned,
             self.tuples_output,
             self.intermediate_tuples,
@@ -177,6 +198,9 @@ impl fmt::Display for ExecutionMetrics {
             self.binding_allocs,
             self.batch_grows,
             self.threads_used,
+            self.workers_touched,
+            self.sched_steals,
+            self.queue_wait_us,
             self.compile_time,
             self.exec_time
         )

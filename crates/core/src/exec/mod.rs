@@ -201,12 +201,14 @@ pub mod mask;
 pub mod metrics;
 pub mod pipeline;
 pub mod radix;
+pub mod scheduler;
 
 pub use batch::{BindingBatch, MORSEL_SIZE};
 pub use context::{CancellationToken, MemoryBudget, QueryContext};
 pub use expr::{compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate};
 pub use kernels::NumericMode;
 pub use metrics::ExecutionMetrics;
+pub use scheduler::{AdmissionConfig, AdmissionPermit, DrainReport, Scheduler, SchedulerConfig};
 
 use proteus_algebra::Value;
 

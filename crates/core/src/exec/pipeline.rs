@@ -12,9 +12,22 @@
 //! `parallelism = 1` the same batch code runs inline on the calling thread —
 //! the serial path and the parallel path are the same code, so their results
 //! only differ by floating-point summation order.
+//!
+//! Worker provisioning has two backends behind one `PipelineRun`:
+//!
+//! * the **shared scheduler** (the default; see [`super::scheduler`]): the
+//!   submitting thread drives the run to completion while persistent pool
+//!   workers steal bounded slices of morsels, parking their partials on the
+//!   run between slices — many concurrent queries share one pool;
+//! * the **per-query scope** (legacy; `EngineConfig::with_shared_scheduler
+//!   (false)`): a `std::thread::scope` of workers spawned per run — kept as
+//!   the A/B baseline for the scheduler's regression guard.
+//!
+//! Both backends run the same `drive_run` morsel loop, so containment,
+//! checkpointing and budget semantics are identical.
 
 use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, PoisonError};
 
 use proteus_algebra::monoid::Accumulator;
 use proteus_algebra::{JoinKind, Monoid, Value};
@@ -33,7 +46,24 @@ use crate::exec::radix::{
     hash_key_components, key_components_eq, BuildStore, MatchedBitmap, RadixGroupTable,
     RadixHashTable,
 };
+use crate::exec::scheduler::{PoolTask, Scheduler};
 use crate::exec::Binding;
+
+/// Everything a pipeline run needs from the dispatcher: the worker cap, the
+/// numeric mode, the query's lifecycle context, and (when the query runs on
+/// the shared pool) the scheduler to offer runs to. One `ExecEnv` serves the
+/// whole query — nested runs (join build sides) inherit it.
+pub(crate) struct ExecEnv {
+    pub(crate) threads: usize,
+    pub(crate) mode: kernels::NumericMode,
+    pub(crate) ctx: Arc<QueryContext>,
+    /// `None` = the legacy per-query `std::thread::scope` backend.
+    pub(crate) scheduler: Option<Arc<Scheduler>>,
+}
+
+/// Morsels a pool worker claims per steal before re-picking the neediest
+/// run — the fairness granule of the shared pool.
+const STEAL_SLICE_MORSELS: u64 = 16;
 
 // ---------------------------------------------------------------------------
 // The compiled producer tree (built by codegen).
@@ -207,9 +237,7 @@ struct PreparedPipeline {
 /// build side (recursively, morsel-parallel) into a shared radix table.
 fn prepare(
     producer: Producer,
-    threads: usize,
-    mode: kernels::NumericMode,
-    ctx: &QueryContext,
+    env: &ExecEnv,
     metrics: &mut ExecutionMetrics,
 ) -> Result<PreparedPipeline> {
     match producer {
@@ -250,7 +278,7 @@ fn prepare(
                     zones,
                 },
                 stages: Vec::new(),
-                mode,
+                mode: env.mode,
             })
         }
         Producer::Filter {
@@ -258,7 +286,7 @@ fn prepare(
             kernel,
             predicate,
         } => {
-            let mut prepared = prepare(*input, threads, mode, ctx, metrics)?;
+            let mut prepared = prepare(*input, env, metrics)?;
             if let Some(kernel) = kernel {
                 prepared.stages.push(Stage::KernelFilter(kernel));
             }
@@ -274,7 +302,7 @@ fn prepare(
             predicate,
             outer,
         } => {
-            let mut prepared = prepare(*input, threads, mode, ctx, metrics)?;
+            let mut prepared = prepare(*input, env, metrics)?;
             let width = current_width(&prepared).max(slot + 1);
             prepared.stages.push(Stage::Unnest {
                 collection,
@@ -308,9 +336,7 @@ fn prepare(
                 build_keys,
                 build_key_slots,
                 build_live,
-                threads,
-                mode,
-                ctx,
+                env,
                 metrics,
             )?;
             metrics.intermediate_tuples += store.len() as u64;
@@ -318,12 +344,12 @@ fn prepare(
             // their own scoped workers), outside the morsel loop's
             // containment — catch a panic here the same way.
             let table = std::panic::catch_unwind(std::panic::AssertUnwindSafe(|| {
-                Arc::new(RadixHashTable::build_parallel(store, threads))
+                Arc::new(RadixHashTable::build_parallel(store, env.threads))
             }))
             .map_err(|payload| panic_error(payload, "radix build"))?;
             metrics.intermediate_bytes += table.materialized_bytes();
 
-            let mut prepared = prepare(*probe, threads, mode, ctx, metrics)?;
+            let mut prepared = prepare(*probe, env, metrics)?;
             let probe_width = current_width(&prepared);
             let matched =
                 (kind == JoinKind::LeftOuter).then(|| Arc::new(MatchedBitmap::new(table.len())));
@@ -1210,7 +1236,7 @@ fn state_site(state: &SinkState) -> &'static str {
 /// Maps a caught panic payload to its structured error: payloads carrying
 /// the fault harness's sentinel prefix are *injected errors* (surfaced as
 /// [`EngineError::Internal`]); anything else is a genuine contained panic.
-fn panic_error(payload: Box<dyn std::any::Any + Send>, site: &str) -> EngineError {
+pub(crate) fn panic_error(payload: Box<dyn std::any::Any + Send>, site: &str) -> EngineError {
     let text = payload
         .downcast_ref::<&'static str>()
         .map(|s| (*s).to_string())
@@ -1225,30 +1251,158 @@ fn panic_error(payload: Box<dyn std::any::Any + Send>, site: &str) -> EngineErro
     }
 }
 
-/// One worker: claims morsels until the queue drains.
+/// One worker's private execution state, **parked on the run** between
+/// steal slices: the sink partial, recycled batch buffers, kernel scratch
+/// and per-worker metrics. A pool worker attaching to a run adopts a parked
+/// partial (or starts a fresh one) and parks it back when its slice ends, so
+/// a run never holds more live partials than workers that actually touched
+/// it — and every morsel's effects live in exactly one partial.
+struct WorkerPartial {
+    state: SinkState,
+    metrics: ExecutionMetrics,
+    cur: BindingBatch,
+    spare: BindingBatch,
+    scratch: kernels::Scratch,
+    /// Set when this partial witnessed a failure: its sink state may be
+    /// mid-update and is discarded at merge (its metrics still count).
+    failed: bool,
+    state_bytes: u64,
+    cache_bytes: u64,
+}
+
+impl WorkerPartial {
+    fn new(sink: &SinkSpec, mode: kernels::NumericMode) -> WorkerPartial {
+        WorkerPartial {
+            state: sink.new_state(),
+            metrics: ExecutionMetrics::new(),
+            cur: BindingBatch::new(),
+            spare: BindingBatch::new(),
+            scratch: kernels::Scratch::with_mode(mode),
+            failed: false,
+            state_bytes: 0,
+            cache_bytes: 0,
+        }
+    }
+}
+
+/// One pipeline run's shared morsel queue: the unit of work both backends
+/// (shared pool and legacy scope) execute, and the [`PoolTask`] pool workers
+/// steal slices from. Owns the prepared pipeline, the sink spec and the
+/// query context so it can outlive the submitting stack frame inside the
+/// scheduler's task list ('static pool threads hold an `Arc` of it).
+pub(crate) struct PipelineRun {
+    pipeline: PreparedPipeline,
+    sink: SinkSpec,
+    ctx: Arc<QueryContext>,
+    next_morsel: AtomicU64,
+    morsel_count: u64,
+    /// Worker partials parked between slices (all of them, once quiescent).
+    parked: Mutex<Vec<WorkerPartial>>,
+    /// Steal-slice acquisitions by pool workers that claimed ≥ 1 morsel.
+    steals: AtomicU64,
+    /// Bitmask of workers that claimed ≥ 1 morsel: bit 0 = the submitting
+    /// thread, bit `1 + (pool_worker % 63)` = pool helpers (scoped workers
+    /// map to `min(w, 63)`). Saturating at 64 distinct bits is fine — the
+    /// popcount feeds `ExecutionMetrics::workers_touched`, a diagnostic.
+    workers_mask: AtomicU64,
+}
+
+impl PipelineRun {
+    fn new(pipeline: PreparedPipeline, sink: SinkSpec, ctx: Arc<QueryContext>) -> PipelineRun {
+        let morsel_count = pipeline.scan.row_count.div_ceil(MORSEL_SIZE as u64);
+        PipelineRun {
+            pipeline,
+            sink,
+            ctx,
+            next_morsel: AtomicU64::new(0),
+            morsel_count,
+            parked: Mutex::new(Vec::new()),
+            steals: AtomicU64::new(0),
+            workers_mask: AtomicU64::new(0),
+        }
+    }
+
+    fn lock_parked(&self) -> std::sync::MutexGuard<'_, Vec<WorkerPartial>> {
+        self.parked.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// Takes every parked partial. Callers must first make the run
+    /// quiescent (no worker attached — the scheduler's task-handle drop and
+    /// the legacy scope join both guarantee it).
+    fn take_partials(&self) -> Vec<WorkerPartial> {
+        std::mem::take(&mut *self.lock_parked())
+    }
+}
+
+/// Adopts a parked partial (or starts a fresh one) for the duration of a
+/// drive; parks it back on drop — **also on unwind**, so a panic escaping
+/// the drive can never leak a partial's morsel effects out of the merge. An
+/// unwind additionally marks the partial failed (its state is mid-update).
+struct AttachGuard<'a> {
+    run: &'a PipelineRun,
+    partial: Option<WorkerPartial>,
+}
+
+impl<'a> AttachGuard<'a> {
+    fn new(run: &'a PipelineRun) -> AttachGuard<'a> {
+        let partial = run
+            .lock_parked()
+            .pop()
+            .unwrap_or_else(|| WorkerPartial::new(&run.sink, run.pipeline.mode));
+        AttachGuard {
+            run,
+            partial: Some(partial),
+        }
+    }
+
+    fn partial_mut(&mut self) -> &mut WorkerPartial {
+        match self.partial.as_mut() {
+            Some(partial) => partial,
+            // The partial only leaves in `drop`.
+            None => unreachable!("AttachGuard partial taken before drop"),
+        }
+    }
+}
+
+impl Drop for AttachGuard<'_> {
+    fn drop(&mut self) {
+        if let Some(mut partial) = self.partial.take() {
+            if std::thread::panicking() {
+                partial.failed = true;
+            }
+            self.run.lock_parked().push(partial);
+        }
+    }
+}
+
+/// What one drive (a steal slice, or a submitter's run-to-completion)
+/// observed.
+struct DriveOutcome {
+    /// Morsels this drive claimed from the queue (executed *or* drained).
+    claimed: u64,
+    /// Whether the queue may still hold morsels (false ⇒ exhausted).
+    more: bool,
+}
+
+/// The morsel loop both backends share: claims up to `limit` morsels from
+/// the run's queue and executes them into `p`.
 ///
 /// Every morsel executes under `catch_unwind`, so a panic anywhere on the
 /// morsel path (plug-in fills, kernels, sink folds) is contained: the first
 /// failure is recorded in the shared [`QueryContext`], the query is
 /// poisoned, and all workers *drain* the remaining morsels as no-ops — the
-/// pool always winds down cleanly and the engine stays usable. A worker
-/// that failed returns `None` for its partial (its sink state may be
-/// mid-update) but always returns its metrics.
-fn worker_loop(
-    pipeline: &PreparedPipeline,
-    sink: &SinkSpec,
-    next_morsel: &AtomicU64,
-    morsel_count: u64,
-    ctx: &QueryContext,
-) -> (Option<SinkState>, ExecutionMetrics) {
-    let mut metrics = ExecutionMetrics::new();
-    let mut state = sink.new_state();
-    let mut cur = BindingBatch::new();
-    let mut spare = BindingBatch::new();
-    let mut scratch = kernels::Scratch::with_mode(pipeline.mode);
-    let mut failed = false;
-    let mut state_bytes = 0u64;
-    let mut cache_bytes = 0u64;
+/// run always winds down cleanly and the engine (and the shared pool) stays
+/// usable. A worker that failed keeps its metrics but its sink state is
+/// discarded at merge.
+fn drive_run(
+    run: &PipelineRun,
+    p: &mut WorkerPartial,
+    limit: u64,
+    worker_bit: u32,
+) -> DriveOutcome {
+    let pipeline = &run.pipeline;
+    let sink = &run.sink;
+    let ctx = &run.ctx;
     let faults_armed = proteus_plugins::fault::armed();
     // Tier 0, morsel skipping: engages only when the spine leads with a
     // kernel filter, the scan recorded zone maps, and no cache side effect
@@ -1262,11 +1416,26 @@ fn worker_loop(
         }
         _ => None,
     };
+    let mut claimed = 0u64;
     loop {
-        let morsel = next_morsel.fetch_add(1, Ordering::Relaxed);
-        if morsel >= morsel_count {
-            break;
+        if claimed >= limit {
+            return DriveOutcome {
+                claimed,
+                more: run.next_morsel.load(Ordering::Relaxed) < run.morsel_count,
+            };
         }
+        let morsel = run.next_morsel.fetch_add(1, Ordering::Relaxed);
+        if morsel >= run.morsel_count {
+            return DriveOutcome {
+                claimed,
+                more: false,
+            };
+        }
+        if claimed == 0 {
+            run.workers_mask
+                .fetch_or(1u64 << (worker_bit.min(63)), Ordering::Relaxed);
+        }
+        claimed += 1;
         // The cooperative checkpoint: poisoned / cancelled / past-deadline
         // queries *drain* the remaining morsels without executing them. The
         // un-armed fast path is a single relaxed load of the poison flag;
@@ -1274,7 +1443,12 @@ fn worker_loop(
         if !ctx.checkpoint(morsel) {
             continue;
         }
-        metrics.morsels += 1;
+        p.metrics.morsels += 1;
+        let state = &mut p.state;
+        let cur = &mut p.cur;
+        let spare = &mut p.spare;
+        let scratch = &mut p.scratch;
+        let metrics = &mut p.metrics;
         let outcome = std::panic::catch_unwind(std::panic::AssertUnwindSafe(
             || -> std::result::Result<(), EngineError> {
                 if faults_armed {
@@ -1299,7 +1473,7 @@ fn worker_loop(
                 }
                 let start = morsel * MORSEL_SIZE as u64;
                 let count = ((pipeline.scan.row_count - start) as usize).min(MORSEL_SIZE);
-                fill_morsel(&pipeline.scan, start, count, &mut cur, &mut metrics);
+                fill_morsel(&pipeline.scan, start, count, cur, metrics);
                 let stages = if verdict == ZoneVerdict::AllPass {
                     // Every row passes: keep the identity selection and drop
                     // straight past the leading kernel filter.
@@ -1308,16 +1482,7 @@ fn worker_loop(
                 } else {
                     &pipeline.stages[..]
                 };
-                process_stages(
-                    stages,
-                    &mut cur,
-                    &mut spare,
-                    sink,
-                    &mut state,
-                    &mut scratch,
-                    morsel,
-                    &mut metrics,
-                );
+                process_stages(stages, cur, spare, sink, state, scratch, morsel, metrics);
                 Ok(())
             },
         ));
@@ -1325,39 +1490,64 @@ fn worker_loop(
             Ok(Ok(())) => {}
             Ok(Err(err)) => {
                 ctx.fail(err);
-                failed = true;
+                p.failed = true;
                 continue;
             }
             Err(payload) => {
                 ctx.fail(panic_error(payload, "morsel execution"));
-                failed = true;
+                p.failed = true;
                 continue;
             }
         }
         // Memory budget: debit this morsel's sink-state growth (and cache
         // growth when a cache build rides the scan).
         if ctx.budgeted() {
-            let bytes = approx_state_bytes(&state);
-            let site = state_site(&state);
-            if !ctx.debit(site, bytes.saturating_sub(state_bytes)) {
-                failed = true;
+            let bytes = approx_state_bytes(&p.state);
+            let site = state_site(&p.state);
+            if !ctx.debit(site, bytes.saturating_sub(p.state_bytes)) {
+                p.failed = true;
                 continue;
             }
-            state_bytes = bytes;
+            p.state_bytes = bytes;
             if pipeline.scan.cache.is_some() {
-                let bytes = metrics.cached_values * 24;
-                if !ctx.debit("cache build", bytes.saturating_sub(cache_bytes)) {
-                    failed = true;
+                let bytes = p.metrics.cached_values * 24;
+                if !ctx.debit("cache build", bytes.saturating_sub(p.cache_bytes)) {
+                    p.failed = true;
                     continue;
                 }
-                cache_bytes = bytes;
+                p.cache_bytes = bytes;
             }
         }
     }
-    (if failed { None } else { Some(state) }, metrics)
 }
 
-/// Runs a prepared pipeline into a sink with up to `threads` workers.
+impl PoolTask for PipelineRun {
+    /// A pool worker's slice: claim up to [`STEAL_SLICE_MORSELS`] morsels,
+    /// then detach so the worker can re-pick the neediest run. Poisoned runs
+    /// report exhaustion immediately — their submitter drains the queue as
+    /// no-ops without pool help.
+    fn steal_slice(&self, worker_id: usize) -> bool {
+        if self.ctx.poisoned() || self.next_morsel.load(Ordering::Relaxed) >= self.morsel_count {
+            return false;
+        }
+        let bit = 1 + (worker_id as u32 % 63);
+        let mut guard = AttachGuard::new(self);
+        let outcome = drive_run(self, guard.partial_mut(), STEAL_SLICE_MORSELS, bit);
+        drop(guard);
+        if outcome.claimed > 0 {
+            self.steals.fetch_add(1, Ordering::Relaxed);
+        }
+        outcome.more
+    }
+}
+
+/// Runs a prepared pipeline into a sink with up to `env.threads` workers.
+///
+/// Worker provisioning depends on the backend (see the module docs): under
+/// the shared scheduler the submitting thread drives the run to completion
+/// while pool workers steal bounded slices; under the legacy backend a
+/// `std::thread::scope` of workers is spawned for this run alone. Both
+/// backends execute the same [`drive_run`] loop.
 ///
 /// Failure semantics: any worker failure (panic, injected fault,
 /// cancellation, deadline, budget) poisons the query, the remaining morsels
@@ -1366,10 +1556,9 @@ fn worker_loop(
 /// the whole run succeeded, so a failed or cancelled query never registers
 /// a half-built cache.
 fn execute_pipeline(
-    pipeline: &PreparedPipeline,
-    sink: &SinkSpec,
-    threads: usize,
-    ctx: &QueryContext,
+    pipeline: PreparedPipeline,
+    sink: SinkSpec,
+    env: &ExecEnv,
     metrics: &mut ExecutionMetrics,
 ) -> Result<SinkResult> {
     let morsel_count = pipeline.scan.row_count.div_ceil(MORSEL_SIZE as u64);
@@ -1377,47 +1566,73 @@ fn execute_pipeline(
     let threads = if pipeline.scan.cache.is_some() {
         1
     } else {
-        threads.max(1).min(morsel_count.max(1) as usize)
+        env.threads.max(1).min(morsel_count.max(1) as usize)
     };
     metrics.threads_used = metrics.threads_used.max(threads as u64);
 
-    let next_morsel = AtomicU64::new(0);
-    let mut partials: Vec<SinkState> = Vec::with_capacity(threads);
-    if threads == 1 {
-        let (state, worker_metrics) = worker_loop(pipeline, sink, &next_morsel, morsel_count, ctx);
-        metrics.merge_counters(&worker_metrics);
-        partials.extend(state);
-    } else {
-        let results = std::thread::scope(|scope| {
-            let handles: Vec<_> = (0..threads)
-                .map(|_| {
-                    scope.spawn(|| worker_loop(pipeline, sink, &next_morsel, morsel_count, ctx))
-                })
-                .collect();
-            handles
-                .into_iter()
-                .map(|handle| match handle.join() {
-                    Ok(result) => result,
-                    // Workers run morsels under catch_unwind, so this only
-                    // fires for a panic outside the morsel path. Contain it
-                    // the same way instead of unwinding through the scope.
-                    Err(payload) => {
-                        ctx.fail(panic_error(payload, "worker wind-down"));
-                        (None, ExecutionMetrics::new())
+    let run = Arc::new(PipelineRun::new(pipeline, sink, Arc::clone(&env.ctx)));
+    match &env.scheduler {
+        // Shared pool: offer the run (up to threads - 1 helpers steal
+        // slices), and drive it to completion on this thread — a query
+        // never waits on pool capacity to make progress.
+        Some(scheduler) if threads > 1 => {
+            let handle = scheduler.offer(Arc::clone(&run) as Arc<dyn PoolTask>, threads - 1);
+            {
+                let mut guard = AttachGuard::new(&run);
+                drive_run(&run, guard.partial_mut(), u64::MAX, 0);
+            }
+            // Retiring the handle waits out any helper mid-slice: after
+            // this, every partial is parked and the run is quiescent.
+            drop(handle);
+        }
+        // Serial (either backend): inline on the calling thread.
+        _ if threads == 1 => {
+            let mut guard = AttachGuard::new(&run);
+            drive_run(&run, guard.partial_mut(), u64::MAX, 0);
+        }
+        // Legacy backend: a per-query scope of workers for this run alone.
+        _ => {
+            std::thread::scope(|scope| {
+                let handles: Vec<_> = (0..threads)
+                    .map(|worker| {
+                        let run = &run;
+                        scope.spawn(move || {
+                            let mut guard = AttachGuard::new(run);
+                            drive_run(run, guard.partial_mut(), u64::MAX, worker.min(63) as u32);
+                        })
+                    })
+                    .collect();
+                for handle in handles {
+                    if let Err(payload) = handle.join() {
+                        // Workers run morsels under catch_unwind, so this
+                        // only fires for a panic outside the morsel path.
+                        // Contain it instead of unwinding through the scope.
+                        run.ctx.fail(panic_error(payload, "worker wind-down"));
                     }
-                })
-                .collect::<Vec<_>>()
-        });
-        for (state, worker_metrics) in results {
-            metrics.merge_counters(&worker_metrics);
-            partials.extend(state);
+                }
+            });
         }
     }
 
+    metrics.sched_steals += run.steals.load(Ordering::Relaxed);
+    let touched = run.workers_mask.load(Ordering::Relaxed).count_ones() as u64;
+    metrics.workers_touched = metrics.workers_touched.max(touched.max(1));
+
+    let mut partials: Vec<SinkState> = Vec::new();
+    for partial in run.take_partials() {
+        metrics.merge_counters(&partial.metrics);
+        if !partial.failed {
+            partials.push(partial.state);
+        }
+    }
+
+    let ctx = &run.ctx;
     if ctx.poisoned() {
         return Err(take_failure(ctx));
     }
 
+    let pipeline = &run.pipeline;
+    let sink = &run.sink;
     // Left-outer tails: emit unmatched build rows padded with nulls and run
     // them through the remaining stages into one extra partial. Runs on the
     // calling thread, with the same panic containment as the workers.
@@ -1453,7 +1668,7 @@ fn execute_pipeline(
                         sink,
                         &mut state,
                         &mut scratch,
-                        morsel_count,
+                        run.morsel_count,
                         metrics,
                     );
                 }));
@@ -1523,30 +1738,22 @@ fn take_failure(ctx: &QueryContext) -> EngineError {
 // ---------------------------------------------------------------------------
 
 /// Runs `producer` into per-query reduce accumulators.
-#[allow(clippy::too_many_arguments)]
 pub(crate) fn run_reduce(
     producer: Producer,
     specs: Vec<(Monoid, CompiledExpr)>,
     predicate: Option<CompiledPredicate>,
     kernel: Option<SinkKernel>,
-    threads: usize,
-    mode: kernels::NumericMode,
-    ctx: &QueryContext,
+    env: &ExecEnv,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Accumulator>> {
-    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
+    let mut pipeline = prepare(producer, env, metrics)?;
     insert_hydration(&mut pipeline, false);
-    match execute_pipeline(
-        &pipeline,
-        &SinkSpec::Reduce {
-            specs,
-            predicate,
-            kernel,
-        },
-        threads,
-        ctx,
-        metrics,
-    )? {
+    let spec = SinkSpec::Reduce {
+        specs,
+        predicate,
+        kernel,
+    };
+    match execute_pipeline(pipeline, spec, env, metrics)? {
         SinkResult::Accumulators(accumulators) => Ok(accumulators),
         _ => unreachable!(),
     }
@@ -1561,12 +1768,10 @@ pub(crate) fn run_nest(
     value_exprs: Vec<CompiledExpr>,
     predicate: Option<CompiledPredicate>,
     kernel: Option<SinkKernel>,
-    threads: usize,
-    mode: kernels::NumericMode,
-    ctx: &QueryContext,
+    env: &ExecEnv,
     metrics: &mut ExecutionMetrics,
 ) -> Result<RadixGroupTable> {
-    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
+    let mut pipeline = prepare(producer, env, metrics)?;
     insert_hydration(&mut pipeline, false);
     let spec = SinkSpec::Nest {
         keys,
@@ -1575,7 +1780,7 @@ pub(crate) fn run_nest(
         predicate,
         kernel,
     };
-    match execute_pipeline(&pipeline, &spec, threads, ctx, metrics)? {
+    match execute_pipeline(pipeline, spec, env, metrics)? {
         SinkResult::Groups(table) => Ok(table),
         _ => unreachable!(),
     }
@@ -1584,14 +1789,12 @@ pub(crate) fn run_nest(
 /// Runs `producer` collecting every surviving binding (scan order).
 pub(crate) fn run_collect(
     producer: Producer,
-    threads: usize,
-    mode: kernels::NumericMode,
-    ctx: &QueryContext,
+    env: &ExecEnv,
     metrics: &mut ExecutionMetrics,
 ) -> Result<Vec<Binding>> {
-    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
+    let mut pipeline = prepare(producer, env, metrics)?;
     insert_hydration(&mut pipeline, false);
-    match execute_pipeline(&pipeline, &SinkSpec::Collect, threads, ctx, metrics)? {
+    match execute_pipeline(pipeline, SinkSpec::Collect, env, metrics)? {
         SinkResult::Rows(rows) => Ok(rows),
         _ => unreachable!(),
     }
@@ -1600,25 +1803,22 @@ pub(crate) fn run_collect(
 /// Runs `producer` materializing the columnar build store of a join: key
 /// components (typed-key ingest when `key_slots` is set) plus the live
 /// payload slots, flattened per entry.
-#[allow(clippy::too_many_arguments)]
 fn run_entries(
     producer: Producer,
     keys: Vec<CompiledExpr>,
     key_slots: Option<Vec<usize>>,
     live_slots: Vec<usize>,
-    threads: usize,
-    mode: kernels::NumericMode,
-    ctx: &QueryContext,
+    env: &ExecEnv,
     metrics: &mut ExecutionMetrics,
 ) -> Result<BuildStore> {
-    let mut pipeline = prepare(producer, threads, mode, ctx, metrics)?;
+    let mut pipeline = prepare(producer, env, metrics)?;
     insert_hydration(&mut pipeline, key_slots.is_some());
     let spec = SinkSpec::Entries {
         keys,
         key_slots,
         live_slots,
     };
-    match execute_pipeline(&pipeline, &spec, threads, ctx, metrics)? {
+    match execute_pipeline(pipeline, spec, env, metrics)? {
         SinkResult::Entries(store) => Ok(store),
         _ => unreachable!(),
     }

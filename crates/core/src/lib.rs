@@ -35,5 +35,8 @@ pub use engine::{EngineConfig, QueryEngine, QueryResult};
 pub use error::{EngineError, Result};
 pub use exec::context::{CancellationToken, MemoryBudget, QueryContext};
 pub use exec::metrics::ExecutionMetrics;
+pub use exec::scheduler::{
+    AdmissionConfig, AdmissionPermit, DrainReport, Scheduler, SchedulerConfig,
+};
 pub use exec::NumericMode;
 pub use proteus_plugins::BadRowPolicy;

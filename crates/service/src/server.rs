@@ -1,0 +1,283 @@
+//! The TCP query service.
+//!
+//! Connection model: **two threads per connection**.
+//!
+//! * The *reader* blocks on the socket. A `query` frame is forwarded to the
+//!   worker; a `cancel` frame (or EOF / a read error — i.e. the client went
+//!   away) fires the in-flight query's cancellation token, so an abandoned
+//!   query stops at its next morsel checkpoint.
+//! * The *worker* executes queries one at a time on the shared engine
+//!   (scheduler admission included) and writes every response frame: `row`
+//!   frames, then one `metrics` or `error` trailer. Because the worker owns
+//!   the write half exclusively, response frames never interleave.
+//!
+//! [`Server::shutdown`] drains gracefully: stop accepting, drain the
+//! engine's scheduler (in-flight queries finish or are cancelled within the
+//! grace period and their — possibly `cancelled` — responses are written in
+//! full), join the workers, then close the sockets and join the readers.
+
+use std::io::Write as _;
+use std::net::{SocketAddr, TcpListener, TcpStream, ToSocketAddrs};
+use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::mpsc::{Receiver, RecvTimeoutError, Sender};
+use std::sync::{Arc, Mutex, PoisonError};
+use std::thread::JoinHandle;
+use std::time::Duration;
+
+use proteus_core::exec::DrainReport;
+use proteus_core::{CancellationToken, QueryEngine};
+
+use crate::wire;
+
+/// A client→server frame, decoded by the reader thread.
+enum ConnEvent {
+    Query(String),
+    /// The peer disconnected (EOF or read error): stop the worker after the
+    /// in-flight query (whose token the reader already fired) unwinds.
+    Closed,
+}
+
+struct ConnShared {
+    /// The in-flight query's cancellation token, when one is running.
+    cancel: Mutex<Option<CancellationToken>>,
+}
+
+impl ConnShared {
+    fn fire_cancel(&self) {
+        if let Some(token) = self
+            .cancel
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+            .as_ref()
+        {
+            token.cancel();
+        }
+    }
+}
+
+fn reader_main(stream: TcpStream, shared: Arc<ConnShared>, events: Sender<ConnEvent>) {
+    let mut stream = stream;
+    // The loop exits on clean EOF, a read error (client went away), or a
+    // protocol violation (unparseable frame / unknown type).
+    while let Ok(Some(bytes)) = wire::read_frame(&mut stream) {
+        let Ok(frame) = wire::value_from_json(&bytes) else {
+            break;
+        };
+        let kind = frame
+            .as_record()
+            .ok()
+            .and_then(|r| r.get("type"))
+            .and_then(|v| v.as_str().ok().map(str::to_string))
+            .unwrap_or_default();
+        match kind.as_str() {
+            "query" => {
+                let sql = frame
+                    .as_record()
+                    .ok()
+                    .and_then(|r| r.get("sql"))
+                    .and_then(|v| v.as_str().ok().map(str::to_string))
+                    .unwrap_or_default();
+                if events.send(ConnEvent::Query(sql)).is_err() {
+                    break;
+                }
+            }
+            "cancel" => shared.fire_cancel(),
+            _ => break,
+        }
+    }
+    shared.fire_cancel();
+    let _ = events.send(ConnEvent::Closed);
+}
+
+fn worker_main(
+    stream: TcpStream,
+    shared: Arc<ConnShared>,
+    events: Receiver<ConnEvent>,
+    engine: Arc<QueryEngine>,
+    stop: Arc<AtomicBool>,
+) {
+    let mut out = stream;
+    loop {
+        // Poll the stop flag between queries so shutdown can join workers
+        // without racing their in-progress writes.
+        let event = match events.recv_timeout(Duration::from_millis(50)) {
+            Ok(event) => event,
+            Err(RecvTimeoutError::Timeout) => {
+                if stop.load(Ordering::Relaxed) {
+                    break;
+                }
+                continue;
+            }
+            Err(RecvTimeoutError::Disconnected) => break,
+        };
+        let sql = match event {
+            ConnEvent::Query(sql) => sql,
+            ConnEvent::Closed => break,
+        };
+        let token = CancellationToken::new();
+        *shared.cancel.lock().unwrap_or_else(PoisonError::into_inner) = Some(token.clone());
+        let result = engine.sql_with_cancellation(&sql, Some(token));
+        *shared.cancel.lock().unwrap_or_else(PoisonError::into_inner) = None;
+        let write = match result {
+            Ok(result) => {
+                let rows = result.flattened_rows();
+                let count = rows.len() as u64;
+                rows.iter()
+                    .try_for_each(|row| wire::write_frame(&mut out, &wire::row_frame(row)))
+                    .and_then(|()| {
+                        wire::write_frame(&mut out, &wire::metrics_frame(&result.metrics, count))
+                    })
+            }
+            Err(err) => wire::write_frame(&mut out, &wire::error_frame(&err)),
+        };
+        if write.is_err() {
+            // The socket is gone (or an injected `service.write` fault
+            // fired): nothing more can reach this client.
+            break;
+        }
+    }
+    let _ = out.flush();
+    // Close the socket for real so a client blocked on a reply sees EOF
+    // instead of hanging — the write half dying mid-reply must surface.
+    let _ = out.shutdown(std::net::Shutdown::Both);
+}
+
+struct Connection {
+    stream: TcpStream,
+    reader: JoinHandle<()>,
+    worker: JoinHandle<()>,
+}
+
+struct ServerShared {
+    engine: Arc<QueryEngine>,
+    stop: Arc<AtomicBool>,
+    conns: Mutex<Vec<Connection>>,
+}
+
+/// The TCP front door: accepts connections and runs their queries on a
+/// shared [`QueryEngine`] (one engine, one scheduler, many clients).
+pub struct Server {
+    shared: Arc<ServerShared>,
+    accept: Option<JoinHandle<()>>,
+    local_addr: SocketAddr,
+}
+
+impl Server {
+    /// Binds `addr` (e.g. `"127.0.0.1:0"` for an ephemeral port) and starts
+    /// accepting connections.
+    pub fn start(engine: Arc<QueryEngine>, addr: impl ToSocketAddrs) -> std::io::Result<Server> {
+        let listener = TcpListener::bind(addr)?;
+        let local_addr = listener.local_addr()?;
+        // Nonblocking accept + stop-flag polling: std has no way to unblock
+        // a blocking accept, and the 5 ms poll only runs while idle.
+        listener.set_nonblocking(true)?;
+        let shared = Arc::new(ServerShared {
+            engine,
+            stop: Arc::new(AtomicBool::new(false)),
+            conns: Mutex::new(Vec::new()),
+        });
+        let accept_shared = shared.clone();
+        let accept = std::thread::Builder::new()
+            .name("proteus-accept".to_string())
+            .spawn(move || accept_main(listener, accept_shared))?;
+        Ok(Server {
+            shared,
+            accept: Some(accept),
+            local_addr,
+        })
+    }
+
+    /// The bound address (for clients, when started on port 0).
+    pub fn local_addr(&self) -> SocketAddr {
+        self.local_addr
+    }
+
+    /// Graceful shutdown: stop accepting, drain the engine's scheduler
+    /// (in-flight queries finish or are cancelled within `grace` and their
+    /// responses are written in full), then close every connection.
+    pub fn shutdown(mut self, grace: Duration) -> DrainReport {
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+        let report = self.shared.engine.drain(grace);
+        let conns = std::mem::take(
+            &mut *self
+                .shared
+                .conns
+                .lock()
+                .unwrap_or_else(PoisonError::into_inner),
+        );
+        // Join workers FIRST: each finishes writing its in-flight response
+        // (the drain already failed or completed the query behind it), so
+        // no response is cut off by the socket close below.
+        for conn in &conns {
+            let _ = conn.stream.shutdown(std::net::Shutdown::Read);
+        }
+        for conn in conns {
+            let _ = conn.worker.join();
+            let _ = conn.stream.shutdown(std::net::Shutdown::Both);
+            let _ = conn.reader.join();
+        }
+        report
+    }
+}
+
+impl Drop for Server {
+    fn drop(&mut self) {
+        // Best-effort stop when the caller skipped `shutdown`.
+        self.shared.stop.store(true, Ordering::Relaxed);
+        if let Some(accept) = self.accept.take() {
+            let _ = accept.join();
+        }
+    }
+}
+
+fn accept_main(listener: TcpListener, shared: Arc<ServerShared>) {
+    while !shared.stop.load(Ordering::Relaxed) {
+        match listener.accept() {
+            Ok((stream, _peer)) => {
+                if stream.set_nonblocking(false).is_err() {
+                    continue;
+                }
+                let _ = stream.set_nodelay(true);
+                if let Err(_e) = spawn_connection(stream, &shared) {
+                    // Thread spawn failure: drop the connection; the client
+                    // sees a close and may retry.
+                }
+            }
+            Err(e) if e.kind() == std::io::ErrorKind::WouldBlock => {
+                std::thread::sleep(Duration::from_millis(5));
+            }
+            Err(_) => std::thread::sleep(Duration::from_millis(5)),
+        }
+    }
+}
+
+fn spawn_connection(stream: TcpStream, shared: &Arc<ServerShared>) -> std::io::Result<()> {
+    let conn_shared = Arc::new(ConnShared {
+        cancel: Mutex::new(None),
+    });
+    let (tx, rx) = std::sync::mpsc::channel();
+    let read_stream = stream.try_clone()?;
+    let write_stream = stream.try_clone()?;
+    let reader_shared = conn_shared.clone();
+    let reader = std::thread::Builder::new()
+        .name("proteus-conn-read".to_string())
+        .spawn(move || reader_main(read_stream, reader_shared, tx))?;
+    let engine = shared.engine.clone();
+    let stop = shared.stop.clone();
+    let worker = std::thread::Builder::new()
+        .name("proteus-conn-work".to_string())
+        .spawn(move || worker_main(write_stream, conn_shared, rx, engine, stop))?;
+    shared
+        .conns
+        .lock()
+        .unwrap_or_else(PoisonError::into_inner)
+        .push(Connection {
+            stream,
+            reader,
+            worker,
+        });
+    Ok(())
+}

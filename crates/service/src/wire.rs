@@ -1,0 +1,371 @@
+//! Framing and JSON rendering of the wire protocol.
+//!
+//! Every frame is a 4-byte big-endian length followed by that many bytes of
+//! UTF-8 JSON — one object per frame. Both halves go through the chaos
+//! sites `service.read` / `service.write`, so the fault harness can fail
+//! either direction of the socket with the usual `PROTEUS_FAULTS` syntax.
+//!
+//! Values cross the wire as plain JSON with two conventions:
+//!
+//! * dates (days since 1970-01-01) render as `{"$date": n}` so the client
+//!   reconstructs [`Value::Date`] instead of a bare integer;
+//! * non-finite floats (`NaN`, `±∞`) render as `null` — JSON has no
+//!   representation for them, and a lossy null beats an unparseable frame.
+//!
+//! Everything else round-trips exactly: integers stay integers, finite
+//! floats use Rust's shortest-round-trip rendering (with a forced `.0` for
+//! integral values so they parse back as floats), and record field order is
+//! preserved.
+
+use std::io::{Read, Write};
+
+use proteus_algebra::{Record, Value};
+use proteus_core::{EngineError, ExecutionMetrics};
+
+/// Hard cap on a single frame, both directions: a length prefix beyond it
+/// is treated as a protocol error, not an allocation request.
+pub const MAX_FRAME_BYTES: usize = 64 << 20;
+
+fn injected(site: &str, detail: String) -> std::io::Error {
+    std::io::Error::other(format!("injected fault at {site}: {detail}"))
+}
+
+/// Writes one frame. Chaos site: `service.write`.
+pub fn write_frame(out: &mut impl Write, json: &str) -> std::io::Result<()> {
+    if proteus_plugins::fault::armed() {
+        if let Err(detail) = proteus_plugins::fault::check("service.write") {
+            return Err(injected("service.write", detail));
+        }
+    }
+    let bytes = json.as_bytes();
+    if bytes.len() > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other(format!(
+            "frame of {} bytes exceeds the {} byte cap",
+            bytes.len(),
+            MAX_FRAME_BYTES
+        )));
+    }
+    out.write_all(&(bytes.len() as u32).to_be_bytes())?;
+    out.write_all(bytes)?;
+    out.flush()
+}
+
+/// Reads one frame. Returns `Ok(None)` on a clean EOF at a frame boundary
+/// (the peer closed the connection). Chaos site: `service.read`.
+pub fn read_frame(input: &mut impl Read) -> std::io::Result<Option<Vec<u8>>> {
+    if proteus_plugins::fault::armed() {
+        if let Err(detail) = proteus_plugins::fault::check("service.read") {
+            return Err(injected("service.read", detail));
+        }
+    }
+    let mut len = [0u8; 4];
+    // Hand-rolled first-byte read so EOF *between* frames is a clean close
+    // while EOF *inside* a frame stays an error.
+    let mut filled = 0;
+    while filled < len.len() {
+        match input.read(&mut len[filled..]) {
+            Ok(0) if filled == 0 => return Ok(None),
+            Ok(0) => {
+                return Err(std::io::Error::new(
+                    std::io::ErrorKind::UnexpectedEof,
+                    "connection closed mid-frame",
+                ))
+            }
+            Ok(n) => filled += n,
+            Err(e) if e.kind() == std::io::ErrorKind::Interrupted => {}
+            Err(e) => return Err(e),
+        }
+    }
+    let len = u32::from_be_bytes(len) as usize;
+    if len > MAX_FRAME_BYTES {
+        return Err(std::io::Error::other(format!(
+            "frame length {len} exceeds the {MAX_FRAME_BYTES} byte cap"
+        )));
+    }
+    let mut body = vec![0u8; len];
+    input.read_exact(&mut body)?;
+    Ok(Some(body))
+}
+
+// -- JSON rendering ---------------------------------------------------------
+
+fn escape_into(s: &str, out: &mut String) {
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// Renders a [`Value`] as wire JSON (see the module docs for the date and
+/// non-finite-float conventions).
+pub fn value_to_json(value: &Value) -> String {
+    let mut out = String::new();
+    render_value(value, &mut out);
+    out
+}
+
+fn render_value(value: &Value, out: &mut String) {
+    match value {
+        Value::Null => out.push_str("null"),
+        Value::Bool(b) => out.push_str(if *b { "true" } else { "false" }),
+        Value::Int(i) => out.push_str(&i.to_string()),
+        Value::Date(d) => out.push_str(&format!("{{\"$date\": {d}}}")),
+        Value::Float(f) if !f.is_finite() => out.push_str("null"),
+        Value::Float(f) => {
+            if f.fract() == 0.0 && f.abs() < 1e15 {
+                out.push_str(&format!("{f:.1}"));
+            } else {
+                out.push_str(&format!("{f}"));
+            }
+        }
+        Value::Str(s) => escape_into(s, out),
+        Value::List(items) => {
+            out.push('[');
+            for (i, item) in items.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                render_value(item, out);
+            }
+            out.push(']');
+        }
+        Value::Record(record) => {
+            out.push('{');
+            for (i, (name, v)) in record.iter().enumerate() {
+                if i > 0 {
+                    out.push_str(", ");
+                }
+                escape_into(name, out);
+                out.push_str(": ");
+                render_value(v, out);
+            }
+            out.push('}');
+        }
+    }
+}
+
+/// Parses wire JSON back into a [`Value`], reversing the `$date`
+/// convention.
+pub fn value_from_json(bytes: &[u8]) -> Result<Value, String> {
+    let value = proteus_plugins::json::parse_json_value(bytes).map_err(|e| e.to_string())?;
+    Ok(revive(value))
+}
+
+fn revive(value: Value) -> Value {
+    match value {
+        Value::Record(record) => {
+            if record.len() == 1 {
+                if let Some(("$date", Value::Int(days))) = record.get_index(0) {
+                    return Value::Date(*days);
+                }
+            }
+            let mut out = Record::empty();
+            for (name, v) in record.iter() {
+                out.set(name.to_string(), revive(v.clone()));
+            }
+            Value::Record(out)
+        }
+        Value::List(items) => Value::List(items.into_iter().map(revive).collect()),
+        other => other,
+    }
+}
+
+// -- frame builders ----------------------------------------------------------
+
+/// The client's query submission frame.
+pub fn query_frame(sql: &str) -> String {
+    let mut out = String::from("{\"type\": \"query\", \"sql\": ");
+    escape_into(sql, &mut out);
+    out.push('}');
+    out
+}
+
+/// The client's cancel frame (cancels the connection's in-flight query).
+pub fn cancel_frame() -> String {
+    "{\"type\": \"cancel\"}".to_string()
+}
+
+/// One result row.
+pub fn row_frame(row: &Value) -> String {
+    let mut out = String::from("{\"type\": \"row\", \"row\": ");
+    render_value(row, &mut out);
+    out.push('}');
+    out
+}
+
+/// The success trailer: every counter of [`ExecutionMetrics`] plus timings
+/// in microseconds.
+pub fn metrics_frame(metrics: &ExecutionMetrics, rows: u64) -> String {
+    let m = metrics;
+    format!(
+        "{{\"type\": \"metrics\", \"rows\": {rows}, \"tuples_scanned\": {}, \"tuples_output\": {}, \
+         \"intermediate_tuples\": {}, \"intermediate_bytes\": {}, \"predicate_evals\": {}, \
+         \"kernel_rows\": {}, \"fallback_rows\": {}, \"agg_kernel_rows\": {}, \
+         \"agg_fallback_rows\": {}, \"join_kernel_rows\": {}, \"join_fallback_rows\": {}, \
+         \"simd_rows\": {}, \"hash_probes\": {}, \"cached_values\": {}, \"morsels\": {}, \
+         \"morsels_skipped\": {}, \"morsels_short_circuited\": {}, \"index_rows\": {}, \
+         \"binding_allocs\": {}, \"batch_grows\": {}, \"bad_rows\": {}, \"threads_used\": {}, \
+         \"workers_touched\": {}, \"queue_wait_us\": {}, \"sched_steals\": {}, \
+         \"compile_us\": {}, \"exec_us\": {}}}",
+        m.tuples_scanned,
+        m.tuples_output,
+        m.intermediate_tuples,
+        m.intermediate_bytes,
+        m.predicate_evals,
+        m.kernel_rows,
+        m.fallback_rows,
+        m.agg_kernel_rows,
+        m.agg_fallback_rows,
+        m.join_kernel_rows,
+        m.join_fallback_rows,
+        m.simd_rows,
+        m.hash_probes,
+        m.cached_values,
+        m.morsels,
+        m.morsels_skipped,
+        m.morsels_short_circuited,
+        m.index_rows,
+        m.binding_allocs,
+        m.batch_grows,
+        m.bad_rows,
+        m.threads_used,
+        m.workers_touched,
+        m.queue_wait_us,
+        m.sched_steals,
+        m.compile_time.as_micros(),
+        m.exec_time.as_micros(),
+    )
+}
+
+/// Maps every [`EngineError`] variant onto a structured error frame: a
+/// stable `kind` tag, the display message, and the variant's own fields.
+pub fn error_frame(err: &EngineError) -> String {
+    let mut out = String::from("{\"type\": \"error\", \"kind\": ");
+    let (kind, extra) = match err {
+        EngineError::Algebra(_) => ("algebra", String::new()),
+        EngineError::Plugin(_) => ("plugin", String::new()),
+        EngineError::Storage(_) => ("storage", String::new()),
+        EngineError::UnknownDataset(_) => ("unknown_dataset", String::new()),
+        EngineError::Unsupported(_) => ("unsupported", String::new()),
+        EngineError::Cancelled => ("cancelled", String::new()),
+        EngineError::DeadlineExceeded { timeout_ms, .. } => (
+            "deadline_exceeded",
+            format!(", \"timeout_ms\": {timeout_ms}"),
+        ),
+        EngineError::ResourceExhausted {
+            site,
+            used_bytes,
+            budget_bytes,
+        } => {
+            let mut extra = String::from(", \"site\": ");
+            escape_into(site, &mut extra);
+            extra.push_str(&format!(
+                ", \"used_bytes\": {used_bytes}, \"budget_bytes\": {budget_bytes}"
+            ));
+            ("resource_exhausted", extra)
+        }
+        EngineError::WorkerPanic { .. } => ("worker_panic", String::new()),
+        EngineError::Overloaded {
+            queued,
+            capacity,
+            retry_after_ms,
+        } => (
+            "overloaded",
+            format!(
+                ", \"queued\": {queued}, \"capacity\": {capacity}, \
+                 \"retry_after_ms\": {retry_after_ms}"
+            ),
+        ),
+        EngineError::Internal { site, .. } => {
+            let mut extra = String::from(", \"site\": ");
+            escape_into(site, &mut extra);
+            ("internal", extra)
+        }
+    };
+    escape_into(kind, &mut out);
+    out.push_str(", \"message\": ");
+    escape_into(&err.to_string(), &mut out);
+    out.push_str(&extra);
+    out.push('}');
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn frames_round_trip() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{\"type\": \"cancel\"}").unwrap();
+        let mut cursor = std::io::Cursor::new(buf);
+        let frame = read_frame(&mut cursor).unwrap().unwrap();
+        assert_eq!(frame, b"{\"type\": \"cancel\"}");
+        assert!(read_frame(&mut cursor).unwrap().is_none());
+    }
+
+    #[test]
+    fn truncated_frame_is_an_error() {
+        let mut buf = Vec::new();
+        write_frame(&mut buf, "{}").unwrap();
+        buf.truncate(5);
+        let mut cursor = std::io::Cursor::new(buf);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn oversized_length_prefix_is_rejected() {
+        let bytes = u32::MAX.to_be_bytes().to_vec();
+        let mut cursor = std::io::Cursor::new(bytes);
+        assert!(read_frame(&mut cursor).is_err());
+    }
+
+    #[test]
+    fn values_round_trip_including_dates_and_escapes() {
+        let value = Value::record(vec![
+            ("i", Value::Int(42)),
+            ("f", Value::Float(2.5)),
+            ("whole", Value::Float(3.0)),
+            ("s", Value::Str("a \"b\"\n\\c".into())),
+            ("d", Value::Date(19000)),
+            ("n", Value::Null),
+            (
+                "l",
+                Value::List(vec![Value::Bool(true), Value::Bool(false)]),
+            ),
+        ]);
+        let json = value_to_json(&value);
+        let back = value_from_json(json.as_bytes()).unwrap();
+        assert_eq!(back, value);
+    }
+
+    #[test]
+    fn non_finite_floats_render_null() {
+        assert_eq!(value_to_json(&Value::Float(f64::NAN)), "null");
+        assert_eq!(value_to_json(&Value::Float(f64::INFINITY)), "null");
+    }
+
+    #[test]
+    fn error_frames_carry_variant_fields() {
+        let frame = error_frame(&EngineError::Overloaded {
+            queued: 3,
+            capacity: 8,
+            retry_after_ms: 25,
+        });
+        let value = value_from_json(frame.as_bytes()).unwrap();
+        let rec = value.as_record().unwrap();
+        assert_eq!(rec.get("kind"), Some(&Value::Str("overloaded".into())));
+        assert_eq!(rec.get("retry_after_ms"), Some(&Value::Int(25)));
+        assert_eq!(rec.get("queued"), Some(&Value::Int(3)));
+        assert_eq!(rec.get("capacity"), Some(&Value::Int(8)));
+    }
+}

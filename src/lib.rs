@@ -30,6 +30,7 @@ pub use proteus_core as core;
 pub use proteus_datagen as datagen;
 pub use proteus_optimizer as optimizer;
 pub use proteus_plugins as plugins;
+pub use proteus_service as service;
 pub use proteus_storage as storage;
 
 /// The most commonly used types, re-exported for convenience.
