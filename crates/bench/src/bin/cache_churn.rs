@@ -1,0 +1,253 @@
+//! Cache-churn A/B: the memory-budgeted adaptive cache under a steady
+//! query mix that does not fit, versus an effectively unbounded cache over
+//! the same data on the same host.
+//!
+//! Four CSV datasets rotate through a biased mix (the first dataset recurs
+//! twice as often). The budgeted arm's arena holds roughly half the
+//! working set, so the mix continuously builds, hits, evicts and spills;
+//! the unbounded arm keeps everything and shows the ceiling. Rounds are
+//! interleaved per-rep so neither arm benefits from running last, and both
+//! arms' answers are checksummed against each other.
+//!
+//! A warm-restart leg then snapshots the budgeted arm's surviving caches,
+//! restores them into a fresh engine (`warm_from`) and compares its first
+//! queries against a truly cold engine's — the payoff of the disk tier.
+//!
+//! Emits `BENCH_cache_churn.json` (hit rate rides in `selectivity_pct`).
+//! Knobs for the CI smoke: `PROTEUS_CACHE_CHURN_ROWS` (per dataset,
+//! default 100k) and `PROTEUS_CACHE_CHURN_ROUNDS` (default 32).
+
+use std::path::PathBuf;
+use std::time::Instant;
+
+use proteus_bench::harness::{checksum, checksums_agree, emit_bench_json, BenchRow};
+use proteus_core::{EngineConfig, QueryEngine};
+use proteus_datagen::writers;
+use proteus_plugins::csv::CsvOptions;
+
+use proteus_algebra::{DataType, Schema, Value};
+
+const DEFAULT_ROWS: usize = 100_000;
+const DEFAULT_ROUNDS: usize = 32;
+const DATASETS: usize = 4;
+/// Rotation with a bias: t0 recurs twice as often as the others.
+const MIX: [usize; 8] = [0, 1, 0, 2, 0, 3, 1, 2];
+
+fn rows_from_env() -> usize {
+    std::env::var("PROTEUS_CACHE_CHURN_ROWS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROWS)
+}
+
+fn rounds_from_env() -> usize {
+    std::env::var("PROTEUS_CACHE_CHURN_ROUNDS")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(DEFAULT_ROUNDS)
+}
+
+fn scratch(rows: usize) -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("proteus_cache_churn_{rows}"));
+    std::fs::create_dir_all(&dir).expect("scratch dir");
+    dir
+}
+
+fn schema() -> Schema {
+    Schema::from_pairs(vec![("a", DataType::Int), ("b", DataType::Int)])
+}
+
+fn register_all(engine: &QueryEngine, dir: &std::path::Path, rows: usize) {
+    for t in 0..DATASETS {
+        let path = dir.join(format!("churn_{t}.csv"));
+        if !path.exists() {
+            let data: Vec<Value> = (0..rows as i64)
+                .map(|i| {
+                    Value::record(vec![
+                        ("a", Value::Int(i)),
+                        ("b", Value::Int((i * 7 + t as i64) % 1009)),
+                    ])
+                })
+                .collect();
+            writers::write_csv(&path, &data, &schema(), '|').expect("write churn csv");
+        }
+        engine
+            .register_csv(format!("t{t}"), &path, schema(), CsvOptions::default())
+            .expect("register churn csv");
+    }
+}
+
+/// Per-entry cache footprint: 2 int columns + OIDs + zone maps + strings.
+/// The budget is sized from this to hold roughly half the working set.
+fn entry_bytes(rows: usize) -> usize {
+    rows * 24 + rows.div_ceil(1024) * 64 + 256
+}
+
+fn query(t: usize) -> String {
+    format!("SELECT COUNT(*), MAX(b) FROM t{t} WHERE a >= 0")
+}
+
+fn main() {
+    let rows = rows_from_env();
+    let rounds = rounds_from_env();
+    let dir = scratch(rows);
+    let budget = entry_bytes(rows) * DATASETS / 2 + entry_bytes(rows) / 2;
+
+    let budgeted = QueryEngine::new(
+        EngineConfig {
+            cache_budget: budget,
+            ..Default::default()
+        }
+        .with_cache_spill_dir(dir.join("spill")),
+    );
+    let unbounded = QueryEngine::new(EngineConfig {
+        cache_budget: usize::MAX / 2,
+        ..Default::default()
+    });
+    register_all(&budgeted, &dir, rows);
+    register_all(&unbounded, &dir, rows);
+
+    println!(
+        "=== Cache churn A/B ({DATASETS} datasets x {rows} rows, {rounds} rounds, budget {} KiB) ===",
+        budget / 1024
+    );
+
+    let mut totals = [0.0f64; 2];
+    let mut checks = [0.0f64; 2];
+    for round in 0..rounds {
+        let t = MIX[round % MIX.len()];
+        let q = query(t);
+        for (arm, engine) in [(0, &budgeted), (1, &unbounded)] {
+            let start = Instant::now();
+            let result = engine.sql(&q).expect("churn query");
+            totals[arm] += start.elapsed().as_secs_f64() * 1e3;
+            checks[arm] += checksum(&result.rows);
+        }
+        let stats = budgeted.cache_stats();
+        assert!(
+            stats.bytes <= budget,
+            "round {round}: budgeted arm holds {} bytes (> {budget})",
+            stats.bytes
+        );
+    }
+    assert!(
+        checksums_agree(checks[0], checks[1]),
+        "budgeted and unbounded arms disagree ({} vs {})",
+        checks[0],
+        checks[1]
+    );
+
+    let b = budgeted.cache_stats();
+    let u = unbounded.cache_stats();
+    let hit_rate = |h: u64, m: u64| {
+        if h + m == 0 {
+            0.0
+        } else {
+            h as f64 / (h + m) as f64 * 100.0
+        }
+    };
+    let b_rate = hit_rate(b.hits, b.misses);
+    let u_rate = hit_rate(u.hits, u.misses);
+    assert!(b.hits > 0, "budgeted arm never hit its cache: {b:?}");
+    assert!(
+        b.evictions > 0,
+        "budgeted arm never evicted — budget too large for the mix: {b:?}"
+    );
+    println!(
+        "budgeted : {:>9.2} ms total | hit rate {b_rate:>5.1}% | {} evictions | {} B spilled | {} B live",
+        totals[0], b.evictions, b.spilled_bytes, b.bytes
+    );
+    println!(
+        "unbounded: {:>9.2} ms total | hit rate {u_rate:>5.1}% | {} evictions | {} B live",
+        totals[1], u.evictions, u.bytes
+    );
+
+    // -- warm restart leg -------------------------------------------------
+    let snap = dir.join("snapshot");
+    let written = budgeted.snapshot_caches(&snap).expect("snapshot");
+    let cold = QueryEngine::new(EngineConfig {
+        cache_budget: budget,
+        ..Default::default()
+    });
+    let warm = QueryEngine::new(EngineConfig {
+        cache_budget: budget,
+        ..Default::default()
+    });
+    register_all(&cold, &dir, rows);
+    register_all(&warm, &dir, rows);
+    let report = warm.warm_from(&snap).expect("warm restart");
+    assert_eq!(report.rejected, 0, "snapshot rejected on warm restart");
+    assert_eq!(report.loaded, written);
+
+    // First touch of every snapshotted dataset, cold vs warm.
+    let warmed: Vec<usize> = (0..DATASETS)
+        .filter(|t| {
+            !warm
+                .caches()
+                .caches_for_dataset(&format!("t{t}"))
+                .is_empty()
+        })
+        .collect();
+    let mut cold_ms = 0.0;
+    let mut warm_ms = 0.0;
+    let mut cold_check = 0.0;
+    let mut warm_check = 0.0;
+    for &t in &warmed {
+        let q = query(t);
+        let start = Instant::now();
+        cold_check += checksum(&cold.sql(&q).expect("cold query").rows);
+        cold_ms += start.elapsed().as_secs_f64() * 1e3;
+        let start = Instant::now();
+        warm_check += checksum(&warm.sql(&q).expect("warm query").rows);
+        warm_ms += start.elapsed().as_secs_f64() * 1e3;
+    }
+    assert!(
+        checksums_agree(cold_check, warm_check),
+        "warm restart changed query answers ({cold_check} vs {warm_check})"
+    );
+    let speedup = if warm_ms > 0.0 {
+        cold_ms / warm_ms
+    } else {
+        1.0
+    };
+    println!(
+        "warm restart: {written} entries restored | first-touch cold {cold_ms:.2} ms vs warm {warm_ms:.2} ms ({speedup:.2}x)"
+    );
+
+    let queries = rounds.max(1);
+    emit_bench_json(
+        "cache churn",
+        rows * DATASETS,
+        "per-round alternation (budgeted / unbounded), then cold-vs-warm restart",
+        &[
+            BenchRow {
+                engine: "budgeted".to_string(),
+                template: "churn-mix".to_string(),
+                selectivity_pct: b_rate.round() as u32,
+                millis: totals[0] / queries as f64,
+                rows_per_sec: rows as f64 / (totals[0] / queries as f64 / 1e3),
+            },
+            BenchRow {
+                engine: "unbounded".to_string(),
+                template: "churn-mix".to_string(),
+                selectivity_pct: u_rate.round() as u32,
+                millis: totals[1] / queries as f64,
+                rows_per_sec: rows as f64 / (totals[1] / queries as f64 / 1e3),
+            },
+            BenchRow {
+                engine: "cold-restart".to_string(),
+                template: "first-touch".to_string(),
+                selectivity_pct: 0,
+                millis: cold_ms,
+                rows_per_sec: (rows * warmed.len().max(1)) as f64 / (cold_ms.max(1e-9) / 1e3),
+            },
+            BenchRow {
+                engine: "warm-restart".to_string(),
+                template: "first-touch".to_string(),
+                selectivity_pct: 100,
+                millis: warm_ms,
+                rows_per_sec: (rows * warmed.len().max(1)) as f64 / (warm_ms.max(1e-9) / 1e3),
+            },
+        ],
+    );
+}

@@ -118,6 +118,28 @@ impl CacheBuilder {
     /// Finalizes the builder into the cache store. Returns the cache name if
     /// an entry was inserted.
     pub fn finish(self, store: &CacheStore) -> Option<String> {
+        let entry = self.into_entry()?;
+        let name = entry.name.clone();
+        match store.insert(entry) {
+            Ok(()) => Some(name),
+            Err(_) => None,
+        }
+    }
+
+    /// Finalizes only if the source dataset is still at `revision`
+    /// (captured via [`CacheStore::dataset_revision`] before the build
+    /// started) — the background-build path, where an invalidation may
+    /// race the scan and the stale result must be discarded.
+    pub fn finish_if_current(self, store: &CacheStore, revision: u64) -> Option<String> {
+        let entry = self.into_entry()?;
+        let name = entry.name.clone();
+        match store.insert_if_current(entry, revision) {
+            Ok(true) => Some(name),
+            Ok(false) | Err(_) => None,
+        }
+    }
+
+    fn into_entry(self) -> Option<proteus_storage::CacheEntry> {
         if !self.enabled || self.oids.is_empty() {
             return None;
         }
@@ -130,18 +152,26 @@ impl CacheBuilder {
                 .collect::<Vec<_>>()
                 .join("+")
         );
-        let entry = make_entry(
-            name.clone(),
+        let rows = self.oids.len() as u64;
+        let fields = self.columns.len();
+        let mut entry = make_entry(
+            name,
             scan_cache_signature(&self.dataset),
             self.dataset.clone(),
             self.format,
             self.columns,
             self.oids,
         );
-        match store.insert(entry) {
-            Ok(()) => Some(name),
-            Err(_) => None,
-        }
+        // Stamp the rebuild cost from the optimizer's cost model: one full
+        // scan of the source through its format's access profile. This is
+        // the `build_cost` term of the store's eviction score.
+        let profile = match self.format {
+            SourceFormat::Binary => proteus_plugins::CostProfile::binary(),
+            SourceFormat::Csv => proteus_plugins::CostProfile::csv(),
+            SourceFormat::Json => proteus_plugins::CostProfile::json(),
+        };
+        entry.build_cost = proteus_optimizer::cost::cache_build_cost(&profile, rows, fields);
+        Some(entry)
     }
 }
 
@@ -168,6 +198,9 @@ pub fn find_full_column_cache(
             continue;
         }
         if let Some(column) = entry.column(field) {
+            // Per-column reuse is a hit like any other: it keeps the entry's
+            // eviction score live even when full cache matching never fires.
+            store.record_hit(&entry.name);
             return Some((entry.name.clone(), column.clone()));
         }
     }

@@ -42,6 +42,7 @@ use proteus_storage::{CacheStore, ColumnData};
 
 use crate::cache_builder::{find_full_column_cache, should_cache_field, CacheBuilder};
 use crate::error::{EngineError, Result};
+use crate::exec::background::CacheBuildSpec;
 use crate::exec::expr::{
     compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate,
 };
@@ -57,6 +58,7 @@ pub struct Compiler {
     vectorized: bool,
     morsel_skipping: bool,
     numeric_mode: kernels::NumericMode,
+    background_builds: bool,
 }
 
 /// Per-compilation planner state: which slot names any compiled closure
@@ -66,6 +68,10 @@ pub struct Compiler {
 #[derive(Default)]
 struct PlanCtx {
     value_refs: HashSet<String>,
+    /// Cache builds the compiler deferred to the background path: the scan
+    /// runs uncached (and fully parallel) while the engine offers these to
+    /// the scheduler after the query completes.
+    pending_builds: Vec<CacheBuildSpec>,
 }
 
 impl PlanCtx {
@@ -97,6 +103,7 @@ impl Compiler {
             vectorized: true,
             morsel_skipping: true,
             numeric_mode: kernels::NumericMode::Strict,
+            background_builds: false,
         }
     }
 
@@ -125,6 +132,16 @@ impl Compiler {
     /// chunked explicit-lane loops.
     pub fn with_numeric_mode(mut self, mode: kernels::NumericMode) -> Compiler {
         self.numeric_mode = mode;
+        self
+    }
+
+    /// Defers scan-side-effect cache builds to the background (builder
+    /// style; off by default). The foreground scan then runs without the
+    /// in-order serial pinning a live builder forces, and the compiled
+    /// query carries [`CacheBuildSpec`]s for the engine to offer to the
+    /// scheduler once the query finishes.
+    pub fn with_background_builds(mut self, background: bool) -> Compiler {
+        self.background_builds = background;
         self
     }
 
@@ -193,6 +210,7 @@ impl Compiler {
             ir: ir.finish(),
             compile_time: started.elapsed(),
             access_paths,
+            pending_cache_builds: std::mem::take(&mut ctx.pending_builds),
         })
     }
 
@@ -415,7 +433,15 @@ impl Compiler {
                 alias,
                 schema,
                 projected_fields,
-            } => self.compile_scan(dataset, alias, schema, projected_fields, ir, access_paths),
+            } => self.compile_scan(
+                dataset,
+                alias,
+                schema,
+                projected_fields,
+                ir,
+                access_paths,
+                ctx,
+            ),
             LogicalPlan::Select { input, predicate } => {
                 let (mut producer, layout) = self.compile_producer(input, ir, access_paths, ctx)?;
                 // Predicate planner: classify the conjunction against the
@@ -535,6 +561,7 @@ impl Compiler {
         }
     }
 
+    #[allow(clippy::too_many_arguments)]
     fn compile_scan(
         &self,
         dataset: &str,
@@ -543,6 +570,7 @@ impl Compiler {
         projected_fields: &[String],
         ir: &mut IrEmitter,
         access_paths: &mut Vec<String>,
+        ctx: &mut PlanCtx,
     ) -> Result<(Producer, BindingLayout)> {
         // Resolve the plug-in: either a real dataset or a synthetic cache
         // dataset spliced in by the optimizer's cache matching.
@@ -556,7 +584,11 @@ impl Compiler {
                 let entry = store
                     .get(cache_name)
                     .ok_or_else(|| EngineError::UnknownDataset(dataset.to_string()))?;
-                Arc::new(proteus_plugins::cache::CachePlugin::new(entry))
+                // `with_store` reuses the zone maps memoized in the entry's
+                // sidecar slot instead of re-deriving them per query.
+                Arc::new(proteus_plugins::cache::CachePlugin::with_store(
+                    entry, store,
+                ))
             }
             None => self
                 .registry
@@ -696,6 +728,28 @@ impl Compiler {
                     })
                     .collect();
                 if to_cache.is_empty() {
+                    CacheBuilder::disabled()
+                } else if self.background_builds {
+                    // Deferred: the foreground scan stays fully parallel;
+                    // the engine offers this build to the scheduler after
+                    // the query completes.
+                    ir.line(
+                        1,
+                        &format!(
+                            "defer cache[{}] += [{}]   // background build",
+                            dataset,
+                            to_cache
+                                .iter()
+                                .map(|(n, _)| n.as_str())
+                                .collect::<Vec<_>>()
+                                .join(", ")
+                        ),
+                    );
+                    ctx.pending_builds.push(CacheBuildSpec {
+                        dataset: dataset.to_string(),
+                        format,
+                        fields: to_cache,
+                    });
                     CacheBuilder::disabled()
                 } else {
                     ir.line(
@@ -1062,6 +1116,9 @@ pub struct CompiledQuery {
     pub compile_time: Duration,
     /// The access path each plug-in chose (one entry per scanned dataset).
     pub access_paths: Vec<String>,
+    /// Cache builds deferred to the background (only populated when the
+    /// compiler ran `with_background_builds(true)`).
+    pub(crate) pending_cache_builds: Vec<CacheBuildSpec>,
 }
 
 impl CompiledQuery {

@@ -10,7 +10,7 @@
 //! * the generated pseudo-IR, per-query metrics and cache statistics the
 //!   benchmarks and the examples report.
 
-use std::path::Path;
+use std::path::{Path, PathBuf};
 use std::sync::Arc;
 use std::time::Duration;
 
@@ -26,6 +26,7 @@ use proteus_storage::{CacheStore, MemoryManager};
 
 use crate::codegen::Compiler;
 use crate::error::Result;
+use crate::exec::background::BackgroundBuilds;
 use crate::exec::context::{CancellationToken, QueryContext};
 use crate::exec::metrics::ExecutionMetrics;
 use crate::exec::scheduler::{AdmissionConfig, DrainReport, Scheduler, SchedulerConfig};
@@ -101,6 +102,18 @@ pub struct EngineConfig {
     /// with [`crate::EngineError::Overloaded`]). `None` (the default)
     /// admits everything and shares the process-wide pool.
     pub admission: Option<AdmissionConfig>,
+    /// Run scan-side-effect cache builds as background scheduler tasks
+    /// instead of inline with the scan. The foreground query then runs the
+    /// uncached plan at full parallelism (no in-order serial pinning) and
+    /// the cache appears shortly after — queries between the two see a
+    /// clean miss. `false` (the default) keeps the synchronous semantics:
+    /// the cache is registered by the time the building query returns.
+    pub background_cache_builds: bool,
+    /// Directory for the cache store's disk tier. When set, evicted entries
+    /// that have recorded hits spill here instead of vanishing, and later
+    /// lookups transparently reload them (counted as hits + a rebuild of
+    /// arena bytes). `None` (the default) disables spilling.
+    pub cache_spill_dir: Option<PathBuf>,
 }
 
 impl Default for EngineConfig {
@@ -118,6 +131,8 @@ impl Default for EngineConfig {
             lifecycle: true,
             shared_scheduler: true,
             admission: None,
+            background_cache_builds: false,
+            cache_spill_dir: None,
         }
     }
 }
@@ -207,6 +222,21 @@ impl EngineConfig {
         self.admission = Some(admission);
         self
     }
+
+    /// Defers scan-side-effect cache builds to background scheduler tasks
+    /// (builder style; off by default — see
+    /// [`EngineConfig::background_cache_builds`]).
+    pub fn with_background_cache_builds(mut self, background: bool) -> EngineConfig {
+        self.background_cache_builds = background;
+        self
+    }
+
+    /// Enables the cache store's disk tier under `dir` (builder style):
+    /// hot entries spill on eviction and reload on the next lookup.
+    pub fn with_cache_spill_dir(mut self, dir: impl Into<PathBuf>) -> EngineConfig {
+        self.cache_spill_dir = Some(dir.into());
+        self
+    }
 }
 
 /// The result of one query.
@@ -259,6 +289,7 @@ pub struct QueryEngine {
     caches: CacheStore,
     scheduler: Arc<Scheduler>,
     workload_metrics: parking_lot::Mutex<ExecutionMetrics>,
+    builds: BackgroundBuilds,
 }
 
 impl QueryEngine {
@@ -275,13 +306,23 @@ impl QueryEngine {
             }),
             None => Scheduler::global(),
         };
+        let caches = CacheStore::new(memory.clone());
+        // Route the store's spill/load fault sites through the shared
+        // chaos-injection registry, so the lifecycle tests can fail them.
+        caches.set_fault_probe(Arc::new(proteus_plugins::fault::check));
+        if let Some(dir) = &config.cache_spill_dir {
+            // Spilling is strictly best-effort: an unusable directory just
+            // means evictions discard instead of spilling.
+            let _ = caches.set_spill_dir(dir);
+        }
         QueryEngine {
             registry: PluginRegistry::new(),
-            caches: CacheStore::new(memory.clone()),
+            caches,
             memory,
             config,
             scheduler,
             workload_metrics: parking_lot::Mutex::new(ExecutionMetrics::new()),
+            builds: BackgroundBuilds::default(),
         }
     }
 
@@ -385,9 +426,14 @@ impl QueryEngine {
     }
 
     /// Signals that a dataset's contents changed: affected caches are dropped
-    /// and will be rebuilt lazily (§4, "Implementation Scope").
+    /// (memory, sidecar zone maps and spill files alike) and will be rebuilt
+    /// lazily (§4, "Implementation Scope"). In-flight background builds over
+    /// the dataset are cancelled — the revision fence would reject their
+    /// results anyway, this just stops them from scanning on.
     pub fn notify_update(&self, dataset: &str) -> usize {
-        self.caches.invalidate_dataset(dataset)
+        let dropped = self.caches.invalidate_dataset(dataset);
+        self.builds.cancel_dataset(dataset);
+        dropped
     }
 
     // -- query execution ------------------------------------------------------
@@ -444,10 +490,12 @@ impl QueryEngine {
         )
         .with_vectorization(self.config.vectorized)
         .with_morsel_skipping(self.config.morsel_skipping)
-        .with_numeric_mode(self.config.numeric_mode);
+        .with_numeric_mode(self.config.numeric_mode)
+        .with_background_builds(self.config.background_cache_builds);
         let compiled = compiler.compile(&optimized.plan)?;
         let ir = compiled.ir.clone();
         let access_paths = compiled.access_paths.clone();
+        let pending_builds = compiled.pending_cache_builds.clone();
         let ctx = Arc::new(QueryContext::new(
             cancel,
             self.config.timeout,
@@ -470,6 +518,21 @@ impl QueryEngine {
         };
         drop(permit);
         output.metrics.queue_wait_us += queue_wait_us;
+
+        // Offer any deferred cache builds only after the query succeeded
+        // and released its slot — the builds are admitted in their own
+        // right and never compete with the query that requested them.
+        for spec in pending_builds {
+            self.builds.spawn(
+                &self.scheduler,
+                &self.registry,
+                &self.caches,
+                spec,
+                self.config.timeout,
+                self.config.memory_budget,
+                self.config.lifecycle,
+            );
+        }
 
         self.workload_metrics.lock().merge(&output.metrics);
 
@@ -520,6 +583,39 @@ impl QueryEngine {
     /// Drops every cache.
     pub fn clear_caches(&self) {
         self.caches.clear();
+    }
+
+    /// Snapshots the current cache contents into `dir` (one checksummed,
+    /// versioned file per entry — see `proteus_storage::persist`). Returns
+    /// the number of entries written. Stale snapshot files for entries that
+    /// no longer exist are removed first.
+    pub fn snapshot_caches(&self, dir: impl AsRef<Path>) -> Result<usize> {
+        Ok(proteus_storage::persist::snapshot(
+            &self.caches,
+            dir.as_ref(),
+        )?)
+    }
+
+    /// Warm restart: loads every valid snapshot file from `dir` into the
+    /// cache store, skipping (with a count, not an error) files that are
+    /// corrupt, truncated, from a different format version, or too big for
+    /// the current budget. Restored entries are bit-identical to what
+    /// [`QueryEngine::snapshot_caches`] saw.
+    pub fn warm_from(&self, dir: impl AsRef<Path>) -> Result<proteus_storage::WarmReport> {
+        Ok(proteus_storage::persist::warm(&self.caches, dir.as_ref())?)
+    }
+
+    /// Blocks until every in-flight background cache build finishes (with
+    /// any outcome), up to `timeout`. Returns the number still pending at
+    /// the deadline (0 = all settled). Mostly for tests and orderly
+    /// shutdown; queries never need to wait.
+    pub fn wait_for_cache_builds(&self, timeout: Duration) -> usize {
+        self.builds.wait_all(timeout)
+    }
+
+    /// Number of background cache builds currently in flight.
+    pub fn pending_cache_builds(&self) -> usize {
+        self.builds.len()
     }
 
     /// Aggregate metrics across every query run so far (workload totals, as
@@ -711,7 +807,19 @@ mod tests {
         let q = "SELECT COUNT(*), MAX(l_quantity) FROM lineitem WHERE l_orderkey < 50";
         let first = engine.sql(q).unwrap();
         assert!(first.metrics.cached_values > 0);
-        assert!(engine.cache_stats().entries >= 1);
+        let stats = engine.cache_stats();
+        assert!(stats.entries >= 1);
+        // Real per-entry byte accounting: non-zero, within the arena
+        // budget, and exactly the sum of the entries' recorded footprints.
+        assert!(stats.bytes > 0);
+        assert!(stats.bytes <= MemoryManager::DEFAULT_ARENA_BUDGET);
+        let footprint_sum: usize = engine
+            .caches()
+            .entries_snapshot()
+            .iter()
+            .map(|e| e.byte_size)
+            .sum();
+        assert_eq!(stats.bytes, footprint_sum);
         let second = engine.sql(q).unwrap();
         assert_eq!(first.scalar("count_0"), second.scalar("count_0"));
         assert!(second
@@ -721,6 +829,7 @@ mod tests {
         assert!(engine.workload_metrics().tuples_scanned >= 1000);
         engine.clear_caches();
         assert_eq!(engine.cache_stats().entries, 0);
+        assert_eq!(engine.cache_stats().bytes, 0);
     }
 
     #[test]
@@ -732,8 +841,22 @@ mod tests {
         engine.register_json("data", &path).unwrap();
         engine.sql("SELECT COUNT(*) FROM data WHERE x < 5").unwrap();
         assert!(engine.cache_stats().entries > 0);
+        let names: Vec<String> = engine.caches().names();
+        // Touch a cache through the plug-in path so a sidecar (memoized
+        // zone maps) exists before the invalidation.
+        for name in &names {
+            let entry = engine.caches().get(name).unwrap();
+            let _ = proteus_plugins::cache::CachePlugin::with_store(entry, engine.caches());
+            assert!(engine.caches().sidecar(name).is_some());
+        }
         assert!(engine.notify_update("data") > 0);
         assert_eq!(engine.cache_stats().entries, 0);
+        // Invalidation releases the arena bytes and drops the sidecars
+        // atomically with the entries — no stale zone maps survive.
+        assert_eq!(engine.cache_stats().bytes, 0);
+        for name in &names {
+            assert!(engine.caches().sidecar(name).is_none());
+        }
     }
 
     #[test]

@@ -192,6 +192,7 @@
 //! enforced by seed-sweep property tests in [`kernels`] and engine-level
 //! inner/left-outer suites in `tests/kernel_equivalence.rs`.
 
+pub mod background;
 pub mod batch;
 pub mod context;
 pub mod expr;
@@ -203,6 +204,7 @@ pub mod pipeline;
 pub mod radix;
 pub mod scheduler;
 
+pub use background::CacheBuildSpec;
 pub use batch::{BindingBatch, MORSEL_SIZE};
 pub use context::{CancellationToken, MemoryBudget, QueryContext};
 pub use expr::{compile_expr, compile_predicate, BindingLayout, CompiledExpr, CompiledPredicate};

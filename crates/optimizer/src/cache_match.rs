@@ -12,6 +12,11 @@
 //! is replaced by a scan over the cache dataset; field references through the
 //! original aliases keep working because the cache columns are named after
 //! the leaf field of the cached expressions.
+//!
+//! Every successful lookup also records a hit on the matched entry
+//! (inside [`CacheStore::lookup_by_signature`]), which feeds the store's
+//! cost/benefit eviction score live: entries that keep matching queries
+//! keep rising above eviction candidates.
 
 use proteus_algebra::LogicalPlan;
 use proteus_storage::CacheStore;

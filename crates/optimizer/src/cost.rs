@@ -187,6 +187,16 @@ impl CostModel {
     }
 }
 
+/// The cost to (re)build a cache of `fields` expressions over `rows` source
+/// tuples, in the cost model's units: one full scan of the source through
+/// its plug-in's access profile. The cache store uses this as the
+/// `build_cost` term of its cost/benefit eviction score, so caches over
+/// expensive formats (JSON raw access) outlive equal-sized caches over
+/// cheap ones (binary columns).
+pub fn cache_build_cost(profile: &proteus_plugins::CostProfile, rows: u64, fields: usize) -> u64 {
+    profile.scan_cost(rows, fields.max(1)).ceil() as u64
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

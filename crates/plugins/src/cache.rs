@@ -10,7 +10,7 @@
 use std::sync::Arc;
 
 use proteus_algebra::{Field, Schema, Value};
-use proteus_storage::{CacheEntry, ColumnData, SourceFormat};
+use proteus_storage::{CacheEntry, CacheStore, ColumnData, SourceFormat};
 
 use std::collections::HashMap;
 
@@ -20,11 +20,14 @@ use crate::stats::{CostProfile, DatasetStats};
 use crate::zonemap::ZoneMap;
 
 struct CacheInner {
-    entry: CacheEntry,
+    /// Shared handle: the store may replace or invalidate the entry while
+    /// this plug-in (and the query holding it) keeps reading the old data.
+    entry: Arc<CacheEntry>,
     schema: Schema,
-    /// Per-morsel zone maps over the cached binary columns (recorded when
-    /// the plug-in wraps the entry; one min/max pass per column).
-    zone_maps: HashMap<String, Arc<ZoneMap>>,
+    /// Per-morsel zone maps over the cached binary columns (derived once
+    /// and parked in the store's sidecar slot so repeated queries reuse
+    /// them; dropped atomically with the entry on invalidation).
+    zone_maps: Arc<HashMap<String, Arc<ZoneMap>>>,
     stats: DatasetStats,
 }
 
@@ -34,9 +37,44 @@ pub struct CachePlugin {
     inner: Arc<CacheInner>,
 }
 
+fn derive_zone_maps(entry: &CacheEntry) -> HashMap<String, Arc<ZoneMap>> {
+    entry
+        .columns
+        .iter()
+        .map(|(name, col)| (name.clone(), Arc::new(ZoneMap::from_column(col))))
+        .collect()
+}
+
 impl CachePlugin {
-    /// Wraps a cache entry.
-    pub fn new(entry: CacheEntry) -> CachePlugin {
+    /// Wraps a cache entry, deriving fresh zone maps.
+    pub fn new(entry: Arc<CacheEntry>) -> CachePlugin {
+        let zone_maps = Arc::new(derive_zone_maps(&entry));
+        CachePlugin::from_parts(entry, zone_maps)
+    }
+
+    /// Wraps a cache entry, reusing the zone maps memoized in the store's
+    /// sidecar slot when present (deriving and parking them otherwise).
+    /// The sidecar lives and dies with the entry, so invalidation cannot
+    /// leave stale zone maps reachable.
+    pub fn with_store(entry: Arc<CacheEntry>, store: &CacheStore) -> CachePlugin {
+        let memoized = store
+            .sidecar(&entry.name)
+            .and_then(|sc| sc.downcast::<HashMap<String, Arc<ZoneMap>>>().ok());
+        let zone_maps = match memoized {
+            Some(maps) => maps,
+            None => {
+                let maps = Arc::new(derive_zone_maps(&entry));
+                store.set_sidecar(&entry.name, maps.clone());
+                maps
+            }
+        };
+        CachePlugin::from_parts(entry, zone_maps)
+    }
+
+    fn from_parts(
+        entry: Arc<CacheEntry>,
+        zone_maps: Arc<HashMap<String, Arc<ZoneMap>>>,
+    ) -> CachePlugin {
         let schema = Schema::new(
             entry
                 .columns
@@ -44,11 +82,6 @@ impl CachePlugin {
                 .map(|(name, col)| Field::new(name.clone(), col.data_type()))
                 .collect(),
         );
-        let zone_maps: HashMap<String, Arc<ZoneMap>> = entry
-            .columns
-            .iter()
-            .map(|(name, col)| (name.clone(), Arc::new(ZoneMap::from_column(col))))
-            .collect();
         let mut stats = DatasetStats::with_cardinality(entry.row_count() as u64);
         for field in schema.fields() {
             if !field.data_type.is_numeric() {
@@ -223,8 +256,13 @@ impl InputPlugin for CachePlugin {
 mod tests {
     use super::*;
     use proteus_storage::cache::make_entry;
+    use proteus_storage::MemoryManager;
 
-    fn entry() -> CacheEntry {
+    fn entry() -> Arc<CacheEntry> {
+        Arc::new(raw_entry())
+    }
+
+    fn raw_entry() -> CacheEntry {
         make_entry(
             "lineitem_orderkey_cache",
             "Scan(lineitem as l)",
@@ -281,5 +319,37 @@ mod tests {
         let p = CachePlugin::new(entry());
         assert!(p.unnest_init(0, &["x".to_string()]).is_err());
         assert!(p.read_path(0, &["a".to_string(), "b".to_string()]).is_err());
+    }
+
+    #[test]
+    fn with_store_memoizes_zone_maps_in_sidecar() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        store.insert(raw_entry()).unwrap();
+        let entry = store.get("lineitem_orderkey_cache").unwrap();
+        assert!(store.sidecar(&entry.name).is_none());
+        let first = CachePlugin::with_store(entry.clone(), &store);
+        assert!(store.sidecar(&entry.name).is_some());
+        // A second wrap reuses the exact same maps instead of re-deriving.
+        let second = CachePlugin::with_store(entry.clone(), &store);
+        let zm_a = first.cached_zone_maps();
+        let zm_b = second.cached_zone_maps();
+        assert_eq!(zm_a.len(), zm_b.len());
+        for (name, map) in &zm_a {
+            let other = zm_b.iter().find(|(n, _)| n == name).unwrap();
+            assert!(Arc::ptr_eq(map, &other.1));
+        }
+    }
+
+    #[test]
+    fn invalidation_drops_memoized_zone_maps() {
+        let store = CacheStore::new(MemoryManager::with_budget(1 << 20));
+        store.insert(raw_entry()).unwrap();
+        let entry = store.get("lineitem_orderkey_cache").unwrap();
+        let _ = CachePlugin::with_store(entry.clone(), &store);
+        assert!(store.sidecar(&entry.name).is_some());
+        store.invalidate_dataset("lineitem");
+        // The stale zone maps are gone with the entry — not reachable until
+        // some later insert happens to overwrite them.
+        assert!(store.sidecar(&entry.name).is_none());
     }
 }

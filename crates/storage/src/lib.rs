@@ -10,17 +10,23 @@
 //!   ones of MonetDB", §7.1).
 //! * [`row`] — the on-disk binary row format (row-oriented relational binary
 //!   data, one of the plug-in formats of §5.2).
-//! * [`cache`] — the adaptive cache store of §6: caches of query-defined
-//!   shape, keyed by plan signature, evicted with a data-format-biased LRU.
+//! * [`cache`] — the adaptive cache store of §6 grown into a production
+//!   subsystem: caches of query-defined shape, keyed by plan signature,
+//!   budgeted with cost/benefit eviction, spilled to disk when hot, and
+//!   handed out as `Arc` handles so readers survive rebuilds.
+//! * [`persist`] — checksummed, versioned on-disk cache frames backing
+//!   spill and warm-restart snapshots.
 
 pub mod cache;
 pub mod column;
 pub mod error;
 pub mod memory;
+pub mod persist;
 pub mod row;
 
-pub use cache::{CacheEntry, CacheStore, SourceFormat};
+pub use cache::{CacheEntry, CacheSidecar, CacheStats, CacheStore, SourceFormat};
 pub use column::{ColumnData, ColumnTable};
 pub use error::{Result, StorageError};
 pub use memory::MemoryManager;
+pub use persist::WarmReport;
 pub use row::{RowTable, RowTableReader};
